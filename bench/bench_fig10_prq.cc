@@ -1,0 +1,78 @@
+// Regenerates Figure 10: preservation range queries PR_χ as the query
+// radius δ varies, in all three dimensions (space: 0–1 km; time: 0–100
+// minutes; category: 0–10), for all methods under default settings.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "eval/range_queries.h"
+
+using namespace trajldp;
+
+namespace {
+
+void PrintCurve(const eval::Dataset& dataset,
+                const std::vector<std::pair<std::string,
+                                            eval::MethodResult>>& results,
+                eval::PrqDimension dimension, const std::string& name,
+                const std::vector<double>& deltas) {
+  std::cout << "\n--- " << name << " PRQ (" << dataset.name << ") ---\n";
+  std::vector<std::string> headers = {"Method"};
+  for (double d : deltas) headers.push_back(TablePrinter::Fmt(d, 2));
+  TablePrinter table(headers);
+  for (const auto& [method_name, result] : results) {
+    auto curve = eval::PrqCurve(dataset.db, dataset.time, result.real,
+                                result.perturbed, dimension, deltas);
+    std::vector<std::string> row = {method_name};
+    if (curve.ok()) {
+      for (double pr : *curve) row.push_back(TablePrinter::Fmt(pr, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 10: Preservation range queries PR_chi",
+                     "paper Figure 10, §7.3");
+
+  auto dataset = eval::MakeTaxiFoursquareDataset(bench::ScaledOptions(
+      bench::kDefaultPois, bench::kDefaultTrajectories));
+  if (!dataset.ok()) {
+    std::cerr << dataset.status() << "\n";
+    return 1;
+  }
+
+  eval::ExperimentConfig config;
+  config.epsilon = 5.0;
+  std::vector<std::pair<std::string, eval::MethodResult>> results;
+  for (eval::Method method : eval::AllMethods()) {
+    auto result = eval::RunMethod(*dataset, method, config);
+    if (!result.ok()) {
+      std::cerr << eval::MethodName(method) << ": " << result.status()
+                << "\n";
+      return 1;
+    }
+    results.emplace_back(eval::MethodName(method), std::move(*result));
+    std::cout << "finished " << eval::MethodName(method) << "\n";
+  }
+
+  PrintCurve(*dataset, results, eval::PrqDimension::kSpace, "Space (km)",
+             {0.1, 0.25, 0.5, 0.75, 1.0});
+  PrintCurve(*dataset, results, eval::PrqDimension::kTime,
+             "Time (minutes)", {10, 25, 50, 75, 100});
+  PrintCurve(*dataset, results, eval::PrqDimension::kCategory, "Category",
+             {0.0, 2.0, 3.5, 5.0, 6.5, 8.0, 10.0});
+
+  bench::PrintShapeCheck(
+      "Paper Figure 10: all methods are similar on space and time PRQs\n"
+      "with NGram slightly ahead; the category PRQ separates them — NGram\n"
+      "is clearly superior at every delta_c, with a marked step at\n"
+      "delta_c = 3.5 (strong preservation within category levels 2–3).\n"
+      "PhysDist's category curve stays near the bottom until delta_c = 10\n"
+      "(unrelated categories accepted).");
+  return 0;
+}

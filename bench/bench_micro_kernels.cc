@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels of the
+// mechanism: haversine distance, Gumbel-max EM selection, the factored
+// n-gram path sampler, region distance fan-out, the spatial index, and
+// the simplex solver. Useful for tracking regressions in the paths that
+// dominate Figure 9's runtime curves.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/ngram_domain.h"
+#include "geo/latlon.h"
+#include "geo/spatial_index.h"
+#include "ldp/exponential_mechanism.h"
+#include "lp/simplex.h"
+#include "region/decomposition.h"
+#include "region/region_distance.h"
+#include "region/region_graph.h"
+#include "test_support.h"
+
+namespace trajldp {
+namespace {
+
+void BM_Haversine(benchmark::State& state) {
+  const geo::LatLon a{40.7128, -74.0060};
+  const geo::LatLon b{40.7484, -73.9857};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::HaversineKm(a, b));
+  }
+}
+BENCHMARK(BM_Haversine);
+
+void BM_GumbelDraw(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Gumbel());
+  }
+}
+BENCHMARK(BM_GumbelDraw);
+
+void BM_EmSample(benchmark::State& state) {
+  const size_t domain = static_cast<size_t>(state.range(0));
+  auto em = ldp::ExponentialMechanism::Create(1.0, 10.0);
+  std::vector<double> qualities(domain);
+  Rng init(2);
+  for (auto& q : qualities) q = -init.UniformDouble(0.0, 10.0);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(em->Sample(qualities, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * domain);
+}
+BENCHMARK(BM_EmSample)->Arg(1000)->Arg(10000)->Arg(100000);
+
+struct RegionWorld {
+  std::unique_ptr<model::PoiDatabase> db;
+  std::unique_ptr<region::StcDecomposition> decomp;
+  std::unique_ptr<region::RegionDistance> distance;
+  std::unique_ptr<region::RegionGraph> graph;
+  std::unique_ptr<core::NgramDomain> domain;
+};
+
+RegionWorld& SharedWorld(size_t num_pois) {
+  static std::map<size_t, RegionWorld> cache;
+  auto it = cache.find(num_pois);
+  if (it != cache.end()) return it->second;
+  RegionWorld world;
+  auto db = bench::MakeLatticeDb(num_pois);
+  world.db = std::make_unique<model::PoiDatabase>(std::move(*db));
+  const auto time = *model::TimeDomain::Create(10);
+  region::DecompositionConfig config;
+  auto decomp = region::StcDecomposition::Build(world.db.get(), time, config);
+  world.decomp =
+      std::make_unique<region::StcDecomposition>(std::move(*decomp));
+  world.distance =
+      std::make_unique<region::RegionDistance>(world.decomp.get());
+  model::ReachabilityConfig reach{8.0, 50};
+  world.graph = std::make_unique<region::RegionGraph>(
+      region::RegionGraph::Build(*world.decomp, reach));
+  world.domain = std::make_unique<core::NgramDomain>(world.graph.get(),
+                                                     world.distance.get());
+  return cache.emplace(num_pois, std::move(world)).first->second;
+}
+
+void BM_RegionDistanceFanOut(benchmark::State& state) {
+  RegionWorld& world = SharedWorld(static_cast<size_t>(state.range(0)));
+  region::RegionId r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.distance->ToAll(r));
+    r = (r + 1) % world.decomp->num_regions();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          world.decomp->num_regions());
+}
+BENCHMARK(BM_RegionDistanceFanOut)->Arg(500)->Arg(2000);
+
+void BM_BigramSample(benchmark::State& state) {
+  RegionWorld& world = SharedWorld(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  const region::RegionId a = 0;
+  const region::RegionId b =
+      static_cast<region::RegionId>(world.decomp->num_regions() / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.domain->Sample({a, b}, 0.5, rng));
+  }
+}
+BENCHMARK(BM_BigramSample)->Arg(500)->Arg(2000);
+
+void BM_SpatialIndexRadius(benchmark::State& state) {
+  RegionWorld& world = SharedWorld(2000);
+  const geo::LatLon center = world.db->poi(0).location;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.db->WithinRadius(center, 3.0));
+  }
+}
+BENCHMARK(BM_SpatialIndexRadius);
+
+void BM_SimplexSmallLp(benchmark::State& state) {
+  lp::LpProblem problem;
+  problem.num_vars = 2;
+  problem.objective = {-3.0, -5.0};
+  problem.AddConstraint({{0, 1.0}}, lp::LpProblem::Relation::kLe, 4.0);
+  problem.AddConstraint({{1, 2.0}}, lp::LpProblem::Relation::kLe, 12.0);
+  problem.AddConstraint({{0, 3.0}, {1, 2.0}}, lp::LpProblem::Relation::kLe,
+                        18.0);
+  lp::SimplexSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(problem));
+  }
+}
+BENCHMARK(BM_SimplexSmallLp);
+
+}  // namespace
+}  // namespace trajldp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Regenerates Table 4: average hotspot distance (AHD, hours) and average
+// count difference (ACD) between real and perturbed hotspot sets for all
+// methods on all three datasets, plus the per-granularity detail of
+// §6.3.2 (three spatial and three category granularities).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "eval/hotspots.h"
+
+using namespace trajldp;
+
+namespace {
+
+// The paper's granularities and thresholds (§6.3.2): POI-level and 4×4 /
+// 2×2 spatial grids with η = {20, 20, 50}; category levels {1, 2, 3} with
+// η = {50, 30, 20}. Thresholds scale with the workload size.
+std::vector<eval::HotspotSpec> PaperSpecs(size_t num_trajectories) {
+  const double scale =
+      static_cast<double>(num_trajectories) / 5000.0;  // paper-sized |T|
+  auto eta = [&](int paper_eta) {
+    return std::max(3, static_cast<int>(paper_eta * scale));
+  };
+  std::vector<eval::HotspotSpec> specs;
+  {
+    eval::HotspotSpec poi;
+    poi.entity = eval::HotspotSpec::Entity::kPoi;
+    poi.eta = eta(20);
+    specs.push_back(poi);
+  }
+  for (uint32_t grid : {4u, 2u}) {
+    eval::HotspotSpec spatial;
+    spatial.entity = eval::HotspotSpec::Entity::kSpatialGrid;
+    spatial.grid_size = grid;
+    spatial.eta = grid == 4 ? eta(20) : eta(50);
+    specs.push_back(spatial);
+  }
+  for (int level : {1, 2, 3}) {
+    eval::HotspotSpec category;
+    category.entity = eval::HotspotSpec::Entity::kCategoryLevel;
+    category.category_level = level;
+    category.eta = level == 1 ? eta(50) : (level == 2 ? eta(30) : eta(20));
+    specs.push_back(category);
+  }
+  return specs;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 4: AHD and ACD for default trajectory sets",
+                     "paper Table 4, §7.3");
+
+  std::vector<eval::Dataset> datasets;
+  {
+    auto tf = eval::MakeTaxiFoursquareDataset(bench::ScaledOptions(
+        bench::kDefaultPois, bench::kDefaultTrajectories * 2));
+    auto sg = eval::MakeSafegraphDataset(bench::ScaledOptions(
+        bench::kDefaultPois, bench::kDefaultTrajectories * 2, 8));
+    auto cp = eval::MakeCampusDataset(bench::ScaledOptions(
+        262, bench::kDefaultTrajectories * 4, 9));
+    for (auto* d : {&tf, &sg, &cp}) {
+      if (!d->ok()) {
+        std::cerr << d->status() << "\n";
+        return 1;
+      }
+      datasets.push_back(std::move(**d));
+    }
+  }
+
+  eval::ExperimentConfig config;
+  config.epsilon = 5.0;
+
+  TablePrinter table({"Method", "TF AHD", "TF ACD", "SG AHD", "SG ACD",
+                      "CP AHD", "CP ACD"});
+  for (eval::Method method : eval::AllMethods()) {
+    std::vector<std::string> row = {eval::MethodName(method)};
+    for (const eval::Dataset& dataset : datasets) {
+      auto result = eval::RunMethod(dataset, method, config);
+      if (!result.ok()) {
+        std::cerr << eval::MethodName(method) << ": " << result.status()
+                  << "\n";
+        return 1;
+      }
+      // Average AHD/ACD over all six granularities, matching the paper's
+      // single summary number per dataset.
+      double ahd_sum = 0.0, acd_sum = 0.0;
+      int counted = 0;
+      for (const auto& spec :
+           PaperSpecs(dataset.trajectories.size())) {
+        auto real_h = eval::FindHotspots(dataset.db, dataset.time,
+                                         result->real, spec);
+        auto pert_h = eval::FindHotspots(dataset.db, dataset.time,
+                                         result->perturbed, spec);
+        if (!real_h.ok() || !pert_h.ok()) continue;
+        const auto cmp = eval::CompareHotspots(*real_h, *pert_h);
+        if (cmp.matched == 0) continue;
+        ahd_sum += cmp.ahd_hours;
+        acd_sum += cmp.acd;
+        ++counted;
+      }
+      row.push_back(counted ? TablePrinter::Fmt(ahd_sum / counted) : "-");
+      row.push_back(counted ? TablePrinter::Fmt(acd_sum / counted) : "-");
+    }
+    table.AddRow(std::move(row));
+    std::cout << "finished " << eval::MethodName(method) << "\n";
+  }
+  std::cout << "\n";
+  table.Print(std::cout);
+
+  bench::PrintShapeCheck(
+      "Paper Table 4: NGram preserves the temporal location of hotspots\n"
+      "best (lowest AHD on every dataset: 1.49/2.01/2.03 vs PhysDist worst\n"
+      "at 2.22/3.34/4.38), but its hotspots are 'flatter', giving it a\n"
+      "comparatively poor ACD. Expect: NGram lowest AHD, PhysDist highest\n"
+      "AHD, and NGram NOT best on ACD.");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#ifndef TRAJLDP_BENCH_BENCH_UTIL_H_
+#define TRAJLDP_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the reproduction benches: dataset construction with
+// env-scalable sizes, method running, and consistent output formatting.
+//
+// Every bench prints (a) the regenerated table/figure series in the
+// paper's layout and (b) a "shape check" note recalling what the paper
+// reports, so diffs against the publication are one glance away.
+// TRAJLDP_BENCH_SCALE (default 1.0) scales trajectory counts.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/dataset.h"
+#include "eval/experiment.h"
+
+namespace trajldp::bench {
+
+/// Default workload sizes (paper: |P| = 2000, |T| ≈ 5000–10000 — scaled
+/// down so the full suite runs in minutes; shapes are stable under scale).
+inline constexpr size_t kDefaultPois = 2000;
+inline constexpr size_t kDefaultTrajectories = 300;
+
+inline eval::DatasetOptions ScaledOptions(size_t num_pois,
+                                          size_t num_trajectories,
+                                          uint64_t seed = 7) {
+  eval::DatasetOptions options;
+  options.num_pois = num_pois;
+  options.num_trajectories = eval::ScaledCount(num_trajectories);
+  options.seed = seed;
+  return options;
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::string& paper_ref) {
+  std::cout << "==============================================================="
+               "=\n"
+            << title << "\n(" << paper_ref << ")\n"
+            << "==============================================================="
+               "=\n";
+}
+
+inline void PrintShapeCheck(const std::string& note) {
+  std::cout << "\nShape check vs. paper:\n" << note << "\n\n";
+}
+
+}  // namespace trajldp::bench
+
+#endif  // TRAJLDP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,204 @@
+#ifndef TRAJLDP_BENCH_SWEEP_COMMON_H_
+#define TRAJLDP_BENCH_SWEEP_COMMON_H_
+
+// Shared sweep driver for Figures 8 and 9: the same parameter sweeps
+// (trajectory length, privacy budget, |P|, travel speed, n-gram length)
+// feed both the normalized-error figure (8) and the runtime figure (9);
+// the two bench binaries only differ in which column they print.
+
+#include <cmath>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "eval/normalized_error.h"
+
+namespace trajldp::bench {
+
+/// What a single (dataset, method, config) cell produced.
+struct SweepCell {
+  double ne = std::nan("");                // combined NE per point
+  double seconds_per_traj = std::nan("");  // mean mechanism time
+};
+
+inline StatusOr<SweepCell> RunCell(const eval::Dataset& dataset,
+                                   eval::Method method,
+                                   const eval::ExperimentConfig& config) {
+  auto result = eval::RunMethod(dataset, method, config);
+  if (!result.ok()) return result.status();
+  auto ne = eval::ComputeNormalizedError(dataset.db, dataset.time,
+                                         result->real, result->perturbed);
+  if (!ne.ok()) return ne.status();
+  SweepCell cell;
+  // Combined per-point error: the quadrature of the three dimensions,
+  // matching the d(·,·) definition the figures' y-axis aggregates.
+  cell.ne = std::sqrt(ne->time_hours * ne->time_hours +
+                      ne->category * ne->category +
+                      ne->space_km * ne->space_km);
+  cell.seconds_per_traj = result->MeanSecondsPerTrajectory();
+  return cell;
+}
+
+/// Column formatter: picks NE or runtime.
+inline std::string FormatCell(const SweepCell& cell, bool report_ne) {
+  const double v = report_ne ? cell.ne : cell.seconds_per_traj;
+  if (std::isnan(v)) return "-";
+  return TablePrinter::Fmt(v, report_ne ? 2 : 4);
+}
+
+/// Number of trajectories per sweep cell (before env scaling).
+inline constexpr size_t kSweepTrajectories = 100;
+
+/// Runs one sweep over `values`, printing a row per method. `configure`
+/// mutates the ExperimentConfig (and may return a replacement dataset
+/// pointer, for the |P| sweep).
+template <typename Value, typename Configure>
+void RunSweep(const std::string& title, const std::string& axis,
+              const std::vector<Value>& values,
+              const std::vector<eval::Method>& methods,
+              const std::vector<const eval::Dataset*>& datasets,
+              bool report_ne, Configure&& configure) {
+  for (const eval::Dataset* dataset : datasets) {
+    std::cout << "\n--- " << title << " (" << dataset->name << ") ---\n";
+    std::vector<std::string> headers = {"Method"};
+    for (const Value& v : values) {
+      std::ostringstream os;
+      os << axis << "=" << v;
+      headers.push_back(os.str());
+    }
+    TablePrinter table(headers);
+    for (eval::Method method : methods) {
+      std::vector<std::string> row = {eval::MethodName(method)};
+      for (const Value& v : values) {
+        eval::ExperimentConfig config;
+        config.max_trajectories = eval::ScaledCount(kSweepTrajectories);
+        const eval::Dataset* effective =
+            configure(*dataset, method, v, &config);
+        if (effective == nullptr) {
+          row.push_back("-");
+          continue;
+        }
+        auto cell = RunCell(*effective, method, config);
+        row.push_back(cell.ok() ? FormatCell(*cell, report_ne) : "err");
+      }
+      table.AddRow(std::move(row));
+      std::cout << "  finished " << eval::MethodName(method) << "\n";
+    }
+    std::cout << "\n";
+    table.Print(std::cout);
+  }
+}
+
+/// Runs every Figure 8/9 sweep. `report_ne` = true prints normalized
+/// error (Figure 8), false prints mean per-trajectory runtime (Figure 9).
+inline int RunFigureSweeps(bool report_ne) {
+  const size_t base_trajectories = eval::ScaledCount(kSweepTrajectories);
+
+  // Base datasets for the length / budget / speed sweeps. The length
+  // sweep filters by exact length, so generate a larger pool.
+  auto tf = eval::MakeTaxiFoursquareDataset(
+      ScaledOptions(kDefaultPois, kSweepTrajectories * 8));
+  auto sg = eval::MakeSafegraphDataset(
+      ScaledOptions(kDefaultPois, kSweepTrajectories * 8, 8));
+  if (!tf.ok() || !sg.ok()) {
+    std::cerr << "dataset construction failed\n";
+    return 1;
+  }
+  const std::vector<const eval::Dataset*> urban = {&*tf, &*sg};
+  const std::vector<eval::Method> all = eval::AllMethods();
+
+  // (a, e) Trajectory length.
+  RunSweep("Trajectory length sweep", "|tau|",
+           std::vector<size_t>{4, 6, 8}, all, urban, report_ne,
+           [&](const eval::Dataset& d, eval::Method, size_t len,
+               eval::ExperimentConfig* config) -> const eval::Dataset* {
+             config->exact_length = len;
+             return &d;
+           });
+
+  // (b, f) Privacy budget.
+  RunSweep("Privacy budget sweep", "eps",
+           std::vector<double>{0.01, 0.1, 1.0, 10.0}, all, urban, report_ne,
+           [&](const eval::Dataset& d, eval::Method, double eps,
+               eval::ExperimentConfig* config) -> const eval::Dataset* {
+             config->epsilon = eps;
+             return &d;
+           });
+
+  // (c, g) Size of the POI set. The paper omits PhysDist and NGramNoH at
+  // |P| = 8000 "owing to their high runtime" — mirrored here.
+  {
+    std::vector<std::unique_ptr<eval::Dataset>> tf_sized, sg_sized;
+    std::vector<size_t> sizes = {2000, 4000, 6000, 8000};
+    for (size_t p : sizes) {
+      auto a = eval::MakeTaxiFoursquareDataset(
+          ScaledOptions(p, kSweepTrajectories * 2));
+      auto b = eval::MakeSafegraphDataset(
+          ScaledOptions(p, kSweepTrajectories * 2, 8));
+      if (!a.ok() || !b.ok()) {
+        std::cerr << "sized dataset failed\n";
+        return 1;
+      }
+      tf_sized.push_back(std::make_unique<eval::Dataset>(std::move(*a)));
+      sg_sized.push_back(std::make_unique<eval::Dataset>(std::move(*b)));
+    }
+    auto lookup = [&](const eval::Dataset& base,
+                      size_t p) -> const eval::Dataset* {
+      const auto& pool = (&base == &*tf) ? tf_sized : sg_sized;
+      for (size_t i = 0; i < sizes.size(); ++i) {
+        if (sizes[i] == p) return pool[i].get();
+      }
+      return nullptr;
+    };
+    RunSweep("POI set size sweep", "|P|", sizes, all, urban, report_ne,
+             [&](const eval::Dataset& d, eval::Method method, size_t p,
+                 eval::ExperimentConfig*) -> const eval::Dataset* {
+               if (p >= 8000 && (method == eval::Method::kPhysDist ||
+                                 method == eval::Method::kNGramNoH)) {
+                 return nullptr;  // omitted, as in the paper
+               }
+               return lookup(d, p);
+             });
+  }
+
+  // (d, h) Assumed travel speed, including the unconstrained setting.
+  RunSweep("Travel speed sweep", "km/h",
+           std::vector<double>{4.0, 8.0, 12.0, 16.0,
+                               std::numeric_limits<double>::infinity()},
+           all, urban, report_ne,
+           [&](const eval::Dataset& d, eval::Method, double speed,
+               eval::ExperimentConfig* config) -> const eval::Dataset* {
+             config->speed_override_kmh = speed;
+             return &d;
+           });
+
+  // (i) n-gram length on the campus data, n-gram methods only.
+  auto campus =
+      eval::MakeCampusDataset(ScaledOptions(262, kSweepTrajectories * 4, 9));
+  if (!campus.ok()) {
+    std::cerr << campus.status() << "\n";
+    return 1;
+  }
+  RunSweep("n-gram length sweep", "n", std::vector<int>{1, 2, 3},
+           {eval::Method::kPhysDist, eval::Method::kNGramNoH,
+            eval::Method::kNGram},
+           {&*campus}, report_ne,
+           [&](const eval::Dataset& d, eval::Method, int n,
+               eval::ExperimentConfig* config) -> const eval::Dataset* {
+             config->n = n;
+             return &d;
+           });
+
+  (void)base_trajectories;
+  return 0;
+}
+
+}  // namespace trajldp::bench
+
+#endif  // TRAJLDP_BENCH_SWEEP_COMMON_H_

@@ -1,0 +1,41 @@
+#ifndef TRAJLDP_BENCH_TEST_SUPPORT_H_
+#define TRAJLDP_BENCH_TEST_SUPPORT_H_
+
+// Small deterministic worlds for the ablation benches (kept separate from
+// the dataset generators, which model real cities).
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "geo/latlon.h"
+#include "hierarchy/builtin_hierarchies.h"
+#include "model/poi_database.h"
+
+namespace trajldp::bench {
+
+/// Builds a square lattice of `num_pois` always-open POIs, 1 km spacing,
+/// with categories cycling over the campus tree's nine leaves.
+inline StatusOr<model::PoiDatabase> MakeLatticeDb(size_t num_pois) {
+  hierarchy::CategoryTree tree = hierarchy::BuiltinCampus();
+  const auto leaves = tree.Leaves();
+  const geo::LatLon origin{40.7, -74.0};
+  const auto side =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_pois))));
+  std::vector<model::Poi> pois;
+  for (size_t i = 0; i < num_pois; ++i) {
+    model::Poi poi;
+    poi.name = "lattice_" + std::to_string(i);
+    poi.location = geo::OffsetKm(origin,
+                                 static_cast<double>(i % side),
+                                 static_cast<double>(i / side));
+    poi.category = leaves[i % leaves.size()];
+    poi.popularity = 1.0;
+    pois.push_back(std::move(poi));
+  }
+  return model::PoiDatabase::Create(std::move(pois), std::move(tree));
+}
+
+}  // namespace trajldp::bench
+
+#endif  // TRAJLDP_BENCH_TEST_SUPPORT_H_

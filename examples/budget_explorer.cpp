@@ -1,0 +1,86 @@
+// Privacy-budget exploration: how does output quality change with ε?
+//
+//   ./build/examples/budget_explorer [epsilon...]
+//
+// Perturbs the same trajectory set under several budgets and prints the
+// normalized error per dimension plus the fraction of points whose
+// category is exactly preserved — the trade-off curve an operator would
+// consult before choosing ε (the paper recommends ε ≥ 1, §7.2.2).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "core/mechanism.h"
+#include "eval/dataset.h"
+#include "eval/normalized_error.h"
+#include "eval/range_queries.h"
+
+using namespace trajldp;
+
+int main(int argc, char** argv) {
+  std::vector<double> epsilons = {0.1, 0.5, 1.0, 2.0, 5.0, 10.0};
+  if (argc > 1) {
+    epsilons.clear();
+    for (int i = 1; i < argc; ++i) epsilons.push_back(std::atof(argv[i]));
+  }
+
+  eval::DatasetOptions options;
+  options.num_pois = 500;
+  options.num_trajectories = 150;
+  options.seed = 23;
+  auto dataset = eval::MakeTaxiFoursquareDataset(options);
+  if (!dataset.ok()) {
+    std::cerr << dataset.status() << "\n";
+    return 1;
+  }
+  std::cout << "Perturbing " << dataset->trajectories.size()
+            << " trajectories at each budget...\n\n";
+
+  TablePrinter table({"epsilon", "NE d_t (h)", "NE d_c", "NE d_s (km)",
+                      "category exact (%)"});
+  for (double epsilon : epsilons) {
+    core::NGramConfig config;
+    config.epsilon = epsilon;
+    config.reachability = dataset->reachability;
+    config.quality_sensitivity = 1.0;  // paper calibration (DESIGN.md)
+    auto mechanism =
+        core::NGramMechanism::Build(&dataset->db, dataset->time, config);
+    if (!mechanism.ok()) {
+      std::cerr << mechanism.status() << "\n";
+      return 1;
+    }
+    Rng rng(31);
+    model::TrajectorySet real, shared;
+    for (const auto& traj : dataset->trajectories) {
+      Rng user_rng = rng.Split();
+      auto out = mechanism->Perturb(traj, user_rng);
+      if (out.ok()) {
+        real.push_back(traj);
+        shared.push_back(std::move(*out));
+      }
+    }
+    auto ne = eval::ComputeNormalizedError(dataset->db, dataset->time, real,
+                                           shared);
+    auto exact = eval::PreservationRangeQuery(
+        dataset->db, dataset->time, real, shared,
+        eval::PrqDimension::kCategory, 0.0);
+    if (!ne.ok() || !exact.ok()) {
+      std::cerr << "metrics failed\n";
+      return 1;
+    }
+    table.AddRow({TablePrinter::Fmt(epsilon, 2),
+                  TablePrinter::Fmt(ne->time_hours, 2),
+                  TablePrinter::Fmt(ne->category, 2),
+                  TablePrinter::Fmt(ne->space_km, 2),
+                  TablePrinter::Fmt(*exact, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nAs ε grows the shared data converges to the truth; below "
+               "ε = 1 the noise dominates (the paper's recommendation is "
+               "ε ≥ 1).\n";
+  return 0;
+}

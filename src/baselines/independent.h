@@ -1,0 +1,69 @@
+#ifndef TRAJLDP_BASELINES_INDEPENDENT_H_
+#define TRAJLDP_BASELINES_INDEPENDENT_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/status_or.h"
+#include "core/mechanism.h"
+#include "core/time_smoother.h"
+#include "model/poi_database.h"
+#include "model/reachability.h"
+#include "model/semantic_distance.h"
+#include "model/trajectory.h"
+
+namespace trajldp::baselines {
+
+/// \brief Independent per-point perturbation (§5.9): each (POI, timestep)
+/// pair is perturbed with one EM draw over the (POI × timestep) domain at
+/// budget ε/|τ|, ignoring the relationship between consecutive points.
+///
+/// Two variants, matching the paper:
+///  * IndNoReach (respect_reachability = false) — unconstrained domain;
+///    the output is made realistic afterwards by shifting timesteps
+///    (time smoothing), which is post-processing.
+///  * IndReach (respect_reachability = true) — each point's domain is
+///    restricted to pairs that are open, later than the previous *output*
+///    point, and reachable from it. Conditioning on prior outputs costs
+///    no extra budget (sequential composition).
+class IndependentMechanism {
+ public:
+  struct Config {
+    double epsilon = 5.0;
+    model::ReachabilityConfig reachability;
+    /// false → IndNoReach, true → IndReach.
+    bool respect_reachability = false;
+    /// EM quality sensitivity (0 = strict per-point diameter; 1.0 =
+    /// paper calibration, see core::NgramDomain).
+    double quality_sensitivity = 0.0;
+  };
+
+  /// `db` must outlive the result.
+  static StatusOr<IndependentMechanism> Build(const model::PoiDatabase* db,
+                                              const model::TimeDomain& time,
+                                              Config config);
+
+  IndependentMechanism(IndependentMechanism&&) = default;
+  IndependentMechanism& operator=(IndependentMechanism&&) = default;
+
+  /// Perturbs one trajectory. Stage timings accumulate into `stages`
+  /// (perturb = the EM draws, other = time smoothing).
+  StatusOr<model::Trajectory> Perturb(
+      const model::Trajectory& input, Rng& rng,
+      core::StageBreakdown* stages = nullptr) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  IndependentMechanism() = default;
+
+  Config config_;
+  const model::PoiDatabase* db_ = nullptr;
+  model::TimeDomain time_;
+  std::unique_ptr<model::SemanticDistance> distance_;
+  std::unique_ptr<core::TimeSmoother> smoother_;
+};
+
+}  // namespace trajldp::baselines
+
+#endif  // TRAJLDP_BASELINES_INDEPENDENT_H_

@@ -1,0 +1,19 @@
+#include "baselines/ngram_no_hierarchy.h"
+
+namespace trajldp::baselines {
+
+StatusOr<PoiLevelNgramMechanism> BuildNGramNoH(const model::PoiDatabase* db,
+                                               const model::TimeDomain& time,
+                                               const NGramNoHConfig& config) {
+  PoiLevelNgramMechanism::Config inner;
+  inner.n = config.n;
+  inner.epsilon = config.epsilon;
+  inner.reachability = config.reachability;
+  inner.quality_sensitivity = config.quality_sensitivity;
+  // Semantic distance without the temporal term: time is perturbed
+  // separately, so the POI quality covers space and category only.
+  inner.poi_weights = {1.0, 0.0, 1.0};
+  return PoiLevelNgramMechanism::Build(db, time, inner);
+}
+
+}  // namespace trajldp::baselines

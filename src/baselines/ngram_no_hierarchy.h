@@ -1,0 +1,30 @@
+#ifndef TRAJLDP_BASELINES_NGRAM_NO_HIERARCHY_H_
+#define TRAJLDP_BASELINES_NGRAM_NO_HIERARCHY_H_
+
+#include "baselines/poi_level_ngram.h"
+
+namespace trajldp::baselines {
+
+/// \brief NGramNoH (§5.9): the n-gram mechanism applied directly at the
+/// POI level, without the STC hierarchy.
+///
+/// Time and POI dimensions are perturbed separately to keep W_n
+/// manageable, splitting the budget into ε′ = ε / (2|τ| + n − 1) shares.
+/// The POI quality function keeps the semantic (category) component —
+/// only the hierarchical decomposition is removed.
+struct NGramNoHConfig {
+  int n = 2;
+  double epsilon = 5.0;
+  model::ReachabilityConfig reachability;
+  /// EM quality sensitivity (0 = strict; 1.0 = paper calibration).
+  double quality_sensitivity = 0.0;
+};
+
+/// Builds the NGramNoH baseline over `db`.
+StatusOr<PoiLevelNgramMechanism> BuildNGramNoH(const model::PoiDatabase* db,
+                                               const model::TimeDomain& time,
+                                               const NGramNoHConfig& config);
+
+}  // namespace trajldp::baselines
+
+#endif  // TRAJLDP_BASELINES_NGRAM_NO_HIERARCHY_H_

@@ -1,0 +1,18 @@
+#include "baselines/phys_dist.h"
+
+namespace trajldp::baselines {
+
+StatusOr<PoiLevelNgramMechanism> BuildPhysDist(const model::PoiDatabase* db,
+                                               const model::TimeDomain& time,
+                                               const PhysDistConfig& config) {
+  PoiLevelNgramMechanism::Config inner;
+  inner.n = config.n;
+  inner.epsilon = config.epsilon;
+  inner.reachability = config.reachability;
+  inner.quality_sensitivity = config.quality_sensitivity;
+  // Physical distance only: no category term, no other external knowledge.
+  inner.poi_weights = {1.0, 0.0, 0.0};
+  return PoiLevelNgramMechanism::Build(db, time, inner);
+}
+
+}  // namespace trajldp::baselines

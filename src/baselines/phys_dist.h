@@ -1,0 +1,28 @@
+#ifndef TRAJLDP_BASELINES_PHYS_DIST_H_
+#define TRAJLDP_BASELINES_PHYS_DIST_H_
+
+#include "baselines/poi_level_ngram.h"
+
+namespace trajldp::baselines {
+
+/// \brief PhysDist (§5.9): the most basic distance-based perturbation —
+/// identical pipeline to NGramNoH but the quality function uses the
+/// physical distance between POIs only, ignoring all external knowledge
+/// (categories, opening hours). The paper uses it to isolate the value of
+/// folding public knowledge into the mechanism.
+struct PhysDistConfig {
+  int n = 2;
+  double epsilon = 5.0;
+  model::ReachabilityConfig reachability;
+  /// EM quality sensitivity (0 = strict; 1.0 = paper calibration).
+  double quality_sensitivity = 0.0;
+};
+
+/// Builds the PhysDist baseline over `db`.
+StatusOr<PoiLevelNgramMechanism> BuildPhysDist(const model::PoiDatabase* db,
+                                               const model::TimeDomain& time,
+                                               const PhysDistConfig& config);
+
+}  // namespace trajldp::baselines
+
+#endif  // TRAJLDP_BASELINES_PHYS_DIST_H_

@@ -1,0 +1,99 @@
+#ifndef TRAJLDP_BASELINES_POI_LEVEL_NGRAM_H_
+#define TRAJLDP_BASELINES_POI_LEVEL_NGRAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status_or.h"
+#include "core/mechanism.h"
+#include "core/time_smoother.h"
+#include "model/poi_database.h"
+#include "model/reachability.h"
+#include "model/semantic_distance.h"
+#include "model/trajectory.h"
+
+namespace trajldp::baselines {
+
+/// \brief POI-level n-gram perturbation without the STC hierarchy (§5.9).
+///
+/// This is the machinery behind the NGramNoH and PhysDist baselines: the
+/// time and POI dimensions are perturbed separately to keep W_n to a
+/// manageable size, which splits the budget into 2|τ| + n − 1 shares —
+/// |τ| per-point time perturbations plus |τ| + n − 1 overlapping POI
+/// n-gram perturbations. Reconstruction runs the same layered
+/// shortest-path optimisation as the hierarchical mechanism but over
+/// POIs, whose much larger candidate sets explain these baselines' large
+/// "Optimal Reconst." runtimes in Table 3.
+class PoiLevelNgramMechanism {
+ public:
+  struct Config {
+    int n = 2;
+    double epsilon = 5.0;
+    model::ReachabilityConfig reachability;
+    /// Distance weights for the POI quality function. NGramNoH uses
+    /// {spatial, 0, category} (time is perturbed separately); PhysDist
+    /// uses {spatial, 0, 0} — physical distance only, no external
+    /// knowledge.
+    model::SemanticDistance::Weights poi_weights{1.0, 0.0, 1.0};
+    /// Padding applied to the candidate MBR, in km.
+    double mbr_expand_km = 0.0;
+    /// EM quality sensitivity. 0 (default) = strict (n × distance
+    /// diameter for POI n-grams, 12 h for the time dimension); 1.0 =
+    /// paper calibration (see core::NgramDomain).
+    double quality_sensitivity = 0.0;
+  };
+
+  /// Pre-computes the POI reachability graph. `db` must outlive the
+  /// result.
+  static StatusOr<PoiLevelNgramMechanism> Build(const model::PoiDatabase* db,
+                                                const model::TimeDomain& time,
+                                                Config config);
+
+  PoiLevelNgramMechanism(PoiLevelNgramMechanism&&) = default;
+  PoiLevelNgramMechanism& operator=(PoiLevelNgramMechanism&&) = default;
+
+  /// Perturbs one trajectory; stage timings accumulate into `stages`.
+  StatusOr<model::Trajectory> Perturb(
+      const model::Trajectory& input, Rng& rng,
+      core::StageBreakdown* stages = nullptr) const;
+
+  /// ε′ for a trajectory of length `len` (= ε / (2·len + n_eff − 1)).
+  double EpsilonPerPerturbation(size_t len) const;
+
+  /// POIs reachable as a next step after `poi` (ascending order).
+  std::span<const uint32_t> Neighbors(model::PoiId poi) const {
+    return {targets_.data() + offsets_[poi],
+            targets_.data() + offsets_[poi + 1]};
+  }
+
+  size_t num_edges() const { return targets_.size(); }
+  double preprocessing_seconds() const { return preprocessing_seconds_; }
+  const Config& config() const { return config_; }
+
+ private:
+  PoiLevelNgramMechanism() = default;
+
+  // One EM draw over the timestep domain for input timestep t.
+  StatusOr<model::Timestep> PerturbTimestep(model::Timestep t, double eps,
+                                            Rng& rng) const;
+
+  // Viterbi over candidate POIs; node_error is row-major [len][#cand].
+  StatusOr<std::vector<model::PoiId>> ReconstructPois(
+      const std::vector<model::PoiId>& candidates,
+      const std::vector<double>& node_error, size_t len) const;
+
+  Config config_;
+  const model::PoiDatabase* db_ = nullptr;
+  model::TimeDomain time_;
+  std::unique_ptr<model::SemanticDistance> distance_;
+  std::unique_ptr<core::TimeSmoother> smoother_;
+  // CSR adjacency of the POI reachability graph (no self-edges).
+  std::vector<size_t> offsets_;
+  std::vector<uint32_t> targets_;
+  double preprocessing_seconds_ = 0.0;
+};
+
+}  // namespace trajldp::baselines
+
+#endif  // TRAJLDP_BASELINES_POI_LEVEL_NGRAM_H_

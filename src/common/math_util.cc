@@ -1,0 +1,60 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace trajldp {
+
+double LogSumExp(const std::vector<double>& xs) {
+  if (xs.empty()) return -std::numeric_limits<double>::infinity();
+  const double max_x = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(max_x)) return max_x;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - max_x);
+  return max_x + std::log(sum);
+}
+
+std::vector<double> Softmax(const std::vector<double>& logits) {
+  std::vector<double> out(logits.size(), 0.0);
+  if (logits.empty()) return out;
+  const double lse = LogSumExp(logits);
+  if (!std::isfinite(lse)) {
+    const double uniform = 1.0 / static_cast<double>(logits.size());
+    std::fill(out.begin(), out.end(), uniform);
+    return out;
+  }
+  for (size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - lse);
+  }
+  return out;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+std::vector<double> ZipfWeights(size_t n, double s) {
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return weights;
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+}  // namespace trajldp

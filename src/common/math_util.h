@@ -1,0 +1,31 @@
+#ifndef TRAJLDP_COMMON_MATH_UTIL_H_
+#define TRAJLDP_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace trajldp {
+
+/// Numerically stable log(sum_i exp(x_i)). Returns -inf for an empty input.
+double LogSumExp(const std::vector<double>& xs);
+
+/// Softmax of `logits` computed stably in-place into a new vector.
+/// The result sums to 1 unless all logits are -inf, in which case it is
+/// uniform.
+std::vector<double> Softmax(const std::vector<double>& logits);
+
+/// Mean of `xs`; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation of `xs`; 0 for fewer than two elements.
+double StdDev(const std::vector<double>& xs);
+
+/// Unnormalised Zipf weights: weight(i) = 1 / (i+1)^s for i in [0, n).
+std::vector<double> ZipfWeights(size_t n, double s);
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+}  // namespace trajldp
+
+#endif  // TRAJLDP_COMMON_MATH_UTIL_H_

@@ -1,0 +1,80 @@
+#ifndef TRAJLDP_COMMON_STATUS_OR_H_
+#define TRAJLDP_COMMON_STATUS_OR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace trajldp {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// The usual access pattern is:
+/// \code
+///   StatusOr<Foo> result = MakeFoo(...);
+///   if (!result.ok()) return result.status();
+///   Foo& foo = *result;
+/// \endcode
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design, mirrors absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}
+  /// Constructs from a non-OK status. Passing an OK status is a programming
+  /// error and is converted to an Internal error.
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed with OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status; OK when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Must not be called unless ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a StatusOr expression, otherwise assigns the
+/// unwrapped value to `lhs`.
+#define TRAJLDP_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto TRAJLDP_CONCAT_(_so_, __LINE__) = (expr);             \
+  if (!TRAJLDP_CONCAT_(_so_, __LINE__).ok())                 \
+    return TRAJLDP_CONCAT_(_so_, __LINE__).status();         \
+  lhs = std::move(TRAJLDP_CONCAT_(_so_, __LINE__)).value()
+#define TRAJLDP_CONCAT_INNER_(a, b) a##b
+#define TRAJLDP_CONCAT_(a, b) TRAJLDP_CONCAT_INNER_(a, b)
+
+}  // namespace trajldp
+
+#endif  // TRAJLDP_COMMON_STATUS_OR_H_

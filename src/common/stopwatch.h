@@ -1,0 +1,46 @@
+#ifndef TRAJLDP_COMMON_STOPWATCH_H_
+#define TRAJLDP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace trajldp {
+
+/// \brief Wall-clock stopwatch used by the benchmark harness to time
+/// individual mechanism stages (Table 3's per-stage breakdown).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates elapsed time across repeated start/stop cycles,
+/// e.g. total time spent in the perturbation stage over a trajectory set.
+class StageTimer {
+ public:
+  void Start() { watch_.Restart(); }
+  void Stop() { total_seconds_ += watch_.ElapsedSeconds(); }
+  double total_seconds() const { return total_seconds_; }
+  void Reset() { total_seconds_ = 0.0; }
+
+ private:
+  Stopwatch watch_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace trajldp
+
+#endif  // TRAJLDP_COMMON_STOPWATCH_H_

@@ -1,0 +1,41 @@
+#ifndef TRAJLDP_COMMON_TABLE_PRINTER_H_
+#define TRAJLDP_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace trajldp {
+
+/// \brief Formats rows of strings as an aligned plain-text table.
+///
+/// Used by the benchmark binaries to print the paper's tables in a shape
+/// that is easy to diff against the published numbers. Also emits a CSV
+/// rendering for machine consumption.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string Fmt(double value, int precision = 2);
+
+  /// Writes the aligned table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Writes comma-separated values (headers first) to `os`.
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace trajldp
+
+#endif  // TRAJLDP_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,84 @@
+#ifndef TRAJLDP_CORE_GLOBAL_MECHANISM_H_
+#define TRAJLDP_CORE_GLOBAL_MECHANISM_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status_or.h"
+#include "model/poi_database.h"
+#include "model/reachability.h"
+#include "model/semantic_distance.h"
+#include "model/trajectory.h"
+
+namespace trajldp::core {
+
+/// \brief The global solution (§5.1): model each whole trajectory as one
+/// point in high-dimensional space and run a single EM selection over the
+/// set S of all feasible trajectories.
+///
+/// S is every (POI, timestep) sequence of the input's length with strictly
+/// increasing timesteps, every visit during opening hours, and consecutive
+/// points reachable. |S| grows as |P|^{|τ|}·C(|T|,|τ|), so enumeration is
+/// refused beyond `max_candidates` — reproducing the paper's argument that
+/// the global solution is computationally infeasible outside toy domains.
+/// Permute-and-flip and subsampled-EM samplers are provided to reproduce
+/// §5.1's analysis of why those variants do not rescue it.
+class GlobalMechanism {
+ public:
+  enum class Sampler {
+    kExponential,
+    kPermuteAndFlip,
+    kSubsampledEm,
+  };
+
+  struct Config {
+    double epsilon = 5.0;
+    model::ReachabilityConfig reachability;
+    /// Enumeration is aborted with ResourceExhausted past this size.
+    size_t max_candidates = 2000000;
+    Sampler sampler = Sampler::kExponential;
+    /// Sample size for Sampler::kSubsampledEm.
+    size_t subsample_size = 10000;
+    /// EM quality sensitivity (0 = strict |τ| × point diameter; 1.0 =
+    /// paper calibration, see core::NgramDomain).
+    double quality_sensitivity = 0.0;
+  };
+
+  /// `db` must outlive the result.
+  static StatusOr<GlobalMechanism> Create(const model::PoiDatabase* db,
+                                          const model::TimeDomain& time,
+                                          Config config);
+
+  /// Enumerates S for trajectories of `length`. Fails with
+  /// ResourceExhausted when |S| exceeds max_candidates.
+  StatusOr<std::vector<model::Trajectory>> EnumerateCandidates(
+      size_t length) const;
+
+  /// |S| for the given length, counted without materialising S (memoised
+  /// recursion). Useful to demonstrate the explosion of §5.1.
+  double CountCandidates(size_t length) const;
+
+  /// Perturbs `input` with one EM (or variant) selection over S.
+  StatusOr<model::Trajectory> Perturb(const model::Trajectory& input,
+                                      Rng& rng) const;
+
+  /// Theorem 5.1 bound: with probability ≥ 1 − e^{−ζ},
+  /// d_τ(τ, τ̂) ≤ (2Δd_τ / ε)(ln|S| + ζ).
+  double UtilityBound(size_t length, double zeta) const;
+
+  const model::SemanticDistance& distance() const { return distance_; }
+
+ private:
+  GlobalMechanism(const model::PoiDatabase* db, const model::TimeDomain& time,
+                  Config config);
+
+  const model::PoiDatabase* db_;
+  model::TimeDomain time_;
+  Config config_;
+  model::Reachability reach_;
+  model::SemanticDistance distance_;
+};
+
+}  // namespace trajldp::core
+
+#endif  // TRAJLDP_CORE_GLOBAL_MECHANISM_H_

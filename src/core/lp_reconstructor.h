@@ -1,0 +1,36 @@
+#ifndef TRAJLDP_CORE_LP_RECONSTRUCTOR_H_
+#define TRAJLDP_CORE_LP_RECONSTRUCTOR_H_
+
+#include "core/reconstruction.h"
+#include "lp/simplex.h"
+
+namespace trajldp::core {
+
+/// \brief Paper-faithful LP solver for the §5.5 reconstruction.
+///
+/// Builds the ILP (10)–(14) in its flow form: one variable x_{i,w} per
+/// position i and feasible candidate bigram w, with unit supply at the
+/// first layer and flow conservation per region between layers (which is
+/// exactly the continuity constraints (11)–(12); (13)–(14) become the
+/// supply/conservation right-hand sides). Shortest-path polytopes have
+/// integral vertices, so the simplex optimum solves the ILP exactly.
+///
+/// O(L · E_cand) variables make this slower than ViterbiReconstructor —
+/// the paper's Table 3 shows >85% of mechanism runtime in the LP — so it
+/// is intended for validation and the reconstruction ablation bench.
+class LpReconstructor : public Reconstructor {
+ public:
+  LpReconstructor() = default;
+  explicit LpReconstructor(lp::SimplexSolver::Options options)
+      : solver_(options) {}
+
+  StatusOr<region::RegionTrajectory> Reconstruct(
+      const ReconstructionProblem& problem) const override;
+
+ private:
+  lp::SimplexSolver solver_;
+};
+
+}  // namespace trajldp::core
+
+#endif  // TRAJLDP_CORE_LP_RECONSTRUCTOR_H_

@@ -1,0 +1,134 @@
+#include "core/mechanism.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "region/region_index.h"
+
+namespace trajldp::core {
+
+StageBreakdown& StageBreakdown::operator+=(const StageBreakdown& other) {
+  perturb_seconds += other.perturb_seconds;
+  reconstruct_prep_seconds += other.reconstruct_prep_seconds;
+  optimal_reconstruct_seconds += other.optimal_reconstruct_seconds;
+  other_seconds += other.other_seconds;
+  return *this;
+}
+
+StatusOr<NGramMechanism> NGramMechanism::Build(const model::PoiDatabase* db,
+                                               const model::TimeDomain& time,
+                                               NGramConfig config) {
+  if (config.n < 1) {
+    return Status::InvalidArgument("n must be >= 1");
+  }
+  if (!(config.epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+
+  NGramMechanism mech;
+  mech.config_ = config;
+  mech.db_ = db;
+  mech.time_ = time;
+
+  Stopwatch preprocessing;
+  auto decomp =
+      region::StcDecomposition::Build(db, time, config.decomposition);
+  if (!decomp.ok()) return decomp.status();
+  mech.decomp_ =
+      std::make_unique<region::StcDecomposition>(std::move(*decomp));
+  mech.distance_ =
+      std::make_unique<region::RegionDistance>(mech.decomp_.get());
+  mech.graph_ = std::make_unique<region::RegionGraph>(
+      region::RegionGraph::Build(*mech.decomp_, config.reachability));
+  mech.domain_ = std::make_unique<NgramDomain>(
+      mech.graph_.get(), mech.distance_.get(), config.quality_sensitivity);
+  mech.perturber_ = std::make_unique<NgramPerturber>(
+      mech.domain_.get(),
+      NgramPerturber::Config{config.n, config.epsilon});
+  mech.reachability_ = std::make_unique<model::Reachability>(
+      db, time, config.reachability);
+  mech.poi_reconstructor_ = std::make_unique<PoiReconstructor>(
+      mech.decomp_.get(), mech.reachability_.get(), config.poi);
+  if (config.use_lp_reconstruction) {
+    mech.reconstructor_ = std::make_unique<LpReconstructor>();
+  } else {
+    mech.reconstructor_ = std::make_unique<ViterbiReconstructor>();
+  }
+  mech.preprocessing_seconds_ = preprocessing.ElapsedSeconds();
+  return mech;
+}
+
+StatusOr<region::RegionTrajectory> NGramMechanism::PerturbRegions(
+    const region::RegionTrajectory& tau, Rng& rng,
+    StageBreakdown* stages) const {
+  Stopwatch watch;
+
+  // Stage: overlapping n-gram perturbation (the only budgeted stage).
+  auto z = perturber_->Perturb(tau, rng);
+  if (!z.ok()) return z.status();
+  if (stages != nullptr) stages->perturb_seconds += watch.ElapsedSeconds();
+
+  // Stage: reconstruction prep — R_mbr candidates + error matrix.
+  watch.Restart();
+  std::vector<region::RegionId> observed;
+  for (const PerturbedNgram& gram : *z) {
+    observed.insert(observed.end(), gram.regions.begin(),
+                    gram.regions.end());
+  }
+  std::sort(observed.begin(), observed.end());
+  observed.erase(std::unique(observed.begin(), observed.end()),
+                 observed.end());
+  std::vector<region::RegionId> candidates = region::MbrCandidateRegions(
+      *decomp_, observed, config_.mbr_expand_km);
+  auto problem = ReconstructionProblem::Create(
+      distance_.get(), graph_.get(), tau.size(), *z, std::move(candidates));
+  if (!problem.ok()) return problem.status();
+  if (stages != nullptr) {
+    stages->reconstruct_prep_seconds += watch.ElapsedSeconds();
+  }
+
+  // Stage: optimal region-level reconstruction.
+  watch.Restart();
+  auto reconstructed = reconstructor_->Reconstruct(*problem);
+  if (!reconstructed.ok() &&
+      reconstructed.status().code() == StatusCode::kFailedPrecondition) {
+    // The MBR candidate set admitted no feasible path (possible when the
+    // perturbed n-grams are spatially scattered). Retry over all regions;
+    // this is pure post-processing, so privacy is unaffected.
+    std::vector<region::RegionId> all(decomp_->num_regions());
+    for (size_t i = 0; i < all.size(); ++i) {
+      all[i] = static_cast<region::RegionId>(i);
+    }
+    auto full_problem = ReconstructionProblem::Create(
+        distance_.get(), graph_.get(), tau.size(), *z, std::move(all));
+    if (!full_problem.ok()) return full_problem.status();
+    reconstructed = reconstructor_->Reconstruct(*full_problem);
+  }
+  if (!reconstructed.ok()) return reconstructed.status();
+  if (stages != nullptr) {
+    stages->optimal_reconstruct_seconds += watch.ElapsedSeconds();
+  }
+  return reconstructed;
+}
+
+StatusOr<model::Trajectory> NGramMechanism::Perturb(
+    const model::Trajectory& input, Rng& rng, StageBreakdown* stages) const {
+  Stopwatch watch;
+  TRAJLDP_RETURN_NOT_OK(input.Validate(time_));
+  auto tau = decomp_->ToRegionTrajectory(input);
+  if (!tau.ok()) return tau.status();
+  if (stages != nullptr) stages->other_seconds += watch.ElapsedSeconds();
+
+  auto regions = PerturbRegions(*tau, rng, stages);
+  if (!regions.ok()) return regions.status();
+
+  watch.Restart();
+  auto result = poi_reconstructor_->Reconstruct(*regions, rng);
+  if (!result.ok()) return result.status();
+  if (stages != nullptr) stages->other_seconds += watch.ElapsedSeconds();
+  return std::move(result->trajectory);
+}
+
+}  // namespace trajldp::core

@@ -1,0 +1,123 @@
+#ifndef TRAJLDP_CORE_MECHANISM_H_
+#define TRAJLDP_CORE_MECHANISM_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/status_or.h"
+#include "core/lp_reconstructor.h"
+#include "core/ngram_domain.h"
+#include "core/ngram_perturber.h"
+#include "core/poi_reconstructor.h"
+#include "core/viterbi_reconstructor.h"
+#include "model/poi_database.h"
+#include "model/reachability.h"
+#include "region/decomposition.h"
+#include "region/region_distance.h"
+#include "region/region_graph.h"
+
+namespace trajldp::core {
+
+/// \brief Wall-clock breakdown of one perturbation, mirroring Table 3's
+/// columns (Perturb / Reconst. Prep / Optimal Reconst. / Other).
+struct StageBreakdown {
+  double perturb_seconds = 0.0;
+  double reconstruct_prep_seconds = 0.0;
+  double optimal_reconstruct_seconds = 0.0;
+  /// Region conversion, POI-level reconstruction, smoothing, overheads.
+  double other_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return perturb_seconds + reconstruct_prep_seconds +
+           optimal_reconstruct_seconds + other_seconds;
+  }
+
+  StageBreakdown& operator+=(const StageBreakdown& other);
+};
+
+/// \brief Configuration of the full NGram mechanism.
+struct NGramConfig {
+  /// n-gram length (bigrams recommended, §5.8).
+  int n = 2;
+  /// Total per-trajectory privacy budget ε (the paper's default is 5).
+  double epsilon = 5.0;
+  /// STC decomposition settings (§5.3, §6.2 defaults).
+  region::DecompositionConfig decomposition;
+  /// Reachability constraint θ (§4.1).
+  model::ReachabilityConfig reachability;
+  /// POI-level reconstruction settings (§5.6).
+  PoiReconstructor::Config poi;
+  /// Solve the reconstruction via the paper's LP instead of the exact DP.
+  bool use_lp_reconstruction = false;
+  /// Optional padding of the R_mbr candidate rectangle, in km.
+  double mbr_expand_km = 0.0;
+  /// EM quality sensitivity Δd_w. 0 (default) = the strict value
+  /// n × (region-distance diameter) for which the ε-LDP proof holds.
+  /// Setting 1.0 reproduces the paper's published error magnitudes
+  /// ("paper calibration"; see NgramDomain and DESIGN.md).
+  double quality_sensitivity = 0.0;
+};
+
+/// \brief The paper's primary contribution: the hierarchical n-gram
+/// ε-LDP trajectory perturbation mechanism (Figure 1, §5.2–5.6).
+///
+/// Build() runs the public pre-processing (STC decomposition, region
+/// reachability graph) once; Perturb() then runs the four per-trajectory
+/// stages: region conversion → overlapping n-gram perturbation → optimal
+/// region-level reconstruction → POI-level reconstruction. Only the
+/// perturbation stage touches the privacy budget; everything else is
+/// public knowledge or post-processing (Theorem 5.3: the output is
+/// ε-LDP).
+class NGramMechanism {
+ public:
+  /// Runs pre-processing and assembles the mechanism. `db` must outlive
+  /// the result.
+  static StatusOr<NGramMechanism> Build(const model::PoiDatabase* db,
+                                        const model::TimeDomain& time,
+                                        NGramConfig config);
+
+  NGramMechanism(NGramMechanism&&) = default;
+  NGramMechanism& operator=(NGramMechanism&&) = default;
+
+  /// Perturbs one trajectory end-to-end. When `stages` is non-null the
+  /// per-stage wall-clock times are accumulated into it.
+  StatusOr<model::Trajectory> Perturb(const model::Trajectory& input,
+                                      Rng& rng,
+                                      StageBreakdown* stages = nullptr) const;
+
+  /// Region-level pipeline only (perturb + optimal reconstruction),
+  /// exposed for tests and diagnostics.
+  StatusOr<region::RegionTrajectory> PerturbRegions(
+      const region::RegionTrajectory& tau, Rng& rng,
+      StageBreakdown* stages = nullptr) const;
+
+  const NGramConfig& config() const { return config_; }
+  const region::StcDecomposition& decomposition() const { return *decomp_; }
+  const region::RegionGraph& graph() const { return *graph_; }
+  const region::RegionDistance& distance() const { return *distance_; }
+  const NgramDomain& domain() const { return *domain_; }
+  const model::Reachability& reachability() const { return *reachability_; }
+
+  /// Pre-processing wall-clock seconds (Figure 7).
+  double preprocessing_seconds() const { return preprocessing_seconds_; }
+
+ private:
+  NGramMechanism() = default;
+
+  NGramConfig config_;
+  const model::PoiDatabase* db_ = nullptr;
+  model::TimeDomain time_;
+  std::unique_ptr<region::StcDecomposition> decomp_;
+  std::unique_ptr<region::RegionDistance> distance_;
+  std::unique_ptr<region::RegionGraph> graph_;
+  std::unique_ptr<NgramDomain> domain_;
+  std::unique_ptr<NgramPerturber> perturber_;
+  std::unique_ptr<model::Reachability> reachability_;
+  std::unique_ptr<PoiReconstructor> poi_reconstructor_;
+  std::unique_ptr<Reconstructor> reconstructor_;
+  double preprocessing_seconds_ = 0.0;
+};
+
+}  // namespace trajldp::core
+
+#endif  // TRAJLDP_CORE_MECHANISM_H_

@@ -1,0 +1,26 @@
+#include "core/ngram.h"
+
+#include <sstream>
+
+namespace trajldp::core {
+
+std::string PerturbedNgram::DebugString() const {
+  std::ostringstream os;
+  os << "z(" << a << "," << b << ")={";
+  for (size_t i = 0; i < regions.size(); ++i) {
+    if (i > 0) os << ",";
+    os << regions[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+size_t CoverageCount(const PerturbedNgramSet& z, size_t i) {
+  size_t count = 0;
+  for (const PerturbedNgram& gram : z) {
+    if (gram.Covers(i)) ++count;
+  }
+  return count;
+}
+
+}  // namespace trajldp::core

@@ -1,0 +1,41 @@
+#ifndef TRAJLDP_CORE_NGRAM_H_
+#define TRAJLDP_CORE_NGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "region/stc_region.h"
+
+namespace trajldp::core {
+
+/// \brief A perturbed n-gram z(a, b) = {r̂_a, ..., r̂_b} (§5.4).
+///
+/// `a` and `b` are 1-based trajectory indices matching the paper's
+/// notation, inclusive on both ends; regions.size() == b - a + 1.
+struct PerturbedNgram {
+  size_t a = 0;
+  size_t b = 0;
+  std::vector<region::RegionId> regions;
+
+  size_t length() const { return regions.size(); }
+
+  /// True when this n-gram covers trajectory position `i` (1-based).
+  bool Covers(size_t i) const { return a <= i && i <= b; }
+
+  /// The region this n-gram assigns to position `i` (1-based, must be
+  /// covered).
+  region::RegionId RegionAt(size_t i) const { return regions[i - a]; }
+
+  std::string DebugString() const;
+};
+
+/// The perturbation output Z: all perturbed n-grams of one trajectory.
+using PerturbedNgramSet = std::vector<PerturbedNgram>;
+
+/// Number of perturbed n-grams in Z covering position `i` (1-based).
+size_t CoverageCount(const PerturbedNgramSet& z, size_t i);
+
+}  // namespace trajldp::core
+
+#endif  // TRAJLDP_CORE_NGRAM_H_

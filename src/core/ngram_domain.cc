@@ -1,0 +1,111 @@
+#include "core/ngram_domain.h"
+
+#include <cmath>
+#include <string>
+
+namespace trajldp::core {
+
+using region::RegionId;
+
+StatusOr<std::vector<uint32_t>> SamplePathEm(
+    size_t num_nodes,
+    const std::function<std::span<const uint32_t>(uint32_t)>& neighbors,
+    const std::vector<std::vector<double>>& weights, Rng& rng) {
+  const size_t n = weights.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot sample an empty path");
+  }
+  if (num_nodes == 0) {
+    return Status::FailedPrecondition("graph is empty");
+  }
+
+  // Backward recursion: beta[k][v] = weights[k][v] · Σ_{u∈adj(v)}
+  // beta[k+1][u] = total weight of all feasible suffixes starting at v in
+  // slot k. beta[0] then scores complete walks by their first node.
+  std::vector<std::vector<double>> beta(n);
+  beta[n - 1] = weights[n - 1];
+  for (size_t k = n - 1; k-- > 0;) {
+    beta[k].assign(num_nodes, 0.0);
+    for (uint32_t v = 0; v < num_nodes; ++v) {
+      double suffix = 0.0;
+      for (uint32_t u : neighbors(v)) suffix += beta[k + 1][u];
+      beta[k][v] = weights[k][v] * suffix;
+    }
+  }
+
+  // Forward sampling: first node ∝ beta[0]; each next node among the
+  // previous one's neighbours ∝ beta[k].
+  std::vector<uint32_t> out(n);
+  {
+    const size_t pick = rng.Discrete(beta[0]);
+    if (pick >= num_nodes) {
+      return Status::FailedPrecondition(
+          "the graph admits no feasible walk of length " + std::to_string(n));
+    }
+    out[0] = static_cast<uint32_t>(pick);
+  }
+  for (size_t k = 1; k < n; ++k) {
+    const auto adj = neighbors(out[k - 1]);
+    std::vector<double> local(adj.size());
+    for (size_t j = 0; j < adj.size(); ++j) local[j] = beta[k][adj[j]];
+    const size_t pick = rng.Discrete(local);
+    if (pick >= adj.size()) {
+      return Status::Internal("inconsistent backward weights in path EM");
+    }
+    out[k] = adj[pick];
+  }
+  return out;
+}
+
+NgramDomain::NgramDomain(const region::RegionGraph* graph,
+                         const region::RegionDistance* distance,
+                         double sensitivity_override)
+    : graph_(graph),
+      distance_(distance),
+      sensitivity_override_(sensitivity_override) {}
+
+double NgramDomain::Sensitivity(int n) const {
+  if (sensitivity_override_ > 0.0) return sensitivity_override_;
+  return static_cast<double>(n) * distance_->MaxDistance();
+}
+
+double NgramDomain::UtilityBound(int n, double epsilon, double zeta) const {
+  const double size = DomainSize(n);
+  return 2.0 * Sensitivity(n) / epsilon * (std::log(size) + zeta);
+}
+
+StatusOr<std::vector<RegionId>> NgramDomain::Sample(
+    const std::vector<RegionId>& input, double epsilon, Rng& rng) const {
+  const int n = static_cast<int>(input.size());
+  if (n == 0) {
+    return Status::InvalidArgument("cannot perturb an empty n-gram");
+  }
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  const size_t num_regions = graph_->num_regions();
+  if (num_regions == 0) {
+    return Status::FailedPrecondition("region graph is empty");
+  }
+
+  // Per-slot EM weights: weight_k[r] = exp(−ε′ · d(x_k, r) / (2Δd_w)),
+  // with Δd_w = n·Δd the n-gram sensitivity — this is exactly eq. 6 in
+  // factored form.
+  const double scale = epsilon / (2.0 * Sensitivity(n));
+  std::vector<std::vector<double>> weight(n);
+  for (int k = 0; k < n; ++k) {
+    std::vector<double> d = distance_->ToAll(input[k]);
+    weight[k].resize(num_regions);
+    for (size_t r = 0; r < num_regions; ++r) {
+      weight[k][r] = std::exp(-scale * d[r]);
+    }
+  }
+
+  auto result = SamplePathEm(
+      num_regions,
+      [this](uint32_t v) { return graph_->Neighbors(v); }, weight, rng);
+  if (!result.ok()) return result.status();
+  return std::vector<RegionId>(result->begin(), result->end());
+}
+
+}  // namespace trajldp::core

@@ -1,0 +1,149 @@
+#include "core/poi_reconstructor.h"
+
+#include <algorithm>
+
+namespace trajldp::core {
+
+using model::PoiId;
+using model::Timestep;
+
+PoiReconstructor::PoiReconstructor(const region::StcDecomposition* decomp,
+                                   const model::Reachability* reach,
+                                   Config config)
+    : decomp_(decomp),
+      reach_(reach),
+      config_(config),
+      smoother_(&decomp->db(), decomp->time(), reach->config()) {}
+
+void PoiReconstructor::SampleCandidate(
+    const region::RegionTrajectory& regions, Rng& rng,
+    std::vector<PoiId>* pois, std::vector<Timestep>* times) const {
+  const model::TimeDomain& time = decomp_->time();
+  pois->resize(regions.size());
+  times->resize(regions.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const region::StcRegion& r = decomp_->region(regions[i]);
+    (*pois)[i] = r.pois[rng.UniformUint64(r.pois.size())];
+    const Timestep first = time.MinuteToTimestep(r.time.begin);
+    const Timestep last = time.MinuteToTimestep(r.time.end - 1);
+    (*times)[i] =
+        first + static_cast<Timestep>(rng.UniformUint64(last - first + 1));
+  }
+}
+
+bool PoiReconstructor::IsFeasible(const std::vector<PoiId>& pois,
+                                  const std::vector<Timestep>& times) const {
+  const model::TimeDomain& time = decomp_->time();
+  for (size_t i = 0; i < pois.size(); ++i) {
+    if (i > 0 && times[i] <= times[i - 1]) return false;
+    const int minute = time.TimestepToMinute(times[i]);
+    if (!decomp_->db().poi(pois[i]).hours.IsOpenAtMinute(minute)) {
+      return false;
+    }
+    if (i > 0 && !reach_->IsReachableBetween(pois[i - 1], pois[i],
+                                             times[i - 1], times[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PoiReconstructor::SampleGuided(const region::RegionTrajectory& regions,
+                                    Rng& rng, std::vector<PoiId>* pois,
+                                    std::vector<Timestep>* times) const {
+  const model::TimeDomain& time = decomp_->time();
+  pois->assign(regions.size(), model::kInvalidPoi);
+  times->assign(regions.size(), 0);
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const region::StcRegion& r = decomp_->region(regions[i]);
+    const Timestep first = time.MinuteToTimestep(r.time.begin);
+    const Timestep last = time.MinuteToTimestep(r.time.end - 1);
+    bool placed = false;
+    for (int attempt = 0; attempt < config_.guided_step_retries; ++attempt) {
+      // Timestep strictly after the previous point, within the region's
+      // interval.
+      const Timestep lo =
+          i == 0 ? first : std::max<Timestep>(first, (*times)[i - 1] + 1);
+      if (lo > last) break;
+      const Timestep t =
+          lo + static_cast<Timestep>(rng.UniformUint64(last - lo + 1));
+      const PoiId p = r.pois[rng.UniformUint64(r.pois.size())];
+      if (!decomp_->db().poi(p).hours.IsOpenAtMinute(
+              time.TimestepToMinute(t))) {
+        continue;
+      }
+      if (i > 0 && !reach_->IsReachableBetween((*pois)[i - 1], p,
+                                               (*times)[i - 1], t)) {
+        continue;
+      }
+      (*pois)[i] = p;
+      (*times)[i] = t;
+      placed = true;
+      break;
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+StatusOr<PoiReconstructor::Result> PoiReconstructor::Reconstruct(
+    const region::RegionTrajectory& regions, Rng& rng) const {
+  if (regions.empty()) {
+    return Status::InvalidArgument("region trajectory is empty");
+  }
+  for (region::RegionId id : regions) {
+    if (id >= decomp_->num_regions()) {
+      return Status::InvalidArgument("region id out of range");
+    }
+  }
+
+  Result result;
+  std::vector<PoiId> pois;
+  std::vector<Timestep> times;
+
+  if (config_.guided) {
+    for (int attempt = 0; attempt < config_.gamma; ++attempt) {
+      ++result.attempts;
+      if (SampleGuided(regions, rng, &pois, &times) &&
+          IsFeasible(pois, times)) {
+        result.trajectory = model::Trajectory([&] {
+          std::vector<model::TrajectoryPoint> pts(regions.size());
+          for (size_t i = 0; i < pts.size(); ++i) {
+            pts[i] = {pois[i], times[i]};
+          }
+          return pts;
+        }());
+        return result;
+      }
+    }
+  } else {
+    for (int attempt = 0; attempt < config_.gamma; ++attempt) {
+      ++result.attempts;
+      SampleCandidate(regions, rng, &pois, &times);
+      if (IsFeasible(pois, times)) {
+        std::vector<model::TrajectoryPoint> pts(regions.size());
+        for (size_t i = 0; i < pts.size(); ++i) {
+          pts[i] = {pois[i], times[i]};
+        }
+        result.trajectory = model::Trajectory(std::move(pts));
+        return result;
+      }
+    }
+  }
+
+  // Sampling failed: fix one sequence and smooth its times (§5.6). Sort
+  // the sampled times first so the smoother shifts as little as possible.
+  SampleCandidate(regions, rng, &pois, &times);
+  std::sort(times.begin(), times.end());
+  auto smoothed = smoother_.Smooth(pois, times);
+  if (!smoothed.ok()) return smoothed.status();
+  std::vector<model::TrajectoryPoint> pts(regions.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    pts[i] = {pois[i], (*smoothed)[i]};
+  }
+  result.trajectory = model::Trajectory(std::move(pts));
+  result.smoothed = true;
+  return result;
+}
+
+}  // namespace trajldp::core

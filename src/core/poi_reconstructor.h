@@ -1,0 +1,79 @@
+#ifndef TRAJLDP_CORE_POI_RECONSTRUCTOR_H_
+#define TRAJLDP_CORE_POI_RECONSTRUCTOR_H_
+
+#include "common/rng.h"
+#include "common/status_or.h"
+#include "core/time_smoother.h"
+#include "model/reachability.h"
+#include "model/trajectory.h"
+#include "region/decomposition.h"
+
+namespace trajldp::core {
+
+/// \brief POI-level trajectory reconstruction (§5.6, Figure 1 step 4).
+///
+/// Converts an optimal STC region sequence back into a concrete
+/// (POI, timestep) trajectory: sample a candidate uniformly within each
+/// region, keep it if it is feasible (strictly increasing times, every
+/// POI open, consecutive points reachable), and retry up to γ times.
+/// When sampling fails — the perturbed region sequence corresponds to no
+/// feasible trajectory — fix one sampled sequence and smooth its
+/// timesteps (TimeSmoother), exactly as the paper prescribes.
+class PoiReconstructor {
+ public:
+  struct Config {
+    /// γ: the retry threshold; 50,000 per §5.6 ("rarely reached").
+    int gamma = 50000;
+    /// Extension (§8-adjacent): sample left-to-right, restricting each
+    /// step to reachable POIs and later timesteps. Cuts rejections by
+    /// orders of magnitude on dense regions; off by default to match the
+    /// paper's mechanism.
+    bool guided = false;
+    /// Per-step retry count for the guided sampler.
+    int guided_step_retries = 16;
+  };
+
+  /// All pointees must outlive this object.
+  PoiReconstructor(const region::StcDecomposition* decomp,
+                   const model::Reachability* reach, Config config);
+
+  struct Result {
+    model::Trajectory trajectory;
+    /// Number of whole-trajectory sampling attempts used.
+    size_t attempts = 0;
+    /// True when the smoothing fallback produced the output. Smoothed
+    /// outputs guarantee time order and reachability but may leave a
+    /// region's time interval (§5.6).
+    bool smoothed = false;
+  };
+
+  /// Reconstructs a POI-level trajectory for `regions`.
+  StatusOr<Result> Reconstruct(const region::RegionTrajectory& regions,
+                               Rng& rng) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  // Draws one candidate (pois, timesteps) uniformly from the regions.
+  void SampleCandidate(const region::RegionTrajectory& regions, Rng& rng,
+                       std::vector<model::PoiId>* pois,
+                       std::vector<model::Timestep>* times) const;
+
+  // Left-to-right constrained sampler; returns false when a step cannot
+  // be completed within the retry allowance.
+  bool SampleGuided(const region::RegionTrajectory& regions, Rng& rng,
+                    std::vector<model::PoiId>* pois,
+                    std::vector<model::Timestep>* times) const;
+
+  bool IsFeasible(const std::vector<model::PoiId>& pois,
+                  const std::vector<model::Timestep>& times) const;
+
+  const region::StcDecomposition* decomp_;
+  const model::Reachability* reach_;
+  Config config_;
+  TimeSmoother smoother_;
+};
+
+}  // namespace trajldp::core
+
+#endif  // TRAJLDP_CORE_POI_RECONSTRUCTOR_H_

@@ -1,0 +1,43 @@
+#include "core/release_session.h"
+
+#include <cmath>
+#include <string>
+
+namespace trajldp::core {
+
+namespace {
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+StatusOr<ReleaseSession> ReleaseSession::Create(
+    const NGramMechanism* mechanism, double lifetime_epsilon) {
+  if (mechanism == nullptr) {
+    return Status::InvalidArgument("mechanism must not be null");
+  }
+  if (!(lifetime_epsilon > 0.0) || !std::isfinite(lifetime_epsilon)) {
+    return Status::InvalidArgument("lifetime budget must be positive");
+  }
+  return ReleaseSession(mechanism, lifetime_epsilon);
+}
+
+bool ReleaseSession::CanShare() const {
+  return spent_ + mechanism_->config().epsilon <= lifetime_ * (1.0 + kSlack);
+}
+
+StatusOr<model::Trajectory> ReleaseSession::Share(
+    const model::Trajectory& trajectory, Rng& rng) {
+  const double epsilon = mechanism_->config().epsilon;
+  if (!CanShare()) {
+    return Status::ResourceExhausted(
+        "lifetime privacy budget exhausted: spent " + std::to_string(spent_) +
+        " of " + std::to_string(lifetime_) + "; another release of ε = " +
+        std::to_string(epsilon) + " would exceed it");
+  }
+  auto shared = mechanism_->Perturb(trajectory, rng);
+  if (!shared.ok()) return shared.status();
+  spent_ += epsilon;
+  ++releases_;
+  return shared;
+}
+
+}  // namespace trajldp::core

@@ -1,0 +1,61 @@
+#ifndef TRAJLDP_CORE_RELEASE_SESSION_H_
+#define TRAJLDP_CORE_RELEASE_SESSION_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/status_or.h"
+#include "core/mechanism.h"
+
+namespace trajldp::core {
+
+/// \brief Multi-release privacy accounting for one user (§5.7).
+///
+/// The paper's core setting is "one user, one trajectory". When a user
+/// shares k trajectories (say, one per day), sequential composition makes
+/// the combined release (kε)-LDP. This session wraps an NGramMechanism
+/// with a lifetime budget: each Share() spends the mechanism's ε and the
+/// session refuses to exceed the lifetime cap — the guard rail §5.7 says
+/// deployments need ("assuming each of k trajectories is assigned a
+/// privacy budget of ε, the resultant release provides (kε)-LDP").
+///
+/// Covers the §8 continuous-sharing adaptation as well: configure the
+/// mechanism with n = 1 and share single-point trajectories.
+class ReleaseSession {
+ public:
+  /// \param mechanism  the per-release mechanism (not owned).
+  /// \param lifetime_epsilon  total privacy loss this user tolerates.
+  static StatusOr<ReleaseSession> Create(const NGramMechanism* mechanism,
+                                         double lifetime_epsilon);
+
+  /// Perturbs and releases one trajectory, spending the mechanism's ε.
+  /// Fails with ResourceExhausted once the lifetime budget cannot cover
+  /// another release — before touching the data.
+  StatusOr<model::Trajectory> Share(const model::Trajectory& trajectory,
+                                    Rng& rng);
+
+  /// Total ε consumed so far (= releases × per-release ε).
+  double spent_epsilon() const { return spent_; }
+
+  /// ε still available.
+  double remaining_epsilon() const { return lifetime_ - spent_; }
+
+  /// Number of successful releases.
+  size_t releases() const { return releases_; }
+
+  /// True when at least one more release fits in the budget.
+  bool CanShare() const;
+
+ private:
+  ReleaseSession(const NGramMechanism* mechanism, double lifetime_epsilon)
+      : mechanism_(mechanism), lifetime_(lifetime_epsilon) {}
+
+  const NGramMechanism* mechanism_;
+  double lifetime_;
+  double spent_ = 0.0;
+  size_t releases_ = 0;
+};
+
+}  // namespace trajldp::core
+
+#endif  // TRAJLDP_CORE_RELEASE_SESSION_H_

@@ -1,0 +1,65 @@
+#include "core/time_smoother.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trajldp::core {
+
+TimeSmoother::TimeSmoother(const model::PoiDatabase* db,
+                           const model::TimeDomain& time,
+                           model::ReachabilityConfig reach)
+    : db_(db), time_(time), reach_(reach) {}
+
+int TimeSmoother::MinGapTimesteps(model::PoiId from, model::PoiId to) const {
+  if (reach_.unconstrained()) return 1;
+  const double km = db_->DistanceKm(from, to);
+  const double minutes = km / reach_.speed_kmh * 60.0;
+  const int steps = static_cast<int>(
+      std::ceil(minutes / time_.granularity_minutes() - 1e-9));
+  return std::max(steps, 1);
+}
+
+StatusOr<std::vector<model::Timestep>> TimeSmoother::Smooth(
+    const std::vector<model::PoiId>& pois,
+    std::vector<model::Timestep> initial) const {
+  if (pois.empty() || pois.size() != initial.size()) {
+    return Status::InvalidArgument(
+        "poi and timestep sequences must be non-empty and equal-length");
+  }
+  const size_t len = pois.size();
+  const model::Timestep num_ts = time_.num_timesteps();
+
+  std::vector<int> gaps(len, 0);
+  int total_gap = 0;
+  for (size_t i = 1; i < len; ++i) {
+    gaps[i] = MinGapTimesteps(pois[i - 1], pois[i]);
+    total_gap += gaps[i];
+  }
+  if (total_gap > num_ts - 1) {
+    return Status::FailedPrecondition(
+        "POI sequence cannot be scheduled within one day even when packed "
+        "as tightly as reachability allows");
+  }
+
+  // Forward pass: respect lower bounds while staying close to `initial`.
+  // Values may temporarily run past the end of the day; the sequence is
+  // strictly increasing, so only the tail can overflow.
+  std::vector<model::Timestep> out(len);
+  out[0] = std::clamp<model::Timestep>(initial[0], 0, num_ts - 1);
+  for (size_t i = 1; i < len; ++i) {
+    out[i] = std::max(initial[i], out[i - 1] + gaps[i]);
+  }
+  // Backward pass: pull any overflow back as little as possible. The
+  // total-gap check above guarantees out[0] stays non-negative.
+  if (out[len - 1] > num_ts - 1) {
+    out[len - 1] = num_ts - 1;
+  }
+  for (size_t i = len - 1; i-- > 0;) {
+    if (out[i] > out[i + 1] - gaps[i + 1]) {
+      out[i] = out[i + 1] - gaps[i + 1];
+    }
+  }
+  return out;
+}
+
+}  // namespace trajldp::core

@@ -1,0 +1,86 @@
+#include "core/viterbi_reconstructor.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace trajldp::core {
+
+using region::RegionId;
+
+StatusOr<region::RegionTrajectory> ViterbiReconstructor::Reconstruct(
+    const ReconstructionProblem& problem) const {
+  const size_t len = problem.traj_len();
+  const auto& candidates = problem.candidates();
+  const size_t num_cand = candidates.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  if (len == 1) {
+    // Single point: pick the candidate with the smallest region error.
+    size_t best = 0;
+    for (size_t c = 1; c < num_cand; ++c) {
+      if (problem.NodeError(0, c) < problem.NodeError(0, best)) best = c;
+    }
+    return region::RegionTrajectory{candidates[best]};
+  }
+
+  // Map region id → candidate index for adjacency-driven transitions.
+  const size_t num_regions = problem.graph().num_regions();
+  std::vector<int32_t> cand_index(num_regions, -1);
+  for (size_t c = 0; c < num_cand; ++c) {
+    cand_index[candidates[c]] = static_cast<int32_t>(c);
+  }
+
+  // dp[c] = cheapest cost of a feasible prefix ending at candidate c,
+  // where each position i contributes Multiplicity(i) · NodeError(i, c).
+  std::vector<double> dp(num_cand), next(num_cand);
+  std::vector<std::vector<int32_t>> parent(
+      len, std::vector<int32_t>(num_cand, -1));
+  for (size_t c = 0; c < num_cand; ++c) {
+    dp[c] = problem.Multiplicity(0) * problem.NodeError(0, c);
+  }
+
+  for (size_t i = 1; i < len; ++i) {
+    next.assign(num_cand, kInf);
+    // Relax along region-graph adjacency restricted to candidates: this
+    // enumerates exactly the feasible bigrams (the W² constraint).
+    for (size_t c_prev = 0; c_prev < num_cand; ++c_prev) {
+      if (dp[c_prev] == kInf) continue;
+      for (RegionId nb : problem.graph().Neighbors(candidates[c_prev])) {
+        const int32_t c = cand_index[nb];
+        if (c < 0) continue;
+        const double cost =
+            dp[c_prev] +
+            problem.Multiplicity(i) * problem.NodeError(i, static_cast<size_t>(c));
+        if (cost < next[static_cast<size_t>(c)]) {
+          next[static_cast<size_t>(c)] = cost;
+          parent[i][static_cast<size_t>(c)] = static_cast<int32_t>(c_prev);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  size_t best = num_cand;
+  double best_cost = kInf;
+  for (size_t c = 0; c < num_cand; ++c) {
+    if (dp[c] < best_cost) {
+      best_cost = dp[c];
+      best = c;
+    }
+  }
+  if (best == num_cand) {
+    return Status::FailedPrecondition(
+        "no feasible region sequence exists over the candidate set");
+  }
+
+  region::RegionTrajectory out(len);
+  size_t cur = best;
+  for (size_t i = len; i-- > 0;) {
+    out[i] = candidates[cur];
+    if (i > 0) cur = static_cast<size_t>(parent[i][cur]);
+  }
+  return out;
+}
+
+}  // namespace trajldp::core

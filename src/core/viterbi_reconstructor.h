@@ -1,0 +1,31 @@
+#ifndef TRAJLDP_CORE_VITERBI_RECONSTRUCTOR_H_
+#define TRAJLDP_CORE_VITERBI_RECONSTRUCTOR_H_
+
+#include "core/reconstruction.h"
+
+namespace trajldp::core {
+
+/// \brief Exact dynamic-programming solver for the §5.5 reconstruction.
+///
+/// The ILP (10)–(14) selects one bigram per position with consecutive
+/// bigrams sharing a region — i.e. a minimum-cost path through a layered
+/// DAG whose layer-i nodes are candidate regions and whose edges are the
+/// feasible bigrams. The objective decomposes into per-position node costs
+/// with multiplicities {1, 2, ..., 2, 1} (see ReconstructionProblem), so a
+/// Viterbi pass over the layers finds the global optimum in
+/// O(L · E_cand) time, where E_cand is the number of feasible candidate
+/// bigrams.
+///
+/// This is the production default; LpReconstructor solves the same
+/// problem through the paper's LP formulation and is verified to agree.
+class ViterbiReconstructor : public Reconstructor {
+ public:
+  ViterbiReconstructor() = default;
+
+  StatusOr<region::RegionTrajectory> Reconstruct(
+      const ReconstructionProblem& problem) const override;
+};
+
+}  // namespace trajldp::core
+
+#endif  // TRAJLDP_CORE_VITERBI_RECONSTRUCTOR_H_

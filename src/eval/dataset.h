@@ -1,0 +1,58 @@
+#ifndef TRAJLDP_EVAL_DATASET_H_
+#define TRAJLDP_EVAL_DATASET_H_
+
+#include <string>
+
+#include "common/status_or.h"
+#include "model/poi_database.h"
+#include "model/reachability.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+
+namespace trajldp::eval {
+
+/// \brief A fully assembled evaluation dataset: POI database, time
+/// domain, filtered trajectory set and the dataset's reachability
+/// settings (§6.1–6.2).
+struct Dataset {
+  std::string name;
+  model::TimeDomain time;
+  model::PoiDatabase db;
+  model::TrajectorySet trajectories;
+  model::ReachabilityConfig reachability;
+};
+
+/// \brief Knobs shared by the three dataset factories.
+struct DatasetOptions {
+  /// |P|; the paper's default is 2000 (campus is fixed at 262 buildings).
+  size_t num_pois = 2000;
+  /// Trajectories to generate before filtering.
+  size_t num_trajectories = 1000;
+  /// g_t in minutes (§6.2 default: 10).
+  int granularity_minutes = 10;
+  /// Travel speed; NaN means the dataset default (8 km/h urban,
+  /// 4 km/h campus). Infinity disables reachability.
+  double speed_kmh = std::numeric_limits<double>::quiet_NaN();
+  uint64_t seed = 7;
+};
+
+/// Builds the Taxi-Foursquare-like dataset (§6.1.1 substitution).
+StatusOr<Dataset> MakeTaxiFoursquareDataset(const DatasetOptions& options);
+
+/// Builds the Safegraph-like dataset (§6.1.2 recipe).
+StatusOr<Dataset> MakeSafegraphDataset(const DatasetOptions& options);
+
+/// Builds the campus dataset (§6.1.3; num_pois is ignored — the campus
+/// always has 262 buildings).
+StatusOr<Dataset> MakeCampusDataset(const DatasetOptions& options);
+
+/// Applies the §6.2 filter: drops trajectories that violate reachability
+/// or visit closed POIs. Returns the number kept.
+size_t FilterFeasible(const model::PoiDatabase& db,
+                      const model::TimeDomain& time,
+                      const model::ReachabilityConfig& reach,
+                      model::TrajectorySet* trajectories);
+
+}  // namespace trajldp::eval
+
+#endif  // TRAJLDP_EVAL_DATASET_H_

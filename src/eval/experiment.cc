@@ -1,0 +1,157 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "baselines/independent.h"
+#include "baselines/ngram_no_hierarchy.h"
+#include "baselines/phys_dist.h"
+#include "common/rng.h"
+
+namespace trajldp::eval {
+
+std::vector<Method> AllMethods() {
+  return {Method::kIndNoReach, Method::kIndReach, Method::kPhysDist,
+          Method::kNGramNoH, Method::kNGram};
+}
+
+std::string MethodName(Method method) {
+  switch (method) {
+    case Method::kIndNoReach:
+      return "IndNoReach";
+    case Method::kIndReach:
+      return "IndReach";
+    case Method::kPhysDist:
+      return "PhysDist";
+    case Method::kNGramNoH:
+      return "NGramNoH";
+    case Method::kNGram:
+      return "NGram";
+  }
+  return "Unknown";
+}
+
+size_t ScaledCount(size_t base, size_t min_value) {
+  double scale = 1.0;
+  if (const char* env = std::getenv("TRAJLDP_BENCH_SCALE")) {
+    const double parsed = std::atof(env);
+    if (parsed > 0.0) scale = parsed;
+  }
+  const auto scaled = static_cast<size_t>(
+      std::llround(static_cast<double>(base) * scale));
+  return std::max(scaled, min_value);
+}
+
+namespace {
+
+model::ReachabilityConfig EffectiveReachability(
+    const Dataset& dataset, const ExperimentConfig& config) {
+  model::ReachabilityConfig reach = dataset.reachability;
+  if (!std::isnan(config.speed_override_kmh)) {
+    reach.speed_kmh = config.speed_override_kmh;
+  }
+  return reach;
+}
+
+// The real trajectories this run will perturb: length-filtered (when
+// requested), then a deterministic prefix of max_trajectories.
+model::TrajectorySet SelectInputs(const Dataset& dataset,
+                                  const ExperimentConfig& config) {
+  model::TrajectorySet selected;
+  for (const model::Trajectory& traj : dataset.trajectories) {
+    if (config.exact_length != 0 && traj.size() != config.exact_length) {
+      continue;
+    }
+    selected.push_back(traj);
+    if (selected.size() >= config.max_trajectories) break;
+  }
+  return selected;
+}
+
+template <typename Mechanism>
+StatusOr<MethodResult> RunLoop(const Mechanism& mechanism,
+                               model::TrajectorySet inputs,
+                               double preprocessing_seconds, uint64_t seed) {
+  MethodResult result;
+  result.preprocessing_seconds = preprocessing_seconds;
+  Rng rng(seed);
+  for (const model::Trajectory& traj : inputs) {
+    Rng traj_rng = rng.Split();
+    auto perturbed = mechanism.Perturb(traj, traj_rng, &result.stages);
+    if (!perturbed.ok()) {
+      ++result.failures;
+      continue;
+    }
+    result.real.push_back(traj);
+    result.perturbed.push_back(std::move(*perturbed));
+  }
+  if (result.perturbed.empty()) {
+    return Status::Internal("method failed on every trajectory");
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<MethodResult> RunMethod(const Dataset& dataset, Method method,
+                                 const ExperimentConfig& config) {
+  const model::ReachabilityConfig reach =
+      EffectiveReachability(dataset, config);
+  model::TrajectorySet inputs = SelectInputs(dataset, config);
+  if (inputs.empty()) {
+    return Status::InvalidArgument(
+        "no trajectories match the experiment selection");
+  }
+
+  switch (method) {
+    case Method::kIndNoReach:
+    case Method::kIndReach: {
+      baselines::IndependentMechanism::Config mc;
+      mc.epsilon = config.epsilon;
+      mc.reachability = reach;
+      mc.respect_reachability = method == Method::kIndReach;
+      mc.quality_sensitivity = config.quality_sensitivity;
+      auto mech = baselines::IndependentMechanism::Build(&dataset.db,
+                                                         dataset.time, mc);
+      if (!mech.ok()) return mech.status();
+      return RunLoop(*mech, std::move(inputs), 0.0, config.seed);
+    }
+    case Method::kPhysDist: {
+      baselines::PhysDistConfig mc;
+      mc.n = config.n;
+      mc.epsilon = config.epsilon;
+      mc.reachability = reach;
+      mc.quality_sensitivity = config.quality_sensitivity;
+      auto mech = baselines::BuildPhysDist(&dataset.db, dataset.time, mc);
+      if (!mech.ok()) return mech.status();
+      return RunLoop(*mech, std::move(inputs),
+                     mech->preprocessing_seconds(), config.seed);
+    }
+    case Method::kNGramNoH: {
+      baselines::NGramNoHConfig mc;
+      mc.n = config.n;
+      mc.epsilon = config.epsilon;
+      mc.reachability = reach;
+      mc.quality_sensitivity = config.quality_sensitivity;
+      auto mech = baselines::BuildNGramNoH(&dataset.db, dataset.time, mc);
+      if (!mech.ok()) return mech.status();
+      return RunLoop(*mech, std::move(inputs),
+                     mech->preprocessing_seconds(), config.seed);
+    }
+    case Method::kNGram: {
+      core::NGramConfig mc;
+      mc.n = config.n;
+      mc.epsilon = config.epsilon;
+      mc.reachability = reach;
+      mc.decomposition = config.decomposition;
+      mc.quality_sensitivity = config.quality_sensitivity;
+      auto mech = core::NGramMechanism::Build(&dataset.db, dataset.time, mc);
+      if (!mech.ok()) return mech.status();
+      return RunLoop(*mech, std::move(inputs),
+                     mech->preprocessing_seconds(), config.seed);
+    }
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
+}  // namespace trajldp::eval

@@ -1,0 +1,120 @@
+#include "eval/hotspots.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "geo/grid.h"
+
+namespace trajldp::eval {
+
+StatusOr<std::vector<Hotspot>> FindHotspots(
+    const model::PoiDatabase& db, const model::TimeDomain& time,
+    const model::TrajectorySet& trajectories, const HotspotSpec& spec) {
+  if (spec.bin_minutes <= 0 ||
+      model::kMinutesPerDay % spec.bin_minutes != 0) {
+    return Status::InvalidArgument("bin_minutes must divide 1440");
+  }
+  if (spec.eta <= 0) {
+    return Status::InvalidArgument("eta must be positive");
+  }
+  const int num_bins = model::kMinutesPerDay / spec.bin_minutes;
+
+  // Optional grid for spatial entities.
+  std::optional<geo::UniformGrid> grid;
+  if (spec.entity == HotspotSpec::Entity::kSpatialGrid) {
+    geo::BoundingBox extent = db.extent();
+    extent.ExpandByKm(0.05);
+    grid.emplace(extent, spec.grid_size, spec.grid_size);
+  }
+
+  auto entity_of = [&](model::PoiId poi) -> uint64_t {
+    switch (spec.entity) {
+      case HotspotSpec::Entity::kPoi:
+        return poi;
+      case HotspotSpec::Entity::kSpatialGrid:
+        return grid->CellOf(db.poi(poi).location);
+      case HotspotSpec::Entity::kCategoryLevel: {
+        const hierarchy::CategoryId node = db.categories().AncestorAtLevel(
+            db.poi(poi).category,
+            std::min(spec.category_level,
+                     db.categories().level(db.poi(poi).category)));
+        return node;
+      }
+    }
+    return 0;
+  };
+
+  // Unique visitors per (entity, bin): user ids deduplicated via sets.
+  std::map<uint64_t, std::vector<std::set<size_t>>> visitors;
+  for (size_t user = 0; user < trajectories.size(); ++user) {
+    for (const model::TrajectoryPoint& pt : trajectories[user].points()) {
+      const uint64_t entity = entity_of(pt.poi);
+      const int bin = time.TimestepToMinute(pt.t) / spec.bin_minutes;
+      auto& bins = visitors[entity];
+      if (bins.empty()) bins.resize(num_bins);
+      bins[bin].insert(user);
+    }
+  }
+
+  // Hotspots: maximal runs of bins with unique count >= eta.
+  std::vector<Hotspot> out;
+  for (const auto& [entity, bins] : visitors) {
+    int run_start = -1;
+    int peak = 0;
+    for (int b = 0; b <= num_bins; ++b) {
+      const int count =
+          b < num_bins ? static_cast<int>(bins[b].size()) : 0;
+      if (count >= spec.eta) {
+        if (run_start < 0) {
+          run_start = b;
+          peak = 0;
+        }
+        peak = std::max(peak, count);
+      } else if (run_start >= 0) {
+        out.push_back(Hotspot{entity, run_start * spec.bin_minutes,
+                              b * spec.bin_minutes, peak});
+        run_start = -1;
+      }
+    }
+  }
+  return out;
+}
+
+HotspotComparison CompareHotspots(const std::vector<Hotspot>& real,
+                                  const std::vector<Hotspot>& perturbed) {
+  HotspotComparison cmp;
+  double ahd_sum = 0.0;
+  double acd_sum = 0.0;
+  for (const Hotspot& hat : perturbed) {
+    const Hotspot* best = nullptr;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (const Hotspot& h : real) {
+      if (h.entity != hat.entity) continue;
+      const double d =
+          std::abs(h.start_minute - hat.start_minute) / 60.0 +
+          std::abs(h.end_minute - hat.end_minute) / 60.0;
+      if (d < best_dist) {
+        best_dist = d;
+        best = &h;
+      }
+    }
+    if (best == nullptr) {
+      ++cmp.excluded;  // no same-entity real hotspot: excluded (§6.3.2)
+      continue;
+    }
+    ++cmp.matched;
+    ahd_sum += best_dist;
+    acd_sum += std::abs(best->peak_count - hat.peak_count);
+  }
+  if (cmp.matched > 0) {
+    cmp.ahd_hours = ahd_sum / static_cast<double>(cmp.matched);
+    cmp.acd = acd_sum / static_cast<double>(cmp.matched);
+  }
+  return cmp;
+}
+
+}  // namespace trajldp::eval

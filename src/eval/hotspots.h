@@ -1,0 +1,72 @@
+#ifndef TRAJLDP_EVAL_HOTSPOTS_H_
+#define TRAJLDP_EVAL_HOTSPOTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status_or.h"
+#include "model/poi_database.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+
+namespace trajldp::eval {
+
+/// \brief Specification of a hotspot analysis (§6.3.2, Table 4).
+///
+/// A hotspot is a maximal run of time bins during which the number of
+/// unique visitors of an entity stays at or above η. Entities are POIs,
+/// spatial grid cells, or category-hierarchy nodes, matching the paper's
+/// three spatial and three category granularities.
+struct HotspotSpec {
+  enum class Entity { kPoi, kSpatialGrid, kCategoryLevel };
+  Entity entity = Entity::kPoi;
+  /// Grid resolution for Entity::kSpatialGrid (paper: 4×4 and 2×2).
+  uint32_t grid_size = 4;
+  /// Hierarchy level for Entity::kCategoryLevel (paper: 1, 2, 3).
+  int category_level = 3;
+  /// Time bin width; hotspot boundaries are bin-aligned.
+  int bin_minutes = 60;
+  /// Unique-visitor threshold η.
+  int eta = 20;
+};
+
+/// A detected hotspot h = {t_s, t_e, entity, c} (§6.3.2).
+struct Hotspot {
+  /// Entity key: POI id, grid cell id, or category node id.
+  uint64_t entity = 0;
+  /// Hotspot interval [start, end) in minutes of day (bin-aligned).
+  int start_minute = 0;
+  int end_minute = 0;
+  /// c: the maximum unique-visitor count reached in the interval.
+  int peak_count = 0;
+};
+
+/// Finds all hotspots of `trajectories` under `spec`. Each trajectory is
+/// one user; a user visiting an entity several times within a bin counts
+/// once.
+StatusOr<std::vector<Hotspot>> FindHotspots(
+    const model::PoiDatabase& db, const model::TimeDomain& time,
+    const model::TrajectorySet& trajectories, const HotspotSpec& spec);
+
+/// \brief Hotspot-set comparison metrics (eq. 18).
+struct HotspotComparison {
+  /// AHD: mean over matched perturbed hotspots of
+  /// |t_s − t̂_s| + |t_e − t̂_e| against the nearest real hotspot of the
+  /// same entity, in hours.
+  double ahd_hours = 0.0;
+  /// ACD: mean |c − ĉ| against the AHD-matched real hotspot.
+  double acd = 0.0;
+  /// Perturbed hotspots that found a same-entity real hotspot.
+  size_t matched = 0;
+  /// Perturbed hotspots excluded for lack of any same-entity real
+  /// hotspot (the paper's exclusion rule).
+  size_t excluded = 0;
+};
+
+/// Compares perturbed hotspots against real ones.
+HotspotComparison CompareHotspots(const std::vector<Hotspot>& real,
+                                  const std::vector<Hotspot>& perturbed);
+
+}  // namespace trajldp::eval
+
+#endif  // TRAJLDP_EVAL_HOTSPOTS_H_

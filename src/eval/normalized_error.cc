@@ -1,0 +1,49 @@
+#include "eval/normalized_error.h"
+
+#include <string>
+
+#include "model/semantic_distance.h"
+
+namespace trajldp::eval {
+
+StatusOr<NormalizedError> ComputeNormalizedError(
+    const model::PoiDatabase& db, const model::TimeDomain& time,
+    const model::TrajectorySet& real, const model::TrajectorySet& perturbed) {
+  if (real.size() != perturbed.size()) {
+    return Status::InvalidArgument(
+        "real and perturbed sets differ in size: " +
+        std::to_string(real.size()) + " vs " +
+        std::to_string(perturbed.size()));
+  }
+  if (real.empty()) {
+    return Status::InvalidArgument("trajectory sets are empty");
+  }
+  const model::SemanticDistance dist(&db, time);
+
+  NormalizedError ne;
+  for (size_t k = 0; k < real.size(); ++k) {
+    const model::Trajectory& a = real[k];
+    const model::Trajectory& b = perturbed[k];
+    if (a.size() != b.size()) {
+      return Status::InvalidArgument("trajectory pair " + std::to_string(k) +
+                                     " differs in length");
+    }
+    double dt = 0.0, dc = 0.0, ds = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      dt += dist.TimeHours(a.point(i).t, b.point(i).t);
+      dc += dist.Category(a.point(i).poi, b.point(i).poi);
+      ds += dist.SpatialKm(a.point(i).poi, b.point(i).poi);
+    }
+    const double len = static_cast<double>(a.size());
+    ne.time_hours += dt / len;
+    ne.category += dc / len;
+    ne.space_km += ds / len;
+  }
+  const double count = static_cast<double>(real.size());
+  ne.time_hours /= count;
+  ne.category /= count;
+  ne.space_km /= count;
+  return ne;
+}
+
+}  // namespace trajldp::eval

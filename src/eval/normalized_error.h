@@ -1,0 +1,29 @@
+#ifndef TRAJLDP_EVAL_NORMALIZED_ERROR_H_
+#define TRAJLDP_EVAL_NORMALIZED_ERROR_H_
+
+#include "common/status_or.h"
+#include "model/poi_database.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+
+namespace trajldp::eval {
+
+/// \brief Mean normalized error between paired real and perturbed
+/// trajectory sets (§6.3, Table 2): per-trajectory element-wise distance
+/// divided by |τ|, averaged over the set, reported separately per
+/// dimension (d_t in hours, d_c per Figure 5, d_s in km).
+struct NormalizedError {
+  double time_hours = 0.0;
+  double category = 0.0;
+  double space_km = 0.0;
+};
+
+/// Computes NE over paired sets (`real[i]` corresponds to
+/// `perturbed[i]`). Fails when sizes or any pair's lengths differ.
+StatusOr<NormalizedError> ComputeNormalizedError(
+    const model::PoiDatabase& db, const model::TimeDomain& time,
+    const model::TrajectorySet& real, const model::TrajectorySet& perturbed);
+
+}  // namespace trajldp::eval
+
+#endif  // TRAJLDP_EVAL_NORMALIZED_ERROR_H_

@@ -1,0 +1,69 @@
+#include "eval/range_queries.h"
+
+#include <cmath>
+#include <string>
+
+#include "model/semantic_distance.h"
+
+namespace trajldp::eval {
+
+StatusOr<double> PreservationRangeQuery(const model::PoiDatabase& db,
+                                        const model::TimeDomain& time,
+                                        const model::TrajectorySet& real,
+                                        const model::TrajectorySet& perturbed,
+                                        PrqDimension dimension, double delta) {
+  if (real.size() != perturbed.size() || real.empty()) {
+    return Status::InvalidArgument("sets must be non-empty and paired");
+  }
+  const model::SemanticDistance dist(&db, time);
+
+  double total = 0.0;
+  for (size_t k = 0; k < real.size(); ++k) {
+    const model::Trajectory& a = real[k];
+    const model::Trajectory& b = perturbed[k];
+    if (a.size() != b.size()) {
+      return Status::InvalidArgument("trajectory pair " + std::to_string(k) +
+                                     " differs in length");
+    }
+    size_t within = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      double d = 0.0;
+      switch (dimension) {
+        case PrqDimension::kSpace:
+          d = dist.SpatialKm(a.point(i).poi, b.point(i).poi);
+          break;
+        case PrqDimension::kTime:
+          // δ for time is given in minutes.
+          d = std::abs(
+              static_cast<double>(time.TimestepToMinute(a.point(i).t) -
+                                  time.TimestepToMinute(b.point(i).t)));
+          break;
+        case PrqDimension::kCategory:
+          d = dist.Category(a.point(i).poi, b.point(i).poi);
+          break;
+      }
+      if (d <= delta) ++within;
+    }
+    total += static_cast<double>(within) / static_cast<double>(a.size());
+  }
+  return 100.0 * total / static_cast<double>(real.size());
+}
+
+StatusOr<std::vector<double>> PrqCurve(const model::PoiDatabase& db,
+                                       const model::TimeDomain& time,
+                                       const model::TrajectorySet& real,
+                                       const model::TrajectorySet& perturbed,
+                                       PrqDimension dimension,
+                                       const std::vector<double>& deltas) {
+  std::vector<double> out;
+  out.reserve(deltas.size());
+  for (double delta : deltas) {
+    auto pr =
+        PreservationRangeQuery(db, time, real, perturbed, dimension, delta);
+    if (!pr.ok()) return pr.status();
+    out.push_back(*pr);
+  }
+  return out;
+}
+
+}  // namespace trajldp::eval

@@ -1,0 +1,40 @@
+#ifndef TRAJLDP_EVAL_RANGE_QUERIES_H_
+#define TRAJLDP_EVAL_RANGE_QUERIES_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "model/poi_database.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+
+namespace trajldp::eval {
+
+/// Dimension χ of a preservation range query (§6.3.1).
+enum class PrqDimension { kSpace, kTime, kCategory };
+
+/// \brief Preservation range queries PR_χ (eq. 17, Figure 10): the
+/// percentage of trajectory points whose perturbed counterpart lies
+/// within δ of the truth in dimension χ — δ in km for space, minutes for
+/// time, Figure 5 units for category.
+///
+/// Answers real-world question shapes like "was this user within 500 m /
+/// 30 min / the same category family of where the shared data says they
+/// were?", which is what contact-tracing-style applications consume.
+StatusOr<double> PreservationRangeQuery(const model::PoiDatabase& db,
+                                        const model::TimeDomain& time,
+                                        const model::TrajectorySet& real,
+                                        const model::TrajectorySet& perturbed,
+                                        PrqDimension dimension, double delta);
+
+/// Convenience: PR_χ evaluated at each δ in `deltas`.
+StatusOr<std::vector<double>> PrqCurve(const model::PoiDatabase& db,
+                                       const model::TimeDomain& time,
+                                       const model::TrajectorySet& real,
+                                       const model::TrajectorySet& perturbed,
+                                       PrqDimension dimension,
+                                       const std::vector<double>& deltas);
+
+}  // namespace trajldp::eval
+
+#endif  // TRAJLDP_EVAL_RANGE_QUERIES_H_

@@ -1,0 +1,108 @@
+#include "geo/bounding_box.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trajldp::geo {
+
+BoundingBox::BoundingBox()
+    : min_lat_(std::numeric_limits<double>::infinity()),
+      min_lon_(std::numeric_limits<double>::infinity()),
+      max_lat_(-std::numeric_limits<double>::infinity()),
+      max_lon_(-std::numeric_limits<double>::infinity()) {}
+
+BoundingBox::BoundingBox(const LatLon& min_corner, const LatLon& max_corner)
+    : min_lat_(min_corner.lat),
+      min_lon_(min_corner.lon),
+      max_lat_(max_corner.lat),
+      max_lon_(max_corner.lon) {}
+
+void BoundingBox::Extend(const LatLon& p) {
+  min_lat_ = std::min(min_lat_, p.lat);
+  min_lon_ = std::min(min_lon_, p.lon);
+  max_lat_ = std::max(max_lat_, p.lat);
+  max_lon_ = std::max(max_lon_, p.lon);
+}
+
+void BoundingBox::Extend(const BoundingBox& other) {
+  if (other.empty()) return;
+  Extend(other.min_corner());
+  Extend(other.max_corner());
+}
+
+void BoundingBox::ExpandByKm(double km) {
+  if (empty()) return;
+  const LatLon lo = OffsetKm(min_corner(), -km, -km);
+  const LatLon hi = OffsetKm(max_corner(), km, km);
+  min_lat_ = lo.lat;
+  min_lon_ = lo.lon;
+  max_lat_ = hi.lat;
+  max_lon_ = hi.lon;
+}
+
+bool BoundingBox::Contains(const LatLon& p) const {
+  return p.lat >= min_lat_ && p.lat <= max_lat_ && p.lon >= min_lon_ &&
+         p.lon <= max_lon_;
+}
+
+bool BoundingBox::Intersects(const BoundingBox& other) const {
+  if (empty() || other.empty()) return false;
+  return min_lat_ <= other.max_lat_ && other.min_lat_ <= max_lat_ &&
+         min_lon_ <= other.max_lon_ && other.min_lon_ <= max_lon_;
+}
+
+double BoundingBox::DistanceKm(const LatLon& p) const {
+  if (empty()) return std::numeric_limits<double>::infinity();
+  // Clamp p into the box; the haversine distance to the clamped point is a
+  // lower bound on the distance to any contained point (the box is small at
+  // city scale, so treating lat/lon as a product order is sound).
+  const LatLon nearest{std::clamp(p.lat, min_lat_, max_lat_),
+                       std::clamp(p.lon, min_lon_, max_lon_)};
+  return HaversineKm(p, nearest);
+}
+
+double BoundingBox::MinDistanceKm(const BoundingBox& other) const {
+  if (empty() || other.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (Intersects(other)) return 0.0;
+  // The closest pair of points lies on the facing corners/edges; clamping
+  // each box's corner region into the other gives the separating gap.
+  const LatLon nearest_in_this{
+      std::clamp(other.min_lat_, min_lat_, max_lat_),
+      std::clamp(other.min_lon_, min_lon_, max_lon_)};
+  const LatLon a{std::clamp(nearest_in_this.lat, other.min_lat_,
+                            other.max_lat_),
+                 std::clamp(nearest_in_this.lon, other.min_lon_,
+                            other.max_lon_)};
+  // Clamp once more in case the first clamp picked a suboptimal corner.
+  const LatLon b{std::clamp(a.lat, min_lat_, max_lat_),
+                 std::clamp(a.lon, min_lon_, max_lon_)};
+  return HaversineKm(a, b);
+}
+
+double BoundingBox::MaxDistanceKm(const BoundingBox& other) const {
+  if (empty() || other.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double best = 0.0;
+  const LatLon corners_a[] = {min_corner(), max_corner(),
+                              LatLon{min_lat_, max_lon_},
+                              LatLon{max_lat_, min_lon_}};
+  const LatLon corners_b[] = {
+      other.min_corner(), other.max_corner(),
+      LatLon{other.min_lat_, other.max_lon_},
+      LatLon{other.max_lat_, other.min_lon_}};
+  for (const LatLon& a : corners_a) {
+    for (const LatLon& b : corners_b) {
+      best = std::max(best, HaversineKm(a, b));
+    }
+  }
+  return best;
+}
+
+LatLon BoundingBox::Center() const {
+  return LatLon{0.5 * (min_lat_ + max_lat_), 0.5 * (min_lon_ + max_lon_)};
+}
+
+}  // namespace trajldp::geo

@@ -1,0 +1,60 @@
+#ifndef TRAJLDP_GEO_BOUNDING_BOX_H_
+#define TRAJLDP_GEO_BOUNDING_BOX_H_
+
+#include <limits>
+
+#include "geo/latlon.h"
+
+namespace trajldp::geo {
+
+/// \brief Axis-aligned lat/lon rectangle.
+///
+/// Used for the W² minimum-bounding-rectangle optimisation in §5.5 and for
+/// spatial grid construction. An empty box contains no points.
+class BoundingBox {
+ public:
+  /// Constructs an empty box.
+  BoundingBox();
+  /// Constructs the box spanning the two corners.
+  BoundingBox(const LatLon& min_corner, const LatLon& max_corner);
+
+  /// True when no point has been added.
+  bool empty() const { return min_lat_ > max_lat_; }
+
+  /// Grows the box to include `p`.
+  void Extend(const LatLon& p);
+  /// Grows the box to include all of `other`.
+  void Extend(const BoundingBox& other);
+  /// Grows the box outward by `km` kilometers on every side.
+  void ExpandByKm(double km);
+
+  /// True when `p` lies inside (inclusive of the boundary).
+  bool Contains(const LatLon& p) const;
+  /// True when the boxes overlap (inclusive).
+  bool Intersects(const BoundingBox& other) const;
+
+  /// Haversine distance from `p` to the nearest point of the box; 0 when
+  /// `p` is inside. This is an exact lower bound on the distance from `p`
+  /// to any point contained in the box, which makes it a sound reachability
+  /// prefilter.
+  double DistanceKm(const LatLon& p) const;
+
+  /// Lower bound on the haversine distance between any point of this box
+  /// and any point of `other`; 0 when they intersect.
+  double MinDistanceKm(const BoundingBox& other) const;
+
+  /// Upper bound on the haversine distance between any point of this box
+  /// and any point of `other` (distance between the farthest corners).
+  double MaxDistanceKm(const BoundingBox& other) const;
+
+  LatLon min_corner() const { return LatLon{min_lat_, min_lon_}; }
+  LatLon max_corner() const { return LatLon{max_lat_, max_lon_}; }
+  LatLon Center() const;
+
+ private:
+  double min_lat_, min_lon_, max_lat_, max_lon_;
+};
+
+}  // namespace trajldp::geo
+
+#endif  // TRAJLDP_GEO_BOUNDING_BOX_H_

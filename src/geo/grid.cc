@@ -1,0 +1,75 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace trajldp::geo {
+
+UniformGrid::UniformGrid(const BoundingBox& extent, uint32_t rows,
+                         uint32_t cols)
+    : extent_(extent), rows_(rows), cols_(cols) {
+  assert(!extent.empty());
+  assert(rows > 0 && cols > 0);
+  lat_step_ =
+      (extent.max_corner().lat - extent.min_corner().lat) / rows_;
+  lon_step_ =
+      (extent.max_corner().lon - extent.min_corner().lon) / cols_;
+  // Degenerate extents (single point) still need positive steps so that
+  // CellBounds stays well-defined.
+  if (lat_step_ <= 0.0) lat_step_ = 1e-9;
+  if (lon_step_ <= 0.0) lon_step_ = 1e-9;
+}
+
+uint32_t UniformGrid::RowOf(double lat) const {
+  const double rel = (lat - extent_.min_corner().lat) / lat_step_;
+  const auto row = static_cast<int64_t>(std::floor(rel));
+  return static_cast<uint32_t>(
+      std::clamp<int64_t>(row, 0, static_cast<int64_t>(rows_) - 1));
+}
+
+uint32_t UniformGrid::ColOf(double lon) const {
+  const double rel = (lon - extent_.min_corner().lon) / lon_step_;
+  const auto col = static_cast<int64_t>(std::floor(rel));
+  return static_cast<uint32_t>(
+      std::clamp<int64_t>(col, 0, static_cast<int64_t>(cols_) - 1));
+}
+
+CellId UniformGrid::CellOf(const LatLon& p) const {
+  return RowOf(p.lat) * cols_ + ColOf(p.lon);
+}
+
+BoundingBox UniformGrid::CellBounds(CellId cell) const {
+  const uint32_t row = cell / cols_;
+  const uint32_t col = cell % cols_;
+  const double lat0 = extent_.min_corner().lat + row * lat_step_;
+  const double lon0 = extent_.min_corner().lon + col * lon_step_;
+  return BoundingBox(LatLon{lat0, lon0},
+                     LatLon{lat0 + lat_step_, lon0 + lon_step_});
+}
+
+LatLon UniformGrid::CellCenter(CellId cell) const {
+  return CellBounds(cell).Center();
+}
+
+CellId UniformGrid::CoarsenTo(const UniformGrid& target, CellId cell) const {
+  return target.CellOf(CellCenter(cell));
+}
+
+std::vector<CellId> UniformGrid::CellsIntersecting(
+    const BoundingBox& query) const {
+  std::vector<CellId> cells;
+  if (query.empty()) return cells;
+  const uint32_t row0 = RowOf(query.min_corner().lat);
+  const uint32_t row1 = RowOf(query.max_corner().lat);
+  const uint32_t col0 = ColOf(query.min_corner().lon);
+  const uint32_t col1 = ColOf(query.max_corner().lon);
+  for (uint32_t r = row0; r <= row1; ++r) {
+    for (uint32_t c = col0; c <= col1; ++c) {
+      cells.push_back(r * cols_ + c);
+    }
+  }
+  return cells;
+}
+
+}  // namespace trajldp::geo

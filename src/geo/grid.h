@@ -1,0 +1,63 @@
+#ifndef TRAJLDP_GEO_GRID_H_
+#define TRAJLDP_GEO_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/latlon.h"
+
+namespace trajldp::geo {
+
+/// Identifier of a cell within a UniformGrid: row-major index in
+/// [0, rows*cols).
+using CellId = uint32_t;
+
+/// \brief A rows × cols uniform grid over a bounding box.
+///
+/// This is the spatial decomposition used to form STC regions (§5.3 and
+/// §6.2 use g_s × g_s grids with g_s ∈ {1, 2, 4}). The grid also knows how
+/// its cells coarsen: cell (r, c) of a 4×4 grid maps to cell (r/2, c/2) of
+/// the 2×2 grid over the same box, which drives spatial region merging.
+class UniformGrid {
+ public:
+  /// Builds a rows × cols grid over `extent`. The extent must be non-empty
+  /// and the dimensions positive.
+  UniformGrid(const BoundingBox& extent, uint32_t rows, uint32_t cols);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  uint32_t num_cells() const { return rows_ * cols_; }
+  const BoundingBox& extent() const { return extent_; }
+
+  /// Cell containing `p`. Points outside the extent are clamped to the
+  /// nearest boundary cell so every point maps to a valid cell.
+  CellId CellOf(const LatLon& p) const;
+
+  /// The lat/lon rectangle covered by `cell`.
+  BoundingBox CellBounds(CellId cell) const;
+
+  /// Center of `cell`.
+  LatLon CellCenter(CellId cell) const;
+
+  /// Cell of the coarser `target` grid (over the same extent) that contains
+  /// this grid's `cell` center. Used for spatial merging (4×4 → 2×2 → 1×1).
+  CellId CoarsenTo(const UniformGrid& target, CellId cell) const;
+
+  /// Cells whose bounds intersect `query`, in row-major order.
+  std::vector<CellId> CellsIntersecting(const BoundingBox& query) const;
+
+ private:
+  uint32_t RowOf(double lat) const;
+  uint32_t ColOf(double lon) const;
+
+  BoundingBox extent_;
+  uint32_t rows_;
+  uint32_t cols_;
+  double lat_step_;
+  double lon_step_;
+};
+
+}  // namespace trajldp::geo
+
+#endif  // TRAJLDP_GEO_GRID_H_

@@ -1,0 +1,41 @@
+#include "geo/latlon.h"
+
+#include <cmath>
+
+namespace trajldp::geo {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+std::ostream& operator<<(std::ostream& os, const LatLon& p) {
+  return os << "(" << p.lat << ", " << p.lon << ")";
+}
+
+double HaversineKm(const LatLon& a, const LatLon& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+double EquirectangularKm(const LatLon& a, const LatLon& b) {
+  const double mean_lat = 0.5 * (a.lat + b.lat) * kDegToRad;
+  const double x = (b.lon - a.lon) * kDegToRad * std::cos(mean_lat);
+  const double y = (b.lat - a.lat) * kDegToRad;
+  return kEarthRadiusKm * std::sqrt(x * x + y * y);
+}
+
+LatLon OffsetKm(const LatLon& origin, double km_east, double km_north) {
+  const double dlat = km_north / kEarthRadiusKm / kDegToRad;
+  const double dlon =
+      km_east / (kEarthRadiusKm * std::cos(origin.lat * kDegToRad)) /
+      kDegToRad;
+  return LatLon{origin.lat + dlat, origin.lon + dlon};
+}
+
+}  // namespace trajldp::geo

@@ -1,0 +1,38 @@
+#ifndef TRAJLDP_GEO_LATLON_H_
+#define TRAJLDP_GEO_LATLON_H_
+
+#include <ostream>
+
+namespace trajldp::geo {
+
+/// Mean Earth radius in kilometers, used by the haversine formula.
+inline constexpr double kEarthRadiusKm = 6371.0088;
+
+/// \brief A WGS-84 latitude/longitude coordinate in degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  bool operator==(const LatLon& other) const {
+    return lat == other.lat && lon == other.lon;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const LatLon& p);
+
+/// Great-circle (haversine) distance between two points, in kilometers.
+/// The paper uses haversine distance throughout (§6.2).
+double HaversineKm(const LatLon& a, const LatLon& b);
+
+/// Approximate equirectangular distance in kilometers. A fast lower-cost
+/// alternative used only where errors of <0.5% at city scale are acceptable
+/// (e.g. spatial-index pruning); never used for reported metrics.
+double EquirectangularKm(const LatLon& a, const LatLon& b);
+
+/// Returns the point `km_east`/`km_north` kilometers away from `origin`.
+/// Accurate at city scale; used by the synthetic city generators.
+LatLon OffsetKm(const LatLon& origin, double km_east, double km_north);
+
+}  // namespace trajldp::geo
+
+#endif  // TRAJLDP_GEO_LATLON_H_

@@ -1,0 +1,109 @@
+#include "geo/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trajldp::geo {
+
+SpatialIndex::SpatialIndex(std::vector<LatLon> points, double target_per_cell)
+    : points_(std::move(points)) {
+  for (const auto& p : points_) extent_.Extend(p);
+  if (points_.empty()) return;
+
+  const double cells_wanted =
+      std::max(1.0, static_cast<double>(points_.size()) / target_per_cell);
+  const auto side = static_cast<uint32_t>(
+      std::max(1.0, std::floor(std::sqrt(cells_wanted))));
+  grid_.emplace(extent_, side, side);
+
+  // Counting sort into CSR buckets.
+  const uint32_t num_cells = grid_->num_cells();
+  std::vector<uint32_t> counts(num_cells + 1, 0);
+  std::vector<CellId> cell_of(points_.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    cell_of[i] = grid_->CellOf(points_[i]);
+    ++counts[cell_of[i] + 1];
+  }
+  for (uint32_t c = 0; c < num_cells; ++c) counts[c + 1] += counts[c];
+  bucket_offsets_ = counts;
+  bucket_points_.resize(points_.size());
+  std::vector<uint32_t> cursor(bucket_offsets_.begin(),
+                               bucket_offsets_.end() - 1);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    bucket_points_[cursor[cell_of[i]]++] = static_cast<uint32_t>(i);
+  }
+}
+
+template <typename Visitor>
+void SpatialIndex::VisitCandidates(const LatLon& center, double radius_km,
+                                   Visitor&& visit) const {
+  if (!grid_) return;
+  // Query box: expand center by radius; clamped cell ranges cover all
+  // candidate buckets. Cells are then distance-pruned by their bounds.
+  BoundingBox query;
+  query.Extend(center);
+  query.ExpandByKm(radius_km);
+  for (CellId cell : grid_->CellsIntersecting(query)) {
+    if (grid_->CellBounds(cell).DistanceKm(center) > radius_km) continue;
+    const uint32_t begin = bucket_offsets_[cell];
+    const uint32_t end = bucket_offsets_[cell + 1];
+    for (uint32_t k = begin; k < end; ++k) {
+      if (!visit(bucket_points_[k])) return;
+    }
+  }
+}
+
+std::vector<uint32_t> SpatialIndex::WithinRadius(const LatLon& center,
+                                                 double radius_km) const {
+  std::vector<uint32_t> hits;
+  VisitCandidates(center, radius_km, [&](uint32_t i) {
+    if (HaversineKm(center, points_[i]) <= radius_km) hits.push_back(i);
+    return true;
+  });
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+bool SpatialIndex::AnyWithinRadius(const LatLon& center,
+                                   double radius_km) const {
+  bool found = false;
+  VisitCandidates(center, radius_km, [&](uint32_t i) {
+    if (HaversineKm(center, points_[i]) <= radius_km) {
+      found = true;
+      return false;  // stop visiting
+    }
+    return true;
+  });
+  return found;
+}
+
+std::optional<uint32_t> SpatialIndex::Nearest(const LatLon& center,
+                                              double max_km) const {
+  if (points_.empty()) return std::nullopt;
+  // Expanding-ring search: double the radius until a hit is found. Every
+  // indexed point lies within dist(center, extent) + extent span, so a
+  // ring that large is guaranteed to find the nearest point (if it is
+  // allowed by max_km).
+  const double reach_km =
+      extent_.DistanceKm(center) +
+      HaversineKm(extent_.min_corner(), extent_.max_corner()) + 1.0;
+  double radius = 0.25;
+  while (true) {
+    const double r = std::min(radius, std::min(max_km, reach_km));
+    std::optional<uint32_t> best;
+    double best_dist = std::numeric_limits<double>::infinity();
+    VisitCandidates(center, r, [&](uint32_t i) {
+      const double d = HaversineKm(center, points_[i]);
+      if (d < best_dist) {
+        best_dist = d;
+        best = i;
+      }
+      return true;
+    });
+    if (best && best_dist <= r) return best;
+    if (r >= max_km || r >= reach_km) return std::nullopt;
+    radius *= 2.0;
+  }
+}
+
+}  // namespace trajldp::geo

@@ -1,0 +1,64 @@
+#ifndef TRAJLDP_GEO_SPATIAL_INDEX_H_
+#define TRAJLDP_GEO_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/grid.h"
+#include "geo/latlon.h"
+
+namespace trajldp::geo {
+
+/// \brief Grid-bucketed point index for radius and nearest-neighbour
+/// queries over a static point set.
+///
+/// Supports the reachability computations (all POIs within θ of a point)
+/// and trajectory snapping (nearest POI within 100 m, §6.1.1). Build once,
+/// query many times; the index is immutable after construction.
+class SpatialIndex {
+ public:
+  /// Builds an index over `points`. `target_per_cell` tunes the grid
+  /// resolution; the default works well for 10²–10⁶ points.
+  explicit SpatialIndex(std::vector<LatLon> points,
+                        double target_per_cell = 8.0);
+
+  size_t size() const { return points_.size(); }
+  const LatLon& point(size_t i) const { return points_[i]; }
+
+  /// Indices of all points within `radius_km` (haversine) of `center`,
+  /// in ascending index order.
+  std::vector<uint32_t> WithinRadius(const LatLon& center,
+                                     double radius_km) const;
+
+  /// Index of the nearest point to `center`, or nullopt when the index is
+  /// empty or nothing lies within `max_km`.
+  std::optional<uint32_t> Nearest(
+      const LatLon& center,
+      double max_km = std::numeric_limits<double>::infinity()) const;
+
+  /// True when at least one point lies within `radius_km` of `center`.
+  bool AnyWithinRadius(const LatLon& center, double radius_km) const;
+
+  /// The bounding box of all indexed points.
+  const BoundingBox& extent() const { return extent_; }
+
+ private:
+  template <typename Visitor>
+  void VisitCandidates(const LatLon& center, double radius_km,
+                       Visitor&& visit) const;
+
+  std::vector<LatLon> points_;
+  BoundingBox extent_;
+  std::optional<UniformGrid> grid_;
+  // CSR layout: bucket_offsets_[c]..bucket_offsets_[c+1] indexes into
+  // bucket_points_ for cell c.
+  std::vector<uint32_t> bucket_offsets_;
+  std::vector<uint32_t> bucket_points_;
+};
+
+}  // namespace trajldp::geo
+
+#endif  // TRAJLDP_GEO_SPATIAL_INDEX_H_

@@ -1,0 +1,96 @@
+#include "hierarchy/builtin_hierarchies.h"
+
+#include <array>
+#include <string>
+
+namespace trajldp::hierarchy {
+
+namespace {
+
+struct Spec {
+  const char* l1;
+  std::array<const char*, 3> l2;
+};
+
+CategoryTree BuildThreeLevel(const Spec* specs, size_t n) {
+  CategoryTree tree;
+  for (size_t i = 0; i < n; ++i) {
+    const CategoryId root = tree.AddRoot(specs[i].l1);
+    for (const char* l2_name : specs[i].l2) {
+      const CategoryId mid = tree.AddChild(root, l2_name);
+      // Three generic leaves per level-2 node. Leaf labels only matter for
+      // readability; d_c depends on topology alone.
+      for (int k = 1; k <= 3; ++k) {
+        tree.AddChild(mid, std::string(l2_name) + " / type " +
+                               std::to_string(k));
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+CategoryTree BuiltinFoursquareLike() {
+  static const Spec kSpecs[] = {
+      {"Arts & Entertainment", {"Museum", "Music Venue", "Stadium"}},
+      {"College & University", {"Academic Building", "Student Center",
+                                "University Lab"}},
+      {"Food", {"Restaurant", "Cafe", "Bakery"}},
+      {"Nightlife Spot", {"Bar", "Nightclub", "Lounge"}},
+      {"Outdoors & Recreation", {"Park", "Playground", "Trail"}},
+      {"Professional & Other Places", {"Office", "Medical Center",
+                                       "Convention Center"}},
+      {"Residence", {"Home", "Apartment Building", "Housing Development"}},
+      {"Shop & Service", {"Clothing Store", "Grocery Store", "Salon"}},
+      {"Travel & Transport", {"Train Station", "Bus Stop", "Hotel"}},
+      {"Event", {"Festival", "Market", "Parade"}},
+  };
+  return BuildThreeLevel(kSpecs, std::size(kSpecs));
+}
+
+CategoryTree BuiltinNaicsLike() {
+  static const Spec kSpecs[] = {
+      {"Retail Trade", {"Food & Beverage Stores", "Clothing Stores",
+                        "General Merchandise"}},
+      {"Accommodation & Food Services", {"Restaurants", "Drinking Places",
+                                         "Traveler Accommodation"}},
+      {"Health Care", {"Ambulatory Care", "Hospitals", "Nursing Care"}},
+      {"Educational Services", {"Elementary & Secondary Schools",
+                                "Colleges & Universities",
+                                "Other Schools"}},
+      {"Arts, Entertainment & Recreation",
+       {"Performing Arts", "Amusement & Recreation", "Museums & Parks"}},
+      {"Finance & Insurance", {"Credit Intermediation", "Securities",
+                               "Insurance Carriers"}},
+      {"Other Services", {"Repair & Maintenance", "Personal Care Services",
+                          "Religious Organizations"}},
+      {"Transportation & Warehousing", {"Transit & Ground Transport",
+                                        "Air Transportation",
+                                        "Warehousing"}},
+      {"Real Estate", {"Lessors", "Real Estate Agents",
+                       "Property Managers"}},
+      {"Public Administration", {"Executive Offices", "Justice & Safety",
+                                 "Administration of Programs"}},
+  };
+  return BuildThreeLevel(kSpecs, std::size(kSpecs));
+}
+
+CategoryTree BuiltinCampus() {
+  CategoryTree tree;
+  const CategoryId academic = tree.AddRoot("Academic");
+  tree.AddChild(academic, "Academic Building");
+  tree.AddChild(academic, "Library");
+  tree.AddChild(academic, "Research Lab");
+  const CategoryId life = tree.AddRoot("Campus Life");
+  tree.AddChild(life, "Student Residence");
+  tree.AddChild(life, "Dining Hall");
+  tree.AddChild(life, "Athletics Venue");
+  const CategoryId operations = tree.AddRoot("Operations");
+  tree.AddChild(operations, "Administrative Office");
+  tree.AddChild(operations, "Services Building");
+  tree.AddChild(operations, "Parking Structure");
+  return tree;
+}
+
+}  // namespace trajldp::hierarchy

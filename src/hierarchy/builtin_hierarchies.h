@@ -1,0 +1,25 @@
+#ifndef TRAJLDP_HIERARCHY_BUILTIN_HIERARCHIES_H_
+#define TRAJLDP_HIERARCHY_BUILTIN_HIERARCHIES_H_
+
+#include "hierarchy/category_tree.h"
+
+namespace trajldp::hierarchy {
+
+/// \brief Three-level category tree modeled on the published Foursquare
+/// venue hierarchy [16]: 10 level-1 domains, 3 level-2 sub-domains each,
+/// 3 level-3 leaves each (130 nodes). The real hierarchy is larger; d_c
+/// depends only on tree topology, so this reproduces its distance profile.
+CategoryTree BuiltinFoursquareLike();
+
+/// \brief Three-level tree modeled on the NAICS industry classification [7]
+/// used by the Safegraph dataset: 10 sectors, 3 subsectors each, 3 industry
+/// leaves each.
+CategoryTree BuiltinNaicsLike();
+
+/// \brief Two-level tree for the campus dataset (§6.1.3): 3 broad groups
+/// over the 9 campus building categories. Leaves sit at level 2.
+CategoryTree BuiltinCampus();
+
+}  // namespace trajldp::hierarchy
+
+#endif  // TRAJLDP_HIERARCHY_BUILTIN_HIERARCHIES_H_

@@ -1,0 +1,43 @@
+#include "hierarchy/category_distance.h"
+
+#include <algorithm>
+
+namespace trajldp::hierarchy {
+
+double CategoryDistanceTable::Max() const {
+  return std::max({same, sibling_leaf, parent_child, uncle, grandparent,
+                   cousin_leaf, unrelated});
+}
+
+CategoryDistance::CategoryDistance(const CategoryTree* tree,
+                                   CategoryDistanceTable table)
+    : tree_(tree), table_(table) {}
+
+double CategoryDistance::Between(CategoryId a, CategoryId b) const {
+  if (!tree_->IsValid(a) || !tree_->IsValid(b)) return table_.unrelated;
+  if (a == b) return table_.same;
+
+  const CategoryId lca = tree_->LowestCommonAncestor(a, b);
+  if (lca == kInvalidCategory) return table_.unrelated;
+
+  // Depth of each node below the LCA, clamped to the paper's three levels.
+  const int lca_level = tree_->level(lca);
+  int da = std::min(tree_->level(a), 3) - std::min(lca_level, 3);
+  int db = std::min(tree_->level(b), 3) - std::min(lca_level, 3);
+  if (da > db) std::swap(da, db);
+  da = std::clamp(da, 0, 2);
+  db = std::clamp(db, 0, 2);
+
+  if (da == 0 && db == 0) return table_.same;          // same after clamping
+  if (da == 0 && db == 1) return table_.parent_child;  // direct ancestor
+  if (da == 0 && db == 2) return table_.grandparent;   // two-level ancestor
+  if (da == 1 && db == 1) {
+    // Siblings. Leaf siblings under a level-2 parent score sibling_leaf;
+    // level-2 siblings under a level-1 node are broader, score uncle.
+    return lca_level >= 2 ? table_.sibling_leaf : table_.uncle;
+  }
+  if (da == 1 && db == 2) return table_.uncle;   // uncle/nephew
+  return table_.cousin_leaf;                     // (2, 2): cousins
+}
+
+}  // namespace trajldp::hierarchy

@@ -1,0 +1,65 @@
+#ifndef TRAJLDP_HIERARCHY_CATEGORY_DISTANCE_H_
+#define TRAJLDP_HIERARCHY_CATEGORY_DISTANCE_H_
+
+#include "hierarchy/category_tree.h"
+
+namespace trajldp::hierarchy {
+
+/// \brief The d_c lookup table of Figure 5, relative to a leaf node.
+///
+/// Values are keyed by the relationship between the two nodes, computed
+/// from their levels and the level of their lowest common ancestor. The
+/// defaults reproduce the figure; every entry is configurable because the
+/// paper notes any distance function can be swapped in without changing
+/// the mechanism (§5.10).
+struct CategoryDistanceTable {
+  /// Identical categories.
+  double same = 0.0;
+  /// Leaves sharing a level-2 parent (e.g. Shoe Shop vs. Hat Shop).
+  double sibling_leaf = 2.0;
+  /// A node and its direct parent (e.g. Shoe Shop vs. Shopping).
+  double parent_child = 3.5;
+  /// Nodes one and two levels below a shared level-1 ancestor
+  /// (e.g. Shoe Shop vs. Groceries), and level-2 siblings.
+  double uncle = 5.0;
+  /// A node and its grandparent (leaf vs. its level-1 ancestor).
+  double grandparent = 6.5;
+  /// Leaves sharing only a level-1 ancestor (cousins).
+  double cousin_leaf = 8.0;
+  /// No shared level-1 category: "unrelated" (dotted line in Figure 5).
+  double unrelated = 10.0;
+
+  /// The largest value in the table; this is the d_c diameter used for
+  /// sensitivity computations.
+  double Max() const;
+};
+
+/// \brief Computes the semantic category distance d_c over a tree.
+///
+/// Symmetric by construction: d_c(a, b) = d_c(b, a). Handles nodes at any
+/// level, which matters because STC region merging can lift a region's
+/// category to level 2 or level 1 (§5.3). Levels deeper than 3 are clamped
+/// to 3, matching the paper's use of the first three hierarchy levels.
+class CategoryDistance {
+ public:
+  /// `tree` must outlive this object.
+  explicit CategoryDistance(const CategoryTree* tree,
+                            CategoryDistanceTable table = {});
+
+  /// The distance between two categories. Invalid ids are treated as
+  /// unrelated.
+  double Between(CategoryId a, CategoryId b) const;
+
+  /// Upper bound of Between over all category pairs.
+  double MaxDistance() const { return table_.Max(); }
+
+  const CategoryDistanceTable& table() const { return table_; }
+
+ private:
+  const CategoryTree* tree_;
+  CategoryDistanceTable table_;
+};
+
+}  // namespace trajldp::hierarchy
+
+#endif  // TRAJLDP_HIERARCHY_CATEGORY_DISTANCE_H_

@@ -1,0 +1,78 @@
+#include "hierarchy/category_tree.h"
+
+#include <cassert>
+
+namespace trajldp::hierarchy {
+
+CategoryId CategoryTree::AddRoot(std::string name) {
+  Node node;
+  node.name = std::move(name);
+  node.level = 1;
+  nodes_.push_back(std::move(node));
+  return static_cast<CategoryId>(nodes_.size() - 1);
+}
+
+CategoryId CategoryTree::AddChild(CategoryId parent, std::string name) {
+  assert(IsValid(parent));
+  Node node;
+  node.name = std::move(name);
+  node.parent = parent;
+  node.level = nodes_[parent].level + 1;
+  nodes_.push_back(std::move(node));
+  const auto id = static_cast<CategoryId>(nodes_.size() - 1);
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+std::vector<CategoryId> CategoryTree::Leaves() const {
+  std::vector<CategoryId> leaves;
+  for (CategoryId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].children.empty()) leaves.push_back(id);
+  }
+  return leaves;
+}
+
+std::vector<CategoryId> CategoryTree::NodesAtLevel(int level) const {
+  std::vector<CategoryId> out;
+  for (CategoryId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].level == level) out.push_back(id);
+  }
+  return out;
+}
+
+CategoryId CategoryTree::AncestorAtLevel(CategoryId id, int level) const {
+  if (!IsValid(id) || level < 1 || level > nodes_[id].level) {
+    return kInvalidCategory;
+  }
+  CategoryId cur = id;
+  while (nodes_[cur].level > level) cur = nodes_[cur].parent;
+  return cur;
+}
+
+bool CategoryTree::IsAncestorOrSelf(CategoryId ancestor, CategoryId id) const {
+  if (!IsValid(ancestor) || !IsValid(id)) return false;
+  return AncestorAtLevel(id, nodes_[ancestor].level) == ancestor;
+}
+
+CategoryId CategoryTree::LowestCommonAncestor(CategoryId a,
+                                              CategoryId b) const {
+  if (!IsValid(a) || !IsValid(b)) return kInvalidCategory;
+  // Walk the deeper node up until levels match, then walk both up together.
+  while (nodes_[a].level > nodes_[b].level) a = nodes_[a].parent;
+  while (nodes_[b].level > nodes_[a].level) b = nodes_[b].parent;
+  while (a != b) {
+    if (nodes_[a].parent == kInvalidCategory) return kInvalidCategory;
+    a = nodes_[a].parent;
+    b = nodes_[b].parent;
+  }
+  return a;
+}
+
+StatusOr<CategoryId> CategoryTree::FindByName(std::string_view name) const {
+  for (CategoryId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].name == name) return id;
+  }
+  return Status::NotFound("no category named '" + std::string(name) + "'");
+}
+
+}  // namespace trajldp::hierarchy

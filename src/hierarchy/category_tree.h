@@ -1,0 +1,94 @@
+#ifndef TRAJLDP_HIERARCHY_CATEGORY_TREE_H_
+#define TRAJLDP_HIERARCHY_CATEGORY_TREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace trajldp::hierarchy {
+
+/// Identifier of a node within a CategoryTree. Dense, starting at 0.
+using CategoryId = uint32_t;
+
+/// Sentinel meaning "no category".
+inline constexpr CategoryId kInvalidCategory = 0xFFFFFFFFu;
+
+/// \brief A multi-level POI category hierarchy (§5.10, Figure 5).
+///
+/// Mirrors the published Foursquare / NAICS classification trees: level-1
+/// nodes are broad domains ("Food"), level-2 nodes are sub-domains
+/// ("Restaurant"), level-3 nodes are leaf categories ("Shoe Shop"). The
+/// paper uses three levels but the tree supports any depth; the distance
+/// function (category_distance.h) clamps levels beyond 3.
+///
+/// Nodes are appended via AddRoot / AddChild and never removed, so
+/// CategoryIds are stable. Parents must be added before children.
+class CategoryTree {
+ public:
+  CategoryTree() = default;
+
+  /// Adds a level-1 node and returns its id.
+  CategoryId AddRoot(std::string name);
+
+  /// Adds a child of `parent` and returns its id. `parent` must exist.
+  CategoryId AddChild(CategoryId parent, std::string name);
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Node name. `id` must be valid.
+  const std::string& name(CategoryId id) const { return nodes_[id].name; }
+
+  /// 1 for roots, parent level + 1 otherwise.
+  int level(CategoryId id) const { return nodes_[id].level; }
+
+  /// Parent id, or kInvalidCategory for level-1 nodes.
+  CategoryId parent(CategoryId id) const { return nodes_[id].parent; }
+
+  /// Direct children in insertion order.
+  const std::vector<CategoryId>& children(CategoryId id) const {
+    return nodes_[id].children;
+  }
+
+  /// True when `id` has no children.
+  bool is_leaf(CategoryId id) const { return nodes_[id].children.empty(); }
+
+  /// All leaf ids in id order.
+  std::vector<CategoryId> Leaves() const;
+
+  /// All ids at the given level.
+  std::vector<CategoryId> NodesAtLevel(int level) const;
+
+  /// The ancestor of `id` at `level` (which may be `id` itself).
+  /// Returns kInvalidCategory if `level` is below 1 or above id's level.
+  CategoryId AncestorAtLevel(CategoryId id, int level) const;
+
+  /// True when `ancestor` lies on the root path of `id` (inclusive).
+  bool IsAncestorOrSelf(CategoryId ancestor, CategoryId id) const;
+
+  /// Lowest common ancestor of `a` and `b`, or kInvalidCategory when the
+  /// two nodes do not share a level-1 root ("unrelated", d_c = 10).
+  CategoryId LowestCommonAncestor(CategoryId a, CategoryId b) const;
+
+  /// Finds a node by name (names need not be unique; first match wins).
+  StatusOr<CategoryId> FindByName(std::string_view name) const;
+
+  /// True for ids addressable in this tree.
+  bool IsValid(CategoryId id) const { return id < nodes_.size(); }
+
+ private:
+  struct Node {
+    std::string name;
+    CategoryId parent = kInvalidCategory;
+    int level = 1;
+    std::vector<CategoryId> children;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace trajldp::hierarchy
+
+#endif  // TRAJLDP_HIERARCHY_CATEGORY_TREE_H_

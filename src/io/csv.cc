@@ -1,0 +1,161 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace trajldp::io {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string Escape(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void AppendRow(std::string* out, const std::vector<std::string>& row) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += Escape(row[i]);
+  }
+  *out += '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  AppendRow(&out, header_);
+  for (const auto& row : rows_) AppendRow(&out, row);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc | std::ios::binary);
+  if (!file) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const std::string contents = ToString();
+  file.write(contents.data(),
+             static_cast<std::streamsize>(contents.size()));
+  if (!file) {
+    return Status::Internal("failed writing '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> CsvTable::Column(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return Status::NotFound("CSV has no column named '" + name + "'");
+}
+
+StatusOr<CsvTable> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    current.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_started) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field += c;  // stray quote mid-field: keep literally
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate \r\n
+      case '\n':
+        end_record();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV ends inside a quoted field");
+  }
+  if (field_started || !field.empty() || !current.empty()) {
+    end_record();  // final record without trailing newline
+  }
+
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV is empty");
+  }
+  CsvTable table;
+  table.header = std::move(records.front());
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != table.header.size()) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(r) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(table.header.size()));
+    }
+    table.rows.push_back(std::move(records[r]));
+  }
+  return table;
+}
+
+StatusOr<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return ParseCsv(contents.str());
+}
+
+}  // namespace trajldp::io

@@ -1,0 +1,50 @@
+#ifndef TRAJLDP_IO_CSV_H_
+#define TRAJLDP_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace trajldp::io {
+
+/// \brief Minimal CSV support for the interchange formats in this
+/// library: comma separation, double-quote escaping for fields containing
+/// commas/quotes/newlines, first row = header.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Serialises header + rows.
+  std::string ToString() const;
+
+  /// Writes to `path` (truncating). Fails on IO errors.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Parsed CSV contents: `header` plus data `rows`, all unescaped.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or error when missing.
+  StatusOr<size_t> Column(const std::string& name) const;
+};
+
+/// Parses CSV text. Handles quoted fields (embedded commas, quotes,
+/// newlines) and both \n and \r\n line endings. Fails on unbalanced
+/// quotes or rows whose width differs from the header.
+StatusOr<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+StatusOr<CsvTable> ReadCsvFile(const std::string& path);
+
+}  // namespace trajldp::io
+
+#endif  // TRAJLDP_IO_CSV_H_

@@ -1,0 +1,286 @@
+#include "io/dataset_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.h"
+
+namespace trajldp::io {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.8f", value);
+  return buf;
+}
+
+StatusOr<long long> ParseInt(const std::string& text,
+                             const std::string& what) {
+  long long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("bad " + what + ": '" + text + "'");
+  }
+  return value;
+}
+
+StatusOr<double> ParseDouble(const std::string& text,
+                             const std::string& what) {
+  try {
+    size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) {
+      return Status::InvalidArgument("bad " + what + ": '" + text + "'");
+    }
+    return value;
+  } catch (...) {
+    return Status::InvalidArgument("bad " + what + ": '" + text + "'");
+  }
+}
+
+}  // namespace
+
+std::string CategoriesToCsv(const hierarchy::CategoryTree& tree) {
+  CsvWriter csv({"id", "parent_id", "name"});
+  for (hierarchy::CategoryId id = 0; id < tree.num_nodes(); ++id) {
+    const hierarchy::CategoryId parent = tree.parent(id);
+    csv.AddRow({std::to_string(id),
+                parent == hierarchy::kInvalidCategory
+                    ? std::string()
+                    : std::to_string(parent),
+                tree.name(id)});
+  }
+  return csv.ToString();
+}
+
+StatusOr<hierarchy::CategoryTree> CategoriesFromCsv(const std::string& text) {
+  auto table = ParseCsv(text);
+  if (!table.ok()) return table.status();
+  auto id_col = table->Column("id");
+  auto parent_col = table->Column("parent_id");
+  auto name_col = table->Column("name");
+  if (!id_col.ok() || !parent_col.ok() || !name_col.ok()) {
+    return Status::InvalidArgument(
+        "category CSV needs id, parent_id, name columns");
+  }
+
+  hierarchy::CategoryTree tree;
+  for (size_t r = 0; r < table->rows.size(); ++r) {
+    const auto& row = table->rows[r];
+    auto id = ParseInt(row[*id_col], "category id");
+    if (!id.ok()) return id.status();
+    if (static_cast<size_t>(*id) != r) {
+      return Status::InvalidArgument(
+          "category ids must be dense and in order; row " +
+          std::to_string(r) + " has id " + row[*id_col]);
+    }
+    const std::string& parent_text = row[*parent_col];
+    if (parent_text.empty()) {
+      tree.AddRoot(row[*name_col]);
+    } else {
+      auto parent = ParseInt(parent_text, "parent id");
+      if (!parent.ok()) return parent.status();
+      if (*parent < 0 || static_cast<size_t>(*parent) >= r) {
+        return Status::InvalidArgument(
+            "parents must precede children (row " + std::to_string(r) + ")");
+      }
+      tree.AddChild(static_cast<hierarchy::CategoryId>(*parent),
+                    row[*name_col]);
+    }
+  }
+  return tree;
+}
+
+std::string PoisToCsv(const model::PoiDatabase& db) {
+  CsvWriter csv({"name", "lat", "lon", "category_id", "popularity",
+                 "open_minute", "close_minute"});
+  for (const model::Poi& poi : db.pois()) {
+    // Round-trippable for the Daily/AlwaysOpen shapes this library's
+    // generators produce: one interval, or the two-interval midnight wrap.
+    int open = 0, close = 0;  // equal = always open
+    const auto& intervals = poi.hours.intervals();
+    if (poi.hours.OpenMinutesPerDay() == model::kMinutesPerDay) {
+      open = close = 0;
+    } else if (intervals.size() == 1) {
+      open = intervals[0].begin;
+      close = intervals[0].end;
+    } else if (intervals.size() == 2 && intervals[0].begin == 0 &&
+               intervals[1].end == model::kMinutesPerDay) {
+      open = intervals[1].begin;   // evening start
+      close = intervals[0].end;    // small-hours end (wraps)
+    } else if (!intervals.empty()) {
+      open = intervals.front().begin;
+      close = intervals.back().end;
+    }
+    csv.AddRow({poi.name, FormatDouble(poi.location.lat),
+                FormatDouble(poi.location.lon),
+                std::to_string(poi.category), FormatDouble(poi.popularity),
+                std::to_string(open), std::to_string(close)});
+  }
+  return csv.ToString();
+}
+
+StatusOr<model::PoiDatabase> PoiDatabaseFromCsv(
+    const std::string& poi_text, const std::string& category_text) {
+  auto tree = CategoriesFromCsv(category_text);
+  if (!tree.ok()) return tree.status();
+
+  auto table = ParseCsv(poi_text);
+  if (!table.ok()) return table.status();
+  auto name_col = table->Column("name");
+  auto lat_col = table->Column("lat");
+  auto lon_col = table->Column("lon");
+  auto cat_col = table->Column("category_id");
+  auto pop_col = table->Column("popularity");
+  auto open_col = table->Column("open_minute");
+  auto close_col = table->Column("close_minute");
+  for (const auto* col :
+       {&name_col, &lat_col, &lon_col, &cat_col, &pop_col, &open_col,
+        &close_col}) {
+    if (!col->ok()) return col->status();
+  }
+
+  std::vector<model::Poi> pois;
+  pois.reserve(table->rows.size());
+  for (const auto& row : table->rows) {
+    model::Poi poi;
+    poi.name = row[*name_col];
+    auto lat = ParseDouble(row[*lat_col], "lat");
+    auto lon = ParseDouble(row[*lon_col], "lon");
+    auto cat = ParseInt(row[*cat_col], "category_id");
+    auto pop = ParseDouble(row[*pop_col], "popularity");
+    auto open = ParseInt(row[*open_col], "open_minute");
+    auto close = ParseInt(row[*close_col], "close_minute");
+    for (const Status& st :
+         {lat.status(), lon.status(), cat.status(), pop.status(),
+          open.status(), close.status()}) {
+      if (!st.ok()) return st;
+    }
+    poi.location = {*lat, *lon};
+    poi.category = static_cast<hierarchy::CategoryId>(*cat);
+    poi.popularity = *pop;
+    poi.hours = (*open == *close)
+                    ? model::OpeningHours::AlwaysOpen()
+                    : model::OpeningHours::Daily(static_cast<int>(*open),
+                                                 static_cast<int>(*close));
+    pois.push_back(std::move(poi));
+  }
+  return model::PoiDatabase::Create(std::move(pois), std::move(*tree));
+}
+
+std::string TrajectoriesToCsv(const model::TrajectorySet& trajectories) {
+  CsvWriter csv({"user_id", "poi_id", "timestep"});
+  for (size_t user = 0; user < trajectories.size(); ++user) {
+    for (const model::TrajectoryPoint& pt : trajectories[user].points()) {
+      csv.AddRow({std::to_string(user), std::to_string(pt.poi),
+                  std::to_string(pt.t)});
+    }
+  }
+  return csv.ToString();
+}
+
+StatusOr<model::TrajectorySet> TrajectoriesFromCsv(
+    const std::string& text, const model::PoiDatabase& db,
+    const model::TimeDomain& time) {
+  auto table = ParseCsv(text);
+  if (!table.ok()) return table.status();
+  auto user_col = table->Column("user_id");
+  auto poi_col = table->Column("poi_id");
+  auto ts_col = table->Column("timestep");
+  if (!user_col.ok() || !poi_col.ok() || !ts_col.ok()) {
+    return Status::InvalidArgument(
+        "trajectory CSV needs user_id, poi_id, timestep columns");
+  }
+
+  model::TrajectorySet out;
+  long long current_user = -1;
+  model::Trajectory current;
+  auto flush = [&]() -> Status {
+    if (current.empty()) return Status::Ok();
+    TRAJLDP_RETURN_NOT_OK(current.Validate(time));
+    out.push_back(std::move(current));
+    current = model::Trajectory();
+    return Status::Ok();
+  };
+  for (const auto& row : table->rows) {
+    auto user = ParseInt(row[*user_col], "user_id");
+    auto poi = ParseInt(row[*poi_col], "poi_id");
+    auto ts = ParseInt(row[*ts_col], "timestep");
+    for (const Status& st : {user.status(), poi.status(), ts.status()}) {
+      if (!st.ok()) return st;
+    }
+    if (*poi < 0 || static_cast<size_t>(*poi) >= db.size()) {
+      return Status::OutOfRange("poi_id " + row[*poi_col] +
+                                " outside the database");
+    }
+    if (*user < current_user) {
+      return Status::InvalidArgument(
+          "user_id must be non-decreasing (rows grouped per user)");
+    }
+    if (*user != current_user) {
+      TRAJLDP_RETURN_NOT_OK(flush());
+      current_user = *user;
+    }
+    current.Append(static_cast<model::PoiId>(*poi),
+                   static_cast<model::Timestep>(*ts));
+  }
+  TRAJLDP_RETURN_NOT_OK(flush());
+  return out;
+}
+
+Status WritePoiDatabase(const model::PoiDatabase& db,
+                        const std::string& poi_path,
+                        const std::string& category_path) {
+  {
+    std::string text = PoisToCsv(db);
+    std::ofstream f(poi_path, std::ios::trunc | std::ios::binary);
+    if (!f) return Status::Internal("cannot open '" + poi_path + "'");
+    f << text;
+  }
+  {
+    std::string text = CategoriesToCsv(db.categories());
+    std::ofstream f(category_path, std::ios::trunc | std::ios::binary);
+    if (!f) return Status::Internal("cannot open '" + category_path + "'");
+    f << text;
+  }
+  return Status::Ok();
+}
+
+StatusOr<model::PoiDatabase> ReadPoiDatabase(
+    const std::string& poi_path, const std::string& category_path) {
+  std::ifstream poi_file(poi_path, std::ios::binary);
+  if (!poi_file) return Status::NotFound("cannot open '" + poi_path + "'");
+  std::ifstream cat_file(category_path, std::ios::binary);
+  if (!cat_file) {
+    return Status::NotFound("cannot open '" + category_path + "'");
+  }
+  std::ostringstream poi_text, cat_text;
+  poi_text << poi_file.rdbuf();
+  cat_text << cat_file.rdbuf();
+  return PoiDatabaseFromCsv(poi_text.str(), cat_text.str());
+}
+
+Status WriteTrajectories(const model::TrajectorySet& trajectories,
+                         const std::string& path) {
+  std::ofstream f(path, std::ios::trunc | std::ios::binary);
+  if (!f) return Status::Internal("cannot open '" + path + "'");
+  f << TrajectoriesToCsv(trajectories);
+  if (!f) return Status::Internal("failed writing '" + path + "'");
+  return Status::Ok();
+}
+
+StatusOr<model::TrajectorySet> ReadTrajectories(const std::string& path,
+                                                const model::PoiDatabase& db,
+                                                const model::TimeDomain& time) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << f.rdbuf();
+  return TrajectoriesFromCsv(text.str(), db, time);
+}
+
+}  // namespace trajldp::io

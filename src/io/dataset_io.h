@@ -1,0 +1,67 @@
+#ifndef TRAJLDP_IO_DATASET_IO_H_
+#define TRAJLDP_IO_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status_or.h"
+#include "hierarchy/category_tree.h"
+#include "model/poi_database.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+
+namespace trajldp::io {
+
+/// \brief CSV interchange for the public external-knowledge database and
+/// for trajectory sets.
+///
+/// The paper envisions the POI database being fed from location-service
+/// APIs (§6.1.4); these formats are the on-disk contract a deployment
+/// would use.
+///
+/// Category CSV columns: `id,parent_id,name` — parent_id empty for
+/// level-1 nodes; ids must be dense, parents before children.
+///
+/// POI CSV columns: `name,lat,lon,category_id,popularity,open_minute,
+/// close_minute` — equal open/close means always open; close < open wraps
+/// midnight (both as OpeningHours::Daily).
+///
+/// Trajectory CSV columns: `user_id,poi_id,timestep` — rows grouped by
+/// user_id, points in visit order; user_ids must be non-decreasing.
+
+/// Serialises a category tree.
+std::string CategoriesToCsv(const hierarchy::CategoryTree& tree);
+
+/// Parses a category tree.
+StatusOr<hierarchy::CategoryTree> CategoriesFromCsv(const std::string& text);
+
+/// Serialises the POI table (without the tree).
+std::string PoisToCsv(const model::PoiDatabase& db);
+
+/// Builds a database from POI and category CSVs.
+StatusOr<model::PoiDatabase> PoiDatabaseFromCsv(
+    const std::string& poi_text, const std::string& category_text);
+
+/// Serialises a trajectory set.
+std::string TrajectoriesToCsv(const model::TrajectorySet& trajectories);
+
+/// Parses a trajectory set, validating each against `time` and `db`
+/// (known POIs, strictly increasing timesteps).
+StatusOr<model::TrajectorySet> TrajectoriesFromCsv(
+    const std::string& text, const model::PoiDatabase& db,
+    const model::TimeDomain& time);
+
+/// File-level conveniences.
+Status WritePoiDatabase(const model::PoiDatabase& db,
+                        const std::string& poi_path,
+                        const std::string& category_path);
+StatusOr<model::PoiDatabase> ReadPoiDatabase(
+    const std::string& poi_path, const std::string& category_path);
+Status WriteTrajectories(const model::TrajectorySet& trajectories,
+                         const std::string& path);
+StatusOr<model::TrajectorySet> ReadTrajectories(const std::string& path,
+                                                const model::PoiDatabase& db,
+                                                const model::TimeDomain& time);
+
+}  // namespace trajldp::io
+
+#endif  // TRAJLDP_IO_DATASET_IO_H_

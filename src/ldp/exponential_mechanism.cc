@@ -1,0 +1,62 @@
+#include "ldp/exponential_mechanism.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/math_util.h"
+
+namespace trajldp::ldp {
+
+StatusOr<ExponentialMechanism> ExponentialMechanism::Create(
+    double epsilon, double sensitivity) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("EM epsilon must be positive, got " +
+                                   std::to_string(epsilon));
+  }
+  if (!(sensitivity > 0.0) || !std::isfinite(sensitivity)) {
+    return Status::InvalidArgument("EM sensitivity must be positive, got " +
+                                   std::to_string(sensitivity));
+  }
+  return ExponentialMechanism(epsilon, sensitivity);
+}
+
+StatusOr<size_t> ExponentialMechanism::Sample(
+    const std::vector<double>& qualities, Rng& rng) const {
+  return SampleStreaming(
+      qualities.size(), [&](size_t i) { return qualities[i]; }, rng);
+}
+
+StatusOr<size_t> ExponentialMechanism::SampleStreaming(
+    size_t n, const std::function<double(size_t)>& quality, Rng& rng) const {
+  if (n == 0) {
+    return Status::InvalidArgument("EM candidate set is empty");
+  }
+  size_t best = 0;
+  double best_key = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    const double key = LogWeight(quality(i)) + rng.Gumbel();
+    if (key > best_key) {
+      best_key = key;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<double> ExponentialMechanism::Probabilities(
+    const std::vector<double>& qualities) const {
+  std::vector<double> logits(qualities.size());
+  for (size_t i = 0; i < qualities.size(); ++i) {
+    logits[i] = LogWeight(qualities[i]);
+  }
+  return Softmax(logits);
+}
+
+double EmUtilityBound(double epsilon, double sensitivity, size_t domain_size,
+                      double zeta) {
+  return 2.0 * sensitivity / epsilon *
+         (std::log(static_cast<double>(domain_size)) + zeta);
+}
+
+}  // namespace trajldp::ldp

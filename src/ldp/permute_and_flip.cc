@@ -1,0 +1,44 @@
+#include "ldp/permute_and_flip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace trajldp::ldp {
+
+StatusOr<PermuteAndFlip> PermuteAndFlip::Create(double epsilon,
+                                                double sensitivity) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("PF epsilon must be positive");
+  }
+  if (!(sensitivity > 0.0) || !std::isfinite(sensitivity)) {
+    return Status::InvalidArgument("PF sensitivity must be positive");
+  }
+  return PermuteAndFlip(epsilon, sensitivity);
+}
+
+StatusOr<size_t> PermuteAndFlip::Sample(const std::vector<double>& qualities,
+                                        Rng& rng, size_t* flips_out) const {
+  if (qualities.empty()) {
+    return Status::InvalidArgument("PF candidate set is empty");
+  }
+  const double q_star = *std::max_element(qualities.begin(), qualities.end());
+  size_t flips = 0;
+  // The mechanism is guaranteed to terminate: any candidate with
+  // q(y) = q* is accepted with probability 1, and the permutation visits
+  // every candidate before repeating.
+  for (;;) {
+    const std::vector<size_t> order = rng.Permutation(qualities.size());
+    for (size_t idx : order) {
+      ++flips;
+      const double p =
+          std::exp(epsilon_ * (qualities[idx] - q_star) / (2.0 * sensitivity_));
+      if (rng.Bernoulli(p)) {
+        if (flips_out != nullptr) *flips_out = flips;
+        return idx;
+      }
+    }
+  }
+}
+
+}  // namespace trajldp::ldp

@@ -1,0 +1,43 @@
+#include "ldp/privacy_budget.h"
+
+#include <cmath>
+#include <string>
+
+namespace trajldp::ldp {
+
+namespace {
+// Tolerance for cumulative floating-point drift across many equal shares.
+constexpr double kBudgetSlack = 1e-9;
+}  // namespace
+
+StatusOr<PrivacyBudget> PrivacyBudget::Create(double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("privacy budget must be positive, got " +
+                                   std::to_string(epsilon));
+  }
+  return PrivacyBudget(epsilon);
+}
+
+Status PrivacyBudget::Spend(double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("spend must be positive");
+  }
+  if (spent_ + epsilon > total_ * (1.0 + kBudgetSlack)) {
+    return Status::ResourceExhausted(
+        "privacy budget exhausted: spent " + std::to_string(spent_) +
+        " + requested " + std::to_string(epsilon) + " > total " +
+        std::to_string(total_));
+  }
+  spent_ += epsilon;
+  history_.push_back(epsilon);
+  return Status::Ok();
+}
+
+StatusOr<double> PrivacyBudget::EqualShare(size_t parts) const {
+  if (parts == 0) {
+    return Status::InvalidArgument("cannot split budget into zero parts");
+  }
+  return remaining() / static_cast<double>(parts);
+}
+
+}  // namespace trajldp::ldp

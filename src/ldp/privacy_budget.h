@@ -1,0 +1,47 @@
+#ifndef TRAJLDP_LDP_PRIVACY_BUDGET_H_
+#define TRAJLDP_LDP_PRIVACY_BUDGET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status_or.h"
+
+namespace trajldp::ldp {
+
+/// \brief Tracks sequential composition of ε-LDP sub-mechanisms (§4.2).
+///
+/// The n-gram mechanism performs |τ| + n − 1 perturbations, each with
+/// budget ε′ = ε / (|τ| + n − 1); this accountant enforces that the spends
+/// compose to at most the total budget (Theorem 5.3). Post-processing
+/// steps spend nothing, by LDP's post-processing property.
+class PrivacyBudget {
+ public:
+  /// Creates an accountant with total budget `epsilon` (> 0 required).
+  static StatusOr<PrivacyBudget> Create(double epsilon);
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+
+  /// Records a spend of `epsilon`. Fails when the spend is non-positive or
+  /// would exceed the total (with a small floating-point tolerance).
+  Status Spend(double epsilon);
+
+  /// Splits the remaining budget into `parts` equal spends and returns the
+  /// per-part ε′. Does not spend anything itself.
+  StatusOr<double> EqualShare(size_t parts) const;
+
+  /// The spends recorded so far, in order.
+  const std::vector<double>& history() const { return history_; }
+
+ private:
+  explicit PrivacyBudget(double epsilon) : total_(epsilon) {}
+
+  double total_;
+  double spent_ = 0.0;
+  std::vector<double> history_;
+};
+
+}  // namespace trajldp::ldp
+
+#endif  // TRAJLDP_LDP_PRIVACY_BUDGET_H_

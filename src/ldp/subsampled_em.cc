@@ -1,0 +1,38 @@
+#include "ldp/subsampled_em.h"
+
+#include <algorithm>
+
+namespace trajldp::ldp {
+
+StatusOr<SubsampledEm> SubsampledEm::Create(double epsilon,
+                                            double sensitivity,
+                                            size_t sample_size) {
+  if (sample_size == 0) {
+    return Status::InvalidArgument("sample size must be positive");
+  }
+  auto em = ExponentialMechanism::Create(epsilon, sensitivity);
+  if (!em.ok()) return em.status();
+  return SubsampledEm(*em, sample_size);
+}
+
+StatusOr<size_t> SubsampledEm::Sample(
+    size_t n, const std::function<double(size_t)>& quality, Rng& rng) const {
+  if (n == 0) {
+    return Status::InvalidArgument("subsampled EM candidate set is empty");
+  }
+  const size_t m = std::min(sample_size_, n);
+  // Uniform sample with replacement; the privacy analysis in [34] permits
+  // either, and with-replacement keeps the per-draw cost O(1) for the
+  // astronomically large domains this is meant for.
+  std::vector<size_t> picks(m);
+  std::vector<double> qualities(m);
+  for (size_t i = 0; i < m; ++i) {
+    picks[i] = static_cast<size_t>(rng.UniformUint64(n));
+    qualities[i] = quality(picks[i]);
+  }
+  auto chosen = em_.Sample(qualities, rng);
+  if (!chosen.ok()) return chosen.status();
+  return picks[*chosen];
+}
+
+}  // namespace trajldp::ldp

@@ -1,0 +1,47 @@
+#ifndef TRAJLDP_LDP_SUBSAMPLED_EM_H_
+#define TRAJLDP_LDP_SUBSAMPLED_EM_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status_or.h"
+#include "ldp/exponential_mechanism.h"
+
+namespace trajldp::ldp {
+
+/// \brief The subsampled exponential mechanism of Lantz et al. [34].
+///
+/// Draws a uniform sample of m candidates from a domain of size n and runs
+/// the EM on the sample only. §5.1 argues this fails for the global
+/// trajectory mechanism: with a heavily skewed distance distribution the
+/// sample almost never contains a low-distance trajectory, so utility
+/// collapses. Included to reproduce that argument empirically
+/// (bench_ablation_mechanisms).
+class SubsampledEm {
+ public:
+  /// \param epsilon      per-invocation budget.
+  /// \param sensitivity  quality sensitivity Δq.
+  /// \param sample_size  m, the number of uniformly sampled candidates.
+  static StatusOr<SubsampledEm> Create(double epsilon, double sensitivity,
+                                       size_t sample_size);
+
+  size_t sample_size() const { return sample_size_; }
+
+  /// Samples an index in [0, n) with qualities produced on demand.
+  /// Fails when n == 0.
+  StatusOr<size_t> Sample(size_t n,
+                          const std::function<double(size_t)>& quality,
+                          Rng& rng) const;
+
+ private:
+  SubsampledEm(ExponentialMechanism em, size_t sample_size)
+      : em_(em), sample_size_(sample_size) {}
+
+  ExponentialMechanism em_;
+  size_t sample_size_;
+};
+
+}  // namespace trajldp::ldp
+
+#endif  // TRAJLDP_LDP_SUBSAMPLED_EM_H_

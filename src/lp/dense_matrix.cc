@@ -1,0 +1,16 @@
+#include "lp/dense_matrix.h"
+
+namespace trajldp::lp {
+
+void DenseMatrix::AddRowMultiple(size_t dst, size_t src, double factor) {
+  double* d = Row(dst);
+  const double* s = Row(src);
+  for (size_t c = 0; c < cols_; ++c) d[c] += factor * s[c];
+}
+
+void DenseMatrix::ScaleRow(size_t r, double factor) {
+  double* row = Row(r);
+  for (size_t c = 0; c < cols_; ++c) row[c] *= factor;
+}
+
+}  // namespace trajldp::lp

@@ -1,0 +1,40 @@
+#ifndef TRAJLDP_LP_DENSE_MATRIX_H_
+#define TRAJLDP_LP_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace trajldp::lp {
+
+/// \brief Minimal row-major dense matrix used by the simplex tableau.
+class DenseMatrix {
+ public:
+  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row `r` (rows are contiguous).
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// row_dst += factor * row_src (vectorisable inner loop of the pivot).
+  void AddRowMultiple(size_t dst, size_t src, double factor);
+
+  /// Scales row `r` by `factor`.
+  void ScaleRow(size_t r, double factor);
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace trajldp::lp
+
+#endif  // TRAJLDP_LP_DENSE_MATRIX_H_

@@ -1,0 +1,31 @@
+#include "lp/lp_problem.h"
+
+#include <string>
+
+namespace trajldp::lp {
+
+size_t LpProblem::AddConstraint(std::vector<Term> terms, Relation relation,
+                                double rhs) {
+  constraints.push_back(Constraint{std::move(terms), relation, rhs});
+  return constraints.size() - 1;
+}
+
+Status LpProblem::Validate() const {
+  if (objective.size() != num_vars) {
+    return Status::InvalidArgument(
+        "objective size " + std::to_string(objective.size()) +
+        " != num_vars " + std::to_string(num_vars));
+  }
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    for (const Term& term : constraints[i].terms) {
+      if (term.var >= num_vars) {
+        return Status::InvalidArgument(
+            "constraint " + std::to_string(i) + " references variable " +
+            std::to_string(term.var) + " >= num_vars");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace trajldp::lp

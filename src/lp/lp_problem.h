@@ -1,0 +1,53 @@
+#ifndef TRAJLDP_LP_LP_PROBLEM_H_
+#define TRAJLDP_LP_LP_PROBLEM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace trajldp::lp {
+
+/// \brief A linear program: minimise cᵀx subject to row constraints and
+/// x ≥ 0.
+///
+/// Rows are stored sparsely (index/value pairs) because the reconstruction
+/// LP (§5.5) is extremely sparse: each flow-conservation row touches only
+/// the bigrams incident to one region.
+struct LpProblem {
+  enum class Relation { kEq, kLe, kGe };
+
+  struct Term {
+    size_t var;
+    double coeff;
+  };
+
+  struct Constraint {
+    std::vector<Term> terms;
+    Relation relation = Relation::kEq;
+    double rhs = 0.0;
+  };
+
+  size_t num_vars = 0;
+  /// Objective coefficients, size num_vars (minimisation).
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+
+  /// Appends a constraint and returns its index.
+  size_t AddConstraint(std::vector<Term> terms, Relation relation,
+                       double rhs);
+
+  /// Structural sanity checks (indices in range, sizes consistent).
+  Status Validate() const;
+};
+
+/// \brief The solution of an LpProblem.
+struct LpSolution {
+  std::vector<double> x;
+  double objective = 0.0;
+  size_t iterations = 0;
+};
+
+}  // namespace trajldp::lp
+
+#endif  // TRAJLDP_LP_LP_PROBLEM_H_

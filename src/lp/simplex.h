@@ -1,0 +1,44 @@
+#ifndef TRAJLDP_LP_SIMPLEX_H_
+#define TRAJLDP_LP_SIMPLEX_H_
+
+#include "common/status_or.h"
+#include "lp/lp_problem.h"
+
+namespace trajldp::lp {
+
+/// \brief Two-phase dense tableau simplex solver.
+///
+/// Stands in for the off-the-shelf LP solver the paper uses for the
+/// optimal region-level reconstruction (§5.5, §5.8). Phase 1 finds a basic
+/// feasible solution via artificial variables; phase 2 optimises the true
+/// objective. Bland's rule guarantees termination (no cycling).
+///
+/// The reconstruction LP is a shortest-path/flow LP, whose basic optimal
+/// solutions are integral — so solving the relaxation solves the paper's
+/// ILP exactly (verified against the DP reconstructor in tests).
+class SimplexSolver {
+ public:
+  struct Options {
+    /// Hard iteration cap across both phases.
+    size_t max_iterations = 200000;
+    /// Numerical tolerance for reduced costs / pivots / feasibility.
+    double tolerance = 1e-9;
+  };
+
+  SimplexSolver() : options_() {}
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  /// Solves `problem`. Fails with:
+  ///  * InvalidArgument   — malformed problem,
+  ///  * FailedPrecondition — infeasible,
+  ///  * OutOfRange        — unbounded,
+  ///  * ResourceExhausted — iteration cap hit.
+  StatusOr<LpSolution> Solve(const LpProblem& problem) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace trajldp::lp
+
+#endif  // TRAJLDP_LP_SIMPLEX_H_

@@ -1,0 +1,75 @@
+#include "model/opening_hours.h"
+
+#include <algorithm>
+
+namespace trajldp::model {
+
+OpeningHours OpeningHours::AlwaysOpen() {
+  return FromIntervals({MinuteInterval{0, kMinutesPerDay}});
+}
+
+OpeningHours OpeningHours::Daily(int open_minute, int close_minute) {
+  open_minute = std::clamp(open_minute, 0, kMinutesPerDay);
+  close_minute = std::clamp(close_minute, 0, kMinutesPerDay);
+  if (open_minute == close_minute) return AlwaysOpen();
+  if (open_minute < close_minute) {
+    return FromIntervals({MinuteInterval{open_minute, close_minute}});
+  }
+  // Wraps midnight: split into the late-night and evening parts.
+  return FromIntervals({MinuteInterval{0, close_minute},
+                        MinuteInterval{open_minute, kMinutesPerDay}});
+}
+
+OpeningHours OpeningHours::FromIntervals(
+    std::vector<MinuteInterval> intervals) {
+  OpeningHours hours;
+  // Drop empty intervals, clamp, sort, and merge overlaps.
+  std::vector<MinuteInterval> cleaned;
+  for (MinuteInterval iv : intervals) {
+    iv.begin = std::clamp(iv.begin, 0, kMinutesPerDay);
+    iv.end = std::clamp(iv.end, 0, kMinutesPerDay);
+    if (iv.begin < iv.end) cleaned.push_back(iv);
+  }
+  std::sort(cleaned.begin(), cleaned.end(),
+            [](const MinuteInterval& a, const MinuteInterval& b) {
+              return a.begin < b.begin;
+            });
+  for (const MinuteInterval& iv : cleaned) {
+    if (!hours.intervals_.empty() && iv.begin <= hours.intervals_.back().end) {
+      hours.intervals_.back().end =
+          std::max(hours.intervals_.back().end, iv.end);
+    } else {
+      hours.intervals_.push_back(iv);
+    }
+  }
+  return hours;
+}
+
+bool OpeningHours::IsOpenAtMinute(int minute) const {
+  for (const auto& iv : intervals_) {
+    if (iv.Contains(minute)) return true;
+  }
+  return false;
+}
+
+bool OpeningHours::IsOpenDuring(const MinuteInterval& interval) const {
+  for (const auto& iv : intervals_) {
+    if (iv.Overlaps(interval)) return true;
+  }
+  return false;
+}
+
+bool OpeningHours::IsOpenThroughout(const MinuteInterval& interval) const {
+  for (const auto& iv : intervals_) {
+    if (iv.begin <= interval.begin && interval.end <= iv.end) return true;
+  }
+  return false;
+}
+
+int OpeningHours::OpenMinutesPerDay() const {
+  int total = 0;
+  for (const auto& iv : intervals_) total += iv.length();
+  return total;
+}
+
+}  // namespace trajldp::model

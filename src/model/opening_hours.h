@@ -1,0 +1,50 @@
+#ifndef TRAJLDP_MODEL_OPENING_HOURS_H_
+#define TRAJLDP_MODEL_OPENING_HOURS_H_
+
+#include <vector>
+
+#include "model/time_domain.h"
+
+namespace trajldp::model {
+
+/// \brief Daily opening hours of a POI as a union of minute intervals.
+///
+/// This is the user-independent public knowledge the paper folds into the
+/// STC decomposition (§5.3): a POI only joins STC regions whose time
+/// interval overlaps its opening hours, which removes unrealistic outputs
+/// like "church at 3 am". Wrap-around spans (a bar open 18:00–02:00) are
+/// normalised into two non-wrapping intervals at construction.
+class OpeningHours {
+ public:
+  /// Open all day.
+  static OpeningHours AlwaysOpen();
+
+  /// Open [open_minute, close_minute) each day. If close <= open, the span
+  /// wraps midnight and is split into two intervals.
+  static OpeningHours Daily(int open_minute, int close_minute);
+
+  /// Open during each given interval (intervals are normalised and merged).
+  static OpeningHours FromIntervals(std::vector<MinuteInterval> intervals);
+
+  /// True when the POI is open at `minute` (of day).
+  bool IsOpenAtMinute(int minute) const;
+
+  /// True when open at any point during `interval`.
+  bool IsOpenDuring(const MinuteInterval& interval) const;
+
+  /// True when open for the whole of `interval`.
+  bool IsOpenThroughout(const MinuteInterval& interval) const;
+
+  /// The normalised, sorted, disjoint interval list.
+  const std::vector<MinuteInterval>& intervals() const { return intervals_; }
+
+  /// Total open minutes per day.
+  int OpenMinutesPerDay() const;
+
+ private:
+  std::vector<MinuteInterval> intervals_;
+};
+
+}  // namespace trajldp::model
+
+#endif  // TRAJLDP_MODEL_OPENING_HOURS_H_

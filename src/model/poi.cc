@@ -1,0 +1,16 @@
+#include "model/poi.h"
+
+#include <sstream>
+
+namespace trajldp::model {
+
+std::string DebugString(const Poi& poi) {
+  std::ostringstream os;
+  os << "Poi{id=" << poi.id << ", name=\"" << poi.name << "\", loc=("
+     << poi.location.lat << "," << poi.location.lon
+     << "), category=" << poi.category << ", popularity=" << poi.popularity
+     << "}";
+  return os.str();
+}
+
+}  // namespace trajldp::model

@@ -1,0 +1,41 @@
+#ifndef TRAJLDP_MODEL_POI_H_
+#define TRAJLDP_MODEL_POI_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geo/latlon.h"
+#include "hierarchy/category_tree.h"
+#include "model/opening_hours.h"
+
+namespace trajldp::model {
+
+/// Identifier of a POI within a PoiDatabase. Dense, starting at 0.
+using PoiId = uint32_t;
+
+/// Sentinel meaning "no POI".
+inline constexpr PoiId kInvalidPoi = 0xFFFFFFFFu;
+
+/// \brief A point of interest p ∈ P with its public attributes (§4).
+///
+/// Everything here is user-independent public knowledge: location, leaf
+/// category, opening hours, and popularity (used by the popularity-aware
+/// region merging of §5.3 and by the synthetic generators). POIs are plain
+/// data; all behaviour lives in PoiDatabase and the mechanism classes.
+struct Poi {
+  PoiId id = kInvalidPoi;
+  std::string name;
+  geo::LatLon location;
+  /// Leaf category in the dataset's CategoryTree.
+  hierarchy::CategoryId category = hierarchy::kInvalidCategory;
+  OpeningHours hours = OpeningHours::AlwaysOpen();
+  /// Relative popularity weight (arbitrary non-negative scale).
+  double popularity = 1.0;
+};
+
+/// Returns a human-readable one-line description of `poi`.
+std::string DebugString(const Poi& poi);
+
+}  // namespace trajldp::model
+
+#endif  // TRAJLDP_MODEL_POI_H_

@@ -1,0 +1,61 @@
+#include "model/poi_database.h"
+
+#include <string>
+#include <utility>
+
+namespace trajldp::model {
+
+PoiDatabase::PoiDatabase(std::vector<Poi> pois, hierarchy::CategoryTree tree)
+    : pois_(std::move(pois)),
+      tree_(std::make_unique<hierarchy::CategoryTree>(std::move(tree))) {
+  category_distance_ =
+      std::make_unique<hierarchy::CategoryDistance>(tree_.get());
+  std::vector<geo::LatLon> locations;
+  locations.reserve(pois_.size());
+  for (size_t i = 0; i < pois_.size(); ++i) {
+    pois_[i].id = static_cast<PoiId>(i);
+    locations.push_back(pois_[i].location);
+  }
+  index_ = std::make_unique<geo::SpatialIndex>(std::move(locations));
+}
+
+StatusOr<PoiDatabase> PoiDatabase::Create(std::vector<Poi> pois,
+                                          hierarchy::CategoryTree tree) {
+  if (pois.empty()) {
+    return Status::InvalidArgument("PoiDatabase needs at least one POI");
+  }
+  for (size_t i = 0; i < pois.size(); ++i) {
+    if (!tree.IsValid(pois[i].category)) {
+      return Status::InvalidArgument(
+          "POI " + std::to_string(i) + " (\"" + pois[i].name +
+          "\") references category " + std::to_string(pois[i].category) +
+          " missing from the tree");
+    }
+    if (pois[i].popularity < 0.0) {
+      return Status::InvalidArgument("POI " + std::to_string(i) +
+                                     " has negative popularity");
+    }
+  }
+  return PoiDatabase(std::move(pois), std::move(tree));
+}
+
+double PoiDatabase::DistanceKm(PoiId a, PoiId b) const {
+  return geo::HaversineKm(pois_[a].location, pois_[b].location);
+}
+
+std::vector<PoiId> PoiDatabase::WithinRadius(const geo::LatLon& center,
+                                             double radius_km) const {
+  return index_->WithinRadius(center, radius_km);
+}
+
+std::vector<PoiId> PoiDatabase::WithinRadiusOf(PoiId a,
+                                               double radius_km) const {
+  return index_->WithinRadius(pois_[a].location, radius_km);
+}
+
+std::optional<PoiId> PoiDatabase::Nearest(const geo::LatLon& center,
+                                          double max_km) const {
+  return index_->Nearest(center, max_km);
+}
+
+}  // namespace trajldp::model

@@ -1,0 +1,73 @@
+#ifndef TRAJLDP_MODEL_POI_DATABASE_H_
+#define TRAJLDP_MODEL_POI_DATABASE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status_or.h"
+#include "geo/spatial_index.h"
+#include "hierarchy/category_distance.h"
+#include "hierarchy/category_tree.h"
+#include "model/poi.h"
+
+namespace trajldp::model {
+
+/// \brief The immutable public POI set P plus its category tree (§4).
+///
+/// This is the external-knowledge database the mechanism consults: POI
+/// locations, categories, opening hours, popularity, and a spatial index
+/// for reachability/radius queries. Build it once from public data (or a
+/// synthetic generator), then share a const reference with every component.
+class PoiDatabase {
+ public:
+  /// Builds a database. POI ids are reassigned to their vector positions.
+  /// Fails when a POI references a category missing from `tree`.
+  static StatusOr<PoiDatabase> Create(std::vector<Poi> pois,
+                                      hierarchy::CategoryTree tree);
+
+  PoiDatabase(PoiDatabase&&) = default;
+  PoiDatabase& operator=(PoiDatabase&&) = default;
+  PoiDatabase(const PoiDatabase&) = delete;
+  PoiDatabase& operator=(const PoiDatabase&) = delete;
+
+  size_t size() const { return pois_.size(); }
+  const Poi& poi(PoiId id) const { return pois_[id]; }
+  const std::vector<Poi>& pois() const { return pois_; }
+  const hierarchy::CategoryTree& categories() const { return *tree_; }
+  const hierarchy::CategoryDistance& category_distance() const {
+    return *category_distance_;
+  }
+
+  /// Physical distance d_s between two POIs, in km (haversine, §5.10).
+  double DistanceKm(PoiId a, PoiId b) const;
+
+  /// POIs within `radius_km` of `center`, ascending id order.
+  std::vector<PoiId> WithinRadius(const geo::LatLon& center,
+                                  double radius_km) const;
+
+  /// POIs within `radius_km` of POI `a` (includes `a` itself).
+  std::vector<PoiId> WithinRadiusOf(PoiId a, double radius_km) const;
+
+  /// Nearest POI to `center` within `max_km`, or nullopt. Mirrors the
+  /// paper's trajectory snapping rule (§6.1.1, 100 m cut-off).
+  std::optional<PoiId> Nearest(const geo::LatLon& center,
+                               double max_km) const;
+
+  /// Bounding box of all POI locations.
+  const geo::BoundingBox& extent() const { return index_->extent(); }
+
+ private:
+  PoiDatabase(std::vector<Poi> pois, hierarchy::CategoryTree tree);
+
+  std::vector<Poi> pois_;
+  // Held behind unique_ptrs so the database stays movable while
+  // CategoryDistance keeps a stable pointer to the tree.
+  std::unique_ptr<hierarchy::CategoryTree> tree_;
+  std::unique_ptr<hierarchy::CategoryDistance> category_distance_;
+  std::unique_ptr<geo::SpatialIndex> index_;
+};
+
+}  // namespace trajldp::model
+
+#endif  // TRAJLDP_MODEL_POI_DATABASE_H_

@@ -1,0 +1,57 @@
+#include "model/semantic_distance.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace trajldp::model {
+
+SemanticDistance::SemanticDistance(const PoiDatabase* db,
+                                   const TimeDomain& time)
+    : SemanticDistance(db, time, Weights()) {}
+
+SemanticDistance::SemanticDistance(const PoiDatabase* db,
+                                   const TimeDomain& time, Weights weights)
+    : db_(db), time_(time), weights_(weights) {
+  const geo::BoundingBox& extent = db->extent();
+  const double ds_max =
+      geo::HaversineKm(extent.min_corner(), extent.max_corner());
+  const double s = weights_.spatial * ds_max;
+  const double t = weights_.temporal * 12.0;
+  const double c =
+      weights_.category * db->category_distance().MaxDistance();
+  max_distance_ = std::sqrt(s * s + t * t + c * c);
+}
+
+double SemanticDistance::SpatialKm(PoiId a, PoiId b) const {
+  return db_->DistanceKm(a, b);
+}
+
+double SemanticDistance::TimeHours(Timestep a, Timestep b) const {
+  return time_.TimeDistanceHours(time_.TimestepToMinute(a),
+                                 time_.TimestepToMinute(b));
+}
+
+double SemanticDistance::Category(PoiId a, PoiId b) const {
+  return db_->category_distance().Between(db_->poi(a).category,
+                                          db_->poi(b).category);
+}
+
+double SemanticDistance::Between(const TrajectoryPoint& a,
+                                 const TrajectoryPoint& b) const {
+  const double s = weights_.spatial * SpatialKm(a.poi, b.poi);
+  const double t = weights_.temporal * TimeHours(a.t, b.t);
+  const double c = weights_.category * Category(a.poi, b.poi);
+  return std::sqrt(s * s + t * t + c * c);
+}
+
+double SemanticDistance::BetweenTrajectories(const Trajectory& a,
+                                             const Trajectory& b) const {
+  assert(a.size() == b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    total += Between(a.point(i), b.point(i));
+  }
+  return total;
+}
+
+}  // namespace trajldp::model

@@ -1,0 +1,62 @@
+#ifndef TRAJLDP_MODEL_SEMANTIC_DISTANCE_H_
+#define TRAJLDP_MODEL_SEMANTIC_DISTANCE_H_
+
+#include "model/poi_database.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+
+namespace trajldp::model {
+
+/// \brief The multi-attributed semantic distance between POI-timestep
+/// pairs (§5.10), the POI-level counterpart of region::RegionDistance:
+/// d(a, b) = sqrt(d_s² + d_t² + d_c²) with d_s in km (haversine), d_t in
+/// hours (capped at 12), and d_c the Figure 5 category distance.
+///
+/// Used by the global mechanism (§5.1), the POI-level baselines (§5.9),
+/// and the normalized-error metric (§6.3). Zeroing the time/category
+/// weights yields PhysDist's physical-only distance.
+class SemanticDistance {
+ public:
+  struct Weights {
+    double spatial = 1.0;
+    double temporal = 1.0;
+    double category = 1.0;
+  };
+
+  /// `db` must outlive this object.
+  SemanticDistance(const PoiDatabase* db, const TimeDomain& time);
+  SemanticDistance(const PoiDatabase* db, const TimeDomain& time,
+                   Weights weights);
+
+  /// d_s(p_a, p_b) in km.
+  double SpatialKm(PoiId a, PoiId b) const;
+
+  /// d_t between two timesteps, in hours (capped at 12).
+  double TimeHours(Timestep a, Timestep b) const;
+
+  /// d_c(p_a, p_b) per Figure 5.
+  double Category(PoiId a, PoiId b) const;
+
+  /// Combined point distance (eq. 15 at the POI level).
+  double Between(const TrajectoryPoint& a, const TrajectoryPoint& b) const;
+
+  /// Element-wise trajectory distance d_τ (eq. 16 applied to whole
+  /// trajectories). Requires equal lengths.
+  double BetweenTrajectories(const Trajectory& a, const Trajectory& b) const;
+
+  /// Public diameter (sensitivity): max possible Between value.
+  double MaxDistance() const { return max_distance_; }
+
+  const Weights& weights() const { return weights_; }
+  const TimeDomain& time() const { return time_; }
+
+ private:
+  const PoiDatabase* db_;
+  TimeDomain time_;
+  Weights weights_;
+  double max_distance_;
+};
+
+}  // namespace trajldp::model
+
+#endif  // TRAJLDP_MODEL_SEMANTIC_DISTANCE_H_

@@ -1,0 +1,38 @@
+#include "model/time_domain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace trajldp::model {
+
+StatusOr<TimeDomain> TimeDomain::Create(int granularity_minutes) {
+  if (granularity_minutes <= 0) {
+    return Status::InvalidArgument("time granularity must be positive");
+  }
+  if (kMinutesPerDay % granularity_minutes != 0) {
+    return Status::InvalidArgument(
+        "time granularity must divide 1440 minutes, got " +
+        std::to_string(granularity_minutes));
+  }
+  return TimeDomain(granularity_minutes);
+}
+
+Timestep TimeDomain::MinuteToTimestep(int minute) const {
+  minute = std::clamp(minute, 0, kMinutesPerDay - 1);
+  return minute / granularity_minutes_;
+}
+
+double TimeDomain::TimeDistanceHours(double minute_a, double minute_b) const {
+  const double hours = std::abs(minute_a - minute_b) / 60.0;
+  return std::min(hours, 12.0);
+}
+
+std::string TimeDomain::FormatTimestep(Timestep t) const {
+  const int minute = TimestepToMinute(t);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d", minute / 60, minute % 60);
+  return buf;
+}
+
+}  // namespace trajldp::model

@@ -1,0 +1,82 @@
+#ifndef TRAJLDP_MODEL_TIME_DOMAIN_H_
+#define TRAJLDP_MODEL_TIME_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status_or.h"
+
+namespace trajldp::model {
+
+/// Index of a quantized timestep within one day: t ∈ [0, |T|).
+using Timestep = int32_t;
+
+/// Minutes within one day, in [0, 1440).
+inline constexpr int kMinutesPerDay = 24 * 60;
+
+/// \brief A half-open interval of minutes within a day, [begin, end).
+///
+/// Used for STC region time extents and opening hours. Intervals never
+/// wrap; wrap-around opening hours are stored as two intervals.
+struct MinuteInterval {
+  int begin = 0;
+  int end = 0;
+
+  bool Contains(int minute) const { return minute >= begin && minute < end; }
+  bool Overlaps(const MinuteInterval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  int length() const { return end - begin; }
+  double CenterMinute() const { return 0.5 * (begin + end); }
+  bool operator==(const MinuteInterval& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+/// \brief Quantization of one day into |T| = 1440 / g_t timesteps (§4).
+///
+/// The paper sets the granularity g_t = 10 minutes by default (§6.2).
+class TimeDomain {
+ public:
+  /// Creates a domain with the given granularity. Fails unless the
+  /// granularity is positive and divides 1440.
+  static StatusOr<TimeDomain> Create(int granularity_minutes);
+
+  /// Convenience: 10-minute granularity (the paper's default).
+  TimeDomain() : granularity_minutes_(10) {}
+
+  int granularity_minutes() const { return granularity_minutes_; }
+
+  /// Number of timesteps per day, |T| = 1440 / g_t.
+  Timestep num_timesteps() const {
+    return kMinutesPerDay / granularity_minutes_;
+  }
+
+  /// First minute of timestep `t`.
+  int TimestepToMinute(Timestep t) const { return t * granularity_minutes_; }
+
+  /// Timestep containing `minute` (clamped into the day).
+  Timestep MinuteToTimestep(int minute) const;
+
+  /// Minutes elapsed between two timesteps: (b - a) * g_t.
+  int GapMinutes(Timestep a, Timestep b) const {
+    return (b - a) * granularity_minutes_;
+  }
+
+  /// Absolute time distance in hours, capped at 12 h as the paper's d_t
+  /// does (§5.10).
+  double TimeDistanceHours(double minute_a, double minute_b) const;
+
+  /// "HH:MM" rendering of a timestep (for examples and logging).
+  std::string FormatTimestep(Timestep t) const;
+
+ private:
+  explicit TimeDomain(int granularity_minutes)
+      : granularity_minutes_(granularity_minutes) {}
+
+  int granularity_minutes_;
+};
+
+}  // namespace trajldp::model
+
+#endif  // TRAJLDP_MODEL_TIME_DOMAIN_H_

@@ -1,0 +1,50 @@
+#include "model/trajectory.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace trajldp::model {
+
+Trajectory Trajectory::Fragment(size_t a, size_t b) const {
+  assert(a >= 1 && a <= b && b <= points_.size());
+  return Trajectory(std::vector<TrajectoryPoint>(
+      points_.begin() + static_cast<ptrdiff_t>(a - 1),
+      points_.begin() + static_cast<ptrdiff_t>(b)));
+}
+
+Status Trajectory::Validate(const TimeDomain& time) const {
+  if (points_.empty()) {
+    return Status::InvalidArgument("trajectory is empty");
+  }
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].poi == kInvalidPoi) {
+      return Status::InvalidArgument("trajectory point " + std::to_string(i) +
+                                     " has an invalid POI");
+    }
+    if (points_[i].t < 0 || points_[i].t >= time.num_timesteps()) {
+      return Status::OutOfRange("trajectory point " + std::to_string(i) +
+                                " timestep " + std::to_string(points_[i].t) +
+                                " outside the time domain");
+    }
+    if (i > 0 && points_[i].t <= points_[i - 1].t) {
+      return Status::InvalidArgument(
+          "timesteps must strictly increase (points " + std::to_string(i - 1) +
+          " and " + std::to_string(i) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Trajectory::DebugString(const TimeDomain& time) const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << "(poi " << points_[i].poi << " @ " << time.FormatTimestep(points_[i].t)
+       << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace trajldp::model

@@ -1,0 +1,65 @@
+#ifndef TRAJLDP_MODEL_TRAJECTORY_H_
+#define TRAJLDP_MODEL_TRAJECTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/poi.h"
+#include "model/time_domain.h"
+
+namespace trajldp::model {
+
+/// \brief One POI-timestep pair (p_i, t_i) of a trajectory (§4).
+struct TrajectoryPoint {
+  PoiId poi = kInvalidPoi;
+  Timestep t = 0;
+
+  bool operator==(const TrajectoryPoint& other) const {
+    return poi == other.poi && t == other.t;
+  }
+};
+
+/// \brief A time-ordered sequence of POI visits, τ = {(p_1,t_1),...} (§4).
+///
+/// Invariant (checked by Validate): timesteps strictly increase — "one
+/// cannot go back in time, or be in two places at once".
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<TrajectoryPoint> points)
+      : points_(std::move(points)) {}
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const TrajectoryPoint& point(size_t i) const { return points_[i]; }
+  TrajectoryPoint& point(size_t i) { return points_[i]; }
+  const std::vector<TrajectoryPoint>& points() const { return points_; }
+
+  void Append(PoiId poi, Timestep t) { points_.push_back({poi, t}); }
+
+  /// The fragment τ(a, b) covering the a-th through b-th points,
+  /// 1-indexed and inclusive, matching the paper's notation.
+  Trajectory Fragment(size_t a, size_t b) const;
+
+  /// OK when points are non-empty, timesteps strictly increase, and every
+  /// timestep lies within the domain.
+  Status Validate(const TimeDomain& time) const;
+
+  /// Human-readable rendering for examples/logging.
+  std::string DebugString(const TimeDomain& time) const;
+
+  bool operator==(const Trajectory& other) const {
+    return points_ == other.points_;
+  }
+
+ private:
+  std::vector<TrajectoryPoint> points_;
+};
+
+/// A collection of trajectories T, one per user (§3).
+using TrajectorySet = std::vector<Trajectory>;
+
+}  // namespace trajldp::model
+
+#endif  // TRAJLDP_MODEL_TRAJECTORY_H_

@@ -1,0 +1,184 @@
+#include "region/decomposition.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+
+namespace trajldp::region {
+
+namespace {
+
+Status ValidateConfig(const DecompositionConfig& config,
+                      const model::TimeDomain& time) {
+  if (config.grid_size == 0) {
+    return Status::InvalidArgument("grid_size must be positive");
+  }
+  for (size_t i = 0; i < config.coarse_grids.size(); ++i) {
+    if (config.coarse_grids[i] == 0) {
+      return Status::InvalidArgument("coarse grid sizes must be positive");
+    }
+    const uint32_t prev =
+        i == 0 ? config.grid_size : config.coarse_grids[i - 1];
+    if (config.coarse_grids[i] >= prev) {
+      return Status::InvalidArgument(
+          "coarse_grids must be strictly decreasing");
+    }
+  }
+  if (config.base_interval_minutes <= 0 ||
+      model::kMinutesPerDay % config.base_interval_minutes != 0) {
+    return Status::InvalidArgument(
+        "base_interval_minutes must divide 1440");
+  }
+  if (config.base_interval_minutes % time.granularity_minutes() != 0) {
+    return Status::InvalidArgument(
+        "base_interval_minutes must be a multiple of the time granularity");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<StcDecomposition> StcDecomposition::Build(
+    const model::PoiDatabase* db, const model::TimeDomain& time,
+    DecompositionConfig config) {
+  TRAJLDP_RETURN_NOT_OK(ValidateConfig(config, time));
+
+  StcDecomposition decomp(db, time, std::move(config));
+  const DecompositionConfig& cfg = decomp.config_;
+
+  // Grid pyramid over the POI extent, finest first. Pad the extent by a
+  // hair so boundary POIs land inside the outermost cells.
+  geo::BoundingBox extent = db->extent();
+  extent.ExpandByKm(0.05);
+  decomp.grids_.emplace_back(extent, cfg.grid_size, cfg.grid_size);
+  for (uint32_t g : cfg.coarse_grids) {
+    decomp.grids_.emplace_back(extent, g, g);
+  }
+
+  // Initial proto-regions: group (poi, open interval) assignments by
+  // (cell, interval, leaf category). Empty regions are never instantiated.
+  const int intervals = decomp.intervals_per_day();
+  std::map<std::tuple<geo::CellId, int, hierarchy::CategoryId>, ProtoRegion>
+      initial;
+  for (const model::Poi& poi : db->pois()) {
+    const geo::CellId cell = decomp.grids_[0].CellOf(poi.location);
+    for (int iv = 0; iv < intervals; ++iv) {
+      const model::MinuteInterval window{
+          iv * cfg.base_interval_minutes,
+          (iv + 1) * cfg.base_interval_minutes};
+      if (!poi.hours.IsOpenDuring(window)) continue;
+      ProtoRegion& proto = initial[{cell, iv, poi.category}];
+      if (proto.members.empty()) {
+        proto.space_level = 0;
+        proto.cell = cell;
+        proto.time_level = 0;
+        proto.time_slot = iv;
+        proto.category = poi.category;
+      }
+      proto.members.emplace_back(poi.id, iv);
+      proto.max_popularity = std::max(proto.max_popularity, poi.popularity);
+    }
+  }
+
+  std::vector<ProtoRegion> protos;
+  protos.reserve(initial.size());
+  for (auto& [key, proto] : initial) protos.push_back(std::move(proto));
+
+  MergeContext context;
+  context.grids = &decomp.grids_;
+  context.tree = &db->categories();
+  context.base_interval_minutes = cfg.base_interval_minutes;
+  protos = MergeProtoRegions(std::move(protos), context, cfg.merge);
+
+  // Deterministic ordering: sort by full key.
+  std::sort(protos.begin(), protos.end(),
+            [](const ProtoRegion& a, const ProtoRegion& b) {
+              return std::tuple(a.time_level, a.time_slot, a.space_level,
+                                a.cell, a.category) <
+                     std::tuple(b.time_level, b.time_slot, b.space_level,
+                                b.cell, b.category);
+            });
+
+  // Finalise StcRegions and the (poi, interval) → region membership table.
+  decomp.membership_.assign(db->size() * static_cast<size_t>(intervals),
+                            kInvalidRegion);
+  decomp.regions_.reserve(protos.size());
+  for (const ProtoRegion& proto : protos) {
+    StcRegion region;
+    region.id = static_cast<RegionId>(decomp.regions_.size());
+    region.space_level = proto.space_level;
+    region.cell = proto.cell;
+    const int length = cfg.base_interval_minutes * (1 << proto.time_level);
+    region.time = model::MinuteInterval{proto.time_slot * length,
+                                        (proto.time_slot + 1) * length};
+    region.category = proto.category;
+    region.max_popularity = proto.max_popularity;
+
+    std::vector<model::PoiId> pois;
+    pois.reserve(proto.members.size());
+    for (const auto& [poi, iv] : proto.members) {
+      pois.push_back(poi);
+      const size_t slot = static_cast<size_t>(poi) * intervals + iv;
+      decomp.membership_[slot] = region.id;
+    }
+    std::sort(pois.begin(), pois.end());
+    pois.erase(std::unique(pois.begin(), pois.end()), pois.end());
+
+    double lat_sum = 0.0, lon_sum = 0.0;
+    for (model::PoiId poi : pois) {
+      const geo::LatLon& loc = db->poi(poi).location;
+      region.bounds.Extend(loc);
+      lat_sum += loc.lat;
+      lon_sum += loc.lon;
+    }
+    region.centroid =
+        geo::LatLon{lat_sum / static_cast<double>(pois.size()),
+                    lon_sum / static_cast<double>(pois.size())};
+    region.pois = std::move(pois);
+    decomp.regions_.push_back(std::move(region));
+  }
+  return decomp;
+}
+
+StatusOr<RegionId> StcDecomposition::Lookup(model::PoiId poi,
+                                            model::Timestep t) const {
+  if (poi >= db_->size()) {
+    return Status::InvalidArgument("POI id out of range");
+  }
+  if (t < 0 || t >= time_.num_timesteps()) {
+    return Status::OutOfRange("timestep out of range");
+  }
+  const int iv = time_.TimestepToMinute(t) / config_.base_interval_minutes;
+  const RegionId id =
+      membership_[static_cast<size_t>(poi) * intervals_per_day() + iv];
+  if (id == kInvalidRegion) {
+    return Status::NotFound("POI " + std::to_string(poi) +
+                            " is closed at timestep " + std::to_string(t) +
+                            "; it belongs to no STC region there");
+  }
+  return id;
+}
+
+StatusOr<RegionTrajectory> StcDecomposition::ToRegionTrajectory(
+    const model::Trajectory& traj) const {
+  RegionTrajectory regions;
+  regions.reserve(traj.size());
+  for (const model::TrajectoryPoint& pt : traj.points()) {
+    auto id = Lookup(pt.poi, pt.t);
+    if (!id.ok()) return id.status();
+    regions.push_back(*id);
+  }
+  return regions;
+}
+
+double StcDecomposition::FractionAtKappa() const {
+  if (regions_.empty()) return 0.0;
+  size_t at = 0;
+  for (const StcRegion& r : regions_) {
+    if (r.pois.size() >= config_.merge.kappa) ++at;
+  }
+  return static_cast<double>(at) / static_cast<double>(regions_.size());
+}
+
+}  // namespace trajldp::region

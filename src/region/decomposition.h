@@ -1,0 +1,94 @@
+#ifndef TRAJLDP_REGION_DECOMPOSITION_H_
+#define TRAJLDP_REGION_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "geo/grid.h"
+#include "model/poi_database.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+#include "region/merging.h"
+#include "region/stc_region.h"
+
+namespace trajldp::region {
+
+/// A trajectory expressed as a sequence of STC region ids (§4).
+using RegionTrajectory = std::vector<RegionId>;
+
+/// \brief Configuration of the hierarchical decomposition (§5.3, §6.2).
+struct DecompositionConfig {
+  /// Finest spatial grid is grid_size × grid_size (the paper's g_s = 4).
+  uint32_t grid_size = 4;
+
+  /// Coarser grids used for spatial merging, in coarsening order
+  /// (the paper's g_s ∈ {2, 1}).
+  std::vector<uint32_t> coarse_grids = {2, 1};
+
+  /// Base time interval for STC regions, in minutes (default one hour).
+  /// Must divide 1440 and be a multiple of the time granularity g_t.
+  int base_interval_minutes = 60;
+
+  /// Region merging configuration (κ, priority, protection).
+  MergeConfig merge;
+};
+
+/// \brief The STC hierarchical decomposition: assigns every (POI, time)
+/// pair to exactly one space-time-category region (§5.3).
+///
+/// Built once per city from public data only — it costs no privacy budget.
+/// POIs join regions for each base time interval overlapping their opening
+/// hours; empty regions are never created ("top of mountain, 3am, church"
+/// does not exist); undersized regions merge per MergeConfig.
+class StcDecomposition {
+ public:
+  /// Builds the decomposition. `db` must outlive the result.
+  static StatusOr<StcDecomposition> Build(const model::PoiDatabase* db,
+                                          const model::TimeDomain& time,
+                                          DecompositionConfig config);
+
+  const std::vector<StcRegion>& regions() const { return regions_; }
+  size_t num_regions() const { return regions_.size(); }
+  const StcRegion& region(RegionId id) const { return regions_[id]; }
+
+  const model::PoiDatabase& db() const { return *db_; }
+  const model::TimeDomain& time() const { return time_; }
+  const DecompositionConfig& config() const { return config_; }
+
+  /// Grid pyramid, finest first.
+  const std::vector<geo::UniformGrid>& grids() const { return grids_; }
+
+  int base_interval_minutes() const { return config_.base_interval_minutes; }
+  int intervals_per_day() const {
+    return model::kMinutesPerDay / config_.base_interval_minutes;
+  }
+
+  /// The region containing POI `poi` at timestep `t`. Fails when the POI
+  /// is closed at `t` (it belongs to no region then).
+  StatusOr<RegionId> Lookup(model::PoiId poi, model::Timestep t) const;
+
+  /// Converts a POI-level trajectory to the region level (Figure 1, step
+  /// 1). Fails when any visit happens outside the POI's opening hours.
+  StatusOr<RegionTrajectory> ToRegionTrajectory(
+      const model::Trajectory& traj) const;
+
+  /// Fraction of regions meeting the κ threshold (diagnostics/tests).
+  double FractionAtKappa() const;
+
+ private:
+  StcDecomposition(const model::PoiDatabase* db, const model::TimeDomain& time,
+                   DecompositionConfig config)
+      : db_(db), time_(time), config_(std::move(config)) {}
+
+  const model::PoiDatabase* db_;
+  model::TimeDomain time_;
+  DecompositionConfig config_;
+  std::vector<geo::UniformGrid> grids_;
+  std::vector<StcRegion> regions_;
+  /// membership_[poi * intervals_per_day + interval] → region (or invalid).
+  std::vector<RegionId> membership_;
+};
+
+}  // namespace trajldp::region
+
+#endif  // TRAJLDP_REGION_DECOMPOSITION_H_

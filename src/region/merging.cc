@@ -1,0 +1,240 @@
+#include "region/merging.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <tuple>
+
+#include "model/time_domain.h"
+
+namespace trajldp::region {
+
+namespace {
+
+// Full region key: (space_level, cell, time_level, time_slot, category).
+using Key = std::tuple<int, geo::CellId, int, int, hierarchy::CategoryId>;
+
+Key KeyOf(const ProtoRegion& r) {
+  return {r.space_level, r.cell, r.time_level, r.time_slot, r.category};
+}
+
+bool Undersized(const ProtoRegion& r, const MergeConfig& config) {
+  return DistinctPoiCount(r) < config.kappa;
+}
+
+bool Protected(const ProtoRegion& r, const MergeConfig& config) {
+  return r.max_popularity >= config.protect_popularity;
+}
+
+// Computes the region's key with one dimension coarsened to target_level.
+// Returns false when the region cannot be expressed at that level (it is
+// already coarser, or the dimension has no such level).
+bool CoarsenKey(const ProtoRegion& r, MergeDimension dim, int target_level,
+                const MergeContext& ctx, Key* out) {
+  ProtoRegion lifted = r;
+  switch (dim) {
+    case MergeDimension::kSpace: {
+      if (r.space_level > target_level) return false;
+      if (target_level >= static_cast<int>(ctx.grids->size())) return false;
+      geo::CellId cell = r.cell;
+      for (int lvl = r.space_level; lvl < target_level; ++lvl) {
+        cell = (*ctx.grids)[lvl].CoarsenTo((*ctx.grids)[lvl + 1], cell);
+      }
+      lifted.space_level = target_level;
+      lifted.cell = cell;
+      break;
+    }
+    case MergeDimension::kTime: {
+      if (r.time_level > target_level) return false;
+      const int length = ctx.base_interval_minutes * (1 << target_level);
+      if (length > model::kMinutesPerDay) return false;
+      lifted.time_level = target_level;
+      lifted.time_slot = r.time_slot >> (target_level - r.time_level);
+      break;
+    }
+    case MergeDimension::kCategory: {
+      // For categories, target_level is a tree level and coarsening goes
+      // *down* in level number (3 → 2 → 1).
+      const int level = ctx.tree->level(r.category);
+      if (level < target_level) return false;
+      lifted.category = ctx.tree->AncestorAtLevel(r.category, target_level);
+      break;
+    }
+  }
+  *out = KeyOf(lifted);
+  return true;
+}
+
+// Applies the coarsened key `key` to `r` (inverse of KeyOf).
+void ApplyKey(const Key& key, ProtoRegion* r) {
+  r->space_level = std::get<0>(key);
+  r->cell = std::get<1>(key);
+  r->time_level = std::get<2>(key);
+  r->time_slot = std::get<3>(key);
+  r->category = std::get<4>(key);
+}
+
+// Fuses `src` into `dst` (members, popularity). Keys must already match.
+void FuseInto(ProtoRegion&& src, ProtoRegion* dst) {
+  dst->members.insert(dst->members.end(), src.members.begin(),
+                      src.members.end());
+  dst->max_popularity = std::max(dst->max_popularity, src.max_popularity);
+}
+
+// One pass for (dim, target_level): buckets candidate regions by their
+// coarsened key and fuses buckets containing at least one undersized
+// region. Candidates are undersized regions at finer levels plus every
+// region already at the target level (they act as absorption targets).
+// Returns true when at least one fuse happened.
+bool CoarsenPass(std::vector<ProtoRegion>& regions, MergeDimension dim,
+                 int target_level, const MergeContext& ctx,
+                 const MergeConfig& config) {
+  std::map<Key, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const ProtoRegion& r = regions[i];
+    if (Protected(r, config)) continue;
+    int dim_level = 0;
+    switch (dim) {
+      case MergeDimension::kSpace:
+        dim_level = r.space_level;
+        break;
+      case MergeDimension::kTime:
+        dim_level = r.time_level;
+        break;
+      case MergeDimension::kCategory:
+        dim_level = ctx.tree->level(r.category);
+        break;
+    }
+    // Finer-level regions only participate when undersized; regions already
+    // at the target level always do (they can absorb undersized siblings).
+    const bool at_target = dim_level == target_level;
+    if (!at_target && !Undersized(r, config)) continue;
+    Key key;
+    if (!CoarsenKey(r, dim, target_level, ctx, &key)) continue;
+    buckets[key].push_back(i);
+  }
+
+  std::vector<bool> dead(regions.size(), false);
+  bool any = false;
+  for (auto& [key, idxs] : buckets) {
+    if (idxs.size() < 2) continue;
+    const bool has_undersized =
+        std::any_of(idxs.begin(), idxs.end(), [&](size_t i) {
+          return Undersized(regions[i], config);
+        });
+    if (!has_undersized) continue;
+    // Fuse everything into the first bucket member.
+    ProtoRegion& dst = regions[idxs[0]];
+    ApplyKey(key, &dst);
+    for (size_t k = 1; k < idxs.size(); ++k) {
+      FuseInto(std::move(regions[idxs[k]]), &dst);
+      dead[idxs[k]] = true;
+    }
+    any = true;
+  }
+  if (any) {
+    std::vector<ProtoRegion> kept;
+    kept.reserve(regions.size());
+    for (size_t i = 0; i < regions.size(); ++i) {
+      if (!dead[i]) kept.push_back(std::move(regions[i]));
+    }
+    regions = std::move(kept);
+  }
+  return any;
+}
+
+}  // namespace
+
+size_t DistinctPoiCount(const ProtoRegion& region) {
+  std::vector<model::PoiId> ids;
+  ids.reserve(region.members.size());
+  for (const auto& [poi, interval] : region.members) ids.push_back(poi);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids.size();
+}
+
+namespace {
+
+// Number of coarsening steps available per dimension.
+int MaxStepsFor(MergeDimension dim, const std::vector<ProtoRegion>& regions,
+                const MergeContext& context, const MergeConfig& config) {
+  switch (dim) {
+    case MergeDimension::kSpace:
+      return static_cast<int>(context.grids->size()) - 1;
+    case MergeDimension::kTime: {
+      int max_level = 0;
+      while (context.base_interval_minutes * (1 << (max_level + 1)) <=
+             std::min(config.max_time_interval_minutes,
+                      model::kMinutesPerDay)) {
+        ++max_level;
+      }
+      return max_level;
+    }
+    case MergeDimension::kCategory: {
+      int deepest = 1;
+      for (const auto& r : regions) {
+        deepest = std::max(deepest, context.tree->level(r.category));
+      }
+      return deepest - config.min_category_level;
+    }
+  }
+  return 0;
+}
+
+// Target level for the given dimension after `step` coarsenings (step is
+// 1-based). Category levels count downward from the deepest level.
+int TargetLevelFor(MergeDimension dim, int step,
+                   const std::vector<ProtoRegion>& regions,
+                   const MergeContext& context) {
+  if (dim != MergeDimension::kCategory) return step;
+  int deepest = 1;
+  for (const auto& r : regions) {
+    deepest = std::max(deepest, context.tree->level(r.category));
+  }
+  return deepest - step;
+}
+
+}  // namespace
+
+std::vector<ProtoRegion> MergeProtoRegions(std::vector<ProtoRegion> regions,
+                                           const MergeContext& context,
+                                           const MergeConfig& config) {
+  assert(context.grids != nullptr && context.tree != nullptr);
+  // Runs the coarsening passes for one (dimension, step), guarding the
+  // category floor (deepest level may shrink as regions merge).
+  auto run_step = [&](MergeDimension dim, int step) {
+    const int level = TargetLevelFor(dim, step, regions, context);
+    if (dim == MergeDimension::kCategory &&
+        level < config.min_category_level) {
+      return;
+    }
+    while (CoarsenPass(regions, dim, level, context, config)) {
+    }
+  };
+
+  if (config.strategy == MergeStrategy::kDimensionAtATime) {
+    for (MergeDimension dim : config.priority) {
+      const int max_steps = MaxStepsFor(dim, regions, context, config);
+      for (int step = 1; step <= max_steps; ++step) run_step(dim, step);
+    }
+    return regions;
+  }
+
+  // Round robin: one coarsening step per dimension per cycle, in priority
+  // order, until every dimension is exhausted.
+  int max_cycles = 0;
+  for (MergeDimension dim : config.priority) {
+    max_cycles =
+        std::max(max_cycles, MaxStepsFor(dim, regions, context, config));
+  }
+  for (int step = 1; step <= max_cycles; ++step) {
+    for (MergeDimension dim : config.priority) {
+      if (step > MaxStepsFor(dim, regions, context, config)) continue;
+      run_step(dim, step);
+    }
+  }
+  return regions;
+}
+
+}  // namespace trajldp::region

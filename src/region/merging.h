@@ -1,0 +1,107 @@
+#ifndef TRAJLDP_REGION_MERGING_H_
+#define TRAJLDP_REGION_MERGING_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "geo/grid.h"
+#include "hierarchy/category_tree.h"
+#include "model/poi.h"
+
+namespace trajldp::region {
+
+/// Dimensions along which STC regions can merge (§5.3).
+enum class MergeDimension { kSpace, kTime, kCategory };
+
+/// How merging walks the coarsening levels.
+///
+/// * kRoundRobin (default): one coarsening step per dimension per cycle,
+///   in priority order (space 4→2, time 1h→2h, category L3→L2; then
+///   space 2→1, ...). Undersized regions coarsen a little in every
+///   dimension before any dimension is exhausted, which preserves some
+///   resolution everywhere — matching Figure 2's locality-keeping merges.
+/// * kDimensionAtATime: exhaust all levels of one dimension before
+///   touching the next. More aggressive; with sparse leaf categories it
+///   tends to flatten the first dimension entirely (the §7.1.1 caveat
+///   about overly coarse spatial merging, amplified).
+enum class MergeStrategy { kRoundRobin, kDimensionAtATime };
+
+/// \brief Configuration of STC region merging (§5.3).
+///
+/// Merging is done primarily for efficiency: it prevents many semantically
+/// similar but sparsely populated regions from existing. Each region should
+/// end up with at least κ POIs; regions containing a POI more popular than
+/// `protect_popularity` never merge, which preserves large hotspots
+/// (Figure 2's popular POIs stay alone in their regions).
+struct MergeConfig {
+  /// Minimum POIs per region (κ). Best effort: isolated regions that find
+  /// no merge partner may stay smaller.
+  size_t kappa = 10;
+
+  /// Regions whose most popular POI reaches this value are never merged.
+  /// Defaults to infinity (protection disabled).
+  double protect_popularity = std::numeric_limits<double>::infinity();
+
+  /// Order in which dimensions are visited. The paper's default merges
+  /// space first, then time, then category (§6.2).
+  std::vector<MergeDimension> priority = {
+      MergeDimension::kSpace, MergeDimension::kTime,
+      MergeDimension::kCategory};
+
+  /// Level-walking strategy (see MergeStrategy).
+  MergeStrategy strategy = MergeStrategy::kRoundRobin;
+
+  /// Coarsest time interval allowed, as a multiple of the base interval
+  /// expressed in minutes. Default 240 = merge hourly intervals at most
+  /// twice (60 → 120 → 240).
+  int max_time_interval_minutes = 240;
+
+  /// Coarsest category level allowed (1 = level-1 domains).
+  int min_category_level = 1;
+};
+
+/// \brief Intermediate region representation used by the merger.
+///
+/// All three dimensions are (level, index) pairs so that merging is a key
+/// coarsening: space level indexes the grid pyramid; the time interval is
+/// [slot · base · 2^level, (slot+1) · base · 2^level) minutes; the category
+/// index is a tree node whose level is implied by the tree.
+struct ProtoRegion {
+  int space_level = 0;
+  geo::CellId cell = 0;
+  int time_level = 0;
+  int time_slot = 0;
+  hierarchy::CategoryId category = hierarchy::kInvalidCategory;
+  /// (poi, base time interval index) assignments; unioned on merge.
+  std::vector<std::pair<model::PoiId, int>> members;
+  /// Largest member popularity (maintained across merges).
+  double max_popularity = 0.0;
+};
+
+/// \brief Inputs the merger needs beyond the regions themselves.
+struct MergeContext {
+  /// Grid pyramid, finest first (e.g. 4×4, 2×2, 1×1). Not owned.
+  const std::vector<geo::UniformGrid>* grids = nullptr;
+  /// Category tree. Not owned.
+  const hierarchy::CategoryTree* tree = nullptr;
+  /// Base time interval length in minutes (e.g. 60).
+  int base_interval_minutes = 60;
+};
+
+/// Merges undersized proto-regions by coarsening keys dimension-at-a-time
+/// in `config.priority` order. Deterministic: iterates target levels from
+/// fine to coarse, bucketing regions by coarsened key and fusing buckets
+/// that contain at least one undersized region. Distinct POIs (not raw
+/// assignments) count toward κ. Returns the merged regions.
+std::vector<ProtoRegion> MergeProtoRegions(std::vector<ProtoRegion> regions,
+                                           const MergeContext& context,
+                                           const MergeConfig& config);
+
+/// Number of distinct POIs among a proto-region's members.
+size_t DistinctPoiCount(const ProtoRegion& region);
+
+}  // namespace trajldp::region
+
+#endif  // TRAJLDP_REGION_MERGING_H_

@@ -1,0 +1,56 @@
+#include "region/region_distance.h"
+
+#include <cmath>
+
+namespace trajldp::region {
+
+RegionDistance::RegionDistance(const StcDecomposition* decomp)
+    : RegionDistance(decomp, Weights()) {}
+
+RegionDistance::RegionDistance(const StcDecomposition* decomp,
+                               Weights weights)
+    : decomp_(decomp), weights_(weights) {
+  // Public diameter: spatial extent diagonal, 12 h time cap, d_c maximum.
+  const geo::BoundingBox& extent = decomp->db().extent();
+  const double ds_max =
+      geo::HaversineKm(extent.min_corner(), extent.max_corner());
+  const double dt_max = 12.0;
+  const double dc_max = decomp->db().category_distance().MaxDistance();
+  const double s = weights_.spatial * ds_max;
+  const double t = weights_.temporal * dt_max;
+  const double c = weights_.category * dc_max;
+  max_distance_ = std::sqrt(s * s + t * t + c * c);
+}
+
+double RegionDistance::SpatialKm(RegionId a, RegionId b) const {
+  return geo::HaversineKm(decomp_->region(a).centroid,
+                          decomp_->region(b).centroid);
+}
+
+double RegionDistance::TimeHours(RegionId a, RegionId b) const {
+  const double minutes = std::abs(decomp_->region(a).MinuteCenter() -
+                                  decomp_->region(b).MinuteCenter());
+  return std::min(minutes / 60.0, 12.0);
+}
+
+double RegionDistance::Category(RegionId a, RegionId b) const {
+  return decomp_->db().category_distance().Between(
+      decomp_->region(a).category, decomp_->region(b).category);
+}
+
+double RegionDistance::Between(RegionId a, RegionId b) const {
+  const double s = weights_.spatial * SpatialKm(a, b);
+  const double t = weights_.temporal * TimeHours(a, b);
+  const double c = weights_.category * Category(a, b);
+  return std::sqrt(s * s + t * t + c * c);
+}
+
+std::vector<double> RegionDistance::ToAll(RegionId from) const {
+  std::vector<double> out(decomp_->num_regions());
+  for (RegionId r = 0; r < out.size(); ++r) {
+    out[r] = Between(from, r);
+  }
+  return out;
+}
+
+}  // namespace trajldp::region

@@ -1,0 +1,69 @@
+#ifndef TRAJLDP_REGION_REGION_DISTANCE_H_
+#define TRAJLDP_REGION_REGION_DISTANCE_H_
+
+#include <vector>
+
+#include "region/decomposition.h"
+
+namespace trajldp::region {
+
+/// \brief The multi-attributed semantic distance between STC regions
+/// (§5.10, eq. 15): d(r_a, r_b) = sqrt(d_s² + d_t² + d_c²).
+///
+/// * d_s — haversine distance between the centroids of the POIs in the two
+///   regions, in km;
+/// * d_t — absolute difference between the interval centres, in hours,
+///   capped at 12 h;
+/// * d_c — Figure 5 category distance between the region category nodes.
+///
+/// The mechanism is not tied to this function (§5.10); the weights allow
+/// ablations, and PhysDist-style "physical only" distances are obtained by
+/// zeroing the time and category weights.
+class RegionDistance {
+ public:
+  /// Per-dimension multipliers applied inside the combination (eq. 15
+  /// corresponds to all-ones).
+  struct Weights {
+    double spatial = 1.0;
+    double temporal = 1.0;
+    double category = 1.0;
+  };
+
+  /// `decomp` must outlive this object. The two-argument overload allows
+  /// custom per-dimension weights.
+  explicit RegionDistance(const StcDecomposition* decomp);
+  RegionDistance(const StcDecomposition* decomp, Weights weights);
+
+  /// d_s(r_a, r_b) in km.
+  double SpatialKm(RegionId a, RegionId b) const;
+
+  /// d_t(r_a, r_b) in hours (capped at 12).
+  double TimeHours(RegionId a, RegionId b) const;
+
+  /// d_c(r_a, r_b) per Figure 5.
+  double Category(RegionId a, RegionId b) const;
+
+  /// Combined distance, eq. 15 with the configured weights.
+  double Between(RegionId a, RegionId b) const;
+
+  /// Upper bound on Between over all region pairs — the public diameter
+  /// used as the EM quality sensitivity Δd (§4.2): the maximum quality gap
+  /// between any two outputs for a fixed input is at most this value.
+  double MaxDistance() const { return max_distance_; }
+
+  /// Distances from `from` to every region, as one dense vector. This is
+  /// the hot path of the perturber (one call per n-gram slot).
+  std::vector<double> ToAll(RegionId from) const;
+
+  const StcDecomposition& decomposition() const { return *decomp_; }
+  const Weights& weights() const { return weights_; }
+
+ private:
+  const StcDecomposition* decomp_;
+  Weights weights_;
+  double max_distance_;
+};
+
+}  // namespace trajldp::region
+
+#endif  // TRAJLDP_REGION_REGION_DISTANCE_H_

@@ -1,0 +1,100 @@
+#include "region/region_graph.h"
+
+#include <algorithm>
+
+namespace trajldp::region {
+
+namespace {
+
+// Exact test: does any POI pair (p ∈ a, q ∈ b) lie within theta_km?
+// Scans the smaller region's POIs against the larger one's, early-exiting
+// on the first hit. Only runs for pairs the bounding boxes cannot decide.
+bool AnyPoiPairWithin(const model::PoiDatabase& db, const StcRegion& a,
+                      const StcRegion& b, double theta_km) {
+  const StcRegion& small = a.pois.size() <= b.pois.size() ? a : b;
+  const StcRegion& large = a.pois.size() <= b.pois.size() ? b : a;
+  for (model::PoiId p : small.pois) {
+    const geo::LatLon& loc = db.poi(p).location;
+    if (large.bounds.DistanceKm(loc) > theta_km) continue;
+    for (model::PoiId q : large.pois) {
+      if (geo::HaversineKm(loc, db.poi(q).location) <= theta_km) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Time order: can a visit in `a` precede a visit in `b` by at least one
+// timestep? Interval boundaries are multiples of g_t by construction.
+bool TimeOrderFeasible(const StcRegion& a, const StcRegion& b,
+                       int granularity_minutes) {
+  return b.time.end > a.time.begin + granularity_minutes;
+}
+
+}  // namespace
+
+RegionGraph RegionGraph::Build(const StcDecomposition& decomp,
+                               const model::ReachabilityConfig& reach) {
+  RegionGraph graph(&decomp, reach);
+  const size_t n = decomp.num_regions();
+  const int g_t = decomp.time().granularity_minutes();
+  const double theta = reach.ReferenceThetaKm();
+  const bool unconstrained = reach.unconstrained();
+
+  graph.offsets_.assign(n + 1, 0);
+  std::vector<std::vector<RegionId>> adj(n);
+  for (RegionId a = 0; a < n; ++a) {
+    const StcRegion& ra = decomp.region(a);
+    for (RegionId b = 0; b < n; ++b) {
+      const StcRegion& rb = decomp.region(b);
+      if (!TimeOrderFeasible(ra, rb, g_t)) continue;
+      if (!unconstrained) {
+        if (a != b) {
+          if (ra.bounds.MinDistanceKm(rb.bounds) > theta) continue;
+          if (ra.bounds.MaxDistanceKm(rb.bounds) > theta &&
+              !AnyPoiPairWithin(decomp.db(), ra, rb, theta)) {
+            continue;
+          }
+        }
+        // a == b: the zero self-distance always satisfies θ.
+      }
+      adj[a].push_back(b);
+    }
+  }
+  size_t edges = 0;
+  for (const auto& list : adj) edges += list.size();
+  graph.targets_.reserve(edges);
+  for (RegionId a = 0; a < n; ++a) {
+    graph.offsets_[a] = graph.targets_.size();
+    graph.targets_.insert(graph.targets_.end(), adj[a].begin(), adj[a].end());
+  }
+  graph.offsets_[n] = graph.targets_.size();
+  return graph;
+}
+
+bool RegionGraph::HasEdge(RegionId a, RegionId b) const {
+  const auto neighbors = Neighbors(a);
+  return std::binary_search(neighbors.begin(), neighbors.end(), b);
+}
+
+double RegionGraph::CountNgrams(int n) const {
+  const size_t regions = num_regions();
+  if (n <= 0 || regions == 0) return 0.0;
+  // paths[r] = number of feasible suffixes of length k starting at r.
+  std::vector<double> paths(regions, 1.0);
+  for (int step = 1; step < n; ++step) {
+    std::vector<double> next(regions, 0.0);
+    for (RegionId r = 0; r < regions; ++r) {
+      double total = 0.0;
+      for (RegionId nb : Neighbors(r)) total += paths[nb];
+      next[r] = total;
+    }
+    paths = std::move(next);
+  }
+  double total = 0.0;
+  for (double p : paths) total += p;
+  return total;
+}
+
+}  // namespace trajldp::region

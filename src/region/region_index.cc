@@ -1,0 +1,47 @@
+#include "region/region_index.h"
+
+#include <algorithm>
+
+namespace trajldp::region {
+
+geo::BoundingBox RegionsMbr(const StcDecomposition& decomp,
+                            const std::vector<RegionId>& observed) {
+  geo::BoundingBox mbr;
+  for (RegionId id : observed) {
+    mbr.Extend(decomp.region(id).bounds);
+  }
+  return mbr;
+}
+
+std::vector<RegionId> MbrCandidateRegions(
+    const StcDecomposition& decomp, const std::vector<RegionId>& observed,
+    double expand_km) {
+  geo::BoundingBox mbr = RegionsMbr(decomp, observed);
+  if (expand_km > 0.0) mbr.ExpandByKm(expand_km);
+
+  std::vector<RegionId> candidates;
+  for (const StcRegion& region : decomp.regions()) {
+    // A region qualifies when any member POI lies inside the MBR. The
+    // bounding-box test short-circuits the common all-in / all-out cases.
+    if (!mbr.Intersects(region.bounds)) continue;
+    bool inside = false;
+    for (model::PoiId poi : region.pois) {
+      if (mbr.Contains(decomp.db().poi(poi).location)) {
+        inside = true;
+        break;
+      }
+    }
+    if (inside) candidates.push_back(region.id);
+  }
+  // The observed regions are inside the MBR by construction (their bounds
+  // form it), but make the guarantee explicit in case of degenerate boxes.
+  for (RegionId id : observed) {
+    if (!std::binary_search(candidates.begin(), candidates.end(), id)) {
+      candidates.insert(
+          std::lower_bound(candidates.begin(), candidates.end(), id), id);
+    }
+  }
+  return candidates;
+}
+
+}  // namespace trajldp::region

@@ -1,0 +1,27 @@
+#ifndef TRAJLDP_REGION_REGION_INDEX_H_
+#define TRAJLDP_REGION_REGION_INDEX_H_
+
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "region/decomposition.h"
+
+namespace trajldp::region {
+
+/// Computes R_mbr, the candidate-region restriction of §5.5: the minimum
+/// bounding rectangle of the `observed` (perturbed) regions is taken, and
+/// every region containing at least one POI inside that MBR qualifies.
+/// All observed regions are guaranteed to be included, so restricting the
+/// reconstruction to R_mbr cannot cut off the optimum. `expand_km`
+/// optionally pads the MBR.
+std::vector<RegionId> MbrCandidateRegions(const StcDecomposition& decomp,
+                                          const std::vector<RegionId>& observed,
+                                          double expand_km = 0.0);
+
+/// The spatial MBR of the given regions (union of member-POI boxes).
+geo::BoundingBox RegionsMbr(const StcDecomposition& decomp,
+                            const std::vector<RegionId>& observed);
+
+}  // namespace trajldp::region
+
+#endif  // TRAJLDP_REGION_REGION_INDEX_H_

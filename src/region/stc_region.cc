@@ -1,0 +1,15 @@
+#include "region/stc_region.h"
+
+#include <sstream>
+
+namespace trajldp::region {
+
+std::string StcRegion::DebugString() const {
+  std::ostringstream os;
+  os << "StcRegion{id=" << id << ", space_level=" << space_level
+     << ", cell=" << cell << ", time=[" << time.begin << "," << time.end
+     << "), category=" << category << ", |pois|=" << pois.size() << "}";
+  return os.str();
+}
+
+}  // namespace trajldp::region

@@ -1,0 +1,66 @@
+#ifndef TRAJLDP_REGION_STC_REGION_H_
+#define TRAJLDP_REGION_STC_REGION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/bounding_box.h"
+#include "geo/grid.h"
+#include "geo/latlon.h"
+#include "hierarchy/category_tree.h"
+#include "model/poi.h"
+#include "model/time_domain.h"
+
+namespace trajldp::region {
+
+/// Identifier of an STC region within a decomposition. Dense from 0.
+using RegionId = uint32_t;
+
+/// Sentinel meaning "no region".
+inline constexpr RegionId kInvalidRegion = 0xFFFFFFFFu;
+
+/// \brief A space-time-category region r_stc (§4, §5.3).
+///
+/// A region is the combination of a spatial cell (at some level of the
+/// grid pyramid), a coarse time interval (at some level of aligned
+/// doubling over the base interval), and a category node (at some level
+/// of the hierarchy). Merging (§5.3) lifts one or more of these levels.
+/// Regions carry the POIs assigned to them plus cached aggregates used by
+/// the distance function (centroid, interval centre, bounds).
+struct StcRegion {
+  RegionId id = kInvalidRegion;
+
+  /// Index into the decomposition's grid pyramid: 0 is the finest grid.
+  int space_level = 0;
+  /// Cell within the grid at `space_level`.
+  geo::CellId cell = 0;
+
+  /// Coarse time interval [begin, end) in minutes of day.
+  model::MinuteInterval time;
+
+  /// Category node; a leaf initially, possibly lifted by merging.
+  hierarchy::CategoryId category = hierarchy::kInvalidCategory;
+
+  /// Distinct POIs assigned to this region, ascending id order.
+  std::vector<model::PoiId> pois;
+
+  /// Centroid of member POI locations (§5.10: region distance uses the
+  /// centroids of the POIs in the two regions).
+  geo::LatLon centroid;
+
+  /// Bounding box of member POI locations; drives reachability pruning.
+  geo::BoundingBox bounds;
+
+  /// Largest member popularity; drives popularity-aware merge protection.
+  double max_popularity = 0.0;
+
+  /// Centre of the time interval in minutes (d_t uses interval centres).
+  double MinuteCenter() const { return time.CenterMinute(); }
+
+  std::string DebugString() const;
+};
+
+}  // namespace trajldp::region
+
+#endif  // TRAJLDP_REGION_STC_REGION_H_

@@ -1,0 +1,283 @@
+#include "synth/campus.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "hierarchy/builtin_hierarchies.h"
+
+namespace trajldp::synth {
+
+using model::PoiId;
+using model::Timestep;
+
+namespace {
+
+model::OpeningHours CampusHours(const std::string& category_name) {
+  if (category_name == "Student Residence" ||
+      category_name == "Parking Structure") {
+    return model::OpeningHours::AlwaysOpen();
+  }
+  if (category_name == "Dining Hall") {
+    return model::OpeningHours::Daily(7 * 60, 21 * 60);
+  }
+  if (category_name == "Athletics Venue") {
+    return model::OpeningHours::Daily(6 * 60, 23 * 60);
+  }
+  if (category_name == "Administrative Office") {
+    return model::OpeningHours::Daily(8 * 60, 18 * 60);
+  }
+  if (category_name == "Library") {
+    return model::OpeningHours::Daily(8 * 60, 24 * 60);
+  }
+  if (category_name == "Services Building") {
+    return model::OpeningHours::Daily(7 * 60, 20 * 60);
+  }
+  // Academic Building, Research Lab.
+  return model::OpeningHours::Daily(7 * 60, 22 * 60);
+}
+
+// Approximate building counts per category for a 262-building campus.
+// Weights are relative; exact counts come from weighted assignment.
+double CategoryWeight(const std::string& name) {
+  if (name == "Academic Building") return 30.0;
+  if (name == "Student Residence") return 20.0;
+  if (name == "Services Building") return 12.0;
+  if (name == "Dining Hall") return 10.0;
+  if (name == "Research Lab") return 8.0;
+  if (name == "Administrative Office") return 8.0;
+  if (name == "Parking Structure") return 6.0;
+  if (name == "Library") return 3.0;
+  if (name == "Athletics Venue") return 3.0;
+  return 1.0;
+}
+
+}  // namespace
+
+StatusOr<model::PoiDatabase> BuildCampusPois(const CampusConfig& config) {
+  if (config.num_buildings < 20) {
+    return Status::InvalidArgument("campus needs at least 20 buildings");
+  }
+  hierarchy::CategoryTree tree = hierarchy::BuiltinCampus();
+  const std::vector<hierarchy::CategoryId> leaves = tree.Leaves();
+
+  Rng rng(config.seed ^ 0xCA3B005C0FFEE001ULL);
+  const geo::LatLon center{49.2606, -123.2460};  // UBC-like coordinates
+  const double half = config.extent_km / 2.0;
+
+  // A few quads give mild spatial structure.
+  std::vector<geo::LatLon> quads(5);
+  for (auto& q : quads) {
+    q = geo::OffsetKm(center, rng.UniformDouble(-half * 0.7, half * 0.7),
+                      rng.UniformDouble(-half * 0.7, half * 0.7));
+  }
+
+  std::vector<double> leaf_weights(leaves.size());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    leaf_weights[i] = CategoryWeight(tree.name(leaves[i]));
+  }
+
+  std::vector<model::Poi> pois(config.num_buildings);
+  // Guarantee at least one residence and one athletics venue so the
+  // induced events always have their anchor buildings.
+  for (size_t i = 0; i < config.num_buildings; ++i) {
+    model::Poi& poi = pois[i];
+    poi.name = "building_" + std::to_string(i);
+    size_t leaf_idx;
+    if (i == 0) {
+      leaf_idx = std::distance(
+          leaves.begin(),
+          std::find_if(leaves.begin(), leaves.end(), [&](auto id) {
+            return tree.name(id) == "Student Residence";
+          }));
+    } else if (i == 1) {
+      leaf_idx = std::distance(
+          leaves.begin(),
+          std::find_if(leaves.begin(), leaves.end(), [&](auto id) {
+            return tree.name(id) == "Athletics Venue";
+          }));
+    } else {
+      leaf_idx = rng.Discrete(leaf_weights);
+      if (leaf_idx >= leaves.size()) leaf_idx = 0;
+    }
+    poi.category = leaves[leaf_idx];
+    poi.hours = CampusHours(tree.name(poi.category));
+    const geo::LatLon& quad = quads[rng.UniformUint64(quads.size())];
+    poi.location =
+        geo::OffsetKm(quad, rng.Normal(0.0, config.extent_km / 6.0),
+                      rng.Normal(0.0, config.extent_km / 6.0));
+    // The event anchors (Residence A, Stadium A) are far more popular
+    // than ordinary buildings — which is what popularity-aware merging
+    // (§5.3, Figure 2c) keys on to keep hotspot regions fine-grained.
+    poi.popularity = i <= 1 ? 100.0 : 1.0 + rng.UniformDouble() * 9.0;
+  }
+  return model::PoiDatabase::Create(std::move(pois), std::move(tree));
+}
+
+StatusOr<CampusEventPois> FindCampusEventPois(const model::PoiDatabase& db) {
+  CampusEventPois out{model::kInvalidPoi, model::kInvalidPoi};
+  const auto& tree = db.categories();
+  for (const model::Poi& poi : db.pois()) {
+    const std::string& name = tree.name(poi.category);
+    if (out.residence_a == model::kInvalidPoi &&
+        name == "Student Residence") {
+      out.residence_a = poi.id;
+    }
+    if (out.stadium_a == model::kInvalidPoi && name == "Athletics Venue") {
+      out.stadium_a = poi.id;
+    }
+  }
+  if (out.residence_a == model::kInvalidPoi ||
+      out.stadium_a == model::kInvalidPoi) {
+    return Status::NotFound(
+        "campus database lacks a residence or athletics venue");
+  }
+  return out;
+}
+
+namespace {
+
+// Uniformly samples a POI reachable from `from` within `gap_minutes`,
+// open at `minute`, and different from `from`. Returns kInvalidPoi when
+// none qualifies.
+PoiId SampleNeighbor(const model::PoiDatabase& db, const CampusConfig& config,
+                     PoiId from, int gap_minutes, int minute, Rng& rng) {
+  const double theta = config.speed_kmh * (gap_minutes / 60.0);
+  std::vector<PoiId> reachable =
+      db.WithinRadiusOf(from, theta);
+  std::vector<PoiId> valid;
+  valid.reserve(reachable.size());
+  for (PoiId q : reachable) {
+    if (q == from) continue;
+    if (!db.poi(q).hours.IsOpenAtMinute(minute)) continue;
+    valid.push_back(q);
+  }
+  if (valid.empty()) return model::kInvalidPoi;
+  return valid[rng.UniformUint64(valid.size())];
+}
+
+}  // namespace
+
+StatusOr<model::TrajectorySet> GenerateCampusTrajectories(
+    const model::PoiDatabase& db, const model::TimeDomain& time,
+    const CampusConfig& config) {
+  if (config.min_len < 1 || config.max_len < config.min_len) {
+    return Status::InvalidArgument("invalid trajectory length bounds");
+  }
+  const size_t pinned_total = config.event_residence_count +
+                              config.event_stadium_count +
+                              config.event_academic_count;
+  if (pinned_total > config.num_trajectories) {
+    return Status::InvalidArgument(
+        "event trajectory counts exceed num_trajectories");
+  }
+  auto events = FindCampusEventPois(db);
+  if (!events.ok()) return events.status();
+  const auto& tree = db.categories();
+  std::vector<PoiId> academic;
+  for (const model::Poi& poi : db.pois()) {
+    if (tree.name(poi.category) == "Academic Building") {
+      academic.push_back(poi.id);
+    }
+  }
+  if (academic.empty()) {
+    return Status::NotFound("campus database lacks academic buildings");
+  }
+
+  Rng rng(config.seed ^ 0xCA4475C0DE000002ULL);
+
+  // Grows a trajectory backwards then forwards from a pinned visit.
+  auto grow = [&](PoiId pin_poi, Timestep pin_t,
+                  size_t len) -> model::Trajectory {
+    std::vector<model::TrajectoryPoint> pts{{pin_poi, pin_t}};
+    const size_t backward = rng.UniformUint64(len);
+    // Backward extension.
+    while (pts.size() <= backward) {
+      const model::TrajectoryPoint& first = pts.front();
+      const int gap = static_cast<int>(rng.UniformInt(
+          time.granularity_minutes(), config.max_gap_minutes));
+      const Timestep t =
+          first.t - std::max<Timestep>(
+                        1, static_cast<Timestep>(
+                               gap / time.granularity_minutes()));
+      if (t < 0) break;
+      const PoiId q =
+          SampleNeighbor(db, config, first.poi, time.GapMinutes(t, first.t),
+                         time.TimestepToMinute(t), rng);
+      if (q == model::kInvalidPoi) break;
+      pts.insert(pts.begin(), {q, t});
+    }
+    // Forward extension.
+    while (pts.size() < len) {
+      const model::TrajectoryPoint& last = pts.back();
+      const int gap = static_cast<int>(rng.UniformInt(
+          time.granularity_minutes(), config.max_gap_minutes));
+      const Timestep t =
+          last.t + std::max<Timestep>(
+                       1, static_cast<Timestep>(
+                              gap / time.granularity_minutes()));
+      if (t >= time.num_timesteps()) break;
+      const PoiId q =
+          SampleNeighbor(db, config, last.poi, time.GapMinutes(last.t, t),
+                         time.TimestepToMinute(t), rng);
+      if (q == model::kInvalidPoi) break;
+      pts.push_back({q, t});
+    }
+    return model::Trajectory(std::move(pts));
+  };
+
+  auto pinned_timestep = [&](int window_begin_minute,
+                             int window_end_minute) {
+    const int minute = static_cast<int>(rng.UniformInt(
+        window_begin_minute,
+        window_end_minute - time.granularity_minutes()));
+    return time.MinuteToTimestep(minute);
+  };
+
+  model::TrajectorySet out;
+  out.reserve(config.num_trajectories);
+  const int kMinAcceptable = 2;
+  for (size_t idx = 0; idx < config.num_trajectories; ++idx) {
+    const auto len =
+        static_cast<size_t>(rng.UniformInt(config.min_len, config.max_len));
+    model::Trajectory traj;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      if (idx < config.event_residence_count) {
+        traj = grow(events->residence_a, pinned_timestep(20 * 60, 22 * 60),
+                    len);
+      } else if (idx <
+                 config.event_residence_count + config.event_stadium_count) {
+        traj = grow(events->stadium_a, pinned_timestep(14 * 60, 16 * 60),
+                    len);
+      } else if (idx < pinned_total) {
+        traj = grow(academic[rng.UniformUint64(academic.size())],
+                    pinned_timestep(9 * 60, 11 * 60), len);
+      } else {
+        // Free trajectory: random start category/POI at a random time
+        // (§6.1.3: first category random, POI random within it).
+        const int start_minute = static_cast<int>(rng.UniformInt(
+            config.earliest_start_minute, config.latest_start_minute));
+        const Timestep t0 = time.MinuteToTimestep(start_minute);
+        std::vector<double> weights(db.size(), 0.0);
+        for (PoiId p = 0; p < db.size(); ++p) {
+          if (db.poi(p).hours.IsOpenAtMinute(time.TimestepToMinute(t0))) {
+            weights[p] = 1.0;
+          }
+        }
+        const size_t start = rng.Discrete(weights);
+        if (start >= db.size()) continue;
+        traj = grow(static_cast<PoiId>(start), t0, len);
+      }
+      if (traj.size() >= static_cast<size_t>(kMinAcceptable)) break;
+    }
+    if (traj.size() < static_cast<size_t>(kMinAcceptable)) {
+      return Status::Internal(
+          "campus generator failed to build a trajectory");
+    }
+    out.push_back(std::move(traj));
+  }
+  return out;
+}
+
+}  // namespace trajldp::synth

@@ -1,0 +1,62 @@
+#ifndef TRAJLDP_SYNTH_CAMPUS_H_
+#define TRAJLDP_SYNTH_CAMPUS_H_
+
+#include "common/status_or.h"
+#include "model/poi_database.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+
+namespace trajldp::synth {
+
+/// \brief Generator for the campus dataset (§6.1.3), modeled on the UBC
+/// campus: 262 buildings as POIs across 9 categories, walking-speed
+/// reachability, and three artificially induced popular events that the
+/// hotspot experiments (Table 4) must recover:
+///   * 500 people at Residence A, 20:00–22:00;
+///   * 1000 people at Stadium A, 14:00–16:00;
+///   * 2000 people across academic buildings, 9:00–11:00.
+struct CampusConfig {
+  size_t num_buildings = 262;
+  /// Side length of the (square) campus, in km (UBC is roughly 2 km).
+  double extent_km = 2.0;
+  size_t num_trajectories = 5000;
+  int min_len = 3;
+  int max_len = 8;
+  int earliest_start_minute = 6 * 60;
+  int latest_start_minute = 22 * 60;
+  /// Subsequent-point gap ~ U(g_t, max_gap_minutes) (paper: 120).
+  int max_gap_minutes = 120;
+  /// Walking speed (§6.2: 4 km/h).
+  double speed_kmh = 4.0;
+  /// Number of trajectories pinned to each induced event.
+  size_t event_residence_count = 500;
+  size_t event_stadium_count = 1000;
+  size_t event_academic_count = 2000;
+  uint64_t seed = 44;
+};
+
+/// Builds the campus POI database (262 buildings, 9 categories over the
+/// BuiltinCampus tree; buildings are always open except where category
+/// templates say otherwise).
+StatusOr<model::PoiDatabase> BuildCampusPois(const CampusConfig& config);
+
+/// Generates campus trajectories with the three induced events. Event
+/// trajectories contain one pinned visit (the event POI within the event
+/// window); the rest of each trajectory grows forwards and backwards from
+/// the pinned point per the §6.1.3 procedure.
+StatusOr<model::TrajectorySet> GenerateCampusTrajectories(
+    const model::PoiDatabase& db, const model::TimeDomain& time,
+    const CampusConfig& config);
+
+/// Ids of the designated event POIs, fixed by construction: Residence A
+/// is the first Student Residence building, Stadium A the first Athletics
+/// Venue. Exposed so tests and benches can assert hotspot recovery.
+struct CampusEventPois {
+  model::PoiId residence_a;
+  model::PoiId stadium_a;
+};
+StatusOr<CampusEventPois> FindCampusEventPois(const model::PoiDatabase& db);
+
+}  // namespace trajldp::synth
+
+#endif  // TRAJLDP_SYNTH_CAMPUS_H_

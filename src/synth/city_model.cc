@@ -1,0 +1,117 @@
+#include "synth/city_model.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/math_util.h"
+
+namespace trajldp::synth {
+
+model::OpeningHours OpeningHoursTemplate(const std::string& level1_name) {
+  // Hour templates keyed by keywords in the level-1 name. These mirror the
+  // paper's manual per-broad-category assignment (§6.1.1): nightlife wraps
+  // midnight, food opens early and closes late, parks are daylight,
+  // transport/residences never close.
+  auto contains = [&](const char* token) {
+    return level1_name.find(token) != std::string::npos;
+  };
+  if (contains("Nightlife") || contains("Drinking")) {
+    return model::OpeningHours::Daily(18 * 60, 2 * 60);  // 18:00–02:00
+  }
+  if (contains("Food") || contains("Accommodation")) {
+    return model::OpeningHours::Daily(7 * 60, 23 * 60);
+  }
+  if (contains("Shop") || contains("Retail")) {
+    return model::OpeningHours::Daily(9 * 60, 20 * 60);
+  }
+  if (contains("Outdoors") || contains("Park")) {
+    return model::OpeningHours::Daily(6 * 60, 21 * 60);
+  }
+  if (contains("Travel") || contains("Transport") || contains("Residence") ||
+      contains("Real Estate")) {
+    return model::OpeningHours::AlwaysOpen();
+  }
+  if (contains("Professional") || contains("Office") ||
+      contains("Finance") || contains("Public Administration")) {
+    return model::OpeningHours::Daily(8 * 60, 18 * 60);
+  }
+  if (contains("College") || contains("University") ||
+      contains("Educational")) {
+    return model::OpeningHours::Daily(7 * 60, 22 * 60);
+  }
+  if (contains("Arts") || contains("Entertainment") || contains("Event")) {
+    return model::OpeningHours::Daily(10 * 60, 23 * 60);
+  }
+  if (contains("Health")) {
+    return model::OpeningHours::Daily(7 * 60, 21 * 60);
+  }
+  return model::OpeningHours::Daily(8 * 60, 20 * 60);
+}
+
+StatusOr<model::PoiDatabase> GenerateCity(const CityModelConfig& config,
+                                          hierarchy::CategoryTree tree) {
+  if (config.num_pois == 0) {
+    return Status::InvalidArgument("num_pois must be positive");
+  }
+  if (config.extent_km <= 0.0) {
+    return Status::InvalidArgument("extent_km must be positive");
+  }
+  const std::vector<hierarchy::CategoryId> leaves = tree.Leaves();
+  if (leaves.empty()) {
+    return Status::InvalidArgument("category tree has no leaves");
+  }
+
+  Rng rng(config.seed);
+  const double half = config.extent_km / 2.0;
+
+  // Neighbourhood cluster centres, uniform in the city box.
+  std::vector<geo::LatLon> clusters(std::max<size_t>(config.num_clusters, 1));
+  for (auto& c : clusters) {
+    c = geo::OffsetKm(config.center, rng.UniformDouble(-half, half),
+                      rng.UniformDouble(-half, half));
+  }
+
+  // Popularity: Zipf weights assigned to a random permutation of POIs so
+  // popular POIs are scattered across clusters.
+  std::vector<double> zipf = ZipfWeights(config.num_pois,
+                                         config.zipf_exponent);
+  const std::vector<size_t> rank_of = rng.Permutation(config.num_pois);
+
+  // Categories: Zipf-skewed over a shuffled leaf order, mirroring the
+  // skew of real POI inventories.
+  std::vector<double> category_weights =
+      ZipfWeights(leaves.size(), config.category_zipf_exponent);
+  {
+    const std::vector<size_t> leaf_rank = rng.Permutation(leaves.size());
+    std::vector<double> shuffled(leaves.size());
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      shuffled[i] = category_weights[leaf_rank[i]];
+    }
+    category_weights = std::move(shuffled);
+  }
+
+  std::vector<model::Poi> pois(config.num_pois);
+  for (size_t i = 0; i < config.num_pois; ++i) {
+    model::Poi& poi = pois[i];
+    poi.name = "poi_" + std::to_string(i);
+    if (rng.UniformDouble() < config.background_fraction) {
+      poi.location =
+          geo::OffsetKm(config.center, rng.UniformDouble(-half, half),
+                        rng.UniformDouble(-half, half));
+    } else {
+      const geo::LatLon& cluster =
+          clusters[rng.UniformUint64(clusters.size())];
+      poi.location = geo::OffsetKm(
+          cluster, rng.Normal(0.0, config.cluster_stddev_km),
+          rng.Normal(0.0, config.cluster_stddev_km));
+    }
+    const size_t leaf_idx = rng.Discrete(category_weights);
+    poi.category = leaves[leaf_idx < leaves.size() ? leaf_idx : 0];
+    const hierarchy::CategoryId root = tree.AncestorAtLevel(poi.category, 1);
+    poi.hours = OpeningHoursTemplate(tree.name(root));
+    poi.popularity = zipf[rank_of[i]] * 1000.0;
+  }
+  return model::PoiDatabase::Create(std::move(pois), std::move(tree));
+}
+
+}  // namespace trajldp::synth

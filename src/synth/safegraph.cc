@@ -1,0 +1,189 @@
+#include "synth/safegraph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "hierarchy/builtin_hierarchies.h"
+
+namespace trajldp::synth {
+
+using model::PoiId;
+using model::Timestep;
+
+namespace {
+
+// Gaussian bump helper for time-of-day profiles (minutes of day).
+double Bump(int minute, int peak_minute, double width_minutes) {
+  const double x = (minute - peak_minute) / width_minutes;
+  return std::exp(-0.5 * x * x);
+}
+
+// Log-normal dwell-time parameters (mu, sigma of the underlying normal,
+// in log-minutes) per level-1 category.
+struct DwellParams {
+  double mu;
+  double sigma;
+};
+
+DwellParams DwellFor(const std::string& level1_name) {
+  auto contains = [&](const char* token) {
+    return level1_name.find(token) != std::string::npos;
+  };
+  if (contains("Accommodation") || contains("Food")) {
+    return {std::log(55.0), 0.45};  // median ~55 min meals
+  }
+  if (contains("Retail")) {
+    return {std::log(30.0), 0.55};
+  }
+  if (contains("Health")) {
+    return {std::log(50.0), 0.5};
+  }
+  if (contains("Educational")) {
+    return {std::log(90.0), 0.5};
+  }
+  if (contains("Arts") || contains("Entertainment")) {
+    return {std::log(100.0), 0.4};
+  }
+  if (contains("Finance") || contains("Public Administration")) {
+    return {std::log(25.0), 0.5};
+  }
+  if (contains("Transportation")) {
+    return {std::log(15.0), 0.5};
+  }
+  return {std::log(40.0), 0.5};
+}
+
+}  // namespace
+
+double TimeOfDayMultiplier(const std::string& level1_name, int minute) {
+  auto contains = [&](const char* token) {
+    return level1_name.find(token) != std::string::npos;
+  };
+  if (contains("Accommodation") || contains("Food")) {
+    // Breakfast, lunch and dinner peaks.
+    return 0.15 + Bump(minute, 8 * 60, 60) + 1.5 * Bump(minute, 12 * 60 + 30, 75) +
+           1.8 * Bump(minute, 19 * 60, 90);
+  }
+  if (contains("Retail")) {
+    return 0.1 + Bump(minute, 12 * 60, 180) + Bump(minute, 17 * 60, 120);
+  }
+  if (contains("Educational")) {
+    return 0.1 + 1.5 * Bump(minute, 10 * 60, 150) + Bump(minute, 15 * 60, 120);
+  }
+  if (contains("Arts") || contains("Entertainment")) {
+    return 0.1 + Bump(minute, 14 * 60, 150) + 1.4 * Bump(minute, 20 * 60, 100);
+  }
+  if (contains("Transportation")) {
+    // AM and PM commute peaks.
+    return 0.2 + 1.6 * Bump(minute, 8 * 60 + 30, 60) +
+           1.6 * Bump(minute, 17 * 60 + 30, 60);
+  }
+  if (contains("Finance") || contains("Public Administration")) {
+    return 0.05 + Bump(minute, 11 * 60, 150) + Bump(minute, 15 * 60, 120);
+  }
+  if (contains("Health")) {
+    return 0.1 + Bump(minute, 10 * 60 + 30, 150) + Bump(minute, 15 * 60, 150);
+  }
+  return 0.2 + Bump(minute, 13 * 60, 240);
+}
+
+StatusOr<model::PoiDatabase> BuildSafegraphPois(
+    const SafegraphConfig& config) {
+  return GenerateCity(config.city, hierarchy::BuiltinNaicsLike());
+}
+
+StatusOr<model::TrajectorySet> GenerateSafegraphTrajectories(
+    const model::PoiDatabase& db, const model::TimeDomain& time,
+    const SafegraphConfig& config) {
+  if (config.min_len < 1 || config.max_len < config.min_len) {
+    return Status::InvalidArgument("invalid trajectory length bounds");
+  }
+  Rng rng(config.seed ^ 0x5AFE6AAF00000001ULL);
+  const auto& tree = db.categories();
+
+  // Cache each POI's level-1 category name for profile lookups.
+  std::vector<const std::string*> root_name(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    const hierarchy::CategoryId root =
+        tree.AncestorAtLevel(db.poi(i).category, 1);
+    root_name[i] = &tree.name(root);
+  }
+
+  auto popularity_at = [&](PoiId p, int minute) {
+    if (!db.poi(p).hours.IsOpenAtMinute(minute)) return 0.0;
+    return db.poi(p).popularity * TimeOfDayMultiplier(*root_name[p], minute);
+  };
+
+  model::TrajectorySet out;
+  out.reserve(config.num_trajectories);
+  const int max_attempts_per_traj = 64;
+  while (out.size() < config.num_trajectories) {
+    bool built = false;
+    for (int attempt = 0; attempt < max_attempts_per_traj && !built;
+         ++attempt) {
+      const auto len = static_cast<size_t>(
+          rng.UniformInt(config.min_len, config.max_len));
+      const int start_minute = static_cast<int>(rng.UniformInt(
+          config.earliest_start_minute, config.latest_start_minute));
+      Timestep t = time.MinuteToTimestep(start_minute);
+
+      // Start POI from the time-of-day popularity distribution.
+      std::vector<double> weights(db.size());
+      for (PoiId p = 0; p < db.size(); ++p) {
+        weights[p] = popularity_at(p, time.TimestepToMinute(t));
+      }
+      const size_t start = rng.Discrete(weights);
+      if (start >= db.size()) continue;
+
+      model::Trajectory traj;
+      traj.Append(static_cast<PoiId>(start), t);
+      while (traj.size() < len) {
+        const model::TrajectoryPoint& cur = traj.point(traj.size() - 1);
+        // Dwell from the category's log-normal, then travel U(0, max).
+        const auto params = DwellFor(*root_name[cur.poi]);
+        const int dwell = static_cast<int>(
+            std::clamp(rng.LogNormal(params.mu, params.sigma), 5.0, 360.0));
+        const int travel =
+            static_cast<int>(rng.UniformInt(0, config.max_travel_minutes));
+        const int gap_minutes = std::max(
+            dwell + travel, time.granularity_minutes());
+        const Timestep next_t =
+            cur.t + std::max<Timestep>(
+                        1, static_cast<Timestep>(
+                               gap_minutes / time.granularity_minutes()));
+        if (next_t >= time.num_timesteps()) break;
+        const int arrival_minute = time.TimestepToMinute(next_t);
+
+        // Next POI: popularity at expected arrival among reachable POIs.
+        // Reachability covers the whole inter-point gap, consistent with
+        // the §6.2 filter.
+        const double theta =
+            config.speed_kmh * (time.GapMinutes(cur.t, next_t) / 60.0);
+        const std::vector<PoiId> reachable =
+            db.WithinRadiusOf(cur.poi, theta);
+        std::vector<double> dest_weights(reachable.size(), 0.0);
+        for (size_t k = 0; k < reachable.size(); ++k) {
+          if (reachable[k] == cur.poi) continue;
+          dest_weights[k] = popularity_at(reachable[k], arrival_minute);
+        }
+        const size_t pick = rng.Discrete(dest_weights);
+        if (pick >= reachable.size()) break;
+        traj.Append(reachable[pick], next_t);
+      }
+      if (traj.size() == len) {
+        out.push_back(std::move(traj));
+        built = true;
+      }
+    }
+    if (!built) {
+      return Status::Internal(
+          "safegraph generator failed to build a trajectory; the city "
+          "configuration is too sparse");
+    }
+  }
+  return out;
+}
+
+}  // namespace trajldp::synth

@@ -1,0 +1,53 @@
+#ifndef TRAJLDP_SYNTH_SAFEGRAPH_H_
+#define TRAJLDP_SYNTH_SAFEGRAPH_H_
+
+#include "common/status_or.h"
+#include "model/poi_database.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+#include "synth/city_model.h"
+
+namespace trajldp::synth {
+
+/// \brief Generator implementing the paper's semi-synthetic Safegraph
+/// recipe (§6.1.2) with synthetic popularity/dwell inputs.
+///
+/// The paper itself generates trajectories from Safegraph Patterns data;
+/// only the popularity curves and dwell-time distributions were
+/// proprietary. Here those inputs are synthesised (time-of-day popularity
+/// profiles per category, log-normal dwell times) and the recipe is
+/// followed verbatim: |τ| ~ U(3,8); start time ~ U(6:00, 22:00); start
+/// POI from the popularity distribution at that time; dwell sampled from
+/// the POI's category distribution; travel time ~ U(0, 60) minutes; next
+/// POI popularity-sampled among POIs reachable in the travel gap.
+struct SafegraphConfig {
+  CityModelConfig city;
+  size_t num_trajectories = 1000;
+  int min_len = 3;
+  int max_len = 8;
+  int earliest_start_minute = 6 * 60;
+  int latest_start_minute = 22 * 60;
+  /// Travel gap ~ U(0, max_travel_minutes) (paper: 60).
+  int max_travel_minutes = 60;
+  /// Effective travel speed for reachability (§6.2: 8 km/h).
+  double speed_kmh = 8.0;
+  uint64_t seed = 43;
+};
+
+/// Builds the POI database (city model over the NAICS-like tree).
+StatusOr<model::PoiDatabase> BuildSafegraphPois(const SafegraphConfig& config);
+
+/// Generates trajectories per the §6.1.2 recipe.
+StatusOr<model::TrajectorySet> GenerateSafegraphTrajectories(
+    const model::PoiDatabase& db, const model::TimeDomain& time,
+    const SafegraphConfig& config);
+
+/// Time-of-day popularity multiplier for a level-1 category (synthetic
+/// stand-in for Safegraph's hourly visit patterns): e.g. restaurants peak
+/// at meal times, nightlife after dark, offices during work hours.
+/// Exposed for tests and for the hotspot benches.
+double TimeOfDayMultiplier(const std::string& level1_name, int minute);
+
+}  // namespace trajldp::synth
+
+#endif  // TRAJLDP_SYNTH_SAFEGRAPH_H_

@@ -1,0 +1,108 @@
+#include "synth/taxi_foursquare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "hierarchy/builtin_hierarchies.h"
+
+namespace trajldp::synth {
+
+using model::PoiId;
+using model::Timestep;
+
+StatusOr<model::PoiDatabase> BuildTaxiFoursquarePois(
+    const TaxiFoursquareConfig& config) {
+  return GenerateCity(config.city, hierarchy::BuiltinFoursquareLike());
+}
+
+StatusOr<model::TrajectorySet> GenerateTaxiFoursquareTrajectories(
+    const model::PoiDatabase& db, const model::TimeDomain& time,
+    const TaxiFoursquareConfig& config) {
+  if (config.min_len < 1 || config.max_len < config.min_len) {
+    return Status::InvalidArgument("invalid trajectory length bounds");
+  }
+  Rng rng(config.seed ^ 0x7A15F0C4D3B2A191ULL);
+  model::TrajectorySet out;
+  out.reserve(config.num_trajectories);
+
+  // Popularity-weighted start distribution, restricted per draw to POIs
+  // open at the start time.
+  std::vector<double> popularity(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    popularity[i] = db.poi(i).popularity;
+  }
+
+  const int max_attempts_per_traj = 64;
+  while (out.size() < config.num_trajectories) {
+    bool built = false;
+    for (int attempt = 0; attempt < max_attempts_per_traj && !built;
+         ++attempt) {
+      const auto len = static_cast<size_t>(
+          rng.UniformInt(config.min_len, config.max_len));
+      const int start_minute = static_cast<int>(rng.UniformInt(
+          config.earliest_start_minute, config.latest_start_minute));
+      Timestep t = time.MinuteToTimestep(start_minute);
+
+      // Start POI: popularity-weighted among POIs open now.
+      std::vector<double> weights = popularity;
+      for (size_t i = 0; i < db.size(); ++i) {
+        if (!db.poi(i).hours.IsOpenAtMinute(time.TimestepToMinute(t))) {
+          weights[i] = 0.0;
+        }
+      }
+      const size_t start = rng.Discrete(weights);
+      if (start >= db.size()) continue;
+
+      model::Trajectory traj;
+      traj.Append(static_cast<PoiId>(start), t);
+      while (traj.size() < len) {
+        const model::TrajectoryPoint& cur =
+            traj.point(traj.size() - 1);
+        // Dwell, then ride to the next destination. The combined gap sets
+        // the reachability radius at the dataset's effective speed.
+        const int dwell = static_cast<int>(rng.UniformInt(
+            config.min_dwell_minutes, config.max_dwell_minutes));
+        const int gap_minutes =
+            std::max(dwell, time.granularity_minutes());
+        const Timestep next_t =
+            cur.t + std::max<Timestep>(
+                        1, static_cast<Timestep>(
+                               gap_minutes / time.granularity_minutes()));
+        if (next_t >= time.num_timesteps()) break;
+        const int arrival_minute = time.TimestepToMinute(next_t);
+        const double theta = config.speed_kmh *
+                             (time.GapMinutes(cur.t, next_t) / 60.0);
+
+        // Candidate destinations: reachable, open on arrival, not the
+        // current venue (the cleaning step removes repeats).
+        const std::vector<PoiId> reachable =
+            db.WithinRadiusOf(cur.poi, theta);
+        std::vector<double> dest_weights(reachable.size(), 0.0);
+        for (size_t k = 0; k < reachable.size(); ++k) {
+          const PoiId q = reachable[k];
+          if (q == cur.poi) continue;
+          if (!db.poi(q).hours.IsOpenAtMinute(arrival_minute)) continue;
+          const double d = db.DistanceKm(cur.poi, q);
+          dest_weights[k] = db.poi(q).popularity *
+                            std::exp(-d / config.distance_scale_km);
+        }
+        const size_t pick = rng.Discrete(dest_weights);
+        if (pick >= reachable.size()) break;  // dead end; maybe retry
+        traj.Append(reachable[pick], next_t);
+      }
+      if (traj.size() == len) {
+        out.push_back(std::move(traj));
+        built = true;
+      }
+    }
+    if (!built) {
+      return Status::Internal(
+          "taxi-foursquare generator failed to build a trajectory; the "
+          "city configuration is too sparse");
+    }
+  }
+  return out;
+}
+
+}  // namespace trajldp::synth

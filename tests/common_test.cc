@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/status_or.h"
+#include "common/table_printer.h"
+
+namespace trajldp {
+namespace {
+
+// ---------- Status ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, EachCodeHasDistinctName) {
+  std::set<std::string_view> names;
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kResourceExhausted, StatusCode::kInternal,
+        StatusCode::kUnimplemented}) {
+    names.insert(StatusCodeName(code));
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::NotFound("x");
+  EXPECT_EQ(os.str(), "NotFound: x");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status UsesReturnNotOk(int x) {
+  TRAJLDP_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_EQ(UsesReturnNotOk(-1).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------- StatusOr ----------
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> so(42);
+  ASSERT_TRUE(so.ok());
+  EXPECT_EQ(*so, 42);
+  EXPECT_EQ(so.value_or(0), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> so(Status::NotFound("missing"));
+  ASSERT_FALSE(so.ok());
+  EXPECT_EQ(so.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(so.value_or(-7), -7);
+}
+
+TEST(StatusOrTest, OkStatusBecomesInternalError) {
+  StatusOr<int> so(Status::Ok());
+  EXPECT_FALSE(so.ok());
+  EXPECT_EQ(so.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> so(std::make_unique<int>(5));
+  ASSERT_TRUE(so.ok());
+  std::unique_ptr<int> owned = std::move(so).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitDecorrelatesStreams) {
+  Rng parent(7);
+  Rng child = parent.Split();
+  // The child stream should not replay the parent's stream.
+  Rng parent_copy(7);
+  parent_copy.Split();
+  EXPECT_EQ(parent.NextUint64(), parent_copy.NextUint64());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.NextUint64() == parent.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(6);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, UniformUint64Unbiased) {
+  // Mean of U{0..9} should be near 4.5.
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.UniformUint64(10));
+  EXPECT_NEAR(sum / n, 4.5, 0.05);
+}
+
+TEST(RngTest, GumbelMoments) {
+  // Gumbel(0,1): mean = Euler–Mascheroni γ ≈ 0.5772, var = π²/6.
+  Rng rng(9);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gumbel();
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5772, 0.02);
+  EXPECT_NEAR(var, M_PI * M_PI / 6.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(10);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(sq / n - mean * mean, 4.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdgesAndRate) {
+  Rng rng(12);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(13);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const size_t k = rng.Discrete(weights);
+    ASSERT_LT(k, 3u);
+    ++counts[k];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, DiscreteDegenerateInputs) {
+  Rng rng(14);
+  EXPECT_EQ(rng.Discrete({}), 0u);  // empty → size() == 0
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_EQ(rng.Discrete(zeros), zeros.size());
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(15);
+  const auto perm = rng.Permutation(50);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+// ---------- math_util ----------
+
+TEST(MathUtilTest, LogSumExpMatchesDirect) {
+  const std::vector<double> xs = {0.1, -2.0, 3.5};
+  double direct = 0.0;
+  for (double x : xs) direct += std::exp(x);
+  EXPECT_NEAR(LogSumExp(xs), std::log(direct), 1e-12);
+}
+
+TEST(MathUtilTest, LogSumExpStableForLargeInputs) {
+  const std::vector<double> xs = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(xs), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_TRUE(std::isinf(LogSumExp({})));
+}
+
+TEST(MathUtilTest, SoftmaxSumsToOne) {
+  const auto probs = Softmax({1.0, 2.0, 3.0});
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_LT(probs[0], probs[1]);
+  EXPECT_LT(probs[1], probs[2]);
+}
+
+TEST(MathUtilTest, MeanAndStdDev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(MathUtilTest, ZipfWeightsDecreasing) {
+  const auto w = ZipfWeights(5, 1.0);
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(MathUtilTest, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+// ---------- TablePrinter ----------
+
+TEST(TablePrinterTest, AlignsAndPads) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1.00"});
+  table.AddRow({"longer-name"});  // missing cell renders empty
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace trajldp

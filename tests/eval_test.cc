@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+
+#include "common/rng.h"
+#include "eval/dataset.h"
+#include "eval/experiment.h"
+#include "eval/hotspots.h"
+#include "eval/normalized_error.h"
+#include "eval/range_queries.h"
+#include "test_world.h"
+
+namespace trajldp::eval {
+namespace {
+
+using trajldp::testing::MakeGridWorld;
+using trajldp::testing::MakeTrajectory;
+
+class EvalFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = MakeGridWorld();
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<model::PoiDatabase>(std::move(*db));
+    time_ = *model::TimeDomain::Create(10);
+  }
+
+  std::unique_ptr<model::PoiDatabase> db_;
+  model::TimeDomain time_;
+};
+
+// ---------- Normalized error ----------
+
+TEST_F(EvalFixture, NeZeroOnIdenticalSets) {
+  const model::TrajectorySet set = {MakeTrajectory({{0, 10}, {1, 20}}),
+                                    MakeTrajectory({{2, 30}, {3, 40}})};
+  auto ne = ComputeNormalizedError(*db_, time_, set, set);
+  ASSERT_TRUE(ne.ok());
+  EXPECT_DOUBLE_EQ(ne->time_hours, 0.0);
+  EXPECT_DOUBLE_EQ(ne->category, 0.0);
+  EXPECT_DOUBLE_EQ(ne->space_km, 0.0);
+}
+
+TEST_F(EvalFixture, NeMatchesHandComputation) {
+  // One trajectory, two points. Perturbed shifts each point by one
+  // timestep (10 min = 1/6 h) and moves point 0 to POI 1 (1 km away,
+  // sibling-leaf category distance 2).
+  const model::TrajectorySet real = {MakeTrajectory({{0, 10}, {4, 20}})};
+  const model::TrajectorySet perturbed = {
+      MakeTrajectory({{1, 11}, {4, 21}})};
+  auto ne = ComputeNormalizedError(*db_, time_, real, perturbed);
+  ASSERT_TRUE(ne.ok());
+  EXPECT_NEAR(ne->time_hours, (1.0 / 6.0 + 1.0 / 6.0) / 2.0, 1e-9);
+  EXPECT_NEAR(ne->category, (2.0 + 0.0) / 2.0, 1e-9);
+  EXPECT_NEAR(ne->space_km, (db_->DistanceKm(0, 1) + 0.0) / 2.0, 1e-6);
+}
+
+TEST_F(EvalFixture, NeRejectsMismatchedSets) {
+  const model::TrajectorySet a = {MakeTrajectory({{0, 10}})};
+  const model::TrajectorySet b;
+  EXPECT_FALSE(ComputeNormalizedError(*db_, time_, a, b).ok());
+  const model::TrajectorySet c = {MakeTrajectory({{0, 10}, {1, 20}})};
+  EXPECT_FALSE(ComputeNormalizedError(*db_, time_, a, c).ok());
+}
+
+// ---------- PRQ ----------
+
+TEST_F(EvalFixture, PrqFullAtLargeDelta) {
+  const model::TrajectorySet real = {MakeTrajectory({{0, 10}, {1, 20}})};
+  const model::TrajectorySet perturbed = {
+      MakeTrajectory({{15, 100}, {14, 120}})};
+  for (auto dim : {PrqDimension::kSpace, PrqDimension::kTime,
+                   PrqDimension::kCategory}) {
+    auto pr = PreservationRangeQuery(*db_, time_, real, perturbed, dim,
+                                     1e9);
+    ASSERT_TRUE(pr.ok());
+    EXPECT_DOUBLE_EQ(*pr, 100.0);
+  }
+}
+
+TEST_F(EvalFixture, PrqCountsWithinDelta) {
+  // Point 0 perturbed 1 km away, point 1 exact: at δ = 0.5 km → 50%.
+  const model::TrajectorySet real = {MakeTrajectory({{0, 10}, {1, 20}})};
+  const model::TrajectorySet perturbed = {
+      MakeTrajectory({{1, 10}, {1, 20}})};
+  auto pr = PreservationRangeQuery(*db_, time_, real, perturbed,
+                                   PrqDimension::kSpace, 0.5);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_DOUBLE_EQ(*pr, 50.0);
+  // At δ = 1.5 km both qualify.
+  pr = PreservationRangeQuery(*db_, time_, real, perturbed,
+                              PrqDimension::kSpace, 1.5);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_DOUBLE_EQ(*pr, 100.0);
+}
+
+TEST_F(EvalFixture, PrqTimeUsesMinutes) {
+  const model::TrajectorySet real = {MakeTrajectory({{0, 10}})};
+  const model::TrajectorySet perturbed = {MakeTrajectory({{0, 13}})};
+  // 3 timesteps = 30 minutes.
+  auto below = PreservationRangeQuery(*db_, time_, real, perturbed,
+                                      PrqDimension::kTime, 29.0);
+  auto above = PreservationRangeQuery(*db_, time_, real, perturbed,
+                                      PrqDimension::kTime, 30.0);
+  ASSERT_TRUE(below.ok());
+  ASSERT_TRUE(above.ok());
+  EXPECT_DOUBLE_EQ(*below, 0.0);
+  EXPECT_DOUBLE_EQ(*above, 100.0);
+}
+
+TEST_F(EvalFixture, PrqCurveIsMonotone) {
+  Rng rng(3);
+  model::TrajectorySet real, perturbed;
+  for (int k = 0; k < 20; ++k) {
+    const auto p1 = static_cast<model::PoiId>(rng.UniformUint64(16));
+    const auto p2 = static_cast<model::PoiId>(rng.UniformUint64(16));
+    real.push_back(MakeTrajectory({{p1, 10}, {p1, 30}}));
+    perturbed.push_back(MakeTrajectory({{p2, 15}, {p2, 40}}));
+  }
+  auto curve = PrqCurve(*db_, time_, real, perturbed, PrqDimension::kSpace,
+                        {0.0, 0.5, 1.0, 2.0, 4.0, 8.0});
+  ASSERT_TRUE(curve.ok());
+  for (size_t i = 1; i < curve->size(); ++i) {
+    EXPECT_GE((*curve)[i], (*curve)[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(curve->back(), 100.0);
+}
+
+// ---------- Hotspots ----------
+
+TEST_F(EvalFixture, DetectsCraftedHotspot) {
+  // 25 users visit POI 0 between 10:00 and 11:00 → one POI-level hotspot
+  // with η = 20. Second visits scatter over distinct POIs so only POI 0
+  // crosses the threshold.
+  model::TrajectorySet set;
+  for (int u = 0; u < 25; ++u) {
+    set.push_back(MakeTrajectory(
+        {{0, 61}, {static_cast<model::PoiId>(1 + u % 15), 100}}));
+  }
+  HotspotSpec spec;
+  spec.entity = HotspotSpec::Entity::kPoi;
+  spec.eta = 20;
+  auto hotspots = FindHotspots(*db_, time_, set, spec);
+  ASSERT_TRUE(hotspots.ok());
+  ASSERT_EQ(hotspots->size(), 1u);
+  EXPECT_EQ((*hotspots)[0].entity, 0u);
+  EXPECT_EQ((*hotspots)[0].start_minute, 600);
+  EXPECT_EQ((*hotspots)[0].end_minute, 660);
+  EXPECT_EQ((*hotspots)[0].peak_count, 25);
+}
+
+TEST_F(EvalFixture, UniqueVisitorsCountOncePerBin) {
+  // One user visiting the same POI twice in a bin counts once: 19 users
+  // with double visits stay below η = 20.
+  model::TrajectorySet set;
+  for (int u = 0; u < 19; ++u) {
+    set.push_back(MakeTrajectory({{0, 60}, {0, 62}}));
+  }
+  HotspotSpec spec;
+  spec.eta = 19;
+  auto hotspots = FindHotspots(*db_, time_, set, spec);
+  ASSERT_TRUE(hotspots.ok());
+  ASSERT_EQ(hotspots->size(), 1u);
+  EXPECT_EQ((*hotspots)[0].peak_count, 19);
+}
+
+TEST_F(EvalFixture, AdjacentHotBinsMergeIntoOneHotspot) {
+  model::TrajectorySet set;
+  for (int u = 0; u < 30; ++u) {
+    // Visits in two consecutive hours.
+    set.push_back(MakeTrajectory({{0, 61}, {0, 67}}));
+  }
+  HotspotSpec spec;
+  spec.eta = 20;
+  auto hotspots = FindHotspots(*db_, time_, set, spec);
+  ASSERT_TRUE(hotspots.ok());
+  ASSERT_EQ(hotspots->size(), 1u);
+  EXPECT_EQ((*hotspots)[0].start_minute, 600);
+  EXPECT_EQ((*hotspots)[0].end_minute, 720);
+}
+
+TEST_F(EvalFixture, SpatialAndCategoryEntities) {
+  // All 4 distinct POIs lie in the same 2×2 grid quadrant? POIs 0,1,4,5
+  // share the bottom-left quadrant of the lattice. Give each user one
+  // visit to a different POI: POI-level counts stay below η, but the
+  // grid-cell count crosses it.
+  model::TrajectorySet set;
+  const model::PoiId corner[] = {0, 1, 4, 5};
+  for (int u = 0; u < 24; ++u) {
+    set.push_back(MakeTrajectory({{corner[u % 4], 61}}));
+  }
+  HotspotSpec poi_spec;
+  poi_spec.eta = 20;
+  auto poi_hotspots = FindHotspots(*db_, time_, set, poi_spec);
+  ASSERT_TRUE(poi_hotspots.ok());
+  EXPECT_TRUE(poi_hotspots->empty());
+
+  HotspotSpec grid_spec;
+  grid_spec.entity = HotspotSpec::Entity::kSpatialGrid;
+  grid_spec.grid_size = 2;
+  grid_spec.eta = 20;
+  auto grid_hotspots = FindHotspots(*db_, time_, set, grid_spec);
+  ASSERT_TRUE(grid_hotspots.ok());
+  EXPECT_EQ(grid_hotspots->size(), 1u);
+
+  // Category level 1: POIs 0,4 are Pizza/Sushi? (leaves cycle by id).
+  // All 24 visits share... count hotspots at level 1 with η = 10: the
+  // 'Food' domain collects POIs 0 (pizza), 1 (sushi), 5 (sushi)... at
+  // least one hotspot must appear.
+  HotspotSpec cat_spec;
+  cat_spec.entity = HotspotSpec::Entity::kCategoryLevel;
+  cat_spec.category_level = 1;
+  cat_spec.eta = 10;
+  auto cat_hotspots = FindHotspots(*db_, time_, set, cat_spec);
+  ASSERT_TRUE(cat_hotspots.ok());
+  EXPECT_GE(cat_hotspots->size(), 1u);
+}
+
+TEST_F(EvalFixture, HotspotSpecValidation) {
+  HotspotSpec spec;
+  spec.bin_minutes = 7;
+  EXPECT_FALSE(FindHotspots(*db_, time_, {}, spec).ok());
+  spec = HotspotSpec();
+  spec.eta = 0;
+  EXPECT_FALSE(FindHotspots(*db_, time_, {}, spec).ok());
+}
+
+TEST_F(EvalFixture, CompareHotspotsAhdAndAcd) {
+  // Real hotspot 10:00–11:00 count 30; perturbed shifted one hour later
+  // with count 25 → AHD = |1| + |1| = 2 h, ACD = 5.
+  const std::vector<Hotspot> real = {{0, 600, 660, 30}};
+  const std::vector<Hotspot> perturbed = {{0, 660, 720, 25}};
+  const auto cmp = CompareHotspots(real, perturbed);
+  EXPECT_EQ(cmp.matched, 1u);
+  EXPECT_EQ(cmp.excluded, 0u);
+  EXPECT_NEAR(cmp.ahd_hours, 2.0, 1e-9);
+  EXPECT_NEAR(cmp.acd, 5.0, 1e-9);
+}
+
+TEST_F(EvalFixture, CompareHotspotsPicksNearestAndExcludesOrphans) {
+  const std::vector<Hotspot> real = {{0, 600, 660, 30}, {0, 1200, 1260, 40}};
+  const std::vector<Hotspot> perturbed = {{0, 1140, 1260, 35},
+                                          {7, 600, 660, 10}};
+  const auto cmp = CompareHotspots(real, perturbed);
+  // The first perturbed hotspot matches the 20:00 real hotspot
+  // (|1200−1140|/60 + |1260−1260|/60 = 1 h), not the 10:00 one (10 h).
+  EXPECT_EQ(cmp.matched, 1u);
+  EXPECT_EQ(cmp.excluded, 1u);  // entity 7 has no real hotspot
+  EXPECT_NEAR(cmp.ahd_hours, 1.0, 1e-9);
+  EXPECT_NEAR(cmp.acd, 5.0, 1e-9);
+}
+
+// ---------- Experiment driver ----------
+
+TEST(ExperimentTest, MethodNamesMatchPaper) {
+  EXPECT_EQ(MethodName(Method::kIndNoReach), "IndNoReach");
+  EXPECT_EQ(MethodName(Method::kIndReach), "IndReach");
+  EXPECT_EQ(MethodName(Method::kPhysDist), "PhysDist");
+  EXPECT_EQ(MethodName(Method::kNGramNoH), "NGramNoH");
+  EXPECT_EQ(MethodName(Method::kNGram), "NGram");
+  EXPECT_EQ(AllMethods().size(), 5u);
+}
+
+TEST(ExperimentTest, RunMethodProducesPairedSets) {
+  DatasetOptions options;
+  options.num_pois = 200;
+  options.num_trajectories = 25;
+  options.seed = 3;
+  auto dataset = MakeCampusDataset(options);
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+
+  ExperimentConfig config;
+  config.epsilon = 5.0;
+  config.max_trajectories = 10;
+  for (Method method : AllMethods()) {
+    auto result = RunMethod(*dataset, method, config);
+    ASSERT_TRUE(result.ok()) << MethodName(method) << ": "
+                             << result.status();
+    EXPECT_EQ(result->real.size(), result->perturbed.size());
+    EXPECT_LE(result->real.size(), 10u);
+    for (size_t i = 0; i < result->real.size(); ++i) {
+      EXPECT_EQ(result->real[i].size(), result->perturbed[i].size());
+    }
+    // NE must be computable on the pairing.
+    EXPECT_TRUE(ComputeNormalizedError(dataset->db, dataset->time,
+                                       result->real, result->perturbed)
+                    .ok());
+  }
+}
+
+TEST(ExperimentTest, ScaledCountHonoursMinimum) {
+  unsetenv("TRAJLDP_BENCH_SCALE");
+  EXPECT_EQ(ScaledCount(100, 20), 100u);
+  EXPECT_EQ(ScaledCount(5, 20), 20u);
+  setenv("TRAJLDP_BENCH_SCALE", "0.5", 1);
+  EXPECT_EQ(ScaledCount(100, 20), 50u);
+  unsetenv("TRAJLDP_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace trajldp::eval

@@ -1,0 +1,226 @@
+// Failure-injection and edge-case tests: how the library behaves when
+// inputs are degenerate, domains are disconnected, or budgets are broken.
+
+#include <gtest/gtest.h>
+
+#include "baselines/independent.h"
+#include "baselines/ngram_no_hierarchy.h"
+#include "core/mechanism.h"
+#include "eval/dataset.h"
+#include "eval/experiment.h"
+#include "test_world.h"
+
+namespace trajldp {
+namespace {
+
+using trajldp::testing::GridWorldOptions;
+using trajldp::testing::MakeGridWorld;
+using trajldp::testing::MakeTrajectory;
+
+model::TimeDomain TenMinutes() { return *model::TimeDomain::Create(10); }
+
+// ---------- Single-POI world ----------
+
+TEST(DegenerateWorldTest, SinglePoiCityStillWorks) {
+  hierarchy::CategoryTree tree = trajldp::testing::MakeSmallTree();
+  model::Poi only;
+  only.name = "the-only-place";
+  only.location = {40.7, -74.0};
+  only.category = tree.Leaves()[0];
+  auto db = model::PoiDatabase::Create({only}, std::move(tree));
+  ASSERT_TRUE(db.ok());
+  const auto time = TenMinutes();
+
+  core::NGramConfig config;
+  config.epsilon = 5.0;
+  config.decomposition.grid_size = 1;
+  config.decomposition.coarse_grids = {};
+  config.decomposition.merge.kappa = 1;
+  auto mech = core::NGramMechanism::Build(&*db, time, config);
+  ASSERT_TRUE(mech.ok()) << mech.status();
+
+  // A 2-point trajectory must perturb to ... the same POI at two times.
+  const auto input = MakeTrajectory({{0, 10}, {0, 20}});
+  Rng rng(1);
+  auto out = mech->Perturb(input, rng);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->point(0).poi, 0u);
+  EXPECT_EQ(out->point(1).poi, 0u);
+  EXPECT_LT(out->point(0).t, out->point(1).t);
+}
+
+// ---------- Disconnected reachability ----------
+
+TEST(DegenerateWorldTest, TwoIslandsRemainInternallyConsistent) {
+  // Two clusters 100 km apart with walking-speed reachability: no
+  // cross-island bigram is feasible; the mechanism must still produce
+  // island-consistent outputs.
+  hierarchy::CategoryTree tree = trajldp::testing::MakeSmallTree();
+  const auto leaves = tree.Leaves();
+  std::vector<model::Poi> pois;
+  const geo::LatLon west{40.7, -74.0};
+  const geo::LatLon east = geo::OffsetKm(west, 100.0, 0.0);
+  for (int i = 0; i < 6; ++i) {
+    model::Poi poi;
+    poi.name = "w" + std::to_string(i);
+    poi.location = geo::OffsetKm(west, 0.2 * i, 0.0);
+    poi.category = leaves[i % leaves.size()];
+    pois.push_back(poi);
+  }
+  for (int i = 0; i < 6; ++i) {
+    model::Poi poi;
+    poi.name = "e" + std::to_string(i);
+    poi.location = geo::OffsetKm(east, 0.2 * i, 0.0);
+    poi.category = leaves[i % leaves.size()];
+    pois.push_back(poi);
+  }
+  auto db = model::PoiDatabase::Create(std::move(pois), std::move(tree));
+  ASSERT_TRUE(db.ok());
+  const auto time = TenMinutes();
+
+  core::NGramConfig config;
+  config.epsilon = 5.0;
+  config.reachability.speed_kmh = 4.0;
+  config.reachability.reference_gap_minutes = 60;  // θ = 4 km
+  config.decomposition.merge.kappa = 1;
+  auto mech = core::NGramMechanism::Build(&*db, time, config);
+  ASSERT_TRUE(mech.ok());
+
+  const auto input = MakeTrajectory({{0, 30}, {1, 40}, {2, 50}});
+  const model::Reachability checker(&*db, time, config.reachability);
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed);
+    auto out = mech->Perturb(input, rng);
+    ASSERT_TRUE(out.ok()) << out.status();
+    // Output must never hop between islands mid-trajectory.
+    EXPECT_TRUE(checker.CheckFeasible(*out).ok()) << "seed " << seed;
+  }
+}
+
+// ---------- Opening-hours-driven failures ----------
+
+TEST(DegenerateWorldTest, VisitOutsideOpeningHoursIsRejected) {
+  GridWorldOptions options;
+  options.restrict_odd_hours = true;  // odd POIs open 09:00–17:00
+  auto db = MakeGridWorld(options);
+  ASSERT_TRUE(db.ok());
+  const auto time = TenMinutes();
+  core::NGramConfig config;
+  config.decomposition.merge.kappa = 1;
+  auto mech = core::NGramMechanism::Build(&*db, time, config);
+  ASSERT_TRUE(mech.ok());
+  Rng rng(3);
+  // POI 1 at 03:00: closed → no STC region → clean error, not a crash.
+  auto out = mech->Perturb(MakeTrajectory({{1, 18}, {2, 30}}), rng);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+// ---------- Experiment driver resilience ----------
+
+TEST(ExperimentResilienceTest, LengthFilterWithNoMatchesFailsCleanly) {
+  eval::DatasetOptions options;
+  options.num_pois = 150;
+  options.num_trajectories = 20;
+  auto dataset = eval::MakeCampusDataset(options);
+  ASSERT_TRUE(dataset.ok());
+  eval::ExperimentConfig config;
+  config.exact_length = 99;  // no trajectory has 99 points
+  auto result = eval::RunMethod(*dataset, eval::Method::kNGram, config);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------- Unconstrained-speed mechanisms ----------
+
+TEST(DegenerateWorldTest, UnconstrainedSpeedWorksEndToEnd) {
+  GridWorldOptions options;
+  options.rows = 5;
+  options.cols = 5;
+  auto db = MakeGridWorld(options);
+  ASSERT_TRUE(db.ok());
+  const auto time = TenMinutes();
+
+  core::NGramConfig config;
+  config.reachability = model::ReachabilityConfig::Unconstrained();
+  config.decomposition.merge.kappa = 2;
+  auto mech = core::NGramMechanism::Build(&*db, time, config);
+  ASSERT_TRUE(mech.ok());
+  Rng rng(5);
+  auto out = mech->Perturb(MakeTrajectory({{0, 30}, {24, 31}}), rng);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->Validate(time).ok());
+
+  baselines::IndependentMechanism::Config ic;
+  ic.reachability = model::ReachabilityConfig::Unconstrained();
+  ic.respect_reachability = true;
+  auto ind = baselines::IndependentMechanism::Build(&*db, time, ic);
+  ASSERT_TRUE(ind.ok());
+  Rng rng2(6);
+  auto ind_out = ind->Perturb(MakeTrajectory({{0, 30}, {24, 31}}), rng2);
+  ASSERT_TRUE(ind_out.ok());
+  EXPECT_TRUE(ind_out->Validate(time).ok());
+}
+
+// ---------- Tiny epsilon stays functional ----------
+
+TEST(DegenerateWorldTest, MicroscopicEpsilonStillProducesOutput) {
+  GridWorldOptions options;
+  options.rows = 4;
+  options.cols = 4;
+  auto db = MakeGridWorld(options);
+  ASSERT_TRUE(db.ok());
+  const auto time = TenMinutes();
+  core::NGramConfig config;
+  config.epsilon = 1e-6;
+  config.decomposition.merge.kappa = 1;
+  auto mech = core::NGramMechanism::Build(&*db, time, config);
+  ASSERT_TRUE(mech.ok());
+  Rng rng(7);
+  auto out = mech->Perturb(MakeTrajectory({{0, 30}, {1, 40}}), rng);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->Validate(time).ok());
+}
+
+// ---------- Baselines on worlds with isolated POIs ----------
+
+TEST(DegenerateWorldTest, PoiLevelNgramHandlesIsolatedPoi) {
+  // One POI sits 50 km from a tight cluster: it has no graph neighbours
+  // at walking θ, so POI n-grams never include it, and the mechanism
+  // still succeeds for cluster trajectories.
+  hierarchy::CategoryTree tree = trajldp::testing::MakeSmallTree();
+  const auto leaves = tree.Leaves();
+  std::vector<model::Poi> pois;
+  const geo::LatLon center{40.7, -74.0};
+  for (int i = 0; i < 8; ++i) {
+    model::Poi poi;
+    poi.name = "c" + std::to_string(i);
+    poi.location = geo::OffsetKm(center, 0.3 * i, 0.0);
+    poi.category = leaves[i % leaves.size()];
+    pois.push_back(poi);
+  }
+  model::Poi hermit;
+  hermit.name = "hermit";
+  hermit.location = geo::OffsetKm(center, 50.0, 50.0);
+  hermit.category = leaves[0];
+  pois.push_back(hermit);
+  auto db = model::PoiDatabase::Create(std::move(pois), std::move(tree));
+  ASSERT_TRUE(db.ok());
+  const auto time = TenMinutes();
+
+  baselines::NGramNoHConfig config;
+  config.reachability.speed_kmh = 4.0;
+  config.reachability.reference_gap_minutes = 60;
+  auto mech = baselines::BuildNGramNoH(&*db, time, config);
+  ASSERT_TRUE(mech.ok());
+  Rng rng(9);
+  auto out = mech->Perturb(MakeTrajectory({{0, 30}, {1, 40}}), rng);
+  ASSERT_TRUE(out.ok()) << out.status();
+  // The hermit can never appear mid-path: it has no incident edges.
+  for (const auto& pt : out->points()) {
+    EXPECT_NE(pt.poi, 8u);
+  }
+}
+
+}  // namespace
+}  // namespace trajldp

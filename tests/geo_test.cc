@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/bounding_box.h"
+#include "geo/grid.h"
+#include "geo/latlon.h"
+#include "geo/spatial_index.h"
+
+namespace trajldp::geo {
+namespace {
+
+// ---------- Haversine ----------
+
+TEST(LatLonTest, HaversineKnownDistance) {
+  // JFK to LAX is roughly 3974 km.
+  const LatLon jfk{40.6413, -73.7781};
+  const LatLon lax{33.9416, -118.4085};
+  EXPECT_NEAR(HaversineKm(jfk, lax), 3974.0, 15.0);
+}
+
+TEST(LatLonTest, HaversineZeroForSamePoint) {
+  const LatLon p{51.5, -0.12};
+  EXPECT_DOUBLE_EQ(HaversineKm(p, p), 0.0);
+}
+
+TEST(LatLonTest, HaversineSymmetric) {
+  const LatLon a{40.7, -74.0}, b{40.8, -73.9};
+  EXPECT_DOUBLE_EQ(HaversineKm(a, b), HaversineKm(b, a));
+}
+
+TEST(LatLonTest, EquirectangularCloseToHaversineAtCityScale) {
+  const LatLon a{40.70, -74.00}, b{40.80, -73.90};
+  const double h = HaversineKm(a, b);
+  const double e = EquirectangularKm(a, b);
+  EXPECT_NEAR(e / h, 1.0, 0.005);
+}
+
+TEST(LatLonTest, OffsetKmRoundTrips) {
+  const LatLon origin{40.75, -73.98};
+  const LatLon moved = OffsetKm(origin, 3.0, -4.0);
+  EXPECT_NEAR(HaversineKm(origin, moved), 5.0, 0.02);
+  const LatLon back = OffsetKm(moved, -3.0, 4.0);
+  EXPECT_NEAR(HaversineKm(origin, back), 0.0, 0.02);
+}
+
+// ---------- BoundingBox ----------
+
+TEST(BoundingBoxTest, EmptyBox) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_FALSE(box.Contains(LatLon{0, 0}));
+}
+
+TEST(BoundingBoxTest, ExtendAndContains) {
+  BoundingBox box;
+  box.Extend(LatLon{40.0, -74.0});
+  box.Extend(LatLon{41.0, -73.0});
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.Contains(LatLon{40.5, -73.5}));
+  EXPECT_TRUE(box.Contains(LatLon{40.0, -74.0}));  // boundary inclusive
+  EXPECT_FALSE(box.Contains(LatLon{39.9, -73.5}));
+}
+
+TEST(BoundingBoxTest, DistanceZeroInside) {
+  BoundingBox box(LatLon{40.0, -74.0}, LatLon{41.0, -73.0});
+  EXPECT_DOUBLE_EQ(box.DistanceKm(LatLon{40.5, -73.5}), 0.0);
+  EXPECT_GT(box.DistanceKm(LatLon{39.0, -73.5}), 100.0);
+}
+
+TEST(BoundingBoxTest, DistanceIsLowerBoundOnMemberDistances) {
+  BoundingBox box(LatLon{40.0, -74.0}, LatLon{40.2, -73.8});
+  const LatLon q{40.5, -73.5};
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const LatLon member{rng.UniformDouble(40.0, 40.2),
+                        rng.UniformDouble(-74.0, -73.8)};
+    EXPECT_LE(box.DistanceKm(q), HaversineKm(q, member) + 1e-9);
+  }
+}
+
+TEST(BoundingBoxTest, MinMaxDistanceBracketPairDistances) {
+  BoundingBox a(LatLon{40.0, -74.0}, LatLon{40.1, -73.9});
+  BoundingBox b(LatLon{40.3, -73.7}, LatLon{40.4, -73.6});
+  const double lo = a.MinDistanceKm(b);
+  const double hi = a.MaxDistanceKm(b);
+  EXPECT_LT(lo, hi);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const LatLon pa{rng.UniformDouble(40.0, 40.1),
+                    rng.UniformDouble(-74.0, -73.9)};
+    const LatLon pb{rng.UniformDouble(40.3, 40.4),
+                    rng.UniformDouble(-73.7, -73.6)};
+    const double d = HaversineKm(pa, pb);
+    EXPECT_GE(d, lo - 1e-9);
+    EXPECT_LE(d, hi + 1e-9);
+  }
+}
+
+TEST(BoundingBoxTest, MinDistanceZeroWhenIntersecting) {
+  BoundingBox a(LatLon{40.0, -74.0}, LatLon{40.2, -73.8});
+  BoundingBox b(LatLon{40.1, -73.9}, LatLon{40.3, -73.7});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.MinDistanceKm(b), 0.0);
+}
+
+TEST(BoundingBoxTest, ExpandByKmGrows) {
+  BoundingBox box(LatLon{40.0, -74.0}, LatLon{40.1, -73.9});
+  const LatLon outside{40.12, -73.88};
+  EXPECT_FALSE(box.Contains(outside));
+  box.ExpandByKm(5.0);
+  EXPECT_TRUE(box.Contains(outside));
+}
+
+// ---------- UniformGrid ----------
+
+TEST(UniformGridTest, CellAssignmentAndBounds) {
+  BoundingBox extent(LatLon{40.0, -74.0}, LatLon{41.0, -73.0});
+  UniformGrid grid(extent, 4, 4);
+  EXPECT_EQ(grid.num_cells(), 16u);
+  for (CellId c = 0; c < grid.num_cells(); ++c) {
+    EXPECT_EQ(grid.CellOf(grid.CellCenter(c)), c);
+  }
+}
+
+TEST(UniformGridTest, OutsidePointsClampToBoundaryCells) {
+  BoundingBox extent(LatLon{40.0, -74.0}, LatLon{41.0, -73.0});
+  UniformGrid grid(extent, 4, 4);
+  EXPECT_EQ(grid.CellOf(LatLon{39.0, -75.0}), 0u);
+  EXPECT_EQ(grid.CellOf(LatLon{42.0, -72.0}), 15u);
+}
+
+TEST(UniformGridTest, CoarsenToMapsQuadrants) {
+  BoundingBox extent(LatLon{40.0, -74.0}, LatLon{41.0, -73.0});
+  UniformGrid fine(extent, 4, 4);
+  UniformGrid coarse(extent, 2, 2);
+  // Fine cell (0,0) → coarse cell (0,0); fine (3,3) → coarse (1,1).
+  EXPECT_EQ(fine.CoarsenTo(coarse, 0), 0u);
+  EXPECT_EQ(fine.CoarsenTo(coarse, 15), 3u);
+  // Every fine cell's center must land in the mapped coarse cell.
+  for (CellId c = 0; c < fine.num_cells(); ++c) {
+    EXPECT_EQ(coarse.CellOf(fine.CellCenter(c)), fine.CoarsenTo(coarse, c));
+  }
+}
+
+TEST(UniformGridTest, CellsIntersectingCoversQuery) {
+  BoundingBox extent(LatLon{40.0, -74.0}, LatLon{41.0, -73.0});
+  UniformGrid grid(extent, 4, 4);
+  BoundingBox query(LatLon{40.1, -73.9}, LatLon{40.4, -73.6});
+  const auto cells = grid.CellsIntersecting(query);
+  EXPECT_FALSE(cells.empty());
+  for (CellId c : cells) {
+    EXPECT_TRUE(grid.CellBounds(c).Intersects(query));
+  }
+}
+
+// ---------- SpatialIndex ----------
+
+class SpatialIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpatialIndexPropertyTest, RadiusQueryMatchesBruteForce) {
+  Rng rng(GetParam());
+  std::vector<LatLon> points;
+  const LatLon center{40.75, -73.98};
+  for (int i = 0; i < 500; ++i) {
+    points.push_back(OffsetKm(center, rng.UniformDouble(-10, 10),
+                              rng.UniformDouble(-10, 10)));
+  }
+  SpatialIndex index(points);
+  for (int q = 0; q < 20; ++q) {
+    const LatLon query = OffsetKm(center, rng.UniformDouble(-12, 12),
+                                  rng.UniformDouble(-12, 12));
+    const double radius = rng.UniformDouble(0.5, 8.0);
+    const auto hits = index.WithinRadius(query, radius);
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < points.size(); ++i) {
+      if (HaversineKm(query, points[i]) <= radius) expected.push_back(i);
+    }
+    EXPECT_EQ(hits, expected);
+    EXPECT_EQ(index.AnyWithinRadius(query, radius), !expected.empty());
+  }
+}
+
+TEST_P(SpatialIndexPropertyTest, NearestMatchesBruteForce) {
+  Rng rng(GetParam() ^ 0xF00D);
+  std::vector<LatLon> points;
+  const LatLon center{40.75, -73.98};
+  for (int i = 0; i < 300; ++i) {
+    points.push_back(OffsetKm(center, rng.UniformDouble(-10, 10),
+                              rng.UniformDouble(-10, 10)));
+  }
+  SpatialIndex index(points);
+  for (int q = 0; q < 20; ++q) {
+    const LatLon query = OffsetKm(center, rng.UniformDouble(-11, 11),
+                                  rng.UniformDouble(-11, 11));
+    const auto nearest = index.Nearest(query);
+    ASSERT_TRUE(nearest.has_value());
+    double best = 1e18;
+    for (const auto& p : points) best = std::min(best, HaversineKm(query, p));
+    EXPECT_NEAR(HaversineKm(query, points[*nearest]), best, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpatialIndexPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SpatialIndexTest, NearestRespectsMaxDistance) {
+  std::vector<LatLon> points = {LatLon{40.0, -74.0}};
+  SpatialIndex index(points);
+  const LatLon far = OffsetKm(points[0], 50.0, 0.0);
+  EXPECT_FALSE(index.Nearest(far, 10.0).has_value());
+  EXPECT_TRUE(index.Nearest(far, 100.0).has_value());
+}
+
+TEST(SpatialIndexTest, EmptyIndex) {
+  SpatialIndex index(std::vector<LatLon>{});
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_FALSE(index.Nearest(LatLon{0, 0}).has_value());
+  EXPECT_TRUE(index.WithinRadius(LatLon{0, 0}, 10.0).empty());
+}
+
+}  // namespace
+}  // namespace trajldp::geo

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "hierarchy/builtin_hierarchies.h"
+#include "hierarchy/category_distance.h"
+#include "hierarchy/category_tree.h"
+
+namespace trajldp::hierarchy {
+namespace {
+
+// Builds the small reference tree used throughout these tests:
+//   L1: food            L1: transit
+//   L2: restaurant, cafe     L2: station
+//   L3: restaurant/{pizza, sushi}, cafe/{espresso}, station/{subway}
+struct SmallTree {
+  CategoryTree tree;
+  CategoryId food, transit;
+  CategoryId restaurant, cafe, station;
+  CategoryId pizza, sushi, espresso, subway;
+
+  SmallTree() {
+    food = tree.AddRoot("Food");
+    transit = tree.AddRoot("Transit");
+    restaurant = tree.AddChild(food, "Restaurant");
+    cafe = tree.AddChild(food, "Cafe");
+    station = tree.AddChild(transit, "Station");
+    pizza = tree.AddChild(restaurant, "Pizza Place");
+    sushi = tree.AddChild(restaurant, "Sushi Bar");
+    espresso = tree.AddChild(cafe, "Espresso Bar");
+    subway = tree.AddChild(station, "Subway Stop");
+  }
+};
+
+TEST(CategoryTreeTest, LevelsFollowParentChain) {
+  SmallTree t;
+  EXPECT_EQ(t.tree.level(t.food), 1);
+  EXPECT_EQ(t.tree.level(t.restaurant), 2);
+  EXPECT_EQ(t.tree.level(t.pizza), 3);
+}
+
+TEST(CategoryTreeTest, ParentsAndChildren) {
+  SmallTree t;
+  EXPECT_EQ(t.tree.parent(t.pizza), t.restaurant);
+  EXPECT_EQ(t.tree.parent(t.food), kInvalidCategory);
+  EXPECT_EQ(t.tree.children(t.restaurant).size(), 2u);
+  EXPECT_TRUE(t.tree.is_leaf(t.pizza));
+  EXPECT_FALSE(t.tree.is_leaf(t.food));
+}
+
+TEST(CategoryTreeTest, LeavesAndLevels) {
+  SmallTree t;
+  EXPECT_EQ(t.tree.Leaves().size(), 4u);
+  EXPECT_EQ(t.tree.NodesAtLevel(1).size(), 2u);
+  EXPECT_EQ(t.tree.NodesAtLevel(2).size(), 3u);
+  EXPECT_EQ(t.tree.NodesAtLevel(3).size(), 4u);
+}
+
+TEST(CategoryTreeTest, AncestorAtLevel) {
+  SmallTree t;
+  EXPECT_EQ(t.tree.AncestorAtLevel(t.pizza, 1), t.food);
+  EXPECT_EQ(t.tree.AncestorAtLevel(t.pizza, 2), t.restaurant);
+  EXPECT_EQ(t.tree.AncestorAtLevel(t.pizza, 3), t.pizza);
+  EXPECT_EQ(t.tree.AncestorAtLevel(t.food, 2), kInvalidCategory);
+  EXPECT_EQ(t.tree.AncestorAtLevel(t.pizza, 0), kInvalidCategory);
+}
+
+TEST(CategoryTreeTest, IsAncestorOrSelf) {
+  SmallTree t;
+  EXPECT_TRUE(t.tree.IsAncestorOrSelf(t.food, t.pizza));
+  EXPECT_TRUE(t.tree.IsAncestorOrSelf(t.pizza, t.pizza));
+  EXPECT_FALSE(t.tree.IsAncestorOrSelf(t.transit, t.pizza));
+  EXPECT_FALSE(t.tree.IsAncestorOrSelf(t.pizza, t.food));
+}
+
+TEST(CategoryTreeTest, LowestCommonAncestor) {
+  SmallTree t;
+  EXPECT_EQ(t.tree.LowestCommonAncestor(t.pizza, t.sushi), t.restaurant);
+  EXPECT_EQ(t.tree.LowestCommonAncestor(t.pizza, t.espresso), t.food);
+  EXPECT_EQ(t.tree.LowestCommonAncestor(t.pizza, t.subway),
+            kInvalidCategory);
+  EXPECT_EQ(t.tree.LowestCommonAncestor(t.pizza, t.restaurant),
+            t.restaurant);
+  EXPECT_EQ(t.tree.LowestCommonAncestor(t.food, t.food), t.food);
+}
+
+TEST(CategoryTreeTest, FindByName) {
+  SmallTree t;
+  auto found = t.tree.FindByName("Cafe");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, t.cafe);
+  EXPECT_EQ(t.tree.FindByName("Nonexistent").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------- Figure 5 distances ----------
+
+TEST(CategoryDistanceTest, Figure5AnchorValues) {
+  SmallTree t;
+  CategoryDistance d(&t.tree);
+  // Same node.
+  EXPECT_DOUBLE_EQ(d.Between(t.pizza, t.pizza), 0.0);
+  // Sibling leaves under the same level-2 parent.
+  EXPECT_DOUBLE_EQ(d.Between(t.pizza, t.sushi), 2.0);
+  // Leaf to its own level-2 parent.
+  EXPECT_DOUBLE_EQ(d.Between(t.pizza, t.restaurant), 3.5);
+  // Leaf to an uncle level-2 node (same level-1).
+  EXPECT_DOUBLE_EQ(d.Between(t.pizza, t.cafe), 5.0);
+  // Leaf to its level-1 ancestor.
+  EXPECT_DOUBLE_EQ(d.Between(t.pizza, t.food), 6.5);
+  // Cousin leaves: same level-1, different level-2.
+  EXPECT_DOUBLE_EQ(d.Between(t.pizza, t.espresso), 8.0);
+  // Unrelated: no shared level-1 category (dotted line in Figure 5).
+  EXPECT_DOUBLE_EQ(d.Between(t.pizza, t.subway), 10.0);
+}
+
+TEST(CategoryDistanceTest, Level2Siblings) {
+  SmallTree t;
+  CategoryDistance d(&t.tree);
+  // Two level-2 nodes under the same level-1 node score `uncle`.
+  EXPECT_DOUBLE_EQ(d.Between(t.restaurant, t.cafe), 5.0);
+  // Level-2 to its level-1 parent is parent_child.
+  EXPECT_DOUBLE_EQ(d.Between(t.restaurant, t.food), 3.5);
+}
+
+TEST(CategoryDistanceTest, SymmetricOverAllPairs) {
+  SmallTree t;
+  CategoryDistance d(&t.tree);
+  for (CategoryId a = 0; a < t.tree.num_nodes(); ++a) {
+    for (CategoryId b = 0; b < t.tree.num_nodes(); ++b) {
+      EXPECT_DOUBLE_EQ(d.Between(a, b), d.Between(b, a))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(CategoryDistanceTest, BoundedByMaxDistance) {
+  SmallTree t;
+  CategoryDistance d(&t.tree);
+  EXPECT_DOUBLE_EQ(d.MaxDistance(), 10.0);
+  for (CategoryId a = 0; a < t.tree.num_nodes(); ++a) {
+    for (CategoryId b = 0; b < t.tree.num_nodes(); ++b) {
+      EXPECT_LE(d.Between(a, b), d.MaxDistance());
+      EXPECT_GE(d.Between(a, b), 0.0);
+    }
+  }
+}
+
+TEST(CategoryDistanceTest, InvalidIdsAreUnrelated) {
+  SmallTree t;
+  CategoryDistance d(&t.tree);
+  EXPECT_DOUBLE_EQ(d.Between(kInvalidCategory, t.pizza), 10.0);
+}
+
+TEST(CategoryDistanceTest, CustomTable) {
+  SmallTree t;
+  CategoryDistanceTable table;
+  table.sibling_leaf = 1.0;
+  table.unrelated = 99.0;
+  CategoryDistance d(&t.tree, table);
+  EXPECT_DOUBLE_EQ(d.Between(t.pizza, t.sushi), 1.0);
+  EXPECT_DOUBLE_EQ(d.Between(t.pizza, t.subway), 99.0);
+  EXPECT_DOUBLE_EQ(d.MaxDistance(), 99.0);
+}
+
+// ---------- Builtin hierarchies ----------
+
+TEST(BuiltinHierarchiesTest, FoursquareLikeShape) {
+  const CategoryTree tree = BuiltinFoursquareLike();
+  EXPECT_EQ(tree.NodesAtLevel(1).size(), 10u);
+  EXPECT_EQ(tree.NodesAtLevel(2).size(), 30u);
+  EXPECT_EQ(tree.NodesAtLevel(3).size(), 90u);
+  EXPECT_EQ(tree.num_nodes(), 130u);
+  // All leaves are level 3.
+  for (CategoryId leaf : tree.Leaves()) {
+    EXPECT_EQ(tree.level(leaf), 3);
+  }
+}
+
+TEST(BuiltinHierarchiesTest, NaicsLikeShape) {
+  const CategoryTree tree = BuiltinNaicsLike();
+  EXPECT_EQ(tree.NodesAtLevel(1).size(), 10u);
+  EXPECT_EQ(tree.NodesAtLevel(2).size(), 30u);
+  EXPECT_EQ(tree.NodesAtLevel(3).size(), 90u);
+}
+
+TEST(BuiltinHierarchiesTest, CampusShape) {
+  const CategoryTree tree = BuiltinCampus();
+  EXPECT_EQ(tree.NodesAtLevel(1).size(), 3u);
+  // The paper's nine campus categories are the leaves.
+  EXPECT_EQ(tree.Leaves().size(), 9u);
+  for (CategoryId leaf : tree.Leaves()) {
+    EXPECT_EQ(tree.level(leaf), 2);
+  }
+}
+
+TEST(BuiltinHierarchiesTest, UnrelatedAcrossDomains) {
+  const CategoryTree tree = BuiltinFoursquareLike();
+  CategoryDistance d(&tree);
+  auto food = tree.FindByName("Food");
+  auto nightlife = tree.FindByName("Nightlife Spot");
+  ASSERT_TRUE(food.ok());
+  ASSERT_TRUE(nightlife.ok());
+  EXPECT_DOUBLE_EQ(d.Between(*food, *nightlife), 10.0);
+}
+
+}  // namespace
+}  // namespace trajldp::hierarchy

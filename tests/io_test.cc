@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "eval/dataset.h"
+#include "io/csv.h"
+#include "io/dataset_io.h"
+#include "test_world.h"
+
+namespace trajldp::io {
+namespace {
+
+using trajldp::testing::MakeGridWorld;
+using trajldp::testing::MakeTrajectory;
+
+// ---------- CSV core ----------
+
+TEST(CsvTest, WriterEscapesSpecialFields) {
+  CsvWriter csv({"a", "b"});
+  csv.AddRow({"plain", "has,comma"});
+  csv.AddRow({"has\"quote", "has\nnewline"});
+  const std::string text = csv.ToString();
+  EXPECT_EQ(text,
+            "a,b\n"
+            "plain,\"has,comma\"\n"
+            "\"has\"\"quote\",\"has\nnewline\"\n");
+}
+
+TEST(CsvTest, ParseRoundTripsEscapes) {
+  CsvWriter csv({"x", "y"});
+  csv.AddRow({"v,1", "line1\nline2"});
+  csv.AddRow({"quote\"inside", ""});
+  auto table = ParseCsv(csv.ToString());
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0][0], "v,1");
+  EXPECT_EQ(table->rows[0][1], "line1\nline2");
+  EXPECT_EQ(table->rows[1][0], "quote\"inside");
+  EXPECT_EQ(table->rows[1][1], "");
+}
+
+TEST(CsvTest, ParseHandlesCrlfAndMissingTrailingNewline) {
+  auto table = ParseCsv("h1,h2\r\n1,2\r\n3,4");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][1], "4");
+}
+
+TEST(CsvTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("a,b\n\"unterminated").ok());
+  EXPECT_FALSE(ParseCsv("a,b\n1,2,3\n").ok());  // ragged row
+}
+
+TEST(CsvTest, ColumnLookup) {
+  auto table = ParseCsv("alpha,beta\n1,2\n");
+  ASSERT_TRUE(table.ok());
+  auto beta = table->Column("beta");
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ(*beta, 1u);
+  EXPECT_FALSE(table->Column("gamma").ok());
+}
+
+// ---------- Category / POI round trips ----------
+
+TEST(DatasetIoTest, CategoryTreeRoundTrips) {
+  const hierarchy::CategoryTree tree = trajldp::testing::MakeSmallTree();
+  auto parsed = CategoriesFromCsv(CategoriesToCsv(tree));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->num_nodes(), tree.num_nodes());
+  for (hierarchy::CategoryId id = 0; id < tree.num_nodes(); ++id) {
+    EXPECT_EQ(parsed->name(id), tree.name(id));
+    EXPECT_EQ(parsed->parent(id), tree.parent(id));
+    EXPECT_EQ(parsed->level(id), tree.level(id));
+  }
+}
+
+TEST(DatasetIoTest, PoiDatabaseRoundTrips) {
+  trajldp::testing::GridWorldOptions options;
+  options.restrict_odd_hours = true;
+  auto db = MakeGridWorld(options);
+  ASSERT_TRUE(db.ok());
+
+  auto parsed = PoiDatabaseFromCsv(PoisToCsv(*db),
+                                   CategoriesToCsv(db->categories()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), db->size());
+  for (model::PoiId i = 0; i < db->size(); ++i) {
+    EXPECT_EQ(parsed->poi(i).name, db->poi(i).name);
+    EXPECT_NEAR(parsed->poi(i).location.lat, db->poi(i).location.lat, 1e-7);
+    EXPECT_NEAR(parsed->poi(i).location.lon, db->poi(i).location.lon, 1e-7);
+    EXPECT_EQ(parsed->poi(i).category, db->poi(i).category);
+    EXPECT_NEAR(parsed->poi(i).popularity, db->poi(i).popularity, 1e-7);
+    EXPECT_EQ(parsed->poi(i).hours.OpenMinutesPerDay(),
+              db->poi(i).hours.OpenMinutesPerDay());
+  }
+}
+
+TEST(DatasetIoTest, WrapAroundHoursRoundTrip) {
+  hierarchy::CategoryTree tree = trajldp::testing::MakeSmallTree();
+  model::Poi bar;
+  bar.name = "bar";
+  bar.location = {40.7, -74.0};
+  bar.category = tree.Leaves()[0];
+  bar.hours = model::OpeningHours::Daily(18 * 60, 2 * 60);
+  auto db = model::PoiDatabase::Create({bar}, std::move(tree));
+  ASSERT_TRUE(db.ok());
+  auto parsed = PoiDatabaseFromCsv(PoisToCsv(*db),
+                                   CategoriesToCsv(db->categories()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->poi(0).hours.IsOpenAtMinute(23 * 60));
+  EXPECT_TRUE(parsed->poi(0).hours.IsOpenAtMinute(60));
+  EXPECT_FALSE(parsed->poi(0).hours.IsOpenAtMinute(12 * 60));
+}
+
+// ---------- Trajectory round trips ----------
+
+TEST(DatasetIoTest, TrajectoriesRoundTrip) {
+  auto db = MakeGridWorld();
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(10);
+  model::TrajectorySet set = {MakeTrajectory({{0, 10}, {1, 20}}),
+                              MakeTrajectory({{5, 30}, {6, 40}, {7, 50}})};
+  auto parsed = TrajectoriesFromCsv(TrajectoriesToCsv(set), *db, time);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], set[0]);
+  EXPECT_EQ((*parsed)[1], set[1]);
+}
+
+TEST(DatasetIoTest, TrajectoriesRejectBadReferences) {
+  auto db = MakeGridWorld();
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(10);
+  // Unknown POI id.
+  EXPECT_FALSE(TrajectoriesFromCsv("user_id,poi_id,timestep\n0,999,10\n",
+                                   *db, time)
+                   .ok());
+  // Times not increasing within a user.
+  EXPECT_FALSE(TrajectoriesFromCsv(
+                   "user_id,poi_id,timestep\n0,1,20\n0,2,10\n", *db, time)
+                   .ok());
+  // Users out of order.
+  EXPECT_FALSE(TrajectoriesFromCsv(
+                   "user_id,poi_id,timestep\n1,1,10\n0,2,20\n", *db, time)
+                   .ok());
+}
+
+// ---------- File-level round trip ----------
+
+TEST(DatasetIoTest, FileRoundTripThroughRealGenerator) {
+  eval::DatasetOptions options;
+  options.num_pois = 120;
+  options.num_trajectories = 15;
+  auto dataset = eval::MakeTaxiFoursquareDataset(options);
+  ASSERT_TRUE(dataset.ok());
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string poi_path = (dir / "trajldp_pois.csv").string();
+  const std::string cat_path = (dir / "trajldp_cats.csv").string();
+  const std::string traj_path = (dir / "trajldp_trajs.csv").string();
+
+  ASSERT_TRUE(WritePoiDatabase(dataset->db, poi_path, cat_path).ok());
+  ASSERT_TRUE(WriteTrajectories(dataset->trajectories, traj_path).ok());
+
+  auto db = ReadPoiDatabase(poi_path, cat_path);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), dataset->db.size());
+  auto trajectories = ReadTrajectories(traj_path, *db, dataset->time);
+  ASSERT_TRUE(trajectories.ok()) << trajectories.status();
+  ASSERT_EQ(trajectories->size(), dataset->trajectories.size());
+  for (size_t i = 0; i < trajectories->size(); ++i) {
+    EXPECT_EQ((*trajectories)[i], dataset->trajectories[i]);
+  }
+
+  std::remove(poi_path.c_str());
+  std::remove(cat_path.c_str());
+  std::remove(traj_path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFilesReportNotFound) {
+  auto db = ReadPoiDatabase("/nonexistent/p.csv", "/nonexistent/c.csv");
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace trajldp::io

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "core/lp_reconstructor.h"
+#include "core/ngram_perturber.h"
+#include "core/reconstruction.h"
+#include "core/viterbi_reconstructor.h"
+#include "region/region_index.h"
+#include "test_world.h"
+
+namespace trajldp::core {
+namespace {
+
+using trajldp::testing::MakeGridWorld;
+
+class ReconstructionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = MakeGridWorld();
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<model::PoiDatabase>(std::move(*db));
+    time_ = *model::TimeDomain::Create(10);
+
+    region::DecompositionConfig config;
+    config.grid_size = 2;
+    config.coarse_grids = {1};
+    config.base_interval_minutes = 360;
+    config.merge.kappa = 1;
+    auto decomp = region::StcDecomposition::Build(db_.get(), time_, config);
+    ASSERT_TRUE(decomp.ok());
+    decomp_ = std::make_unique<region::StcDecomposition>(std::move(*decomp));
+    distance_ = std::make_unique<region::RegionDistance>(decomp_.get());
+    model::ReachabilityConfig reach;
+    reach.speed_kmh = 8.0;
+    reach.reference_gap_minutes = 60;
+    graph_ = std::make_unique<region::RegionGraph>(
+        region::RegionGraph::Build(*decomp_, reach));
+    domain_ = std::make_unique<NgramDomain>(graph_.get(), distance_.get());
+  }
+
+  // All regions as the candidate set.
+  std::vector<region::RegionId> AllRegions() const {
+    std::vector<region::RegionId> all(decomp_->num_regions());
+    for (size_t i = 0; i < all.size(); ++i) {
+      all[i] = static_cast<region::RegionId>(i);
+    }
+    return all;
+  }
+
+  // Generates a random perturbed-n-gram set for a trajectory of `len`.
+  PerturbedNgramSet RandomZ(size_t len, uint64_t seed) {
+    NgramPerturber perturber(domain_.get(), NgramPerturber::Config{2, 5.0});
+    region::RegionTrajectory tau;
+    for (size_t i = 0; i < len; ++i) {
+      tau.push_back(*decomp_->Lookup(static_cast<model::PoiId>(i),
+                                     static_cast<model::Timestep>(60 + 6 * i)));
+    }
+    Rng rng(seed);
+    auto z = perturber.Perturb(tau, rng);
+    EXPECT_TRUE(z.ok());
+    return *z;
+  }
+
+  // Brute-force optimum over all feasible candidate assignments.
+  double BruteForceOptimum(const ReconstructionProblem& problem) const {
+    const size_t len = problem.traj_len();
+    const size_t num_cand = problem.candidates().size();
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<size_t> assignment(len, 0);
+    // Odometer enumeration of num_cand^len assignments.
+    while (true) {
+      bool feasible = true;
+      for (size_t i = 0; i + 1 < len && feasible; ++i) {
+        feasible = problem.Feasible(assignment[i], assignment[i + 1]);
+      }
+      if (feasible) best = std::min(best, problem.Objective(assignment));
+      size_t k = 0;
+      while (k < len && ++assignment[k] == num_cand) {
+        assignment[k] = 0;
+        ++k;
+      }
+      if (k == len) break;
+    }
+    return best;
+  }
+
+  double ObjectiveOf(const ReconstructionProblem& problem,
+                     const region::RegionTrajectory& result) const {
+    std::vector<size_t> assignment(result.size());
+    const auto& cands = problem.candidates();
+    for (size_t i = 0; i < result.size(); ++i) {
+      assignment[i] = static_cast<size_t>(
+          std::lower_bound(cands.begin(), cands.end(), result[i]) -
+          cands.begin());
+    }
+    return problem.Objective(assignment);
+  }
+
+  std::unique_ptr<model::PoiDatabase> db_;
+  model::TimeDomain time_;
+  std::unique_ptr<region::StcDecomposition> decomp_;
+  std::unique_ptr<region::RegionDistance> distance_;
+  std::unique_ptr<region::RegionGraph> graph_;
+  std::unique_ptr<NgramDomain> domain_;
+};
+
+TEST_F(ReconstructionFixture, NodeErrorMatchesManualSum) {
+  const auto z = RandomZ(3, 11);
+  auto problem = ReconstructionProblem::Create(distance_.get(), graph_.get(),
+                                               3, z, AllRegions());
+  ASSERT_TRUE(problem.ok());
+  // e(r, i) = Σ over n-grams covering i of d(r, observed at i) (eq. 8).
+  for (size_t i = 1; i <= 3; ++i) {
+    for (size_t c = 0; c < 5; ++c) {
+      double expected = 0.0;
+      for (const PerturbedNgram& gram : z) {
+        if (gram.Covers(i)) {
+          expected += distance_->Between(problem->candidates()[c],
+                                         gram.RegionAt(i));
+        }
+      }
+      EXPECT_NEAR(problem->NodeError(i - 1, c), expected, 1e-9);
+    }
+  }
+}
+
+TEST_F(ReconstructionFixture, MultiplicitiesAreOneTwoTwoOne) {
+  const auto z = RandomZ(4, 12);
+  auto problem = ReconstructionProblem::Create(distance_.get(), graph_.get(),
+                                               4, z, AllRegions());
+  ASSERT_TRUE(problem.ok());
+  EXPECT_DOUBLE_EQ(problem->Multiplicity(0), 1.0);
+  EXPECT_DOUBLE_EQ(problem->Multiplicity(1), 2.0);
+  EXPECT_DOUBLE_EQ(problem->Multiplicity(2), 2.0);
+  EXPECT_DOUBLE_EQ(problem->Multiplicity(3), 1.0);
+}
+
+TEST_F(ReconstructionFixture, ObjectiveDecomposesIntoWeightedNodeErrors) {
+  const auto z = RandomZ(4, 13);
+  auto problem = ReconstructionProblem::Create(distance_.get(), graph_.get(),
+                                               4, z, AllRegions());
+  ASSERT_TRUE(problem.ok());
+  const std::vector<size_t> assignment = {0, 1, 2, 3};
+  double weighted = 0.0;
+  for (size_t i = 0; i < 4; ++i) {
+    weighted += problem->Multiplicity(i) * problem->NodeError(i, assignment[i]);
+  }
+  EXPECT_NEAR(problem->Objective(assignment), weighted, 1e-9);
+}
+
+TEST_F(ReconstructionFixture, ViterbiMatchesBruteForce) {
+  for (uint64_t seed : {21, 22, 23, 24}) {
+    const auto z = RandomZ(4, seed);
+    // Restrict candidates to a small set so brute force stays tractable;
+    // include the observed regions to guarantee feasibility.
+    std::vector<region::RegionId> observed;
+    for (const auto& gram : z) {
+      observed.insert(observed.end(), gram.regions.begin(),
+                      gram.regions.end());
+    }
+    std::sort(observed.begin(), observed.end());
+    observed.erase(std::unique(observed.begin(), observed.end()),
+                   observed.end());
+    auto problem = ReconstructionProblem::Create(
+        distance_.get(), graph_.get(), 4, z, observed);
+    ASSERT_TRUE(problem.ok());
+
+    ViterbiReconstructor viterbi;
+    auto result = viterbi.Reconstruct(*problem);
+    if (!result.ok()) {
+      // No feasible path over this candidate set: brute force must agree.
+      EXPECT_TRUE(std::isinf(BruteForceOptimum(*problem)));
+      continue;
+    }
+    EXPECT_NEAR(ObjectiveOf(*problem, *result), BruteForceOptimum(*problem),
+                1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST_F(ReconstructionFixture, LpMatchesViterbiObjective) {
+  for (uint64_t seed : {31, 32, 33}) {
+    const auto z = RandomZ(3, seed);
+    std::vector<region::RegionId> observed;
+    for (const auto& gram : z) {
+      observed.insert(observed.end(), gram.regions.begin(),
+                      gram.regions.end());
+    }
+    std::sort(observed.begin(), observed.end());
+    observed.erase(std::unique(observed.begin(), observed.end()),
+                   observed.end());
+    auto problem = ReconstructionProblem::Create(
+        distance_.get(), graph_.get(), 3, z, observed);
+    ASSERT_TRUE(problem.ok());
+
+    ViterbiReconstructor viterbi;
+    LpReconstructor lp;
+    auto dp_result = viterbi.Reconstruct(*problem);
+    auto lp_result = lp.Reconstruct(*problem);
+    ASSERT_EQ(dp_result.ok(), lp_result.ok()) << "seed " << seed;
+    if (!dp_result.ok()) continue;
+    EXPECT_NEAR(ObjectiveOf(*problem, *dp_result),
+                ObjectiveOf(*problem, *lp_result), 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST_F(ReconstructionFixture, ReconstructedSequencesAreFeasible) {
+  const auto z = RandomZ(5, 41);
+  auto problem = ReconstructionProblem::Create(distance_.get(), graph_.get(),
+                                               5, z, AllRegions());
+  ASSERT_TRUE(problem.ok());
+  ViterbiReconstructor viterbi;
+  auto result = viterbi.Reconstruct(*problem);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 5u);
+  for (size_t i = 0; i + 1 < result->size(); ++i) {
+    EXPECT_TRUE(graph_->HasEdge((*result)[i], (*result)[i + 1]));
+  }
+}
+
+TEST_F(ReconstructionFixture, SinglePointPicksArgminNodeError) {
+  const auto z = RandomZ(1, 51);
+  auto problem = ReconstructionProblem::Create(distance_.get(), graph_.get(),
+                                               1, z, AllRegions());
+  ASSERT_TRUE(problem.ok());
+  ViterbiReconstructor viterbi;
+  auto result = viterbi.Reconstruct(*problem);
+  ASSERT_TRUE(result.ok());
+  // Verify optimality directly.
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < problem->candidates().size(); ++c) {
+    best = std::min(best, problem->NodeError(0, c));
+  }
+  const size_t chosen = static_cast<size_t>(
+      std::lower_bound(problem->candidates().begin(),
+                       problem->candidates().end(), (*result)[0]) -
+      problem->candidates().begin());
+  EXPECT_NEAR(problem->NodeError(0, chosen), best, 1e-12);
+}
+
+TEST_F(ReconstructionFixture, CreateValidatesInputs) {
+  const auto z = RandomZ(3, 61);
+  // Unsorted candidates.
+  EXPECT_FALSE(ReconstructionProblem::Create(distance_.get(), graph_.get(),
+                                             3, z, {3, 1, 2})
+                   .ok());
+  // Empty candidates.
+  EXPECT_FALSE(ReconstructionProblem::Create(distance_.get(), graph_.get(),
+                                             3, z, {})
+                   .ok());
+  // Zero-length trajectory.
+  EXPECT_FALSE(ReconstructionProblem::Create(distance_.get(), graph_.get(),
+                                             0, z, AllRegions())
+                   .ok());
+  // Malformed n-gram (wrong region count).
+  PerturbedNgramSet bad = {{1, 2, {0}}};
+  EXPECT_FALSE(ReconstructionProblem::Create(distance_.get(), graph_.get(),
+                                             2, bad, AllRegions())
+                   .ok());
+}
+
+TEST_F(ReconstructionFixture, InfeasibleCandidateSetReported) {
+  const auto z = RandomZ(2, 71);
+  // Find two regions with no edge either way, if any exist.
+  region::RegionId a = region::kInvalidRegion, b = region::kInvalidRegion;
+  for (region::RegionId x = 0;
+       x < decomp_->num_regions() && a == region::kInvalidRegion; ++x) {
+    for (region::RegionId y = 0; y < decomp_->num_regions(); ++y) {
+      if (x != y && !graph_->HasEdge(x, y) && !graph_->HasEdge(y, x) &&
+          !graph_->HasEdge(x, x) && !graph_->HasEdge(y, y)) {
+        a = x;
+        b = y;
+        break;
+      }
+    }
+  }
+  if (a == region::kInvalidRegion) {
+    GTEST_SKIP() << "graph too dense to craft an infeasible candidate set";
+  }
+  std::vector<region::RegionId> candidates = {std::min(a, b),
+                                              std::max(a, b)};
+  auto problem = ReconstructionProblem::Create(distance_.get(), graph_.get(),
+                                               2, z, candidates);
+  ASSERT_TRUE(problem.ok());
+  ViterbiReconstructor viterbi;
+  auto result = viterbi.Reconstruct(*problem);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  LpReconstructor lp;
+  auto lp_result = lp.Reconstruct(*problem);
+  EXPECT_FALSE(lp_result.ok());
+}
+
+}  // namespace
+}  // namespace trajldp::core

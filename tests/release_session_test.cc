@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/release_session.h"
+#include "test_world.h"
+
+namespace trajldp::core {
+namespace {
+
+using trajldp::testing::MakeGridWorld;
+using trajldp::testing::MakeTrajectory;
+
+class ReleaseSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trajldp::testing::GridWorldOptions options;
+    options.rows = 4;
+    options.cols = 4;
+    auto db = MakeGridWorld(options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<model::PoiDatabase>(std::move(*db));
+    time_ = *model::TimeDomain::Create(10);
+
+    NGramConfig config;
+    config.epsilon = 2.0;
+    config.decomposition.merge.kappa = 1;
+    auto mech = NGramMechanism::Build(db_.get(), time_, config);
+    ASSERT_TRUE(mech.ok());
+    mech_ = std::make_unique<NGramMechanism>(std::move(*mech));
+  }
+
+  std::unique_ptr<model::PoiDatabase> db_;
+  model::TimeDomain time_;
+  std::unique_ptr<NGramMechanism> mech_;
+};
+
+TEST_F(ReleaseSessionTest, CreateValidates) {
+  EXPECT_FALSE(ReleaseSession::Create(nullptr, 5.0).ok());
+  EXPECT_FALSE(ReleaseSession::Create(mech_.get(), 0.0).ok());
+  EXPECT_FALSE(ReleaseSession::Create(mech_.get(), -1.0).ok());
+  EXPECT_TRUE(ReleaseSession::Create(mech_.get(), 5.0).ok());
+}
+
+TEST_F(ReleaseSessionTest, ComposesKReleasesToLifetime) {
+  // Lifetime 6, per-release 2 → exactly 3 releases fit (§5.7: kε-LDP).
+  auto session = ReleaseSession::Create(mech_.get(), 6.0);
+  ASSERT_TRUE(session.ok());
+  const auto traj = MakeTrajectory({{0, 30}, {1, 40}});
+  Rng rng(1);
+  for (int day = 0; day < 3; ++day) {
+    EXPECT_TRUE(session->CanShare());
+    auto shared = session->Share(traj, rng);
+    ASSERT_TRUE(shared.ok()) << "day " << day;
+    EXPECT_TRUE(shared->Validate(time_).ok());
+  }
+  EXPECT_EQ(session->releases(), 3u);
+  EXPECT_NEAR(session->spent_epsilon(), 6.0, 1e-9);
+  EXPECT_FALSE(session->CanShare());
+  auto fourth = session->Share(traj, rng);
+  EXPECT_FALSE(fourth.ok());
+  EXPECT_EQ(fourth.status().code(), StatusCode::kResourceExhausted);
+  // A refused release spends nothing.
+  EXPECT_NEAR(session->spent_epsilon(), 6.0, 1e-9);
+}
+
+TEST_F(ReleaseSessionTest, FailedPerturbationSpendsNothing) {
+  auto session = ReleaseSession::Create(mech_.get(), 10.0);
+  ASSERT_TRUE(session.ok());
+  Rng rng(2);
+  // Invalid input (decreasing times) → mechanism error → no spend.
+  auto bad = session->Share(MakeTrajectory({{0, 40}, {1, 30}}), rng);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_DOUBLE_EQ(session->spent_epsilon(), 0.0);
+  EXPECT_EQ(session->releases(), 0u);
+}
+
+TEST_F(ReleaseSessionTest, ContinuousSinglePointSharing) {
+  // §8's continuous setting: n = 1, one point per release.
+  NGramConfig config;
+  config.epsilon = 0.5;
+  config.n = 1;
+  config.decomposition.merge.kappa = 1;
+  auto mech = NGramMechanism::Build(db_.get(), time_, config);
+  ASSERT_TRUE(mech.ok());
+  auto session = ReleaseSession::Create(&*mech, 2.0);
+  ASSERT_TRUE(session.ok());
+  Rng rng(3);
+  int shared = 0;
+  for (model::Timestep t = 30; t < 60; t += 6) {
+    auto out = session->Share(
+        MakeTrajectory({{static_cast<model::PoiId>(t % 16), t}}), rng);
+    if (!out.ok()) break;
+    ++shared;
+  }
+  EXPECT_EQ(shared, 4);  // 4 × 0.5 = 2.0 lifetime
+  EXPECT_FALSE(session->CanShare());
+}
+
+}  // namespace
+}  // namespace trajldp::core

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/dataset.h"
+#include "hierarchy/builtin_hierarchies.h"
+#include "model/reachability.h"
+#include "synth/campus.h"
+#include "synth/city_model.h"
+#include "synth/safegraph.h"
+#include "synth/taxi_foursquare.h"
+
+namespace trajldp::synth {
+namespace {
+
+// ---------- City model ----------
+
+TEST(CityModelTest, GeneratesRequestedPois) {
+  CityModelConfig config;
+  config.num_pois = 300;
+  auto db = GenerateCity(config, hierarchy::BuiltinFoursquareLike());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 300u);
+  // Every POI has a leaf category and positive popularity.
+  for (const model::Poi& poi : db->pois()) {
+    EXPECT_TRUE(db->categories().is_leaf(poi.category));
+    EXPECT_GT(poi.popularity, 0.0);
+    EXPECT_GT(poi.hours.OpenMinutesPerDay(), 0);
+  }
+}
+
+TEST(CityModelTest, DeterministicPerSeed) {
+  CityModelConfig config;
+  config.num_pois = 50;
+  auto a = GenerateCity(config, hierarchy::BuiltinFoursquareLike());
+  auto b = GenerateCity(config, hierarchy::BuiltinFoursquareLike());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->poi(i).location, b->poi(i).location);
+    EXPECT_EQ(a->poi(i).category, b->poi(i).category);
+  }
+}
+
+TEST(CityModelTest, PopularityIsSkewed) {
+  CityModelConfig config;
+  config.num_pois = 1000;
+  auto db = GenerateCity(config, hierarchy::BuiltinFoursquareLike());
+  ASSERT_TRUE(db.ok());
+  double max_pop = 0.0, total = 0.0;
+  for (const model::Poi& poi : db->pois()) {
+    max_pop = std::max(max_pop, poi.popularity);
+    total += poi.popularity;
+  }
+  // Zipf: the single most popular POI holds a noticeable share.
+  EXPECT_GT(max_pop / total, 0.05);
+}
+
+TEST(CityModelTest, OpeningHoursTemplates) {
+  EXPECT_EQ(OpeningHoursTemplate("Travel & Transport").OpenMinutesPerDay(),
+            model::kMinutesPerDay);
+  const auto nightlife = OpeningHoursTemplate("Nightlife Spot");
+  EXPECT_TRUE(nightlife.IsOpenAtMinute(23 * 60));
+  EXPECT_TRUE(nightlife.IsOpenAtMinute(60));   // wraps past midnight
+  EXPECT_FALSE(nightlife.IsOpenAtMinute(12 * 60));
+  const auto office = OpeningHoursTemplate("Professional & Other Places");
+  EXPECT_FALSE(office.IsOpenAtMinute(3 * 60));
+}
+
+TEST(CityModelTest, RejectsBadConfig) {
+  CityModelConfig config;
+  config.num_pois = 0;
+  EXPECT_FALSE(
+      GenerateCity(config, hierarchy::BuiltinFoursquareLike()).ok());
+}
+
+// ---------- Dataset-level checks (generator + filter round trips) ----------
+
+class DatasetTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetTest, AllTrajectoriesFeasibleAfterFilter) {
+  eval::DatasetOptions options;
+  options.num_pois = 250;
+  options.num_trajectories = 60;
+  options.seed = 11;
+  StatusOr<eval::Dataset> dataset = [&]() -> StatusOr<eval::Dataset> {
+    switch (GetParam()) {
+      case 0:
+        return eval::MakeTaxiFoursquareDataset(options);
+      case 1:
+        return eval::MakeSafegraphDataset(options);
+      default:
+        return eval::MakeCampusDataset(options);
+    }
+  }();
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_GT(dataset->trajectories.size(), options.num_trajectories / 2);
+
+  const model::Reachability checker(&dataset->db, dataset->time,
+                                    dataset->reachability);
+  for (const auto& traj : dataset->trajectories) {
+    EXPECT_TRUE(checker.CheckFeasible(traj).ok());
+    EXPECT_GE(traj.size(), 2u);
+    EXPECT_LE(traj.size(), 8u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetTest,
+                         ::testing::Values(0, 1, 2),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case 0:
+                               return std::string("TaxiFoursquare");
+                             case 1:
+                               return std::string("Safegraph");
+                             default:
+                               return std::string("Campus");
+                           }
+                         });
+
+// ---------- Safegraph specifics ----------
+
+TEST(SafegraphTest, TimeOfDayProfilesPeakSensibly) {
+  // Restaurants peak at dinner, not at 4 am.
+  EXPECT_GT(TimeOfDayMultiplier("Accommodation & Food Services", 19 * 60),
+            TimeOfDayMultiplier("Accommodation & Food Services", 4 * 60));
+  // Transit peaks in the AM commute vs midday.
+  EXPECT_GT(TimeOfDayMultiplier("Transportation & Warehousing", 8 * 60 + 30),
+            TimeOfDayMultiplier("Transportation & Warehousing", 13 * 60));
+  // Multipliers stay positive everywhere.
+  for (int minute = 0; minute < model::kMinutesPerDay; minute += 60) {
+    EXPECT_GT(TimeOfDayMultiplier("Retail Trade", minute), 0.0);
+  }
+}
+
+TEST(SafegraphTest, TrajectoriesFollowRecipeBounds) {
+  SafegraphConfig config;
+  config.city.num_pois = 200;
+  config.num_trajectories = 40;
+  auto db = BuildSafegraphPois(config);
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(10);
+  auto trajectories = GenerateSafegraphTrajectories(*db, time, config);
+  ASSERT_TRUE(trajectories.ok());
+  EXPECT_EQ(trajectories->size(), 40u);
+  for (const auto& traj : *trajectories) {
+    EXPECT_GE(traj.size(), 3u);
+    EXPECT_LE(traj.size(), 8u);
+    // Start time within U(6:00, 22:00).
+    const int start_minute = time.TimestepToMinute(traj.point(0).t);
+    EXPECT_GE(start_minute, 6 * 60 - 10);
+    EXPECT_LE(start_minute, 22 * 60 + 10);
+  }
+}
+
+// ---------- Campus specifics ----------
+
+TEST(CampusTest, BuildsPaperScaleCampus) {
+  CampusConfig config;
+  auto db = BuildCampusPois(config);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 262u);
+  // Nine leaf categories, all used.
+  std::set<hierarchy::CategoryId> used;
+  for (const model::Poi& poi : db->pois()) used.insert(poi.category);
+  EXPECT_EQ(used.size(), 9u);
+  auto events = FindCampusEventPois(*db);
+  ASSERT_TRUE(events.ok());
+  EXPECT_NE(events->residence_a, model::kInvalidPoi);
+  EXPECT_NE(events->stadium_a, model::kInvalidPoi);
+}
+
+TEST(CampusTest, InducedEventsArePresent) {
+  CampusConfig config;
+  config.num_trajectories = 700;
+  config.event_residence_count = 100;
+  config.event_stadium_count = 200;
+  config.event_academic_count = 300;
+  auto db = BuildCampusPois(config);
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(10);
+  auto trajectories = GenerateCampusTrajectories(*db, time, config);
+  ASSERT_TRUE(trajectories.ok());
+  auto events = FindCampusEventPois(*db);
+  ASSERT_TRUE(events.ok());
+
+  // Count trajectories visiting Residence A between 20:00 and 22:00 and
+  // Stadium A between 14:00 and 16:00.
+  size_t residence_visits = 0, stadium_visits = 0;
+  for (const auto& traj : *trajectories) {
+    for (const auto& pt : traj.points()) {
+      const int minute = time.TimestepToMinute(pt.t);
+      if (pt.poi == events->residence_a && minute >= 20 * 60 &&
+          minute < 22 * 60) {
+        ++residence_visits;
+        break;
+      }
+    }
+  }
+  for (const auto& traj : *trajectories) {
+    for (const auto& pt : traj.points()) {
+      const int minute = time.TimestepToMinute(pt.t);
+      if (pt.poi == events->stadium_a && minute >= 14 * 60 &&
+          minute < 16 * 60) {
+        ++stadium_visits;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(residence_visits, 100u);
+  EXPECT_GE(stadium_visits, 200u);
+}
+
+TEST(CampusTest, EventCountsMustFit) {
+  CampusConfig config;
+  config.num_trajectories = 10;
+  config.event_residence_count = 20;
+  auto db = BuildCampusPois(config);
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(10);
+  EXPECT_FALSE(GenerateCampusTrajectories(*db, time, config).ok());
+}
+
+// ---------- Taxi-Foursquare specifics ----------
+
+TEST(TaxiFoursquareTest, NextPoiRespectsReachabilityAtGenerationSpeed) {
+  TaxiFoursquareConfig config;
+  config.city.num_pois = 200;
+  config.num_trajectories = 30;
+  auto db = BuildTaxiFoursquarePois(config);
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(10);
+  auto trajectories = GenerateTaxiFoursquareTrajectories(*db, time, config);
+  ASSERT_TRUE(trajectories.ok());
+  for (const auto& traj : *trajectories) {
+    for (size_t i = 1; i < traj.size(); ++i) {
+      const double gap_hours =
+          time.GapMinutes(traj.point(i - 1).t, traj.point(i).t) / 60.0;
+      EXPECT_LE(db->DistanceKm(traj.point(i - 1).poi, traj.point(i).poi),
+                config.speed_kmh * gap_hours + 1e-9);
+      // The cleaning step forbids consecutive repeats.
+      EXPECT_NE(traj.point(i).poi, traj.point(i - 1).poi);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trajldp::synth
