@@ -8,6 +8,7 @@
 // All three feed the same optimal reconstruction, isolating the effect of
 // the perturbation structure.
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 

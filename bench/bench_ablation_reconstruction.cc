@@ -5,6 +5,7 @@
 // candidate set grows, substantiating Table 3's observation that the LP
 // dominates mechanism runtime.
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 

@@ -1,0 +1,370 @@
+// Batched perturbation engine benchmark (ISSUE 1 acceptance criteria):
+// on a ~200-region / n = 2 / 10k-user workload at fixed ε, the cached +
+// workspace + batched path must beat the seed per-call path by ≥5× on a
+// single thread, and the batched output must be bit-identical to the
+// sequential per-user loop under the same seed.
+//
+//   ./build/bench_batch_release [--json PATH] [--users N]
+//
+// The "seed path" below is a faithful replica of the pre-batching
+// implementation: a fresh O(R) distance row + exp() weight row per
+// n-gram slot per draw, heap-allocated backward-recursion tables, and
+// std::function dispatch in the sampler — exactly what the library did
+// before the weight-row cache and SamplerWorkspace existed.
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/batch_release_engine.h"
+#include "core/ngram_perturber.h"
+#include "region/decomposition.h"
+#include "region/region_distance.h"
+#include "region/region_graph.h"
+#include "test_support.h"
+
+namespace trajldp {
+namespace {
+
+using core::PerturbedNgram;
+using core::PerturbedNgramSet;
+using region::RegionId;
+
+// --------------------------------------------------------------- seed path
+
+// Replica of the seed SamplePathEm: per-call vector-of-vectors beta
+// tables and std::function neighbour dispatch.
+StatusOr<std::vector<uint32_t>> SeedSamplePathEm(
+    size_t num_nodes,
+    const std::function<std::span<const uint32_t>(uint32_t)>& neighbors,
+    const std::vector<std::vector<double>>& weights, Rng& rng) {
+  const size_t n = weights.size();
+  std::vector<std::vector<double>> beta(n);
+  beta[n - 1] = weights[n - 1];
+  for (size_t k = n - 1; k-- > 0;) {
+    beta[k].assign(num_nodes, 0.0);
+    for (uint32_t v = 0; v < num_nodes; ++v) {
+      double suffix = 0.0;
+      for (uint32_t u : neighbors(v)) suffix += beta[k + 1][u];
+      beta[k][v] = weights[k][v] * suffix;
+    }
+  }
+  std::vector<uint32_t> out(n);
+  {
+    const size_t pick = rng.Discrete(beta[0]);
+    if (pick >= num_nodes) {
+      return Status::FailedPrecondition("no feasible walk");
+    }
+    out[0] = static_cast<uint32_t>(pick);
+  }
+  for (size_t k = 1; k < n; ++k) {
+    const auto adj = neighbors(out[k - 1]);
+    std::vector<double> local(adj.size());
+    for (size_t j = 0; j < adj.size(); ++j) local[j] = beta[k][adj[j]];
+    const size_t pick = rng.Discrete(local);
+    if (pick >= adj.size()) {
+      return Status::Internal("inconsistent backward weights");
+    }
+    out[k] = adj[pick];
+  }
+  return out;
+}
+
+// Replica of the seed NgramDomain::Sample: recomputes the full distance
+// row (haversine + category walk per region pair) and the exp() weight
+// row for every n-gram slot of every draw.
+StatusOr<std::vector<RegionId>> SeedSample(
+    const region::RegionGraph& graph, const region::RegionDistance& distance,
+    const std::vector<RegionId>& input, double epsilon, Rng& rng) {
+  const int n = static_cast<int>(input.size());
+  const size_t num_regions = graph.num_regions();
+  const double sensitivity = static_cast<double>(n) * distance.MaxDistance();
+  const double scale = epsilon / (2.0 * sensitivity);
+  std::vector<std::vector<double>> weight(n);
+  for (int k = 0; k < n; ++k) {
+    std::vector<double> d(num_regions);
+    for (RegionId r = 0; r < num_regions; ++r) {
+      d[r] = distance.Between(input[k], r);
+    }
+    weight[k].resize(num_regions);
+    for (size_t r = 0; r < num_regions; ++r) {
+      weight[k][r] = std::exp(-scale * d[r]);
+    }
+  }
+  auto result = SeedSamplePathEm(
+      num_regions, [&graph](uint32_t v) { return graph.Neighbors(v); },
+      weight, rng);
+  if (!result.ok()) return result.status();
+  return std::vector<RegionId>(result->begin(), result->end());
+}
+
+// Replica of the seed NgramPerturber::Perturb (per-n-gram input copies).
+StatusOr<PerturbedNgramSet> SeedPerturb(const region::RegionGraph& graph,
+                                        const region::RegionDistance& distance,
+                                        const region::RegionTrajectory& tau,
+                                        int config_n, double epsilon,
+                                        Rng& rng) {
+  const size_t len = tau.size();
+  const size_t n = std::min<size_t>(static_cast<size_t>(config_n), len);
+  const double eps_prime = epsilon / static_cast<double>(len + n - 1);
+  PerturbedNgramSet z;
+  z.reserve(len + n - 1);
+  for (size_t a = 1; a + n - 1 <= len; ++a) {
+    const size_t b = a + n - 1;
+    std::vector<RegionId> input(tau.begin() + static_cast<ptrdiff_t>(a - 1),
+                                tau.begin() + static_cast<ptrdiff_t>(b));
+    auto sampled = SeedSample(graph, distance, input, eps_prime, rng);
+    if (!sampled.ok()) return sampled.status();
+    z.push_back(PerturbedNgram{a, b, std::move(*sampled)});
+  }
+  for (size_t m = 1; m < n; ++m) {
+    {
+      std::vector<RegionId> input(tau.begin(),
+                                  tau.begin() + static_cast<ptrdiff_t>(m));
+      auto sampled = SeedSample(graph, distance, input, eps_prime, rng);
+      if (!sampled.ok()) return sampled.status();
+      z.push_back(PerturbedNgram{1, m, std::move(*sampled)});
+    }
+    {
+      const size_t a = len - m + 1;
+      std::vector<RegionId> input(tau.begin() + static_cast<ptrdiff_t>(a - 1),
+                                  tau.end());
+      auto sampled = SeedSample(graph, distance, input, eps_prime, rng);
+      if (!sampled.ok()) return sampled.status();
+      z.push_back(PerturbedNgram{a, len, std::move(*sampled)});
+    }
+  }
+  return z;
+}
+
+// ---------------------------------------------------------------- harness
+
+bool Identical(const std::vector<PerturbedNgramSet>& a,
+               const std::vector<PerturbedNgramSet>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      if (a[i][j].a != b[i][j].a || a[i][j].b != b[i][j].b ||
+          a[i][j].regions != b[i][j].regions) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Run(size_t num_users, const std::string& json_path) {
+  constexpr int kN = 2;
+  constexpr double kEpsilon = 5.0;
+  constexpr size_t kTrajectoryLen = 5;
+  constexpr uint64_t kSeed = 20260729;
+
+  // ~200-region world: 2000 always-open lattice POIs, 5×5 spatial grid,
+  // one whole-day interval, merging off → 5·5·(9 leaf categories) = 225
+  // non-empty (cell, interval, category) regions.
+  auto db = bench::MakeLatticeDb(2000);
+  if (!db.ok()) {
+    std::cerr << db.status() << "\n";
+    return 1;
+  }
+  const auto time = *model::TimeDomain::Create(10);
+  region::DecompositionConfig config;
+  config.grid_size = 5;
+  config.coarse_grids = {1};
+  config.base_interval_minutes = 1440;
+  config.merge.kappa = 1;
+  auto decomp = region::StcDecomposition::Build(&*db, time, config);
+  if (!decomp.ok()) {
+    std::cerr << decomp.status() << "\n";
+    return 1;
+  }
+  const region::RegionDistance distance(&*decomp);
+  const model::ReachabilityConfig reach{8.0, 30};
+  const region::RegionGraph graph = region::RegionGraph::Build(*decomp, reach);
+  const core::NgramDomain domain(&graph, &distance);
+  const core::NgramPerturber perturber(
+      &domain, core::NgramPerturber::Config{kN, kEpsilon});
+
+  const size_t num_regions = decomp->num_regions();
+  std::cout << "world: " << num_regions << " regions, " << graph.num_edges()
+            << " edges, " << num_users << " users, n=" << kN
+            << ", epsilon=" << kEpsilon << "\n";
+
+  // Fixed-ε multi-user workload: same trajectory length for everyone, so
+  // every draw shares one ε′ (the collector-policy case the weight-row
+  // cache is built for).
+  std::vector<region::RegionTrajectory> users(num_users);
+  {
+    Rng rng(4242);
+    for (auto& tau : users) {
+      for (size_t i = 0; i < kTrajectoryLen; ++i) {
+        tau.push_back(static_cast<RegionId>(rng.UniformUint64(num_regions)));
+      }
+    }
+  }
+  const size_t ngrams_per_user = kTrajectoryLen + kN - 1;
+  const size_t total_ngrams = num_users * ngrams_per_user;
+  const Rng root(kSeed);
+
+  // --- Seed per-call path (sequential). -----------------------------
+  double seed_seconds = 0.0;
+  {
+    Stopwatch watch;
+    for (size_t i = 0; i < users.size(); ++i) {
+      Rng user_rng = root.Substream(i);
+      auto z = SeedPerturb(graph, distance, users[i], kN, kEpsilon, user_rng);
+      if (!z.ok()) {
+        std::cerr << "seed path: " << z.status() << "\n";
+        return 1;
+      }
+    }
+    seed_seconds = watch.ElapsedSeconds();
+  }
+
+  // --- Sequential loop over the new cached path (reference output). --
+  std::vector<PerturbedNgramSet> sequential;
+  sequential.reserve(users.size());
+  double sequential_seconds = 0.0;
+  {
+    domain.ClearCache();
+    core::SamplerWorkspace ws;
+    Stopwatch watch;
+    for (size_t i = 0; i < users.size(); ++i) {
+      Rng user_rng = root.Substream(i);
+      auto z = perturber.Perturb(users[i], user_rng, ws);
+      if (!z.ok()) {
+        std::cerr << "cached path: " << z.status() << "\n";
+        return 1;
+      }
+      sequential.push_back(std::move(*z));
+    }
+    sequential_seconds = watch.ElapsedSeconds();
+  }
+
+  // --- Batched engine, 1 thread and all hardware threads. ------------
+  auto run_engine = [&](size_t threads, double& seconds)
+      -> StatusOr<std::vector<PerturbedNgramSet>> {
+    core::BatchReleaseEngine engine(
+        &perturber, core::BatchReleaseEngine::Config{threads});
+    Stopwatch watch;
+    auto result = engine.ReleaseAll(users, kSeed);
+    seconds = watch.ElapsedSeconds();
+    return result;
+  };
+
+  double engine1_seconds = 0.0;
+  auto engine1 = run_engine(1, engine1_seconds);
+  if (!engine1.ok()) {
+    std::cerr << "engine(1): " << engine1.status() << "\n";
+    return 1;
+  }
+  const size_t hw_threads = ThreadPool::DefaultThreadCount();
+  double engine_hw_seconds = 0.0;
+  auto engine_hw = run_engine(hw_threads, engine_hw_seconds);
+  if (!engine_hw.ok()) {
+    std::cerr << "engine(" << hw_threads << "): " << engine_hw.status()
+              << "\n";
+    return 1;
+  }
+
+  const bool identical =
+      Identical(*engine1, sequential) && Identical(*engine_hw, sequential);
+  const double speedup_1t = seed_seconds / engine1_seconds;
+  const double scaling = engine1_seconds / engine_hw_seconds;
+  const auto per_ngram_us = [&](double seconds) {
+    return seconds * 1e6 / static_cast<double>(total_ngrams);
+  };
+  const auto ops_per_sec = [&](double seconds) {
+    return static_cast<double>(num_users) / seconds;
+  };
+
+  std::cout << "seed per-call path:   " << seed_seconds << " s  ("
+            << per_ngram_us(seed_seconds) << " us/ngram, "
+            << ops_per_sec(seed_seconds) << " users/s)\n"
+            << "cached sequential:    " << sequential_seconds << " s  ("
+            << per_ngram_us(sequential_seconds) << " us/ngram)\n"
+            << "engine, 1 thread:     " << engine1_seconds << " s  ("
+            << per_ngram_us(engine1_seconds) << " us/ngram, "
+            << ops_per_sec(engine1_seconds) << " users/s)\n"
+            << "engine, " << hw_threads << " thread(s):  " << engine_hw_seconds
+            << " s  (" << per_ngram_us(engine_hw_seconds) << " us/ngram, "
+            << ops_per_sec(engine_hw_seconds) << " users/s)\n"
+            << "single-thread speedup vs seed: " << speedup_1t << "x"
+            << (speedup_1t >= 5.0 ? "  (PASS >=5x)" : "  (FAIL <5x)") << "\n"
+            << "thread scaling (1t/" << hw_threads << "t): " << scaling
+            << "x\n"
+            << "batched == sequential (bit-identical): "
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot open " << json_path << " for writing\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"batch_release\",\n"
+        << "  \"num_users\": " << num_users << ",\n"
+        << "  \"num_regions\": " << num_regions << ",\n"
+        << "  \"num_edges\": " << graph.num_edges() << ",\n"
+        << "  \"ngram_n\": " << kN << ",\n"
+        << "  \"epsilon\": " << kEpsilon << ",\n"
+        << "  \"trajectory_len\": " << kTrajectoryLen << ",\n"
+        << "  \"total_ngrams\": " << total_ngrams << ",\n"
+        << "  \"hw_threads\": " << hw_threads << ",\n"
+        << "  \"seed_path_seconds\": " << seed_seconds << ",\n"
+        << "  \"seed_path_users_per_sec\": " << ops_per_sec(seed_seconds)
+        << ",\n"
+        << "  \"seed_path_us_per_ngram\": " << per_ngram_us(seed_seconds)
+        << ",\n"
+        << "  \"engine_1t_seconds\": " << engine1_seconds << ",\n"
+        << "  \"engine_1t_users_per_sec\": " << ops_per_sec(engine1_seconds)
+        << ",\n"
+        << "  \"engine_1t_us_per_ngram\": " << per_ngram_us(engine1_seconds)
+        << ",\n"
+        << "  \"engine_hw_seconds\": " << engine_hw_seconds << ",\n"
+        << "  \"engine_hw_users_per_sec\": " << ops_per_sec(engine_hw_seconds)
+        << ",\n"
+        << "  \"engine_hw_us_per_ngram\": " << per_ngram_us(engine_hw_seconds)
+        << ",\n"
+        << "  \"speedup_single_thread\": " << speedup_1t << ",\n"
+        << "  \"thread_scaling\": " << scaling << ",\n"
+        << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+        << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  if (!identical) return 2;
+  return speedup_1t >= 5.0 ? 0 : 3;
+}
+
+}  // namespace
+}  // namespace trajldp
+
+int main(int argc, char** argv) {
+  // Env default first; an explicit --users flag wins over it.
+  size_t num_users = 10000;
+  if (const char* env = std::getenv("TRAJLDP_BENCH_USERS")) {
+    num_users = static_cast<size_t>(std::atoll(env));
+  }
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
+      num_users = static_cast<size_t>(std::atoll(argv[++i]));
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json PATH] [--users N]\n";
+      return 1;
+    }
+  }
+  return trajldp::Run(num_users, json_path);
+}

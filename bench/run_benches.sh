@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Perf-tracking harness: builds and runs the micro-kernel bench plus the
+# batched-release bench, and emits machine-readable JSON so future PRs
+# have a perf trajectory to regress against.
+#
+#   bench/run_benches.sh [output-dir]
+#
+# Outputs (in output-dir, default the repo root):
+#   BENCH_batch.json — batched engine: users/s, per-ngram latency,
+#                      single-thread speedup vs the seed path, thread
+#                      scaling, and the bit-identical determinism check.
+#   BENCH_micro.json — google-benchmark JSON for the hot kernels
+#                      (haversine, Gumbel, EM select, path sampler).
+#
+# Env:
+#   BUILD_DIR            build tree (default: build)
+#   TRAJLDP_BENCH_USERS  batch-bench user count (default: 10000)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+out_dir="${1:-$repo_root}"
+mkdir -p "$out_dir"
+
+if [[ ! -d "$build_dir" ]]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target bench_batch_release bench_micro_kernels
+
+echo "=== bench_batch_release ==="
+"$build_dir/bench_batch_release" --json "$out_dir/BENCH_batch.json"
+
+echo "=== bench_micro_kernels ==="
+"$build_dir/bench_micro_kernels" \
+  --benchmark_format=console \
+  --benchmark_out="$out_dir/BENCH_micro.json" \
+  --benchmark_out_format=json
+
+echo "wrote $out_dir/BENCH_batch.json and $out_dir/BENCH_micro.json"

@@ -31,6 +31,44 @@ Rng Rng::Split() {
   return Rng(NextUint64() ^ 0xA3EC647659359ACDULL);
 }
 
+Rng Rng::Substream(uint64_t stream) const {
+  // Hash (state, stream) into a fresh 256-bit state via splitmix64. The
+  // parent state is read, never advanced, so Substream(i) is a pure
+  // function of (parent state, i).
+  uint64_t sm = stream ^ 0xD2B74407B1CE6E93ULL;
+  const uint64_t h = SplitMix64(sm);
+  Rng child(0);
+  for (int i = 0; i < 4; ++i) {
+    uint64_t mixed = state_[i] ^ h;
+    child.state_[i] = SplitMix64(mixed);
+  }
+  return child;
+}
+
+void Rng::Jump() {
+  // Standard xoshiro256++ jump constants (Blackman & Vigna).
+  static constexpr uint64_t kJump[] = {0x180EC6D33CFD0ABAULL,
+                                       0xD5A61266F0C9392CULL,
+                                       0xA9582618E03FC9AAULL,
+                                       0x39ABDC4529B1661CULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (uint64_t{1} << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      NextUint64();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+}
+
 uint64_t Rng::NextUint64() {
   // xoshiro256++ step.
   const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
@@ -101,7 +139,7 @@ bool Rng::Bernoulli(double p) {
   return UniformDouble() < p;
 }
 
-size_t Rng::Discrete(const std::vector<double>& weights) {
+size_t Rng::Discrete(std::span<const double> weights) {
   double total = 0.0;
   for (double w : weights) total += w;
   if (!(total > 0.0) || !std::isfinite(total)) return weights.size();

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace trajldp {
@@ -22,6 +23,19 @@ class Rng {
   /// Derives an independent child generator. Subsequent draws from this
   /// generator are unaffected by draws from the child and vice versa.
   Rng Split();
+
+  /// Derives the `stream`-th independent substream of this generator
+  /// WITHOUT advancing it: the same parent state yields the same substream
+  /// for the same index, no matter how many substreams are taken or in
+  /// what order. This is what makes batched multi-user perturbation
+  /// bit-identical to a sequential loop — worker threads call
+  /// `root.Substream(user_index)` and the interleaving becomes irrelevant.
+  Rng Substream(uint64_t stream) const;
+
+  /// Advances this generator by 2^128 steps (the standard xoshiro256++
+  /// jump polynomial). 2^128 non-overlapping subsequences of length 2^128
+  /// each: an alternative substream construction for long-lived workers.
+  void Jump();
 
   /// Next raw 64 random bits.
   uint64_t NextUint64();
@@ -59,7 +73,7 @@ class Rng {
 
   /// Samples an index proportionally to non-negative `weights`.
   /// Returns weights.size() if the total weight is zero or not finite.
-  size_t Discrete(const std::vector<double>& weights);
+  size_t Discrete(std::span<const double> weights);
 
   /// Fisher–Yates shuffles indices [0, n) and returns the permutation.
   std::vector<size_t> Permutation(size_t n);

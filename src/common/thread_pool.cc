@@ -1,0 +1,86 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace trajldp {
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelFor(n, [&fn](size_t i, size_t) { fn(i); });
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  // Dynamic work pulling: each worker grabs the next unclaimed index, so
+  // uneven per-item costs (trajectory lengths vary) still balance.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  const size_t num_tasks = std::min(size(), n);
+  for (size_t w = 0; w < num_tasks; ++w) {
+    Submit([next, n, w, &fn] {
+      for (;;) {
+        const size_t i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i, w);
+      }
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace trajldp

@@ -1,0 +1,68 @@
+#ifndef TRAJLDP_COMMON_THREAD_POOL_H_
+#define TRAJLDP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trajldp {
+
+/// \brief A fixed-size worker pool with a FIFO task queue.
+///
+/// Workers are spawned once and reused across submissions, so repeated
+/// batch runs (e.g. one BatchReleaseEngine::ReleaseAll per collector
+/// request) pay no thread start-up cost. Tasks must not throw; all
+/// library code reports failure through Status, and a task that needs to
+/// surface an error should capture a slot to write it into.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 → DefaultThreadCount()).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Joins all workers; pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Runs fn(i) for every i in [0, n), distributing indices dynamically
+  /// across the pool, and blocks until all are done. `fn` must be safe to
+  /// call concurrently from multiple workers.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// As above, but fn(i, worker) also receives a dense worker slot in
+  /// [0, min(size(), n)) — stable for all items that worker processes, so
+  /// callers can give each worker private scratch (e.g. one
+  /// SamplerWorkspace per slot) without locking.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;  // signalled when work arrives / stop
+  std::condition_variable done_cv_;  // signalled when in_flight_ hits 0
+  size_t in_flight_ = 0;             // queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace trajldp
+
+#endif  // TRAJLDP_COMMON_THREAD_POOL_H_

@@ -1,0 +1,43 @@
+#include "core/batch_release_engine.h"
+
+#include <string>
+#include <utility>
+
+namespace trajldp::core {
+
+BatchReleaseEngine::BatchReleaseEngine(const NgramPerturber* perturber,
+                                       Config config)
+    : perturber_(perturber), pool_(config.num_threads) {}
+
+StatusOr<std::vector<PerturbedNgramSet>> BatchReleaseEngine::ReleaseAll(
+    std::span<const region::RegionTrajectory> users, uint64_t seed) {
+  const size_t num_users = users.size();
+  std::vector<PerturbedNgramSet> out(num_users);
+  std::vector<Status> statuses(num_users);
+
+  // One workspace per worker slot: rows/beta buffers grow to steady state
+  // once, then every draw is allocation-free.
+  std::vector<SamplerWorkspace> workspaces(
+      std::min(pool_.size(), std::max<size_t>(num_users, 1)));
+  const Rng root(seed);
+  pool_.ParallelFor(num_users, [&](size_t i, size_t worker) {
+    Rng user_rng = root.Substream(i);
+    auto z = perturber_->Perturb(users[i], user_rng, workspaces[worker]);
+    if (z.ok()) {
+      out[i] = std::move(*z);
+    } else {
+      statuses[i] = z.status();
+    }
+  });
+
+  for (size_t i = 0; i < num_users; ++i) {
+    if (!statuses[i].ok()) {
+      return Status(statuses[i].code(),
+                    "user " + std::to_string(i) + ": " +
+                        std::string(statuses[i].message()));
+    }
+  }
+  return out;
+}
+
+}  // namespace trajldp::core

@@ -1,0 +1,64 @@
+#ifndef TRAJLDP_CORE_BATCH_RELEASE_ENGINE_H_
+#define TRAJLDP_CORE_BATCH_RELEASE_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status_or.h"
+#include "common/thread_pool.h"
+#include "core/ngram_perturber.h"
+
+namespace trajldp::core {
+
+/// \brief Collector-side batched perturbation of many users' trajectories.
+///
+/// The per-user mechanism is embarrassingly parallel: each trajectory is
+/// perturbed independently, and the EM weight rows it needs are public
+/// data shared through the NgramDomain caches. This engine fans a batch
+/// out over a persistent thread pool, giving each worker its own
+/// SamplerWorkspace (allocation-free draws) and each *user* their own
+/// deterministic RNG substream:
+///
+///   user i's generator = Rng(seed).Substream(i)
+///
+/// Because the substream depends only on (seed, i) — never on scheduling —
+/// the batched output is bit-identical to the sequential loop
+///
+///   Rng root(seed);
+///   for (i = 0; i < users.size(); ++i) {
+///     Rng user_rng = root.Substream(i);
+///     perturber.Perturb(users[i], user_rng);
+///   }
+///
+/// for any thread count. Reproducibility is a release-pipeline feature
+/// (audits replay a batch), not just a testing convenience.
+class BatchReleaseEngine {
+ public:
+  struct Config {
+    /// Worker threads; 0 → all hardware threads.
+    size_t num_threads = 0;
+  };
+
+  /// `perturber` (and the domain/graph/distance behind it) must outlive
+  /// this engine.
+  explicit BatchReleaseEngine(const NgramPerturber* perturber)
+      : BatchReleaseEngine(perturber, Config()) {}
+  BatchReleaseEngine(const NgramPerturber* perturber, Config config);
+
+  size_t num_threads() const { return pool_.size(); }
+
+  /// Perturbs every trajectory in `users`, returning one PerturbedNgramSet
+  /// per user in input order. Fails with the first per-user error (by
+  /// user index) if any perturbation fails; partial output is discarded.
+  StatusOr<std::vector<PerturbedNgramSet>> ReleaseAll(
+      std::span<const region::RegionTrajectory> users, uint64_t seed);
+
+ private:
+  const NgramPerturber* perturber_;
+  ThreadPool pool_;
+};
+
+}  // namespace trajldp::core
+
+#endif  // TRAJLDP_CORE_BATCH_RELEASE_ENGINE_H_

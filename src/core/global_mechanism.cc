@@ -1,6 +1,8 @@
 #include "core/global_mechanism.h"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <unordered_map>
 
 #include "ldp/exponential_mechanism.h"
@@ -82,6 +84,18 @@ double GlobalMechanism::CountCandidates(size_t length) const {
   if (length == 0) return 0.0;
   // count[k][(p, t)] = number of feasible suffixes of length k that start
   // at POI p, timestep t. Memoised bottom-up over k.
+  //
+  // The naive recurrence re-tests reachability P times per (p, t, t2)
+  // triple — O(L·P²·T²) haversine evaluations. Three observations fix it:
+  //  1. d_s(p, q) never changes: hoist all pair distances into one sorted
+  //     adjacency per p (distance-ascending POI order), computed once.
+  //  2. θ(gap) is non-decreasing in the gap, so for growing t2 the
+  //     reachable set of p is a growing *prefix* of that sorted order —
+  //     a two-pointer sweep replaces every per-pair test.
+  //  3. Once θ(gap) ≥ max_q d_s(p, q) every POI is reachable and the
+  //     inner sum collapses to a precomputed suffix column sum.
+  // Counts are integers (exactly representable as doubles), so regrouping
+  // the summation order leaves the result bit-identical.
   const size_t num_pois = db_->size();
   const size_t num_ts = static_cast<size_t>(time_.num_timesteps());
   std::vector<double> count(num_pois * num_ts, 0.0);
@@ -93,26 +107,96 @@ double GlobalMechanism::CountCandidates(size_t length) const {
       count[p * num_ts + t] = open[p * num_ts + t] ? 1.0 : 0.0;
     }
   }
-  for (size_t k = 2; k <= length; ++k) {
-    std::vector<double> next(num_pois * num_ts, 0.0);
+  if (length == 1) {
+    double total = 0.0;
+    for (double c : count) total += c;
+    return total;
+  }
+
+  const bool unconstrained = config_.reachability.unconstrained();
+  // Each POI's distance-sorted neighbour row is invariant across the k
+  // rounds. Keep all P rows when the P × P table stays modest (≤ ~64 MB);
+  // past that, recompute one row per (k, p) so memory stays O(P) instead
+  // of quadratic.
+  constexpr size_t kMaxCachedPairs = size_t{1} << 22;
+  const bool cache_rows =
+      !unconstrained && num_pois * num_pois <= kMaxCachedPairs;
+  std::vector<PoiId> order(num_pois);
+  std::vector<double> dist(num_pois);
+  std::vector<double> d(num_pois);
+  const auto sort_row = [&](PoiId p, std::span<PoiId> order_out,
+                            std::span<double> dist_out) {
+    for (PoiId q = 0; q < num_pois; ++q) d[q] = db_->DistanceKm(p, q);
+    for (PoiId q = 0; q < num_pois; ++q) order_out[q] = q;
+    std::sort(order_out.begin(), order_out.end(), [&](PoiId a, PoiId b) {
+      return d[a] != d[b] ? d[a] < d[b] : a < b;
+    });
+    for (size_t j = 0; j < num_pois; ++j) dist_out[j] = d[order_out[j]];
+  };
+  std::vector<PoiId> all_order;
+  std::vector<double> all_dist;
+  if (cache_rows) {
+    all_order.resize(num_pois * num_pois);
+    all_dist.resize(num_pois * num_pois);
     for (PoiId p = 0; p < num_pois; ++p) {
+      sort_row(p, {all_order.data() + p * num_pois, num_pois},
+               {all_dist.data() + p * num_pois, num_pois});
+    }
+  }
+
+  std::vector<double> next(num_pois * num_ts, 0.0);
+  std::vector<double> colsum(num_ts + 1, 0.0);    // Σ_q count[q][t2]
+  std::vector<double> colsuffix(num_ts + 1, 0.0); // Σ_{t2' ≥ t2} colsum
+  for (size_t k = 2; k <= length; ++k) {
+    for (size_t t2 = 0; t2 < num_ts; ++t2) {
+      double c = 0.0;
+      for (PoiId q = 0; q < num_pois; ++q) c += count[q * num_ts + t2];
+      colsum[t2] = c;
+    }
+    colsuffix[num_ts] = 0.0;
+    for (size_t t2 = num_ts; t2-- > 0;) {
+      colsuffix[t2] = colsuffix[t2 + 1] + colsum[t2];
+    }
+
+    std::fill(next.begin(), next.end(), 0.0);
+    for (PoiId p = 0; p < num_pois; ++p) {
+      std::span<const PoiId> p_order(order);
+      std::span<const double> p_dist(dist);
+      if (cache_rows) {
+        p_order = {all_order.data() + p * num_pois, num_pois};
+        p_dist = {all_dist.data() + p * num_pois, num_pois};
+      } else if (!unconstrained) {
+        sort_row(p, order, dist);
+      }
+      const double max_dist = unconstrained ? 0.0 : p_dist.back();
       for (size_t t = 0; t < num_ts; ++t) {
         if (!open[p * num_ts + t]) continue;
+        if (unconstrained) {
+          next[p * num_ts + t] = colsuffix[t + 1];
+          continue;
+        }
         double total = 0.0;
+        size_t prefix = 0;  // |{j : dist[p][j] ≤ θ(gap)}|, grows with t2
         for (size_t t2 = t + 1; t2 < num_ts; ++t2) {
-          for (PoiId q = 0; q < num_pois; ++q) {
-            if (count[q * num_ts + t2] == 0.0) continue;
-            if (!reach_.IsReachableBetween(p, q, static_cast<Timestep>(t),
-                                           static_cast<Timestep>(t2))) {
-              continue;
-            }
-            total += count[q * num_ts + t2];
+          const int gap = time_.GapMinutes(static_cast<Timestep>(t),
+                                           static_cast<Timestep>(t2));
+          if (gap <= 0) continue;
+          const double theta = config_.reachability.ThetaKm(gap);
+          if (theta >= max_dist) {
+            // Everything is reachable from here on out (θ only grows):
+            // finish with the precomputed suffix sums.
+            total += colsuffix[t2];
+            break;
+          }
+          while (prefix < num_pois && p_dist[prefix] <= theta) ++prefix;
+          for (size_t j = 0; j < prefix; ++j) {
+            total += count[p_order[j] * num_ts + t2];
           }
         }
         next[p * num_ts + t] = total;
       }
     }
-    count = std::move(next);
+    std::swap(count, next);
   }
   double total = 0.0;
   for (double c : count) total += c;

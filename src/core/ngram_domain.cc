@@ -1,61 +1,11 @@
 #include "core/ngram_domain.h"
 
 #include <cmath>
-#include <string>
+#include <mutex>
 
 namespace trajldp::core {
 
 using region::RegionId;
-
-StatusOr<std::vector<uint32_t>> SamplePathEm(
-    size_t num_nodes,
-    const std::function<std::span<const uint32_t>(uint32_t)>& neighbors,
-    const std::vector<std::vector<double>>& weights, Rng& rng) {
-  const size_t n = weights.size();
-  if (n == 0) {
-    return Status::InvalidArgument("cannot sample an empty path");
-  }
-  if (num_nodes == 0) {
-    return Status::FailedPrecondition("graph is empty");
-  }
-
-  // Backward recursion: beta[k][v] = weights[k][v] · Σ_{u∈adj(v)}
-  // beta[k+1][u] = total weight of all feasible suffixes starting at v in
-  // slot k. beta[0] then scores complete walks by their first node.
-  std::vector<std::vector<double>> beta(n);
-  beta[n - 1] = weights[n - 1];
-  for (size_t k = n - 1; k-- > 0;) {
-    beta[k].assign(num_nodes, 0.0);
-    for (uint32_t v = 0; v < num_nodes; ++v) {
-      double suffix = 0.0;
-      for (uint32_t u : neighbors(v)) suffix += beta[k + 1][u];
-      beta[k][v] = weights[k][v] * suffix;
-    }
-  }
-
-  // Forward sampling: first node ∝ beta[0]; each next node among the
-  // previous one's neighbours ∝ beta[k].
-  std::vector<uint32_t> out(n);
-  {
-    const size_t pick = rng.Discrete(beta[0]);
-    if (pick >= num_nodes) {
-      return Status::FailedPrecondition(
-          "the graph admits no feasible walk of length " + std::to_string(n));
-    }
-    out[0] = static_cast<uint32_t>(pick);
-  }
-  for (size_t k = 1; k < n; ++k) {
-    const auto adj = neighbors(out[k - 1]);
-    std::vector<double> local(adj.size());
-    for (size_t j = 0; j < adj.size(); ++j) local[j] = beta[k][adj[j]];
-    const size_t pick = rng.Discrete(local);
-    if (pick >= adj.size()) {
-      return Status::Internal("inconsistent backward weights in path EM");
-    }
-    out[k] = adj[pick];
-  }
-  return out;
-}
 
 NgramDomain::NgramDomain(const region::RegionGraph* graph,
                          const region::RegionDistance* distance,
@@ -74,9 +24,90 @@ double NgramDomain::UtilityBound(int n, double epsilon, double zeta) const {
   return 2.0 * Sensitivity(n) / epsilon * (std::log(size) + zeta);
 }
 
-StatusOr<std::vector<RegionId>> NgramDomain::Sample(
-    const std::vector<RegionId>& input, double epsilon, Rng& rng) const {
-  const int n = static_cast<int>(input.size());
+void NgramDomain::ComputeWeightRow(RegionId r, double scale,
+                                   std::vector<double>& out) const {
+  const std::span<const float> d = distance_->ToAll(r);
+  out.resize(d.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    out[i] = std::exp(-scale * static_cast<double>(d[i]));
+  }
+}
+
+void NgramDomain::ComputeSuffixRow(const std::vector<double>& weight_row,
+                                   std::vector<double>& out) const {
+  const size_t num_regions = graph_->num_regions();
+  out.resize(num_regions);
+  for (RegionId v = 0; v < num_regions; ++v) {
+    double total = 0.0;
+    for (RegionId u : graph_->Neighbors(v)) total += weight_row[u];
+    out[v] = total;
+  }
+}
+
+template <typename ComputeFn>
+const std::vector<double>& NgramDomain::LookupOrCompute(
+    RowCache& cache, const RowKey& key, std::atomic<size_t>& hits,
+    std::atomic<size_t>& misses, ComputeFn&& compute) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    const auto it = cache.find(key);
+    if (it != cache.end()) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+      return *it->second;
+    }
+  }
+  // Compute outside the lock; another thread may race us to the insert,
+  // in which case its identical row wins and ours is discarded.
+  auto row = std::make_unique<std::vector<double>>();
+  compute(*row);
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  const auto [it, inserted] = cache.try_emplace(key, std::move(row));
+  (inserted ? misses : hits).fetch_add(1, std::memory_order_relaxed);
+  return *it->second;
+}
+
+const std::vector<double>& NgramDomain::CachedWeightRow(RegionId r,
+                                                        double scale) const {
+  const RowKey key{r, std::bit_cast<uint64_t>(scale)};
+  return LookupOrCompute(
+      weight_cache_, key, weight_hits_, weight_misses_,
+      [&](std::vector<double>& row) { ComputeWeightRow(r, scale, row); });
+}
+
+const std::vector<double>& NgramDomain::CachedSuffixRow(RegionId r,
+                                                        double scale) const {
+  const RowKey key{r, std::bit_cast<uint64_t>(scale)};
+  return LookupOrCompute(
+      suffix_cache_, key, suffix_hits_, suffix_misses_,
+      [&](std::vector<double>& row) {
+        ComputeSuffixRow(CachedWeightRow(r, scale), row);
+      });
+}
+
+void NgramDomain::ClearCache() const {
+  std::unique_lock<std::shared_mutex> lock(cache_mu_);
+  weight_cache_.clear();
+  suffix_cache_.clear();
+}
+
+NgramDomain::CacheStats NgramDomain::cache_stats() const {
+  CacheStats stats;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    stats.weight_rows = weight_cache_.size();
+    stats.suffix_rows = suffix_cache_.size();
+  }
+  stats.weight_hits = weight_hits_.load(std::memory_order_relaxed);
+  stats.weight_misses = weight_misses_.load(std::memory_order_relaxed);
+  stats.suffix_hits = suffix_hits_.load(std::memory_order_relaxed);
+  stats.suffix_misses = suffix_misses_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Status NgramDomain::SampleInto(std::span<const RegionId> input,
+                               double epsilon, Rng& rng, SamplerWorkspace& ws,
+                               std::vector<RegionId>& out) const {
+  const size_t n = input.size();
   if (n == 0) {
     return Status::InvalidArgument("cannot perturb an empty n-gram");
   }
@@ -89,23 +120,43 @@ StatusOr<std::vector<RegionId>> NgramDomain::Sample(
   }
 
   // Per-slot EM weights: weight_k[r] = exp(−ε′ · d(x_k, r) / (2Δd_w)),
-  // with Δd_w = n·Δd the n-gram sensitivity — this is exactly eq. 6 in
-  // factored form.
-  const double scale = epsilon / (2.0 * Sensitivity(n));
-  std::vector<std::vector<double>> weight(n);
-  for (int k = 0; k < n; ++k) {
-    std::vector<double> d = distance_->ToAll(input[k]);
-    weight[k].resize(num_regions);
-    for (size_t r = 0; r < num_regions; ++r) {
-      weight[k][r] = std::exp(-scale * d[r]);
+  // with Δd_w = n·Δd the n-gram sensitivity — exactly eq. 6 in factored
+  // form. Rows come from the shared cache (or the workspace when caching
+  // is off; the arithmetic is identical either way).
+  const double scale = epsilon / (2.0 * Sensitivity(static_cast<int>(n)));
+  ws.rows.resize(n);
+  std::span<const double> suffix;
+  if (cache_enabled_) {
+    for (size_t k = 0; k < n; ++k) {
+      ws.rows[k] = CachedWeightRow(input[k], scale).data();
+    }
+    if (n >= 2) {
+      suffix = CachedSuffixRow(input[n - 1], scale);
+    }
+  } else {
+    if (ws.scratch.size() < n + 1) ws.scratch.resize(n + 1);
+    for (size_t k = 0; k < n; ++k) {
+      ComputeWeightRow(input[k], scale, ws.scratch[k]);
+      ws.rows[k] = ws.scratch[k].data();
+    }
+    if (n >= 2) {
+      ComputeSuffixRow(ws.scratch[n - 1], ws.scratch[n]);
+      suffix = ws.scratch[n];
     }
   }
 
-  auto result = SamplePathEm(
-      num_regions,
-      [this](uint32_t v) { return graph_->Neighbors(v); }, weight, rng);
-  if (!result.ok()) return result.status();
-  return std::vector<RegionId>(result->begin(), result->end());
+  return SamplePathEmInto(
+      num_regions, [this](uint32_t v) { return graph_->Neighbors(v); },
+      std::span<const double* const>(ws.rows.data(), n), suffix, rng, ws,
+      out);
+}
+
+StatusOr<std::vector<RegionId>> NgramDomain::Sample(
+    const std::vector<RegionId>& input, double epsilon, Rng& rng) const {
+  SamplerWorkspace ws;
+  std::vector<RegionId> out;
+  TRAJLDP_RETURN_NOT_OK(SampleInto(input, epsilon, rng, ws, out));
+  return out;
 }
 
 }  // namespace trajldp::core

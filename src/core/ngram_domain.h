@@ -1,9 +1,14 @@
 #ifndef TRAJLDP_CORE_NGRAM_DOMAIN_H_
 #define TRAJLDP_CORE_NGRAM_DOMAIN_H_
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <shared_mutex>
 #include <span>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -13,16 +18,142 @@
 
 namespace trajldp::core {
 
+/// \brief Reusable buffers for the path-EM sampler. One per thread.
+///
+/// Every hot-path allocation of the sampler lands in one of these vectors
+/// and is amortised across calls: after the first few draws the per-draw
+/// path performs no heap allocation. Not thread-safe — each worker thread
+/// owns its own workspace (see BatchReleaseEngine).
+struct SamplerWorkspace {
+  /// Flattened backward-recursion table, (n−1) × num_nodes.
+  std::vector<double> beta;
+  /// Neighbour sums of the last slot's weight row (uncached fallback).
+  std::vector<double> suffix;
+  /// Per-step neighbour weights during forward sampling.
+  std::vector<double> local;
+  /// Per-slot weight-row pointers handed to the sampler.
+  std::vector<const double*> rows;
+  /// Row storage when the domain's cache is disabled.
+  std::vector<std::vector<double>> scratch;
+};
+
 /// Exact exponential-mechanism sampling of one walk from a directed graph
 /// with separable per-slot log-linear weights: Pr[path] ∝ Π_k
-/// weights[k][node_k] over all walks of length weights.size() whose steps
-/// follow `neighbors`. Backward weight recursion + forward sampling,
-/// O(n · (V + E)). Shared by the region-level NgramDomain and the
-/// POI-level baselines. Fails (FailedPrecondition) when no walk exists.
+/// weights[k][node_k] over all walks whose steps follow `neighbors`.
+/// Backward weight recursion + forward sampling, O(n · (V + E)).
+///
+/// This is the allocation-free core: `weight_rows` are borrowed pointers
+/// to rows of length `num_nodes`, all scratch lives in `ws`, and the
+/// neighbour functor is a template parameter (no std::function dispatch
+/// on the inner loops). `last_suffix`, when non-empty, must equal
+/// S[v] = Σ_{u∈adj(v)} weight_rows[n−1][u]; passing a precomputed row
+/// (NgramDomain caches them per (region, ε′)) removes the only O(E) pass
+/// a bigram draw would otherwise need.
+template <typename NeighborFn>
+Status SamplePathEmInto(size_t num_nodes, NeighborFn&& neighbors,
+                        std::span<const double* const> weight_rows,
+                        std::span<const double> last_suffix, Rng& rng,
+                        SamplerWorkspace& ws, std::vector<uint32_t>& out) {
+  const size_t n = weight_rows.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot sample an empty path");
+  }
+  if (num_nodes == 0) {
+    return Status::FailedPrecondition("graph is empty");
+  }
+  out.resize(n);
+
+  if (n == 1) {
+    const size_t pick =
+        rng.Discrete(std::span<const double>(weight_rows[0], num_nodes));
+    if (pick >= num_nodes) {
+      return Status::FailedPrecondition(
+          "the graph admits no feasible walk of length 1");
+    }
+    out[0] = static_cast<uint32_t>(pick);
+    return Status::Ok();
+  }
+
+  // Suffix sums of the final slot: S[v] = Σ_{u∈adj(v)} w_{n−1}[u].
+  const double* suffix = last_suffix.data();
+  if (last_suffix.empty()) {
+    ws.suffix.resize(num_nodes);
+    const double* w_last = weight_rows[n - 1];
+    for (uint32_t v = 0; v < num_nodes; ++v) {
+      double total = 0.0;
+      for (uint32_t u : neighbors(v)) total += w_last[u];
+      ws.suffix[v] = total;
+    }
+    suffix = ws.suffix.data();
+  }
+
+  // Backward recursion: beta[k][v] = w_k[v] · Σ_{u∈adj(v)} beta[k+1][u] is
+  // the total weight of all feasible suffixes starting at v in slot k.
+  // beta[n−1] is the last weight row itself and is never materialised;
+  // rows 0..n−2 live flattened in the workspace.
+  ws.beta.resize((n - 1) * num_nodes);
+  {
+    const double* w = weight_rows[n - 2];
+    double* row = ws.beta.data() + (n - 2) * num_nodes;
+    for (uint32_t v = 0; v < num_nodes; ++v) row[v] = w[v] * suffix[v];
+  }
+  for (size_t k = n - 2; k-- > 0;) {
+    const double* w = weight_rows[k];
+    const double* next = ws.beta.data() + (k + 1) * num_nodes;
+    double* row = ws.beta.data() + k * num_nodes;
+    for (uint32_t v = 0; v < num_nodes; ++v) {
+      double total = 0.0;
+      for (uint32_t u : neighbors(v)) total += next[u];
+      row[v] = w[v] * total;
+    }
+  }
+
+  // Forward sampling: first node ∝ beta[0]; each next node among the
+  // previous one's neighbours ∝ beta[k] (∝ w_{n−1} on the last step).
+  {
+    const size_t pick =
+        rng.Discrete(std::span<const double>(ws.beta.data(), num_nodes));
+    if (pick >= num_nodes) {
+      return Status::FailedPrecondition(
+          "the graph admits no feasible walk of length " + std::to_string(n));
+    }
+    out[0] = static_cast<uint32_t>(pick);
+  }
+  for (size_t k = 1; k < n; ++k) {
+    const auto adj = neighbors(out[k - 1]);
+    const double* scores = k + 1 < n ? ws.beta.data() + k * num_nodes
+                                     : weight_rows[n - 1];
+    ws.local.resize(adj.size());
+    for (size_t j = 0; j < adj.size(); ++j) ws.local[j] = scores[adj[j]];
+    const size_t pick =
+        rng.Discrete(std::span<const double>(ws.local.data(), adj.size()));
+    if (pick >= adj.size()) {
+      return Status::Internal("inconsistent backward weights in path EM");
+    }
+    out[k] = adj[pick];
+  }
+  return Status::Ok();
+}
+
+/// Convenience wrapper with the original signature: weights held as one
+/// vector per slot, result returned by value. Kept for the POI-level
+/// baselines and tests; the multi-user hot path uses SamplePathEmInto
+/// with a reusable workspace instead.
+template <typename NeighborFn>
 StatusOr<std::vector<uint32_t>> SamplePathEm(
-    size_t num_nodes,
-    const std::function<std::span<const uint32_t>(uint32_t)>& neighbors,
-    const std::vector<std::vector<double>>& weights, Rng& rng);
+    size_t num_nodes, NeighborFn&& neighbors,
+    const std::vector<std::vector<double>>& weights, Rng& rng) {
+  SamplerWorkspace ws;
+  ws.rows.reserve(weights.size());
+  for (const auto& row : weights) ws.rows.push_back(row.data());
+  std::vector<uint32_t> out;
+  const Status status = SamplePathEmInto(
+      num_nodes, std::forward<NeighborFn>(neighbors),
+      std::span<const double* const>(ws.rows.data(), ws.rows.size()),
+      std::span<const double>(), rng, ws, out);
+  if (!status.ok()) return status;
+  return out;
+}
 
 /// \brief The reachable n-gram set W_n in factored form, with exact
 /// exponential-mechanism sampling (§5.3–5.4).
@@ -47,8 +178,31 @@ StatusOr<std::vector<uint32_t>> SamplePathEm(
 /// the paper reports. The reproduction benches therefore run with
 /// sensitivity_override = 1 ("paper calibration"), while the library
 /// default stays strict; see DESIGN.md §"Sensitivity calibration".
+///
+/// ### Weight-row cache
+///
+/// The per-slot EM weight row exp(−ε′·d(x, ·)/2Δ) depends only on the
+/// true region x and the per-perturbation budget ε′ — NOT on which user,
+/// trajectory, or n-gram slot is being perturbed. Under a fixed collector
+/// policy (same ε, same n) a workload of millions of reports touches only
+/// |R| distinct rows, so the domain memoises rows — and the last-slot
+/// neighbour-sum rows the sampler needs — keyed by (region, scale). The
+/// caches are thread-safe (shared_mutex; rows are immutable once
+/// inserted) and shared by all threads of a BatchReleaseEngine. Cached
+/// and uncached sampling perform bit-identical arithmetic, so disabling
+/// the cache (set_cache_enabled(false)) changes nothing but speed.
 class NgramDomain {
  public:
+  /// Cache occupancy and hit counters (diagnostics and tests).
+  struct CacheStats {
+    size_t weight_rows = 0;
+    size_t suffix_rows = 0;
+    size_t weight_hits = 0;
+    size_t weight_misses = 0;
+    size_t suffix_hits = 0;
+    size_t suffix_misses = 0;
+  };
+
   /// `graph` and `distance` must outlive this object and refer to the
   /// same decomposition.
   NgramDomain(const region::RegionGraph* graph,
@@ -62,6 +216,14 @@ class NgramDomain {
       const std::vector<region::RegionId>& input, double epsilon,
       Rng& rng) const;
 
+  /// Allocation-free variant: scratch lives in `ws`, the sampled n-gram
+  /// is written into `out` (resized to input.size()). Safe to call
+  /// concurrently from multiple threads as long as each thread passes its
+  /// own workspace and Rng.
+  Status SampleInto(std::span<const region::RegionId> input, double epsilon,
+                    Rng& rng, SamplerWorkspace& ws,
+                    std::vector<region::RegionId>& out) const;
+
   /// Δd_w for n-grams of length n.
   double Sensitivity(int n) const;
 
@@ -72,13 +234,78 @@ class NgramDomain {
   /// n-gram w satisfies d_w(x, w) ≤ (2Δd_w / ε′)(ln|W_n| + ζ).
   double UtilityBound(int n, double epsilon, double zeta) const;
 
+  /// Enables/disables the weight-row caches (on by default). Sampling
+  /// draws are bit-identical either way; this only trades memory for
+  /// throughput. Not thread-safe against concurrent SampleInto calls.
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+  bool cache_enabled() const { return cache_enabled_; }
+
+  /// Drops every cached row (e.g. between benchmark repetitions). Not
+  /// thread-safe against concurrent SampleInto calls: samplers borrow
+  /// row pointers after releasing the cache lock, so clearing while a
+  /// draw is in flight would free memory still being read.
+  void ClearCache() const;
+
+  CacheStats cache_stats() const;
+
   const region::RegionGraph& graph() const { return *graph_; }
   const region::RegionDistance& distance() const { return *distance_; }
 
  private:
+  struct RowKey {
+    uint32_t region;
+    uint64_t scale_bits;
+    bool operator==(const RowKey&) const = default;
+  };
+  struct RowKeyHash {
+    size_t operator()(const RowKey& key) const {
+      uint64_t h = key.scale_bits * 0x9E3779B97F4A7C15ULL;
+      h ^= h >> 29;
+      h += static_cast<uint64_t>(key.region) * 0xBF58476D1CE4E5B9ULL;
+      h ^= h >> 32;
+      return static_cast<size_t>(h);
+    }
+  };
+  /// unique_ptr values keep row addresses stable across rehashes, so a
+  /// pointer handed out under the shared lock stays valid forever.
+  using RowCache =
+      std::unordered_map<RowKey, std::unique_ptr<std::vector<double>>,
+                         RowKeyHash>;
+
+  /// exp(−scale·d(r, ·)) over the cached float distance row.
+  void ComputeWeightRow(region::RegionId r, double scale,
+                        std::vector<double>& out) const;
+  /// S[v] = Σ_{u∈adj(v)} weight_row[u].
+  void ComputeSuffixRow(const std::vector<double>& weight_row,
+                        std::vector<double>& out) const;
+
+  /// Double-checked cache protocol shared by both row caches: shared-lock
+  /// lookup, compute outside any lock on miss, try_emplace under the
+  /// unique lock (a racing thread's identical row wins ties).
+  template <typename ComputeFn>
+  const std::vector<double>& LookupOrCompute(RowCache& cache,
+                                             const RowKey& key,
+                                             std::atomic<size_t>& hits,
+                                             std::atomic<size_t>& misses,
+                                             ComputeFn&& compute) const;
+
+  const std::vector<double>& CachedWeightRow(region::RegionId r,
+                                             double scale) const;
+  const std::vector<double>& CachedSuffixRow(region::RegionId r,
+                                             double scale) const;
+
   const region::RegionGraph* graph_;
   const region::RegionDistance* distance_;
   double sensitivity_override_;
+
+  bool cache_enabled_ = true;
+  mutable std::shared_mutex cache_mu_;
+  mutable RowCache weight_cache_;
+  mutable RowCache suffix_cache_;
+  mutable std::atomic<size_t> weight_hits_{0};
+  mutable std::atomic<size_t> weight_misses_{0};
+  mutable std::atomic<size_t> suffix_hits_{0};
+  mutable std::atomic<size_t> suffix_misses_{0};
 };
 
 }  // namespace trajldp::core

@@ -22,6 +22,13 @@ double NgramPerturber::EpsilonPerPerturbation(size_t len) const {
 StatusOr<PerturbedNgramSet> NgramPerturber::Perturb(
     const region::RegionTrajectory& tau, Rng& rng,
     ldp::PrivacyBudget* budget) const {
+  SamplerWorkspace ws;
+  return Perturb(tau, rng, ws, budget);
+}
+
+StatusOr<PerturbedNgramSet> NgramPerturber::Perturb(
+    const region::RegionTrajectory& tau, Rng& rng, SamplerWorkspace& ws,
+    ldp::PrivacyBudget* budget) const {
   if (tau.empty()) {
     return Status::InvalidArgument("cannot perturb an empty trajectory");
   }
@@ -41,6 +48,16 @@ StatusOr<PerturbedNgramSet> NgramPerturber::Perturb(
     return Status::Ok();
   };
 
+  // Samples the fragment tau[a..b] (1-based inclusive) straight from the
+  // trajectory storage — no per-n-gram input copy.
+  auto sample = [&](size_t a, size_t b) -> StatusOr<std::vector<RegionId>> {
+    const std::span<const RegionId> input(tau.data() + (a - 1), b - a + 1);
+    std::vector<RegionId> out;
+    TRAJLDP_RETURN_NOT_OK(
+        domain_->SampleInto(input, eps_prime, rng, ws, out));
+    return out;
+  };
+
   PerturbedNgramSet z;
   z.reserve(len + n - 1);
 
@@ -48,9 +65,7 @@ StatusOr<PerturbedNgramSet> NgramPerturber::Perturb(
   for (size_t a = 1; a + n - 1 <= len; ++a) {
     const size_t b = a + n - 1;
     TRAJLDP_RETURN_NOT_OK(charge());
-    std::vector<RegionId> input(tau.begin() + static_cast<ptrdiff_t>(a - 1),
-                                tau.begin() + static_cast<ptrdiff_t>(b));
-    auto sampled = domain_->Sample(input, eps_prime, rng);
+    auto sampled = sample(a, b);
     if (!sampled.ok()) return sampled.status();
     z.push_back(PerturbedNgram{a, b, std::move(*sampled)});
   }
@@ -60,18 +75,14 @@ StatusOr<PerturbedNgramSet> NgramPerturber::Perturb(
   for (size_t m = 1; m < n; ++m) {
     {
       TRAJLDP_RETURN_NOT_OK(charge());
-      std::vector<RegionId> input(tau.begin(),
-                                  tau.begin() + static_cast<ptrdiff_t>(m));
-      auto sampled = domain_->Sample(input, eps_prime, rng);
+      auto sampled = sample(1, m);
       if (!sampled.ok()) return sampled.status();
       z.push_back(PerturbedNgram{1, m, std::move(*sampled)});
     }
     {
       const size_t a = len - m + 1;
       TRAJLDP_RETURN_NOT_OK(charge());
-      std::vector<RegionId> input(tau.begin() + static_cast<ptrdiff_t>(a - 1),
-                                  tau.end());
-      auto sampled = domain_->Sample(input, eps_prime, rng);
+      auto sampled = sample(a, len);
       if (!sampled.ok()) return sampled.status();
       z.push_back(PerturbedNgram{a, len, std::move(*sampled)});
     }

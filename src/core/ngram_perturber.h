@@ -49,6 +49,14 @@ class NgramPerturber {
                                       Rng& rng,
                                       ldp::PrivacyBudget* budget = nullptr) const;
 
+  /// Hot-path variant: all sampler scratch lives in `ws`, so repeated
+  /// calls (one per user of a batch) allocate only the output set. Draws
+  /// are bit-identical to the workspace-free overload for the same Rng
+  /// state. Thread-safe given one workspace and Rng per thread.
+  StatusOr<PerturbedNgramSet> Perturb(const region::RegionTrajectory& tau,
+                                      Rng& rng, SamplerWorkspace& ws,
+                                      ldp::PrivacyBudget* budget = nullptr) const;
+
  private:
   const NgramDomain* domain_;
   Config config_;

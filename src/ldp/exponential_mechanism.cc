@@ -27,23 +27,6 @@ StatusOr<size_t> ExponentialMechanism::Sample(
       qualities.size(), [&](size_t i) { return qualities[i]; }, rng);
 }
 
-StatusOr<size_t> ExponentialMechanism::SampleStreaming(
-    size_t n, const std::function<double(size_t)>& quality, Rng& rng) const {
-  if (n == 0) {
-    return Status::InvalidArgument("EM candidate set is empty");
-  }
-  size_t best = 0;
-  double best_key = -std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < n; ++i) {
-    const double key = LogWeight(quality(i)) + rng.Gumbel();
-    if (key > best_key) {
-      best_key = key;
-      best = i;
-    }
-  }
-  return best;
-}
-
 std::vector<double> ExponentialMechanism::Probabilities(
     const std::vector<double>& qualities) const {
   std::vector<double> logits(qualities.size());

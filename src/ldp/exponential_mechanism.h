@@ -2,7 +2,7 @@
 #define TRAJLDP_LDP_EXPONENTIAL_MECHANISM_H_
 
 #include <cstddef>
-#include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -44,10 +44,26 @@ class ExponentialMechanism {
 
   /// Streaming variant: candidates are produced by `quality(i)` for
   /// i ∈ [0, n). Avoids materialising the quality vector for very large
-  /// domains (e.g. the global mechanism's trajectory space).
-  StatusOr<size_t> SampleStreaming(size_t n,
-                                   const std::function<double(size_t)>& quality,
-                                   Rng& rng) const;
+  /// domains (e.g. the global mechanism's trajectory space). Templated on
+  /// the functor so the per-candidate call inlines — no std::function
+  /// dispatch inside the Gumbel-max loop.
+  template <typename QualityFn>
+  StatusOr<size_t> SampleStreaming(size_t n, QualityFn&& quality,
+                                   Rng& rng) const {
+    if (n == 0) {
+      return Status::InvalidArgument("EM candidate set is empty");
+    }
+    size_t best = 0;
+    double best_key = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      const double key = LogWeight(quality(i)) + rng.Gumbel();
+      if (key > best_key) {
+        best_key = key;
+        best = i;
+      }
+    }
+    return best;
+  }
 
   /// Exact selection probabilities for the candidate set — used by tests
   /// to verify the ε-LDP ratio bound, and by the theoretical utility

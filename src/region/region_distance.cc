@@ -20,6 +20,19 @@ RegionDistance::RegionDistance(const StcDecomposition* decomp,
   const double t = weights_.temporal * dt_max;
   const double c = weights_.category * dc_max;
   max_distance_ = std::sqrt(s * s + t * t + c * c);
+
+  // Dense pairwise table, exploiting symmetry during construction.
+  num_regions_ = decomp->num_regions();
+  matrix_.resize(num_regions_ * num_regions_);
+  for (RegionId a = 0; a < num_regions_; ++a) {
+    matrix_[static_cast<size_t>(a) * num_regions_ + a] =
+        static_cast<float>(Between(a, a));
+    for (RegionId b = 0; b < a; ++b) {
+      const float d = static_cast<float>(Between(a, b));
+      matrix_[static_cast<size_t>(a) * num_regions_ + b] = d;
+      matrix_[static_cast<size_t>(b) * num_regions_ + a] = d;
+    }
+  }
 }
 
 double RegionDistance::SpatialKm(RegionId a, RegionId b) const {
@@ -43,14 +56,6 @@ double RegionDistance::Between(RegionId a, RegionId b) const {
   const double t = weights_.temporal * TimeHours(a, b);
   const double c = weights_.category * Category(a, b);
   return std::sqrt(s * s + t * t + c * c);
-}
-
-std::vector<double> RegionDistance::ToAll(RegionId from) const {
-  std::vector<double> out(decomp_->num_regions());
-  for (RegionId r = 0; r < out.size(); ++r) {
-    out[r] = Between(from, r);
-  }
-  return out;
 }
 
 }  // namespace trajldp::region

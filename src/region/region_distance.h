@@ -1,6 +1,7 @@
 #ifndef TRAJLDP_REGION_REGION_DISTANCE_H_
 #define TRAJLDP_REGION_REGION_DISTANCE_H_
 
+#include <span>
 #include <vector>
 
 #include "region/decomposition.h"
@@ -19,6 +20,13 @@ namespace trajldp::region {
 /// The mechanism is not tied to this function (§5.10); the weights allow
 /// ablations, and PhysDist-style "physical only" distances are obtained by
 /// zeroing the time and category weights.
+///
+/// Construction precomputes the full symmetric R × R distance matrix once
+/// (O(R²) time, 4·R² bytes as floats). Region distances are public data —
+/// they depend only on the decomposition, never on user trajectories — so
+/// one table serves every user, n-gram slot, and thread. ToAll() then is a
+/// constant-time row view instead of an O(R) haversine + category-tree
+/// sweep, which is what the perturber hits once per n-gram slot per user.
 class RegionDistance {
  public:
   /// Per-dimension multipliers applied inside the combination (eq. 15
@@ -51,9 +59,15 @@ class RegionDistance {
   /// between any two outputs for a fixed input is at most this value.
   double MaxDistance() const { return max_distance_; }
 
-  /// Distances from `from` to every region, as one dense vector. This is
-  /// the hot path of the perturber (one call per n-gram slot).
-  std::vector<double> ToAll(RegionId from) const;
+  /// Distances from `from` to every region: a view of one precomputed
+  /// matrix row, valid for the lifetime of this object. This is the hot
+  /// path of the perturber (one call per n-gram slot). Entries are the
+  /// float-rounded values of Between(); Between() itself stays exact
+  /// double for callers that need full precision.
+  std::span<const float> ToAll(RegionId from) const {
+    return {matrix_.data() + static_cast<size_t>(from) * num_regions_,
+            num_regions_};
+  }
 
   const StcDecomposition& decomposition() const { return *decomp_; }
   const Weights& weights() const { return weights_; }
@@ -62,6 +76,9 @@ class RegionDistance {
   const StcDecomposition* decomp_;
   Weights weights_;
   double max_distance_;
+  size_t num_regions_ = 0;
+  /// Row-major symmetric R × R matrix of Between() values.
+  std::vector<float> matrix_;
 };
 
 }  // namespace trajldp::region

@@ -165,6 +165,78 @@ TEST_F(NgramFixture, SamplerMatchesExplicitEmOverW2) {
   EXPECT_LT(tv / 2.0, 0.035);
 }
 
+// ---------- Weight-row cache ----------
+
+// The cache is a pure memoisation: with the same seed, cached and
+// uncached sampling must produce the exact same draw sequence, across
+// n-gram lengths and ε′ values.
+TEST_F(NgramFixture, CachedAndUncachedDrawsIdentical) {
+  NgramDomain uncached(graph_.get(), distance_.get());
+  uncached.set_cache_enabled(false);
+  ASSERT_TRUE(domain_->cache_enabled());
+  ASSERT_FALSE(uncached.cache_enabled());
+
+  const region::RegionId r0 = *decomp_->Lookup(0, 54);
+  const region::RegionId r1 = *decomp_->Lookup(1, 60);
+  const region::RegionId r2 = *decomp_->Lookup(2, 66);
+  const std::vector<std::vector<region::RegionId>> inputs = {
+      {r0}, {r0, r1}, {r1, r0}, {r0, r1, r2}};
+
+  Rng rng_cached(123), rng_uncached(123);
+  for (const double epsilon : {0.3, 1.0, 4.0}) {
+    for (const auto& input : inputs) {
+      for (int trial = 0; trial < 20; ++trial) {
+        auto a = domain_->Sample(input, epsilon, rng_cached);
+        auto b = uncached.Sample(input, epsilon, rng_uncached);
+        ASSERT_TRUE(a.ok());
+        ASSERT_TRUE(b.ok());
+        EXPECT_EQ(*a, *b) << "epsilon " << epsilon;
+      }
+    }
+  }
+  // The cached domain actually hit its cache; the uncached one stayed
+  // empty.
+  EXPECT_GT(domain_->cache_stats().weight_hits, 0u);
+  EXPECT_EQ(uncached.cache_stats().weight_rows, 0u);
+  EXPECT_EQ(uncached.cache_stats().weight_hits, 0u);
+}
+
+TEST_F(NgramFixture, CacheRespectsDistinctEpsilonKeys) {
+  NgramDomain domain(graph_.get(), distance_.get());
+  const region::RegionId r0 = *decomp_->Lookup(0, 54);
+  const region::RegionId r1 = *decomp_->Lookup(1, 60);
+  ASSERT_NE(r0, r1);  // the row-count expectations below assume this
+
+  Rng rng(11);
+  ASSERT_TRUE(domain.Sample({r0, r1}, 1.0, rng).ok());
+  const auto first = domain.cache_stats();
+  // One weight row per distinct true region, one suffix row for the last
+  // slot's region.
+  EXPECT_EQ(first.weight_rows, 2u);
+  EXPECT_EQ(first.suffix_rows, 1u);
+  EXPECT_EQ(first.weight_misses, 2u);
+
+  // Same ε′ again: pure hits, no new rows.
+  ASSERT_TRUE(domain.Sample({r0, r1}, 1.0, rng).ok());
+  const auto second = domain.cache_stats();
+  EXPECT_EQ(second.weight_rows, 2u);
+  EXPECT_EQ(second.suffix_rows, 1u);
+  EXPECT_EQ(second.weight_misses, 2u);
+  EXPECT_GE(second.weight_hits, first.weight_hits + 2);
+
+  // Different ε′: same regions, but distinct cache keys → new rows.
+  ASSERT_TRUE(domain.Sample({r0, r1}, 2.0, rng).ok());
+  const auto third = domain.cache_stats();
+  EXPECT_EQ(third.weight_rows, 4u);
+  EXPECT_EQ(third.suffix_rows, 2u);
+  EXPECT_EQ(third.weight_misses, 4u);
+
+  domain.ClearCache();
+  const auto cleared = domain.cache_stats();
+  EXPECT_EQ(cleared.weight_rows, 0u);
+  EXPECT_EQ(cleared.suffix_rows, 0u);
+}
+
 TEST_F(NgramFixture, SensitivityScalesWithN) {
   EXPECT_DOUBLE_EQ(domain_->Sensitivity(2),
                    2.0 * distance_->MaxDistance());
