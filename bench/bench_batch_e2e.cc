@@ -1,0 +1,309 @@
+// End-to-end batched pipeline benchmark (ISSUE 2 acceptance criteria):
+// on a ~200-region / n = 2 / multi-user workload at fixed ε, run the full
+// collector pipeline — perturb → R_mbr candidates → optimal region-level
+// reconstruction → POI-level resampling — four ways and compare:
+//
+//  1. seed path   — faithful replica of the pre-optimisation per-user
+//     loop: uncached perturbation (O(R) distance + exp() rows per draw),
+//     node-error tables filled with per-pair haversine + category walks,
+//     per-call solver allocations (see seed_replica.h);
+//  2. sequential  — today's per-user loop (cached rows + float-table
+//     gather), no workspaces: the engine's documented replay recipe;
+//  3. engine, 1 thread — BatchReleaseEngine::ReleaseAllFull with
+//     per-worker PipelineWorkspaces;
+//  4. engine, all hardware threads.
+//
+// The engine output must be bit-identical to (2) at every thread count,
+// and the batched engine must beat the seed sequential loop by ≥ 4×
+// end-to-end (on a 1-core host that speedup must come entirely from the
+// cache/workspace path; thread scaling is reported separately).
+//
+//   ./build/bench_batch_e2e [--json PATH] [--users N]
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/batch_release_engine.h"
+#include "core/mechanism.h"
+#include "model/reachability.h"
+#include "region/region_index.h"
+#include "seed_replica.h"
+#include "test_support.h"
+
+namespace trajldp {
+namespace {
+
+using region::RegionId;
+
+bool Identical(const std::vector<core::FullRelease>& a,
+               const std::vector<core::FullRelease>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].regions != b[i].regions ||
+        !(a[i].trajectory == b[i].trajectory) ||
+        a[i].poi_attempts != b[i].poi_attempts ||
+        a[i].smoothed != b[i].smoothed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(size_t num_users, const std::string& json_path) {
+  constexpr int kN = 2;
+  constexpr double kEpsilon = 5.0;
+  constexpr size_t kTrajectoryLen = 5;
+  constexpr uint64_t kSeed = 20260729;
+
+  // Same ~200-region world as bench_batch_release: 2000 always-open
+  // lattice POIs, 5×5 spatial grid, one whole-day interval → 225
+  // (cell, interval, category) regions.
+  auto db = bench::MakeLatticeDb(2000);
+  if (!db.ok()) {
+    std::cerr << db.status() << "\n";
+    return 1;
+  }
+  const auto time = *model::TimeDomain::Create(10);
+  core::NGramConfig config;
+  config.n = kN;
+  config.epsilon = kEpsilon;
+  config.decomposition.grid_size = 5;
+  config.decomposition.coarse_grids = {1};
+  config.decomposition.base_interval_minutes = 1440;
+  config.decomposition.merge.kappa = 1;
+  // Same collector policy as bench_batch_release: 4 km reachability →
+  // per-cell cliques, the regime the paper's city decompositions sit in.
+  config.reachability.speed_kmh = 8.0;
+  config.reachability.reference_gap_minutes = 30;
+  auto mech = core::NGramMechanism::Build(&*db, time, config);
+  if (!mech.ok()) {
+    std::cerr << mech.status() << "\n";
+    return 1;
+  }
+
+  const auto& decomp = mech->decomposition();
+  const auto& graph = mech->graph();
+  const auto& distance = mech->distance();
+  const size_t num_regions = decomp.num_regions();
+  std::cout << "world: " << num_regions << " regions, " << graph.num_edges()
+            << " edges, " << num_users << " users, n=" << kN
+            << ", epsilon=" << kEpsilon << ", L=" << kTrajectoryLen << "\n";
+
+  std::vector<region::RegionTrajectory> users(num_users);
+  {
+    Rng rng(4242);
+    for (auto& tau : users) {
+      for (size_t i = 0; i < kTrajectoryLen; ++i) {
+        tau.push_back(static_cast<RegionId>(rng.UniformUint64(num_regions)));
+      }
+    }
+  }
+  const Rng root(kSeed);
+
+  // --- 1. Seed per-user e2e path (sequential). ----------------------
+  const model::Reachability seed_reach(&*db, time, config.reachability);
+  const bench::SeedPoiReconstructor seed_poi(&decomp, &seed_reach,
+                                             config.poi.gamma);
+  double seed_seconds = 0.0;
+  {
+    Stopwatch watch;
+    for (size_t i = 0; i < users.size(); ++i) {
+      Rng user_rng = root.Substream(i);
+      auto z = bench::SeedPerturb(graph, distance, users[i], kN, kEpsilon,
+                                  user_rng);
+      if (!z.ok()) {
+        std::cerr << "seed perturb: " << z.status() << "\n";
+        return 1;
+      }
+      std::vector<RegionId> observed;
+      for (const core::PerturbedNgram& gram : *z) {
+        observed.insert(observed.end(), gram.regions.begin(),
+                        gram.regions.end());
+      }
+      std::sort(observed.begin(), observed.end());
+      observed.erase(std::unique(observed.begin(), observed.end()),
+                     observed.end());
+      auto problem = bench::SeedBuildProblem(
+          distance, users[i].size(), *z,
+          region::MbrCandidateRegions(decomp, observed));
+      auto regions = bench::SeedViterbi(graph, problem);
+      if (!regions.ok() &&
+          regions.status().code() == StatusCode::kFailedPrecondition) {
+        std::vector<RegionId> all(num_regions);
+        for (size_t r = 0; r < all.size(); ++r) {
+          all[r] = static_cast<RegionId>(r);
+        }
+        auto full = bench::SeedBuildProblem(distance, users[i].size(), *z,
+                                            std::move(all));
+        regions = bench::SeedViterbi(graph, full);
+      }
+      if (!regions.ok()) {
+        std::cerr << "seed reconstruct: " << regions.status() << "\n";
+        return 1;
+      }
+      auto poi = seed_poi.Reconstruct(*regions, user_rng);
+      if (!poi.ok()) {
+        std::cerr << "seed poi: " << poi.status() << "\n";
+        return 1;
+      }
+    }
+    seed_seconds = watch.ElapsedSeconds();
+  }
+
+  // --- 2. Today's sequential loop (reference output). ----------------
+  std::vector<core::FullRelease> sequential;
+  sequential.reserve(users.size());
+  core::StageBreakdown stages;
+  double sequential_seconds = 0.0;
+  {
+    mech->domain().ClearCache();
+    Stopwatch watch;
+    for (size_t i = 0; i < users.size(); ++i) {
+      Rng user_rng = root.Substream(i);
+      auto release =
+          mech->ReleaseFromRegions(users[i], user_rng, nullptr, &stages);
+      if (!release.ok()) {
+        std::cerr << "sequential: " << release.status() << "\n";
+        return 1;
+      }
+      sequential.push_back(std::move(*release));
+    }
+    sequential_seconds = watch.ElapsedSeconds();
+  }
+
+  // --- 3./4. Batched engine, 1 thread and all hardware threads. ------
+  auto run_engine = [&](size_t threads, double& seconds)
+      -> StatusOr<std::vector<core::FullRelease>> {
+    core::BatchReleaseEngine engine(&*mech,
+                                    core::BatchReleaseEngine::Config{threads});
+    mech->domain().ClearCache();
+    Stopwatch watch;
+    auto result = engine.ReleaseAllFull(users, kSeed);
+    seconds = watch.ElapsedSeconds();
+    return result;
+  };
+
+  double engine1_seconds = 0.0;
+  auto engine1 = run_engine(1, engine1_seconds);
+  if (!engine1.ok()) {
+    std::cerr << "engine(1): " << engine1.status() << "\n";
+    return 1;
+  }
+  const size_t hw_threads = ThreadPool::DefaultThreadCount();
+  double engine_hw_seconds = 0.0;
+  auto engine_hw = run_engine(hw_threads, engine_hw_seconds);
+  if (!engine_hw.ok()) {
+    std::cerr << "engine(" << hw_threads << "): " << engine_hw.status()
+              << "\n";
+    return 1;
+  }
+
+  const bool identical =
+      Identical(*engine1, sequential) && Identical(*engine_hw, sequential);
+  const double speedup_vs_seed = seed_seconds / engine_hw_seconds;
+  const double speedup_1t_vs_seed = seed_seconds / engine1_seconds;
+  const double scaling = engine1_seconds / engine_hw_seconds;
+  const auto users_per_sec = [&](double seconds) {
+    return static_cast<double>(num_users) / seconds;
+  };
+
+  std::cout << "seed e2e path:        " << seed_seconds << " s  ("
+            << users_per_sec(seed_seconds) << " users/s)\n"
+            << "cached sequential:    " << sequential_seconds << " s  ("
+            << users_per_sec(sequential_seconds) << " users/s)\n"
+            << "engine, 1 thread:     " << engine1_seconds << " s  ("
+            << users_per_sec(engine1_seconds) << " users/s)\n"
+            << "engine, " << hw_threads << " thread(s):  " << engine_hw_seconds
+            << " s  (" << users_per_sec(engine_hw_seconds) << " users/s)\n"
+            << "sequential stage split: perturb " << stages.perturb_seconds
+            << " s, prep " << stages.reconstruct_prep_seconds
+            << " s, optimal " << stages.optimal_reconstruct_seconds
+            << " s, other " << stages.other_seconds << " s\n"
+            << "e2e speedup vs seed loop (engine@" << hw_threads
+            << "t): " << speedup_vs_seed << "x"
+            << (speedup_vs_seed >= 4.0 ? "  (PASS >=4x)" : "  (FAIL <4x)")
+            << "\n"
+            << "e2e speedup vs seed loop (engine@1t): " << speedup_1t_vs_seed
+            << "x\n"
+            << "thread scaling (1t/" << hw_threads << "t): " << scaling
+            << "x\n"
+            << "batched == sequential (bit-identical): "
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot open " << json_path << " for writing\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"batch_e2e\",\n"
+        << "  \"num_users\": " << num_users << ",\n"
+        << "  \"num_regions\": " << num_regions << ",\n"
+        << "  \"num_edges\": " << graph.num_edges() << ",\n"
+        << "  \"ngram_n\": " << kN << ",\n"
+        << "  \"epsilon\": " << kEpsilon << ",\n"
+        << "  \"trajectory_len\": " << kTrajectoryLen << ",\n"
+        << "  \"hw_threads\": " << hw_threads << ",\n"
+        << "  \"seed_path_seconds\": " << seed_seconds << ",\n"
+        << "  \"seed_path_users_per_sec\": " << users_per_sec(seed_seconds)
+        << ",\n"
+        << "  \"sequential_seconds\": " << sequential_seconds << ",\n"
+        << "  \"sequential_users_per_sec\": "
+        << users_per_sec(sequential_seconds) << ",\n"
+        << "  \"sequential_perturb_seconds\": " << stages.perturb_seconds
+        << ",\n"
+        << "  \"sequential_prep_seconds\": "
+        << stages.reconstruct_prep_seconds << ",\n"
+        << "  \"sequential_reconstruct_seconds\": "
+        << stages.optimal_reconstruct_seconds << ",\n"
+        << "  \"sequential_other_seconds\": " << stages.other_seconds
+        << ",\n"
+        << "  \"engine_1t_seconds\": " << engine1_seconds << ",\n"
+        << "  \"engine_1t_users_per_sec\": " << users_per_sec(engine1_seconds)
+        << ",\n"
+        << "  \"engine_hw_seconds\": " << engine_hw_seconds << ",\n"
+        << "  \"engine_hw_users_per_sec\": "
+        << users_per_sec(engine_hw_seconds) << ",\n"
+        << "  \"speedup_vs_seed_loop\": " << speedup_vs_seed << ",\n"
+        << "  \"speedup_1t_vs_seed_loop\": " << speedup_1t_vs_seed << ",\n"
+        << "  \"thread_scaling\": " << scaling << ",\n"
+        << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+        << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  if (!identical) return 2;
+  return speedup_vs_seed >= 4.0 ? 0 : 3;
+}
+
+}  // namespace
+}  // namespace trajldp
+
+int main(int argc, char** argv) {
+  // Env default first; an explicit --users flag wins over it.
+  size_t num_users = 5000;
+  if (const char* env = std::getenv("TRAJLDP_BENCH_E2E_USERS")) {
+    num_users = static_cast<size_t>(std::atoll(env));
+  }
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
+      num_users = static_cast<size_t>(std::atoll(argv[++i]));
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json PATH] [--users N]\n";
+      return 1;
+    }
+  }
+  return trajldp::Run(num_users, json_path);
+}

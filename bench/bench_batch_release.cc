@@ -15,7 +15,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -28,121 +27,16 @@
 #include "region/decomposition.h"
 #include "region/region_distance.h"
 #include "region/region_graph.h"
+#include "seed_replica.h"
 #include "test_support.h"
 
 namespace trajldp {
 namespace {
 
+using bench::SeedPerturb;
 using core::PerturbedNgram;
 using core::PerturbedNgramSet;
 using region::RegionId;
-
-// --------------------------------------------------------------- seed path
-
-// Replica of the seed SamplePathEm: per-call vector-of-vectors beta
-// tables and std::function neighbour dispatch.
-StatusOr<std::vector<uint32_t>> SeedSamplePathEm(
-    size_t num_nodes,
-    const std::function<std::span<const uint32_t>(uint32_t)>& neighbors,
-    const std::vector<std::vector<double>>& weights, Rng& rng) {
-  const size_t n = weights.size();
-  std::vector<std::vector<double>> beta(n);
-  beta[n - 1] = weights[n - 1];
-  for (size_t k = n - 1; k-- > 0;) {
-    beta[k].assign(num_nodes, 0.0);
-    for (uint32_t v = 0; v < num_nodes; ++v) {
-      double suffix = 0.0;
-      for (uint32_t u : neighbors(v)) suffix += beta[k + 1][u];
-      beta[k][v] = weights[k][v] * suffix;
-    }
-  }
-  std::vector<uint32_t> out(n);
-  {
-    const size_t pick = rng.Discrete(beta[0]);
-    if (pick >= num_nodes) {
-      return Status::FailedPrecondition("no feasible walk");
-    }
-    out[0] = static_cast<uint32_t>(pick);
-  }
-  for (size_t k = 1; k < n; ++k) {
-    const auto adj = neighbors(out[k - 1]);
-    std::vector<double> local(adj.size());
-    for (size_t j = 0; j < adj.size(); ++j) local[j] = beta[k][adj[j]];
-    const size_t pick = rng.Discrete(local);
-    if (pick >= adj.size()) {
-      return Status::Internal("inconsistent backward weights");
-    }
-    out[k] = adj[pick];
-  }
-  return out;
-}
-
-// Replica of the seed NgramDomain::Sample: recomputes the full distance
-// row (haversine + category walk per region pair) and the exp() weight
-// row for every n-gram slot of every draw.
-StatusOr<std::vector<RegionId>> SeedSample(
-    const region::RegionGraph& graph, const region::RegionDistance& distance,
-    const std::vector<RegionId>& input, double epsilon, Rng& rng) {
-  const int n = static_cast<int>(input.size());
-  const size_t num_regions = graph.num_regions();
-  const double sensitivity = static_cast<double>(n) * distance.MaxDistance();
-  const double scale = epsilon / (2.0 * sensitivity);
-  std::vector<std::vector<double>> weight(n);
-  for (int k = 0; k < n; ++k) {
-    std::vector<double> d(num_regions);
-    for (RegionId r = 0; r < num_regions; ++r) {
-      d[r] = distance.Between(input[k], r);
-    }
-    weight[k].resize(num_regions);
-    for (size_t r = 0; r < num_regions; ++r) {
-      weight[k][r] = std::exp(-scale * d[r]);
-    }
-  }
-  auto result = SeedSamplePathEm(
-      num_regions, [&graph](uint32_t v) { return graph.Neighbors(v); },
-      weight, rng);
-  if (!result.ok()) return result.status();
-  return std::vector<RegionId>(result->begin(), result->end());
-}
-
-// Replica of the seed NgramPerturber::Perturb (per-n-gram input copies).
-StatusOr<PerturbedNgramSet> SeedPerturb(const region::RegionGraph& graph,
-                                        const region::RegionDistance& distance,
-                                        const region::RegionTrajectory& tau,
-                                        int config_n, double epsilon,
-                                        Rng& rng) {
-  const size_t len = tau.size();
-  const size_t n = std::min<size_t>(static_cast<size_t>(config_n), len);
-  const double eps_prime = epsilon / static_cast<double>(len + n - 1);
-  PerturbedNgramSet z;
-  z.reserve(len + n - 1);
-  for (size_t a = 1; a + n - 1 <= len; ++a) {
-    const size_t b = a + n - 1;
-    std::vector<RegionId> input(tau.begin() + static_cast<ptrdiff_t>(a - 1),
-                                tau.begin() + static_cast<ptrdiff_t>(b));
-    auto sampled = SeedSample(graph, distance, input, eps_prime, rng);
-    if (!sampled.ok()) return sampled.status();
-    z.push_back(PerturbedNgram{a, b, std::move(*sampled)});
-  }
-  for (size_t m = 1; m < n; ++m) {
-    {
-      std::vector<RegionId> input(tau.begin(),
-                                  tau.begin() + static_cast<ptrdiff_t>(m));
-      auto sampled = SeedSample(graph, distance, input, eps_prime, rng);
-      if (!sampled.ok()) return sampled.status();
-      z.push_back(PerturbedNgram{1, m, std::move(*sampled)});
-    }
-    {
-      const size_t a = len - m + 1;
-      std::vector<RegionId> input(tau.begin() + static_cast<ptrdiff_t>(a - 1),
-                                  tau.end());
-      auto sampled = SeedSample(graph, distance, input, eps_prime, rng);
-      if (!sampled.ok()) return sampled.status();
-      z.push_back(PerturbedNgram{a, len, std::move(*sampled)});
-    }
-  }
-  return z;
-}
 
 // ---------------------------------------------------------------- harness
 

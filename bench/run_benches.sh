@@ -6,15 +6,21 @@
 #   bench/run_benches.sh [output-dir]
 #
 # Outputs (in output-dir, default the repo root):
-#   BENCH_batch.json — batched engine: users/s, per-ngram latency,
-#                      single-thread speedup vs the seed path, thread
-#                      scaling, and the bit-identical determinism check.
+#   BENCH_batch.json — batched perturbation engine: users/s, per-ngram
+#                      latency, single-thread speedup vs the seed path,
+#                      thread scaling, and the bit-identical check.
+#   BENCH_e2e.json   — end-to-end batched pipeline (perturb → candidates
+#                      → optimal reconstruction → POI resampling):
+#                      users/s per path, Table-3-style stage split,
+#                      speedup vs the seed sequential loop, thread
+#                      scaling, and the bit-identical check.
 #   BENCH_micro.json — google-benchmark JSON for the hot kernels
 #                      (haversine, Gumbel, EM select, path sampler).
 #
 # Env:
-#   BUILD_DIR            build tree (default: build)
-#   TRAJLDP_BENCH_USERS  batch-bench user count (default: 10000)
+#   BUILD_DIR                build tree (default: build)
+#   TRAJLDP_BENCH_USERS      batch-bench user count (default: 10000)
+#   TRAJLDP_BENCH_E2E_USERS  e2e-bench user count (default: 5000)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -25,10 +31,14 @@ mkdir -p "$out_dir"
 if [[ ! -d "$build_dir" ]]; then
   cmake -B "$build_dir" -S "$repo_root"
 fi
-cmake --build "$build_dir" --target bench_batch_release bench_micro_kernels
+cmake --build "$build_dir" --target bench_batch_release bench_batch_e2e \
+  bench_micro_kernels
 
 echo "=== bench_batch_release ==="
 "$build_dir/bench_batch_release" --json "$out_dir/BENCH_batch.json"
+
+echo "=== bench_batch_e2e ==="
+"$build_dir/bench_batch_e2e" --json "$out_dir/BENCH_e2e.json"
 
 echo "=== bench_micro_kernels ==="
 "$build_dir/bench_micro_kernels" \
@@ -36,4 +46,4 @@ echo "=== bench_micro_kernels ==="
   --benchmark_out="$out_dir/BENCH_micro.json" \
   --benchmark_out_format=json
 
-echo "wrote $out_dir/BENCH_batch.json and $out_dir/BENCH_micro.json"
+echo "wrote $out_dir/BENCH_batch.json, $out_dir/BENCH_e2e.json, and $out_dir/BENCH_micro.json"

@@ -7,8 +7,19 @@
 
 namespace trajldp::core {
 
-StatusOr<region::RegionTrajectory> LpReconstructor::Reconstruct(
-    const ReconstructionProblem& problem) const {
+std::unique_ptr<Reconstructor::Workspace> LpReconstructor::NewWorkspace()
+    const {
+  return std::make_unique<LpReconstructorWorkspace>();
+}
+
+Status LpReconstructor::ReconstructInto(const ReconstructionProblem& problem,
+                                        Workspace& ws,
+                                        region::RegionTrajectory& out) const {
+  auto* w = dynamic_cast<LpReconstructorWorkspace*>(&ws);
+  if (w == nullptr) {
+    return Status::InvalidArgument(
+        "workspace was not created by LpReconstructor::NewWorkspace");
+  }
   const size_t len = problem.traj_len();
   const auto& candidates = problem.candidates();
   const size_t num_cand = candidates.size();
@@ -18,11 +29,13 @@ StatusOr<region::RegionTrajectory> LpReconstructor::Reconstruct(
     for (size_t c = 1; c < num_cand; ++c) {
       if (problem.NodeError(0, c) < problem.NodeError(0, best)) best = c;
     }
-    return region::RegionTrajectory{candidates[best]};
+    out.assign(1, candidates[best]);
+    return Status::Ok();
   }
 
   // Enumerate feasible candidate bigrams (the W² restriction of x_i^w).
-  std::vector<std::pair<size_t, size_t>> bigrams;
+  std::vector<std::pair<size_t, size_t>>& bigrams = w->bigrams;
+  bigrams.clear();
   for (size_t c1 = 0; c1 < num_cand; ++c1) {
     for (size_t c2 = 0; c2 < num_cand; ++c2) {
       if (problem.Feasible(c1, c2)) bigrams.emplace_back(c1, c2);
@@ -35,7 +48,8 @@ StatusOr<region::RegionTrajectory> LpReconstructor::Reconstruct(
   const size_t num_bigrams = bigrams.size();
   const size_t layers = len - 1;
 
-  lp::LpProblem lp;
+  lp::LpProblem& lp = w->lp;
+  lp.constraints.clear();
   lp.num_vars = layers * num_bigrams;
   lp.objective.resize(lp.num_vars);
   auto var = [&](size_t layer, size_t k) { return layer * num_bigrams + k; };
@@ -70,27 +84,28 @@ StatusOr<region::RegionTrajectory> LpReconstructor::Reconstruct(
     }
   }
 
-  auto solution = solver_.Solve(lp);
-  if (!solution.ok()) {
-    if (solution.status().code() == StatusCode::kFailedPrecondition) {
+  const Status solved = solver_.Solve(lp, w->simplex, w->solution);
+  if (!solved.ok()) {
+    if (solved.code() == StatusCode::kFailedPrecondition) {
       return Status::FailedPrecondition(
           "no feasible region sequence exists over the candidate set (LP "
           "infeasible)");
     }
-    return solution.status();
+    return solved;
   }
+  const lp::LpSolution& solution = w->solution;
 
   // Extract the path. Shortest-path LPs have integral vertex optima, so
   // the per-layer maximiser traces the chosen path; following the region
   // chain keeps the result consistent even under degenerate ties.
-  region::RegionTrajectory out(len);
+  out.resize(len);
   size_t current = num_cand;  // unset
   for (size_t i = 0; i < layers; ++i) {
     size_t best_k = num_bigrams;
     double best_x = 0.25;  // anything clearly fractional-positive
     for (size_t k = 0; k < num_bigrams; ++k) {
       if (current != num_cand && bigrams[k].first != current) continue;
-      const double x = solution->x[var(i, k)];
+      const double x = solution.x[var(i, k)];
       if (x > best_x) {
         best_x = x;
         best_k = k;
@@ -103,7 +118,7 @@ StatusOr<region::RegionTrajectory> LpReconstructor::Reconstruct(
     out[i + 1] = candidates[bigrams[best_k].second];
     current = bigrams[best_k].second;
   }
-  return out;
+  return Status::Ok();
 }
 
 }  // namespace trajldp::core

@@ -1,10 +1,26 @@
 #ifndef TRAJLDP_CORE_LP_RECONSTRUCTOR_H_
 #define TRAJLDP_CORE_LP_RECONSTRUCTOR_H_
 
+#include <utility>
+#include <vector>
+
 #include "core/reconstruction.h"
+#include "lp/lp_problem.h"
 #include "lp/simplex.h"
 
 namespace trajldp::core {
+
+/// \brief Per-thread scratch of LpReconstructor: the feasible-bigram
+/// list, the assembled LP, its solution vector, and the simplex tableau.
+/// Reused across users so repeated LP reconstructions avoid re-allocating
+/// the dense tableau (the dominant set-up cost; the constraint rows are
+/// still rebuilt per problem).
+struct LpReconstructorWorkspace : Reconstructor::Workspace {
+  std::vector<std::pair<size_t, size_t>> bigrams;
+  lp::LpProblem lp;
+  lp::LpSolution solution;
+  lp::SimplexWorkspace simplex;
+};
 
 /// \brief Paper-faithful LP solver for the §5.5 reconstruction.
 ///
@@ -24,8 +40,10 @@ class LpReconstructor : public Reconstructor {
   explicit LpReconstructor(lp::SimplexSolver::Options options)
       : solver_(options) {}
 
-  StatusOr<region::RegionTrajectory> Reconstruct(
-      const ReconstructionProblem& problem) const override;
+  std::unique_ptr<Workspace> NewWorkspace() const override;
+
+  Status ReconstructInto(const ReconstructionProblem& problem, Workspace& ws,
+                         region::RegionTrajectory& out) const override;
 
  private:
   lp::SimplexSolver solver_;

@@ -60,57 +60,92 @@ StatusOr<NGramMechanism> NGramMechanism::Build(const model::PoiDatabase* db,
   return mech;
 }
 
-StatusOr<region::RegionTrajectory> NGramMechanism::PerturbRegions(
-    const region::RegionTrajectory& tau, Rng& rng,
-    StageBreakdown* stages) const {
+Status NGramMechanism::PerturbRegionsInto(const region::RegionTrajectory& tau,
+                                          Rng& rng, PipelineWorkspace& ws,
+                                          region::RegionTrajectory& out,
+                                          StageBreakdown* stages) const {
   Stopwatch watch;
 
   // Stage: overlapping n-gram perturbation (the only budgeted stage).
-  auto z = perturber_->Perturb(tau, rng);
+  auto z = perturber_->Perturb(tau, rng, ws.sampler);
   if (!z.ok()) return z.status();
   if (stages != nullptr) stages->perturb_seconds += watch.ElapsedSeconds();
 
   // Stage: reconstruction prep — R_mbr candidates + error matrix.
   watch.Restart();
-  std::vector<region::RegionId> observed;
+  ws.observed.clear();
   for (const PerturbedNgram& gram : *z) {
-    observed.insert(observed.end(), gram.regions.begin(),
-                    gram.regions.end());
+    ws.observed.insert(ws.observed.end(), gram.regions.begin(),
+                       gram.regions.end());
   }
-  std::sort(observed.begin(), observed.end());
-  observed.erase(std::unique(observed.begin(), observed.end()),
-                 observed.end());
-  std::vector<region::RegionId> candidates = region::MbrCandidateRegions(
-      *decomp_, observed, config_.mbr_expand_km);
-  auto problem = ReconstructionProblem::Create(
-      distance_.get(), graph_.get(), tau.size(), *z, std::move(candidates));
-  if (!problem.ok()) return problem.status();
+  std::sort(ws.observed.begin(), ws.observed.end());
+  ws.observed.erase(std::unique(ws.observed.begin(), ws.observed.end()),
+                    ws.observed.end());
+  region::MbrCandidateRegionsInto(*decomp_, ws.observed,
+                                  config_.mbr_expand_km, ws.candidates);
+  TRAJLDP_RETURN_NOT_OK(ws.problem.Reset(distance_.get(), graph_.get(),
+                                         tau.size(), *z, ws.candidates));
   if (stages != nullptr) {
     stages->reconstruct_prep_seconds += watch.ElapsedSeconds();
   }
 
   // Stage: optimal region-level reconstruction.
   watch.Restart();
-  auto reconstructed = reconstructor_->Reconstruct(*problem);
-  if (!reconstructed.ok() &&
-      reconstructed.status().code() == StatusCode::kFailedPrecondition) {
+  if (ws.reconstructor == nullptr ||
+      ws.reconstructor_owner != reconstructor_.get()) {
+    ws.reconstructor = reconstructor_->NewWorkspace();
+    ws.reconstructor_owner = reconstructor_.get();
+  }
+  Status reconstructed =
+      reconstructor_->ReconstructInto(ws.problem, *ws.reconstructor, out);
+  if (reconstructed.code() == StatusCode::kFailedPrecondition) {
     // The MBR candidate set admitted no feasible path (possible when the
     // perturbed n-grams are spatially scattered). Retry over all regions;
     // this is pure post-processing, so privacy is unaffected.
-    std::vector<region::RegionId> all(decomp_->num_regions());
-    for (size_t i = 0; i < all.size(); ++i) {
-      all[i] = static_cast<region::RegionId>(i);
+    ws.candidates.resize(decomp_->num_regions());
+    for (size_t i = 0; i < ws.candidates.size(); ++i) {
+      ws.candidates[i] = static_cast<region::RegionId>(i);
     }
-    auto full_problem = ReconstructionProblem::Create(
-        distance_.get(), graph_.get(), tau.size(), *z, std::move(all));
-    if (!full_problem.ok()) return full_problem.status();
-    reconstructed = reconstructor_->Reconstruct(*full_problem);
+    TRAJLDP_RETURN_NOT_OK(ws.problem.Reset(distance_.get(), graph_.get(),
+                                           tau.size(), *z, ws.candidates));
+    reconstructed =
+        reconstructor_->ReconstructInto(ws.problem, *ws.reconstructor, out);
   }
-  if (!reconstructed.ok()) return reconstructed.status();
+  TRAJLDP_RETURN_NOT_OK(reconstructed);
   if (stages != nullptr) {
     stages->optimal_reconstruct_seconds += watch.ElapsedSeconds();
   }
-  return reconstructed;
+  return Status::Ok();
+}
+
+StatusOr<region::RegionTrajectory> NGramMechanism::PerturbRegions(
+    const region::RegionTrajectory& tau, Rng& rng,
+    StageBreakdown* stages) const {
+  PipelineWorkspace ws;
+  region::RegionTrajectory out;
+  TRAJLDP_RETURN_NOT_OK(PerturbRegionsInto(tau, rng, ws, out, stages));
+  return out;
+}
+
+StatusOr<FullRelease> NGramMechanism::ReleaseFromRegions(
+    const region::RegionTrajectory& tau, Rng& rng, PipelineWorkspace* ws,
+    StageBreakdown* stages) const {
+  PipelineWorkspace local;
+  PipelineWorkspace& w = ws != nullptr ? *ws : local;
+
+  FullRelease release;
+  TRAJLDP_RETURN_NOT_OK(
+      PerturbRegionsInto(tau, rng, w, release.regions, stages));
+
+  // Stage: POI-level resampling with time-smoothing fallback (§5.6).
+  Stopwatch watch;
+  auto poi = poi_reconstructor_->Reconstruct(release.regions, rng, w.poi);
+  if (!poi.ok()) return poi.status();
+  release.trajectory = std::move(poi->trajectory);
+  release.poi_attempts = poi->attempts;
+  release.smoothed = poi->smoothed;
+  if (stages != nullptr) stages->other_seconds += watch.ElapsedSeconds();
+  return release;
 }
 
 StatusOr<model::Trajectory> NGramMechanism::Perturb(
@@ -121,14 +156,9 @@ StatusOr<model::Trajectory> NGramMechanism::Perturb(
   if (!tau.ok()) return tau.status();
   if (stages != nullptr) stages->other_seconds += watch.ElapsedSeconds();
 
-  auto regions = PerturbRegions(*tau, rng, stages);
-  if (!regions.ok()) return regions.status();
-
-  watch.Restart();
-  auto result = poi_reconstructor_->Reconstruct(*regions, rng);
-  if (!result.ok()) return result.status();
-  if (stages != nullptr) stages->other_seconds += watch.ElapsedSeconds();
-  return std::move(result->trajectory);
+  auto release = ReleaseFromRegions(*tau, rng, nullptr, stages);
+  if (!release.ok()) return release.status();
+  return std::move(release->trajectory);
 }
 
 }  // namespace trajldp::core

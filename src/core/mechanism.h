@@ -58,6 +58,39 @@ struct NGramConfig {
   double quality_sensitivity = 0.0;
 };
 
+/// \brief One user's complete collector-side release (Figure 1 steps
+/// 2–4): the §5.5 optimal region-level sequence and the §5.6 POI-level
+/// trajectory resampled from it, plus the sampling diagnostics.
+struct FullRelease {
+  model::Trajectory trajectory;
+  region::RegionTrajectory regions;
+  /// Whole-trajectory POI sampling attempts used (§5.6 γ-retry loop).
+  size_t poi_attempts = 0;
+  /// True when the §5.6 time-smoothing fallback produced the output.
+  bool smoothed = false;
+};
+
+/// \brief Per-thread scratch for the full release pipeline: sampler
+/// buffers, candidate/observed region lists, the reconstruction problem
+/// (error tables), solver scratch (DP tables or LP tableaus), and POI
+/// sampling buffers. One per worker thread (see BatchReleaseEngine);
+/// with a workspace the per-user hot loop allocates only the released
+/// outputs themselves once buffers reach steady state. Workspaces never
+/// change results: runs with and without one are bit-identical.
+struct PipelineWorkspace {
+  SamplerWorkspace sampler;
+  std::vector<region::RegionId> observed;
+  std::vector<region::RegionId> candidates;
+  ReconstructionProblem problem;
+  /// Solver-specific scratch, created lazily by the mechanism via
+  /// Reconstructor::NewWorkspace. `reconstructor_owner` records which
+  /// solver created it so a workspace shared across mechanisms with
+  /// different reconstructors is re-created instead of rejected.
+  std::unique_ptr<Reconstructor::Workspace> reconstructor;
+  const Reconstructor* reconstructor_owner = nullptr;
+  PoiReconstructor::Workspace poi;
+};
+
 /// \brief The paper's primary contribution: the hierarchical n-gram
 /// ε-LDP trajectory perturbation mechanism (Figure 1, §5.2–5.6).
 ///
@@ -91,7 +124,19 @@ class NGramMechanism {
       const region::RegionTrajectory& tau, Rng& rng,
       StageBreakdown* stages = nullptr) const;
 
+  /// Full collector-side pipeline for an already region-converted
+  /// trajectory: n-gram perturbation → R_mbr candidate selection →
+  /// optimal region-level reconstruction → POI-level resampling with
+  /// time-smoothing fallback. This is the per-user unit the batched
+  /// engine fans out. When `ws` is non-null all scratch lives there
+  /// (allocation-free hot loop); results are bit-identical either way
+  /// for the same Rng state.
+  StatusOr<FullRelease> ReleaseFromRegions(
+      const region::RegionTrajectory& tau, Rng& rng,
+      PipelineWorkspace* ws = nullptr, StageBreakdown* stages = nullptr) const;
+
   const NGramConfig& config() const { return config_; }
+  const NgramPerturber& perturber() const { return *perturber_; }
   const region::StcDecomposition& decomposition() const { return *decomp_; }
   const region::RegionGraph& graph() const { return *graph_; }
   const region::RegionDistance& distance() const { return *distance_; }
@@ -103,6 +148,13 @@ class NGramMechanism {
 
  private:
   NGramMechanism() = default;
+
+  /// Stages 2–3 (perturb through optimal reconstruction) into `out`,
+  /// with all scratch in `ws`.
+  Status PerturbRegionsInto(const region::RegionTrajectory& tau, Rng& rng,
+                            PipelineWorkspace& ws,
+                            region::RegionTrajectory& out,
+                            StageBreakdown* stages) const;
 
   NGramConfig config_;
   const model::PoiDatabase* db_ = nullptr;

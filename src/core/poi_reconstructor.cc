@@ -15,19 +15,16 @@ PoiReconstructor::PoiReconstructor(const region::StcDecomposition* decomp,
       config_(config),
       smoother_(&decomp->db(), decomp->time(), reach->config()) {}
 
-void PoiReconstructor::SampleCandidate(
-    const region::RegionTrajectory& regions, Rng& rng,
-    std::vector<PoiId>* pois, std::vector<Timestep>* times) const {
-  const model::TimeDomain& time = decomp_->time();
-  pois->resize(regions.size());
-  times->resize(regions.size());
-  for (size_t i = 0; i < regions.size(); ++i) {
-    const region::StcRegion& r = decomp_->region(regions[i]);
-    (*pois)[i] = r.pois[rng.UniformUint64(r.pois.size())];
-    const Timestep first = time.MinuteToTimestep(r.time.begin);
-    const Timestep last = time.MinuteToTimestep(r.time.end - 1);
-    (*times)[i] =
-        first + static_cast<Timestep>(rng.UniformUint64(last - first + 1));
+void PoiReconstructor::SampleCandidate(const std::vector<Slot>& slots,
+                                       Rng& rng, std::vector<PoiId>* pois,
+                                       std::vector<Timestep>* times) const {
+  pois->resize(slots.size());
+  times->resize(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const Slot& slot = slots[i];
+    (*pois)[i] = slot.pois[rng.UniformUint64(slot.num_pois)];
+    (*times)[i] = slot.first + static_cast<Timestep>(
+                                   rng.UniformUint64(slot.last - slot.first + 1));
   }
 }
 
@@ -48,16 +45,16 @@ bool PoiReconstructor::IsFeasible(const std::vector<PoiId>& pois,
   return true;
 }
 
-bool PoiReconstructor::SampleGuided(const region::RegionTrajectory& regions,
-                                    Rng& rng, std::vector<PoiId>* pois,
+bool PoiReconstructor::SampleGuided(const std::vector<Slot>& slots, Rng& rng,
+                                    std::vector<PoiId>* pois,
                                     std::vector<Timestep>* times) const {
   const model::TimeDomain& time = decomp_->time();
-  pois->assign(regions.size(), model::kInvalidPoi);
-  times->assign(regions.size(), 0);
-  for (size_t i = 0; i < regions.size(); ++i) {
-    const region::StcRegion& r = decomp_->region(regions[i]);
-    const Timestep first = time.MinuteToTimestep(r.time.begin);
-    const Timestep last = time.MinuteToTimestep(r.time.end - 1);
+  pois->assign(slots.size(), model::kInvalidPoi);
+  times->assign(slots.size(), 0);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const Slot& slot = slots[i];
+    const Timestep first = slot.first;
+    const Timestep last = slot.last;
     bool placed = false;
     for (int attempt = 0; attempt < config_.guided_step_retries; ++attempt) {
       // Timestep strictly after the previous point, within the region's
@@ -67,7 +64,7 @@ bool PoiReconstructor::SampleGuided(const region::RegionTrajectory& regions,
       if (lo > last) break;
       const Timestep t =
           lo + static_cast<Timestep>(rng.UniformUint64(last - lo + 1));
-      const PoiId p = r.pois[rng.UniformUint64(r.pois.size())];
+      const PoiId p = slot.pois[rng.UniformUint64(slot.num_pois)];
       if (!decomp_->db().poi(p).hours.IsOpenAtMinute(
               time.TimestepToMinute(t))) {
         continue;
@@ -88,6 +85,12 @@ bool PoiReconstructor::SampleGuided(const region::RegionTrajectory& regions,
 
 StatusOr<PoiReconstructor::Result> PoiReconstructor::Reconstruct(
     const region::RegionTrajectory& regions, Rng& rng) const {
+  Workspace ws;
+  return Reconstruct(regions, rng, ws);
+}
+
+StatusOr<PoiReconstructor::Result> PoiReconstructor::Reconstruct(
+    const region::RegionTrajectory& regions, Rng& rng, Workspace& ws) const {
   if (regions.empty()) {
     return Status::InvalidArgument("region trajectory is empty");
   }
@@ -98,13 +101,25 @@ StatusOr<PoiReconstructor::Result> PoiReconstructor::Reconstruct(
   }
 
   Result result;
-  std::vector<PoiId> pois;
-  std::vector<Timestep> times;
+  std::vector<PoiId>& pois = ws.pois;
+  std::vector<Timestep>& times = ws.times;
+
+  // Hoist the per-position sampling bounds: the regions are fixed for the
+  // whole retry loop, so resolve POI lists and timestep intervals once.
+  const model::TimeDomain& time = decomp_->time();
+  ws.slots.resize(regions.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const region::StcRegion& r = decomp_->region(regions[i]);
+    ws.slots[i] = {r.pois.data(), r.pois.size(),
+                   time.MinuteToTimestep(r.time.begin),
+                   time.MinuteToTimestep(r.time.end - 1)};
+  }
+  const std::vector<Slot>& slots = ws.slots;
 
   if (config_.guided) {
     for (int attempt = 0; attempt < config_.gamma; ++attempt) {
       ++result.attempts;
-      if (SampleGuided(regions, rng, &pois, &times) &&
+      if (SampleGuided(slots, rng, &pois, &times) &&
           IsFeasible(pois, times)) {
         result.trajectory = model::Trajectory([&] {
           std::vector<model::TrajectoryPoint> pts(regions.size());
@@ -119,7 +134,7 @@ StatusOr<PoiReconstructor::Result> PoiReconstructor::Reconstruct(
   } else {
     for (int attempt = 0; attempt < config_.gamma; ++attempt) {
       ++result.attempts;
-      SampleCandidate(regions, rng, &pois, &times);
+      SampleCandidate(slots, rng, &pois, &times);
       if (IsFeasible(pois, times)) {
         std::vector<model::TrajectoryPoint> pts(regions.size());
         for (size_t i = 0; i < pts.size(); ++i) {
@@ -133,7 +148,7 @@ StatusOr<PoiReconstructor::Result> PoiReconstructor::Reconstruct(
 
   // Sampling failed: fix one sequence and smooth its times (§5.6). Sort
   // the sampled times first so the smoother shifts as little as possible.
-  SampleCandidate(regions, rng, &pois, &times);
+  SampleCandidate(slots, rng, &pois, &times);
   std::sort(times.begin(), times.end());
   auto smoothed = smoother_.Smooth(pois, times);
   if (!smoothed.ok()) return smoothed.status();

@@ -21,6 +21,27 @@ namespace trajldp::core {
 /// timesteps (TimeSmoother), exactly as the paper prescribes.
 class PoiReconstructor {
  public:
+  /// Per-position sampling bounds, hoisted out of the γ-retry loop: the
+  /// region a position draws from never changes across attempts, so its
+  /// POI list and timestep interval are resolved once per trajectory.
+  struct Slot {
+    const model::PoiId* pois = nullptr;
+    size_t num_pois = 0;
+    model::Timestep first = 0;
+    model::Timestep last = 0;
+  };
+
+  /// \brief Per-thread sampling scratch: the candidate (POI, timestep)
+  /// buffers every rejection-sampling attempt writes into, and the
+  /// hoisted per-position slots. Reusing one workspace across users
+  /// makes the γ-retry loop allocation-free (the output trajectory
+  /// itself is still allocated — it is the product).
+  struct Workspace {
+    std::vector<model::PoiId> pois;
+    std::vector<model::Timestep> times;
+    std::vector<Slot> slots;
+  };
+
   struct Config {
     /// γ: the retry threshold; 50,000 per §5.6 ("rarely reached").
     int gamma = 50000;
@@ -51,17 +72,23 @@ class PoiReconstructor {
   StatusOr<Result> Reconstruct(const region::RegionTrajectory& regions,
                                Rng& rng) const;
 
+  /// Hot-path variant: all sampling scratch lives in `ws`. Draws are
+  /// bit-identical to the workspace-free overload for the same Rng state.
+  /// Thread-safe given one workspace and Rng per thread.
+  StatusOr<Result> Reconstruct(const region::RegionTrajectory& regions,
+                               Rng& rng, Workspace& ws) const;
+
   const Config& config() const { return config_; }
 
  private:
-  // Draws one candidate (pois, timesteps) uniformly from the regions.
-  void SampleCandidate(const region::RegionTrajectory& regions, Rng& rng,
+  // Draws one candidate (pois, timesteps) uniformly from the slots.
+  void SampleCandidate(const std::vector<Slot>& slots, Rng& rng,
                        std::vector<model::PoiId>* pois,
                        std::vector<model::Timestep>* times) const;
 
   // Left-to-right constrained sampler; returns false when a step cannot
   // be completed within the retry allowance.
-  bool SampleGuided(const region::RegionTrajectory& regions, Rng& rng,
+  bool SampleGuided(const std::vector<Slot>& slots, Rng& rng,
                     std::vector<model::PoiId>* pois,
                     std::vector<model::Timestep>* times) const;
 

@@ -9,6 +9,16 @@ StatusOr<ReconstructionProblem> ReconstructionProblem::Create(
     const region::RegionDistance* distance, const region::RegionGraph* graph,
     size_t traj_len, const PerturbedNgramSet& z,
     std::vector<region::RegionId> candidates) {
+  ReconstructionProblem problem;
+  TRAJLDP_RETURN_NOT_OK(
+      problem.Reset(distance, graph, traj_len, z, candidates));
+  return problem;
+}
+
+Status ReconstructionProblem::Reset(
+    const region::RegionDistance* distance, const region::RegionGraph* graph,
+    size_t traj_len, const PerturbedNgramSet& z,
+    std::span<const region::RegionId> candidates) {
   if (traj_len == 0) {
     return Status::InvalidArgument("trajectory length must be positive");
   }
@@ -26,23 +36,37 @@ StatusOr<ReconstructionProblem> ReconstructionProblem::Create(
     }
   }
 
-  ReconstructionProblem problem(distance, graph, traj_len,
-                                std::move(candidates));
-  const size_t num_cand = problem.candidates_.size();
-  problem.node_error_.assign(traj_len * num_cand, 0.0);
+  distance_ = distance;
+  graph_ = graph;
+  traj_len_ = traj_len;
+  candidates_.assign(candidates.begin(), candidates.end());
+  const size_t num_cand = candidates_.size();
+  node_error_.assign(traj_len * num_cand, 0.0);
   // e(r, i) = Σ over perturbed n-grams covering position i of the distance
   // between r and the n-gram's region at i (eq. 8). Positions are 1-based
-  // in the n-grams, 0-based in the matrix.
+  // in the n-grams, 0-based in the matrix. Distances are gathered from
+  // the precomputed R × R float table (RegionDistance::ToAll) instead of
+  // recomputing haversine + category walks per pair — the error-table
+  // fill is the reconstruction-prep hot loop (Table 3).
   for (const PerturbedNgram& gram : z) {
     for (size_t pos = gram.a; pos <= gram.b; ++pos) {
       const region::RegionId observed = gram.RegionAt(pos);
-      double* row = problem.node_error_.data() + (pos - 1) * num_cand;
+      const std::span<const float> dist_row = distance->ToAll(observed);
+      double* row = node_error_.data() + (pos - 1) * num_cand;
       for (size_t c = 0; c < num_cand; ++c) {
-        row[c] += distance->Between(problem.candidates_[c], observed);
+        row[c] += static_cast<double>(dist_row[candidates_[c]]);
       }
     }
   }
-  return problem;
+  return Status::Ok();
+}
+
+StatusOr<region::RegionTrajectory> Reconstructor::Reconstruct(
+    const ReconstructionProblem& problem) const {
+  const std::unique_ptr<Workspace> ws = NewWorkspace();
+  region::RegionTrajectory out;
+  TRAJLDP_RETURN_NOT_OK(ReconstructInto(problem, *ws, out));
+  return out;
 }
 
 double ReconstructionProblem::Multiplicity(size_t i) const {

@@ -1,6 +1,8 @@
 #ifndef TRAJLDP_CORE_RECONSTRUCTION_H_
 #define TRAJLDP_CORE_RECONSTRUCTION_H_
 
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/status_or.h"
@@ -19,6 +21,11 @@ namespace trajldp::core {
 ///  * region error  e(r, i)  = Σ_{z ∈ Z covering i} d(r, z's region at i);
 ///  * bigram error  e(i, w)  = e(w(1), i) + e(w(2), i+1).
 ///
+/// Region distances are read from the precomputed float table
+/// (RegionDistance::ToAll), so node errors carry its float rounding —
+/// identical for every solver and caller, which is what the equivalence
+/// guarantees need.
+///
 /// Summing bigram errors over i = 1..L−1 counts interior positions twice
 /// and the endpoints once, so the objective equals a node-weighted path
 /// cost with multiplicities {1, 2, ..., 2, 1} — which both solvers use.
@@ -28,6 +35,12 @@ namespace trajldp::core {
 /// the MBR.
 class ReconstructionProblem {
  public:
+  /// An empty problem; fill it with Reset() before use. Default
+  /// construction exists so batch pipelines can keep one problem per
+  /// worker thread and re-initialise it per user, reusing the candidate
+  /// and error-table allocations.
+  ReconstructionProblem() = default;
+
   /// \param distance    region distance (same decomposition as `graph`).
   /// \param graph       feasibility graph providing the W² constraint.
   /// \param traj_len    L, the trajectory length (≥ 1).
@@ -38,6 +51,16 @@ class ReconstructionProblem {
       const region::RegionDistance* distance,
       const region::RegionGraph* graph, size_t traj_len,
       const PerturbedNgramSet& z, std::vector<region::RegionId> candidates);
+
+  /// Re-initialises this problem in place with the same semantics (and
+  /// validation) as Create(). Internal buffers are reused, so the per-user
+  /// hot loop performs no allocation once they reach steady state. On
+  /// error the problem is left in an unspecified state and must be Reset
+  /// again before use.
+  Status Reset(const region::RegionDistance* distance,
+               const region::RegionGraph* graph, size_t traj_len,
+               const PerturbedNgramSet& z,
+               std::span<const region::RegionId> candidates);
 
   size_t traj_len() const { return traj_len_; }
   const std::vector<region::RegionId>& candidates() const {
@@ -68,32 +91,47 @@ class ReconstructionProblem {
   bool Feasible(size_t c1, size_t c2) const;
 
  private:
-  ReconstructionProblem(const region::RegionDistance* distance,
-                        const region::RegionGraph* graph, size_t traj_len,
-                        std::vector<region::RegionId> candidates)
-      : distance_(distance),
-        graph_(graph),
-        traj_len_(traj_len),
-        candidates_(std::move(candidates)) {}
-
-  const region::RegionDistance* distance_;
-  const region::RegionGraph* graph_;
-  size_t traj_len_;
+  const region::RegionDistance* distance_ = nullptr;
+  const region::RegionGraph* graph_ = nullptr;
+  size_t traj_len_ = 0;
   std::vector<region::RegionId> candidates_;
   /// Row-major [traj_len][candidates] region errors.
   std::vector<double> node_error_;
 };
 
 /// \brief Interface of region-level reconstructors (DP and LP).
+///
+/// Solvers expose an allocation-conscious entry point: NewWorkspace()
+/// creates solver-specific scratch (DP tables, LP tableaus, ...) and
+/// ReconstructInto() solves using only that scratch, so a batch pipeline
+/// keeps one workspace per worker thread and the per-user hot loop is
+/// allocation-free at steady state. Reconstruct() is the convenience
+/// wrapper used by tests and single-shot callers.
 class Reconstructor {
  public:
+  /// Opaque per-thread solver scratch. Obtain from NewWorkspace() of the
+  /// SAME solver that will consume it; workspaces are not interchangeable
+  /// across solver types.
+  struct Workspace {
+    virtual ~Workspace() = default;
+  };
+
   virtual ~Reconstructor() = default;
 
-  /// Returns the optimal region sequence (length traj_len), or
-  /// FailedPrecondition when no feasible sequence exists over the
-  /// candidate set.
-  virtual StatusOr<region::RegionTrajectory> Reconstruct(
-      const ReconstructionProblem& problem) const = 0;
+  /// Creates scratch for ReconstructInto. Never null.
+  virtual std::unique_ptr<Workspace> NewWorkspace() const = 0;
+
+  /// Writes the optimal region sequence (length traj_len) into `out`, or
+  /// fails with FailedPrecondition when no feasible sequence exists over
+  /// the candidate set (InvalidArgument when `ws` came from a different
+  /// solver type). `out` is resized; its allocation is reused.
+  virtual Status ReconstructInto(const ReconstructionProblem& problem,
+                                 Workspace& ws,
+                                 region::RegionTrajectory& out) const = 0;
+
+  /// Convenience wrapper: fresh workspace, result by value.
+  StatusOr<region::RegionTrajectory> Reconstruct(
+      const ReconstructionProblem& problem) const;
 };
 
 }  // namespace trajldp::core

@@ -20,8 +20,15 @@ StatusOr<ReleaseSession> ReleaseSession::Create(
   return ReleaseSession(mechanism, lifetime_epsilon);
 }
 
+double ReleaseSession::spent_epsilon() const {
+  return static_cast<double>(releases_) * mechanism_->config().epsilon;
+}
+
 bool ReleaseSession::CanShare() const {
-  return spent_ + mechanism_->config().epsilon <= lifetime_ * (1.0 + kSlack);
+  // (k + 1)·ε in one multiplication: exact composition accounting, no
+  // accumulated per-release rounding error.
+  return static_cast<double>(releases_ + 1) * mechanism_->config().epsilon <=
+         lifetime_ * (1.0 + kSlack);
 }
 
 StatusOr<model::Trajectory> ReleaseSession::Share(
@@ -29,13 +36,13 @@ StatusOr<model::Trajectory> ReleaseSession::Share(
   const double epsilon = mechanism_->config().epsilon;
   if (!CanShare()) {
     return Status::ResourceExhausted(
-        "lifetime privacy budget exhausted: spent " + std::to_string(spent_) +
-        " of " + std::to_string(lifetime_) + "; another release of ε = " +
-        std::to_string(epsilon) + " would exceed it");
+        "lifetime privacy budget exhausted: spent " +
+        std::to_string(spent_epsilon()) + " of " + std::to_string(lifetime_) +
+        "; another release of ε = " + std::to_string(epsilon) +
+        " would exceed it");
   }
   auto shared = mechanism_->Perturb(trajectory, rng);
   if (!shared.ok()) return shared.status();
-  spent_ += epsilon;
   ++releases_;
   return shared;
 }

@@ -34,11 +34,15 @@ class ReleaseSession {
   StatusOr<model::Trajectory> Share(const model::Trajectory& trajectory,
                                     Rng& rng);
 
-  /// Total ε consumed so far (= releases × per-release ε).
-  double spent_epsilon() const { return spent_; }
+  /// Total ε consumed so far. Computed as releases × per-release ε in a
+  /// single multiplication — a running `spent += ε` accumulator drifts by
+  /// one rounding error per release, which after many releases can admit
+  /// a release the composition theorem does not cover (or refuse one it
+  /// does).
+  double spent_epsilon() const;
 
   /// ε still available.
-  double remaining_epsilon() const { return lifetime_ - spent_; }
+  double remaining_epsilon() const { return lifetime_ - spent_epsilon(); }
 
   /// Number of successful releases.
   size_t releases() const { return releases_; }
@@ -52,7 +56,6 @@ class ReleaseSession {
 
   const NGramMechanism* mechanism_;
   double lifetime_;
-  double spent_ = 0.0;
   size_t releases_ = 0;
 };
 

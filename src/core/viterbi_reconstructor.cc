@@ -8,8 +8,19 @@ namespace trajldp::core {
 
 using region::RegionId;
 
-StatusOr<region::RegionTrajectory> ViterbiReconstructor::Reconstruct(
-    const ReconstructionProblem& problem) const {
+std::unique_ptr<Reconstructor::Workspace> ViterbiReconstructor::NewWorkspace()
+    const {
+  return std::make_unique<ViterbiWorkspace>();
+}
+
+Status ViterbiReconstructor::ReconstructInto(
+    const ReconstructionProblem& problem, Workspace& ws,
+    region::RegionTrajectory& out) const {
+  auto* w = dynamic_cast<ViterbiWorkspace*>(&ws);
+  if (w == nullptr) {
+    return Status::InvalidArgument(
+        "workspace was not created by ViterbiReconstructor::NewWorkspace");
+  }
   const size_t len = problem.traj_len();
   const auto& candidates = problem.candidates();
   const size_t num_cand = candidates.size();
@@ -21,41 +32,82 @@ StatusOr<region::RegionTrajectory> ViterbiReconstructor::Reconstruct(
     for (size_t c = 1; c < num_cand; ++c) {
       if (problem.NodeError(0, c) < problem.NodeError(0, best)) best = c;
     }
-    return region::RegionTrajectory{candidates[best]};
+    out.assign(1, candidates[best]);
+    return Status::Ok();
   }
 
   // Map region id → candidate index for adjacency-driven transitions.
   const size_t num_regions = problem.graph().num_regions();
-  std::vector<int32_t> cand_index(num_regions, -1);
+  w->cand_index.assign(num_regions, -1);
+  std::vector<int32_t>& cand_index = w->cand_index;
   for (size_t c = 0; c < num_cand; ++c) {
     cand_index[candidates[c]] = static_cast<int32_t>(c);
   }
 
+  // Candidate-restricted in-adjacency, built once and reused by every
+  // layer: two counting/fill passes over the candidates' out-edges. The
+  // u-ascending fill order is what makes the pull relaxation below pick
+  // the same (lowest-index) parent the push formulation would.
+  w->in_offsets.assign(num_cand + 1, 0);
+  for (size_t u = 0; u < num_cand; ++u) {
+    for (RegionId nb : problem.graph().Neighbors(candidates[u])) {
+      const int32_t c = cand_index[nb];
+      if (c >= 0) ++w->in_offsets[static_cast<size_t>(c) + 1];
+    }
+  }
+  for (size_t c = 0; c < num_cand; ++c) {
+    w->in_offsets[c + 1] += w->in_offsets[c];
+  }
+  w->in_cursor.assign(w->in_offsets.begin(), w->in_offsets.end() - 1);
+  w->in_adj.resize(w->in_offsets[num_cand]);
+  for (size_t u = 0; u < num_cand; ++u) {
+    for (RegionId nb : problem.graph().Neighbors(candidates[u])) {
+      const int32_t c = cand_index[nb];
+      if (c >= 0) {
+        w->in_adj[w->in_cursor[static_cast<size_t>(c)]++] =
+            static_cast<int32_t>(u);
+      }
+    }
+  }
+
   // dp[c] = cheapest cost of a feasible prefix ending at candidate c,
   // where each position i contributes Multiplicity(i) · NodeError(i, c).
-  std::vector<double> dp(num_cand), next(num_cand);
-  std::vector<std::vector<int32_t>> parent(
-      len, std::vector<int32_t>(num_cand, -1));
+  std::vector<double>& dp = w->dp;
+  std::vector<double>& next = w->next;
+  dp.resize(num_cand);
+  next.resize(num_cand);
+  // No fill: every parent entry the backtrack can read (rows 1..len−1)
+  // is written unconditionally in the layer loop below.
+  w->parent.resize(len * num_cand);
+  int32_t* parent = w->parent.data();
   for (size_t c = 0; c < num_cand; ++c) {
     dp[c] = problem.Multiplicity(0) * problem.NodeError(0, c);
   }
 
+  const size_t* in_offsets = w->in_offsets.data();
+  const int32_t* in_adj = w->in_adj.data();
   for (size_t i = 1; i < len; ++i) {
-    next.assign(num_cand, kInf);
-    // Relax along region-graph adjacency restricted to candidates: this
-    // enumerates exactly the feasible bigrams (the W² constraint).
-    for (size_t c_prev = 0; c_prev < num_cand; ++c_prev) {
-      if (dp[c_prev] == kInf) continue;
-      for (RegionId nb : problem.graph().Neighbors(candidates[c_prev])) {
-        const int32_t c = cand_index[nb];
-        if (c < 0) continue;
-        const double cost =
-            dp[c_prev] +
-            problem.Multiplicity(i) * problem.NodeError(i, static_cast<size_t>(c));
-        if (cost < next[static_cast<size_t>(c)]) {
-          next[static_cast<size_t>(c)] = cost;
-          parent[i][static_cast<size_t>(c)] = static_cast<int32_t>(c_prev);
+    int32_t* parent_row = parent + i * num_cand;
+    // Pull relaxation over exactly the feasible bigrams (the W²
+    // constraint): the node cost is a per-target constant, so the best
+    // predecessor is simply argmin dp over the in-neighbours — one
+    // compare per edge instead of a multiply-add per edge.
+    for (size_t c = 0; c < num_cand; ++c) {
+      double best = kInf;
+      int32_t arg = -1;
+      for (size_t k = in_offsets[c]; k < in_offsets[c + 1]; ++k) {
+        const int32_t u = in_adj[k];
+        if (dp[static_cast<size_t>(u)] < best) {
+          best = dp[static_cast<size_t>(u)];
+          arg = u;
         }
+      }
+      if (arg < 0) {
+        next[c] = kInf;
+        parent_row[c] = -1;
+      } else {
+        next[c] = best + problem.Multiplicity(i) * problem.NodeError(i, c);
+        parent_row[c] = arg;
       }
     }
     dp.swap(next);
@@ -74,13 +126,13 @@ StatusOr<region::RegionTrajectory> ViterbiReconstructor::Reconstruct(
         "no feasible region sequence exists over the candidate set");
   }
 
-  region::RegionTrajectory out(len);
+  out.resize(len);
   size_t cur = best;
   for (size_t i = len; i-- > 0;) {
     out[i] = candidates[cur];
-    if (i > 0) cur = static_cast<size_t>(parent[i][cur]);
+    if (i > 0) cur = static_cast<size_t>(parent[i * num_cand + cur]);
   }
-  return out;
+  return Status::Ok();
 }
 
 }  // namespace trajldp::core

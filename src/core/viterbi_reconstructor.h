@@ -1,9 +1,34 @@
 #ifndef TRAJLDP_CORE_VITERBI_RECONSTRUCTOR_H_
 #define TRAJLDP_CORE_VITERBI_RECONSTRUCTOR_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "core/reconstruction.h"
 
 namespace trajldp::core {
+
+/// \brief Per-thread scratch of ViterbiReconstructor: the DP cost rows,
+/// the flattened parent table, the region→candidate index map, and the
+/// candidate-restricted in-adjacency (CSR). All buffers grow to the
+/// largest (traj_len, candidates, regions) seen and are then reused
+/// allocation-free.
+struct ViterbiWorkspace : Reconstructor::Workspace {
+  /// cand_index[region] = candidate index, or −1 when not a candidate.
+  std::vector<int32_t> cand_index;
+  /// dp[c] / next[c]: cheapest feasible prefix cost ending at candidate c.
+  std::vector<double> dp;
+  std::vector<double> next;
+  /// Flattened [traj_len][candidates] back-pointers.
+  std::vector<int32_t> parent;
+  /// Candidate-restricted in-adjacency in CSR form: in_adj slice c lists
+  /// the candidate indices u with a feasible bigram candidates[u] →
+  /// candidates[c], ascending. Built once per problem and shared by all
+  /// L − 1 layers, instead of filtering the region graph per layer.
+  std::vector<size_t> in_offsets;
+  std::vector<size_t> in_cursor;
+  std::vector<int32_t> in_adj;
+};
 
 /// \brief Exact dynamic-programming solver for the §5.5 reconstruction.
 ///
@@ -22,8 +47,10 @@ class ViterbiReconstructor : public Reconstructor {
  public:
   ViterbiReconstructor() = default;
 
-  StatusOr<region::RegionTrajectory> Reconstruct(
-      const ReconstructionProblem& problem) const override;
+  std::unique_ptr<Workspace> NewWorkspace() const override;
+
+  Status ReconstructInto(const ReconstructionProblem& problem, Workspace& ws,
+                         region::RegionTrajectory& out) const override;
 };
 
 }  // namespace trajldp::core

@@ -16,6 +16,15 @@ class DenseMatrix {
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
 
+  /// Re-shapes to rows × cols and fills every entry with `fill`, reusing
+  /// the existing allocation whenever the new size fits its capacity —
+  /// the simplex workspace resets its tableau this way once per solve.
+  void Reset(size_t rows, size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
   double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 

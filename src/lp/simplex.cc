@@ -12,11 +12,12 @@ namespace trajldp::lp {
 
 namespace {
 
-// Internal tableau: m constraint rows, one cost row; columns are
-// [structural | slack/surplus | artificial | rhs].
+// Internal tableau view: m constraint rows, one cost row; columns are
+// [structural | slack/surplus | artificial | rhs]. Storage is borrowed
+// from a SimplexWorkspace so repeated solves reuse the allocation.
 struct Tableau {
-  DenseMatrix t;           // (m + 1) x (total_cols + 1)
-  std::vector<size_t> basis;  // basis[i] = column basic in row i
+  DenseMatrix& t;             // (m + 1) x (total_cols + 1)
+  std::vector<size_t>& basis;  // basis[i] = column basic in row i
   size_t m = 0;
   size_t total_cols = 0;   // excludes rhs column
   size_t artificial_begin = 0;
@@ -82,6 +83,14 @@ Status Iterate(Tableau& tab, const SimplexSolver::Options& options,
 }  // namespace
 
 StatusOr<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
+  SimplexWorkspace ws;
+  LpSolution solution;
+  TRAJLDP_RETURN_NOT_OK(Solve(problem, ws, solution));
+  return solution;
+}
+
+Status SimplexSolver::Solve(const LpProblem& problem, SimplexWorkspace& ws,
+                            LpSolution& solution) const {
   TRAJLDP_RETURN_NOT_OK(problem.Validate());
   const size_t n = problem.num_vars;
   const size_t m = problem.constraints.size();
@@ -93,15 +102,16 @@ StatusOr<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
   }
   // One artificial per row keeps the construction simple; unnecessary ones
   // (rows where a slack can serve as the initial basis) are skipped below.
-  Tableau tab;
+  Tableau tab{ws.tableau, ws.basis};
   tab.m = m;
   tab.artificial_begin = n + num_slack;
   tab.total_cols = n + num_slack + m;
-  tab.t = DenseMatrix(m + 1, tab.total_cols + 1, 0.0);
+  tab.t.Reset(m + 1, tab.total_cols + 1, 0.0);
   tab.basis.assign(m, 0);
 
   size_t slack_cursor = n;
-  std::vector<bool> has_artificial(m, false);
+  ws.has_artificial.assign(m, 0);
+  std::vector<char>& has_artificial = ws.has_artificial;
   for (size_t r = 0; r < m; ++r) {
     const auto& con = problem.constraints[r];
     // Write the row; flip signs so rhs >= 0.
@@ -136,7 +146,6 @@ StatusOr<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
     }
   }
 
-  LpSolution solution;
   size_t iterations = 0;
 
   // ---- Phase 1: minimise the sum of artificials. ----
@@ -218,7 +227,7 @@ StatusOr<LpSolution> SimplexSolver::Solve(const LpProblem& problem) const {
     solution.objective += problem.objective[c] * solution.x[c];
   }
   solution.iterations = iterations;
-  return solution;
+  return Status::Ok();
 }
 
 }  // namespace trajldp::lp

@@ -1,10 +1,26 @@
 #ifndef TRAJLDP_LP_SIMPLEX_H_
 #define TRAJLDP_LP_SIMPLEX_H_
 
+#include <vector>
+
 #include "common/status_or.h"
+#include "lp/dense_matrix.h"
 #include "lp/lp_problem.h"
 
 namespace trajldp::lp {
+
+/// \brief Reusable tableau storage for SimplexSolver. One per thread.
+///
+/// A reconstruction LP allocates a dense (m+1) × (cols+1) tableau; across
+/// a batch of same-shaped users that allocation dominates solver set-up.
+/// Keeping the tableau (and the basis / artificial bookkeeping) in a
+/// workspace makes repeated solves allocation-free once the buffers reach
+/// steady state. Not thread-safe — each worker owns its own workspace.
+struct SimplexWorkspace {
+  DenseMatrix tableau;
+  std::vector<size_t> basis;
+  std::vector<char> has_artificial;
+};
 
 /// \brief Two-phase dense tableau simplex solver.
 ///
@@ -34,6 +50,12 @@ class SimplexSolver {
   ///  * OutOfRange        — unbounded,
   ///  * ResourceExhausted — iteration cap hit.
   StatusOr<LpSolution> Solve(const LpProblem& problem) const;
+
+  /// Workspace variant: all tableau scratch lives in `ws` and the result
+  /// is written into `solution` (its vector is reused). Bit-identical to
+  /// the workspace-free overload.
+  Status Solve(const LpProblem& problem, SimplexWorkspace& ws,
+               LpSolution& solution) const;
 
  private:
   Options options_;

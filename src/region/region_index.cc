@@ -5,7 +5,7 @@
 namespace trajldp::region {
 
 geo::BoundingBox RegionsMbr(const StcDecomposition& decomp,
-                            const std::vector<RegionId>& observed) {
+                            std::span<const RegionId> observed) {
   geo::BoundingBox mbr;
   for (RegionId id : observed) {
     mbr.Extend(decomp.region(id).bounds);
@@ -16,10 +16,19 @@ geo::BoundingBox RegionsMbr(const StcDecomposition& decomp,
 std::vector<RegionId> MbrCandidateRegions(
     const StcDecomposition& decomp, const std::vector<RegionId>& observed,
     double expand_km) {
+  std::vector<RegionId> candidates;
+  MbrCandidateRegionsInto(decomp, observed, expand_km, candidates);
+  return candidates;
+}
+
+void MbrCandidateRegionsInto(const StcDecomposition& decomp,
+                             std::span<const RegionId> observed,
+                             double expand_km, std::vector<RegionId>& out) {
   geo::BoundingBox mbr = RegionsMbr(decomp, observed);
   if (expand_km > 0.0) mbr.ExpandByKm(expand_km);
 
-  std::vector<RegionId> candidates;
+  std::vector<RegionId>& candidates = out;
+  candidates.clear();
   for (const StcRegion& region : decomp.regions()) {
     // A region qualifies when any member POI lies inside the MBR. The
     // bounding-box test short-circuits the common all-in / all-out cases.
@@ -41,7 +50,6 @@ std::vector<RegionId> MbrCandidateRegions(
           std::lower_bound(candidates.begin(), candidates.end(), id), id);
     }
   }
-  return candidates;
 }
 
 }  // namespace trajldp::region

@@ -1,6 +1,7 @@
 #ifndef TRAJLDP_REGION_REGION_INDEX_H_
 #define TRAJLDP_REGION_REGION_INDEX_H_
 
+#include <span>
 #include <vector>
 
 #include "geo/bounding_box.h"
@@ -18,9 +19,16 @@ std::vector<RegionId> MbrCandidateRegions(const StcDecomposition& decomp,
                                           const std::vector<RegionId>& observed,
                                           double expand_km = 0.0);
 
+/// Hot-path variant: the candidate list is written into `out` (cleared
+/// first), so a caller looping over many users reuses one buffer instead
+/// of allocating a fresh vector per trajectory.
+void MbrCandidateRegionsInto(const StcDecomposition& decomp,
+                             std::span<const RegionId> observed,
+                             double expand_km, std::vector<RegionId>& out);
+
 /// The spatial MBR of the given regions (union of member-POI boxes).
 geo::BoundingBox RegionsMbr(const StcDecomposition& decomp,
-                            const std::vector<RegionId>& observed);
+                            std::span<const RegionId> observed);
 
 }  // namespace trajldp::region
 

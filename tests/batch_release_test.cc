@@ -7,6 +7,7 @@
 
 #include "common/thread_pool.h"
 #include "core/batch_release_engine.h"
+#include "core/mechanism.h"
 #include "core/ngram_perturber.h"
 #include "region/region_distance.h"
 #include "region/region_graph.h"
@@ -230,6 +231,216 @@ TEST_F(BatchReleaseFixture, PerUserErrorReportsUserIndex) {
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(result.status().message().find("user 3"), std::string::npos);
+}
+
+// ---------- End-to-end batched pipeline (ReleaseAllFull) ----------
+
+// A 200-region world: 15 × 15 lattice POIs over the four leaf categories
+// on a 5 × 5 spatial grid with two half-day intervals — every cell holds
+// every category in both intervals, giving 25 × 4 × 2 = 200 STC regions.
+class E2eBatchFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trajldp::testing::GridWorldOptions options;
+    options.rows = 15;
+    options.cols = 15;
+    auto db = MakeGridWorld(options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<model::PoiDatabase>(std::move(*db));
+    time_ = *model::TimeDomain::Create(10);
+
+    NGramConfig config;
+    config.n = 2;
+    config.epsilon = 5.0;
+    config.decomposition.grid_size = 5;
+    config.decomposition.coarse_grids = {1};
+    config.decomposition.base_interval_minutes = 720;
+    config.decomposition.merge.kappa = 1;
+    config.reachability.speed_kmh = 30.0;
+    config.reachability.reference_gap_minutes = 60;
+    auto mech = NGramMechanism::Build(db_.get(), time_, config);
+    ASSERT_TRUE(mech.ok()) << mech.status();
+    mech_ = std::make_unique<NGramMechanism>(std::move(*mech));
+  }
+
+  std::vector<region::RegionTrajectory> MakeUsers(size_t count,
+                                                  uint64_t seed) const {
+    const auto num_regions =
+        static_cast<uint64_t>(mech_->decomposition().num_regions());
+    Rng rng(seed);
+    std::vector<region::RegionTrajectory> users(count);
+    for (auto& tau : users) {
+      const size_t len = 2 + static_cast<size_t>(rng.UniformUint64(4));
+      for (size_t i = 0; i < len; ++i) {
+        tau.push_back(
+            static_cast<region::RegionId>(rng.UniformUint64(num_regions)));
+      }
+    }
+    return users;
+  }
+
+  // The engine's documented replay recipe, run sequentially without
+  // workspaces — the reference the batched output must match bit-for-bit.
+  std::vector<FullRelease> SequentialReference(
+      const std::vector<region::RegionTrajectory>& users,
+      uint64_t seed) const {
+    std::vector<FullRelease> expected;
+    expected.reserve(users.size());
+    const Rng root(seed);
+    for (size_t i = 0; i < users.size(); ++i) {
+      Rng user_rng = root.Substream(i);
+      auto release = mech_->ReleaseFromRegions(users[i], user_rng);
+      EXPECT_TRUE(release.ok()) << "user " << i << ": " << release.status();
+      expected.push_back(std::move(*release));
+    }
+    return expected;
+  }
+
+  std::unique_ptr<model::PoiDatabase> db_;
+  model::TimeDomain time_;
+  std::unique_ptr<NGramMechanism> mech_;
+};
+
+void ExpectIdenticalReleases(const std::vector<FullRelease>& a,
+                             const std::vector<FullRelease>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].regions, b[i].regions) << "user " << i;
+    EXPECT_EQ(a[i].trajectory, b[i].trajectory) << "user " << i;
+    EXPECT_EQ(a[i].poi_attempts, b[i].poi_attempts) << "user " << i;
+    EXPECT_EQ(a[i].smoothed, b[i].smoothed) << "user " << i;
+  }
+}
+
+TEST_F(E2eBatchFixture, WorldHasRoughlyTwoHundredRegions) {
+  EXPECT_GE(mech_->decomposition().num_regions(), 200u);
+}
+
+TEST_F(E2eBatchFixture, ReleaseAllFullMatchesSequentialForEveryThreadCount) {
+  const uint64_t seed = 20260729;
+  const auto users = MakeUsers(24, 11);
+  const auto expected = SequentialReference(users, seed);
+
+  for (const size_t threads : {1u, 2u, 8u}) {
+    BatchReleaseEngine engine(mech_.get(),
+                              BatchReleaseEngine::Config{threads});
+    EXPECT_EQ(engine.num_threads(), threads);
+    auto batched = engine.ReleaseAllFull(users, seed);
+    ASSERT_TRUE(batched.ok()) << "threads " << threads << ": "
+                              << batched.status();
+    ExpectIdenticalReleases(*batched, expected);
+  }
+}
+
+TEST_F(E2eBatchFixture, ReleaseAllFullRepeatedRunsReuseWorkspaces) {
+  // The same engine (same worker workspaces) must be replayable: run two
+  // batches back to back, then the first batch again — dirty workspaces
+  // from earlier users/batches must never leak into later draws.
+  const auto users = MakeUsers(12, 13);
+  BatchReleaseEngine engine(mech_.get(), BatchReleaseEngine::Config{4});
+  auto first = engine.ReleaseAllFull(users, 5);
+  auto other = engine.ReleaseAllFull(users, 6);
+  auto replay = engine.ReleaseAllFull(users, 5);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(replay.ok());
+  ExpectIdenticalReleases(*first, *replay);
+}
+
+TEST_F(E2eBatchFixture, ReleaseAllFullOutputsAreValidTrajectories) {
+  const auto users = MakeUsers(12, 17);
+  BatchReleaseEngine engine(mech_.get(), BatchReleaseEngine::Config{2});
+  auto batched = engine.ReleaseAllFull(users, 3);
+  ASSERT_TRUE(batched.ok());
+  for (size_t i = 0; i < users.size(); ++i) {
+    const FullRelease& release = (*batched)[i];
+    EXPECT_EQ(release.regions.size(), users[i].size()) << "user " << i;
+    EXPECT_EQ(release.trajectory.size(), users[i].size()) << "user " << i;
+    if (!release.smoothed) {
+      EXPECT_TRUE(release.trajectory.Validate(time_).ok()) << "user " << i;
+    }
+    // Reconstructed region sequences respect the feasibility graph.
+    for (size_t j = 0; j + 1 < release.regions.size(); ++j) {
+      EXPECT_TRUE(mech_->graph().HasEdge(release.regions[j],
+                                         release.regions[j + 1]))
+          << "user " << i << " step " << j;
+    }
+  }
+}
+
+TEST_F(E2eBatchFixture, ReleaseAllFullPerUserErrorReportsUserIndex) {
+  auto users = MakeUsers(6, 19);
+  users[4].clear();  // empty trajectory → InvalidArgument
+  BatchReleaseEngine engine(mech_.get(), BatchReleaseEngine::Config{2});
+  auto result = engine.ReleaseAllFull(users, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("user 4"), std::string::npos);
+}
+
+TEST_F(E2eBatchFixture, ReleaseAllFullEmptyBatchIsOk) {
+  BatchReleaseEngine engine(mech_.get(), BatchReleaseEngine::Config{2});
+  auto result = engine.ReleaseAllFull({}, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_F(BatchReleaseFixture, ReleaseAllFullRequiresMechanism) {
+  NgramPerturber perturber(domain_.get(), NgramPerturber::Config{2, 5.0});
+  BatchReleaseEngine engine(&perturber, BatchReleaseEngine::Config{1});
+  auto result = engine.ReleaseAllFull(MakeUsers(2, 3), 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LpBatchE2eTest, LpMechanismBatchMatchesSequential) {
+  // The LP validation solver must batch deterministically too — its
+  // workspace (bigram list, LP, simplex tableau) is the scratch most
+  // likely to leak state between users.
+  auto db = MakeGridWorld();
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(10);
+  NGramConfig config;
+  config.n = 2;
+  config.epsilon = 5.0;
+  config.decomposition.grid_size = 2;
+  config.decomposition.coarse_grids = {1};
+  config.decomposition.base_interval_minutes = 360;
+  config.decomposition.merge.kappa = 1;
+  config.reachability.speed_kmh = 8.0;
+  config.reachability.reference_gap_minutes = 60;
+  config.use_lp_reconstruction = true;
+  auto mech = NGramMechanism::Build(&*db, time, config);
+  ASSERT_TRUE(mech.ok()) << mech.status();
+
+  const auto num_regions =
+      static_cast<uint64_t>(mech->decomposition().num_regions());
+  Rng users_rng(23);
+  std::vector<region::RegionTrajectory> users(8);
+  for (auto& tau : users) {
+    const size_t len = 2 + static_cast<size_t>(users_rng.UniformUint64(2));
+    for (size_t i = 0; i < len; ++i) {
+      tau.push_back(
+          static_cast<region::RegionId>(users_rng.UniformUint64(num_regions)));
+    }
+  }
+
+  const uint64_t seed = 99;
+  std::vector<FullRelease> expected;
+  const Rng root(seed);
+  for (size_t i = 0; i < users.size(); ++i) {
+    Rng user_rng = root.Substream(i);
+    auto release = mech->ReleaseFromRegions(users[i], user_rng);
+    ASSERT_TRUE(release.ok()) << "user " << i << ": " << release.status();
+    expected.push_back(std::move(*release));
+  }
+
+  for (const size_t threads : {1u, 4u}) {
+    BatchReleaseEngine engine(&*mech, BatchReleaseEngine::Config{threads});
+    auto batched = engine.ReleaseAllFull(users, seed);
+    ASSERT_TRUE(batched.ok()) << "threads " << threads;
+    ExpectIdenticalReleases(*batched, expected);
+  }
 }
 
 }  // namespace

@@ -110,6 +110,74 @@ INSTANTIATE_TEST_SUITE_P(Epsilons, EmRatioSweep,
                          ::testing::Values(0.01, 0.1, 0.5, 1.0, 2.0, 5.0,
                                            10.0));
 
+// ---------- Statistical ε-LDP sanity (Monte Carlo) ----------
+
+// Empirically verifies the Theorem 5.3 guarantee on the n-gram perturber
+// itself: for any two adjacent inputs (any two trajectories — LDP
+// adjacency is unrestricted) and any output, the output-probability
+// ratio is bounded by e^ε. Single-point trajectories keep the output
+// space enumerable (one 1-gram, i.e. one region), so empirical
+// frequencies estimate the output distribution directly; the slack
+// absorbs Monte-Carlo noise on top of the exact bound.
+TEST(LdpMonteCarloTest, PerturberAdjacentInputRatiosWithinExpEpsilon) {
+  auto db = MakeGridWorld();
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(10);
+  region::DecompositionConfig dconfig;
+  dconfig.grid_size = 2;
+  dconfig.coarse_grids = {1};
+  dconfig.base_interval_minutes = 360;
+  dconfig.merge.kappa = 1;
+  auto decomp = region::StcDecomposition::Build(&*db, time, dconfig);
+  ASSERT_TRUE(decomp.ok());
+  region::RegionDistance distance(&*decomp);
+  model::ReachabilityConfig reach{8.0, 60};
+  const auto graph = region::RegionGraph::Build(*decomp, reach);
+  core::NgramDomain domain(&graph, &distance);
+
+  const double epsilon = 1.0;
+  core::NgramPerturber perturber(&domain,
+                                 core::NgramPerturber::Config{1, epsilon});
+  const size_t num_regions = decomp->num_regions();
+  ASSERT_GE(num_regions, 4u);
+  const region::RegionTrajectory x1 = {0};
+  const region::RegionTrajectory x2 = {
+      static_cast<region::RegionId>(num_regions / 2)};
+
+  constexpr size_t kSamples = 200000;
+  std::vector<size_t> count1(num_regions, 0), count2(num_regions, 0);
+  core::SamplerWorkspace ws;
+  Rng rng(20260729);
+  for (size_t s = 0; s < kSamples; ++s) {
+    auto z1 = perturber.Perturb(x1, rng, ws);
+    ASSERT_TRUE(z1.ok());
+    ++count1[(*z1)[0].regions[0]];
+    auto z2 = perturber.Perturb(x2, rng, ws);
+    ASSERT_TRUE(z2.ok());
+    ++count2[(*z2)[0].regions[0]];
+  }
+
+  // Empirical ratio bound. Restricting to well-estimated outputs (≥ 200
+  // hits on both inputs) keeps the ratio estimator's noise within the
+  // slack; the EM weight floor e^{−ε/2}/R makes every region
+  // well-estimated at this sample size anyway.
+  const double bound = std::exp(epsilon);
+  constexpr double kSlack = 0.15;
+  constexpr size_t kMinCount = 200;
+  size_t checked = 0;
+  for (size_t y = 0; y < num_regions; ++y) {
+    if (count1[y] < kMinCount || count2[y] < kMinCount) continue;
+    ++checked;
+    const double p1 = static_cast<double>(count1[y]) / kSamples;
+    const double p2 = static_cast<double>(count2[y]) / kSamples;
+    EXPECT_LE(p1 / p2, bound * (1.0 + kSlack)) << "output region " << y;
+    EXPECT_LE(p2 / p1, bound * (1.0 + kSlack)) << "output region " << y;
+  }
+  // The sweep must actually have tested something: nearly every region
+  // should clear the count threshold at this ε.
+  EXPECT_GE(checked, num_regions / 2);
+}
+
 // ---------- Utility is monotone in epsilon (on average) ----------
 
 TEST(UtilityMonotonicityTest, ErrorDecreasesWithEpsilon) {

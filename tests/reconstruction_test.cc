@@ -113,17 +113,30 @@ TEST_F(ReconstructionFixture, NodeErrorMatchesManualSum) {
   auto problem = ReconstructionProblem::Create(distance_.get(), graph_.get(),
                                                3, z, AllRegions());
   ASSERT_TRUE(problem.ok());
-  // e(r, i) = Σ over n-grams covering i of d(r, observed at i) (eq. 8).
+  // e(r, i) = Σ over n-grams covering i of d(r, observed at i) (eq. 8),
+  // with distances read from the precomputed float table exactly as the
+  // problem builds them.
   for (size_t i = 1; i <= 3; ++i) {
     for (size_t c = 0; c < 5; ++c) {
       double expected = 0.0;
       for (const PerturbedNgram& gram : z) {
         if (gram.Covers(i)) {
-          expected += distance_->Between(problem->candidates()[c],
-                                         gram.RegionAt(i));
+          expected += static_cast<double>(
+              distance_->ToAll(gram.RegionAt(i))[problem->candidates()[c]]);
         }
       }
       EXPECT_NEAR(problem->NodeError(i - 1, c), expected, 1e-9);
+      // The float table is the rounded Between(); the node error must
+      // stay within float precision of the exact eq. 8 sum.
+      double exact = 0.0;
+      for (const PerturbedNgram& gram : z) {
+        if (gram.Covers(i)) {
+          exact += distance_->Between(problem->candidates()[c],
+                                      gram.RegionAt(i));
+        }
+      }
+      EXPECT_NEAR(problem->NodeError(i - 1, c), exact,
+                  1e-5 * (1.0 + exact));
     }
   }
 }
@@ -207,6 +220,154 @@ TEST_F(ReconstructionFixture, LpMatchesViterbiObjective) {
                 ObjectiveOf(*problem, *lp_result), 1e-6)
         << "seed " << seed;
   }
+}
+
+// ---------- Solver equivalence on randomized small worlds ----------
+
+// Property-style sweep: for each seed, build a randomized small world
+// (lattice shape, spacing, and opening hours all drawn from the seed),
+// perturb a random trajectory, restrict to a random candidate superset of
+// the observed regions, and check that the DP and LP solvers agree on the
+// optimal objective. An objective-multiplicity regression in
+// ReconstructionProblem (the {1, 2, ..., 2, 1} position weights) skews
+// the two solvers differently, so equal objectives are the guard.
+class SolverEquivalenceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverEquivalenceSweep, ViterbiAndLpAgreeOnObjective) {
+  const uint64_t seed = GetParam();
+  Rng world_rng(seed * 7919 + 1);
+
+  trajldp::testing::GridWorldOptions options;
+  options.rows = 3 + static_cast<int>(world_rng.UniformUint64(3));
+  options.cols = 3 + static_cast<int>(world_rng.UniformUint64(3));
+  options.spacing_km = 0.5 + world_rng.UniformDouble() * 1.5;
+  options.restrict_odd_hours = world_rng.Bernoulli(0.5);
+  auto db = MakeGridWorld(options);
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(10);
+
+  region::DecompositionConfig dconfig;
+  dconfig.grid_size = 2;
+  dconfig.coarse_grids = {1};
+  dconfig.base_interval_minutes = 360;
+  dconfig.merge.kappa = 1;
+  auto decomp = region::StcDecomposition::Build(&*db, time, dconfig);
+  ASSERT_TRUE(decomp.ok());
+  region::RegionDistance distance(&*decomp);
+  model::ReachabilityConfig reach;
+  reach.speed_kmh = 6.0 + world_rng.UniformDouble() * 24.0;
+  reach.reference_gap_minutes = 60;
+  const auto graph = region::RegionGraph::Build(*decomp, reach);
+  NgramDomain domain(&graph, &distance);
+  NgramPerturber perturber(&domain, NgramPerturber::Config{2, 5.0});
+
+  const size_t num_regions = decomp->num_regions();
+  const size_t len = 2 + static_cast<size_t>(world_rng.UniformUint64(3));
+  region::RegionTrajectory tau;
+  for (size_t i = 0; i < len; ++i) {
+    tau.push_back(
+        static_cast<region::RegionId>(world_rng.UniformUint64(num_regions)));
+  }
+  auto z = perturber.Perturb(tau, world_rng);
+  ASSERT_TRUE(z.ok());
+
+  // Candidates: the observed regions plus a random sprinkle of others.
+  std::vector<region::RegionId> candidates;
+  for (const auto& gram : *z) {
+    candidates.insert(candidates.end(), gram.regions.begin(),
+                      gram.regions.end());
+  }
+  for (region::RegionId r = 0; r < num_regions; ++r) {
+    if (world_rng.Bernoulli(0.4)) candidates.push_back(r);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  auto problem = ReconstructionProblem::Create(&distance, &graph, len, *z,
+                                               candidates);
+  ASSERT_TRUE(problem.ok());
+
+  ViterbiReconstructor viterbi;
+  LpReconstructor lp;
+  auto dp_result = viterbi.Reconstruct(*problem);
+  auto lp_result = lp.Reconstruct(*problem);
+  ASSERT_EQ(dp_result.ok(), lp_result.ok())
+      << "seed " << seed << ": DP " << dp_result.status() << ", LP "
+      << lp_result.status();
+  if (!dp_result.ok()) return;  // both infeasible — agreement confirmed
+
+  auto objective_of = [&](const region::RegionTrajectory& result) {
+    std::vector<size_t> assignment(result.size());
+    const auto& cands = problem->candidates();
+    for (size_t i = 0; i < result.size(); ++i) {
+      assignment[i] = static_cast<size_t>(
+          std::lower_bound(cands.begin(), cands.end(), result[i]) -
+          cands.begin());
+    }
+    return problem->Objective(assignment);
+  };
+  const double dp_obj = objective_of(*dp_result);
+  const double lp_obj = objective_of(*lp_result);
+  EXPECT_NEAR(dp_obj, lp_obj, 1e-6 * (1.0 + std::abs(dp_obj)))
+      << "seed " << seed;
+
+  // Both solutions must be feasible region sequences.
+  for (size_t i = 0; i + 1 < dp_result->size(); ++i) {
+    EXPECT_TRUE(graph.HasEdge((*dp_result)[i], (*dp_result)[i + 1]));
+    EXPECT_TRUE(graph.HasEdge((*lp_result)[i], (*lp_result)[i + 1]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorlds, SolverEquivalenceSweep,
+                         ::testing::Range<uint64_t>(0, 12));
+
+TEST_F(ReconstructionFixture, ResetReusesBuffersAcrossProblems) {
+  // One problem object re-initialised per user must behave exactly like a
+  // freshly created one — this is the invariant the per-thread pipeline
+  // workspaces rely on.
+  ReconstructionProblem reused;
+  ViterbiReconstructor viterbi;
+  auto ws = viterbi.NewWorkspace();
+  for (uint64_t seed : {81, 82, 83, 84}) {
+    const size_t len = 2 + static_cast<size_t>(seed % 3);
+    const auto z = RandomZ(len, seed);
+    auto fresh = ReconstructionProblem::Create(distance_.get(), graph_.get(),
+                                               len, z, AllRegions());
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_TRUE(reused
+                    .Reset(distance_.get(), graph_.get(), len, z,
+                           AllRegions())
+                    .ok());
+    ASSERT_EQ(reused.candidates(), fresh->candidates());
+    for (size_t i = 0; i < len; ++i) {
+      for (size_t c = 0; c < reused.candidates().size(); ++c) {
+        ASSERT_DOUBLE_EQ(reused.NodeError(i, c), fresh->NodeError(i, c));
+      }
+    }
+    region::RegionTrajectory via_workspace;
+    ASSERT_TRUE(
+        viterbi.ReconstructInto(reused, *ws, via_workspace).ok());
+    auto via_fresh = viterbi.Reconstruct(*fresh);
+    ASSERT_TRUE(via_fresh.ok());
+    EXPECT_EQ(via_workspace, *via_fresh) << "seed " << seed;
+  }
+}
+
+TEST_F(ReconstructionFixture, MismatchedWorkspaceTypeIsRejected) {
+  const auto z = RandomZ(3, 91);
+  auto problem = ReconstructionProblem::Create(distance_.get(), graph_.get(),
+                                               3, z, AllRegions());
+  ASSERT_TRUE(problem.ok());
+  ViterbiReconstructor viterbi;
+  LpReconstructor lp;
+  auto viterbi_ws = viterbi.NewWorkspace();
+  auto lp_ws = lp.NewWorkspace();
+  region::RegionTrajectory out;
+  EXPECT_EQ(viterbi.ReconstructInto(*problem, *lp_ws, out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(lp.ReconstructInto(*problem, *viterbi_ws, out).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST_F(ReconstructionFixture, ReconstructedSequencesAreFeasible) {

@@ -73,6 +73,43 @@ TEST_F(ReleaseSessionTest, FailedPerturbationSpendsNothing) {
   EXPECT_EQ(session->releases(), 0u);
 }
 
+TEST_F(ReleaseSessionTest, NoBudgetDriftOverTenThousandReleases) {
+  // ε = 0.1 is not representable in binary floating point, so a running
+  // `spent += ε` accumulator drifts away from k·ε over many releases and
+  // can mis-count the §5.7 composition by a release. Spent/remaining are
+  // computed from releases × ε instead: exactly 10,000 releases fit a
+  // lifetime of 10,000·ε, every intermediate spent value equals k·ε to
+  // the last ulp, and the 10,001st release is refused.
+  NGramConfig config;
+  config.epsilon = 0.1;
+  config.n = 1;
+  config.decomposition.merge.kappa = 1;
+  auto mech = NGramMechanism::Build(db_.get(), time_, config);
+  ASSERT_TRUE(mech.ok());
+  constexpr size_t kReleases = 10000;
+  const double lifetime = static_cast<double>(kReleases) * 0.1;
+  auto session = ReleaseSession::Create(&*mech, lifetime);
+  ASSERT_TRUE(session.ok());
+  Rng rng(7);
+  const auto traj = MakeTrajectory({{0, 30}});
+  for (size_t k = 0; k < kReleases; ++k) {
+    ASSERT_TRUE(session->CanShare()) << "release " << k;
+    auto out = session->Share(traj, rng);
+    ASSERT_TRUE(out.ok()) << "release " << k << ": " << out.status();
+    ASSERT_DOUBLE_EQ(session->spent_epsilon(),
+                     static_cast<double>(k + 1) * 0.1)
+        << "release " << k;
+  }
+  EXPECT_EQ(session->releases(), kReleases);
+  EXPECT_DOUBLE_EQ(session->spent_epsilon(), lifetime);
+  EXPECT_DOUBLE_EQ(session->remaining_epsilon(), 0.0);
+  EXPECT_FALSE(session->CanShare());
+  auto refused = session->Share(traj, rng);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(session->releases(), kReleases);
+}
+
 TEST_F(ReleaseSessionTest, ContinuousSinglePointSharing) {
   // §8's continuous setting: n = 1, one point per release.
   NGramConfig config;
