@@ -14,13 +14,18 @@
 #                      users/s per path, Table-3-style stage split,
 #                      speedup vs the seed sequential loop, thread
 #                      scaling, and the bit-identical check.
+#   BENCH_stream.json — streaming wire-format ingest through the
+#                      StreamingCollector: users/s across batch size ×
+#                      queue depth × shard count, the batch-engine
+#                      baseline, and the sharded bit-identical check.
 #   BENCH_micro.json — google-benchmark JSON for the hot kernels
 #                      (haversine, Gumbel, EM select, path sampler).
 #
 # Env:
-#   BUILD_DIR                build tree (default: build)
-#   TRAJLDP_BENCH_USERS      batch-bench user count (default: 10000)
-#   TRAJLDP_BENCH_E2E_USERS  e2e-bench user count (default: 5000)
+#   BUILD_DIR                  build tree (default: build)
+#   TRAJLDP_BENCH_USERS        batch-bench user count (default: 10000)
+#   TRAJLDP_BENCH_E2E_USERS    e2e-bench user count (default: 5000)
+#   TRAJLDP_BENCH_STREAM_USERS stream-bench user count (default: 5000)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -32,7 +37,7 @@ if [[ ! -d "$build_dir" ]]; then
   cmake -B "$build_dir" -S "$repo_root"
 fi
 cmake --build "$build_dir" --target bench_batch_release bench_batch_e2e \
-  bench_micro_kernels
+  bench_stream_ingest bench_micro_kernels
 
 echo "=== bench_batch_release ==="
 "$build_dir/bench_batch_release" --json "$out_dir/BENCH_batch.json"
@@ -40,10 +45,13 @@ echo "=== bench_batch_release ==="
 echo "=== bench_batch_e2e ==="
 "$build_dir/bench_batch_e2e" --json "$out_dir/BENCH_e2e.json"
 
+echo "=== bench_stream_ingest ==="
+"$build_dir/bench_stream_ingest" --json "$out_dir/BENCH_stream.json"
+
 echo "=== bench_micro_kernels ==="
 "$build_dir/bench_micro_kernels" \
   --benchmark_format=console \
   --benchmark_out="$out_dir/BENCH_micro.json" \
   --benchmark_out_format=json
 
-echo "wrote $out_dir/BENCH_batch.json, $out_dir/BENCH_e2e.json, and $out_dir/BENCH_micro.json"
+echo "wrote $out_dir/BENCH_batch.json, $out_dir/BENCH_e2e.json, $out_dir/BENCH_stream.json, and $out_dir/BENCH_micro.json"

@@ -1,0 +1,107 @@
+#ifndef TRAJLDP_COMMON_BOUNDED_QUEUE_H_
+#define TRAJLDP_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace trajldp {
+
+/// \brief A bounded, blocking FIFO queue for producer/consumer pipelines.
+///
+/// Built for the streaming-ingest MPSC shape — many ingest threads
+/// pushing report batches, collector workers draining them — but safe
+/// for any number of producers and consumers. The capacity bound is what
+/// gives the ingest pipeline its bounded memory: when consumers fall
+/// behind, Push blocks the producers instead of buffering without limit
+/// (backpressure, not OOM).
+///
+/// Shutdown protocol: the producer side calls Close() once when no more
+/// items are coming. Pop() then drains the remaining items and returns
+/// std::nullopt to each consumer afterwards; Push() after Close() is
+/// rejected. Close() is idempotent.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` must be ≥ 1 (0 is promoted to 1).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Blocks until there is room (or the queue is closed). Returns false —
+  /// and drops `item` — iff the queue was closed first.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND empty;
+  /// std::nullopt means "closed and fully drained".
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Signals end of input. Blocked producers return false, consumers
+  /// drain and then see std::nullopt. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace trajldp
+
+#endif  // TRAJLDP_COMMON_BOUNDED_QUEUE_H_

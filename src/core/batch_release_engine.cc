@@ -8,12 +8,12 @@ namespace trajldp::core {
 
 BatchReleaseEngine::BatchReleaseEngine(const NgramPerturber* perturber,
                                        Config config)
-    : perturber_(perturber), mechanism_(nullptr), pool_(config.num_threads) {}
+    : perturber_(perturber), pool_(config.num_threads) {}
 
 BatchReleaseEngine::BatchReleaseEngine(const NGramMechanism* mechanism,
                                        Config config)
     : perturber_(&mechanism->perturber()),
-      mechanism_(mechanism),
+      pipeline_(mechanism->pipeline()),
       pool_(config.num_threads) {}
 
 template <typename Out, typename PerUserFn>
@@ -55,7 +55,7 @@ StatusOr<std::vector<PerturbedNgramSet>> BatchReleaseEngine::ReleaseAll(
 
 StatusOr<std::vector<FullRelease>> BatchReleaseEngine::ReleaseAllFull(
     std::span<const region::RegionTrajectory> users, uint64_t seed) {
-  if (mechanism_ == nullptr) {
+  if (!pipeline_.has_value()) {
     return Status::FailedPrecondition(
         "ReleaseAllFull requires an engine constructed from an "
         "NGramMechanism (this one wraps a bare NgramPerturber)");
@@ -68,11 +68,8 @@ StatusOr<std::vector<FullRelease>> BatchReleaseEngine::ReleaseAllFull(
   return RunBatch<FullRelease>(
       users.size(), seed,
       [&](size_t i, size_t worker, Rng& user_rng, FullRelease& out) {
-        auto release = mechanism_->ReleaseFromRegions(
-            users[i], user_rng, &workspaces[worker]);
-        if (!release.ok()) return release.status();
-        out = std::move(*release);
-        return Status::Ok();
+        return pipeline_->ReleaseInto(users[i], user_rng, workspaces[worker],
+                                      out);
       });
 }
 

@@ -2,11 +2,13 @@
 #define TRAJLDP_CORE_BATCH_RELEASE_ENGINE_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "common/status_or.h"
 #include "common/thread_pool.h"
+#include "core/collector_pipeline.h"
 #include "core/mechanism.h"
 #include "core/ngram_perturber.h"
 
@@ -40,6 +42,11 @@ namespace trajldp::core {
 ///  * ReleaseAll     — perturbation only (the ε-LDP reports as collected);
 ///  * ReleaseAllFull — the full §5.5–§5.6 pipeline through region-level
 ///    reconstruction and POI-level resampling, one FullRelease per user.
+///
+/// Both are thin fan-out wrappers over core::CollectorPipeline — the
+/// same per-user unit the streaming/sharded collectors run — so a batch
+/// released here is bit-identical to the same users ingested through
+/// StreamingCollector at any shard count.
 class BatchReleaseEngine {
  public:
   struct Config {
@@ -81,7 +88,8 @@ class BatchReleaseEngine {
                                       const PerUserFn& per_user);
 
   const NgramPerturber* perturber_;
-  const NGramMechanism* mechanism_;
+  /// Present only for full-pipeline engines (mechanism constructor).
+  std::optional<CollectorPipeline> pipeline_;
   ThreadPool pool_;
 };
 

@@ -1,21 +1,11 @@
 #include "core/mechanism.h"
 
-#include <algorithm>
 #include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
-#include "region/region_index.h"
 
 namespace trajldp::core {
-
-StageBreakdown& StageBreakdown::operator+=(const StageBreakdown& other) {
-  perturb_seconds += other.perturb_seconds;
-  reconstruct_prep_seconds += other.reconstruct_prep_seconds;
-  optimal_reconstruct_seconds += other.optimal_reconstruct_seconds;
-  other_seconds += other.other_seconds;
-  return *this;
-}
 
 StatusOr<NGramMechanism> NGramMechanism::Build(const model::PoiDatabase* db,
                                                const model::TimeDomain& time,
@@ -60,70 +50,24 @@ StatusOr<NGramMechanism> NGramMechanism::Build(const model::PoiDatabase* db,
   return mech;
 }
 
-Status NGramMechanism::PerturbRegionsInto(const region::RegionTrajectory& tau,
-                                          Rng& rng, PipelineWorkspace& ws,
-                                          region::RegionTrajectory& out,
-                                          StageBreakdown* stages) const {
-  Stopwatch watch;
-
-  // Stage: overlapping n-gram perturbation (the only budgeted stage).
-  auto z = perturber_->Perturb(tau, rng, ws.sampler);
-  if (!z.ok()) return z.status();
-  if (stages != nullptr) stages->perturb_seconds += watch.ElapsedSeconds();
-
-  // Stage: reconstruction prep — R_mbr candidates + error matrix.
-  watch.Restart();
-  ws.observed.clear();
-  for (const PerturbedNgram& gram : *z) {
-    ws.observed.insert(ws.observed.end(), gram.regions.begin(),
-                       gram.regions.end());
-  }
-  std::sort(ws.observed.begin(), ws.observed.end());
-  ws.observed.erase(std::unique(ws.observed.begin(), ws.observed.end()),
-                    ws.observed.end());
-  region::MbrCandidateRegionsInto(*decomp_, ws.observed,
-                                  config_.mbr_expand_km, ws.candidates);
-  TRAJLDP_RETURN_NOT_OK(ws.problem.Reset(distance_.get(), graph_.get(),
-                                         tau.size(), *z, ws.candidates));
-  if (stages != nullptr) {
-    stages->reconstruct_prep_seconds += watch.ElapsedSeconds();
-  }
-
-  // Stage: optimal region-level reconstruction.
-  watch.Restart();
-  if (ws.reconstructor == nullptr ||
-      ws.reconstructor_owner != reconstructor_.get()) {
-    ws.reconstructor = reconstructor_->NewWorkspace();
-    ws.reconstructor_owner = reconstructor_.get();
-  }
-  Status reconstructed =
-      reconstructor_->ReconstructInto(ws.problem, *ws.reconstructor, out);
-  if (reconstructed.code() == StatusCode::kFailedPrecondition) {
-    // The MBR candidate set admitted no feasible path (possible when the
-    // perturbed n-grams are spatially scattered). Retry over all regions;
-    // this is pure post-processing, so privacy is unaffected.
-    ws.candidates.resize(decomp_->num_regions());
-    for (size_t i = 0; i < ws.candidates.size(); ++i) {
-      ws.candidates[i] = static_cast<region::RegionId>(i);
-    }
-    TRAJLDP_RETURN_NOT_OK(ws.problem.Reset(distance_.get(), graph_.get(),
-                                           tau.size(), *z, ws.candidates));
-    reconstructed =
-        reconstructor_->ReconstructInto(ws.problem, *ws.reconstructor, out);
-  }
-  TRAJLDP_RETURN_NOT_OK(reconstructed);
-  if (stages != nullptr) {
-    stages->optimal_reconstruct_seconds += watch.ElapsedSeconds();
-  }
-  return Status::Ok();
+CollectorPipeline NGramMechanism::pipeline() const {
+  return CollectorPipeline(decomp_.get(), distance_.get(), graph_.get(),
+                           perturber_.get(), reconstructor_.get(),
+                           poi_reconstructor_.get(), config_.mbr_expand_km);
 }
 
 StatusOr<region::RegionTrajectory> NGramMechanism::PerturbRegions(
     const region::RegionTrajectory& tau, Rng& rng,
     StageBreakdown* stages) const {
+  const CollectorPipeline pipe = pipeline();
   PipelineWorkspace ws;
+  Stopwatch watch;
+  PerturbedNgramSet z;
+  TRAJLDP_RETURN_NOT_OK(pipe.PerturbInto(tau, rng, ws.sampler, z));
+  if (stages != nullptr) stages->perturb_seconds += watch.ElapsedSeconds();
   region::RegionTrajectory out;
-  TRAJLDP_RETURN_NOT_OK(PerturbRegionsInto(tau, rng, ws, out, stages));
+  TRAJLDP_RETURN_NOT_OK(
+      pipe.ReconstructRegionsInto(tau.size(), z, ws, out, stages));
   return out;
 }
 
@@ -132,19 +76,8 @@ StatusOr<FullRelease> NGramMechanism::ReleaseFromRegions(
     StageBreakdown* stages) const {
   PipelineWorkspace local;
   PipelineWorkspace& w = ws != nullptr ? *ws : local;
-
   FullRelease release;
-  TRAJLDP_RETURN_NOT_OK(
-      PerturbRegionsInto(tau, rng, w, release.regions, stages));
-
-  // Stage: POI-level resampling with time-smoothing fallback (§5.6).
-  Stopwatch watch;
-  auto poi = poi_reconstructor_->Reconstruct(release.regions, rng, w.poi);
-  if (!poi.ok()) return poi.status();
-  release.trajectory = std::move(poi->trajectory);
-  release.poi_attempts = poi->attempts;
-  release.smoothed = poi->smoothed;
-  if (stages != nullptr) stages->other_seconds += watch.ElapsedSeconds();
+  TRAJLDP_RETURN_NOT_OK(pipeline().ReleaseInto(tau, rng, w, release, stages));
   return release;
 }
 

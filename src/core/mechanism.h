@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "common/status_or.h"
+#include "core/collector_pipeline.h"
 #include "core/lp_reconstructor.h"
 #include "core/ngram_domain.h"
 #include "core/ngram_perturber.h"
@@ -18,22 +19,9 @@
 
 namespace trajldp::core {
 
-/// \brief Wall-clock breakdown of one perturbation, mirroring Table 3's
-/// columns (Perturb / Reconst. Prep / Optimal Reconst. / Other).
-struct StageBreakdown {
-  double perturb_seconds = 0.0;
-  double reconstruct_prep_seconds = 0.0;
-  double optimal_reconstruct_seconds = 0.0;
-  /// Region conversion, POI-level reconstruction, smoothing, overheads.
-  double other_seconds = 0.0;
-
-  double TotalSeconds() const {
-    return perturb_seconds + reconstruct_prep_seconds +
-           optimal_reconstruct_seconds + other_seconds;
-  }
-
-  StageBreakdown& operator+=(const StageBreakdown& other);
-};
+// StageBreakdown, FullRelease, and PipelineWorkspace — the per-user
+// pipeline vocabulary — live in core/collector_pipeline.h and are
+// re-exported here for the many callers that include this header.
 
 /// \brief Configuration of the full NGram mechanism.
 struct NGramConfig {
@@ -56,39 +44,6 @@ struct NGramConfig {
   /// Setting 1.0 reproduces the paper's published error magnitudes
   /// ("paper calibration"; see NgramDomain and DESIGN.md).
   double quality_sensitivity = 0.0;
-};
-
-/// \brief One user's complete collector-side release (Figure 1 steps
-/// 2–4): the §5.5 optimal region-level sequence and the §5.6 POI-level
-/// trajectory resampled from it, plus the sampling diagnostics.
-struct FullRelease {
-  model::Trajectory trajectory;
-  region::RegionTrajectory regions;
-  /// Whole-trajectory POI sampling attempts used (§5.6 γ-retry loop).
-  size_t poi_attempts = 0;
-  /// True when the §5.6 time-smoothing fallback produced the output.
-  bool smoothed = false;
-};
-
-/// \brief Per-thread scratch for the full release pipeline: sampler
-/// buffers, candidate/observed region lists, the reconstruction problem
-/// (error tables), solver scratch (DP tables or LP tableaus), and POI
-/// sampling buffers. One per worker thread (see BatchReleaseEngine);
-/// with a workspace the per-user hot loop allocates only the released
-/// outputs themselves once buffers reach steady state. Workspaces never
-/// change results: runs with and without one are bit-identical.
-struct PipelineWorkspace {
-  SamplerWorkspace sampler;
-  std::vector<region::RegionId> observed;
-  std::vector<region::RegionId> candidates;
-  ReconstructionProblem problem;
-  /// Solver-specific scratch, created lazily by the mechanism via
-  /// Reconstructor::NewWorkspace. `reconstructor_owner` records which
-  /// solver created it so a workspace shared across mechanisms with
-  /// different reconstructors is re-created instead of rejected.
-  std::unique_ptr<Reconstructor::Workspace> reconstructor;
-  const Reconstructor* reconstructor_owner = nullptr;
-  PoiReconstructor::Workspace poi;
 };
 
 /// \brief The paper's primary contribution: the hierarchical n-gram
@@ -128,12 +83,22 @@ class NGramMechanism {
   /// trajectory: n-gram perturbation → R_mbr candidate selection →
   /// optimal region-level reconstruction → POI-level resampling with
   /// time-smoothing fallback. This is the per-user unit the batched
-  /// engine fans out. When `ws` is non-null all scratch lives there
-  /// (allocation-free hot loop); results are bit-identical either way
-  /// for the same Rng state.
+  /// engine fans out — a thin wrapper over CollectorPipeline::ReleaseInto,
+  /// so its randomness follows the pipeline's RNG seam: perturbation
+  /// draws advance `rng` (the device stream) and the POI-level stage
+  /// uses CollectorRng(rng) derived from `rng`'s initial state, making
+  /// the collector half re-derivable from (seed, user id) alone. When
+  /// `ws` is non-null all scratch lives there (allocation-free hot
+  /// loop); results are bit-identical either way for the same Rng state.
   StatusOr<FullRelease> ReleaseFromRegions(
       const region::RegionTrajectory& tau, Rng& rng,
       PipelineWorkspace* ws = nullptr, StageBreakdown* stages = nullptr) const;
+
+  /// The reusable per-user pipeline over this mechanism's components.
+  /// Cheap to copy (a bundle of const pointers); stays valid across
+  /// moves of this mechanism (components are heap-owned) but not past
+  /// its destruction.
+  CollectorPipeline pipeline() const;
 
   const NGramConfig& config() const { return config_; }
   const NgramPerturber& perturber() const { return *perturber_; }
@@ -148,13 +113,6 @@ class NGramMechanism {
 
  private:
   NGramMechanism() = default;
-
-  /// Stages 2–3 (perturb through optimal reconstruction) into `out`,
-  /// with all scratch in `ws`.
-  Status PerturbRegionsInto(const region::RegionTrajectory& tau, Rng& rng,
-                            PipelineWorkspace& ws,
-                            region::RegionTrajectory& out,
-                            StageBreakdown* stages) const;
 
   NGramConfig config_;
   const model::PoiDatabase* db_ = nullptr;

@@ -27,6 +27,8 @@ struct PerturbedNgram {
   /// covered).
   region::RegionId RegionAt(size_t i) const { return regions[i - a]; }
 
+  bool operator==(const PerturbedNgram&) const = default;
+
   std::string DebugString() const;
 };
 

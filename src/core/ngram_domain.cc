@@ -1,6 +1,7 @@
 #include "core/ngram_domain.h"
 
 #include <cmath>
+#include <iterator>
 #include <mutex>
 
 namespace trajldp::core {
@@ -45,42 +46,72 @@ void NgramDomain::ComputeSuffixRow(const std::vector<double>& weight_row,
 }
 
 template <typename ComputeFn>
-const std::vector<double>& NgramDomain::LookupOrCompute(
+NgramDomain::RowPtr NgramDomain::LookupOrCompute(
     RowCache& cache, const RowKey& key, std::atomic<size_t>& hits,
-    std::atomic<size_t>& misses, ComputeFn&& compute) const {
+    std::atomic<size_t>& misses, std::atomic<size_t>& evictions,
+    ComputeFn&& compute) const {
+  const uint64_t tick = lru_tick_.fetch_add(1, std::memory_order_relaxed);
   {
     std::shared_lock<std::shared_mutex> lock(cache_mu_);
     const auto it = cache.find(key);
     if (it != cache.end()) {
       hits.fetch_add(1, std::memory_order_relaxed);
-      return *it->second;
+      it->second->last_used.store(tick, std::memory_order_relaxed);
+      return it->second->row;
     }
   }
   // Compute outside the lock; another thread may race us to the insert,
   // in which case its identical row wins and ours is discarded.
-  auto row = std::make_unique<std::vector<double>>();
-  compute(*row);
+  auto computed = std::make_shared<std::vector<double>>();
+  compute(*computed);
+  auto entry = std::make_unique<CacheEntry>();
+  entry->row = std::move(computed);
+  entry->last_used.store(tick, std::memory_order_relaxed);
   std::unique_lock<std::shared_mutex> lock(cache_mu_);
-  const auto [it, inserted] = cache.try_emplace(key, std::move(row));
+  const auto [it, inserted] = cache.try_emplace(key, std::move(entry));
   (inserted ? misses : hits).fetch_add(1, std::memory_order_relaxed);
-  return *it->second;
+  it->second->last_used.store(tick, std::memory_order_relaxed);
+  RowPtr row = it->second->row;
+  if (inserted) EvictOverCapacity(cache, evictions);
+  return row;
 }
 
-const std::vector<double>& NgramDomain::CachedWeightRow(RegionId r,
-                                                        double scale) const {
+void NgramDomain::EvictOverCapacity(RowCache& cache,
+                                    std::atomic<size_t>& evictions) const {
+  if (cache_capacity_ == 0) return;
+  // The scan is O(occupancy) but runs only on an over-capacity insert,
+  // where occupancy ≤ capacity + 1 — bounded by construction.
+  while (cache.size() > cache_capacity_) {
+    auto victim = cache.begin();
+    uint64_t oldest = victim->second->last_used.load(std::memory_order_relaxed);
+    for (auto it = std::next(cache.begin()); it != cache.end(); ++it) {
+      const uint64_t used =
+          it->second->last_used.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = it;
+      }
+    }
+    cache.erase(victim);  // pinned borrowers keep the row alive
+    evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+NgramDomain::RowPtr NgramDomain::CachedWeightRow(RegionId r,
+                                                 double scale) const {
   const RowKey key{r, std::bit_cast<uint64_t>(scale)};
   return LookupOrCompute(
-      weight_cache_, key, weight_hits_, weight_misses_,
+      weight_cache_, key, weight_hits_, weight_misses_, weight_evictions_,
       [&](std::vector<double>& row) { ComputeWeightRow(r, scale, row); });
 }
 
-const std::vector<double>& NgramDomain::CachedSuffixRow(RegionId r,
-                                                        double scale) const {
+NgramDomain::RowPtr NgramDomain::CachedSuffixRow(RegionId r,
+                                                 double scale) const {
   const RowKey key{r, std::bit_cast<uint64_t>(scale)};
   return LookupOrCompute(
-      suffix_cache_, key, suffix_hits_, suffix_misses_,
+      suffix_cache_, key, suffix_hits_, suffix_misses_, suffix_evictions_,
       [&](std::vector<double>& row) {
-        ComputeSuffixRow(CachedWeightRow(r, scale), row);
+        ComputeSuffixRow(*CachedWeightRow(r, scale), row);
       });
 }
 
@@ -101,6 +132,8 @@ NgramDomain::CacheStats NgramDomain::cache_stats() const {
   stats.weight_misses = weight_misses_.load(std::memory_order_relaxed);
   stats.suffix_hits = suffix_hits_.load(std::memory_order_relaxed);
   stats.suffix_misses = suffix_misses_.load(std::memory_order_relaxed);
+  stats.weight_evictions = weight_evictions_.load(std::memory_order_relaxed);
+  stats.suffix_evictions = suffix_evictions_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -126,12 +159,18 @@ Status NgramDomain::SampleInto(std::span<const RegionId> input,
   const double scale = epsilon / (2.0 * Sensitivity(static_cast<int>(n)));
   ws.rows.resize(n);
   std::span<const double> suffix;
+  ws.pins.clear();
   if (cache_enabled_) {
+    // Pins hold shared ownership until the draw completes, so a
+    // concurrent LRU eviction can never free a row mid-sample.
+    ws.pins.reserve(n + 1);
     for (size_t k = 0; k < n; ++k) {
-      ws.rows[k] = CachedWeightRow(input[k], scale).data();
+      ws.pins.push_back(CachedWeightRow(input[k], scale));
+      ws.rows[k] = ws.pins.back()->data();
     }
     if (n >= 2) {
-      suffix = CachedSuffixRow(input[n - 1], scale);
+      ws.pins.push_back(CachedSuffixRow(input[n - 1], scale));
+      suffix = *ws.pins.back();
     }
   } else {
     if (ws.scratch.size() < n + 1) ws.scratch.resize(n + 1);
@@ -145,10 +184,14 @@ Status NgramDomain::SampleInto(std::span<const RegionId> input,
     }
   }
 
-  return SamplePathEmInto(
+  const Status status = SamplePathEmInto(
       num_regions, [this](uint32_t v) { return graph_->Neighbors(v); },
       std::span<const double* const>(ws.rows.data(), n), suffix, rng, ws,
       out);
+  // Release the pins now that the draw is done — an idle workspace must
+  // not keep evicted rows alive past the capacity the cap promises.
+  ws.pins.clear();
+  return status;
 }
 
 StatusOr<std::vector<RegionId>> NgramDomain::Sample(

@@ -5,6 +5,7 @@
 #include <bit>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -35,6 +36,10 @@ struct SamplerWorkspace {
   std::vector<const double*> rows;
   /// Row storage when the domain's cache is disabled.
   std::vector<std::vector<double>> scratch;
+  /// Shared-ownership pins on cached rows for the duration of one draw,
+  /// so an LRU eviction on another thread can never free a row this
+  /// thread's sampler is still reading.
+  std::vector<std::shared_ptr<const std::vector<double>>> pins;
 };
 
 /// Exact exponential-mechanism sampling of one walk from a directed graph
@@ -191,9 +196,21 @@ StatusOr<std::vector<uint32_t>> SamplePathEm(
 /// inserted) and shared by all threads of a BatchReleaseEngine. Cached
 /// and uncached sampling perform bit-identical arithmetic, so disabling
 /// the cache (set_cache_enabled(false)) changes nothing but speed.
+///
+/// ### LRU cap (per-user ε workloads)
+///
+/// Under a fixed collector policy the key space is |R| and the caches
+/// plateau, but when users bring their own ε (so every trajectory-length
+/// × ε combination mints a new scale), the key space is unbounded.
+/// set_cache_capacity(k) caps EACH cache at k rows with least-recently-
+/// used eviction. Rows are shared_ptr-owned and samplers pin them for
+/// the duration of a draw, so eviction never invalidates a row in
+/// flight; a re-computed row is bit-identical to the evicted one (a pure
+/// function of (region, scale)), so capping — like disabling — changes
+/// memory and speed, never draws.
 class NgramDomain {
  public:
-  /// Cache occupancy and hit counters (diagnostics and tests).
+  /// Cache occupancy, hit, and eviction counters (diagnostics & tests).
   struct CacheStats {
     size_t weight_rows = 0;
     size_t suffix_rows = 0;
@@ -201,6 +218,8 @@ class NgramDomain {
     size_t weight_misses = 0;
     size_t suffix_hits = 0;
     size_t suffix_misses = 0;
+    size_t weight_evictions = 0;
+    size_t suffix_evictions = 0;
   };
 
   /// `graph` and `distance` must outlive this object and refer to the
@@ -240,6 +259,20 @@ class NgramDomain {
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
   bool cache_enabled() const { return cache_enabled_; }
 
+  /// Caps each row cache at `max_rows` entries with LRU eviction
+  /// (0, the default, = unbounded). Safe to call concurrently with
+  /// SampleInto: in-flight draws hold pins on any rows they borrowed.
+  void set_cache_capacity(size_t max_rows) {
+    std::unique_lock<std::shared_mutex> lock(cache_mu_);
+    cache_capacity_ = max_rows;
+    EvictOverCapacity(weight_cache_, weight_evictions_);
+    EvictOverCapacity(suffix_cache_, suffix_evictions_);
+  }
+  size_t cache_capacity() const {
+    std::shared_lock<std::shared_mutex> lock(cache_mu_);
+    return cache_capacity_;
+  }
+
   /// Drops every cached row (e.g. between benchmark repetitions). Not
   /// thread-safe against concurrent SampleInto calls: samplers borrow
   /// row pointers after releasing the cache lock, so clearing while a
@@ -266,11 +299,18 @@ class NgramDomain {
       return static_cast<size_t>(h);
     }
   };
-  /// unique_ptr values keep row addresses stable across rehashes, so a
-  /// pointer handed out under the shared lock stays valid forever.
+  /// A cached row plus its LRU clock. Rows are shared_ptr-owned so
+  /// borrowers pin them across evictions; unique_ptr entries keep the
+  /// atomic clock address-stable across rehashes.
+  struct CacheEntry {
+    std::shared_ptr<const std::vector<double>> row;
+    /// Tick of the last lookup, written under the shared lock (atomic,
+    /// relaxed: an approximate order is all LRU needs).
+    std::atomic<uint64_t> last_used{0};
+  };
   using RowCache =
-      std::unordered_map<RowKey, std::unique_ptr<std::vector<double>>,
-                         RowKeyHash>;
+      std::unordered_map<RowKey, std::unique_ptr<CacheEntry>, RowKeyHash>;
+  using RowPtr = std::shared_ptr<const std::vector<double>>;
 
   /// exp(−scale·d(r, ·)) over the cached float distance row.
   void ComputeWeightRow(region::RegionId r, double scale,
@@ -281,18 +321,22 @@ class NgramDomain {
 
   /// Double-checked cache protocol shared by both row caches: shared-lock
   /// lookup, compute outside any lock on miss, try_emplace under the
-  /// unique lock (a racing thread's identical row wins ties).
+  /// unique lock (a racing thread's identical row wins ties), then LRU
+  /// eviction down to cache_capacity_.
   template <typename ComputeFn>
-  const std::vector<double>& LookupOrCompute(RowCache& cache,
-                                             const RowKey& key,
-                                             std::atomic<size_t>& hits,
-                                             std::atomic<size_t>& misses,
-                                             ComputeFn&& compute) const;
+  RowPtr LookupOrCompute(RowCache& cache, const RowKey& key,
+                         std::atomic<size_t>& hits,
+                         std::atomic<size_t>& misses,
+                         std::atomic<size_t>& evictions,
+                         ComputeFn&& compute) const;
 
-  const std::vector<double>& CachedWeightRow(region::RegionId r,
-                                             double scale) const;
-  const std::vector<double>& CachedSuffixRow(region::RegionId r,
-                                             double scale) const;
+  /// Drops least-recently-used entries until `cache` fits the capacity.
+  /// Caller holds the unique lock.
+  void EvictOverCapacity(RowCache& cache,
+                         std::atomic<size_t>& evictions) const;
+
+  RowPtr CachedWeightRow(region::RegionId r, double scale) const;
+  RowPtr CachedSuffixRow(region::RegionId r, double scale) const;
 
   const region::RegionGraph* graph_;
   const region::RegionDistance* distance_;
@@ -302,10 +346,14 @@ class NgramDomain {
   mutable std::shared_mutex cache_mu_;
   mutable RowCache weight_cache_;
   mutable RowCache suffix_cache_;
+  size_t cache_capacity_ = 0;  // 0 = unbounded; guarded by cache_mu_
+  mutable std::atomic<uint64_t> lru_tick_{0};
   mutable std::atomic<size_t> weight_hits_{0};
   mutable std::atomic<size_t> weight_misses_{0};
   mutable std::atomic<size_t> suffix_hits_{0};
   mutable std::atomic<size_t> suffix_misses_{0};
+  mutable std::atomic<size_t> weight_evictions_{0};
+  mutable std::atomic<size_t> suffix_evictions_{0};
 };
 
 }  // namespace trajldp::core

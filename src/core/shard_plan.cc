@@ -1,0 +1,37 @@
+#include "core/shard_plan.h"
+
+#include <string>
+
+namespace trajldp::core {
+
+StatusOr<std::vector<FullRelease>> MergeShardReleases(
+    std::vector<std::vector<UserRelease>> shards, size_t expected_users) {
+  std::vector<FullRelease> merged(expected_users);
+  std::vector<bool> seen(expected_users, false);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    for (UserRelease& user : shards[s]) {
+      if (user.user_id >= expected_users) {
+        return Status::OutOfRange(
+            "shard " + std::to_string(s) + " released user " +
+            std::to_string(user.user_id) + " outside [0, " +
+            std::to_string(expected_users) + ")");
+      }
+      const auto idx = static_cast<size_t>(user.user_id);
+      if (seen[idx]) {
+        return Status::InvalidArgument(
+            "user " + std::to_string(user.user_id) +
+            " released by more than one shard (mis-partitioned stream)");
+      }
+      seen[idx] = true;
+      merged[idx] = std::move(user.release);
+    }
+  }
+  for (size_t u = 0; u < expected_users; ++u) {
+    if (!seen[u]) {
+      return Status::NotFound("no shard released user " + std::to_string(u));
+    }
+  }
+  return merged;
+}
+
+}  // namespace trajldp::core

@@ -1,0 +1,58 @@
+#ifndef TRAJLDP_CORE_SHARD_PLAN_H_
+#define TRAJLDP_CORE_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status_or.h"
+#include "core/collector_pipeline.h"
+
+namespace trajldp::core {
+
+/// \brief How a user population is partitioned across K independent
+/// collectors.
+///
+/// The caches behind a CollectorPipeline are per-decomposition and
+/// read-mostly, so a shard needs only the public city model plus this
+/// plan; no shard ever sees another shard's reports. Because per-user
+/// randomness is keyed by the GLOBAL user id (CollectorPipeline's RNG
+/// seam), the assignment below is pure routing: any plan — modulo,
+/// range, consistent hashing — yields bit-identical releases, merged or
+/// not. Modulo is the default because it balances load under dense ids.
+struct ShardPlan {
+  size_t num_shards = 1;
+
+  size_t ShardOf(uint64_t user_id) const {
+    return num_shards <= 1
+               ? 0
+               : static_cast<size_t>(user_id %
+                                     static_cast<uint64_t>(num_shards));
+  }
+};
+
+/// Routes one batch of reports (any type exposing `.user_id`, e.g.
+/// io::WireReport or UserRelease) into per-shard batches.
+template <typename Report>
+std::vector<std::vector<Report>> PartitionByShard(
+    const ShardPlan& plan, std::vector<Report> reports) {
+  std::vector<std::vector<Report>> shards(
+      plan.num_shards == 0 ? 1 : plan.num_shards);
+  for (Report& report : reports) {
+    shards[plan.ShardOf(report.user_id)].push_back(std::move(report));
+  }
+  return shards;
+}
+
+/// Merges the per-shard release streams back into the dense per-user
+/// vector BatchReleaseEngine::ReleaseAllFull would have produced: the
+/// release for user id u lands at index u. Fails when a user id is out
+/// of range [0, expected_users), appears twice (a mis-partitioned
+/// stream), or is missing (an incomplete shard). Shard and within-shard
+/// order are irrelevant.
+StatusOr<std::vector<FullRelease>> MergeShardReleases(
+    std::vector<std::vector<UserRelease>> shards, size_t expected_users);
+
+}  // namespace trajldp::core
+
+#endif  // TRAJLDP_CORE_SHARD_PLAN_H_

@@ -1,0 +1,141 @@
+#include "core/streaming_collector.h"
+
+#include <utility>
+
+namespace trajldp::core {
+
+io::ReportBatch MakeWireReports(
+    std::span<const region::RegionTrajectory> users,
+    std::vector<PerturbedNgramSet> perturbed, const NgramPerturber& perturber,
+    uint64_t first_user_id) {
+  io::ReportBatch reports(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    reports[i].user_id = first_user_id + i;
+    reports[i].trajectory_len = static_cast<uint32_t>(users[i].size());
+    reports[i].epsilon_prime =
+        perturber.EpsilonPerPerturbation(users[i].size());
+    reports[i].ngrams = std::move(perturbed[i]);
+  }
+  return reports;
+}
+
+StreamingCollector::StreamingCollector(const NGramMechanism* mechanism,
+                                       uint64_t seed, Sink sink)
+    : StreamingCollector(mechanism, seed, std::move(sink), Config()) {}
+
+StreamingCollector::StreamingCollector(const NGramMechanism* mechanism,
+                                       uint64_t seed, Sink sink,
+                                       Config config)
+    : pipeline_(mechanism->pipeline()),
+      seed_(seed),
+      sink_(std::move(sink)),
+      queue_(config.queue_capacity),
+      pool_(config.num_threads) {
+  workspaces_.resize(pool_.size());
+  for (size_t worker = 0; worker < pool_.size(); ++worker) {
+    pool_.Submit([this, worker] { WorkerLoop(worker); });
+  }
+}
+
+StreamingCollector::~StreamingCollector() { (void)Finish(); }
+
+Status StreamingCollector::Push(io::ReportBatch batch) {
+  if (finished_) {
+    return Status::FailedPrecondition("Push after Finish on a collector");
+  }
+  TRAJLDP_RETURN_NOT_OK(FirstError());
+  if (!queue_.Push(Item(std::move(batch)))) {
+    return Status::FailedPrecondition("Push after Finish on a collector");
+  }
+  return Status::Ok();
+}
+
+Status StreamingCollector::PushEncoded(std::string frame) {
+  if (finished_) {
+    return Status::FailedPrecondition("Push after Finish on a collector");
+  }
+  TRAJLDP_RETURN_NOT_OK(FirstError());
+  if (!queue_.Push(Item(std::move(frame)))) {
+    return Status::FailedPrecondition("Push after Finish on a collector");
+  }
+  return Status::Ok();
+}
+
+Status StreamingCollector::Finish() {
+  bool expected = false;
+  if (finished_.compare_exchange_strong(expected, true)) {
+    queue_.Close();
+    pool_.Wait();
+  }
+  return FirstError();
+}
+
+void StreamingCollector::WorkerLoop(size_t worker) {
+  PipelineWorkspace& ws = workspaces_[worker];
+  while (auto item = queue_.Pop()) {
+    // After an error, keep draining so blocked producers unblock, but do
+    // no further work.
+    if (has_error_.load(std::memory_order_relaxed)) continue;
+    if (std::holds_alternative<std::string>(*item)) {
+      auto batch = io::DecodeReportBatch(std::get<std::string>(*item));
+      if (!batch.ok()) {
+        LatchError(batch.status());
+        continue;
+      }
+      ProcessBatch(*batch, ws);
+    } else {
+      ProcessBatch(std::get<io::ReportBatch>(*item), ws);
+    }
+  }
+}
+
+void StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
+                                      PipelineWorkspace& ws) {
+  for (const io::WireReport& report : batch) {
+    if (has_error_.load(std::memory_order_relaxed)) return;
+    Status valid =
+        pipeline_.ValidateReport(report.trajectory_len, report.ngrams);
+    if (!valid.ok()) {
+      LatchError(Status(valid.code(),
+                        "user " + std::to_string(report.user_id) + ": " +
+                            std::string(valid.message())));
+      return;
+    }
+    // The whole point of the wire format: the collector stream depends
+    // only on (seed, global user id), never on which shard, batch, or
+    // worker the report landed on.
+    Rng collector_rng = CollectorPipeline::CollectorRng(
+        CollectorPipeline::UserRng(seed_, report.user_id));
+    UserRelease out;
+    out.user_id = report.user_id;
+    Status status = pipeline_.ReconstructReportInto(
+        report.trajectory_len, report.ngrams, collector_rng, ws,
+        out.release);
+    if (!status.ok()) {
+      LatchError(Status(status.code(),
+                        "user " + std::to_string(report.user_id) + ": " +
+                            std::string(status.message())));
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(sink_mu_);
+      sink_(std::move(out));
+    }
+    reports_released_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void StreamingCollector::LatchError(Status status) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (first_error_.ok()) {
+    first_error_ = std::move(status);
+    has_error_.store(true, std::memory_order_relaxed);
+  }
+}
+
+Status StreamingCollector::FirstError() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return first_error_;
+}
+
+}  // namespace trajldp::core

@@ -1,0 +1,137 @@
+#ifndef TRAJLDP_CORE_STREAMING_COLLECTOR_H_
+#define TRAJLDP_CORE_STREAMING_COLLECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/status_or.h"
+#include "common/thread_pool.h"
+#include "core/collector_pipeline.h"
+#include "core/mechanism.h"
+#include "io/wire.h"
+
+namespace trajldp::core {
+
+/// Device-side convenience shared by tests, benches, and examples:
+/// frames the perturbed sets of a dense user range (one per user, as
+/// BatchReleaseEngine::ReleaseAll returns them) into wire reports —
+/// global id `first_user_id + i`, the trajectory length, and the ε′ the
+/// perturber spends per draw. `perturbed` is consumed.
+io::ReportBatch MakeWireReports(
+    std::span<const region::RegionTrajectory> users,
+    std::vector<PerturbedNgramSet> perturbed, const NgramPerturber& perturber,
+    uint64_t first_user_id = 0);
+
+/// \brief Streaming, bounded-memory ingest of ε-LDP report batches.
+///
+/// Where BatchReleaseEngine needs every user materialised in one vector,
+/// this collector is an incremental consumer: producers Push report
+/// batches (already decoded, or still as wire-format frames) as they
+/// arrive; a bounded queue applies backpressure; worker threads decode,
+/// validate, reconstruct, and emit one FullRelease per report through
+/// the sink as soon as it is ready. Memory in flight is bounded by
+/// queue_capacity + one batch per worker, independent of how many users
+/// the stream carries.
+///
+/// ### Determinism and sharding
+///
+/// Each report's collector-side randomness is derived from the global
+/// user id: CollectorRng(UserRng(seed, user_id)) — see CollectorPipeline.
+/// Emission order is nondeterministic (workers race), but every emitted
+/// release is a pure function of (seed, user_id, report), so any
+/// partition of a report stream across K independent StreamingCollectors
+/// — different processes, different machines — merges (MergeShardReleases)
+/// into output bit-identical to BatchReleaseEngine::ReleaseAllFull over
+/// the same users with the same seed.
+///
+/// ### Error policy
+///
+/// The first failing report (malformed frame, out-of-range region id,
+/// reconstruction failure) latches an error: subsequent Push calls fail
+/// fast with it, in-flight work is discarded, and Finish() returns it.
+/// Reports already emitted stay emitted.
+class StreamingCollector {
+ public:
+  struct Config {
+    /// Worker threads; 0 → all hardware threads.
+    size_t num_threads = 0;
+    /// Maximum batches buffered between producers and workers. This is
+    /// the ingest pipeline's memory bound: producers block (backpressure)
+    /// when the queue is full.
+    size_t queue_capacity = 8;
+  };
+
+  /// Receives each finished release. Calls are serialised (one at a
+  /// time) but arrive in nondeterministic order and on worker threads.
+  using Sink = std::function<void(UserRelease)>;
+
+  /// `mechanism` must outlive this collector. `seed` must match the
+  /// batch engine's seed for bit-identical output.
+  StreamingCollector(const NGramMechanism* mechanism, uint64_t seed,
+                     Sink sink);
+  StreamingCollector(const NGramMechanism* mechanism, uint64_t seed,
+                     Sink sink, Config config);
+
+  /// Closes the stream and joins workers; a Finish() error that was
+  /// never observed is swallowed here.
+  ~StreamingCollector();
+
+  StreamingCollector(const StreamingCollector&) = delete;
+  StreamingCollector& operator=(const StreamingCollector&) = delete;
+
+  /// Enqueues one decoded batch. Blocks while the queue is full; fails
+  /// fast once a worker has latched an error or Finish() was called.
+  Status Push(io::ReportBatch batch);
+
+  /// Enqueues one wire-format frame; decoding happens on a worker
+  /// thread, so ingest threads never pay the parse cost.
+  Status PushEncoded(std::string frame);
+
+  /// Signals end of stream, drains the queue, joins the workers, and
+  /// returns the first error (Ok when every report released cleanly).
+  /// Idempotent; Push after Finish fails.
+  Status Finish();
+
+  size_t num_threads() const { return pool_.size(); }
+  /// Reports fully processed and emitted so far.
+  size_t reports_released() const {
+    return reports_released_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// A queue item: a decoded batch or a still-encoded wire frame.
+  using Item = std::variant<io::ReportBatch, std::string>;
+
+  void WorkerLoop(size_t worker);
+  void ProcessBatch(const io::ReportBatch& batch, PipelineWorkspace& ws);
+  void LatchError(Status status);
+  Status FirstError() const;
+
+  const CollectorPipeline pipeline_;
+  const uint64_t seed_;
+  const Sink sink_;
+
+  // Destruction order matters: workers reference the queue, workspaces,
+  // and counters, so the pool (joined in its destructor) is declared
+  // last and destroyed first.
+  BoundedQueue<Item> queue_;
+  std::vector<PipelineWorkspace> workspaces_;
+  std::atomic<size_t> reports_released_{0};
+  std::atomic<bool> has_error_{false};
+  mutable std::mutex error_mu_;
+  Status first_error_;
+  std::mutex sink_mu_;
+  std::atomic<bool> finished_{false};
+  ThreadPool pool_;
+};
+
+}  // namespace trajldp::core
+
+#endif  // TRAJLDP_CORE_STREAMING_COLLECTOR_H_

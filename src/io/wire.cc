@@ -1,0 +1,375 @@
+#include "io/wire.h"
+
+#include <array>
+#include <bit>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace trajldp::io {
+
+namespace {
+
+// ------------------------------------------------------------------ CRC-32
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrcTable = MakeCrc32Table();
+
+// ------------------------------------------------------- little-endian I/O
+
+void PutU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Bounds-checked cursor over an immutable byte view: every read either
+/// fits or fails, so a truncated or hostile frame can never read out of
+/// range.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  Status ReadU16(uint16_t* v) {
+    if (remaining() < 2) return Truncated("u16");
+    *v = 0;
+    for (int i = 0; i < 2; ++i) {
+      *v |= static_cast<uint16_t>(Byte(pos_ + i)) << (8 * i);
+    }
+    pos_ += 2;
+    return Status::Ok();
+  }
+
+  Status ReadU32(uint32_t* v) {
+    if (remaining() < 4) return Truncated("u32");
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(Byte(pos_ + i)) << (8 * i);
+    }
+    pos_ += 4;
+    return Status::Ok();
+  }
+
+  Status ReadU64(uint64_t* v) {
+    if (remaining() < 8) return Truncated("u64");
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(Byte(pos_ + i)) << (8 * i);
+    }
+    pos_ += 8;
+    return Status::Ok();
+  }
+
+ private:
+  uint8_t Byte(size_t i) const { return static_cast<uint8_t>(data_[i]); }
+  static Status Truncated(const char* what) {
+    return Status::InvalidArgument(std::string("wire payload truncated: ") +
+                                   what + " extends past the frame");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status DecodeReport(ByteReader& reader, WireReport* report) {
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&report->user_id));
+  uint64_t eps_bits = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&eps_bits));
+  report->epsilon_prime = std::bit_cast<double>(eps_bits);
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&report->trajectory_len));
+  uint32_t ngram_count = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&ngram_count));
+  // Each n-gram is at least 12 bytes (a, b, one region), so an absurd
+  // count is rejected before any allocation is sized from it.
+  if (static_cast<size_t>(ngram_count) * 12 > reader.remaining()) {
+    return Status::InvalidArgument(
+        "wire report declares more n-grams than the frame can hold");
+  }
+  report->ngrams.clear();
+  report->ngrams.reserve(ngram_count);
+  for (uint32_t g = 0; g < ngram_count; ++g) {
+    uint32_t a = 0;
+    uint32_t b = 0;
+    TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&a));
+    TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&b));
+    if (a < 1 || b < a || b > report->trajectory_len) {
+      return Status::InvalidArgument(
+          "wire n-gram bounds violate 1 <= a <= b <= trajectory_len (a=" +
+          std::to_string(a) + ", b=" + std::to_string(b) +
+          ", len=" + std::to_string(report->trajectory_len) + ")");
+    }
+    const size_t span = b - a + 1;
+    if (span * 4 > reader.remaining()) {
+      return Status::InvalidArgument(
+          "wire n-gram region list extends past the frame");
+    }
+    core::PerturbedNgram gram;
+    gram.a = a;
+    gram.b = b;
+    gram.regions.resize(span);
+    for (size_t i = 0; i < span; ++i) {
+      TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&gram.regions[i]));
+    }
+    report->ngrams.push_back(std::move(gram));
+  }
+  return Status::Ok();
+}
+
+void EncodeReport(std::string& out, const WireReport& report) {
+  PutU64(out, report.user_id);
+  PutU64(out, std::bit_cast<uint64_t>(report.epsilon_prime));
+  PutU32(out, report.trajectory_len);
+  PutU32(out, static_cast<uint32_t>(report.ngrams.size()));
+  for (const core::PerturbedNgram& gram : report.ngrams) {
+    PutU32(out, static_cast<uint32_t>(gram.a));
+    PutU32(out, static_cast<uint32_t>(gram.b));
+    for (region::RegionId r : gram.regions) PutU32(out, r);
+  }
+}
+
+Status DecodePayload(std::string_view payload, uint32_t report_count,
+                     ReportBatch* batch) {
+  // A report is at least 24 bytes, so the declared count bounds the
+  // reserve before any payload byte is trusted.
+  if (static_cast<size_t>(report_count) * 24 > payload.size()) {
+    return Status::InvalidArgument(
+        "wire frame declares more reports than the payload can hold");
+  }
+  ByteReader reader(payload);
+  batch->clear();
+  batch->reserve(report_count);
+  for (uint32_t i = 0; i < report_count; ++i) {
+    WireReport report;
+    TRAJLDP_RETURN_NOT_OK(DecodeReport(reader, &report));
+    batch->push_back(std::move(report));
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument(
+        "wire payload has " + std::to_string(reader.remaining()) +
+        " trailing byte(s) after the last report");
+  }
+  return Status::Ok();
+}
+
+struct FrameHeader {
+  uint32_t report_count = 0;
+  uint32_t payload_bytes = 0;
+};
+
+Status DecodeHeader(std::string_view header, FrameHeader* out) {
+  ByteReader reader(header);
+  uint32_t magic = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&magic));
+  if (magic != kWireMagic) {
+    return Status::InvalidArgument("bad wire magic: not a TLWB frame");
+  }
+  uint16_t version = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU16(&version));
+  if (version != kWireVersion) {
+    return Status::Unimplemented("unsupported wire format version " +
+                                 std::to_string(version) + " (expected " +
+                                 std::to_string(kWireVersion) + ")");
+  }
+  uint16_t flags = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU16(&flags));
+  if (flags != 0) {
+    return Status::InvalidArgument(
+        "wire frame sets reserved flag bits unknown to version 1");
+  }
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&out->report_count));
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&out->payload_bytes));
+  // Checked here — before any caller sizes a buffer from it — so a
+  // hostile 16-byte header cannot force a multi-gigabyte allocation.
+  if (out->payload_bytes > kWireMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "wire frame declares a " + std::to_string(out->payload_bytes) +
+        "-byte payload, over the " + std::to_string(kWireMaxPayloadBytes) +
+        "-byte frame limit");
+  }
+  return Status::Ok();
+}
+
+Status CheckCrc(std::string_view payload, std::string_view trailer) {
+  ByteReader reader(trailer);
+  uint32_t stored = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&stored));
+  const uint32_t computed = Crc32(payload);
+  if (stored != computed) {
+    return Status::InvalidArgument("wire payload checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char ch : data) {
+    crc = kCrcTable[(crc ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+StatusOr<std::string> EncodeReportBatch(std::span<const WireReport> batch) {
+  std::string payload;
+  for (const WireReport& report : batch) EncodeReport(payload, report);
+  if (payload.size() > kWireMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "report batch encodes to " + std::to_string(payload.size()) +
+        " payload bytes, over the " + std::to_string(kWireMaxPayloadBytes) +
+        "-byte frame limit; split the batch");
+  }
+
+  std::string frame;
+  frame.reserve(kWireHeaderBytes + payload.size() + kWireTrailerBytes);
+  PutU32(frame, kWireMagic);
+  PutU16(frame, kWireVersion);
+  PutU16(frame, 0);  // flags, reserved
+  PutU32(frame, static_cast<uint32_t>(batch.size()));
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+  PutU32(frame, Crc32(payload));
+  return frame;
+}
+
+StatusOr<ReportBatch> DecodeReportBatch(std::string_view data) {
+  if (data.size() < kWireHeaderBytes + kWireTrailerBytes) {
+    return Status::InvalidArgument(
+        "wire frame truncated: shorter than header + checksum");
+  }
+  FrameHeader header;
+  TRAJLDP_RETURN_NOT_OK(
+      DecodeHeader(data.substr(0, kWireHeaderBytes), &header));
+  const size_t expected =
+      kWireHeaderBytes + header.payload_bytes + kWireTrailerBytes;
+  if (data.size() < expected) {
+    return Status::InvalidArgument(
+        "wire frame truncated: header declares " +
+        std::to_string(header.payload_bytes) + " payload byte(s) but only " +
+        std::to_string(data.size() - kWireHeaderBytes - kWireTrailerBytes) +
+        " are present");
+  }
+  if (data.size() > expected) {
+    return Status::InvalidArgument(
+        "wire frame has trailing bytes (use WireReader for streams)");
+  }
+  const std::string_view payload =
+      data.substr(kWireHeaderBytes, header.payload_bytes);
+  TRAJLDP_RETURN_NOT_OK(
+      CheckCrc(payload, data.substr(kWireHeaderBytes + header.payload_bytes)));
+  ReportBatch batch;
+  TRAJLDP_RETURN_NOT_OK(DecodePayload(payload, header.report_count, &batch));
+  return batch;
+}
+
+Status WireWriter::WriteBatch(std::span<const WireReport> batch) {
+  if (out_ == nullptr) {
+    return Status::InvalidArgument("WireWriter has no output stream");
+  }
+  auto frame = EncodeReportBatch(batch);
+  if (!frame.ok()) return frame.status();
+  out_->write(frame->data(), static_cast<std::streamsize>(frame->size()));
+  if (!out_->good()) {
+    return Status::Internal("wire write failed: output stream error");
+  }
+  ++batches_written_;
+  return Status::Ok();
+}
+
+Status WireReader::Next(ReportBatch* out, bool* done) {
+  *done = false;
+  if (in_ == nullptr) {
+    return Status::InvalidArgument("WireReader has no input stream");
+  }
+  std::string header(kWireHeaderBytes, '\0');
+  in_->read(header.data(), static_cast<std::streamsize>(header.size()));
+  const auto got = static_cast<size_t>(in_->gcount());
+  if (got == 0 && in_->eof()) {
+    *done = true;  // clean end of stream, exactly between frames
+    return Status::Ok();
+  }
+  if (got < header.size()) {
+    return Status::InvalidArgument(
+        "wire stream truncated inside a frame header");
+  }
+  FrameHeader frame;
+  TRAJLDP_RETURN_NOT_OK(DecodeHeader(header, &frame));
+
+  std::string rest(static_cast<size_t>(frame.payload_bytes) +
+                       kWireTrailerBytes,
+                   '\0');
+  in_->read(rest.data(), static_cast<std::streamsize>(rest.size()));
+  if (static_cast<size_t>(in_->gcount()) < rest.size()) {
+    return Status::InvalidArgument(
+        "wire stream truncated inside a frame payload");
+  }
+  const std::string_view payload =
+      std::string_view(rest).substr(0, frame.payload_bytes);
+  TRAJLDP_RETURN_NOT_OK(
+      CheckCrc(payload, std::string_view(rest).substr(frame.payload_bytes)));
+  TRAJLDP_RETURN_NOT_OK(DecodePayload(payload, frame.report_count, out));
+  ++batches_read_;
+  return Status::Ok();
+}
+
+Status WriteReportBatches(const std::string& path,
+                          std::span<const ReportBatch> batches) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  WireWriter writer(&file);
+  for (const ReportBatch& batch : batches) {
+    TRAJLDP_RETURN_NOT_OK(writer.WriteBatch(batch));
+  }
+  file.close();
+  if (!file) {
+    return Status::Internal("error while closing " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<ReportBatch>> ReadReportBatches(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open " + path + " for reading");
+  }
+  WireReader reader(&file);
+  std::vector<ReportBatch> batches;
+  for (;;) {
+    ReportBatch batch;
+    bool done = false;
+    TRAJLDP_RETURN_NOT_OK(reader.Next(&batch, &done));
+    if (done) break;
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace trajldp::io

@@ -1,0 +1,126 @@
+#ifndef TRAJLDP_IO_WIRE_H_
+#define TRAJLDP_IO_WIRE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+#include "core/ngram.h"
+
+namespace trajldp::io {
+
+/// \brief The versioned binary wire format for ε-LDP perturbed reports.
+///
+/// The collector consumes each user's PerturbedNgramSet independently, so
+/// the server side shards trivially — provided reports can travel between
+/// processes. This is that contract: a report batch is one self-framing
+/// byte blob that any shard can decode with nothing but the public city
+/// model. See docs/WIRE_FORMAT.md for the byte-level spec.
+///
+/// Properties:
+///  * endian-stable — every integer is serialised little-endian byte by
+///    byte, so frames written on any host decode on any other;
+///  * versioned — frames carry a format version; decoders reject versions
+///    they do not speak instead of misreading them;
+///  * framed + checksummed — a 16-byte header (magic, version, flags,
+///    report count, payload size) plus a trailing 4-byte CRC-32 of the
+///    payload (20 bytes total overhead), so readers can walk frames in
+///    a stream and detect corruption;
+///  * robust — DecodeReportBatch validates every length and index before
+///    trusting it; malformed input of any kind (truncation, bad magic,
+///    wrong version, corrupted checksum, inconsistent n-gram bounds)
+///    yields a clean Status, never undefined behaviour.
+
+/// One user's ε-LDP report as it travels to the collector: the global
+/// user id (the shard-independent RNG substream key), the per-invocation
+/// budget ε′ the device used, the trajectory length L (public: the n-gram
+/// index range already reveals it), and the perturbed n-gram set Z.
+struct WireReport {
+  uint64_t user_id = 0;
+  double epsilon_prime = 0.0;
+  uint32_t trajectory_len = 0;
+  core::PerturbedNgramSet ngrams;
+
+  bool operator==(const WireReport&) const = default;
+};
+
+/// The unit of ingest: a group of reports framed together.
+using ReportBatch = std::vector<WireReport>;
+
+/// The frame header magic, "TLWB" (TrajLdp Wire Batch) as bytes.
+inline constexpr uint32_t kWireMagic = 0x4257'4C54u;  // 'T','L','W','B' LE
+/// The current (and only) format version.
+inline constexpr uint16_t kWireVersion = 1;
+/// Fixed frame overhead: 16-byte header + 4-byte payload CRC-32.
+inline constexpr size_t kWireHeaderBytes = 16;
+inline constexpr size_t kWireTrailerBytes = 4;
+/// Largest payload a v1 frame may declare. Caps what a 16-byte hostile
+/// header can make WireReader allocate before any payload byte arrives;
+/// writers enforce it too, so every frame written is readable.
+inline constexpr uint32_t kWireMaxPayloadBytes = 64u << 20;  // 64 MiB
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) of `data`.
+/// Exposed for tests and for tools that frame their own payloads.
+uint32_t Crc32(std::string_view data);
+
+/// Serialises one batch into a self-contained frame. Fails when the
+/// payload would exceed kWireMaxPayloadBytes — at the encode site, not
+/// remotely at some decoder — in which case the batch must be split.
+StatusOr<std::string> EncodeReportBatch(std::span<const WireReport> batch);
+
+/// Decodes one frame. `data` must be exactly one frame; trailing bytes
+/// are rejected (use WireReader for multi-frame streams). All structural
+/// invariants are checked: magic, version, zero flags, payload size,
+/// checksum, and per-report n-gram bounds (1 ≤ a ≤ b ≤ trajectory_len,
+/// regions.size() == b − a + 1).
+StatusOr<ReportBatch> DecodeReportBatch(std::string_view data);
+
+/// \brief Appends frames to a std::ostream (file, socket buffer, pipe).
+class WireWriter {
+ public:
+  /// `out` must outlive this writer.
+  explicit WireWriter(std::ostream* out) : out_(out) {}
+
+  /// Encodes and writes one frame. Fails on stream write errors.
+  Status WriteBatch(std::span<const WireReport> batch);
+
+  size_t batches_written() const { return batches_written_; }
+
+ private:
+  std::ostream* out_;
+  size_t batches_written_ = 0;
+};
+
+/// \brief Reads frames back from a std::istream, one batch at a time —
+/// the reader never buffers more than a single frame, so arbitrarily
+/// long report streams ingest with bounded memory.
+class WireReader {
+ public:
+  /// `in` must outlive this reader.
+  explicit WireReader(std::istream* in) : in_(in) {}
+
+  /// Reads the next frame into `out`. At a clean end of stream, sets
+  /// `*done` to true and leaves `out` untouched. A frame cut short by
+  /// EOF is a corruption error, not a clean end.
+  Status Next(ReportBatch* out, bool* done);
+
+  size_t batches_read() const { return batches_read_; }
+
+ private:
+  std::istream* in_;
+  size_t batches_read_ = 0;
+};
+
+/// File-level conveniences: a wire file is a plain concatenation of
+/// frames.
+Status WriteReportBatches(const std::string& path,
+                          std::span<const ReportBatch> batches);
+StatusOr<std::vector<ReportBatch>> ReadReportBatches(const std::string& path);
+
+}  // namespace trajldp::io
+
+#endif  // TRAJLDP_IO_WIRE_H_

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
+#include "common/bounded_queue.h"
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -303,6 +308,99 @@ TEST(TablePrinterTest, CsvOutput) {
 TEST(TablePrinterTest, FmtPrecision) {
   EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
   EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+}
+
+// ---------- BoundedQueue ----------
+
+TEST(BoundedQueueTest, FifoOrderSingleThread) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_TRUE(queue.Push(3));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), 3);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityPromotedToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_FALSE(queue.TryPush(2));  // full
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  (void)queue.Pop();
+  EXPECT_TRUE(queue.TryPush(3));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(7));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.Push(8));        // rejected after close
+  EXPECT_EQ(queue.Pop(), 7);          // still drains
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+  EXPECT_EQ(queue.Pop(), std::nullopt);  // idempotent
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilConsumerMakesRoom) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the pop below
+    second_pushed.store(true);
+  });
+  // The producer cannot finish while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(queue.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(queue.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksWaitingProducerAndConsumer) {
+  BoundedQueue<int> full(1);
+  ASSERT_TRUE(full.Push(1));
+  std::thread producer([&] { EXPECT_FALSE(full.Push(2)); });
+  BoundedQueue<int> empty(1);
+  std::thread consumer([&] { EXPECT_EQ(empty.Pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  full.Close();
+  empty.Close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, ManyProducersOneConsumerDeliverEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<int> queue(3);  // deliberately tiny: forces backpressure
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::thread closer([&] {
+    for (auto& t : producers) t.join();
+    queue.Close();
+  });
+  std::set<int> received;
+  while (auto item = queue.Pop()) received.insert(*item);
+  closer.join();
+  EXPECT_EQ(received.size(),
+            static_cast<size_t>(kProducers * kPerProducer));
 }
 
 }  // namespace

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/batch_release_engine.h"
+#include "core/mechanism.h"
+#include "core/shard_plan.h"
+#include "core/streaming_collector.h"
+#include "io/wire.h"
+#include "test_world.h"
+
+namespace trajldp::core {
+namespace {
+
+using trajldp::testing::MakeGridWorld;
+
+// The acceptance criterion of the streaming refactor: K independent
+// collectors over any user partition, fed any batch sizes, with any
+// worker counts, produce output bit-identical to
+// BatchReleaseEngine::ReleaseAllFull (itself bit-identical to the
+// sequential ReleaseFromRegions loop) under the same seed.
+class StreamingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trajldp::testing::GridWorldOptions options;
+    options.rows = 15;
+    options.cols = 15;
+    auto db = MakeGridWorld(options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<model::PoiDatabase>(std::move(*db));
+    time_ = *model::TimeDomain::Create(10);
+
+    NGramConfig config;
+    config.n = 2;
+    config.epsilon = 5.0;
+    config.decomposition.grid_size = 5;
+    config.decomposition.coarse_grids = {1};
+    config.decomposition.base_interval_minutes = 720;
+    config.decomposition.merge.kappa = 1;
+    config.reachability.speed_kmh = 30.0;
+    config.reachability.reference_gap_minutes = 60;
+    auto mech = NGramMechanism::Build(db_.get(), time_, config);
+    ASSERT_TRUE(mech.ok()) << mech.status();
+    mech_ = std::make_unique<NGramMechanism>(std::move(*mech));
+  }
+
+  std::vector<region::RegionTrajectory> MakeUsers(size_t count,
+                                                  uint64_t seed) const {
+    const auto num_regions =
+        static_cast<uint64_t>(mech_->decomposition().num_regions());
+    Rng rng(seed);
+    std::vector<region::RegionTrajectory> users(count);
+    for (auto& tau : users) {
+      const size_t len = 2 + static_cast<size_t>(rng.UniformUint64(4));
+      for (size_t i = 0; i < len; ++i) {
+        tau.push_back(
+            static_cast<region::RegionId>(rng.UniformUint64(num_regions)));
+      }
+    }
+    return users;
+  }
+
+  // The device side of the streaming story: the perturbed reports exactly
+  // as a perturb-only collection (ReleaseAll) would gather them — which,
+  // by the pipeline's RNG seam, are the same n-gram sets ReleaseAllFull
+  // consumes internally.
+  io::ReportBatch MakeReports(
+      const std::vector<region::RegionTrajectory>& users, uint64_t seed) {
+    BatchReleaseEngine engine(&mech_->perturber(),
+                              BatchReleaseEngine::Config{2});
+    auto perturbed = engine.ReleaseAll(users, seed);
+    EXPECT_TRUE(perturbed.ok()) << perturbed.status();
+    return MakeWireReports(users, std::move(*perturbed), mech_->perturber());
+  }
+
+  std::vector<FullRelease> Reference(
+      const std::vector<region::RegionTrajectory>& users, uint64_t seed) {
+    BatchReleaseEngine engine(mech_.get(), BatchReleaseEngine::Config{2});
+    auto reference = engine.ReleaseAllFull(users, seed);
+    EXPECT_TRUE(reference.ok()) << reference.status();
+    return std::move(*reference);
+  }
+
+  // Streams `reports` through `num_shards` independent collectors in
+  // batches of `batch_size`, optionally over the wire encoding, and
+  // merges the shard outputs.
+  StatusOr<std::vector<FullRelease>> StreamAndMerge(
+      const io::ReportBatch& reports, uint64_t seed, size_t num_shards,
+      size_t batch_size, size_t num_threads, size_t queue_capacity,
+      bool encoded) {
+    const ShardPlan plan{num_shards};
+    auto sharded = PartitionByShard(plan, io::ReportBatch(reports));
+    std::vector<std::vector<UserRelease>> outputs(sharded.size());
+    for (size_t s = 0; s < sharded.size(); ++s) {
+      StreamingCollector::Config config;
+      config.num_threads = num_threads;
+      config.queue_capacity = queue_capacity;
+      StreamingCollector collector(
+          mech_.get(), seed,
+          [&outputs, s](UserRelease release) {
+            outputs[s].push_back(std::move(release));
+          },
+          config);
+      for (size_t begin = 0; begin < sharded[s].size();
+           begin += batch_size) {
+        const size_t end = std::min(begin + batch_size, sharded[s].size());
+        io::ReportBatch batch(sharded[s].begin() + begin,
+                              sharded[s].begin() + end);
+        Status pushed;
+        if (encoded) {
+          auto frame = io::EncodeReportBatch(batch);
+          TRAJLDP_RETURN_NOT_OK(frame.status());
+          pushed = collector.PushEncoded(std::move(*frame));
+        } else {
+          pushed = collector.Push(std::move(batch));
+        }
+        TRAJLDP_RETURN_NOT_OK(pushed);
+      }
+      TRAJLDP_RETURN_NOT_OK(collector.Finish());
+    }
+    return MergeShardReleases(std::move(outputs), reports.size());
+  }
+
+  std::unique_ptr<model::PoiDatabase> db_;
+  model::TimeDomain time_;
+  std::unique_ptr<NGramMechanism> mech_;
+};
+
+void ExpectIdenticalReleases(const std::vector<FullRelease>& a,
+                             const std::vector<FullRelease>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].regions, b[i].regions) << "user " << i;
+    EXPECT_EQ(a[i].trajectory, b[i].trajectory) << "user " << i;
+    EXPECT_EQ(a[i].poi_attempts, b[i].poi_attempts) << "user " << i;
+    EXPECT_EQ(a[i].smoothed, b[i].smoothed) << "user " << i;
+  }
+}
+
+// The ASan/UBSan-suite determinism smoke: 1 shard vs 4 shards, both
+// against the in-process batch engine.
+TEST_F(StreamingFixture, OneVsFourShardsMatchBatchEngine) {
+  const uint64_t seed = 20260729;
+  const auto users = MakeUsers(24, 3);
+  const auto reference = Reference(users, seed);
+  const auto reports = MakeReports(users, seed);
+
+  for (const size_t shards : {1u, 4u}) {
+    auto merged = StreamAndMerge(reports, seed, shards, /*batch_size=*/4,
+                                 /*num_threads=*/2, /*queue_capacity=*/2,
+                                 /*encoded=*/false);
+    ASSERT_TRUE(merged.ok()) << "shards " << shards << ": "
+                             << merged.status();
+    ExpectIdenticalReleases(*merged, reference);
+  }
+}
+
+TEST_F(StreamingFixture, AnyShardCountBatchSizeAndThreadCountIsBitIdentical) {
+  const uint64_t seed = 77;
+  const auto users = MakeUsers(18, 5);
+  const auto reference = Reference(users, seed);
+  const auto reports = MakeReports(users, seed);
+
+  for (const size_t shards : {1u, 2u, 3u}) {
+    for (const size_t batch_size : {1u, 5u, 18u}) {
+      for (const size_t threads : {1u, 4u}) {
+        auto merged = StreamAndMerge(reports, seed, shards, batch_size,
+                                     threads, /*queue_capacity=*/1,
+                                     /*encoded=*/false);
+        ASSERT_TRUE(merged.ok())
+            << "shards " << shards << " batch " << batch_size << " threads "
+            << threads << ": " << merged.status();
+        ExpectIdenticalReleases(*merged, reference);
+      }
+    }
+  }
+}
+
+TEST_F(StreamingFixture, WireEncodedIngestIsBitIdentical) {
+  const uint64_t seed = 123;
+  const auto users = MakeUsers(12, 9);
+  const auto reference = Reference(users, seed);
+  const auto reports = MakeReports(users, seed);
+
+  auto merged = StreamAndMerge(reports, seed, /*num_shards=*/2,
+                               /*batch_size=*/3, /*num_threads=*/2,
+                               /*queue_capacity=*/2, /*encoded=*/true);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  ExpectIdenticalReleases(*merged, reference);
+}
+
+TEST_F(StreamingFixture, ReportsReleasedCountsEveryUser) {
+  const uint64_t seed = 11;
+  const auto users = MakeUsers(10, 13);
+  const auto reports = MakeReports(users, seed);
+  std::vector<UserRelease> out;
+  StreamingCollector collector(
+      mech_.get(), seed,
+      [&out](UserRelease release) { out.push_back(std::move(release)); });
+  ASSERT_TRUE(collector.Push(reports).ok());
+  ASSERT_TRUE(collector.Finish().ok());
+  EXPECT_EQ(collector.reports_released(), users.size());
+  EXPECT_EQ(out.size(), users.size());
+}
+
+TEST_F(StreamingFixture, MalformedFrameFailsFinishCleanly) {
+  StreamingCollector collector(mech_.get(), 1,
+                               [](UserRelease) { FAIL(); });
+  ASSERT_TRUE(collector.PushEncoded("definitely not a frame").ok());
+  auto status = collector.Finish();
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(StreamingFixture, OutOfRangeRegionIdRejectedNotIndexed) {
+  io::WireReport report;
+  report.user_id = 0;
+  report.trajectory_len = 2;
+  report.epsilon_prime = 1.0;
+  report.ngrams.push_back(core::PerturbedNgram{
+      1, 2, {0, static_cast<region::RegionId>(1u << 30)}});
+  StreamingCollector collector(mech_.get(), 1,
+                               [](UserRelease) { FAIL(); });
+  ASSERT_TRUE(collector.Push(io::ReportBatch{report}).ok());
+  auto status = collector.Finish();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(StreamingFixture, HugeTrajectoryLenRejectedBeforeAllocation) {
+  // A well-formed frame whose report claims L = 2^32 − 1 over a single
+  // covered position must be rejected by coverage validation — never
+  // reaching the L-sized reconstruction problem.
+  io::WireReport report;
+  report.user_id = 0;
+  report.trajectory_len = ~uint32_t{0};
+  report.epsilon_prime = 1.0;
+  report.ngrams.push_back(core::PerturbedNgram{1, 1, {0}});
+  StreamingCollector collector(mech_.get(), 1,
+                               [](UserRelease) { FAIL(); });
+  ASSERT_TRUE(collector.Push(io::ReportBatch{report}).ok());
+  auto status = collector.Finish();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StreamingFixture, UncoveredPositionRejected) {
+  io::WireReport report;
+  report.user_id = 0;
+  report.trajectory_len = 3;
+  report.epsilon_prime = 1.0;
+  // Positions 1 and 3 covered twice each; position 2 never.
+  report.ngrams.push_back(core::PerturbedNgram{1, 1, {0}});
+  report.ngrams.push_back(core::PerturbedNgram{1, 1, {1}});
+  report.ngrams.push_back(core::PerturbedNgram{3, 3, {0}});
+  report.ngrams.push_back(core::PerturbedNgram{3, 3, {1}});
+  StreamingCollector collector(mech_.get(), 1,
+                               [](UserRelease) { FAIL(); });
+  ASSERT_TRUE(collector.Push(io::ReportBatch{report}).ok());
+  auto status = collector.Finish();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("uncovered"), std::string::npos);
+}
+
+TEST_F(StreamingFixture, InconsistentNgramSpanRejected) {
+  io::WireReport report;
+  report.user_id = 0;
+  report.trajectory_len = 3;
+  report.epsilon_prime = 1.0;
+  core::PerturbedNgram gram;
+  gram.a = 1;
+  gram.b = 2;
+  gram.regions = {0};  // should be 2 regions
+  report.ngrams.push_back(gram);
+  StreamingCollector collector(mech_.get(), 1,
+                               [](UserRelease) { FAIL(); });
+  ASSERT_TRUE(collector.Push(io::ReportBatch{report}).ok());
+  EXPECT_FALSE(collector.Finish().ok());
+}
+
+TEST_F(StreamingFixture, PushAfterFinishFails) {
+  StreamingCollector collector(mech_.get(), 1, [](UserRelease) {});
+  ASSERT_TRUE(collector.Finish().ok());
+  EXPECT_FALSE(collector.Push(io::ReportBatch{}).ok());
+  EXPECT_FALSE(collector.PushEncoded("x").ok());
+}
+
+TEST_F(StreamingFixture, FinishIsIdempotent) {
+  const auto users = MakeUsers(4, 21);
+  const auto reports = MakeReports(users, 2);
+  std::vector<UserRelease> out;
+  StreamingCollector collector(
+      mech_.get(), 2,
+      [&out](UserRelease release) { out.push_back(std::move(release)); });
+  ASSERT_TRUE(collector.Push(reports).ok());
+  ASSERT_TRUE(collector.Finish().ok());
+  ASSERT_TRUE(collector.Finish().ok());
+  EXPECT_EQ(out.size(), users.size());
+}
+
+// ---------- ShardPlan / MergeShardReleases ----------
+
+TEST(ShardPlanTest, ModuloRoutingCoversAllShards) {
+  const ShardPlan plan{3};
+  std::vector<size_t> counts(3, 0);
+  for (uint64_t id = 0; id < 30; ++id) {
+    const size_t shard = plan.ShardOf(id);
+    ASSERT_LT(shard, 3u);
+    ++counts[shard];
+  }
+  for (size_t s = 0; s < 3; ++s) EXPECT_EQ(counts[s], 10u);
+  EXPECT_EQ(ShardPlan{1}.ShardOf(999), 0u);
+  EXPECT_EQ(ShardPlan{0}.ShardOf(999), 0u);  // degenerate plan: one shard
+}
+
+TEST(ShardPlanTest, PartitionByShardRoutesByUserId) {
+  io::ReportBatch reports(7);
+  for (size_t i = 0; i < reports.size(); ++i) reports[i].user_id = i;
+  auto sharded = PartitionByShard(ShardPlan{2}, std::move(reports));
+  ASSERT_EQ(sharded.size(), 2u);
+  EXPECT_EQ(sharded[0].size(), 4u);  // users 0, 2, 4, 6
+  EXPECT_EQ(sharded[1].size(), 3u);  // users 1, 3, 5
+  for (const auto& report : sharded[0]) EXPECT_EQ(report.user_id % 2, 0u);
+  for (const auto& report : sharded[1]) EXPECT_EQ(report.user_id % 2, 1u);
+}
+
+std::vector<std::vector<UserRelease>> TwoShardReleases() {
+  std::vector<std::vector<UserRelease>> shards(2);
+  for (uint64_t id : {0u, 2u}) {
+    UserRelease r;
+    r.user_id = id;
+    shards[0].push_back(std::move(r));
+  }
+  UserRelease r;
+  r.user_id = 1;
+  shards[1].push_back(std::move(r));
+  return shards;
+}
+
+TEST(MergeShardReleasesTest, MergesDenseUsers) {
+  auto merged = MergeShardReleases(TwoShardReleases(), 3);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(merged->size(), 3u);
+}
+
+TEST(MergeShardReleasesTest, MissingUserReported) {
+  auto merged = MergeShardReleases(TwoShardReleases(), 4);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(merged.status().message().find("user 3"), std::string::npos);
+}
+
+TEST(MergeShardReleasesTest, DuplicateUserReported) {
+  auto shards = TwoShardReleases();
+  UserRelease dup;
+  dup.user_id = 2;
+  shards[1].push_back(std::move(dup));
+  auto merged = MergeShardReleases(std::move(shards), 3);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MergeShardReleasesTest, OutOfRangeUserReported) {
+  auto shards = TwoShardReleases();
+  UserRelease big;
+  big.user_id = 99;
+  shards[0].push_back(std::move(big));
+  auto merged = MergeShardReleases(std::move(shards), 3);
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace trajldp::core

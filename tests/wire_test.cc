@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "io/wire.h"
+
+namespace trajldp::io {
+namespace {
+
+// ---------- helpers ----------
+
+// Randomized but structurally valid report: trajectory length in
+// [1, 12], a paper-shaped n-gram cover (mains + prefix/suffix ends) with
+// arbitrary region ids, a per-draw ε′ derived from the length.
+WireReport RandomReport(Rng& rng, uint64_t user_id) {
+  WireReport report;
+  report.user_id = user_id;
+  const size_t len = 1 + static_cast<size_t>(rng.UniformUint64(12));
+  report.trajectory_len = static_cast<uint32_t>(len);
+  const size_t n = std::min<size_t>(len, 1 + rng.UniformUint64(3));
+  report.epsilon_prime = 5.0 / static_cast<double>(len + n - 1);
+  auto random_gram = [&](size_t a, size_t b) {
+    core::PerturbedNgram gram;
+    gram.a = a;
+    gram.b = b;
+    gram.regions.resize(b - a + 1);
+    for (auto& r : gram.regions) {
+      r = static_cast<region::RegionId>(rng.UniformUint64(1u << 20));
+    }
+    return gram;
+  };
+  for (size_t a = 1; a + n - 1 <= len; ++a) {
+    report.ngrams.push_back(random_gram(a, a + n - 1));
+  }
+  for (size_t m = 1; m < n; ++m) {
+    report.ngrams.push_back(random_gram(1, m));
+    report.ngrams.push_back(random_gram(len - m + 1, len));
+  }
+  return report;
+}
+
+ReportBatch RandomBatch(Rng& rng, size_t count, uint64_t first_user) {
+  ReportBatch batch;
+  for (size_t i = 0; i < count; ++i) {
+    batch.push_back(RandomReport(rng, first_user + i));
+  }
+  return batch;
+}
+
+// ---------- round trips ----------
+
+TEST(WireRoundTripTest, RandomizedBatchesSurviveEncodeDecode) {
+  Rng rng(20260729);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t count = rng.UniformUint64(9);  // includes empty batches
+    const ReportBatch batch = RandomBatch(rng, count, trial * 1000);
+    const std::string frame = *EncodeReportBatch(batch);
+    auto decoded = DecodeReportBatch(frame);
+    ASSERT_TRUE(decoded.ok()) << "trial " << trial << ": "
+                              << decoded.status();
+    EXPECT_EQ(*decoded, batch) << "trial " << trial;
+  }
+}
+
+TEST(WireRoundTripTest, PreservesExtremeFieldValues) {
+  WireReport report;
+  report.user_id = ~uint64_t{0};
+  report.epsilon_prime = 0.1234567890123456789;  // full double precision
+  report.trajectory_len = 3;
+  report.ngrams.push_back(core::PerturbedNgram{1, 3, {0, ~uint32_t{0}, 7}});
+  const ReportBatch batch{report};
+  auto decoded = DecodeReportBatch(*EncodeReportBatch(batch));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, batch);
+}
+
+TEST(WireRoundTripTest, EmptyBatchIsACompleteFrame) {
+  const std::string frame = *EncodeReportBatch(ReportBatch{});
+  EXPECT_EQ(frame.size(), kWireHeaderBytes + kWireTrailerBytes);
+  auto decoded = DecodeReportBatch(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(WireFormatTest, EncodingIsByteStableAcrossCalls) {
+  Rng rng(7);
+  const ReportBatch batch = RandomBatch(rng, 4, 0);
+  EXPECT_EQ(*EncodeReportBatch(batch), *EncodeReportBatch(batch));
+}
+
+TEST(WireFormatTest, Crc32MatchesKnownVector) {
+  // The classic IEEE 802.3 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+}
+
+// ---------- malformed input: every failure is a clean Status ----------
+
+class WireMalformedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(99);
+    batch_ = RandomBatch(rng, 3, 42);
+    frame_ = *EncodeReportBatch(batch_);
+  }
+
+  ReportBatch batch_;
+  std::string frame_;
+};
+
+TEST_F(WireMalformedTest, TruncationAtEveryLengthFailsCleanly) {
+  for (size_t len = 0; len < frame_.size(); ++len) {
+    auto decoded = DecodeReportBatch(frame_.substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST_F(WireMalformedTest, BadMagicRejected) {
+  std::string bad = frame_;
+  bad[0] = 'X';
+  auto decoded = DecodeReportBatch(bad);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(WireMalformedTest, WrongVersionRejected) {
+  std::string bad = frame_;
+  bad[4] = 9;  // version low byte
+  auto decoded = DecodeReportBatch(bad);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(WireMalformedTest, ReservedFlagsRejected) {
+  std::string bad = frame_;
+  bad[6] = 1;  // flags low byte
+  auto decoded = DecodeReportBatch(bad);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WireMalformedTest, CorruptedChecksumRejected) {
+  std::string bad = frame_;
+  bad.back() = static_cast<char>(bad.back() ^ 0x40);
+  auto decoded = DecodeReportBatch(bad);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(WireMalformedTest, CorruptedPayloadByteRejected) {
+  // Any payload flip must be caught by the CRC before field validation
+  // can be confused by it.
+  std::string bad = frame_;
+  bad[kWireHeaderBytes + 3] = static_cast<char>(bad[kWireHeaderBytes + 3] ^ 1);
+  EXPECT_FALSE(DecodeReportBatch(bad).ok());
+}
+
+TEST_F(WireMalformedTest, TrailingBytesRejected) {
+  auto decoded = DecodeReportBatch(frame_ + "x");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("trailing"), std::string::npos);
+}
+
+TEST_F(WireMalformedTest, OversizedDeclaredReportCountRejected) {
+  // Forge a frame claiming 2^31 reports over a tiny payload: the decoder
+  // must refuse before sizing any allocation from the count. Re-checksum
+  // so the CRC is not what rejects it.
+  ReportBatch empty;
+  std::string frame = *EncodeReportBatch(empty);
+  frame[8] = 0;
+  frame[9] = 0;
+  frame[10] = 0;
+  frame[11] = static_cast<char>(0x80);
+  auto decoded = DecodeReportBatch(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("reports"), std::string::npos);
+}
+
+TEST_F(WireMalformedTest, HeaderDeclaredPayloadOverFrameLimitRejected) {
+  // A hostile 16-byte header claiming a ~4 GB payload must be rejected
+  // at the header — before WireReader would size a buffer from it.
+  std::string bad = *EncodeReportBatch(ReportBatch{});
+  for (size_t i = 12; i < 16; ++i) bad[i] = static_cast<char>(0xFF);
+  auto decoded = DecodeReportBatch(bad);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("frame limit"),
+            std::string::npos);
+
+  std::stringstream stream(bad);
+  WireReader reader(&stream);
+  ReportBatch got;
+  bool done = false;
+  EXPECT_FALSE(reader.Next(&got, &done).ok());
+}
+
+TEST(WireInvalidNgramTest, BoundsViolationsRejected) {
+  // Hand-build payloads with a = 0, b < a, and b > trajectory_len by
+  // encoding a valid report and patching it (then fixing the CRC via
+  // re-framing is impossible — so craft via Encode of an invalid struct).
+  for (int variant = 0; variant < 3; ++variant) {
+    WireReport report;
+    report.user_id = 1;
+    report.epsilon_prime = 1.0;
+    report.trajectory_len = 2;
+    core::PerturbedNgram gram;
+    switch (variant) {
+      case 0:  // a = 0
+        gram.a = 0;
+        gram.b = 0;
+        gram.regions = {5};
+        break;
+      case 1:  // b < a
+        gram.a = 2;
+        gram.b = 1;
+        gram.regions = {5, 6};
+        break;
+      default:  // b > trajectory_len
+        gram.a = 1;
+        gram.b = 3;
+        gram.regions = {5, 6, 7};
+        break;
+    }
+    report.ngrams.push_back(gram);
+    // Encode writes the struct as-is; Decode must reject it.
+    const std::string frame = *EncodeReportBatch(ReportBatch{report});
+    auto decoded = DecodeReportBatch(frame);
+    EXPECT_FALSE(decoded.ok()) << "variant " << variant;
+  }
+}
+
+// b < a makes the encoder's (b − a + 1) underflow enormous; the length
+// guard must fire rather than the loop running away. Variant 1 above
+// covers it via a correct-length region list; here the decoder sees a
+// region list claim larger than the payload.
+TEST(WireInvalidNgramTest, RegionListPastFrameRejected) {
+  WireReport report;
+  report.user_id = 1;
+  report.epsilon_prime = 1.0;
+  report.trajectory_len = 100;
+  core::PerturbedNgram gram;
+  gram.a = 1;
+  gram.b = 50;
+  gram.regions = {1, 2};  // far fewer than b − a + 1 = 50
+  report.ngrams.push_back(gram);
+  const std::string frame = *EncodeReportBatch(ReportBatch{report});
+  EXPECT_FALSE(DecodeReportBatch(frame).ok());
+}
+
+// ---------- streams and files ----------
+
+TEST(WireStreamTest, MultiFrameStreamRoundTrips) {
+  Rng rng(11);
+  std::vector<ReportBatch> batches;
+  for (size_t i = 0; i < 5; ++i) {
+    batches.push_back(RandomBatch(rng, 1 + i, i * 100));
+  }
+
+  std::stringstream stream;
+  WireWriter writer(&stream);
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(writer.WriteBatch(batch).ok());
+  }
+  EXPECT_EQ(writer.batches_written(), batches.size());
+
+  WireReader reader(&stream);
+  for (size_t i = 0; i < batches.size(); ++i) {
+    ReportBatch got;
+    bool done = false;
+    ASSERT_TRUE(reader.Next(&got, &done).ok()) << "batch " << i;
+    ASSERT_FALSE(done) << "batch " << i;
+    EXPECT_EQ(got, batches[i]) << "batch " << i;
+  }
+  ReportBatch got;
+  bool done = false;
+  ASSERT_TRUE(reader.Next(&got, &done).ok());
+  EXPECT_TRUE(done);
+  EXPECT_EQ(reader.batches_read(), batches.size());
+}
+
+TEST(WireStreamTest, StreamCutInsideFrameIsCorruptionNotEof) {
+  Rng rng(13);
+  const std::string frame = *EncodeReportBatch(RandomBatch(rng, 2, 0));
+  std::stringstream cut(frame.substr(0, frame.size() - 2));
+  WireReader reader(&cut);
+  ReportBatch got;
+  bool done = false;
+  auto status = reader.Next(&got, &done);
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(done);
+}
+
+TEST(WireFileTest, WriteReadRoundTrip) {
+  Rng rng(17);
+  std::vector<ReportBatch> batches;
+  for (size_t i = 0; i < 3; ++i) {
+    batches.push_back(RandomBatch(rng, 4, i * 10));
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "trajldp_wire_test.bin")
+          .string();
+  ASSERT_TRUE(WriteReportBatches(path, batches).ok());
+  auto read = ReadReportBatches(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, batches);
+  std::remove(path.c_str());
+}
+
+TEST(WireFileTest, MissingFileIsCleanError) {
+  auto read = ReadReportBatches("/nonexistent/trajldp_nope.bin");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace trajldp::io
