@@ -1,4 +1,5 @@
-// End-to-end batched pipeline benchmark (ISSUE 2 acceptance criteria):
+// End-to-end batched pipeline benchmark (ISSUE 2 + ISSUE 4 acceptance
+// criteria):
 // on a ~200-region / n = 2 / multi-user workload at fixed ε, run the full
 // collector pipeline — perturb → R_mbr candidates → optimal region-level
 // reconstruction → POI-level resampling — four ways and compare:
@@ -8,15 +9,22 @@
 //     node-error tables filled with per-pair haversine + category walks,
 //     per-call solver allocations (see seed_replica.h);
 //  2. sequential  — today's per-user loop (cached rows + float-table
-//     gather), no workspaces: the engine's documented replay recipe;
-//  3. engine, 1 thread — BatchReleaseEngine::ReleaseAllFull with
-//     per-worker PipelineWorkspaces;
-//  4. engine, all hardware threads.
+//     gather), no workspaces: the engine's documented replay recipe,
+//     under the legacy REJECTION PoiPolicy;
+//  3. engine, 1 thread / all hardware threads —
+//     BatchReleaseEngine::ReleaseAllFull with per-worker
+//     PipelineWorkspaces, rejection policy;
+//  4. guided      — the same pipeline under PoiPolicy::kGuided
+//     (reachability-table lookups + the exact increasing-time proposal),
+//     sequentially and through the engine at 1/all threads.
 //
-// The engine output must be bit-identical to (2) at every thread count,
-// and the batched engine must beat the seed sequential loop by ≥ 4×
-// end-to-end (on a 1-core host that speedup must come entirely from the
-// cache/workspace path; thread scaling is reported separately).
+// Gates (exit non-zero on violation, so CI fails loudly):
+//  * rejection engine output bit-identical to (2) at every thread count
+//    — the legacy policy stays draw-for-draw the paper loop;
+//  * guided engine output bit-identical to the sequential guided loop
+//    at every thread count;
+//  * end-to-end engine speedup vs the seed loop >= 4x;
+//  * POI-stage speedup, guided vs rejection (per-stage split), >= 2x.
 //
 //   ./build/bench_batch_e2e [--json PATH] [--users N]
 
@@ -83,6 +91,10 @@ int Run(size_t num_users, const std::string& json_path) {
   // per-cell cliques, the regime the paper's city decompositions sit in.
   config.reachability.speed_kmh = 8.0;
   config.reachability.reference_gap_minutes = 30;
+  // One world serves both POI policies: build the reachability table so
+  // the guided-vs-rejection comparison is policy-only (the table never
+  // changes a rejection accept/reject bit — see core/reachability.h).
+  config.precompute_poi_reachability = true;
   auto mech = core::NGramMechanism::Build(&*db, time, config);
   if (!mech.ok()) {
     std::cerr << mech.status() << "\n";
@@ -179,11 +191,14 @@ int Run(size_t num_users, const std::string& json_path) {
     sequential_seconds = watch.ElapsedSeconds();
   }
 
-  // --- 3./4. Batched engine, 1 thread and all hardware threads. ------
-  auto run_engine = [&](size_t threads, double& seconds)
+  // --- 3. Batched engine, 1 thread and all hardware threads. ---------
+  auto run_engine = [&](size_t threads, core::PoiPolicy policy,
+                        double& seconds)
       -> StatusOr<std::vector<core::FullRelease>> {
-    core::BatchReleaseEngine engine(&*mech,
-                                    core::BatchReleaseEngine::Config{threads});
+    core::BatchReleaseEngine::Config engine_config;
+    engine_config.num_threads = threads;
+    engine_config.poi_policy = policy;
+    core::BatchReleaseEngine engine(&*mech, engine_config);
     mech->domain().ClearCache();
     Stopwatch watch;
     auto result = engine.ReleaseAllFull(users, kSeed);
@@ -192,25 +207,67 @@ int Run(size_t num_users, const std::string& json_path) {
   };
 
   double engine1_seconds = 0.0;
-  auto engine1 = run_engine(1, engine1_seconds);
+  auto engine1 = run_engine(1, core::PoiPolicy::kRejection, engine1_seconds);
   if (!engine1.ok()) {
     std::cerr << "engine(1): " << engine1.status() << "\n";
     return 1;
   }
   const size_t hw_threads = ThreadPool::DefaultThreadCount();
   double engine_hw_seconds = 0.0;
-  auto engine_hw = run_engine(hw_threads, engine_hw_seconds);
+  auto engine_hw =
+      run_engine(hw_threads, core::PoiPolicy::kRejection, engine_hw_seconds);
   if (!engine_hw.ok()) {
     std::cerr << "engine(" << hw_threads << "): " << engine_hw.status()
               << "\n";
     return 1;
   }
 
+  // --- 4. Guided policy: sequential stage split + engine runs. -------
+  const core::CollectorPipeline guided_pipe =
+      mech->pipeline(core::PoiPolicy::kGuided);
+  std::vector<core::FullRelease> guided_sequential(users.size());
+  core::StageBreakdown guided_stages;
+  double guided_sequential_seconds = 0.0;
+  {
+    core::PipelineWorkspace ws;
+    mech->domain().ClearCache();
+    Stopwatch watch;
+    for (size_t i = 0; i < users.size(); ++i) {
+      Rng user_rng = root.Substream(i);
+      Status released = guided_pipe.ReleaseInto(
+          users[i], user_rng, ws, guided_sequential[i], &guided_stages);
+      if (!released.ok()) {
+        std::cerr << "guided sequential: " << released << "\n";
+        return 1;
+      }
+    }
+    guided_sequential_seconds = watch.ElapsedSeconds();
+  }
+
+  double guided1_seconds = 0.0;
+  auto guided1 = run_engine(1, core::PoiPolicy::kGuided, guided1_seconds);
+  if (!guided1.ok()) {
+    std::cerr << "guided engine(1): " << guided1.status() << "\n";
+    return 1;
+  }
+  double guided_hw_seconds = 0.0;
+  auto guided_hw =
+      run_engine(hw_threads, core::PoiPolicy::kGuided, guided_hw_seconds);
+  if (!guided_hw.ok()) {
+    std::cerr << "guided engine(" << hw_threads
+              << "): " << guided_hw.status() << "\n";
+    return 1;
+  }
+
   const bool identical =
       Identical(*engine1, sequential) && Identical(*engine_hw, sequential);
+  const bool guided_identical = Identical(*guided1, guided_sequential) &&
+                                Identical(*guided_hw, guided_sequential);
   const double speedup_vs_seed = seed_seconds / engine_hw_seconds;
   const double speedup_1t_vs_seed = seed_seconds / engine1_seconds;
   const double scaling = engine1_seconds / engine_hw_seconds;
+  const double poi_stage_speedup =
+      stages.poi_seconds / guided_stages.poi_seconds;
   const auto users_per_sec = [&](double seconds) {
     return static_cast<double>(num_users) / seconds;
   };
@@ -223,10 +280,28 @@ int Run(size_t num_users, const std::string& json_path) {
             << users_per_sec(engine1_seconds) << " users/s)\n"
             << "engine, " << hw_threads << " thread(s):  " << engine_hw_seconds
             << " s  (" << users_per_sec(engine_hw_seconds) << " users/s)\n"
-            << "sequential stage split: perturb " << stages.perturb_seconds
+            << "guided sequential:    " << guided_sequential_seconds
+            << " s  (" << users_per_sec(guided_sequential_seconds)
+            << " users/s)\n"
+            << "guided engine, 1t:    " << guided1_seconds << " s  ("
+            << users_per_sec(guided1_seconds) << " users/s)\n"
+            << "guided engine, " << hw_threads << "t:    " << guided_hw_seconds
+            << " s  (" << users_per_sec(guided_hw_seconds) << " users/s)\n"
+            << "rejection stage split: perturb " << stages.perturb_seconds
             << " s, prep " << stages.reconstruct_prep_seconds
             << " s, optimal " << stages.optimal_reconstruct_seconds
-            << " s, other " << stages.other_seconds << " s\n"
+            << " s, other " << stages.other_seconds << " s (poi "
+            << stages.poi_seconds << " s)\n"
+            << "guided stage split:    perturb "
+            << guided_stages.perturb_seconds << " s, prep "
+            << guided_stages.reconstruct_prep_seconds << " s, optimal "
+            << guided_stages.optimal_reconstruct_seconds << " s, other "
+            << guided_stages.other_seconds << " s (poi "
+            << guided_stages.poi_seconds << " s)\n"
+            << "POI stage speedup (guided vs rejection): "
+            << poi_stage_speedup << "x"
+            << (poi_stage_speedup >= 2.0 ? "  (PASS >=2x)" : "  (FAIL <2x)")
+            << "\n"
             << "e2e speedup vs seed loop (engine@" << hw_threads
             << "t): " << speedup_vs_seed << "x"
             << (speedup_vs_seed >= 4.0 ? "  (PASS >=4x)" : "  (FAIL <4x)")
@@ -236,7 +311,9 @@ int Run(size_t num_users, const std::string& json_path) {
             << "thread scaling (1t/" << hw_threads << "t): " << scaling
             << "x\n"
             << "batched == sequential (bit-identical): "
-            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n"
+            << "guided batched == guided sequential (bit-identical): "
+            << (guided_identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -267,22 +344,45 @@ int Run(size_t num_users, const std::string& json_path) {
         << stages.optimal_reconstruct_seconds << ",\n"
         << "  \"sequential_other_seconds\": " << stages.other_seconds
         << ",\n"
+        << "  \"sequential_poi_seconds\": " << stages.poi_seconds << ",\n"
         << "  \"engine_1t_seconds\": " << engine1_seconds << ",\n"
         << "  \"engine_1t_users_per_sec\": " << users_per_sec(engine1_seconds)
         << ",\n"
         << "  \"engine_hw_seconds\": " << engine_hw_seconds << ",\n"
         << "  \"engine_hw_users_per_sec\": "
         << users_per_sec(engine_hw_seconds) << ",\n"
+        << "  \"guided_sequential_seconds\": " << guided_sequential_seconds
+        << ",\n"
+        << "  \"guided_sequential_users_per_sec\": "
+        << users_per_sec(guided_sequential_seconds) << ",\n"
+        << "  \"guided_perturb_seconds\": " << guided_stages.perturb_seconds
+        << ",\n"
+        << "  \"guided_prep_seconds\": "
+        << guided_stages.reconstruct_prep_seconds << ",\n"
+        << "  \"guided_reconstruct_seconds\": "
+        << guided_stages.optimal_reconstruct_seconds << ",\n"
+        << "  \"guided_other_seconds\": " << guided_stages.other_seconds
+        << ",\n"
+        << "  \"guided_poi_seconds\": " << guided_stages.poi_seconds
+        << ",\n"
+        << "  \"guided_engine_1t_seconds\": " << guided1_seconds << ",\n"
+        << "  \"guided_engine_hw_seconds\": " << guided_hw_seconds << ",\n"
+        << "  \"guided_engine_hw_users_per_sec\": "
+        << users_per_sec(guided_hw_seconds) << ",\n"
+        << "  \"poi_stage_speedup\": " << poi_stage_speedup << ",\n"
         << "  \"speedup_vs_seed_loop\": " << speedup_vs_seed << ",\n"
         << "  \"speedup_1t_vs_seed_loop\": " << speedup_1t_vs_seed << ",\n"
         << "  \"thread_scaling\": " << scaling << ",\n"
-        << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+        << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
+        << "  \"guided_bit_identical\": "
+        << (guided_identical ? "true" : "false") << "\n"
         << "}\n";
     std::cout << "wrote " << json_path << "\n";
   }
 
-  if (!identical) return 2;
-  return speedup_vs_seed >= 4.0 ? 0 : 3;
+  if (!identical || !guided_identical) return 2;
+  if (speedup_vs_seed < 4.0) return 3;
+  return poi_stage_speedup >= 2.0 ? 0 : 4;
 }
 
 }  // namespace

@@ -13,7 +13,8 @@ BatchReleaseEngine::BatchReleaseEngine(const NgramPerturber* perturber,
 BatchReleaseEngine::BatchReleaseEngine(const NGramMechanism* mechanism,
                                        Config config)
     : perturber_(&mechanism->perturber()),
-      pipeline_(mechanism->pipeline()),
+      pipeline_(mechanism->pipeline(config.poi_policy.value_or(
+          mechanism->config().poi.policy))),
       pool_(config.num_threads) {}
 
 template <typename Out, typename PerUserFn>

@@ -14,6 +14,7 @@ StageBreakdown& StageBreakdown::operator+=(const StageBreakdown& other) {
   reconstruct_prep_seconds += other.reconstruct_prep_seconds;
   optimal_reconstruct_seconds += other.optimal_reconstruct_seconds;
   other_seconds += other.other_seconds;
+  poi_seconds += other.poi_seconds;
   return *this;
 }
 
@@ -21,14 +22,16 @@ CollectorPipeline::CollectorPipeline(
     const region::StcDecomposition* decomp,
     const region::RegionDistance* distance, const region::RegionGraph* graph,
     const NgramPerturber* perturber, const Reconstructor* reconstructor,
-    const PoiReconstructor* poi_reconstructor, double mbr_expand_km)
+    const PoiReconstructor* poi_reconstructor, double mbr_expand_km,
+    PoiPolicy poi_policy)
     : decomp_(decomp),
       distance_(distance),
       graph_(graph),
       perturber_(perturber),
       reconstructor_(reconstructor),
       poi_reconstructor_(poi_reconstructor),
-      mbr_expand_km_(mbr_expand_km) {}
+      mbr_expand_km_(mbr_expand_km),
+      poi_policy_(poi_policy) {}
 
 Rng CollectorPipeline::UserRng(uint64_t seed, uint64_t user_id) {
   return Rng(seed).Substream(user_id);
@@ -111,15 +114,20 @@ Status CollectorPipeline::ReconstructReportInto(size_t trajectory_len,
   TRAJLDP_RETURN_NOT_OK(
       ReconstructRegionsInto(trajectory_len, z, ws, out.regions, stages));
 
-  // Stage: POI-level resampling with time-smoothing fallback (§5.6).
+  // Stage: POI-level resampling with time-smoothing fallback (§5.6),
+  // under this pipeline's collector policy.
   Stopwatch watch;
   auto poi = poi_reconstructor_->Reconstruct(out.regions, collector_rng,
-                                             ws.poi);
+                                             ws.poi, poi_policy_);
   if (!poi.ok()) return poi.status();
   out.trajectory = std::move(poi->trajectory);
   out.poi_attempts = poi->attempts;
   out.smoothed = poi->smoothed;
-  if (stages != nullptr) stages->other_seconds += watch.ElapsedSeconds();
+  if (stages != nullptr) {
+    const double seconds = watch.ElapsedSeconds();
+    stages->other_seconds += seconds;
+    stages->poi_seconds += seconds;
+  }
   return Status::Ok();
 }
 

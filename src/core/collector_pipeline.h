@@ -25,6 +25,10 @@ struct StageBreakdown {
   double optimal_reconstruct_seconds = 0.0;
   /// Region conversion, POI-level reconstruction, smoothing, overheads.
   double other_seconds = 0.0;
+  /// Of which: §5.6 POI-level resampling (a sub-slice of other_seconds,
+  /// tracked separately so the POI stage's speedup is gateable — it is
+  /// NOT added again by TotalSeconds).
+  double poi_seconds = 0.0;
 
   double TotalSeconds() const {
     return perturb_seconds + reconstruct_prep_seconds +
@@ -110,13 +114,18 @@ class CollectorPipeline {
 
   /// All pointees must outlive the pipeline. Usually obtained from
   /// NGramMechanism::pipeline() rather than assembled by hand.
+  /// `poi_policy` selects the §5.6 sampling policy for every release this
+  /// pipeline performs (see PoiPolicy — both policies draw from the same
+  /// conditional distribution; only rejection mode is draw-for-draw
+  /// bit-compatible with the paper loop).
   CollectorPipeline(const region::StcDecomposition* decomp,
                     const region::RegionDistance* distance,
                     const region::RegionGraph* graph,
                     const NgramPerturber* perturber,
                     const Reconstructor* reconstructor,
                     const PoiReconstructor* poi_reconstructor,
-                    double mbr_expand_km);
+                    double mbr_expand_km,
+                    PoiPolicy poi_policy = PoiPolicy::kRejection);
 
   /// The canonical per-user generator: Rng(seed).Substream(user_id).
   static Rng UserRng(uint64_t seed, uint64_t user_id);
@@ -163,6 +172,7 @@ class CollectorPipeline {
 
   const NgramPerturber& perturber() const { return *perturber_; }
   size_t num_regions() const;
+  PoiPolicy poi_policy() const { return poi_policy_; }
 
  private:
   const region::StcDecomposition* decomp_;
@@ -172,6 +182,7 @@ class CollectorPipeline {
   const Reconstructor* reconstructor_;
   const PoiReconstructor* poi_reconstructor_;
   double mbr_expand_km_;
+  PoiPolicy poi_policy_;
 };
 
 }  // namespace trajldp::core

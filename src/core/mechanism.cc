@@ -39,8 +39,25 @@ StatusOr<NGramMechanism> NGramMechanism::Build(const model::PoiDatabase* db,
       NgramPerturber::Config{config.n, config.epsilon});
   mech.reachability_ = std::make_unique<model::Reachability>(
       db, time, config.reachability);
+  // The POI reachability table is public pre-processing like the rest of
+  // Build(): O(P²) haversines once per world, shared read-only across
+  // every collector thread. Gated so rejection-only deployments keep the
+  // seed preprocessing profile bit-for-bit.
+  if (config.poi.policy == PoiPolicy::kGuided ||
+      config.precompute_poi_reachability) {
+    // The samplers only read the min-gap matrix; skip the successor CSR
+    // (set-valued consumers build their own table with it enabled).
+    ReachabilityTable::Options options;
+    options.build_successors = false;
+    auto table =
+        ReachabilityTable::Build(*db, time, config.reachability, options);
+    if (!table.ok()) return table.status();
+    mech.reachability_table_ =
+        std::make_unique<ReachabilityTable>(std::move(*table));
+  }
   mech.poi_reconstructor_ = std::make_unique<PoiReconstructor>(
-      mech.decomp_.get(), mech.reachability_.get(), config.poi);
+      mech.decomp_.get(), mech.reachability_.get(),
+      mech.reachability_table_.get(), config.poi);
   if (config.use_lp_reconstruction) {
     mech.reconstructor_ = std::make_unique<LpReconstructor>();
   } else {
@@ -51,9 +68,14 @@ StatusOr<NGramMechanism> NGramMechanism::Build(const model::PoiDatabase* db,
 }
 
 CollectorPipeline NGramMechanism::pipeline() const {
+  return pipeline(config_.poi.policy);
+}
+
+CollectorPipeline NGramMechanism::pipeline(PoiPolicy poi_policy) const {
   return CollectorPipeline(decomp_.get(), distance_.get(), graph_.get(),
                            perturber_.get(), reconstructor_.get(),
-                           poi_reconstructor_.get(), config_.mbr_expand_km);
+                           poi_reconstructor_.get(), config_.mbr_expand_km,
+                           poi_policy);
 }
 
 StatusOr<region::RegionTrajectory> NGramMechanism::PerturbRegions(

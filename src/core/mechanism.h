@@ -33,8 +33,16 @@ struct NGramConfig {
   region::DecompositionConfig decomposition;
   /// Reachability constraint θ (§4.1).
   model::ReachabilityConfig reachability;
-  /// POI-level reconstruction settings (§5.6).
+  /// POI-level reconstruction settings (§5.6), including the collector
+  /// sampling policy (rejection vs guided — see PoiPolicy).
   PoiReconstructor::Config poi;
+  /// Build the POI-pair reachability table (core::ReachabilityTable) at
+  /// Build() time even when the default policy is rejection. The guided
+  /// policy always builds it; rejection-only deployments opt in to get
+  /// table-lookup IsFeasible (bit-identical accept/reject decisions,
+  /// O(P²) preprocessing + 2·P² bytes — docs/POI_SAMPLING.md has the
+  /// full cost formula).
+  bool precompute_poi_reachability = false;
   /// Solve the reconstruction via the paper's LP instead of the exact DP.
   bool use_lp_reconstruction = false;
   /// Optional padding of the R_mbr candidate rectangle, in km.
@@ -94,11 +102,19 @@ class NGramMechanism {
       const region::RegionTrajectory& tau, Rng& rng,
       PipelineWorkspace* ws = nullptr, StageBreakdown* stages = nullptr) const;
 
-  /// The reusable per-user pipeline over this mechanism's components.
-  /// Cheap to copy (a bundle of const pointers); stays valid across
-  /// moves of this mechanism (components are heap-owned) but not past
-  /// its destruction.
+  /// The reusable per-user pipeline over this mechanism's components,
+  /// running the configured POI policy. Cheap to copy (a bundle of const
+  /// pointers); stays valid across moves of this mechanism (components
+  /// are heap-owned) but not past its destruction.
   CollectorPipeline pipeline() const;
+
+  /// Same components, explicit POI policy — how BatchReleaseEngine and
+  /// StreamingCollector select rejection vs guided per deployment
+  /// without rebuilding the mechanism. A guided pipeline over a
+  /// mechanism built without a reachability table still works (the
+  /// sampler falls back to formula reachability); build with the guided
+  /// policy or precompute_poi_reachability for the accelerated path.
+  CollectorPipeline pipeline(PoiPolicy poi_policy) const;
 
   const NGramConfig& config() const { return config_; }
   const NgramPerturber& perturber() const { return *perturber_; }
@@ -107,6 +123,11 @@ class NGramMechanism {
   const region::RegionDistance& distance() const { return *distance_; }
   const NgramDomain& domain() const { return *domain_; }
   const model::Reachability& reachability() const { return *reachability_; }
+  /// Null unless the guided policy or precompute_poi_reachability asked
+  /// for the table at Build() time.
+  const ReachabilityTable* reachability_table() const {
+    return reachability_table_.get();
+  }
 
   /// Pre-processing wall-clock seconds (Figure 7).
   double preprocessing_seconds() const { return preprocessing_seconds_; }
@@ -123,6 +144,7 @@ class NGramMechanism {
   std::unique_ptr<NgramDomain> domain_;
   std::unique_ptr<NgramPerturber> perturber_;
   std::unique_ptr<model::Reachability> reachability_;
+  std::unique_ptr<ReachabilityTable> reachability_table_;
   std::unique_ptr<PoiReconstructor> poi_reconstructor_;
   std::unique_ptr<Reconstructor> reconstructor_;
   double preprocessing_seconds_ = 0.0;

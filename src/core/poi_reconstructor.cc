@@ -7,11 +7,31 @@ namespace trajldp::core {
 using model::PoiId;
 using model::Timestep;
 
+namespace {
+
+model::Trajectory MakeTrajectory(const std::vector<PoiId>& pois,
+                                 const std::vector<Timestep>& times) {
+  std::vector<model::TrajectoryPoint> pts(pois.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    pts[i] = {pois[i], times[i]};
+  }
+  return model::Trajectory(std::move(pts));
+}
+
+}  // namespace
+
 PoiReconstructor::PoiReconstructor(const region::StcDecomposition* decomp,
                                    const model::Reachability* reach,
                                    Config config)
+    : PoiReconstructor(decomp, reach, nullptr, config) {}
+
+PoiReconstructor::PoiReconstructor(const region::StcDecomposition* decomp,
+                                   const model::Reachability* reach,
+                                   const ReachabilityTable* table,
+                                   Config config)
     : decomp_(decomp),
       reach_(reach),
+      table_(table),
       config_(config),
       smoother_(&decomp->db(), decomp->time(), reach->config()) {}
 
@@ -37,48 +57,108 @@ bool PoiReconstructor::IsFeasible(const std::vector<PoiId>& pois,
     if (!decomp_->db().poi(pois[i]).hours.IsOpenAtMinute(minute)) {
       return false;
     }
-    if (i > 0 && !reach_->IsReachableBetween(pois[i - 1], pois[i],
-                                             times[i - 1], times[i])) {
+    if (i > 0 && !ReachableBetween(pois[i - 1], pois[i], times[i - 1],
+                                   times[i])) {
       return false;
     }
   }
   return true;
 }
 
-bool PoiReconstructor::SampleGuided(const std::vector<Slot>& slots, Rng& rng,
+bool PoiReconstructor::BuildGuidedDp(const std::vector<Slot>& slots,
+                                     Workspace& ws) const {
+  const size_t num_slots = slots.size();
+  const size_t num_t =
+      static_cast<size_t>(decomp_->time().num_timesteps());
+  ws.counts.assign(num_slots * num_t, 0.0);
+  ws.suffix.assign(num_slots * (num_t + 1), 0.0);
+
+  // Backward over positions: counts[i][t] = number of strictly
+  // increasing completions (t_i = t, t_{i+1} > t, …) with every t_j in
+  // its slot interval. Each level is normalised by its maximum so the
+  // doubles never overflow for long trajectories; scaling a whole level
+  // by a constant leaves the within-level sampling ratios — the only
+  // thing the sampler reads — exact.
+  for (size_t ri = 0; ri < num_slots; ++ri) {
+    const size_t i = num_slots - 1 - ri;
+    const Slot& slot = slots[i];
+    double* counts = ws.counts.data() + i * num_t;
+    double* suffix = ws.suffix.data() + i * (num_t + 1);
+    const double* next_suffix =
+        i + 1 < num_slots ? ws.suffix.data() + (i + 1) * (num_t + 1)
+                          : nullptr;
+    double level_max = 0.0;
+    for (Timestep t = slot.first; t <= slot.last; ++t) {
+      const double completions =
+          next_suffix == nullptr
+              ? 1.0
+              : next_suffix[static_cast<size_t>(t) + 1];
+      counts[static_cast<size_t>(t)] = completions;
+      level_max = std::max(level_max, completions);
+    }
+    // No timestep at this position admits any completion: the region
+    // sequence has no strictly increasing time assignment at all.
+    if (level_max == 0.0) return false;
+    if (level_max > 1e200) {
+      for (Timestep t = slot.first; t <= slot.last; ++t) {
+        counts[static_cast<size_t>(t)] /= level_max;
+      }
+    }
+    suffix[num_t] = 0.0;
+    for (size_t t = num_t; t-- > 0;) {
+      suffix[t] = suffix[t + 1] + counts[t];
+    }
+  }
+  return true;
+}
+
+bool PoiReconstructor::SampleGuided(const std::vector<Slot>& slots,
+                                    Workspace& ws, Rng& rng,
                                     std::vector<PoiId>* pois,
                                     std::vector<Timestep>* times) const {
   const model::TimeDomain& time = decomp_->time();
-  pois->assign(slots.size(), model::kInvalidPoi);
-  times->assign(slots.size(), 0);
+  const size_t num_t = static_cast<size_t>(time.num_timesteps());
+  pois->resize(slots.size());
+  times->resize(slots.size());
+  Timestep prev_t = -1;
   for (size_t i = 0; i < slots.size(); ++i) {
     const Slot& slot = slots[i];
-    const Timestep first = slot.first;
-    const Timestep last = slot.last;
-    bool placed = false;
-    for (int attempt = 0; attempt < config_.guided_step_retries; ++attempt) {
-      // Timestep strictly after the previous point, within the region's
-      // interval.
-      const Timestep lo =
-          i == 0 ? first : std::max<Timestep>(first, (*times)[i - 1] + 1);
-      if (lo > last) break;
-      const Timestep t =
-          lo + static_cast<Timestep>(rng.UniformUint64(last - lo + 1));
-      const PoiId p = slot.pois[rng.UniformUint64(slot.num_pois)];
-      if (!decomp_->db().poi(p).hours.IsOpenAtMinute(
-              time.TimestepToMinute(t))) {
-        continue;
-      }
-      if (i > 0 && !reach_->IsReachableBetween((*pois)[i - 1], p,
-                                               (*times)[i - 1], t)) {
-        continue;
-      }
-      (*pois)[i] = p;
-      (*times)[i] = t;
-      placed = true;
-      break;
+    const double* counts = ws.counts.data() + i * num_t;
+    const double* suffix = ws.suffix.data() + i * (num_t + 1);
+    const Timestep lo =
+        std::max<Timestep>(slot.first, prev_t + 1);
+    // The DP conditioned earlier picks on completions existing, so the
+    // remaining mass is positive whenever the prefix was sampled from it.
+    const double total = suffix[static_cast<size_t>(lo)];
+    if (total <= 0.0) return false;
+    double r = rng.UniformDouble() * total;
+    // Weighted pick of t ∝ counts[t] over [lo, slot.last]; the last
+    // positive-count timestep absorbs floating-point remainder.
+    Timestep pick = -1;
+    for (Timestep t = lo; t <= slot.last; ++t) {
+      const double c = counts[static_cast<size_t>(t)];
+      if (c <= 0.0) continue;
+      pick = t;
+      if (r < c) break;
+      r -= c;
     }
-    if (!placed) return false;
+    if (pick < 0) return false;
+
+    const PoiId p = slot.pois[rng.UniformUint64(slot.num_pois)];
+    // Per-step feasibility, straight off the precomputed tables: reject
+    // the attempt as soon as a step fails (equivalent to rejecting the
+    // fully drawn candidate — rejection is rejection whenever detected —
+    // but never pays for the undrawn tail).
+    if (!decomp_->db().poi(p).hours.IsOpenAtMinute(
+            time.TimestepToMinute(pick))) {
+      return false;
+    }
+    if (i > 0 && !ReachableBetween((*pois)[i - 1], p, prev_t, pick)) {
+      return false;
+    }
+    (*pois)[i] = p;
+    (*times)[i] = pick;
+    prev_t = pick;
   }
   return true;
 }
@@ -91,6 +171,12 @@ StatusOr<PoiReconstructor::Result> PoiReconstructor::Reconstruct(
 
 StatusOr<PoiReconstructor::Result> PoiReconstructor::Reconstruct(
     const region::RegionTrajectory& regions, Rng& rng, Workspace& ws) const {
+  return Reconstruct(regions, rng, ws, config_.policy);
+}
+
+StatusOr<PoiReconstructor::Result> PoiReconstructor::Reconstruct(
+    const region::RegionTrajectory& regions, Rng& rng, Workspace& ws,
+    PoiPolicy policy) const {
   if (regions.empty()) {
     return Status::InvalidArgument("region trajectory is empty");
   }
@@ -116,33 +202,34 @@ StatusOr<PoiReconstructor::Result> PoiReconstructor::Reconstruct(
   }
   const std::vector<Slot>& slots = ws.slots;
 
-  if (config_.guided) {
-    for (int attempt = 0; attempt < config_.gamma; ++attempt) {
-      ++result.attempts;
-      if (SampleGuided(slots, rng, &pois, &times) &&
-          IsFeasible(pois, times)) {
-        result.trajectory = model::Trajectory([&] {
-          std::vector<model::TrajectoryPoint> pts(regions.size());
-          for (size_t i = 0; i < pts.size(); ++i) {
-            pts[i] = {pois[i], times[i]};
-          }
-          return pts;
-        }());
-        return result;
+  if (policy == PoiPolicy::kGuided) {
+    // Guided draws use their own substream so the collector stream `rng`
+    // stays untouched: a fallback below replays the rejection policy
+    // bit-for-bit, and rejection-mode consumers never see guided draws.
+    Rng guided_rng = rng.Substream(kGuidedStream);
+    if (BuildGuidedDp(slots, ws)) {
+      for (int attempt = 0; attempt < config_.guided_attempts; ++attempt) {
+        ++result.attempts;
+        if (SampleGuided(slots, ws, guided_rng, &pois, &times)) {
+          result.trajectory = MakeTrajectory(pois, times);
+          return result;
+        }
       }
     }
-  } else {
-    for (int attempt = 0; attempt < config_.gamma; ++attempt) {
-      ++result.attempts;
-      SampleCandidate(slots, rng, &pois, &times);
-      if (IsFeasible(pois, times)) {
-        std::vector<model::TrajectoryPoint> pts(regions.size());
-        for (size_t i = 0; i < pts.size(); ++i) {
-          pts[i] = {pois[i], times[i]};
-        }
-        result.trajectory = model::Trajectory(std::move(pts));
-        return result;
-      }
+    // Every guided proposal failed (or no increasing time tuple exists):
+    // fall back to the full legacy rejection loop rather than silently
+    // emitting anything the guided proposal could not certify. `rng` has
+    // consumed nothing yet, so from here the outcome is bit-identical to
+    // the kRejection policy.
+    result.guided_fallback = true;
+  }
+
+  for (int attempt = 0; attempt < config_.gamma; ++attempt) {
+    ++result.attempts;
+    SampleCandidate(slots, rng, &pois, &times);
+    if (IsFeasible(pois, times)) {
+      result.trajectory = MakeTrajectory(pois, times);
+      return result;
     }
   }
 
@@ -152,11 +239,7 @@ StatusOr<PoiReconstructor::Result> PoiReconstructor::Reconstruct(
   std::sort(times.begin(), times.end());
   auto smoothed = smoother_.Smooth(pois, times);
   if (!smoothed.ok()) return smoothed.status();
-  std::vector<model::TrajectoryPoint> pts(regions.size());
-  for (size_t i = 0; i < pts.size(); ++i) {
-    pts[i] = {pois[i], (*smoothed)[i]};
-  }
-  result.trajectory = model::Trajectory(std::move(pts));
+  result.trajectory = MakeTrajectory(pois, *smoothed);
   result.smoothed = true;
   return result;
 }

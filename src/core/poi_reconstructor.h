@@ -1,14 +1,46 @@
 #ifndef TRAJLDP_CORE_POI_RECONSTRUCTOR_H_
 #define TRAJLDP_CORE_POI_RECONSTRUCTOR_H_
 
+#include <cstdint>
+
 #include "common/rng.h"
 #include "common/status_or.h"
+#include "core/reachability.h"
 #include "core/time_smoother.h"
 #include "model/reachability.h"
 #include "model/trajectory.h"
 #include "region/decomposition.h"
 
 namespace trajldp::core {
+
+/// \brief Collector-side POI sampling policy (§5.6), selectable
+/// end-to-end through CollectorPipeline / BatchReleaseEngine /
+/// StreamingCollector.
+///
+/// Both policies draw from the SAME distribution — uniform over the
+/// feasible (POI, timestep) assignments of the region sequence — and
+/// differ only in how many proposals that costs
+/// (tests/sampling_fidelity_test.cc holds them statistically
+/// indistinguishable; docs/POI_SAMPLING.md derives why):
+///
+///  * kRejection — the paper's γ-retry loop: propose uniformly from the
+///    per-position boxes, accept when feasible. Bit-exact legacy
+///    behaviour; every draw comes from the collector stream.
+///  * kGuided — propose uniformly over the *increasing-time* superset of
+///    the feasible set (a per-trajectory counting DP samples the time
+///    tuple exactly uniformly; POIs stay uniform per position), check
+///    openness/reachability per step via the ReachabilityTable, accept
+///    when feasible. Same accept region, so the accepted distribution is
+///    identical, but the dominant rejection cause — unordered times — is
+///    gone by construction. Guided draws live on their own substream of
+///    the collector stream; when every guided attempt fails, the policy
+///    falls back to the full legacy rejection loop on the *untouched*
+///    collector stream, making the fallback output bit-identical to what
+///    kRejection would have produced.
+enum class PoiPolicy : uint8_t {
+  kRejection = 0,
+  kGuided = 1,
+};
 
 /// \brief POI-level trajectory reconstruction (§5.6, Figure 1 step 4).
 ///
@@ -21,6 +53,11 @@ namespace trajldp::core {
 /// timesteps (TimeSmoother), exactly as the paper prescribes.
 class PoiReconstructor {
  public:
+  /// Substream tag separating guided-policy draws from the collector
+  /// stream, so the legacy rejection draw sequence is untouched by the
+  /// policy choice (and the guided→rejection fallback replays exactly).
+  static constexpr uint64_t kGuidedStream = 0x677569646564ULL;  // "guided"
+
   /// Per-position sampling bounds, hoisted out of the γ-retry loop: the
   /// region a position draws from never changes across attempts, so its
   /// POI list and timestep interval are resolved once per trajectory.
@@ -32,43 +69,62 @@ class PoiReconstructor {
   };
 
   /// \brief Per-thread sampling scratch: the candidate (POI, timestep)
-  /// buffers every rejection-sampling attempt writes into, and the
-  /// hoisted per-position slots. Reusing one workspace across users
-  /// makes the γ-retry loop allocation-free (the output trajectory
-  /// itself is still allocated — it is the product).
+  /// buffers every rejection-sampling attempt writes into, the hoisted
+  /// per-position slots, and the guided sampler's time-counting DP
+  /// tables. Reusing one workspace across users makes the γ-retry loop
+  /// allocation-free (the output trajectory itself is still allocated —
+  /// it is the product).
   struct Workspace {
     std::vector<model::PoiId> pois;
     std::vector<model::Timestep> times;
     std::vector<Slot> slots;
+    /// Guided DP: counts[i·|T| + t] = number of strictly-increasing time
+    /// completions from position i at timestep t (per-level normalised).
+    std::vector<double> counts;
+    /// Guided DP: suffix[i·(|T|+1) + t] = Σ_{t' ≥ t} counts[i][t'].
+    std::vector<double> suffix;
   };
 
   struct Config {
     /// γ: the retry threshold; 50,000 per §5.6 ("rarely reached").
     int gamma = 50000;
-    /// Extension (§8-adjacent): sample left-to-right, restricting each
-    /// step to reachable POIs and later timesteps. Cuts rejections by
-    /// orders of magnitude on dense regions; off by default to match the
-    /// paper's mechanism.
-    bool guided = false;
-    /// Per-step retry count for the guided sampler.
-    int guided_step_retries = 16;
+    /// Which sampler runs first. kRejection reproduces the paper's
+    /// mechanism draw-for-draw; kGuided is the accelerated policy with
+    /// identical output distribution (see PoiPolicy).
+    PoiPolicy policy = PoiPolicy::kRejection;
+    /// Whole-trajectory guided proposals before the guided policy falls
+    /// back to the legacy rejection loop (it must never silently give
+    /// up: a world the guided proposal handles badly still gets the
+    /// full γ-retry + smoothing treatment, on the rejection stream).
+    int guided_attempts = 64;
   };
 
-  /// All pointees must outlive this object.
+  /// All pointees must outlive this object. `table` may be null — the
+  /// guided policy then evaluates reachability through `reach` (correct,
+  /// just unaccelerated); when present it must be built from the same
+  /// database and ReachabilityConfig as `reach`.
   PoiReconstructor(const region::StcDecomposition* decomp,
                    const model::Reachability* reach, Config config);
+  PoiReconstructor(const region::StcDecomposition* decomp,
+                   const model::Reachability* reach,
+                   const ReachabilityTable* table, Config config);
 
   struct Result {
     model::Trajectory trajectory;
-    /// Number of whole-trajectory sampling attempts used.
+    /// Number of whole-trajectory sampling attempts used (guided
+    /// proposals and rejection attempts both count).
     size_t attempts = 0;
     /// True when the smoothing fallback produced the output. Smoothed
     /// outputs guarantee time order and reachability but may leave a
     /// region's time interval (§5.6).
     bool smoothed = false;
+    /// True when the guided policy exhausted its proposals (or proved no
+    /// increasing time tuple exists) and ran the legacy rejection loop.
+    bool guided_fallback = false;
   };
 
-  /// Reconstructs a POI-level trajectory for `regions`.
+  /// Reconstructs a POI-level trajectory for `regions` under the
+  /// configured policy.
   StatusOr<Result> Reconstruct(const region::RegionTrajectory& regions,
                                Rng& rng) const;
 
@@ -78,7 +134,14 @@ class PoiReconstructor {
   StatusOr<Result> Reconstruct(const region::RegionTrajectory& regions,
                                Rng& rng, Workspace& ws) const;
 
+  /// Policy-explicit variant: the collector pipeline selects the policy
+  /// per deployment without rebuilding the mechanism.
+  StatusOr<Result> Reconstruct(const region::RegionTrajectory& regions,
+                               Rng& rng, Workspace& ws,
+                               PoiPolicy policy) const;
+
   const Config& config() const { return config_; }
+  const ReachabilityTable* table() const { return table_; }
 
  private:
   // Draws one candidate (pois, timesteps) uniformly from the slots.
@@ -86,17 +149,31 @@ class PoiReconstructor {
                        std::vector<model::PoiId>* pois,
                        std::vector<model::Timestep>* times) const;
 
-  // Left-to-right constrained sampler; returns false when a step cannot
-  // be completed within the retry allowance.
-  bool SampleGuided(const std::vector<Slot>& slots, Rng& rng,
+  // Fills the guided time-counting DP for `slots`. Returns false when no
+  // strictly increasing time tuple exists (then neither sampler can ever
+  // accept and the smoothing fallback is inevitable).
+  bool BuildGuidedDp(const std::vector<Slot>& slots, Workspace& ws) const;
+
+  // One guided proposal: exact-uniform increasing time tuple from the
+  // DP, uniform POI per position, per-step openness/reachability checks.
+  // Returns false when any step's check fails (the attempt is rejected).
+  bool SampleGuided(const std::vector<Slot>& slots, Workspace& ws, Rng& rng,
                     std::vector<model::PoiId>* pois,
                     std::vector<model::Timestep>* times) const;
+
+  bool ReachableBetween(model::PoiId from, model::PoiId to,
+                        model::Timestep t_from, model::Timestep t_to) const {
+    return table_ != nullptr
+               ? table_->IsReachableBetween(from, to, t_from, t_to)
+               : reach_->IsReachableBetween(from, to, t_from, t_to);
+  }
 
   bool IsFeasible(const std::vector<model::PoiId>& pois,
                   const std::vector<model::Timestep>& times) const;
 
   const region::StcDecomposition* decomp_;
   const model::Reachability* reach_;
+  const ReachabilityTable* table_;
   Config config_;
   TimeSmoother smoother_;
 };

@@ -1,0 +1,142 @@
+#ifndef TRAJLDP_CORE_REACHABILITY_H_
+#define TRAJLDP_CORE_REACHABILITY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status_or.h"
+#include "model/poi_database.h"
+#include "model/reachability.h"
+#include "model/time_domain.h"
+
+namespace trajldp::core {
+
+/// \brief Precomputed POI-pair reachability, bucketed by time budget.
+///
+/// model::Reachability answers "can q be reached from p within a gap of
+/// g timesteps?" with a haversine distance per query — fine for one
+/// trajectory, the dominant cost of the §5.6 POI resampling loop at
+/// collector scale (a rejection attempt pays L−1 of them, and dense
+/// regions need hundreds of attempts). This table folds the whole
+/// predicate into public pre-processing, built once per world and shared
+/// read-only across every collector thread:
+///
+///  * **min-gap matrix** — for every ordered POI pair (p, q), the
+///    smallest timestep budget g ≥ 1 such that q is reachable from p
+///    within g timesteps (`kNever` when no same-day budget suffices).
+///    Because θ(gap) = speed × gap is monotone in the gap, the single
+///    `uint16_t` answers every time budget: reachable(p, q, g) ⇔
+///    min_gap(p, q) ≤ g. One load + compare replaces the haversine.
+///    The matrix is built against `model::Reachability`'s own θ
+///    thresholds (same floating-point expressions, same ≤ comparison),
+///    so lookups are **exactly** equivalent to the formula for every
+///    integer gap — a collector may swap it in under the legacy
+///    rejection sampler without changing a single accept/reject bit.
+///  * **successor CSR** (optional) — per source POI, all successors
+///    sorted by min-gap (ties by id), plus per-(poi, time-budget bucket)
+///    offsets with one bucket per timestep budget g ∈ [0, |T|]. The
+///    prefix `successors(p)[0, offset(p, g))` *is* the exact reachable
+///    set for budget g, so "every POI reachable within g" is an O(1)
+///    span. The samplers need only the matrix (NGramMechanism builds
+///    matrix-only tables); the CSR serves set-valued consumers —
+///    aggregate analyses, the property-test oracle — that opt in via
+///    Options::build_successors.
+///
+/// Memory (see docs/POI_SAMPLING.md): 2·P² bytes for the matrix plus
+/// 4·P² + 4·P·(|T|+1) bytes for the CSR. Builds exceeding `max_bytes`
+/// keep the matrix and drop the CSR; a matrix alone over budget fails
+/// with kResourceExhausted.
+class ReachabilityTable {
+ public:
+  /// Sentinel min-gap: unreachable within any same-day time budget.
+  static constexpr uint16_t kNever = 0xFFFF;
+
+  struct Options {
+    /// Upper bound on table memory. The matrix is mandatory; the CSR is
+    /// kept only when both fit. Default 1 GiB (P ≈ 23k POIs matrix-only).
+    size_t max_bytes = size_t{1} << 30;
+    /// Skip the successor CSR even when it would fit (matrix-only
+    /// builds are all the samplers need).
+    bool build_successors = true;
+  };
+
+  /// Builds the table for every POI pair in `db`. O(P²) haversines +
+  /// O(P² log P) sort; pure public pre-processing.
+  static StatusOr<ReachabilityTable> Build(const model::PoiDatabase& db,
+                                           const model::TimeDomain& time,
+                                           model::ReachabilityConfig config,
+                                           Options options);
+  static StatusOr<ReachabilityTable> Build(const model::PoiDatabase& db,
+                                           const model::TimeDomain& time,
+                                           model::ReachabilityConfig config) {
+    return Build(db, time, config, Options());
+  }
+
+  /// θ = ∞: every pair reachable under every budget; no storage.
+  bool unconstrained() const { return unconstrained_; }
+
+  size_t num_pois() const { return num_pois_; }
+  model::Timestep num_timesteps() const { return num_timesteps_; }
+  const model::ReachabilityConfig& config() const { return config_; }
+
+  /// Smallest timestep budget g ∈ [1, |T|] under which `to` is reachable
+  /// from `from` (kNever when none up to |T| is — same-day gaps never
+  /// exceed |T| − 1, so lookups are exact on the library's whole domain;
+  /// budgets beyond |T| saturate to the |T| answer. 1 when
+  /// unconstrained).
+  uint16_t MinGapTimesteps(model::PoiId from, model::PoiId to) const {
+    if (unconstrained_) return 1;
+    return min_gap_[static_cast<size_t>(from) * num_pois_ + to];
+  }
+
+  /// Exactly model::Reachability::IsReachable(from, to, g·g_t) for every
+  /// integer budget g (in timesteps).
+  bool IsReachable(model::PoiId from, model::PoiId to,
+                   model::Timestep gap_timesteps) const {
+    if (unconstrained_) return true;
+    if (gap_timesteps <= 0) return false;
+    return MinGapTimesteps(from, to) <= gap_timesteps;
+  }
+
+  /// Exactly model::Reachability::IsReachableBetween(from, to, a, b).
+  bool IsReachableBetween(model::PoiId from, model::PoiId to,
+                          model::Timestep t_from,
+                          model::Timestep t_to) const {
+    return IsReachable(from, to, t_to - t_from);
+  }
+
+  /// True when the successor CSR was built (fits the memory budget).
+  bool has_successors() const { return !successor_offsets_.empty(); }
+
+  /// The exact set of POIs reachable from `from` within `gap_timesteps`
+  /// (includes `from`; empty span for non-positive budgets). Sorted by
+  /// (min-gap, id). Requires has_successors(); unavailable when
+  /// unconstrained (the answer is "all POIs" — no point materialising
+  /// P² ids for it).
+  std::span<const model::PoiId> SuccessorsWithin(
+      model::PoiId from, model::Timestep gap_timesteps) const;
+
+  /// Bytes held by the matrix + CSR (the docs' memory-cost formula,
+  /// evaluated).
+  size_t MemoryBytes() const;
+
+ private:
+  ReachabilityTable() = default;
+
+  bool unconstrained_ = false;
+  size_t num_pois_ = 0;
+  model::Timestep num_timesteps_ = 0;
+  model::ReachabilityConfig config_;
+  /// min_gap_[from * P + to]; uint16 (|T| ≤ 1440 < kNever).
+  std::vector<uint16_t> min_gap_;
+  /// successors_[from * P ..]: all POIs sorted by (min_gap, id).
+  std::vector<model::PoiId> successors_;
+  /// successor_offsets_[from * (|T|+1) + g]: #successors with
+  /// min-gap ≤ g; bucket g = 0 is always 0.
+  std::vector<uint32_t> successor_offsets_;
+};
+
+}  // namespace trajldp::core
+
+#endif  // TRAJLDP_CORE_REACHABILITY_H_

@@ -26,7 +26,8 @@ StreamingCollector::StreamingCollector(const NGramMechanism* mechanism,
 StreamingCollector::StreamingCollector(const NGramMechanism* mechanism,
                                        uint64_t seed, Sink sink,
                                        Config config)
-    : pipeline_(mechanism->pipeline()),
+    : pipeline_(mechanism->pipeline(config.poi_policy.value_or(
+          mechanism->config().poi.policy))),
       seed_(seed),
       sink_(std::move(sink)),
       queue_(config.queue_capacity),

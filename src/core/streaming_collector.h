@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <variant>
@@ -66,6 +67,11 @@ class StreamingCollector {
     /// the ingest pipeline's memory bound: producers block (backpressure)
     /// when the queue is full.
     size_t queue_capacity = 8;
+    /// §5.6 POI sampling policy; unset → the mechanism's configured
+    /// policy. Collector-side configuration, never on the wire — K
+    /// shards running the same policy under the same seed merge
+    /// bit-identically to one collector under that policy.
+    std::optional<PoiPolicy> poi_policy;
   };
 
   /// Receives each finished release. Calls are serialised (one at a

@@ -332,6 +332,65 @@ TEST_F(E2eBatchFixture, ReleaseAllFullMatchesSequentialForEveryThreadCount) {
   }
 }
 
+TEST_F(E2eBatchFixture, GuidedPolicyMatchesGuidedSequentialEveryThreadCount) {
+  // The guided policy keeps the engine's determinism contract: batched
+  // output equals the sequential guided pipeline loop bit-for-bit at any
+  // thread count (guided draws are a pure function of (seed, user id)
+  // through the collector stream's guided substream).
+  const uint64_t seed = 20260729;
+  const auto users = MakeUsers(24, 11);
+
+  const CollectorPipeline guided = mech_->pipeline(PoiPolicy::kGuided);
+  std::vector<FullRelease> expected(users.size());
+  PipelineWorkspace ws;
+  const Rng root(seed);
+  for (size_t i = 0; i < users.size(); ++i) {
+    Rng user_rng = root.Substream(i);
+    ASSERT_TRUE(guided.ReleaseInto(users[i], user_rng, ws, expected[i]).ok());
+  }
+
+  for (const size_t threads : {1u, 2u, 8u}) {
+    BatchReleaseEngine::Config config;
+    config.num_threads = threads;
+    config.poi_policy = PoiPolicy::kGuided;
+    BatchReleaseEngine engine(mech_.get(), config);
+    auto batched = engine.ReleaseAllFull(users, seed);
+    ASSERT_TRUE(batched.ok()) << "threads " << threads << ": "
+                              << batched.status();
+    ExpectIdenticalReleases(*batched, expected);
+  }
+
+  // And the policy must leave the perturbed regions untouched — only the
+  // POI stage differs between policies.
+  const auto rejection = SequentialReference(users, seed);
+  for (size_t i = 0; i < users.size(); ++i) {
+    EXPECT_EQ(rejection[i].regions, expected[i].regions) << "user " << i;
+  }
+}
+
+TEST_F(E2eBatchFixture, ReachabilityTableNeverChangesRejectionOutput) {
+  // The table is exact-by-construction against the reachability formula,
+  // so a mechanism built WITH it must release bit-identically to one
+  // built without — the ISSUE 4 "legacy output unchanged" criterion,
+  // end-to-end rather than per-lookup.
+  NGramConfig config = mech_->config();
+  config.precompute_poi_reachability = true;
+  auto tabled = NGramMechanism::Build(db_.get(), time_, config);
+  ASSERT_TRUE(tabled.ok()) << tabled.status();
+  ASSERT_NE(tabled->reachability_table(), nullptr);
+  ASSERT_EQ(mech_->reachability_table(), nullptr);
+
+  const uint64_t seed = 20260729;
+  const auto users = MakeUsers(24, 19);
+  BatchReleaseEngine plain(mech_.get(), BatchReleaseEngine::Config{2});
+  BatchReleaseEngine accelerated(&*tabled, BatchReleaseEngine::Config{2});
+  auto a = plain.ReleaseAllFull(users, seed);
+  auto b = accelerated.ReleaseAllFull(users, seed);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectIdenticalReleases(*a, *b);
+}
+
 TEST_F(E2eBatchFixture, ReleaseAllFullRepeatedRunsReuseWorkspaces) {
   // The same engine (same worker workspaces) must be replayable: run two
   // batches back to back, then the first batch again — dirty workspaces

@@ -199,20 +199,47 @@ TEST_F(PoiReconstructorTest, SmoothingFallbackWhenIntervalTooTight) {
 
 TEST_F(PoiReconstructorTest, GuidedSamplerProducesFeasibleOutput) {
   PoiReconstructor::Config config;
-  config.guided = true;
+  config.policy = PoiPolicy::kGuided;
   PoiReconstructor reconstructor(decomp_.get(), reach_.get(), config);
   const auto regions = RegionsOf({{0, 60}, {1, 66}, {5, 72}, {6, 78}});
   Rng rng(9);
   auto result = reconstructor.Reconstruct(regions, rng);
   ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->guided_fallback);
   EXPECT_TRUE(reach_->CheckFeasible(result->trajectory).ok());
+}
+
+TEST_F(PoiReconstructorTest, GuidedWithTableMatchesGuidedWithoutTable) {
+  // The table is an exact materialisation of the reachability formula,
+  // so swapping it in changes no accept/reject decision: same seeds,
+  // bit-identical outputs, both policies.
+  auto table = ReachabilityTable::Build(*db_, time_, reach_config_);
+  ASSERT_TRUE(table.ok()) << table.status();
+  const auto regions = RegionsOf({{0, 60}, {1, 66}, {5, 72}, {6, 78}});
+  for (const PoiPolicy policy :
+       {PoiPolicy::kRejection, PoiPolicy::kGuided}) {
+    PoiReconstructor::Config config;
+    config.policy = policy;
+    PoiReconstructor plain(decomp_.get(), reach_.get(), config);
+    PoiReconstructor tabled(decomp_.get(), reach_.get(), &*table, config);
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+      Rng rng1(seed), rng2(seed);
+      auto a = plain.Reconstruct(regions, rng1);
+      auto b = tabled.Reconstruct(regions, rng2);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_TRUE(a->trajectory == b->trajectory) << "seed " << seed;
+      EXPECT_EQ(a->attempts, b->attempts) << "seed " << seed;
+      EXPECT_EQ(a->smoothed, b->smoothed) << "seed " << seed;
+    }
+  }
 }
 
 TEST_F(PoiReconstructorTest, GuidedNeedsFewerAttemptsOnAverage) {
   const auto regions = RegionsOf({{0, 60}, {1, 66}, {5, 72}, {6, 78}});
   PoiReconstructor naive(decomp_.get(), reach_.get(), {});
   PoiReconstructor::Config guided_config;
-  guided_config.guided = true;
+  guided_config.policy = PoiPolicy::kGuided;
   PoiReconstructor guided(decomp_.get(), reach_.get(), guided_config);
 
   size_t naive_attempts = 0, guided_attempts = 0;
@@ -226,6 +253,106 @@ TEST_F(PoiReconstructorTest, GuidedNeedsFewerAttemptsOnAverage) {
     guided_attempts += b->attempts;
   }
   EXPECT_LE(guided_attempts, naive_attempts);
+}
+
+// ---------- Guided-policy fallback (regression) ----------
+
+// An adversarially infeasible input: with two 12-hour base intervals, a
+// region sequence visiting an afternoon region BEFORE a morning region
+// admits no strictly increasing time assignment at all (the §5.6 loop
+// can only ever end in the smoothing fallback, which is allowed to
+// leave region intervals). The guided policy must not silently emit an
+// infeasible path here: it must fall back to the legacy rejection loop
+// on the untouched collector stream, making its output bit-identical to
+// the rejection policy's.
+class GuidedFallbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = MakeGridWorld();
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<model::PoiDatabase>(std::move(*db));
+    time_ = *model::TimeDomain::Create(10);
+
+    region::DecompositionConfig config;
+    config.grid_size = 2;
+    config.coarse_grids = {1};
+    config.base_interval_minutes = 720;
+    config.merge.kappa = 1;
+    auto decomp = region::StcDecomposition::Build(db_.get(), time_, config);
+    ASSERT_TRUE(decomp.ok());
+    decomp_ = std::make_unique<region::StcDecomposition>(std::move(*decomp));
+
+    reach_config_.speed_kmh = 8.0;
+    reach_config_.reference_gap_minutes = 60;
+    reach_ = std::make_unique<model::Reachability>(db_.get(), time_,
+                                                   reach_config_);
+    auto table = ReachabilityTable::Build(*db_, time_, reach_config_);
+    ASSERT_TRUE(table.ok()) << table.status();
+    table_ = std::make_unique<core::ReachabilityTable>(std::move(*table));
+  }
+
+  std::unique_ptr<model::PoiDatabase> db_;
+  model::TimeDomain time_;
+  std::unique_ptr<region::StcDecomposition> decomp_;
+  model::ReachabilityConfig reach_config_;
+  std::unique_ptr<model::Reachability> reach_;
+  std::unique_ptr<core::ReachabilityTable> table_;
+};
+
+TEST_F(GuidedFallbackTest, FallsBackToRejectionLoopBitExactly) {
+  PoiReconstructor::Config config;
+  config.gamma = 100;  // the rejection loop is provably futile here
+  PoiReconstructor::Config guided_config = config;
+  guided_config.policy = PoiPolicy::kGuided;
+  PoiReconstructor rejection(decomp_.get(), reach_.get(), table_.get(),
+                             config);
+  PoiReconstructor guided(decomp_.get(), reach_.get(), table_.get(),
+                          guided_config);
+
+  // Afternoon-interval region first, morning-interval region second:
+  // t₀ ∈ [12:00, 24:00), t₁ ∈ [0:00, 12:00), t₁ > t₀ is impossible.
+  region::RegionTrajectory regions{
+      *decomp_->Lookup(0, time_.MinuteToTimestep(800)),
+      *decomp_->Lookup(0, time_.MinuteToTimestep(60))};
+  ASSERT_NE(regions[0], regions[1]);
+
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng1(seed), rng2(seed);
+    auto r = rejection.Reconstruct(regions, rng1);
+    auto g = guided.Reconstruct(regions, rng2);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_TRUE(g.ok()) << g.status();
+    EXPECT_TRUE(g->guided_fallback);
+    EXPECT_FALSE(r->guided_fallback);
+    // The fallback replays the rejection policy on the untouched
+    // collector stream: identical trajectory, identical smoothing.
+    EXPECT_TRUE(g->trajectory == r->trajectory) << "seed " << seed;
+    EXPECT_EQ(g->smoothed, r->smoothed) << "seed " << seed;
+    EXPECT_TRUE(g->smoothed);
+  }
+}
+
+TEST_F(GuidedFallbackTest, FeasibleInputNeverFallsBackEvenWhenStarved) {
+  // The reverse order is feasible, and the guided proposal enforces
+  // exactly the binding constraints up front — so even a single guided
+  // attempt must succeed with a feasible, unsmoothed trajectory.
+  PoiReconstructor::Config guided_config;
+  guided_config.policy = PoiPolicy::kGuided;
+  guided_config.guided_attempts = 1;
+  PoiReconstructor guided(decomp_.get(), reach_.get(), table_.get(),
+                          guided_config);
+  region::RegionTrajectory regions{
+      *decomp_->Lookup(0, time_.MinuteToTimestep(60)),
+      *decomp_->Lookup(0, time_.MinuteToTimestep(800))};
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    auto g = guided.Reconstruct(regions, rng);
+    ASSERT_TRUE(g.ok()) << g.status();
+    EXPECT_FALSE(g->guided_fallback);
+    EXPECT_FALSE(g->smoothed);
+    EXPECT_TRUE(reach_->CheckFeasible(g->trajectory).ok()) << "seed "
+                                                           << seed;
+  }
 }
 
 TEST_F(PoiReconstructorTest, RejectsBadInputs) {

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "core/mechanism.h"
+#include "core/reachability.h"
 #include "core/viterbi_reconstructor.h"
 #include "eval/normalized_error.h"
 #include "ldp/exponential_mechanism.h"
@@ -337,6 +338,186 @@ INSTANTIATE_TEST_SUITE_P(
     LengthByN, CoverageSweep,
     ::testing::Combine(::testing::Values<size_t>(1, 2, 3, 5, 8),
                        ::testing::Values(1, 2, 3)));
+
+// ---------- ReachabilityTable vs brute-force oracle ----------
+
+// The table's contract (ISSUE 4): for EVERY POI pair and EVERY integer
+// timestep budget, lookups answer exactly what model::Reachability's
+// formula answers, and the per-(poi, budget) successor spans are exactly
+// the formula's reachable sets — on randomized worlds covering scattered
+// POI layouts, different world scales (including disconnected POIs no
+// same-day budget connects), travel speeds, and time granularities.
+
+struct ReachabilityWorldParam {
+  size_t num_pois;
+  double extent_km;  // POIs scatter uniformly in [0, extent_km)²
+  double speed_kmh;
+  int granularity_minutes;
+  uint64_t seed;
+};
+
+class ReachabilityTableSweep
+    : public ::testing::TestWithParam<ReachabilityWorldParam> {
+ protected:
+  // A randomized scatter world: `num_pois` POIs at Rng-drawn offsets,
+  // categories cycling through the small tree's leaves, and every third
+  // POI open only 8:00–20:00 (opening hours are irrelevant to
+  // reachability but keep the world shaped like real inputs).
+  static StatusOr<model::PoiDatabase> MakeScatterWorld(
+      const ReachabilityWorldParam& param) {
+    hierarchy::CategoryTree tree = trajldp::testing::MakeSmallTree();
+    const auto leaves = tree.Leaves();
+    const geo::LatLon origin{40.7000, -74.0000};
+    Rng rng(param.seed);
+    std::vector<model::Poi> pois;
+    for (size_t i = 0; i < param.num_pois; ++i) {
+      model::Poi poi;
+      poi.name = "poi_" + std::to_string(i);
+      poi.location =
+          geo::OffsetKm(origin, rng.UniformDouble(0.0, param.extent_km),
+                        rng.UniformDouble(0.0, param.extent_km));
+      poi.category = leaves[i % leaves.size()];
+      poi.popularity = 1.0 + static_cast<double>(i);
+      if (i % 3 == 0) poi.hours = model::OpeningHours::Daily(480, 1200);
+      pois.push_back(std::move(poi));
+    }
+    return model::PoiDatabase::Create(std::move(pois), std::move(tree));
+  }
+};
+
+TEST_P(ReachabilityTableSweep, LookupMatchesFormulaForEveryPairAndBudget) {
+  const auto& param = GetParam();
+  auto db = MakeScatterWorld(param);
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(param.granularity_minutes);
+  model::ReachabilityConfig config{param.speed_kmh, 30};
+  const model::Reachability reach(&*db, time, config);
+  auto table = core::ReachabilityTable::Build(*db, time, config);
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_TRUE(table->has_successors());
+
+  const model::Timestep num_t = time.num_timesteps();
+  for (model::PoiId p = 0; p < db->size(); ++p) {
+    for (model::PoiId q = 0; q < db->size(); ++q) {
+      for (model::Timestep g = -1; g <= num_t; ++g) {
+        ASSERT_EQ(table->IsReachable(p, q, g),
+                  reach.IsReachable(p, q, time.GapMinutes(0, g)))
+            << "p=" << p << " q=" << q << " gap=" << g;
+      }
+      // The min-gap is the exact threshold of the monotone predicate.
+      const uint16_t mg = table->MinGapTimesteps(p, q);
+      if (mg == core::ReachabilityTable::kNever) {
+        EXPECT_FALSE(reach.IsReachable(p, q, time.GapMinutes(0, num_t)));
+      } else {
+        EXPECT_TRUE(reach.IsReachable(
+            p, q, time.GapMinutes(0, static_cast<model::Timestep>(mg))));
+        if (mg > 1) {
+          EXPECT_FALSE(reach.IsReachable(
+              p, q,
+              time.GapMinutes(0, static_cast<model::Timestep>(mg - 1))));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ReachabilityTableSweep, SuccessorSpansMatchBruteForceSets) {
+  const auto& param = GetParam();
+  auto db = MakeScatterWorld(param);
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(param.granularity_minutes);
+  model::ReachabilityConfig config{param.speed_kmh, 30};
+  const model::Reachability reach(&*db, time, config);
+  auto table = core::ReachabilityTable::Build(*db, time, config);
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_TRUE(table->has_successors());
+
+  const model::Timestep num_t = time.num_timesteps();
+  for (model::PoiId p = 0; p < db->size(); ++p) {
+    for (model::Timestep g : {model::Timestep{0}, model::Timestep{1},
+                              model::Timestep{2}, num_t / 2, num_t}) {
+      const auto span = table->SuccessorsWithin(p, g);
+      std::vector<model::PoiId> from_table(span.begin(), span.end());
+      std::sort(from_table.begin(), from_table.end());
+      std::vector<model::PoiId> oracle;
+      for (model::PoiId q = 0; q < db->size(); ++q) {
+        if (reach.IsReachable(p, q, time.GapMinutes(0, g))) {
+          oracle.push_back(q);
+        }
+      }
+      EXPECT_EQ(from_table, oracle) << "p=" << p << " gap=" << g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorlds, ReachabilityTableSweep,
+    ::testing::Values(
+        // Dense small city: everything reachable within a few steps.
+        ReachabilityWorldParam{24, 4.0, 8.0, 60, 1},
+        // Sprawl at walking speed: most budgets insufficient.
+        ReachabilityWorldParam{20, 60.0, 4.0, 60, 2},
+        // Disconnected: 500 km extent, 4 km/h — cross-town pairs are
+        // kNever (no same-day budget reaches them).
+        ReachabilityWorldParam{16, 500.0, 4.0, 120, 3},
+        // Fine time granularity (many buckets).
+        ReachabilityWorldParam{12, 10.0, 6.0, 10, 4},
+        // Different seed → different scatter.
+        ReachabilityWorldParam{24, 25.0, 12.0, 30, 5}));
+
+TEST(ReachabilityTableTest, UnconstrainedAnswersTrueWithoutStorage) {
+  auto db = MakeGridWorld();
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(60);
+  auto table = core::ReachabilityTable::Build(
+      *db, time, model::ReachabilityConfig::Unconstrained());
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->unconstrained());
+  EXPECT_EQ(table->MemoryBytes(), 0u);
+  EXPECT_TRUE(table->IsReachable(0, 15, -3));
+  EXPECT_TRUE(table->IsReachable(0, 15, 0));
+  EXPECT_TRUE(table->IsReachable(0, 15, 1));
+}
+
+TEST(ReachabilityTableTest, DisconnectedPairReportsNever) {
+  // Two POIs 500 km apart at 4 km/h: unreachable in any same-day gap.
+  trajldp::testing::GridWorldOptions options;
+  options.rows = 1;
+  options.cols = 2;
+  options.spacing_km = 500.0;
+  auto db = MakeGridWorld(options);
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(10);
+  auto table =
+      core::ReachabilityTable::Build(*db, time, {4.0, 30});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->MinGapTimesteps(0, 1), core::ReachabilityTable::kNever);
+  EXPECT_EQ(table->MinGapTimesteps(0, 0), 1);
+  EXPECT_FALSE(table->IsReachable(0, 1, time.num_timesteps()));
+}
+
+TEST(ReachabilityTableTest, MemoryBudgetDropsCsrThenFailsBuild) {
+  auto db = MakeGridWorld();
+  ASSERT_TRUE(db.ok());
+  const auto time = *model::TimeDomain::Create(60);
+  const model::ReachabilityConfig config{8.0, 30};
+  // 16 POIs → matrix 512 B, CSR 1024 + 16·25·4 B. A budget that admits
+  // the matrix but not the CSR must keep lookups and drop the spans.
+  core::ReachabilityTable::Options options;
+  options.max_bytes = 600;
+  auto matrix_only = core::ReachabilityTable::Build(*db, time, config,
+                                                    options);
+  ASSERT_TRUE(matrix_only.ok());
+  EXPECT_FALSE(matrix_only->has_successors());
+  EXPECT_TRUE(matrix_only->IsReachable(0, 0, 1));
+  EXPECT_TRUE(matrix_only->SuccessorsWithin(0, 5).empty());
+  // A budget under the matrix itself must fail loudly.
+  options.max_bytes = 100;
+  auto too_small = core::ReachabilityTable::Build(*db, time, config,
+                                                  options);
+  ASSERT_FALSE(too_small.ok());
+  EXPECT_EQ(too_small.status().code(), StatusCode::kResourceExhausted);
+}
 
 }  // namespace
 }  // namespace trajldp
