@@ -1,0 +1,342 @@
+// Networked-ingest benchmark (ISSUE 5 acceptance criteria): stream the
+// same wire frames into a StreamingCollector twice — once pushed
+// directly in memory, once over a real loopback TCP connection through
+// net::ReportClient → net::IngestServer — on the same ~200-region /
+// n = 2 world as bench_stream_ingest, and compare. The gate: loopback
+// throughput within 2× of in-memory (the socket hop must not dominate a
+// pipeline whose cost is reconstruction), and every leg bit-identical
+// to BatchReleaseEngine::ReleaseAllFull.
+//
+//   ./build/bench_net_ingest [--json PATH] [--users N]
+//
+// The timed section covers frame delivery (push or socket) through
+// Finish(): decode + validate + reconstruct on the worker pool + merge.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/batch_release_engine.h"
+#include "core/mechanism.h"
+#include "core/shard_plan.h"
+#include "core/streaming_collector.h"
+#include "io/wire.h"
+#include "net/ingest_server.h"
+#include "net/report_client.h"
+#include "test_support.h"
+
+namespace trajldp {
+namespace {
+
+using core::FullRelease;
+using region::RegionId;
+
+bool Identical(const std::vector<FullRelease>& a,
+               const std::vector<FullRelease>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].regions != b[i].regions ||
+        !(a[i].trajectory == b[i].trajectory) ||
+        a[i].poi_attempts != b[i].poi_attempts ||
+        a[i].smoothed != b[i].smoothed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct LegResult {
+  double seconds = 0.0;
+  double users_per_sec = 0.0;
+  bool identical = false;
+};
+
+int Run(size_t num_users, const std::string& json_path) {
+  constexpr int kN = 2;
+  constexpr double kEpsilon = 5.0;
+  constexpr size_t kTrajectoryLen = 5;
+  constexpr size_t kBatchSize = 256;
+  constexpr uint64_t kSeed = 20260729;
+
+  // Same ~200-region world as bench_stream_ingest / bench_batch_e2e.
+  auto db = bench::MakeLatticeDb(2000);
+  if (!db.ok()) {
+    std::cerr << db.status() << "\n";
+    return 1;
+  }
+  const auto time = *model::TimeDomain::Create(10);
+  core::NGramConfig config;
+  config.n = kN;
+  config.epsilon = kEpsilon;
+  config.decomposition.grid_size = 5;
+  config.decomposition.coarse_grids = {1};
+  config.decomposition.base_interval_minutes = 1440;
+  config.decomposition.merge.kappa = 1;
+  config.reachability.speed_kmh = 8.0;
+  config.reachability.reference_gap_minutes = 30;
+  auto mech = core::NGramMechanism::Build(&*db, time, config);
+  if (!mech.ok()) {
+    std::cerr << mech.status() << "\n";
+    return 1;
+  }
+  const size_t num_regions = mech->decomposition().num_regions();
+  const size_t hw_threads = ThreadPool::DefaultThreadCount();
+  std::cout << "world: " << num_regions << " regions, " << num_users
+            << " users, n=" << kN << ", L=" << kTrajectoryLen
+            << ", batch=" << kBatchSize << ", hw threads: " << hw_threads
+            << "\n";
+
+  std::vector<region::RegionTrajectory> users(num_users);
+  {
+    Rng rng(4242);
+    for (auto& tau : users) {
+      for (size_t i = 0; i < kTrajectoryLen; ++i) {
+        tau.push_back(static_cast<RegionId>(rng.UniformUint64(num_regions)));
+      }
+    }
+  }
+
+  // Reference and device-side reports.
+  std::vector<FullRelease> reference;
+  {
+    core::BatchReleaseEngine engine(&*mech);
+    auto result = engine.ReleaseAllFull(users, kSeed);
+    if (!result.ok()) {
+      std::cerr << "batch engine: " << result.status() << "\n";
+      return 1;
+    }
+    reference = std::move(*result);
+  }
+  io::ReportBatch reports;
+  {
+    core::BatchReleaseEngine engine(&mech->perturber());
+    auto perturbed = engine.ReleaseAll(users, kSeed);
+    if (!perturbed.ok()) {
+      std::cerr << "device perturb: " << perturbed.status() << "\n";
+      return 1;
+    }
+    reports = core::MakeWireReports(users, std::move(*perturbed),
+                                    mech->perturber());
+  }
+
+  // Pre-encode the frames once (framing is the devices' cost) with the
+  // user-range routing field, exactly as ReportClient::SendBatch would.
+  auto encode_frames =
+      [&](const io::ReportBatch& shard) -> StatusOr<std::vector<std::string>> {
+    io::WireEncodeOptions encode;
+    encode.include_user_range = true;
+    std::vector<std::string> frames;
+    for (size_t begin = 0; begin < shard.size(); begin += kBatchSize) {
+      const size_t end = std::min(begin + kBatchSize, shard.size());
+      auto frame = io::EncodeReportBatch(
+          std::span<const io::WireReport>(shard.data() + begin, end - begin),
+          encode);
+      if (!frame.ok()) return frame.status();
+      frames.push_back(std::move(*frame));
+    }
+    return frames;
+  };
+
+  core::StreamingCollector::Config collector_config;
+  collector_config.num_threads = std::max<size_t>(1, hw_threads);
+  collector_config.queue_capacity = 8;
+
+  auto finish_and_check =
+      [&](std::vector<std::vector<core::UserRelease>> outputs,
+          Stopwatch& watch, LegResult* result) -> Status {
+    auto merged = core::MergeShardReleases(std::move(outputs), num_users);
+    result->seconds = watch.ElapsedSeconds();
+    if (!merged.ok()) return merged.status();
+    result->users_per_sec =
+        static_cast<double>(num_users) / result->seconds;
+    result->identical = Identical(*merged, reference);
+    return Status::Ok();
+  };
+
+  // --- Leg 1: in-memory PushEncoded (the BENCH_stream shape). --------
+  auto run_inmem = [&]() -> StatusOr<LegResult> {
+    auto frames = encode_frames(reports);
+    if (!frames.ok()) return frames.status();
+    mech->domain().ClearCache();
+    std::vector<std::vector<core::UserRelease>> outputs(1);
+    LegResult result;
+    Stopwatch watch;
+    {
+      core::StreamingCollector collector(
+          &*mech, kSeed,
+          [&outputs](core::UserRelease release) {
+            outputs[0].push_back(std::move(release));
+          },
+          collector_config);
+      for (std::string& frame : *frames) {
+        TRAJLDP_RETURN_NOT_OK(collector.PushEncoded(std::move(frame)));
+      }
+      TRAJLDP_RETURN_NOT_OK(collector.Finish());
+    }
+    TRAJLDP_RETURN_NOT_OK(finish_and_check(std::move(outputs), watch,
+                                           &result));
+    return result;
+  };
+
+  // --- Leg 2: the same frames through loopback TCP, K shards. --------
+  auto run_loopback = [&](size_t num_shards) -> StatusOr<LegResult> {
+    core::ShardPlan plan;
+    plan.num_shards = num_shards;
+    plan.strategy = core::ShardPlan::Strategy::kRange;
+    plan.num_users = num_users;
+    auto sharded = core::PartitionByShard(plan, io::ReportBatch(reports));
+    std::vector<std::vector<std::string>> frames(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      auto encoded = encode_frames(sharded[s]);
+      if (!encoded.ok()) return encoded.status();
+      frames[s] = std::move(*encoded);
+    }
+
+    mech->domain().ClearCache();
+    std::vector<std::vector<core::UserRelease>> outputs(num_shards);
+    std::vector<std::unique_ptr<core::StreamingCollector>> collectors;
+    std::vector<std::unique_ptr<net::IngestServer>> servers;
+    LegResult result;
+    Stopwatch watch;
+    for (size_t s = 0; s < num_shards; ++s) {
+      collectors.push_back(std::make_unique<core::StreamingCollector>(
+          &*mech, kSeed,
+          [&outputs, s](core::UserRelease release) {
+            outputs[s].push_back(std::move(release));
+          },
+          collector_config));
+      net::IngestServer::Options options;
+      options.expected_range = plan.RangeOf(s);
+      auto server = net::IngestServer::Start(collectors.back().get(),
+                                             options);
+      if (!server.ok()) return server.status();
+      servers.push_back(std::move(*server));
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+      net::ReportClient client("127.0.0.1", servers[s]->port());
+      // An empty shard still gets one keep-alive frame: the drain loop
+      // below waits for each server's client to connect and close.
+      if (frames[s].empty()) {
+        TRAJLDP_RETURN_NOT_OK(client.SendBatch({}));
+      }
+      for (const std::string& frame : frames[s]) {
+        TRAJLDP_RETURN_NOT_OK(client.SendFrame(frame));
+      }
+      client.Close();
+    }
+    // Drain: every client has disconnected; frames are queued at worst.
+    for (size_t s = 0; s < num_shards; ++s) {
+      while (servers[s]->stats().connections_closed < 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      servers[s]->Shutdown();
+      TRAJLDP_RETURN_NOT_OK(servers[s]->first_connection_error());
+      TRAJLDP_RETURN_NOT_OK(collectors[s]->Finish());
+    }
+    TRAJLDP_RETURN_NOT_OK(finish_and_check(std::move(outputs), watch,
+                                           &result));
+    return result;
+  };
+
+  auto inmem = run_inmem();
+  if (!inmem.ok()) {
+    std::cerr << "in-memory leg: " << inmem.status() << "\n";
+    return 1;
+  }
+  auto loopback = run_loopback(1);
+  if (!loopback.ok()) {
+    std::cerr << "loopback leg: " << loopback.status() << "\n";
+    return 1;
+  }
+  auto loopback2 = run_loopback(2);
+  if (!loopback2.ok()) {
+    std::cerr << "loopback 2-shard leg: " << loopback2.status() << "\n";
+    return 1;
+  }
+
+  const double ratio = inmem->users_per_sec / loopback->users_per_sec;
+  const bool within_2x = ratio <= 2.0;
+  const bool bit_identical =
+      inmem->identical && loopback->identical && loopback2->identical;
+  std::printf("in-memory ingest : %8.0f users/s (%.3f s)%s\n",
+              inmem->users_per_sec, inmem->seconds,
+              inmem->identical ? "" : "  MISMATCH");
+  std::printf("loopback ingest  : %8.0f users/s (%.3f s)%s\n",
+              loopback->users_per_sec, loopback->seconds,
+              loopback->identical ? "" : "  MISMATCH");
+  std::printf("loopback 2 shards: %8.0f users/s (%.3f s)%s\n",
+              loopback2->users_per_sec, loopback2->seconds,
+              loopback2->identical ? "" : "  MISMATCH");
+  std::printf("in-memory / loopback ratio: %.2fx (gate <= 2x): %s\n", ratio,
+              within_2x ? "PASS" : "FAIL");
+  std::cout << "all legs bit-identical to batch engine: "
+            << (bit_identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot open " << json_path << " for writing\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"net_ingest\",\n"
+        << "  \"num_users\": " << num_users << ",\n"
+        << "  \"num_regions\": " << num_regions << ",\n"
+        << "  \"ngram_n\": " << kN << ",\n"
+        << "  \"epsilon\": " << kEpsilon << ",\n"
+        << "  \"trajectory_len\": " << kTrajectoryLen << ",\n"
+        << "  \"batch_size\": " << kBatchSize << ",\n"
+        << "  \"hw_threads\": " << hw_threads << ",\n"
+        << "  \"inmem_seconds\": " << inmem->seconds << ",\n"
+        << "  \"inmem_users_per_sec\": " << inmem->users_per_sec << ",\n"
+        << "  \"loopback_seconds\": " << loopback->seconds << ",\n"
+        << "  \"loopback_users_per_sec\": " << loopback->users_per_sec
+        << ",\n"
+        << "  \"loopback_2shard_users_per_sec\": "
+        << loopback2->users_per_sec << ",\n"
+        << "  \"inmem_over_loopback\": " << ratio << ",\n"
+        << "  \"loopback_within_2x\": " << (within_2x ? "true" : "false")
+        << ",\n"
+        << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+        << "\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  if (!bit_identical) return 2;
+  return within_2x ? 0 : 3;
+}
+
+}  // namespace
+}  // namespace trajldp
+
+int main(int argc, char** argv) {
+  // Env default first; an explicit --users flag wins over it.
+  size_t num_users = 5000;
+  if (const char* env = std::getenv("TRAJLDP_BENCH_NET_USERS")) {
+    num_users = static_cast<size_t>(std::atoll(env));
+  }
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
+      num_users = static_cast<size_t>(std::atoll(argv[++i]));
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json PATH] [--users N]\n";
+      return 1;
+    }
+  }
+  return trajldp::Run(num_users, json_path);
+}

@@ -18,14 +18,23 @@
 #                      StreamingCollector: users/s across batch size ×
 #                      queue depth × shard count, the batch-engine
 #                      baseline, and the sharded bit-identical check.
+#   BENCH_net.json   — the same frames over loopback TCP through
+#                      net::ReportClient → net::IngestServer: users/s
+#                      in-memory vs loopback (gate: within 2×) and the
+#                      bit-identical check.
 #   BENCH_micro.json — google-benchmark JSON for the hot kernels
 #                      (haversine, Gumbel, EM select, path sampler).
+#
+# After the runs, every BENCH_*.json is checked for its gate keys; a
+# missing file or key FAILS the harness loudly instead of silently
+# shipping artifacts without their gates.
 #
 # Env:
 #   BUILD_DIR                  build tree (default: build)
 #   TRAJLDP_BENCH_USERS        batch-bench user count (default: 10000)
 #   TRAJLDP_BENCH_E2E_USERS    e2e-bench user count (default: 5000)
 #   TRAJLDP_BENCH_STREAM_USERS stream-bench user count (default: 5000)
+#   TRAJLDP_BENCH_NET_USERS    net-bench user count (default: 5000)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -37,7 +46,7 @@ if [[ ! -d "$build_dir" ]]; then
   cmake -B "$build_dir" -S "$repo_root"
 fi
 cmake --build "$build_dir" --target bench_batch_release bench_batch_e2e \
-  bench_stream_ingest bench_micro_kernels
+  bench_stream_ingest bench_net_ingest bench_micro_kernels
 
 echo "=== bench_batch_release ==="
 "$build_dir/bench_batch_release" --json "$out_dir/BENCH_batch.json"
@@ -48,10 +57,58 @@ echo "=== bench_batch_e2e ==="
 echo "=== bench_stream_ingest ==="
 "$build_dir/bench_stream_ingest" --json "$out_dir/BENCH_stream.json"
 
+echo "=== bench_net_ingest ==="
+"$build_dir/bench_net_ingest" --json "$out_dir/BENCH_net.json"
+
 echo "=== bench_micro_kernels ==="
 "$build_dir/bench_micro_kernels" \
   --benchmark_format=console \
   --benchmark_out="$out_dir/BENCH_micro.json" \
   --benchmark_out_format=json
 
-echo "wrote $out_dir/BENCH_batch.json, $out_dir/BENCH_e2e.json, $out_dir/BENCH_stream.json, and $out_dir/BENCH_micro.json"
+echo "=== gate-key check ==="
+python3 - "$out_dir" <<'EOF'
+import json
+import sys
+
+out_dir = sys.argv[1]
+# Every artifact and the keys downstream gates read from it. A bench
+# that stops emitting one of these must fail HERE, not ship an artifact
+# that a CI gate later "passes" by not finding its input.
+required = {
+    "BENCH_batch.json": ["bit_identical", "speedup_single_thread"],
+    "BENCH_e2e.json": [
+        "bit_identical",
+        "guided_bit_identical",
+        "poi_stage_speedup",
+        "speedup_vs_seed_loop",
+    ],
+    "BENCH_stream.json": ["bit_identical", "best_stream_users_per_sec"],
+    "BENCH_net.json": [
+        "bit_identical",
+        "loopback_within_2x",
+        "inmem_over_loopback",
+    ],
+    "BENCH_micro.json": ["benchmarks"],
+}
+failures = []
+for name, keys in required.items():
+    path = f"{out_dir}/{name}"
+    try:
+        with open(path) as f:
+            bench = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        failures.append(f"{name}: {error}")
+        continue
+    for key in keys:
+        if key not in bench:
+            failures.append(f"{name}: gate key '{key}' missing")
+if failures:
+    print("MISSING BENCH GATES:")
+    for failure in failures:
+        print(f"  {failure}")
+    sys.exit(1)
+print("all bench artifacts carry their gate keys")
+EOF
+
+echo "wrote $out_dir/BENCH_batch.json, $out_dir/BENCH_e2e.json, $out_dir/BENCH_stream.json, $out_dir/BENCH_net.json, and $out_dir/BENCH_micro.json"

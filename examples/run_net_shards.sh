@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Multi-process loopback shard harness (ISSUE 5 acceptance criterion):
+# launches K collector processes on ephemeral loopback ports, streams
+# every device report to them over TCP routed by core::ShardPlan, merges
+# the K release files, and bit-compares against the single-process
+# BatchReleaseEngine::ReleaseAllFull. Exit 0 iff identical.
+#
+#   examples/run_net_shards.sh [K] [USERS] [SEED]
+#
+# Env:
+#   BUILD_DIR  build tree holding net_shard_harness (default: build)
+set -euo pipefail
+
+k="${1:-2}"
+users="${2:-80}"
+seed="${3:-42}"
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+bin="$build_dir/net_shard_harness"
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin not built (cmake --build $build_dir --target net_shard_harness)" >&2
+  exit 1
+fi
+
+work="$(mktemp -d)"
+pids=()
+cleanup() {
+  # Servers exit on their own in the happy path; reap stragglers on any
+  # early error so the harness never leaks processes.
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "=== launching $k collector process(es) ==="
+for ((s = 0; s < k; s++)); do
+  "$bin" serve --shard "$s" --num-shards "$k" --users "$users" \
+    --seed "$seed" --port 0 --port-file "$work/port.$s" \
+    --out "$work/releases.$s" &
+  pids+=($!)
+done
+
+# Each server publishes its ephemeral port via atomic rename.
+ports=""
+for ((s = 0; s < k; s++)); do
+  for _ in $(seq 1 600); do
+    [[ -s "$work/port.$s" ]] && break
+    # A server that died during startup will never publish its port.
+    kill -0 "${pids[$s]}" 2>/dev/null || {
+      echo "error: shard $s exited before publishing a port" >&2
+      exit 1
+    }
+    sleep 0.05
+  done
+  [[ -s "$work/port.$s" ]] || {
+    echo "error: shard $s never published a port" >&2
+    exit 1
+  }
+  [[ -z "$ports" ]] || ports+=","
+  ports+="$(cat "$work/port.$s")"
+done
+echo "shard ports: $ports"
+
+echo "=== streaming device reports ==="
+"$bin" send --num-shards "$k" --users "$users" --seed "$seed" \
+  --ports "$ports"
+
+echo "=== waiting for shard processes to drain and exit ==="
+status=0
+for pid in "${pids[@]}"; do
+  wait "$pid" || status=$?
+done
+pids=()
+[[ $status -eq 0 ]] || {
+  echo "error: a shard process failed (exit $status)" >&2
+  exit "$status"
+}
+
+echo "=== merging $k release file(s) and bit-comparing ==="
+files=""
+for ((s = 0; s < k; s++)); do
+  [[ -z "$files" ]] || files+=","
+  files+="$work/releases.$s"
+done
+"$bin" verify --num-shards "$k" --users "$users" --seed "$seed" \
+  --in "$files"
+echo "K=$k multi-process loopback harness: OK"

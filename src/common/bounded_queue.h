@@ -1,6 +1,7 @@
 #ifndef TRAJLDP_COMMON_BOUNDED_QUEUE_H_
 #define TRAJLDP_COMMON_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -9,6 +10,16 @@
 #include <utility>
 
 namespace trajldp {
+
+/// Outcome of a timed push attempt (BoundedQueue::TryPushFor). A producer
+/// that must stay responsive — e.g. a network connection thread that has
+/// to notice server shutdown — needs to distinguish "still full, try
+/// again" from "the queue will never accept another item".
+enum class QueuePushResult {
+  kOk,       ///< item enqueued
+  kTimeout,  ///< still full after the timeout; item left with the caller
+  kClosed,   ///< queue closed; no item will ever be accepted again
+};
 
 /// \brief A bounded, blocking FIFO queue for producer/consumer pipelines.
 ///
@@ -46,6 +57,26 @@ class BoundedQueue {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Timed push: waits up to `timeout` for room. On kOk `item` is moved
+  /// into the queue; on kTimeout and kClosed it is left intact with the
+  /// caller, so a flow-control loop can retry (or abandon) the same item
+  /// without copies. A close during the wait returns kClosed immediately.
+  template <typename Rep, typename Period>
+  QueuePushResult TryPushFor(T& item,
+                             std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_full_.wait_for(lock, timeout, [this] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return QueuePushResult::kTimeout;
+    }
+    if (closed_) return QueuePushResult::kClosed;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return QueuePushResult::kOk;
   }
 
   /// Non-blocking push; returns false when full or closed.

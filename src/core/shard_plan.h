@@ -2,6 +2,7 @@
 #define TRAJLDP_CORE_SHARD_PLAN_H_
 
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -19,15 +20,65 @@ namespace trajldp::core {
 /// randomness is keyed by the GLOBAL user id (CollectorPipeline's RNG
 /// seam), the assignment below is pure routing: any plan — modulo,
 /// range, consistent hashing — yields bit-identical releases, merged or
-/// not. Modulo is the default because it balances load under dense ids.
+/// not. Modulo is the default because it balances load under dense ids;
+/// kRange assigns contiguous id blocks, which is what lets a networked
+/// shard validate membership from a wire batch's [min, max) user-range
+/// field alone (io::WireUserRange) — a modulo shard's ids interleave, so
+/// no interval check can tell its batches apart.
 struct ShardPlan {
-  size_t num_shards = 1;
+  enum class Strategy {
+    kModulo,  ///< user_id % num_shards (dense-id load balance)
+    kRange,   ///< contiguous blocks of ceil(num_users / num_shards)
+  };
 
+  size_t num_shards = 1;
+  Strategy strategy = Strategy::kModulo;
+  /// Total population. Required (> 0) by kRange; under kModulo it is
+  /// not used for routing, only to tighten the interval RangeOf reports
+  /// (left 0, RangeOf reports the whole u64 space).
+  uint64_t num_users = 0;
+
+  /// Routing is total: ids at or above num_users still map to some
+  /// shard (under kRange, the id's block clamped to the last shard —
+  /// which exact shard is unspecified); the merge bounds-checks against
+  /// the real population, so stray ids are rejected there.
   size_t ShardOf(uint64_t user_id) const {
-    return num_shards <= 1
-               ? 0
-               : static_cast<size_t>(user_id %
-                                     static_cast<uint64_t>(num_shards));
+    if (num_shards <= 1) return 0;
+    if (strategy == Strategy::kModulo) {
+      return static_cast<size_t>(user_id %
+                                 static_cast<uint64_t>(num_shards));
+    }
+    const uint64_t block = BlockSize();
+    const uint64_t shard = user_id / block;
+    return static_cast<size_t>(
+        shard < num_shards ? shard : num_shards - 1);
+  }
+
+  /// The [min, max) user-id interval shard `s` is responsible for. Under
+  /// kRange this is the exact block (what an IngestServer validates
+  /// incoming batch ranges against); under kModulo a shard's ids span
+  /// the whole population, so the full interval is returned and the
+  /// check degenerates to global validity — and when num_users was never
+  /// set (it is not needed for modulo ROUTING), that means the whole u64
+  /// space, never the empty interval [0, 0) that would reject every
+  /// batch fed to a validator.
+  std::pair<uint64_t, uint64_t> RangeOf(size_t shard) const {
+    if (strategy == Strategy::kModulo || num_shards <= 1) {
+      return {0, num_users == 0 ? std::numeric_limits<uint64_t>::max()
+                                : num_users};
+    }
+    const uint64_t block = BlockSize();
+    const uint64_t lo = block * shard;
+    const uint64_t hi =
+        shard + 1 == num_shards ? num_users : block * (shard + 1);
+    return {lo < num_users ? lo : num_users, hi < num_users ? hi : num_users};
+  }
+
+ private:
+  uint64_t BlockSize() const {
+    const auto shards = static_cast<uint64_t>(num_shards);
+    const uint64_t block = (num_users + shards - 1) / shards;
+    return block == 0 ? 1 : block;
   }
 };
 

@@ -1,8 +1,15 @@
 #include "core/streaming_collector.h"
 
+#include <istream>
 #include <utility>
 
 namespace trajldp::core {
+
+IstreamFrameSource::IstreamFrameSource(std::istream* in) : reader_(in) {}
+
+Status IstreamFrameSource::Next(std::string* frame, bool* done) {
+  return reader_.Next(frame, done);
+}
 
 io::ReportBatch MakeWireReports(
     std::span<const region::RegionTrajectory> users,
@@ -60,6 +67,39 @@ Status StreamingCollector::PushEncoded(std::string frame) {
     return Status::FailedPrecondition("Push after Finish on a collector");
   }
   return Status::Ok();
+}
+
+Status StreamingCollector::PushEncodedFor(std::string& frame,
+                                          std::chrono::milliseconds timeout,
+                                          bool* accepted) {
+  *accepted = false;
+  if (finished_) {
+    return Status::FailedPrecondition("Push after Finish on a collector");
+  }
+  TRAJLDP_RETURN_NOT_OK(FirstError());
+  Item item(std::move(frame));
+  switch (queue_.TryPushFor(item, timeout)) {
+    case QueuePushResult::kOk:
+      *accepted = true;
+      return Status::Ok();
+    case QueuePushResult::kTimeout:
+      frame = std::move(std::get<std::string>(item));  // caller retries it
+      return Status::Ok();
+    case QueuePushResult::kClosed:
+      frame = std::move(std::get<std::string>(item));
+      return Status::FailedPrecondition("Push after Finish on a collector");
+  }
+  return Status::Internal("unreachable TryPushFor result");
+}
+
+Status StreamingCollector::IngestEncoded(FrameSource& source) {
+  for (;;) {
+    std::string frame;
+    bool done = false;
+    TRAJLDP_RETURN_NOT_OK(source.Next(&frame, &done));
+    if (done) return Status::Ok();
+    TRAJLDP_RETURN_NOT_OK(PushEncoded(std::move(frame)));
+  }
 }
 
 Status StreamingCollector::Finish() {

@@ -1,9 +1,11 @@
 #include "io/wire.h"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <ostream>
 #include <string>
 
@@ -154,19 +156,39 @@ void EncodeReport(std::string& out, const WireReport& report) {
 }
 
 Status DecodePayload(std::string_view payload, uint32_t report_count,
-                     ReportBatch* batch) {
+                     bool has_user_range, ReportBatch* batch) {
+  ByteReader reader(payload);
+  std::optional<WireUserRange> range;
+  if (has_user_range) {
+    WireUserRange r;
+    TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&r.min_user_id));
+    TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&r.max_user_id));
+    if (r.min_user_id > r.max_user_id) {
+      return Status::InvalidArgument(
+          "wire user range is inverted: min " +
+          std::to_string(r.min_user_id) + " > max " +
+          std::to_string(r.max_user_id));
+    }
+    range = r;
+  }
   // A report is at least 24 bytes, so the declared count bounds the
   // reserve before any payload byte is trusted.
-  if (static_cast<size_t>(report_count) * 24 > payload.size()) {
+  if (static_cast<size_t>(report_count) * 24 > reader.remaining()) {
     return Status::InvalidArgument(
         "wire frame declares more reports than the payload can hold");
   }
-  ByteReader reader(payload);
   batch->clear();
   batch->reserve(report_count);
   for (uint32_t i = 0; i < report_count; ++i) {
     WireReport report;
     TRAJLDP_RETURN_NOT_OK(DecodeReport(reader, &report));
+    if (range && !range->Contains(report.user_id)) {
+      return Status::InvalidArgument(
+          "wire report user " + std::to_string(report.user_id) +
+          " lies outside the frame's declared user range [" +
+          std::to_string(range->min_user_id) + ", " +
+          std::to_string(range->max_user_id) + ")");
+    }
     batch->push_back(std::move(report));
   }
   if (!reader.exhausted()) {
@@ -177,28 +199,22 @@ Status DecodePayload(std::string_view payload, uint32_t report_count,
   return Status::Ok();
 }
 
-struct FrameHeader {
-  uint32_t report_count = 0;
-  uint32_t payload_bytes = 0;
-};
-
-Status DecodeHeader(std::string_view header, FrameHeader* out) {
+Status DecodeHeader(std::string_view header, WireFrameInfo* out) {
   ByteReader reader(header);
   uint32_t magic = 0;
   TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&magic));
   if (magic != kWireMagic) {
     return Status::InvalidArgument("bad wire magic: not a TLWB frame");
   }
-  uint16_t version = 0;
-  TRAJLDP_RETURN_NOT_OK(reader.ReadU16(&version));
-  if (version != kWireVersion) {
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU16(&out->version));
+  if (out->version != kWireVersion) {
     return Status::Unimplemented("unsupported wire format version " +
-                                 std::to_string(version) + " (expected " +
+                                 std::to_string(out->version) +
+                                 " (expected " +
                                  std::to_string(kWireVersion) + ")");
   }
-  uint16_t flags = 0;
-  TRAJLDP_RETURN_NOT_OK(reader.ReadU16(&flags));
-  if (flags != 0) {
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU16(&out->flags));
+  if ((out->flags & ~kWireFlagUserRange) != 0) {
     return Status::InvalidArgument(
         "wire frame sets reserved flag bits unknown to version 1");
   }
@@ -212,6 +228,14 @@ Status DecodeHeader(std::string_view header, FrameHeader* out) {
         "-byte payload, over the " + std::to_string(kWireMaxPayloadBytes) +
         "-byte frame limit");
   }
+  if (out->has_user_range() && out->payload_bytes < kWireUserRangeBytes) {
+    return Status::InvalidArgument(
+        "wire frame flags a user range but its payload is too small to "
+        "hold one");
+  }
+  out->frame_bytes = kWireHeaderBytes +
+                     static_cast<size_t>(out->payload_bytes) +
+                     kWireTrailerBytes;
   return Status::Ok();
 }
 
@@ -236,8 +260,79 @@ uint32_t Crc32(std::string_view data) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+StatusOr<WireFrameInfo> PeekFrameHeader(std::string_view header) {
+  if (header.size() < kWireHeaderBytes) {
+    return Status::InvalidArgument(
+        "wire frame truncated: shorter than the fixed header");
+  }
+  WireFrameInfo info;
+  TRAJLDP_RETURN_NOT_OK(
+      DecodeHeader(header.substr(0, kWireHeaderBytes), &info));
+  return info;
+}
+
+StatusOr<std::optional<WireUserRange>> PeekUserRange(
+    std::string_view frame_prefix) {
+  auto info = PeekFrameHeader(frame_prefix);
+  if (!info.ok()) return info.status();
+  if (!info->has_user_range()) return std::optional<WireUserRange>();
+  ByteReader reader(frame_prefix.substr(
+      kWireHeaderBytes,
+      std::min(frame_prefix.size() - kWireHeaderBytes, kWireUserRangeBytes)));
+  WireUserRange range;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&range.min_user_id));
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&range.max_user_id));
+  if (range.min_user_id > range.max_user_id) {
+    return Status::InvalidArgument(
+        "wire user range is inverted: min " +
+        std::to_string(range.min_user_id) + " > max " +
+        std::to_string(range.max_user_id));
+  }
+  return std::optional<WireUserRange>(range);
+}
+
+Status VerifyFrameChecksum(std::string_view frame) {
+  auto info = PeekFrameHeader(frame);
+  if (!info.ok()) return info.status();
+  if (frame.size() != info->frame_bytes) {
+    return Status::InvalidArgument(
+        "frame buffer size does not match its declared length");
+  }
+  return CheckCrc(frame.substr(kWireHeaderBytes, info->payload_bytes),
+                  frame.substr(kWireHeaderBytes + info->payload_bytes));
+}
+
 StatusOr<std::string> EncodeReportBatch(std::span<const WireReport> batch) {
+  return EncodeReportBatch(batch, WireEncodeOptions{});
+}
+
+StatusOr<std::string> EncodeReportBatch(std::span<const WireReport> batch,
+                                        const WireEncodeOptions& options) {
   std::string payload;
+  uint16_t flags = 0;
+  if (options.include_user_range) {
+    flags |= kWireFlagUserRange;
+    WireUserRange range;  // tight [min, max) over the batch; [0, 0) empty
+    if (!batch.empty()) {
+      range.min_user_id = batch[0].user_id;
+      range.max_user_id = batch[0].user_id;
+      for (const WireReport& report : batch) {
+        range.min_user_id = std::min(range.min_user_id, report.user_id);
+        range.max_user_id = std::max(range.max_user_id, report.user_id);
+      }
+      // The exclusive upper bound for UINT64_MAX does not exist in a
+      // u64: incrementing would wrap to a [min, 0) frame every decoder
+      // rejects as inverted. Refuse at the encode site instead.
+      if (range.max_user_id == std::numeric_limits<uint64_t>::max()) {
+        return Status::InvalidArgument(
+            "user id 2^64-1 cannot travel in a ranged frame (no exclusive "
+            "upper bound exists); encode without include_user_range");
+      }
+      ++range.max_user_id;  // exclusive upper bound
+    }
+    PutU64(payload, range.min_user_id);
+    PutU64(payload, range.max_user_id);
+  }
   for (const WireReport& report : batch) EncodeReport(payload, report);
   if (payload.size() > kWireMaxPayloadBytes) {
     return Status::InvalidArgument(
@@ -250,7 +345,7 @@ StatusOr<std::string> EncodeReportBatch(std::span<const WireReport> batch) {
   frame.reserve(kWireHeaderBytes + payload.size() + kWireTrailerBytes);
   PutU32(frame, kWireMagic);
   PutU16(frame, kWireVersion);
-  PutU16(frame, 0);  // flags, reserved
+  PutU16(frame, flags);
   PutU32(frame, static_cast<uint32_t>(batch.size()));
   PutU32(frame, static_cast<uint32_t>(payload.size()));
   frame += payload;
@@ -263,11 +358,10 @@ StatusOr<ReportBatch> DecodeReportBatch(std::string_view data) {
     return Status::InvalidArgument(
         "wire frame truncated: shorter than header + checksum");
   }
-  FrameHeader header;
+  WireFrameInfo header;
   TRAJLDP_RETURN_NOT_OK(
       DecodeHeader(data.substr(0, kWireHeaderBytes), &header));
-  const size_t expected =
-      kWireHeaderBytes + header.payload_bytes + kWireTrailerBytes;
+  const size_t expected = header.frame_bytes;
   if (data.size() < expected) {
     return Status::InvalidArgument(
         "wire frame truncated: header declares " +
@@ -284,7 +378,8 @@ StatusOr<ReportBatch> DecodeReportBatch(std::string_view data) {
   TRAJLDP_RETURN_NOT_OK(
       CheckCrc(payload, data.substr(kWireHeaderBytes + header.payload_bytes)));
   ReportBatch batch;
-  TRAJLDP_RETURN_NOT_OK(DecodePayload(payload, header.report_count, &batch));
+  TRAJLDP_RETURN_NOT_OK(DecodePayload(payload, header.report_count,
+                                      header.has_user_range(), &batch));
   return batch;
 }
 
@@ -292,7 +387,7 @@ Status WireWriter::WriteBatch(std::span<const WireReport> batch) {
   if (out_ == nullptr) {
     return Status::InvalidArgument("WireWriter has no output stream");
   }
-  auto frame = EncodeReportBatch(batch);
+  auto frame = EncodeReportBatch(batch, options_);
   if (!frame.ok()) return frame.status();
   out_->write(frame->data(), static_cast<std::streamsize>(frame->size()));
   if (!out_->good()) {
@@ -318,7 +413,7 @@ Status WireReader::Next(ReportBatch* out, bool* done) {
     return Status::InvalidArgument(
         "wire stream truncated inside a frame header");
   }
-  FrameHeader frame;
+  WireFrameInfo frame;
   TRAJLDP_RETURN_NOT_OK(DecodeHeader(header, &frame));
 
   std::string rest(static_cast<size_t>(frame.payload_bytes) +
@@ -333,8 +428,55 @@ Status WireReader::Next(ReportBatch* out, bool* done) {
       std::string_view(rest).substr(0, frame.payload_bytes);
   TRAJLDP_RETURN_NOT_OK(
       CheckCrc(payload, std::string_view(rest).substr(frame.payload_bytes)));
-  TRAJLDP_RETURN_NOT_OK(DecodePayload(payload, frame.report_count, out));
+  TRAJLDP_RETURN_NOT_OK(DecodePayload(payload, frame.report_count,
+                                      frame.has_user_range(), out));
   ++batches_read_;
+  return Status::Ok();
+}
+
+Status ReadRawFrame(const FrameByteReader& read_exact, std::string* frame,
+                    bool* done) {
+  *done = false;
+  frame->assign(kWireHeaderBytes, '\0');
+  bool clean_eof = false;
+  TRAJLDP_RETURN_NOT_OK(
+      read_exact(frame->data(), kWireHeaderBytes, &clean_eof));
+  if (clean_eof) {
+    frame->clear();
+    *done = true;  // end of input exactly between frames
+    return Status::Ok();
+  }
+  // Validates magic/version/flags and bounds the declared payload, so a
+  // hostile header cannot size a runaway buffer.
+  auto info = PeekFrameHeader(*frame);
+  if (!info.ok()) return info.status();
+  frame->resize(info->frame_bytes);
+  return read_exact(frame->data() + kWireHeaderBytes,
+                    info->frame_bytes - kWireHeaderBytes,
+                    /*clean_eof=*/nullptr);
+}
+
+Status RawFrameReader::Next(std::string* frame, bool* done) {
+  if (in_ == nullptr) {
+    return Status::InvalidArgument("RawFrameReader has no input stream");
+  }
+  const auto read_exact = [this](char* out, size_t size,
+                                 bool* clean_eof) -> Status {
+    if (clean_eof != nullptr) *clean_eof = false;
+    in_->read(out, static_cast<std::streamsize>(size));
+    const auto got = static_cast<size_t>(in_->gcount());
+    if (got == 0 && in_->eof() && clean_eof != nullptr) {
+      *clean_eof = true;
+      return Status::Ok();
+    }
+    if (got < size) {
+      return Status::InvalidArgument(
+          "wire stream truncated inside a frame");
+    }
+    return Status::Ok();
+  };
+  TRAJLDP_RETURN_NOT_OK(ReadRawFrame(read_exact, frame, done));
+  if (!*done) ++frames_read_;
   return Status::Ok();
 }
 

@@ -1,8 +1,11 @@
 #ifndef TRAJLDP_IO_WIRE_H_
 #define TRAJLDP_IO_WIRE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -58,6 +61,14 @@ inline constexpr uint16_t kWireVersion = 1;
 /// Fixed frame overhead: 16-byte header + 4-byte payload CRC-32.
 inline constexpr size_t kWireHeaderBytes = 16;
 inline constexpr size_t kWireTrailerBytes = 4;
+/// Flag bit: the payload starts with a 16-byte [min_user_id, max_user_id)
+/// batch range (the first flags-gated v2 candidate). A compatible
+/// extension under the versioning rules: decoders that know the bit read
+/// the prefix, v1-only decoders reject the frame cleanly instead of
+/// misreading it.
+inline constexpr uint16_t kWireFlagUserRange = 0x0001;
+/// Size of the user-range payload prefix when kWireFlagUserRange is set.
+inline constexpr size_t kWireUserRangeBytes = 16;
 /// Largest payload a v1 frame may declare. Caps what a 16-byte hostile
 /// header can make WireReader allocate before any payload byte arrives;
 /// writers enforce it too, so every frame written is readable.
@@ -67,10 +78,75 @@ inline constexpr uint32_t kWireMaxPayloadBytes = 64u << 20;  // 64 MiB
 /// Exposed for tests and for tools that frame their own payloads.
 uint32_t Crc32(std::string_view data);
 
+/// The batch-level user-id interval [min_user_id, max_user_id) carried by
+/// frames encoded with `include_user_range`. Lets a shard server route or
+/// reject a whole batch from the first kWireHeaderBytes +
+/// kWireUserRangeBytes bytes, without decoding a single report.
+struct WireUserRange {
+  uint64_t min_user_id = 0;
+  uint64_t max_user_id = 0;  // exclusive
+
+  bool empty() const { return min_user_id >= max_user_id; }
+  bool Contains(uint64_t user_id) const {
+    return user_id >= min_user_id && user_id < max_user_id;
+  }
+  /// Interval containment; an empty range ([0, 0) — an empty batch) is
+  /// contained in everything, as the empty set is.
+  bool ContainedIn(const WireUserRange& outer) const {
+    return empty() || (min_user_id >= outer.min_user_id &&
+                       max_user_id <= outer.max_user_id);
+  }
+  bool operator==(const WireUserRange&) const = default;
+};
+
+struct WireEncodeOptions {
+  /// Sets kWireFlagUserRange and prefixes the payload with the tight
+  /// [min, max) interval of the batch's user ids ([0, 0) for an empty
+  /// batch). Decoders additionally enforce that every report's user id
+  /// lies inside the declared range, so the routing field can never
+  /// disagree with the payload it summarises.
+  bool include_user_range = false;
+};
+
+/// Everything a transport needs to know about a frame from its first
+/// kWireHeaderBytes bytes alone — before the payload exists anywhere in
+/// memory. `frame_bytes` is the total size including header and trailer,
+/// bounded by kWireMaxPayloadBytes, so a socket reader can size its
+/// buffer from a hostile header without risk.
+struct WireFrameInfo {
+  uint16_t version = 0;
+  uint16_t flags = 0;
+  uint32_t report_count = 0;
+  uint32_t payload_bytes = 0;
+  size_t frame_bytes = 0;
+  bool has_user_range() const { return (flags & kWireFlagUserRange) != 0; }
+};
+
+/// Validates a frame header (magic, version, known flags, payload size
+/// within the frame limit) from its first kWireHeaderBytes bytes.
+/// `header` may be longer; only the prefix is read.
+StatusOr<WireFrameInfo> PeekFrameHeader(std::string_view header);
+
+/// Reads the batch user range from a frame prefix of at least
+/// kWireHeaderBytes + kWireUserRangeBytes bytes (shorter is fine for
+/// unflagged frames). Returns nullopt when the frame does not carry a
+/// range. Deliberately does NOT verify the CRC — this is the cheap
+/// routing path; full validation happens at decode.
+StatusOr<std::optional<WireUserRange>> PeekUserRange(
+    std::string_view frame_prefix);
+
+/// Verifies one complete raw frame's payload CRC (the same check
+/// DecodeReportBatch runs) WITHOUT decoding the payload — the integrity
+/// gate a transport runs before handing the frame onward. `frame` must
+/// be exactly one frame.
+Status VerifyFrameChecksum(std::string_view frame);
+
 /// Serialises one batch into a self-contained frame. Fails when the
 /// payload would exceed kWireMaxPayloadBytes — at the encode site, not
 /// remotely at some decoder — in which case the batch must be split.
 StatusOr<std::string> EncodeReportBatch(std::span<const WireReport> batch);
+StatusOr<std::string> EncodeReportBatch(std::span<const WireReport> batch,
+                                        const WireEncodeOptions& options);
 
 /// Decodes one frame. `data` must be exactly one frame; trailing bytes
 /// are rejected (use WireReader for multi-frame streams). All structural
@@ -82,8 +158,9 @@ StatusOr<ReportBatch> DecodeReportBatch(std::string_view data);
 /// \brief Appends frames to a std::ostream (file, socket buffer, pipe).
 class WireWriter {
  public:
-  /// `out` must outlive this writer.
-  explicit WireWriter(std::ostream* out) : out_(out) {}
+  /// `out` must outlive this writer. `options` apply to every frame.
+  explicit WireWriter(std::ostream* out, WireEncodeOptions options = {})
+      : out_(out), options_(options) {}
 
   /// Encodes and writes one frame. Fails on stream write errors.
   Status WriteBatch(std::span<const WireReport> batch);
@@ -92,6 +169,7 @@ class WireWriter {
 
  private:
   std::ostream* out_;
+  WireEncodeOptions options_;
   size_t batches_written_ = 0;
 };
 
@@ -113,6 +191,47 @@ class WireReader {
  private:
   std::istream* in_;
   size_t batches_read_ = 0;
+};
+
+/// How a transport hands bytes to the frame assembler: read exactly
+/// `size` bytes into `out`. When `clean_eof` is non-null, end of input
+/// BEFORE the first byte is a clean end (set `*clean_eof`, return Ok);
+/// when it is null, any shortfall is an error (report it with the
+/// transport's own truncation message). net::RecvExact already has this
+/// exact shape.
+using FrameByteReader =
+    std::function<Status(char* out, size_t size, bool* clean_eof)>;
+
+/// Assembles one raw frame — header validated, total size bounded by
+/// the header before any buffer is sized, payload untouched — from any
+/// byte transport. The single implementation of the frame-framing
+/// protocol: RawFrameReader (istreams) and the socket path
+/// (net::ReadFrameFromSocket) are both thin wrappers over it, so the
+/// clean-EOF rule and size handling cannot diverge between transports.
+Status ReadRawFrame(const FrameByteReader& read_exact, std::string* frame,
+                    bool* done);
+
+/// \brief Reads whole frames from a std::istream WITHOUT decoding their
+/// payloads — header-validated, size-bounded raw bytes, suitable for a
+/// transport that forwards frames verbatim (the collector decodes on its
+/// worker pool). Shares the WireReader's stream semantics: a clean end is
+/// only possible exactly between frames.
+class RawFrameReader {
+ public:
+  /// `in` must outlive this reader.
+  explicit RawFrameReader(std::istream* in) : in_(in) {}
+
+  /// Reads the next complete frame (header + payload + trailer) into
+  /// `frame`. At a clean end of stream sets `*done`; a frame cut short
+  /// by EOF is a corruption error. The payload is NOT CRC-checked or
+  /// decoded here.
+  Status Next(std::string* frame, bool* done);
+
+  size_t frames_read() const { return frames_read_; }
+
+ private:
+  std::istream* in_;
+  size_t frames_read_ = 0;
 };
 
 /// File-level conveniences: a wire file is a plain concatenation of

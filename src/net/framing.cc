@@ -1,0 +1,30 @@
+#include "net/framing.h"
+
+#include "io/wire.h"
+
+namespace trajldp::net {
+
+Status ReadFrameFromSocket(const Socket& socket, std::string* frame,
+                           bool* done) {
+  // One frame-assembly implementation for every transport: RecvExact
+  // already has the FrameByteReader shape (clean FIN only before the
+  // first byte; anything shorter is a truncation error).
+  return io::ReadRawFrame(
+      [&socket](char* out, size_t size, bool* clean_eof) {
+        return RecvExact(socket, out, size, clean_eof);
+      },
+      frame, done);
+}
+
+Status WriteFrameToSocket(const Socket& socket, std::string_view frame) {
+  return SendAll(socket, frame);
+}
+
+Status VerifyFrameCrc(std::string_view frame) {
+  // One CRC implementation, shared with the file decode path: if the
+  // trailer encoding ever changes, socket and file verification cannot
+  // diverge.
+  return io::VerifyFrameChecksum(frame);
+}
+
+}  // namespace trajldp::net

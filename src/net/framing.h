@@ -1,0 +1,56 @@
+#ifndef TRAJLDP_NET_FRAMING_H_
+#define TRAJLDP_NET_FRAMING_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/streaming_collector.h"
+#include "net/socket.h"
+
+namespace trajldp::net {
+
+/// \brief TLWB frames over a TCP connection.
+///
+/// The wire format is already self-framing — a fixed 16-byte header
+/// declares (and bounds) the payload size — so the transport carries
+/// frames byte-for-byte unchanged: the length prefix IS the wire header,
+/// validated by io::PeekFrameHeader before a payload buffer is sized
+/// from it. CRC and robust-decode semantics are untouched because the
+/// bytes are; whoever decodes the frame (usually a collector worker)
+/// runs the exact same checks a file reader would.
+
+/// Reads one complete raw frame off `socket`. A FIN exactly between
+/// frames sets `*done` (clean end of stream); hostile or damaged input —
+/// garbage where a header should be, an over-limit declared payload, a
+/// connection cut mid-frame — returns a clean Status, never reads past
+/// a buffer, and never allocates from an unvalidated length.
+Status ReadFrameFromSocket(const Socket& socket, std::string* frame,
+                           bool* done);
+
+/// Writes one already-encoded frame.
+Status WriteFrameToSocket(const Socket& socket, std::string_view frame);
+
+/// Verifies a raw frame's payload CRC without decoding it — the cheap
+/// integrity gate an IngestServer runs per connection so corruption
+/// fails the connection it arrived on instead of a shared collector.
+Status VerifyFrameCrc(std::string_view frame);
+
+/// A live connection as a core::FrameSource: the glue that lets a
+/// StreamingCollector drain a socket exactly as it drains a wire file.
+class SocketFrameSource final : public core::FrameSource {
+ public:
+  /// `socket` must outlive this source.
+  explicit SocketFrameSource(const Socket* socket) : socket_(socket) {}
+
+  Status Next(std::string* frame, bool* done) override {
+    return ReadFrameFromSocket(*socket_, frame, done);
+  }
+
+ private:
+  const Socket* socket_;
+};
+
+}  // namespace trajldp::net
+
+#endif  // TRAJLDP_NET_FRAMING_H_

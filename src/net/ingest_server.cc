@@ -1,0 +1,194 @@
+#include "net/ingest_server.h"
+
+#include "io/wire.h"
+#include "net/framing.h"
+
+namespace trajldp::net {
+
+StatusOr<std::unique_ptr<IngestServer>> IngestServer::Start(
+    core::StreamingCollector* collector, Options options) {
+  if (collector == nullptr) {
+    return Status::InvalidArgument("IngestServer needs a collector");
+  }
+  ListenOptions listen;
+  listen.host = options.host;
+  listen.port = options.port;
+  listen.backlog = options.backlog;
+  auto listener = TcpListen(listen);
+  if (!listener.ok()) return listener.status();
+  auto port = LocalPort(*listener);
+  if (!port.ok()) return port.status();
+
+  std::unique_ptr<IngestServer> server(new IngestServer(
+      collector, std::move(options), std::move(*listener), *port));
+  server->accept_thread_ =
+      std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  return server;
+}
+
+IngestServer::IngestServer(core::StreamingCollector* collector,
+                           Options options, Socket listener, uint16_t port)
+    : collector_(collector),
+      options_(std::move(options)),
+      listener_(std::move(listener)),
+      port_(port) {}
+
+IngestServer::~IngestServer() { Shutdown(); }
+
+void IngestServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ran_) return;
+    shutdown_ran_ = true;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  // Wake the accept loop (shutdown, not close: the fd must stay valid
+  // while the accept thread may still be inside accept()).
+  listener_.ShutdownBoth();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  // Wake every connection blocked in recv (it sees EOF) or spinning in
+  // a backpressure retry (it sees stopping_), then join.
+  for (auto& connection : connections) connection->socket.ShutdownBoth();
+  for (auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+IngestServer::Stats IngestServer::stats() const {
+  Stats stats;
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_closed =
+      connections_closed_.load(std::memory_order_relaxed);
+  stats.connections_failed =
+      connections_failed_.load(std::memory_order_relaxed);
+  stats.frames_ingested = frames_ingested_.load(std::memory_order_relaxed);
+  stats.accept_backoffs = accept_backoffs_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Status IngestServer::first_connection_error() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return first_connection_error_;
+}
+
+void IngestServer::RecordConnectionError(Status status) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (first_connection_error_.ok()) {
+    first_connection_error_ = std::move(status);
+  }
+}
+
+void IngestServer::ReapFinishedLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void IngestServer::AcceptLoop() {
+  for (;;) {
+    auto accepted = Accept(listener_);
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      // Fd/memory pressure is transient: back off and keep accepting —
+      // a starved listener must not become a permanently deaf server.
+      // Recovered-from pressure is counted, NOT latched into
+      // first_connection_error (harnesses treat that channel as fatal,
+      // and nothing failed).
+      if (accepted.status().code() == StatusCode::kResourceExhausted) {
+        accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(options_.push_retry);
+        continue;
+      }
+      // Anything else means the listener itself died; record it and
+      // stop accepting (connections already serving keep going).
+      RecordConnectionError(accepted.status());
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      return;  // late arrival during shutdown: drop (socket closes)
+    }
+    ReapFinishedLocked();
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(*accepted);
+    Connection* raw = connection.get();
+    connections_.push_back(std::move(connection));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void IngestServer::ServeConnection(Connection* connection) {
+  Status status = ServeFrames(connection->socket);
+  // A connection cut off BY shutdown is the protocol working, not a
+  // device misbehaving; only failures on a live server are recorded.
+  if (!status.ok() && !stopping_.load(std::memory_order_relaxed)) {
+    connections_failed_.fetch_add(1, std::memory_order_relaxed);
+    RecordConnectionError(std::move(status));
+  }
+  // Notify the peer NOW (it sees RST/EOF on its next send instead of
+  // writing into a buffer nobody reads until reap). shutdown, not
+  // close: Shutdown() may call ShutdownBoth on this socket
+  // concurrently, which is safe on a valid fd where close is not.
+  connection->socket.ShutdownBoth();
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  connection->done.store(true, std::memory_order_release);
+}
+
+Status IngestServer::ServeFrames(const Socket& socket) {
+  std::string frame;
+  for (;;) {
+    bool done = false;
+    TRAJLDP_RETURN_NOT_OK(ReadFrameFromSocket(socket, &frame, &done));
+    if (done) return Status::Ok();
+
+    if (options_.verify_crc) {
+      TRAJLDP_RETURN_NOT_OK(VerifyFrameCrc(frame));
+    }
+    if (options_.expected_range.has_value()) {
+      auto range = io::PeekUserRange(frame);
+      if (!range.ok()) return range.status();
+      if (range->has_value()) {
+        const io::WireUserRange shard{options_.expected_range->first,
+                                      options_.expected_range->second};
+        if (!(*range)->ContainedIn(shard)) {
+          return Status::InvalidArgument(
+              "frame declares users [" +
+              std::to_string((*range)->min_user_id) + ", " +
+              std::to_string((*range)->max_user_id) +
+              ") outside this shard's [" +
+              std::to_string(shard.min_user_id) + ", " +
+              std::to_string(shard.max_user_id) + ")");
+        }
+      }
+    }
+
+    // The flow-control loop: hold this one frame, retry the timed push,
+    // and do not touch the socket again until it lands — that is what
+    // turns collector backpressure into TCP backpressure.
+    bool accepted = false;
+    while (!accepted) {
+      if (stopping_.load(std::memory_order_relaxed)) {
+        return Status::FailedPrecondition(
+            "server shutting down with a frame in flight");
+      }
+      TRAJLDP_RETURN_NOT_OK(
+          collector_->PushEncodedFor(frame, options_.push_retry, &accepted));
+    }
+    frames_ingested_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace trajldp::net

@@ -1,0 +1,166 @@
+#ifndef TRAJLDP_NET_INGEST_SERVER_H_
+#define TRAJLDP_NET_INGEST_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status_or.h"
+#include "core/streaming_collector.h"
+#include "net/socket.h"
+
+namespace trajldp::net {
+
+/// \brief The socket front-end of a collector shard: accepts concurrent
+/// device connections, pulls TLWB frames off each, and feeds them —
+/// still encoded — into a core::StreamingCollector.
+///
+/// ### Backpressure, end to end
+///
+/// A connection thread holds at most ONE frame. When the collector's
+/// bounded queue is full (reconstruction is the slow stage), the timed
+/// push bounces, the thread retries the same frame, and — crucially —
+/// stops reading its socket. The kernel receive buffer fills, TCP
+/// advertises a zero window, and the devices' send() calls block. Slow
+/// reconstruction therefore propagates to the network as flow control:
+/// memory in flight is bounded by queue capacity + one frame per
+/// connection + the kernel's socket buffers, no matter how fast clients
+/// push. There is no unbounded buffer anywhere on the path.
+///
+/// ### Per-connection error isolation
+///
+/// A malformed or hostile connection — garbage where a header should
+/// be, an over-limit declared length, a truncating disconnect, a CRC
+/// mismatch (verify_crc), a batch claiming users outside this shard
+/// (expected_range) — fails THAT connection with a clean Status,
+/// recorded in stats()/first_connection_error(). Other connections and
+/// the collector itself are untouched; the server keeps accepting.
+/// With verify_crc off, a corrupt payload instead surfaces through the
+/// collector's own error latch (StreamingCollector's documented
+/// policy), where it poisons the stream, not the process.
+///
+/// ### Shutdown protocol
+///
+/// Shutdown() (also run by the destructor) stops the accept loop, wakes
+/// every connection blocked in recv or in a backpressure retry, joins
+/// all threads, and returns. It does NOT Finish() the collector — the
+/// owner decides when the stream ends, typically: wait for the expected
+/// reports_released() count, Shutdown() the server, then Finish() the
+/// collector and check its Status.
+class IngestServer {
+ public:
+  struct Options {
+    /// Bind address; loopback by default (see ListenOptions::host).
+    std::string host = "127.0.0.1";
+    /// 0 → ephemeral; the bound port is available from port().
+    uint16_t port = 0;
+    int backlog = 64;
+    /// Verify each frame's payload CRC on the connection thread before
+    /// the frame reaches the shared collector. Costs one CRC pass per
+    /// frame at ingest; buys per-connection corruption isolation.
+    bool verify_crc = true;
+    /// When set, a frame that carries the wire user-range field must
+    /// declare a range contained in this [min, max) shard interval
+    /// (core::ShardPlan::RangeOf) or its connection fails — shard
+    /// membership validated without decoding a single report. Frames
+    /// without the field skip the check (it is an optimisation, not an
+    /// authentication boundary).
+    std::optional<std::pair<uint64_t, uint64_t>> expected_range;
+    /// How long a backpressured connection waits per push attempt
+    /// before re-checking for shutdown. Latency ceiling on Shutdown(),
+    /// not a throughput knob.
+    std::chrono::milliseconds push_retry{50};
+  };
+
+  /// Monotonic counters, readable at any time.
+  struct Stats {
+    size_t connections_accepted = 0;
+    /// Connections whose serving thread has exited, cleanly or not —
+    /// every frame such a connection carried is at least in the
+    /// collector's queue, so `connections_closed == expected clients`
+    /// followed by Finish() is the harness's drain barrier.
+    size_t connections_closed = 0;
+    size_t connections_failed = 0;
+    size_t frames_ingested = 0;
+    /// Transient accept() failures (fd/memory pressure) the loop backed
+    /// off from and recovered — informational, never fatal.
+    size_t accept_backoffs = 0;
+  };
+
+  /// Binds host:port, starts the accept loop, returns a running server.
+  /// `collector` must outlive the server and must not be Finish()ed
+  /// while the server is running.
+  static StatusOr<std::unique_ptr<IngestServer>> Start(
+      core::StreamingCollector* collector, Options options);
+
+  /// Runs Shutdown().
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// The port actually bound (resolves Options::port == 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful stop; idempotent; safe from any thread except a sink or
+  /// worker callback of the fed collector.
+  void Shutdown();
+
+  Stats stats() const;
+
+  /// The first connection failure, Ok when every connection so far
+  /// ended cleanly. Connection errors never take the server down; this
+  /// is how tests and operators observe them.
+  Status first_connection_error() const;
+
+ private:
+  IngestServer(core::StreamingCollector* collector, Options options,
+               Socket listener, uint16_t port);
+
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+  /// The per-connection frame loop; any non-OK return fails exactly
+  /// this connection.
+  Status ServeFrames(const Socket& socket);
+  void RecordConnectionError(Status status);
+  /// Joins finished connection threads (called under mu_).
+  void ReapFinishedLocked();
+
+  core::StreamingCollector* const collector_;
+  const Options options_;
+  Socket listener_;
+  const uint16_t port_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> connections_accepted_{0};
+  std::atomic<size_t> connections_closed_{0};
+  std::atomic<size_t> connections_failed_{0};
+  std::atomic<size_t> frames_ingested_{0};
+  std::atomic<size_t> accept_backoffs_{0};
+
+  mutable std::mutex error_mu_;
+  Status first_connection_error_;
+
+  std::mutex mu_;  // guards connections_ and shutdown_ran_
+  std::vector<std::unique_ptr<Connection>> connections_;
+  bool shutdown_ran_ = false;
+
+  std::thread accept_thread_;
+};
+
+}  // namespace trajldp::net
+
+#endif  // TRAJLDP_NET_INGEST_SERVER_H_

@@ -1,0 +1,68 @@
+#include "net/report_client.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "net/framing.h"
+
+namespace trajldp::net {
+
+ReportClient::ReportClient(std::string host, uint16_t port)
+    : ReportClient(std::move(host), port, Options()) {}
+
+ReportClient::ReportClient(std::string host, uint16_t port, Options options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+Status ReportClient::EnsureConnected() {
+  if (socket_.valid()) {
+    if (!PeerClosed(socket_)) return Status::Ok();
+    socket_.Close();  // peer FIN between frames — reconnect below
+  }
+  auto connected = TcpConnect(host_, port_);
+  if (!connected.ok()) return connected.status();
+  socket_ = std::move(*connected);
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
+  return Status::Ok();
+}
+
+Status ReportClient::SendBatch(std::span<const io::WireReport> batch) {
+  io::WireEncodeOptions encode;
+  encode.include_user_range = options_.include_user_range;
+  auto frame = io::EncodeReportBatch(batch, encode);
+  if (!frame.ok()) return frame.status();
+  return SendFrame(*frame);
+}
+
+Status ReportClient::SendFrame(std::string_view frame) {
+  const size_t attempts = options_.max_attempts == 0 ? 1
+                                                     : options_.max_attempts;
+  Status last;
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponent capped: keeps the shift defined for any max_attempts
+      // and the longest backoff at 2^10 × initial (~25 s by default).
+      const size_t exponent = std::min<size_t>(attempt - 1, 10);
+      std::this_thread::sleep_for(options_.initial_backoff *
+                                  (uint64_t{1} << exponent));
+    }
+    last = EnsureConnected();
+    if (!last.ok()) continue;
+    last = WriteFrameToSocket(socket_, frame);
+    if (last.ok()) {
+      ++frames_sent_;
+      return Status::Ok();
+    }
+    socket_.Close();  // stale connection; the next attempt redials
+  }
+  return Status(last.code(),
+                "giving up after " + std::to_string(attempts) +
+                    " attempt(s) to " + host_ + ":" +
+                    std::to_string(port_) + ": " +
+                    std::string(last.message()));
+}
+
+void ReportClient::Close() { socket_.Close(); }
+
+}  // namespace trajldp::net

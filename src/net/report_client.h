@@ -1,0 +1,84 @@
+#ifndef TRAJLDP_NET_REPORT_CLIENT_H_
+#define TRAJLDP_NET_REPORT_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "io/wire.h"
+#include "net/socket.h"
+
+namespace trajldp::net {
+
+/// \brief The device side of the networked ingest path: streams wire
+/// report batches to one IngestServer endpoint, reconnecting and
+/// retrying around transient failures.
+///
+/// ### Delivery semantics
+///
+/// Retries cover every failure the client can OBSERVE: a refused or
+/// dropped connection, a failed send, a peer FIN probed (PeerClosed)
+/// before the next frame — each triggers reconnect + resend, so a
+/// frame can also be delivered twice when the failure hit after the
+/// server consumed it. What TCP cannot promise, this client does not
+/// either: a send() "succeeds" once bytes reach the kernel buffer, so
+/// a server that dies before reading them loses frames with no error
+/// here. True at-least-once needs an in-band ack layer (a wire-flags
+/// candidate, see ROADMAP); until then the backstop is downstream and
+/// loud — MergeShardReleases hard-fails on a missing OR duplicated
+/// user, so neither loss nor duplication is ever silent.
+class ReportClient {
+ public:
+  struct Options {
+    /// Total connect+send attempts per frame before giving up.
+    size_t max_attempts = 4;
+    /// Backoff before attempt k is initial_backoff · 2^min(k−1, 10).
+    std::chrono::milliseconds initial_backoff{25};
+    /// Encode SendBatch frames with the batch user-range field so a
+    /// range-validating shard server can route/reject them cheaply.
+    bool include_user_range = true;
+  };
+
+  /// Connects lazily on the first send.
+  ReportClient(std::string host, uint16_t port);
+  ReportClient(std::string host, uint16_t port, Options options);
+
+  ReportClient(const ReportClient&) = delete;
+  ReportClient& operator=(const ReportClient&) = delete;
+
+  /// Encodes `batch` (per Options) and sends it as one frame.
+  Status SendBatch(std::span<const io::WireReport> batch);
+
+  /// Sends one already-encoded frame, reconnecting/retrying per
+  /// Options. Returns the last transport error once attempts are
+  /// exhausted.
+  Status SendFrame(std::string_view frame);
+
+  /// Closes the connection (the server sees a clean end of stream —
+  /// its frame reader observes FIN on a frame boundary). Idempotent;
+  /// a later send reconnects.
+  void Close();
+
+  size_t frames_sent() const { return frames_sent_; }
+  /// Connections established beyond the first — how often the retry
+  /// path actually ran.
+  size_t reconnects() const { return reconnects_; }
+
+ private:
+  Status EnsureConnected();
+
+  const std::string host_;
+  const uint16_t port_;
+  const Options options_;
+  Socket socket_;
+  bool ever_connected_ = false;
+  size_t frames_sent_ = 0;
+  size_t reconnects_ = 0;
+};
+
+}  // namespace trajldp::net
+
+#endif  // TRAJLDP_NET_REPORT_CLIENT_H_

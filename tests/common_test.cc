@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -378,6 +379,57 @@ TEST(BoundedQueueTest, CloseUnblocksWaitingProducerAndConsumer) {
   empty.Close();
   producer.join();
   consumer.join();
+}
+
+TEST(BoundedQueueTest, TryPushForSucceedsWhenRoomExists) {
+  BoundedQueue<int> queue(2);
+  int item = 1;
+  EXPECT_EQ(queue.TryPushFor(item, std::chrono::milliseconds(0)),
+            QueuePushResult::kOk);
+  EXPECT_EQ(queue.Pop(), 1);
+}
+
+TEST(BoundedQueueTest, TryPushForTimesOutOnFullQueueAndKeepsItem) {
+  BoundedQueue<std::string> queue(1);
+  ASSERT_TRUE(queue.Push("first"));
+  std::string item = "second";
+  EXPECT_EQ(queue.TryPushFor(item, std::chrono::milliseconds(5)),
+            QueuePushResult::kTimeout);
+  EXPECT_EQ(item, "second");  // the caller keeps the item to retry
+  EXPECT_EQ(queue.size(), 1u);
+  // After the consumer makes room, the very same item goes through.
+  EXPECT_EQ(queue.Pop(), "first");
+  EXPECT_EQ(queue.TryPushFor(item, std::chrono::milliseconds(5)),
+            QueuePushResult::kOk);
+  EXPECT_EQ(queue.Pop(), "second");
+}
+
+TEST(BoundedQueueTest, TryPushForReportsClosedNotTimeout) {
+  BoundedQueue<int> queue(1);
+  queue.Close();
+  int item = 3;
+  EXPECT_EQ(queue.TryPushFor(item, std::chrono::milliseconds(0)),
+            QueuePushResult::kClosed);
+}
+
+TEST(BoundedQueueTest, CloseWhileTryPushForWaitsReturnsClosed) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    int item = 2;
+    // Far longer than the test will run: only Close() can end the wait.
+    EXPECT_EQ(queue.TryPushFor(item, std::chrono::seconds(60)),
+              QueuePushResult::kClosed);
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(returned.load());
+  queue.Close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_EQ(queue.Pop(), 1);  // the waiting item was never enqueued
+  EXPECT_EQ(queue.Pop(), std::nullopt);
 }
 
 TEST(BoundedQueueTest, ManyProducersOneConsumerDeliverEverything) {

@@ -1,7 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
+#include <span>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -250,6 +257,151 @@ TEST_F(StreamingFixture, ReportsReleasedCountsEveryUser) {
   EXPECT_EQ(out.size(), users.size());
 }
 
+// ISSUE 5 satellite: a corrupt frame arriving AFTER N good batches have
+// already been processed must surface a clean Status from Finish() while
+// leaving every already-emitted release intact (and still bit-identical
+// to the reference) — the error policy's "reports already emitted stay
+// emitted" clause, previously only exercised for whole-stream failures.
+TEST_F(StreamingFixture, MidStreamCorruptFrameKeepsEmittedReleases) {
+  const uint64_t seed = 20260729;
+  const auto users = MakeUsers(12, 17);
+  const auto reference = Reference(users, seed);
+  const auto reports = MakeReports(users, seed);
+
+  std::mutex mu;
+  std::vector<UserRelease> out;
+  StreamingCollector collector(
+      mech_.get(), seed,
+      [&](UserRelease release) {
+        std::lock_guard<std::mutex> lock(mu);
+        out.push_back(std::move(release));
+      });
+
+  // N good single-report batches, drained to completion so none of them
+  // can be discarded as in-flight when the error latches.
+  for (const io::WireReport& report : reports) {
+    auto frame = io::EncodeReportBatch(io::ReportBatch{report});
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    ASSERT_TRUE(collector.PushEncoded(std::move(*frame)).ok());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (collector.reports_released() < users.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(collector.reports_released(), users.size());
+
+  // Then one frame with a flipped payload byte: CRC catches it on a
+  // worker, the error latches, Finish reports it.
+  auto good = io::EncodeReportBatch(io::ReportBatch{reports[0]});
+  ASSERT_TRUE(good.ok());
+  std::string corrupt = *good;
+  corrupt[io::kWireHeaderBytes + 2] =
+      static_cast<char>(corrupt[io::kWireHeaderBytes + 2] ^ 0x20);
+  ASSERT_TRUE(collector.PushEncoded(std::move(corrupt)).ok());
+
+  auto status = collector.Finish();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("checksum"), std::string::npos);
+
+  // Every release emitted before the corruption is untouched and exact.
+  ASSERT_EQ(out.size(), users.size());
+  std::vector<std::vector<UserRelease>> one_shard(1);
+  one_shard[0] = std::move(out);
+  auto merged = MergeShardReleases(std::move(one_shard), users.size());
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  ExpectIdenticalReleases(*merged, reference);
+}
+
+// The transport seam: frames pulled from a FrameSource (here a wire
+// stream in memory) release identically to frames pushed by hand.
+TEST_F(StreamingFixture, IngestEncodedFromIstreamSourceIsBitIdentical) {
+  const uint64_t seed = 55;
+  const auto users = MakeUsers(10, 19);
+  const auto reference = Reference(users, seed);
+  const auto reports = MakeReports(users, seed);
+
+  std::stringstream stream;
+  io::WireWriter writer(&stream);
+  for (size_t begin = 0; begin < reports.size(); begin += 3) {
+    const size_t end = std::min(begin + 3, reports.size());
+    ASSERT_TRUE(writer
+                    .WriteBatch(std::span<const io::WireReport>(
+                        reports.data() + begin, end - begin))
+                    .ok());
+  }
+
+  std::mutex mu;
+  std::vector<std::vector<UserRelease>> outputs(1);
+  StreamingCollector collector(mech_.get(), seed, [&](UserRelease release) {
+    std::lock_guard<std::mutex> lock(mu);
+    outputs[0].push_back(std::move(release));
+  });
+  IstreamFrameSource source(&stream);
+  ASSERT_TRUE(collector.IngestEncoded(source).ok());
+  ASSERT_TRUE(collector.Finish().ok());
+  auto merged = MergeShardReleases(std::move(outputs), users.size());
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  ExpectIdenticalReleases(*merged, reference);
+}
+
+TEST_F(StreamingFixture, PushEncodedForTimesOutThenAccepts) {
+  const uint64_t seed = 3;
+  const auto users = MakeUsers(4, 23);
+  const auto reports = MakeReports(users, seed);
+
+  // One worker blocked in the sink + capacity-1 queue → a third frame
+  // must time out, survive intact, and go through once the sink drains.
+  std::mutex gate;
+  gate.lock();
+  std::atomic<size_t> released{0};
+  StreamingCollector::Config config;
+  config.num_threads = 1;
+  config.queue_capacity = 1;
+  StreamingCollector collector(
+      mech_.get(), seed,
+      [&](UserRelease) {
+        if (released.fetch_add(1) == 0) {
+          std::lock_guard<std::mutex> wait(gate);  // block the first emit
+        }
+      },
+      config);
+
+  auto frame_for = [&](size_t i) {
+    return *io::EncodeReportBatch(io::ReportBatch{reports[i]});
+  };
+  ASSERT_TRUE(collector.PushEncoded(frame_for(0)).ok());  // into the worker
+  std::string second = frame_for(1);
+  std::string third = frame_for(2);
+  // Fill the queue, then watch the timed push bounce.
+  bool accepted = false;
+  for (int attempts = 0; attempts < 1000 && !accepted; ++attempts) {
+    ASSERT_TRUE(collector
+                    .PushEncodedFor(second, std::chrono::milliseconds(1),
+                                    &accepted)
+                    .ok());
+  }
+  ASSERT_TRUE(accepted);
+  accepted = true;
+  ASSERT_TRUE(collector
+                  .PushEncodedFor(third, std::chrono::milliseconds(1),
+                                  &accepted)
+                  .ok());
+  EXPECT_FALSE(accepted);           // queue full, sink gated
+  EXPECT_FALSE(third.empty());      // frame handed back intact
+  gate.unlock();                    // drain
+  while (!accepted) {
+    ASSERT_TRUE(collector
+                    .PushEncodedFor(third, std::chrono::milliseconds(10),
+                                    &accepted)
+                    .ok());
+  }
+  ASSERT_TRUE(collector.Finish().ok());
+  EXPECT_EQ(collector.reports_released(), 3u);
+}
+
 TEST_F(StreamingFixture, MalformedFrameFailsFinishCleanly) {
   StreamingCollector collector(mech_.get(), 1,
                                [](UserRelease) { FAIL(); });
@@ -357,6 +509,50 @@ TEST(ShardPlanTest, ModuloRoutingCoversAllShards) {
   for (size_t s = 0; s < 3; ++s) EXPECT_EQ(counts[s], 10u);
   EXPECT_EQ(ShardPlan{1}.ShardOf(999), 0u);
   EXPECT_EQ(ShardPlan{0}.ShardOf(999), 0u);  // degenerate plan: one shard
+}
+
+TEST(ShardPlanTest, RangeStrategyAssignsContiguousBlocks) {
+  ShardPlan plan;
+  plan.num_shards = 4;
+  plan.strategy = ShardPlan::Strategy::kRange;
+  plan.num_users = 10;  // blocks of ceil(10/4) = 3: [0,3) [3,6) [6,9) [9,10)
+  EXPECT_EQ(plan.RangeOf(0), (std::pair<uint64_t, uint64_t>{0, 3}));
+  EXPECT_EQ(plan.RangeOf(1), (std::pair<uint64_t, uint64_t>{3, 6}));
+  EXPECT_EQ(plan.RangeOf(2), (std::pair<uint64_t, uint64_t>{6, 9}));
+  EXPECT_EQ(plan.RangeOf(3), (std::pair<uint64_t, uint64_t>{9, 10}));
+  for (uint64_t id = 0; id < plan.num_users; ++id) {
+    const size_t shard = plan.ShardOf(id);
+    const auto [lo, hi] = plan.RangeOf(shard);
+    EXPECT_GE(id, lo) << "id " << id;
+    EXPECT_LT(id, hi) << "id " << id;
+  }
+  // Ids past the population still route to a valid shard (merge rejects
+  // them); far-past ids clamp to the last one.
+  EXPECT_EQ(plan.ShardOf(99), 3u);
+}
+
+TEST(ShardPlanTest, RangeStrategySupportsMoreShardsThanUsers) {
+  ShardPlan plan;
+  plan.num_shards = 4;
+  plan.strategy = ShardPlan::Strategy::kRange;
+  plan.num_users = 2;
+  EXPECT_EQ(plan.ShardOf(0), 0u);
+  EXPECT_EQ(plan.ShardOf(1), 1u);
+  EXPECT_EQ(plan.RangeOf(2), (std::pair<uint64_t, uint64_t>{2, 2}));
+  EXPECT_EQ(plan.RangeOf(3), (std::pair<uint64_t, uint64_t>{2, 2}));
+}
+
+TEST(ShardPlanTest, ModuloRangeOfIsTheWholePopulation) {
+  ShardPlan plan;
+  plan.num_shards = 3;
+  plan.num_users = 30;
+  EXPECT_EQ(plan.RangeOf(1), (std::pair<uint64_t, uint64_t>{0, 30}));
+  // num_users unset (valid for modulo routing): the validator interval
+  // must be "everything", never the empty [0, 0) that rejects all input.
+  ShardPlan unset;
+  unset.num_shards = 3;
+  EXPECT_EQ(unset.RangeOf(0),
+            (std::pair<uint64_t, uint64_t>{0, ~uint64_t{0}}));
 }
 
 TEST(ShardPlanTest, PartitionByShardRoutesByUserId) {

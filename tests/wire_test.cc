@@ -138,11 +138,16 @@ TEST_F(WireMalformedTest, WrongVersionRejected) {
 }
 
 TEST_F(WireMalformedTest, ReservedFlagsRejected) {
+  // 0x01 is the (known) user-range flag; every other bit stays reserved.
   std::string bad = frame_;
-  bad[6] = 1;  // flags low byte
+  bad[6] = 2;  // flags low byte: a bit no decoder speaks
   auto decoded = DecodeReportBatch(bad);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+
+  bad[6] = 0;
+  bad[7] = 1;  // flags high byte
+  EXPECT_FALSE(DecodeReportBatch(bad).ok());
 }
 
 TEST_F(WireMalformedTest, CorruptedChecksumRejected) {
@@ -252,6 +257,133 @@ TEST(WireInvalidNgramTest, RegionListPastFrameRejected) {
   EXPECT_FALSE(DecodeReportBatch(frame).ok());
 }
 
+// ---------- batch user range (the flags-gated v2 candidate) ----------
+
+TEST(WireUserRangeTest, RoundTripsAndPeeksWithoutDecoding) {
+  Rng rng(31);
+  ReportBatch batch = RandomBatch(rng, 4, 100);
+  batch[2].user_id = 250;  // widen the interval past the dense block
+  WireEncodeOptions options;
+  options.include_user_range = true;
+  const std::string frame = *EncodeReportBatch(batch, options);
+
+  auto info = PeekFrameHeader(frame);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_TRUE(info->has_user_range());
+  EXPECT_EQ(info->frame_bytes, frame.size());
+
+  // The routing peek needs only header + range prefix, not the payload.
+  auto range = PeekUserRange(
+      frame.substr(0, kWireHeaderBytes + kWireUserRangeBytes));
+  ASSERT_TRUE(range.ok()) << range.status();
+  ASSERT_TRUE(range->has_value());
+  EXPECT_EQ((*range)->min_user_id, 100u);
+  EXPECT_EQ((*range)->max_user_id, 251u);  // exclusive, tight
+
+  auto decoded = DecodeReportBatch(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, batch);
+}
+
+TEST(WireUserRangeTest, UnflaggedFrameHasNoRange) {
+  Rng rng(32);
+  const std::string frame = *EncodeReportBatch(RandomBatch(rng, 2, 7));
+  auto info = PeekFrameHeader(frame);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->has_user_range());
+  auto range = PeekUserRange(frame);
+  ASSERT_TRUE(range.ok()) << range.status();
+  EXPECT_FALSE(range->has_value());
+}
+
+TEST(WireUserRangeTest, EmptyBatchDeclaresEmptyRange) {
+  WireEncodeOptions options;
+  options.include_user_range = true;
+  const std::string frame = *EncodeReportBatch(ReportBatch{}, options);
+  EXPECT_EQ(frame.size(),
+            kWireHeaderBytes + kWireUserRangeBytes + kWireTrailerBytes);
+  auto range = PeekUserRange(frame);
+  ASSERT_TRUE(range.ok()) << range.status();
+  ASSERT_TRUE(range->has_value());
+  EXPECT_EQ((*range)->min_user_id, 0u);
+  EXPECT_EQ((*range)->max_user_id, 0u);
+  auto decoded = DecodeReportBatch(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(decoded->empty());
+  // The empty interval is a subset of every shard range — an empty
+  // keep-alive batch passes any server's membership check.
+  EXPECT_TRUE((*range)->ContainedIn(WireUserRange{100, 200}));
+  EXPECT_FALSE((WireUserRange{50, 60}.ContainedIn(WireUserRange{100, 200})));
+  EXPECT_TRUE((WireUserRange{100, 150}.ContainedIn(WireUserRange{100, 200})));
+}
+
+// Re-checksums `frame` after a tamper so the CRC is not what rejects it.
+void Rechecksum(std::string& frame) {
+  const std::string_view payload(frame.data() + kWireHeaderBytes,
+                                 frame.size() - kWireHeaderBytes -
+                                     kWireTrailerBytes);
+  const uint32_t crc = Crc32(payload);
+  for (size_t i = 0; i < 4; ++i) {
+    frame[frame.size() - 4 + i] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+}
+
+TEST(WireUserRangeTest, ReportOutsideDeclaredRangeRejected) {
+  Rng rng(33);
+  WireEncodeOptions options;
+  options.include_user_range = true;
+  std::string frame = *EncodeReportBatch(RandomBatch(rng, 3, 20), options);
+  // Shrink the declared max below the users actually present.
+  for (size_t i = 0; i < 8; ++i) {
+    frame[kWireHeaderBytes + 8 + i] = (i == 0) ? 21 : 0;  // max = 21
+  }
+  Rechecksum(frame);
+  auto decoded = DecodeReportBatch(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("user range"),
+            std::string::npos);
+}
+
+TEST(WireUserRangeTest, InvertedRangeRejected) {
+  WireEncodeOptions options;
+  options.include_user_range = true;
+  std::string frame = *EncodeReportBatch(ReportBatch{}, options);
+  frame[kWireHeaderBytes] = 9;  // min = 9 > max = 0
+  Rechecksum(frame);
+  EXPECT_FALSE(DecodeReportBatch(frame).ok());
+  auto range = PeekUserRange(frame);
+  EXPECT_FALSE(range.ok());
+}
+
+TEST(WireUserRangeTest, MaxUserIdRefusedAtEncodeNotWrapped) {
+  // u64's last id has no exclusive upper bound; the encoder must fail
+  // cleanly rather than emit a wrapped [min, 0) frame its own decoder
+  // rejects as inverted.
+  WireReport report;
+  report.user_id = ~uint64_t{0};
+  report.trajectory_len = 1;
+  report.ngrams.push_back(core::PerturbedNgram{1, 1, {0}});
+  WireEncodeOptions options;
+  options.include_user_range = true;
+  auto frame = EncodeReportBatch(ReportBatch{report}, options);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+  // Without the range the same report still travels (round-trip test
+  // PreservesExtremeFieldValues covers the decode).
+  EXPECT_TRUE(EncodeReportBatch(ReportBatch{report}).ok());
+}
+
+TEST(WireUserRangeTest, FlaggedFrameWithoutRoomForRangeRejected) {
+  // A flagged header whose payload cannot hold the 16-byte prefix must
+  // fail at the header, before any payload read.
+  std::string frame = *EncodeReportBatch(ReportBatch{});
+  frame[6] = 1;  // set the user-range flag; payload_bytes stays 0
+  auto info = PeekFrameHeader(frame);
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), StatusCode::kInvalidArgument);
+}
+
 // ---------- streams and files ----------
 
 TEST(WireStreamTest, MultiFrameStreamRoundTrips) {
@@ -293,6 +425,58 @@ TEST(WireStreamTest, StreamCutInsideFrameIsCorruptionNotEof) {
   auto status = reader.Next(&got, &done);
   EXPECT_FALSE(status.ok());
   EXPECT_FALSE(done);
+}
+
+TEST(WireStreamTest, RawFrameReaderReturnsVerbatimFrames) {
+  Rng rng(19);
+  std::vector<std::string> frames;
+  std::stringstream stream;
+  WireEncodeOptions ranged;
+  ranged.include_user_range = true;
+  for (size_t i = 0; i < 4; ++i) {
+    // Mix flagged and unflagged frames in one stream.
+    auto frame = EncodeReportBatch(RandomBatch(rng, 1 + i, i * 50),
+                                   i % 2 ? ranged : WireEncodeOptions{});
+    ASSERT_TRUE(frame.ok());
+    stream << *frame;
+    frames.push_back(std::move(*frame));
+  }
+
+  RawFrameReader reader(&stream);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    std::string frame;
+    bool done = false;
+    ASSERT_TRUE(reader.Next(&frame, &done).ok()) << "frame " << i;
+    ASSERT_FALSE(done);
+    EXPECT_EQ(frame, frames[i]) << "frame " << i;  // byte-for-byte
+  }
+  std::string frame;
+  bool done = false;
+  ASSERT_TRUE(reader.Next(&frame, &done).ok());
+  EXPECT_TRUE(done);
+  EXPECT_EQ(reader.frames_read(), frames.size());
+}
+
+TEST(WireStreamTest, RawFrameReaderRejectsCutAndGarbage) {
+  Rng rng(23);
+  const std::string good = *EncodeReportBatch(RandomBatch(rng, 2, 0));
+  {
+    std::stringstream cut(good.substr(0, good.size() - 1));
+    RawFrameReader reader(&cut);
+    std::string frame;
+    bool done = false;
+    EXPECT_FALSE(reader.Next(&frame, &done).ok());
+    EXPECT_FALSE(done);
+  }
+  {
+    std::stringstream garbage("this is not a TLWB stream at all!");
+    RawFrameReader reader(&garbage);
+    std::string frame;
+    bool done = false;
+    auto status = reader.Next(&frame, &done);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("magic"), std::string::npos);
+  }
 }
 
 TEST(WireFileTest, WriteReadRoundTrip) {
