@@ -20,8 +20,10 @@
 #                      baseline, and the sharded bit-identical check.
 #   BENCH_net.json   — the same frames over loopback TCP through
 #                      net::ReportClient → net::IngestServer: users/s
-#                      in-memory vs loopback (gate: within 2×) and the
-#                      bit-identical check.
+#                      in-memory vs loopback (gate: within 2×), raw
+#                      loopback vs journaled exactly-once ingest with
+#                      batched fsync (gate: within 2×, fsync-per-record
+#                      reported), and the bit-identical check.
 #   BENCH_micro.json — google-benchmark JSON for the hot kernels
 #                      (haversine, Gumbel, EM select, path sampler).
 #
@@ -88,6 +90,9 @@ required = {
         "bit_identical",
         "loopback_within_2x",
         "inmem_over_loopback",
+        "journaled_within_2x",
+        "journaled_users_per_sec",
+        "loopback_over_journaled",
     ],
     "BENCH_micro.json": ["benchmarks"],
 }

@@ -253,6 +253,15 @@ struct Args {
   std::string port_file;
   std::string out;
   std::vector<std::string> list;  // --ports or --in
+  // Exactly-once knobs (docs/DURABILITY.md). serve: journal every frame
+  // here and replay it on startup; kill-after-bytes arms the journal's
+  // SIGKILL fault hook for the crash harness. send: --ack 1 runs the
+  // clients in sequenced mode (stream s+1, in-flight window, Flush as
+  // the delivery barrier) so a killed-and-restarted shard loses nothing.
+  std::string journal;
+  uint64_t kill_after_bytes = 0;
+  bool ack = false;
+  size_t window = 8;
 };
 
 std::vector<std::string> SplitCommas(const std::string& csv) {
@@ -270,9 +279,10 @@ int Usage(const char* argv0) {
       << " serve  --shard S --num-shards K --users N --seed SEED\n"
          "            [--port P] [--port-file F] --out FILE\n"
          "            [--expect-clients C] [--timeout-sec T]\n"
+         "            [--journal FILE [--kill-after-bytes B]]\n"
       << "  " << argv0
       << " send   --num-shards K --users N --seed SEED --ports p0,p1,...\n"
-         "            [--batch-size B]\n"
+         "            [--batch-size B] [--ack 1 [--window W]]\n"
       << "  " << argv0
       << " verify --num-shards K --users N --seed SEED --in f0,f1,...\n";
   return 1;
@@ -306,6 +316,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->timeout_sec = std::stod(value);
     } else if (flag == "--ports" || flag == "--in") {
       args->list = SplitCommas(value);
+    } else if (flag == "--journal") {
+      args->journal = value;
+    } else if (flag == "--kill-after-bytes") {
+      args->kill_after_bytes = std::stoull(value);
+    } else if (flag == "--ack") {
+      args->ack = value != "0";
+    } else if (flag == "--window") {
+      args->window = std::stoul(value);
     } else {
       return false;
     }
@@ -327,21 +345,39 @@ int RunServe(const Args& args) {
   const auto plan = PlanFor(args.num_shards, world->users.size());
 
   std::vector<core::UserRelease> releases;
+  core::StreamingCollector::Config collector_config;
+  // Journaled (exactly-once) shards run the per-user-id dedup backstop:
+  // a replayed frame and a client's post-restart resend may carry the
+  // same user, and whichever copy wins releases identically.
+  collector_config.dedup_user_ids = !args.journal.empty();
   core::StreamingCollector collector(
       world->mechanism.get(), args.seed,
       [&releases](core::UserRelease release) {
         releases.push_back(std::move(release));
-      });
+      },
+      collector_config);
 
   net::IngestServer::Options options;
   options.port = args.port;
   options.expected_range = plan.RangeOf(args.shard);
+  if (!args.journal.empty()) {
+    options.journal_path = args.journal;
+    // The crash harness arms this: SIGKILL mid-append once the journal
+    // has absorbed this many bytes, leaving a torn tail for the restart
+    // to recover. 0 (the default) disarms.
+    options.journal_options.fault_kill_after_bytes = args.kill_after_bytes;
+  }
   auto server = net::IngestServer::Start(&collector, options);
   if (!server.ok()) return Fail(server.status());
   std::cout << "shard " << args.shard << "/" << args.num_shards
             << " serving users [" << options.expected_range->first << ", "
             << options.expected_range->second << ") on port "
             << (*server)->port() << "\n";
+  if (!args.journal.empty()) {
+    std::cout << "shard " << args.shard << " journal " << args.journal
+              << ": replayed " << (*server)->stats().frames_replayed
+              << " frame(s)\n";
+  }
 
   if (!args.port_file.empty()) {
     // Write-then-rename so the driver never reads a half-written port.
@@ -389,8 +425,16 @@ int RunServe(const Args& args) {
   if (auto status = WriteReleases(args.out, releases); !status.ok()) {
     return Fail(status);
   }
+  const auto stats = (*server)->stats();
   std::cout << "shard " << args.shard << " released " << releases.size()
-            << " users -> " << args.out << "\n";
+            << " users -> " << args.out;
+  if (!args.journal.empty()) {
+    std::cout << " (journaled " << stats.frames_journaled << ", replayed "
+              << stats.frames_replayed << ", dup frames dropped "
+              << stats.duplicate_frames_dropped << ", dup reports dropped "
+              << stats.duplicate_reports_dropped << ")";
+  }
+  std::cout << "\n";
   return 0;
 }
 
@@ -412,8 +456,22 @@ int RunSend(const Args& args) {
   const auto plan = PlanFor(args.num_shards, world->users.size());
   auto sharded = core::PartitionByShard(plan, std::move(reports));
   for (size_t s = 0; s < args.num_shards; ++s) {
+    net::ReportClient::Options client_options;
+    if (args.ack) {
+      // Sequenced exactly-once mode against a journaling shard. The
+      // generous attempt budget is what rides out a kill-and-restart:
+      // the client keeps redialing (decorrelated jitter) until the
+      // restarted server answers, then resends its unacked suffix.
+      client_options.enable_sequencing = true;
+      client_options.stream_id = s + 1;  // 0 is reserved
+      client_options.window = args.window;
+      client_options.max_attempts = 200;
+      client_options.initial_backoff = std::chrono::milliseconds(5);
+      client_options.max_backoff = std::chrono::milliseconds(500);
+    }
     net::ReportClient client(
-        "127.0.0.1", static_cast<uint16_t>(std::stoul(args.list[s])));
+        "127.0.0.1", static_cast<uint16_t>(std::stoul(args.list[s])),
+        client_options);
     // A shard with no users still gets one (empty) frame: its server's
     // drain barrier is "my client connected and closed".
     if (sharded[s].empty()) {
@@ -429,10 +487,22 @@ int RunSend(const Args& args) {
           sharded[s].data() + begin, end - begin));
       if (!status.ok()) return Fail(status);
     }
+    if (args.ack) {
+      // The delivery barrier: only after Flush is every frame known
+      // journaled on the shard, so Close can never strand bytes in a
+      // kernel buffer the way the raw mode's FIN race can.
+      if (auto status = client.Flush(); !status.ok()) return Fail(status);
+    }
     client.Close();
     std::cout << "sent " << sharded[s].size() << " reports to shard " << s
-              << " (port " << args.list[s] << ", "
-              << client.frames_sent() << " frames)\n";
+              << " (port " << args.list[s] << ", " << client.frames_sent()
+              << " frames";
+    if (args.ack) {
+      std::cout << ", " << client.frames_resent() << " resent, "
+                << client.reconnects() << " reconnect(s), last ack "
+                << client.last_ack();
+    }
+    std::cout << ")\n";
   }
   return 0;
 }

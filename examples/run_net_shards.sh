@@ -1,11 +1,26 @@
 #!/usr/bin/env bash
-# Multi-process loopback shard harness (ISSUE 5 acceptance criterion):
-# launches K collector processes on ephemeral loopback ports, streams
-# every device report to them over TCP routed by core::ShardPlan, merges
-# the K release files, and bit-compares against the single-process
+# Multi-process loopback shard harness: launches K collector processes
+# on ephemeral loopback ports, streams every device report to them over
+# TCP routed by core::ShardPlan, merges the K release files, and
+# bit-compares against the single-process
 # BatchReleaseEngine::ReleaseAllFull. Exit 0 iff identical.
 #
-#   examples/run_net_shards.sh [K] [USERS] [SEED]
+#   examples/run_net_shards.sh [K] [USERS] [SEED] [MODE]
+#
+# MODE:
+#   plain  (default) raw clients, no journal — the ISSUE 5 harness.
+#   crash  the exactly-once leg: every shard journals its frames,
+#          clients run sequenced (--ack), and shard 0 is SIGKILLed
+#          mid-append by the journal fault hook, then restarted on the
+#          SAME port with the SAME journal. The restart replays the
+#          journal, the client resends its unacked suffix, the dedup
+#          layers drop the overlap — and the merged output must STILL be
+#          bit-identical to the in-process engine.
+#
+# Either mode runs the sender under a watchdog: if any serve process
+# dies while reports are still streaming (other than shard 0's one
+# scheduled death in crash mode), the harness fails fast naming the dead
+# shard and dumping its log, instead of hanging until timeout.
 #
 # Env:
 #   BUILD_DIR  build tree holding net_shard_harness (default: build)
@@ -14,6 +29,11 @@ set -euo pipefail
 k="${1:-2}"
 users="${2:-80}"
 seed="${3:-42}"
+mode="${4:-plain}"
+if [[ "$mode" != plain && "$mode" != crash ]]; then
+  echo "error: MODE must be 'plain' or 'crash', got '$mode'" >&2
+  exit 1
+fi
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
@@ -25,20 +45,40 @@ fi
 
 work="$(mktemp -d)"
 pids=()
+send_pid=""
 cleanup() {
   # Servers exit on their own in the happy path; reap stragglers on any
   # early error so the harness never leaks processes.
   for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  [[ -n "$send_pid" ]] && kill "$send_pid" 2>/dev/null || true
   rm -rf "$work"
 }
 trap cleanup EXIT
 
-echo "=== launching $k collector process(es) ==="
-for ((s = 0; s < k; s++)); do
+dump_log() {
+  sed "s/^/  shard $1 | /" "$work/shard.$1.log" >&2 || true
+}
+
+# launch_shard S [extra serve args...] — records the pid in pids[S] and
+# sends the shard's output to its own log for post-mortems.
+launch_shard() {
+  local s="$1"
+  shift
   "$bin" serve --shard "$s" --num-shards "$k" --users "$users" \
-    --seed "$seed" --port 0 --port-file "$work/port.$s" \
-    --out "$work/releases.$s" &
-  pids+=($!)
+    --seed "$seed" --out "$work/releases.$s" "$@" \
+    >>"$work/shard.$s.log" 2>&1 &
+  pids[$s]=$!
+}
+
+echo "=== launching $k collector process(es) [mode: $mode] ==="
+for ((s = 0; s < k; s++)); do
+  extra=(--port 0 --port-file "$work/port.$s")
+  if [[ "$mode" == crash ]]; then
+    extra+=(--journal "$work/journal.$s")
+    # Shard 0 dies by SIGKILL mid-append, early in its stream.
+    [[ $s -eq 0 ]] && extra+=(--kill-after-bytes 1000)
+  fi
+  launch_shard "$s" "${extra[@]}"
 done
 
 # Each server publishes its ephemeral port via atomic rename.
@@ -49,12 +89,14 @@ for ((s = 0; s < k; s++)); do
     # A server that died during startup will never publish its port.
     kill -0 "${pids[$s]}" 2>/dev/null || {
       echo "error: shard $s exited before publishing a port" >&2
+      dump_log "$s"
       exit 1
     }
     sleep 0.05
   done
   [[ -s "$work/port.$s" ]] || {
     echo "error: shard $s never published a port" >&2
+    dump_log "$s"
     exit 1
   }
   [[ -z "$ports" ]] || ports+=","
@@ -63,19 +105,88 @@ done
 echo "shard ports: $ports"
 
 echo "=== streaming device reports ==="
-"$bin" send --num-shards "$k" --users "$users" --seed "$seed" \
-  --ports "$ports"
+send_args=(send --num-shards "$k" --users "$users" --seed "$seed"
+  --ports "$ports")
+if [[ "$mode" == crash ]]; then
+  # Small sequenced batches so shard 0's stream spans many frames, with
+  # the kill landing between acks.
+  send_args+=(--ack 1 --batch-size 4)
+fi
+"$bin" "${send_args[@]}" >"$work/send.log" 2>&1 &
+send_pid=$!
+
+declare -a reaped
+if [[ "$mode" == crash ]]; then
+  echo "=== waiting for the journal fault hook to SIGKILL shard 0 ==="
+  set +e
+  wait "${pids[0]}"
+  kill_status=$?
+  set -e
+  if [[ $kill_status -ne 137 ]]; then
+    echo "error: shard 0 exited $kill_status, expected 137 (SIGKILL)" >&2
+    dump_log 0
+    exit 1
+  fi
+  echo "shard 0 killed mid-append (exit 137); restarting on port $(cat "$work/port.0") with its journal"
+  launch_shard 0 --port "$(cat "$work/port.0")" --journal "$work/journal.0"
+fi
+
+# Watchdog: while the sender streams, a serve process exiting non-zero
+# is a dead shard the clients would otherwise retry against until their
+# attempt budgets drain — fail fast and name it. (Exit 0 is a shard
+# whose single client already closed cleanly; that is the happy path.)
+while kill -0 "$send_pid" 2>/dev/null; do
+  for ((s = 0; s < k; s++)); do
+    [[ -n "${reaped[$s]:-}" ]] && continue
+    if ! kill -0 "${pids[$s]}" 2>/dev/null; then
+      set +e
+      wait "${pids[$s]}"
+      st=$?
+      set -e
+      reaped[$s]=$st
+      if [[ $st -ne 0 ]]; then
+        echo "error: shard $s died (exit $st) while reports were streaming" >&2
+        dump_log "$s"
+        exit 1
+      fi
+    fi
+  done
+  sleep 0.1
+done
+set +e
+wait "$send_pid"
+send_status=$?
+set -e
+send_pid=""
+if [[ $send_status -ne 0 ]]; then
+  echo "error: send failed (exit $send_status)" >&2
+  sed 's/^/  send | /' "$work/send.log" >&2 || true
+  exit "$send_status"
+fi
+sed 's/^/  send | /' "$work/send.log"
 
 echo "=== waiting for shard processes to drain and exit ==="
 status=0
-for pid in "${pids[@]}"; do
-  wait "$pid" || status=$?
+for ((s = 0; s < k; s++)); do
+  if [[ -n "${reaped[$s]:-}" ]]; then
+    st=${reaped[$s]}
+  else
+    set +e
+    wait "${pids[$s]}"
+    st=$?
+    set -e
+  fi
+  if [[ $st -ne 0 ]]; then
+    echo "error: shard $s failed (exit $st)" >&2
+    dump_log "$s"
+    status=$st
+  fi
 done
 pids=()
-[[ $status -eq 0 ]] || {
-  echo "error: a shard process failed (exit $status)" >&2
-  exit "$status"
-}
+[[ $status -eq 0 ]] || exit "$status"
+for ((s = 0; s < k; s++)); do
+  sed "s/^/  shard $s | /" "$work/shard.$s.log"
+done
 
 echo "=== merging $k release file(s) and bit-comparing ==="
 files=""
@@ -85,4 +196,4 @@ for ((s = 0; s < k; s++)); do
 done
 "$bin" verify --num-shards "$k" --users "$users" --seed "$seed" \
   --in "$files"
-echo "K=$k multi-process loopback harness: OK"
+echo "K=$k multi-process loopback harness [$mode]: OK"

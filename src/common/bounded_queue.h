@@ -54,6 +54,7 @@ class BoundedQueue {
                    [this] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    NoteDepthLocked();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -74,6 +75,7 @@ class BoundedQueue {
     }
     if (closed_) return QueuePushResult::kClosed;
     items_.push_back(std::move(item));
+    NoteDepthLocked();
     lock.unlock();
     not_empty_.notify_one();
     return QueuePushResult::kOk;
@@ -85,6 +87,7 @@ class BoundedQueue {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      NoteDepthLocked();
     }
     not_empty_.notify_one();
     return true;
@@ -124,12 +127,26 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// Deepest the queue has ever been — the backpressure observability
+  /// counter. A high-water mark pinned at capacity() means producers
+  /// were blocking on consumers (sustained backpressure); one well below
+  /// it means the consumers kept up.
+  size_t high_water_mark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
  private:
+  void NoteDepthLocked() {
+    if (items_.size() > high_water_) high_water_ = items_.size();
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  size_t high_water_ = 0;
   bool closed_ = false;
 };
 

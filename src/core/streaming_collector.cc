@@ -37,6 +37,7 @@ StreamingCollector::StreamingCollector(const NGramMechanism* mechanism,
           mechanism->config().poi.policy))),
       seed_(seed),
       sink_(std::move(sink)),
+      dedup_user_ids_(config.dedup_user_ids),
       queue_(config.queue_capacity),
       pool_(config.num_threads) {
   workspaces_.resize(pool_.size());
@@ -134,6 +135,18 @@ void StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
                                       PipelineWorkspace& ws) {
   for (const io::WireReport& report : batch) {
     if (has_error_.load(std::memory_order_relaxed)) return;
+    if (dedup_user_ids_) {
+      // Claim the user id BEFORE any work: whichever copy of a report —
+      // replayed from the journal or re-uploaded by a reconnecting
+      // client — wins this insert gets released; every other copy is
+      // dropped. Output is identical either way because a release is a
+      // pure function of (seed, user_id, report bytes).
+      std::lock_guard<std::mutex> lock(seen_mu_);
+      if (!seen_users_.insert(report.user_id).second) {
+        duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
     Status valid =
         pipeline_.ValidateReport(report.trajectory_len, report.ngrams);
     if (!valid.ok()) {

@@ -10,6 +10,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <variant>
 #include <vector>
 
@@ -102,6 +103,16 @@ class StreamingCollector {
     /// shards running the same policy under the same seed merge
     /// bit-identically to one collector under that policy.
     std::optional<PoiPolicy> poi_policy;
+    /// Drop (not fail) any report whose user id was already processed by
+    /// this collector, counting it in duplicates_dropped(). The
+    /// exactly-once backstop for journal replay and client re-uploads:
+    /// a report is a pure function of (seed, user_id, report bytes), so
+    /// whichever copy wins, the released output is identical — dropping
+    /// the rest makes a crash-recovered run bit-identical to an
+    /// uninterrupted one. Off by default: in normal batch ingest a
+    /// duplicate user id is a data bug and should latch an error
+    /// downstream (duplicate releases fail the shard merge).
+    bool dedup_user_ids = false;
   };
 
   /// Receives each finished release. Calls are serialised (one at a
@@ -157,6 +168,14 @@ class StreamingCollector {
   size_t reports_released() const {
     return reports_released_.load(std::memory_order_relaxed);
   }
+  /// Reports skipped by user-id dedup (Config::dedup_user_ids).
+  size_t duplicates_dropped() const {
+    return duplicates_dropped_.load(std::memory_order_relaxed);
+  }
+  /// Current ingest-queue depth and its all-time high-water mark — the
+  /// backpressure observability pair surfaced by net::IngestServer::Stats.
+  size_t queue_depth() const { return queue_.size(); }
+  size_t queue_high_water() const { return queue_.high_water_mark(); }
 
  private:
   /// A queue item: a decoded batch or a still-encoded wire frame.
@@ -170,13 +189,17 @@ class StreamingCollector {
   const CollectorPipeline pipeline_;
   const uint64_t seed_;
   const Sink sink_;
+  const bool dedup_user_ids_;
 
   // Destruction order matters: workers reference the queue, workspaces,
   // and counters, so the pool (joined in its destructor) is declared
   // last and destroyed first.
   BoundedQueue<Item> queue_;
   std::vector<PipelineWorkspace> workspaces_;
+  std::mutex seen_mu_;
+  std::unordered_set<uint64_t> seen_users_;
   std::atomic<size_t> reports_released_{0};
+  std::atomic<size_t> duplicates_dropped_{0};
   std::atomic<bool> has_error_{false};
   mutable std::mutex error_mu_;
   Status first_error_;

@@ -1,0 +1,327 @@
+#include "io/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "io/wire.h"
+
+namespace trajldp::io {
+
+namespace {
+
+// "TLJ1" (TrajLdp Journal v1) as little-endian bytes.
+constexpr uint32_t kJournalMagic = 0x314A'4C54u;
+// magic + payload_len + stream_id + seq.
+constexpr size_t kRecordHeaderBytes = 24;
+constexpr size_t kRecordTrailerBytes = 4;
+// A record payload is one complete TLWB frame, so its size is bounded by
+// the wire frame limit. Enforced at append AND during the recovery scan,
+// so a corrupted length field can never size a runaway buffer.
+constexpr uint64_t kMaxRecordPayloadBytes =
+    kWireHeaderBytes + kWireMaxPayloadBytes + kWireTrailerBytes;
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Reads exactly `size` bytes at `offset`, or reports how many were
+/// available. Loops over short preads.
+Status PreadFully(int fd, uint64_t offset, char* out, size_t size,
+                  size_t* got) {
+  *got = 0;
+  while (*got < size) {
+    const ssize_t n = ::pread(fd, out + *got, size - *got,
+                              static_cast<off_t>(offset + *got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("journal pread failed");
+    }
+    if (n == 0) break;  // end of file
+    *got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status WriteFully(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("journal write failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// One step of the recovery/replay scan: parse the record at `offset`.
+/// Outcomes: ok + *complete=true (record parsed), ok + *complete=false
+/// (clean end, torn tail, or corrupt record — scanning must stop here).
+struct ScanRecord {
+  uint64_t stream_id = 0;
+  uint64_t seq = 0;
+  std::string payload;
+  uint64_t next_offset = 0;
+};
+
+Status ScanOne(int fd, uint64_t offset, uint64_t file_size, bool* complete,
+               ScanRecord* record) {
+  *complete = false;
+  if (offset >= file_size) return Status::Ok();  // clean end
+  char header[kRecordHeaderBytes];
+  size_t got = 0;
+  TRAJLDP_RETURN_NOT_OK(
+      PreadFully(fd, offset, header, sizeof(header), &got));
+  if (got < sizeof(header)) return Status::Ok();  // torn header
+  if (GetU32(header) != kJournalMagic) return Status::Ok();  // corrupt
+  const uint32_t payload_len = GetU32(header + 4);
+  if (payload_len > kMaxRecordPayloadBytes) return Status::Ok();  // corrupt
+  record->stream_id = GetU64(header + 8);
+  record->seq = GetU64(header + 16);
+  const size_t rest = payload_len + kRecordTrailerBytes;
+  std::string body(rest, '\0');
+  TRAJLDP_RETURN_NOT_OK(
+      PreadFully(fd, offset + sizeof(header), body.data(), rest, &got));
+  if (got < rest) return Status::Ok();  // torn payload/crc
+  // CRC covers (stream_id, seq, payload): the 16 meta bytes then payload.
+  std::string covered;
+  covered.reserve(16 + payload_len);
+  covered.append(header + 8, 16);
+  covered.append(body, 0, payload_len);
+  if (GetU32(body.data() + payload_len) != Crc32(covered)) {
+    return Status::Ok();  // corrupt record
+  }
+  record->payload = body.substr(0, payload_len);
+  record->next_offset =
+      offset + kRecordHeaderBytes + payload_len + kRecordTrailerBytes;
+  *complete = true;
+  return Status::Ok();
+}
+
+}  // namespace
+
+FrameJournal::~FrameJournal() { (void)Close(); }
+
+FrameJournal::FrameJournal(FrameJournal&& other) noexcept
+    : fd_(other.fd_),
+      options_(other.options_),
+      recovery_(other.recovery_),
+      records_(other.records_),
+      valid_bytes_(other.valid_bytes_),
+      appended_bytes_(other.appended_bytes_),
+      unsynced_bytes_(other.unsynced_bytes_),
+      last_sync_(other.last_sync_) {
+  other.fd_ = -1;
+}
+
+FrameJournal& FrameJournal::operator=(FrameJournal&& other) noexcept {
+  if (this != &other) {
+    (void)Close();
+    fd_ = other.fd_;
+    options_ = other.options_;
+    recovery_ = other.recovery_;
+    records_ = other.records_;
+    valid_bytes_ = other.valid_bytes_;
+    appended_bytes_ = other.appended_bytes_;
+    unsynced_bytes_ = other.unsynced_bytes_;
+    last_sync_ = other.last_sync_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<FrameJournal> FrameJournal::Open(const std::string& path,
+                                          const Options& options) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::NotFound("cannot open journal " + path + ": " +
+                            std::strerror(errno));
+  }
+  FrameJournal journal;
+  journal.fd_ = fd;
+  journal.options_ = options;
+  journal.last_sync_ = std::chrono::steady_clock::now();
+
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    journal.fd_ = -1;
+    return Errno("journal lseek failed");
+  }
+  const auto file_size = static_cast<uint64_t>(end);
+
+  // Recovery scan: keep the longest prefix of fully valid records. The
+  // first torn or corrupt record ends the durable extent — everything
+  // after it is unreachable by replay and is truncated away, so a later
+  // append can never interleave good data behind a bad record.
+  uint64_t offset = 0;
+  size_t records = 0;
+  for (;;) {
+    bool complete = false;
+    ScanRecord record;
+    auto scan = ScanOne(fd, offset, file_size, &complete, &record);
+    if (!scan.ok()) {
+      ::close(fd);
+      journal.fd_ = -1;
+      return scan;
+    }
+    if (!complete) break;
+    offset = record.next_offset;
+    ++records;
+  }
+  journal.recovery_.records = records;
+  journal.recovery_.valid_bytes = offset;
+  journal.recovery_.truncated_bytes = file_size - offset;
+  journal.records_ = records;
+  journal.valid_bytes_ = offset;
+  if (journal.recovery_.truncated_bytes > 0) {
+    if (::ftruncate(fd, static_cast<off_t>(offset)) != 0) {
+      ::close(fd);
+      journal.fd_ = -1;
+      return Errno("journal truncate of torn tail failed");
+    }
+  }
+  // Appends go at the end of the valid prefix.
+  if (::lseek(fd, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    ::close(fd);
+    journal.fd_ = -1;
+    return Errno("journal lseek to append position failed");
+  }
+  return journal;
+}
+
+Status FrameJournal::Append(uint64_t stream_id, uint64_t seq,
+                            std::string_view frame) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  if (frame.size() > kMaxRecordPayloadBytes) {
+    return Status::InvalidArgument(
+        "journal record payload of " + std::to_string(frame.size()) +
+        " bytes exceeds the frame limit");
+  }
+  std::string record;
+  record.reserve(kRecordHeaderBytes + frame.size() + kRecordTrailerBytes);
+  PutU32(record, kJournalMagic);
+  PutU32(record, static_cast<uint32_t>(frame.size()));
+  PutU64(record, stream_id);
+  PutU64(record, seq);
+  record += frame;
+  PutU32(record, Crc32(std::string_view(record).substr(8)));
+
+  // Fault-injection hook: tear this record at the byte limit, make the
+  // torn bytes durable, and die the way a power loss would.
+  if (options_.fault_kill_after_bytes > 0 &&
+      appended_bytes_ + record.size() > options_.fault_kill_after_bytes) {
+    const size_t partial =
+        static_cast<size_t>(options_.fault_kill_after_bytes - appended_bytes_);
+    (void)WriteFully(fd_, record.data(), partial);
+    (void)::fsync(fd_);
+    std::raise(SIGKILL);
+    return Status::Internal("unreachable: SIGKILL returned");
+  }
+
+  TRAJLDP_RETURN_NOT_OK(WriteFully(fd_, record.data(), record.size()));
+  appended_bytes_ += record.size();
+  unsynced_bytes_ += record.size();
+  valid_bytes_ += record.size();
+  ++records_;
+
+  switch (options_.sync) {
+    case SyncPolicy::kNone:
+      break;
+    case SyncPolicy::kEveryRecord:
+      return Sync();
+    case SyncPolicy::kEveryBytes:
+      if (unsynced_bytes_ >= options_.sync_every_bytes) return Sync();
+      break;
+    case SyncPolicy::kTimed:
+      if (std::chrono::steady_clock::now() - last_sync_ >=
+          options_.sync_interval) {
+        return Sync();
+      }
+      break;
+  }
+  return Status::Ok();
+}
+
+Status FrameJournal::Sync() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  if (::fsync(fd_) != 0) return Errno("journal fsync failed");
+  unsynced_bytes_ = 0;
+  last_sync_ = std::chrono::steady_clock::now();
+  return Status::Ok();
+}
+
+Status FrameJournal::Replay(
+    const std::function<Status(uint64_t, uint64_t, std::string_view)>& fn)
+    const {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  uint64_t offset = 0;
+  while (offset < valid_bytes_) {
+    bool complete = false;
+    ScanRecord record;
+    TRAJLDP_RETURN_NOT_OK(
+        ScanOne(fd_, offset, valid_bytes_, &complete, &record));
+    if (!complete) {
+      // The valid extent was verified at Open/append time, so an
+      // unreadable record here means the file changed under us.
+      return Status::Internal(
+          "journal record inside the valid extent failed to parse "
+          "(concurrent modification?)");
+    }
+    TRAJLDP_RETURN_NOT_OK(fn(record.stream_id, record.seq, record.payload));
+    offset = record.next_offset;
+  }
+  return Status::Ok();
+}
+
+Status FrameJournal::Close() {
+  if (fd_ < 0) return Status::Ok();
+  Status sync = Sync();
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (!sync.ok()) return sync;
+  if (rc != 0) return Errno("journal close failed");
+  return Status::Ok();
+}
+
+}  // namespace trajldp::io

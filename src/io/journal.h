@@ -1,0 +1,127 @@
+#ifndef TRAJLDP_IO_JOURNAL_H_
+#define TRAJLDP_IO_JOURNAL_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status_or.h"
+
+namespace trajldp::io {
+
+/// \brief Append-only durable log of validated wire frames — the
+/// persistence floor of the exactly-once ingest path (docs/DURABILITY.md).
+///
+/// A device's perturbed report is a spent privacy budget: once uploaded,
+/// the device will never send a fresh perturbation, so a collector that
+/// loses a frame across a restart has burned a user's ε for nothing.
+/// The journal closes that hole. IngestServer appends every validated
+/// data frame here BEFORE acking it; on restart, Open() recovers the
+/// durable prefix and the server replays it through the normal ingest
+/// path, then resumes acking from the recovered high-water mark.
+///
+/// Record layout (little-endian, docs/DURABILITY.md §Record format):
+///
+///   u32 magic "TLJ1" | u32 payload_len | u64 stream_id | u64 seq |
+///   payload (one complete TLWB frame) | u32 CRC-32
+///
+/// The CRC covers (stream_id, seq, payload) — 16 + payload_len bytes —
+/// so a torn or bit-flipped record is detected even when the length
+/// field itself survived. Recovery scans from the start, keeps the
+/// longest prefix of fully valid records, and truncates everything after
+/// it: a tail torn mid-write by a crash recovers to exactly the records
+/// that were complete, with a clean Status.
+///
+/// Not thread-safe: callers (IngestServer) serialize appends themselves.
+class FrameJournal {
+ public:
+  /// When appends reach the disk. SIGKILL of the collector process loses
+  /// nothing even under kNone (the page cache survives the process);
+  /// fsync only matters for machine crashes and power loss — see
+  /// docs/DURABILITY.md §Fsync policies for the full argument.
+  enum class SyncPolicy {
+    kNone,         ///< never fsync (Close still does)
+    kEveryRecord,  ///< fsync after every append — strongest, slowest
+    kEveryBytes,   ///< fsync when >= sync_every_bytes accumulate unsynced
+    kTimed,        ///< fsync at an append when sync_interval has elapsed
+                   ///< since the last sync (checked at append time only;
+                   ///< there is no background flusher thread)
+  };
+
+  struct Options {
+    SyncPolicy sync = SyncPolicy::kEveryRecord;
+    /// kEveryBytes: unsynced-byte threshold that triggers an fsync.
+    size_t sync_every_bytes = 64u << 10;
+    /// kTimed: minimum interval between fsyncs (checked at append time).
+    std::chrono::milliseconds sync_interval{50};
+    /// Fault-injection hook for the crash harness: when > 0, the append
+    /// that would push CUMULATIVE bytes appended by THIS process (not
+    /// counting recovered bytes) past the limit writes only the bytes up
+    /// to the limit — a deliberately torn record — syncs them, and
+    /// raises SIGKILL. Simulates a power-loss-shaped crash mid-record.
+    /// Never set outside tests/harnesses.
+    uint64_t fault_kill_after_bytes = 0;
+  };
+
+  /// What Open() found on disk.
+  struct RecoveryInfo {
+    size_t records = 0;         ///< complete records recovered
+    uint64_t valid_bytes = 0;   ///< size of the valid prefix
+    uint64_t truncated_bytes = 0;  ///< torn/corrupt tail removed
+  };
+
+  FrameJournal() = default;
+  ~FrameJournal();
+  FrameJournal(FrameJournal&& other) noexcept;
+  FrameJournal& operator=(FrameJournal&& other) noexcept;
+  FrameJournal(const FrameJournal&) = delete;
+  FrameJournal& operator=(const FrameJournal&) = delete;
+
+  /// Opens (creating if absent) the journal at `path`, scans it, and
+  /// truncates any torn or corrupt tail so the file ends exactly at the
+  /// last complete record. Recovery results are in recovery_info().
+  static StatusOr<FrameJournal> Open(const std::string& path,
+                                     const Options& options);
+
+  /// Appends one record. `frame` is an already-validated complete TLWB
+  /// frame; (stream_id, seq) identify it for replay-time dedup. Syncs
+  /// per the configured policy.
+  Status Append(uint64_t stream_id, uint64_t seq, std::string_view frame);
+
+  /// Forces everything appended so far to disk (fsync).
+  Status Sync();
+
+  /// Replays every durable record in append order through `fn`. Reads
+  /// only the valid prefix found at Open() plus records appended since.
+  /// Stops at (and returns) the first non-ok Status from `fn`.
+  Status Replay(
+      const std::function<Status(uint64_t stream_id, uint64_t seq,
+                                 std::string_view frame)>& fn) const;
+
+  /// Syncs and closes the file. Idempotent; the destructor calls it.
+  Status Close();
+
+  bool open() const { return fd_ >= 0; }
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+  /// Records currently durable in the journal (recovered + appended).
+  size_t records() const { return records_; }
+  /// Bytes of complete records (the replayable extent).
+  uint64_t valid_bytes() const { return valid_bytes_; }
+
+ private:
+  int fd_ = -1;
+  Options options_;
+  RecoveryInfo recovery_;
+  size_t records_ = 0;
+  uint64_t valid_bytes_ = 0;       // end of last complete record
+  uint64_t appended_bytes_ = 0;    // by this process (fault-hook meter)
+  uint64_t unsynced_bytes_ = 0;
+  std::chrono::steady_clock::time_point last_sync_{};
+};
+
+}  // namespace trajldp::io
+
+#endif  // TRAJLDP_IO_JOURNAL_H_

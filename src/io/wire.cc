@@ -155,11 +155,30 @@ void EncodeReport(std::string& out, const WireReport& report) {
   }
 }
 
+/// Total payload bytes consumed by flagged prefixes, in their fixed
+/// order: sequence first, then user range.
+size_t FlaggedPrefixBytes(uint16_t flags) {
+  size_t bytes = 0;
+  if ((flags & kWireFlagSequence) != 0) bytes += kWireSequenceBytes;
+  if ((flags & kWireFlagUserRange) != 0) bytes += kWireUserRangeBytes;
+  return bytes;
+}
+
 Status DecodePayload(std::string_view payload, uint32_t report_count,
-                     bool has_user_range, ReportBatch* batch) {
+                     uint16_t flags, ReportBatch* batch) {
   ByteReader reader(payload);
+  if ((flags & kWireFlagSequence) != 0) {
+    WireSequence sequence;
+    TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&sequence.stream_id));
+    TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&sequence.seq));
+    if (sequence.seq == 0) {
+      return Status::InvalidArgument(
+          "wire sequence prefix carries seq 0 (reserved for the "
+          "pre-first-frame ack; sequences start at 1)");
+    }
+  }
   std::optional<WireUserRange> range;
-  if (has_user_range) {
+  if ((flags & kWireFlagUserRange) != 0) {
     WireUserRange r;
     TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&r.min_user_id));
     TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&r.max_user_id));
@@ -214,7 +233,7 @@ Status DecodeHeader(std::string_view header, WireFrameInfo* out) {
                                  std::to_string(kWireVersion) + ")");
   }
   TRAJLDP_RETURN_NOT_OK(reader.ReadU16(&out->flags));
-  if ((out->flags & ~kWireFlagUserRange) != 0) {
+  if ((out->flags & ~(kWireFlagUserRange | kWireFlagSequence)) != 0) {
     return Status::InvalidArgument(
         "wire frame sets reserved flag bits unknown to version 1");
   }
@@ -228,10 +247,10 @@ Status DecodeHeader(std::string_view header, WireFrameInfo* out) {
         "-byte payload, over the " + std::to_string(kWireMaxPayloadBytes) +
         "-byte frame limit");
   }
-  if (out->has_user_range() && out->payload_bytes < kWireUserRangeBytes) {
+  if (out->payload_bytes < FlaggedPrefixBytes(out->flags)) {
     return Status::InvalidArgument(
-        "wire frame flags a user range but its payload is too small to "
-        "hold one");
+        "wire frame flags payload prefixes but its payload is too small "
+        "to hold them");
   }
   out->frame_bytes = kWireHeaderBytes +
                      static_cast<size_t>(out->payload_bytes) +
@@ -276,9 +295,15 @@ StatusOr<std::optional<WireUserRange>> PeekUserRange(
   auto info = PeekFrameHeader(frame_prefix);
   if (!info.ok()) return info.status();
   if (!info->has_user_range()) return std::optional<WireUserRange>();
+  // The sequence prefix, when present, always precedes the user range.
+  const size_t offset =
+      kWireHeaderBytes + (info->has_sequence() ? kWireSequenceBytes : 0);
+  if (frame_prefix.size() < offset) {
+    return Status::InvalidArgument(
+        "wire frame prefix too short to reach the user-range prefix");
+  }
   ByteReader reader(frame_prefix.substr(
-      kWireHeaderBytes,
-      std::min(frame_prefix.size() - kWireHeaderBytes, kWireUserRangeBytes)));
+      offset, std::min(frame_prefix.size() - offset, kWireUserRangeBytes)));
   WireUserRange range;
   TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&range.min_user_id));
   TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&range.max_user_id));
@@ -289,6 +314,24 @@ StatusOr<std::optional<WireUserRange>> PeekUserRange(
         std::to_string(range.max_user_id));
   }
   return std::optional<WireUserRange>(range);
+}
+
+StatusOr<std::optional<WireSequence>> PeekSequence(
+    std::string_view frame_prefix) {
+  auto info = PeekFrameHeader(frame_prefix);
+  if (!info.ok()) return info.status();
+  if (!info->has_sequence()) return std::optional<WireSequence>();
+  ByteReader reader(frame_prefix.substr(
+      kWireHeaderBytes,
+      std::min(frame_prefix.size() - kWireHeaderBytes, kWireSequenceBytes)));
+  WireSequence sequence;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&sequence.stream_id));
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&sequence.seq));
+  if (sequence.seq == 0) {
+    return Status::InvalidArgument(
+        "wire sequence prefix carries seq 0 (sequences start at 1)");
+  }
+  return std::optional<WireSequence>(sequence);
 }
 
 Status VerifyFrameChecksum(std::string_view frame) {
@@ -310,6 +353,16 @@ StatusOr<std::string> EncodeReportBatch(std::span<const WireReport> batch,
                                         const WireEncodeOptions& options) {
   std::string payload;
   uint16_t flags = 0;
+  if (options.sequence.has_value()) {
+    if (options.sequence->seq == 0) {
+      return Status::InvalidArgument(
+          "wire sequence numbers start at 1 (0 is the pre-first-frame "
+          "ack value); cannot encode seq 0");
+    }
+    flags |= kWireFlagSequence;
+    PutU64(payload, options.sequence->stream_id);
+    PutU64(payload, options.sequence->seq);
+  }
   if (options.include_user_range) {
     flags |= kWireFlagUserRange;
     WireUserRange range;  // tight [min, max) over the batch; [0, 0) empty
@@ -378,9 +431,58 @@ StatusOr<ReportBatch> DecodeReportBatch(std::string_view data) {
   TRAJLDP_RETURN_NOT_OK(
       CheckCrc(payload, data.substr(kWireHeaderBytes + header.payload_bytes)));
   ReportBatch batch;
-  TRAJLDP_RETURN_NOT_OK(DecodePayload(payload, header.report_count,
-                                      header.has_user_range(), &batch));
+  TRAJLDP_RETURN_NOT_OK(
+      DecodePayload(payload, header.report_count, header.flags, &batch));
   return batch;
+}
+
+std::string EncodeAckFrame(uint64_t ack_seq) {
+  std::string frame;
+  frame.reserve(kAckFrameBytes);
+  PutU32(frame, kAckMagic);
+  PutU16(frame, kWireVersion);
+  PutU16(frame, 0);  // flags: none defined for ack frames yet
+  PutU64(frame, ack_seq);
+  frame += std::string(4, '\0');
+  const uint32_t crc = Crc32(std::string_view(frame).substr(4, 12));
+  for (int i = 0; i < 4; ++i) {
+    frame[16 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  return frame;
+}
+
+StatusOr<uint64_t> DecodeAckFrame(std::string_view frame) {
+  if (frame.size() != kAckFrameBytes) {
+    return Status::InvalidArgument(
+        "ack frame must be exactly " + std::to_string(kAckFrameBytes) +
+        " bytes, got " + std::to_string(frame.size()));
+  }
+  ByteReader reader(frame);
+  uint32_t magic = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&magic));
+  if (magic != kAckMagic) {
+    return Status::InvalidArgument("bad ack magic: not a TLWA frame");
+  }
+  uint16_t version = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU16(&version));
+  if (version != kWireVersion) {
+    return Status::Unimplemented("unsupported ack frame version " +
+                                 std::to_string(version));
+  }
+  uint16_t flags = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU16(&flags));
+  if (flags != 0) {
+    return Status::InvalidArgument(
+        "ack frame sets reserved flag bits unknown to version 1");
+  }
+  uint64_t ack_seq = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&ack_seq));
+  uint32_t stored = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&stored));
+  if (stored != Crc32(frame.substr(4, 12))) {
+    return Status::InvalidArgument("ack frame checksum mismatch");
+  }
+  return ack_seq;
 }
 
 Status WireWriter::WriteBatch(std::span<const WireReport> batch) {
@@ -428,8 +530,8 @@ Status WireReader::Next(ReportBatch* out, bool* done) {
       std::string_view(rest).substr(0, frame.payload_bytes);
   TRAJLDP_RETURN_NOT_OK(
       CheckCrc(payload, std::string_view(rest).substr(frame.payload_bytes)));
-  TRAJLDP_RETURN_NOT_OK(DecodePayload(payload, frame.report_count,
-                                      frame.has_user_range(), out));
+  TRAJLDP_RETURN_NOT_OK(
+      DecodePayload(payload, frame.report_count, frame.flags, out));
   ++batches_read_;
   return Status::Ok();
 }

@@ -69,6 +69,14 @@ inline constexpr size_t kWireTrailerBytes = 4;
 inline constexpr uint16_t kWireFlagUserRange = 0x0001;
 /// Size of the user-range payload prefix when kWireFlagUserRange is set.
 inline constexpr size_t kWireUserRangeBytes = 16;
+/// Flag bit: the payload starts with a 16-byte (stream_id, seq) sequence
+/// prefix — the v3 exactly-once extension (docs/WIRE_FORMAT.md §v3). The
+/// sequence prefix always comes FIRST in the payload (fixed offset
+/// kWireHeaderBytes), before any user-range prefix, so transports can
+/// peek it from the same bytes that hold the header.
+inline constexpr uint16_t kWireFlagSequence = 0x0002;
+/// Size of the sequence payload prefix when kWireFlagSequence is set.
+inline constexpr size_t kWireSequenceBytes = 16;
 /// Largest payload a v1 frame may declare. Caps what a 16-byte hostile
 /// header can make WireReader allocate before any payload byte arrives;
 /// writers enforce it too, so every frame written is readable.
@@ -99,6 +107,18 @@ struct WireUserRange {
   bool operator==(const WireUserRange&) const = default;
 };
 
+/// The per-connection delivery identity a sequenced frame carries: which
+/// client stream it belongs to and its 1-based position in that stream.
+/// seq is strictly monotonically increasing per stream and survives
+/// reconnects; 0 is reserved to mean "nothing" (the pre-first-frame ack),
+/// so encoders and decoders both reject seq == 0.
+struct WireSequence {
+  uint64_t stream_id = 0;
+  uint64_t seq = 0;
+
+  bool operator==(const WireSequence&) const = default;
+};
+
 struct WireEncodeOptions {
   /// Sets kWireFlagUserRange and prefixes the payload with the tight
   /// [min, max) interval of the batch's user ids ([0, 0) for an empty
@@ -106,6 +126,9 @@ struct WireEncodeOptions {
   /// lies inside the declared range, so the routing field can never
   /// disagree with the payload it summarises.
   bool include_user_range = false;
+  /// Sets kWireFlagSequence and prefixes the payload with the 16-byte
+  /// (stream_id, seq) identity. seq must be >= 1.
+  std::optional<WireSequence> sequence;
 };
 
 /// Everything a transport needs to know about a frame from its first
@@ -120,6 +143,7 @@ struct WireFrameInfo {
   uint32_t payload_bytes = 0;
   size_t frame_bytes = 0;
   bool has_user_range() const { return (flags & kWireFlagUserRange) != 0; }
+  bool has_sequence() const { return (flags & kWireFlagSequence) != 0; }
 };
 
 /// Validates a frame header (magic, version, known flags, payload size
@@ -135,11 +159,36 @@ StatusOr<WireFrameInfo> PeekFrameHeader(std::string_view header);
 StatusOr<std::optional<WireUserRange>> PeekUserRange(
     std::string_view frame_prefix);
 
+/// Reads the (stream_id, seq) identity from a frame prefix of at least
+/// kWireHeaderBytes + kWireSequenceBytes bytes (shorter is fine for
+/// unsequenced frames). Returns nullopt when the frame carries no
+/// sequence. Like PeekUserRange, this is the cheap routing path and does
+/// NOT verify the CRC; full validation happens at decode.
+StatusOr<std::optional<WireSequence>> PeekSequence(
+    std::string_view frame_prefix);
+
 /// Verifies one complete raw frame's payload CRC (the same check
 /// DecodeReportBatch runs) WITHOUT decoding the payload — the integrity
 /// gate a transport runs before handing the frame onward. `frame` must
 /// be exactly one frame.
 Status VerifyFrameChecksum(std::string_view frame);
+
+/// The ACK frame magic, "TLWA" (TrajLdp Wire Ack) as bytes. Distinct from
+/// kWireMagic so a stream position can never be misread as the wrong
+/// frame kind.
+inline constexpr uint32_t kAckMagic = 0x4157'4C54u;  // 'T','L','W','A' LE
+/// ACK frames are fixed-size: u32 magic | u16 version | u16 flags |
+/// u64 ack_seq | u32 CRC-32 over bytes [4, 16).
+inline constexpr size_t kAckFrameBytes = 20;
+
+/// Encodes the server→client ACK frame carrying the highest contiguously
+/// durable sequence number (0 = nothing acked yet). Always succeeds: the
+/// frame is fixed-layout.
+std::string EncodeAckFrame(uint64_t ack_seq);
+
+/// Decodes one complete ACK frame (exactly kAckFrameBytes bytes): magic,
+/// version, zero flags, CRC all checked. Returns the acked sequence.
+StatusOr<uint64_t> DecodeAckFrame(std::string_view frame);
 
 /// Serialises one batch into a self-contained frame. Fails when the
 /// payload would exceed kWireMaxPayloadBytes — at the encode site, not
@@ -150,8 +199,9 @@ StatusOr<std::string> EncodeReportBatch(std::span<const WireReport> batch,
 
 /// Decodes one frame. `data` must be exactly one frame; trailing bytes
 /// are rejected (use WireReader for multi-frame streams). All structural
-/// invariants are checked: magic, version, zero flags, payload size,
-/// checksum, and per-report n-gram bounds (1 ≤ a ≤ b ≤ trajectory_len,
+/// invariants are checked: magic, version, known flags, payload size,
+/// checksum, flagged prefixes (sequence seq ≥ 1, user-range containment),
+/// and per-report n-gram bounds (1 ≤ a ≤ b ≤ trajectory_len,
 /// regions.size() == b − a + 1).
 StatusOr<ReportBatch> DecodeReportBatch(std::string_view data);
 

@@ -1,0 +1,118 @@
+#ifndef TRAJLDP_NET_FAULT_PROXY_H_
+#define TRAJLDP_NET_FAULT_PROXY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status_or.h"
+#include "net/socket.h"
+
+namespace trajldp::net {
+
+/// What a FaultProxy does to ONE proxied connection. Frame indices are
+/// 0-based and count data frames read off the client on that connection.
+/// Each configured fault fires at most once (its index passes once).
+struct FaultPlan {
+  /// Sleep this long before forwarding frame `stall_before_frame` —
+  /// a network stall, not a loss: every byte still arrives, late.
+  std::optional<size_t> stall_before_frame;
+  std::chrono::milliseconds stall_for{200};
+  /// Swallow this frame entirely (kernel-buffered loss). Under seq/ack
+  /// the server detects the hole when the NEXT frame arrives (sequence
+  /// gap → connection fails → client resends), so never drop a stream's
+  /// final frame in a test: with nothing after it, the client would
+  /// block on an ack that cannot come until some transport error
+  /// surfaces.
+  std::optional<size_t> drop_frame;
+  /// Forward this frame twice back-to-back (a wire-level duplicate).
+  std::optional<size_t> duplicate_frame;
+  /// Flip one byte of this frame before forwarding (payload byte 0, or
+  /// the final CRC byte for an empty payload) — the server's CRC gate
+  /// must fail the connection.
+  std::optional<size_t> corrupt_frame;
+  /// Abort the connection (both directions, RST-like) after forwarding
+  /// this many COMPLETE frames...
+  std::optional<size_t> cut_after_frames;
+  /// ...plus this many bytes of the next frame: a cut mid-frame. 0 cuts
+  /// exactly on the boundary. Ignored without cut_after_frames.
+  size_t cut_extra_bytes = 0;
+};
+
+/// \brief A loopback TCP proxy that injects byte-level network faults
+/// between a real ReportClient and a real IngestServer — the
+/// fault-injection harness of the exactly-once test suite.
+///
+/// The client connects to the proxy's port instead of the server's; the
+/// proxy parses data frames off the client (with the same bounded frame
+/// assembler the server uses) and forwards them upstream, applying the
+/// connection's FaultPlan; a relay thread streams the server's bytes
+/// (acks) back to the client untouched. Connection i gets plans[i];
+/// connections beyond the plan list are faultless pass-through — which
+/// is exactly what a client's post-fault reconnect should see.
+///
+/// Connections are served one at a time (accept-loop order): the suite
+/// drives a single client, and serialising keeps every fault
+/// deterministic.
+class FaultProxy {
+ public:
+  /// Listens on an ephemeral loopback port, forwarding to
+  /// `upstream_host:upstream_port`.
+  static StatusOr<std::unique_ptr<FaultProxy>> Start(
+      std::string upstream_host, uint16_t upstream_port,
+      std::vector<FaultPlan> plans);
+
+  ~FaultProxy();
+
+  FaultProxy(const FaultProxy&) = delete;
+  FaultProxy& operator=(const FaultProxy&) = delete;
+
+  /// The port clients dial.
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, kills any live proxied connection, joins.
+  void Shutdown();
+
+  size_t connections_proxied() const {
+    return connections_proxied_.load(std::memory_order_relaxed);
+  }
+  size_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultProxy(std::string upstream_host, uint16_t upstream_port,
+             std::vector<FaultPlan> plans, Socket listener, uint16_t port);
+
+  void AcceptLoop();
+  /// Serves one proxied connection to completion (clean end, upstream
+  /// death, or injected cut).
+  void ProxyConnection(Socket client, const FaultPlan& plan);
+
+  const std::string upstream_host_;
+  const uint16_t upstream_port_;
+  const std::vector<FaultPlan> plans_;
+  Socket listener_;
+  const uint16_t port_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> connections_proxied_{0};
+  std::atomic<size_t> faults_injected_{0};
+
+  /// Guards the live connection's sockets so Shutdown can unblock them.
+  std::mutex live_mu_;
+  const Socket* live_client_ = nullptr;
+  const Socket* live_upstream_ = nullptr;
+
+  std::thread accept_thread_;
+};
+
+}  // namespace trajldp::net
+
+#endif  // TRAJLDP_NET_FAULT_PROXY_H_

@@ -27,4 +27,19 @@ Status VerifyFrameCrc(std::string_view frame) {
   return io::VerifyFrameChecksum(frame);
 }
 
+Status WriteAckToSocket(const Socket& socket, uint64_t ack_seq) {
+  return SendAll(socket, io::EncodeAckFrame(ack_seq));
+}
+
+Status ReadAckFromSocket(const Socket& socket, uint64_t* ack_seq) {
+  std::string frame(io::kAckFrameBytes, '\0');
+  // clean_eof = nullptr: any shortfall, even at byte zero, is an error.
+  TRAJLDP_RETURN_NOT_OK(
+      RecvExact(socket, frame.data(), frame.size(), /*clean_eof=*/nullptr));
+  auto decoded = io::DecodeAckFrame(frame);
+  if (!decoded.ok()) return decoded.status();
+  *ack_seq = *decoded;
+  return Status::Ok();
+}
+
 }  // namespace trajldp::net

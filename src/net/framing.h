@@ -36,6 +36,15 @@ Status WriteFrameToSocket(const Socket& socket, std::string_view frame);
 /// fails the connection it arrived on instead of a shared collector.
 Status VerifyFrameCrc(std::string_view frame);
 
+/// Writes one ACK frame carrying `ack_seq` (server → client).
+Status WriteAckToSocket(const Socket& socket, uint64_t ack_seq);
+
+/// Reads one complete ACK frame (client side). EOF at any point —
+/// including exactly between frames — is an error: a client only reads
+/// acks it is still owed, so a FIN here means the server vanished with
+/// the window unacknowledged and the client must reconnect and resend.
+Status ReadAckFromSocket(const Socket& socket, uint64_t* ack_seq);
+
 /// A live connection as a core::FrameSource: the glue that lets a
 /// StreamingCollector drain a socket exactly as it drains a wire file.
 class SocketFrameSource final : public core::FrameSource {

@@ -21,9 +21,39 @@ StatusOr<std::unique_ptr<IngestServer>> IngestServer::Start(
 
   std::unique_ptr<IngestServer> server(new IngestServer(
       collector, std::move(options), std::move(*listener), *port));
+  // Recovery runs to completion BEFORE the first connection can be
+  // accepted: replayed frames and live frames never interleave, and the
+  // first ack any client sees already reflects the recovered high-water
+  // mark.
+  if (!server->options_.journal_path.empty()) {
+    TRAJLDP_RETURN_NOT_OK(server->OpenJournalAndReplay());
+  }
   server->accept_thread_ =
       std::thread([raw = server.get()] { raw->AcceptLoop(); });
   return server;
+}
+
+Status IngestServer::OpenJournalAndReplay() {
+  auto journal =
+      io::FrameJournal::Open(options_.journal_path, options_.journal_options);
+  if (!journal.ok()) return journal.status();
+  journal_.emplace(std::move(*journal));
+  size_t replayed = 0;
+  // Replay through the NORMAL ingest path: the collector decodes and
+  // validates replayed frames exactly as it would live ones, on its
+  // workers. seq 0 marks a record journaled from an unsequenced frame —
+  // it carries no high-water information.
+  Status status = journal_->Replay(
+      [&](uint64_t stream_id, uint64_t seq, std::string_view frame) {
+        if (seq > 0) {
+          uint64_t& hwm = stream_hwm_[stream_id];
+          if (seq > hwm) hwm = seq;
+        }
+        ++replayed;
+        return collector_->PushEncoded(std::string(frame));
+      });
+  frames_replayed_.store(replayed, std::memory_order_relaxed);
+  return status;
 }
 
 IngestServer::IngestServer(core::StreamingCollector* collector,
@@ -58,6 +88,9 @@ void IngestServer::Shutdown() {
   for (auto& connection : connections) {
     if (connection->thread.joinable()) connection->thread.join();
   }
+  // Every connection thread is joined; nothing can append any more.
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (journal_.has_value()) (void)journal_->Close();
 }
 
 IngestServer::Stats IngestServer::stats() const {
@@ -70,6 +103,13 @@ IngestServer::Stats IngestServer::stats() const {
       connections_failed_.load(std::memory_order_relaxed);
   stats.frames_ingested = frames_ingested_.load(std::memory_order_relaxed);
   stats.accept_backoffs = accept_backoffs_.load(std::memory_order_relaxed);
+  stats.frames_journaled = frames_journaled_.load(std::memory_order_relaxed);
+  stats.frames_replayed = frames_replayed_.load(std::memory_order_relaxed);
+  stats.duplicate_frames_dropped =
+      duplicate_frames_dropped_.load(std::memory_order_relaxed);
+  stats.duplicate_reports_dropped = collector_->duplicates_dropped();
+  stats.queue_depth = collector_->queue_depth();
+  stats.queue_high_water = collector_->queue_high_water();
   return stats;
 }
 
@@ -157,6 +197,43 @@ Status IngestServer::ServeFrames(const Socket& socket) {
     if (options_.verify_crc) {
       TRAJLDP_RETURN_NOT_OK(VerifyFrameCrc(frame));
     }
+
+    // Sequence dedup BEFORE any other work: a frame this server (or the
+    // journal it recovered) has already consumed must never reach the
+    // collector twice, and its resender is owed a fresh ack of the
+    // high-water mark so its window can advance.
+    auto sequence = io::PeekSequence(frame);
+    if (!sequence.ok()) return sequence.status();
+    uint64_t stream_id = 0;
+    uint64_t seq = 0;
+    if (sequence->has_value()) {
+      stream_id = (*sequence)->stream_id;
+      seq = (*sequence)->seq;
+      uint64_t hwm = 0;
+      {
+        std::lock_guard<std::mutex> lock(journal_mu_);
+        const auto it = stream_hwm_.find(stream_id);
+        hwm = it == stream_hwm_.end() ? 0 : it->second;
+      }
+      if (seq <= hwm) {
+        duplicate_frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.send_acks) {
+          TRAJLDP_RETURN_NOT_OK(WriteAckToSocket(socket, hwm));
+        }
+        continue;
+      }
+      if (seq != hwm + 1) {
+        // A hole in the stream: the frame filling it was lost between
+        // client and server, and acking past it would declare durable
+        // something that never arrived. Fail the connection; the client
+        // reconnects and resends its whole unacked suffix in order.
+        return Status::InvalidArgument(
+            "sequence gap on stream " + std::to_string(stream_id) +
+            ": got seq " + std::to_string(seq) + " after high-water " +
+            std::to_string(hwm));
+      }
+    }
+
     if (options_.expected_range.has_value()) {
       auto range = io::PeekUserRange(frame);
       if (!range.ok()) return range.status();
@@ -175,6 +252,14 @@ Status IngestServer::ServeFrames(const Socket& socket) {
       }
     }
 
+    // Durability first: the journal append must land before the ack can
+    // be sent, and before the frame buffer is consumed by the push.
+    if (journal_.has_value()) {
+      std::lock_guard<std::mutex> lock(journal_mu_);
+      TRAJLDP_RETURN_NOT_OK(journal_->Append(stream_id, seq, frame));
+      frames_journaled_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     // The flow-control loop: hold this one frame, retry the timed push,
     // and do not touch the socket again until it lands — that is what
     // turns collector backpressure into TCP backpressure.
@@ -188,6 +273,21 @@ Status IngestServer::ServeFrames(const Socket& socket) {
           collector_->PushEncodedFor(frame, options_.push_retry, &accepted));
     }
     frames_ingested_.fetch_add(1, std::memory_order_relaxed);
+
+    // Durable (journaled) and queued: advance the stream's high-water
+    // mark and ack it. Ack AFTER the hwm update so a duplicate arriving
+    // on a parallel read of this stream can never observe the ack
+    // before the dedup map knows about seq.
+    if (sequence->has_value()) {
+      {
+        std::lock_guard<std::mutex> lock(journal_mu_);
+        uint64_t& hwm = stream_hwm_[stream_id];
+        if (seq > hwm) hwm = seq;
+      }
+      if (options_.send_acks) {
+        TRAJLDP_RETURN_NOT_OK(WriteAckToSocket(socket, seq));
+      }
+    }
   }
 }
 

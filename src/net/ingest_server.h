@@ -9,11 +9,13 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/status_or.h"
 #include "core/streaming_collector.h"
+#include "io/journal.h"
 #include "net/socket.h"
 
 namespace trajldp::net {
@@ -77,6 +79,24 @@ class IngestServer {
     /// before re-checking for shutdown. Latency ceiling on Shutdown(),
     /// not a throughput knob.
     std::chrono::milliseconds push_retry{50};
+    /// Non-empty → exactly-once mode: every validated data frame is
+    /// appended to this io::FrameJournal BEFORE it is acked, and Start()
+    /// first recovers the journal and replays its frames through the
+    /// normal PushEncoded path (rebuilding each stream's sequence
+    /// high-water mark), so a restarted server resumes acking where the
+    /// dead one stopped. Pair a journaled server with a collector
+    /// running Config::dedup_user_ids — replayed frames and client
+    /// re-uploads on fresh streams are deduplicated per user id, which
+    /// is what makes a restart bit-identical to an uninterrupted run
+    /// (docs/DURABILITY.md).
+    std::string journal_path;
+    /// Fsync policy etc. for the journal (ignored without journal_path).
+    io::FrameJournal::Options journal_options;
+    /// Ack sequenced data frames (frames carrying kWireFlagSequence)
+    /// back to their connection once durable + queued. Frames without a
+    /// sequence are never acked, so legacy raw clients are unaffected.
+    /// Off only for tests that need a deliberately mute server.
+    bool send_acks = true;
   };
 
   /// Monotonic counters, readable at any time.
@@ -92,6 +112,24 @@ class IngestServer {
     /// Transient accept() failures (fd/memory pressure) the loop backed
     /// off from and recovered — informational, never fatal.
     size_t accept_backoffs = 0;
+    /// Exactly-once counter trio (docs/DURABILITY.md §Observability).
+    size_t frames_journaled = 0;  ///< appended this run (excl. recovered)
+    size_t frames_replayed = 0;   ///< recovered frames re-pushed at Start
+    /// Sequenced frames dropped at the server because their seq was at
+    /// or below the stream's high-water mark — resent duplicates the
+    /// dedup layer absorbed before they could reach the collector.
+    size_t duplicate_frames_dropped = 0;
+    /// Reports the collector's user-id dedup skipped
+    /// (StreamingCollector::duplicates_dropped — replay + re-upload
+    /// overlap), surfaced here so one Stats read tells the whole
+    /// exactly-once story.
+    size_t duplicate_reports_dropped = 0;
+    /// Backpressure observability: the collector ingest queue's current
+    /// depth and all-time high-water mark (BoundedQueue). A high-water
+    /// mark pinned at the queue capacity means ingest was limited by
+    /// reconstruction throughput, not the network.
+    size_t queue_depth = 0;
+    size_t queue_high_water = 0;
   };
 
   /// Binds host:port, starts the accept loop, returns a running server.
@@ -135,6 +173,10 @@ class IngestServer {
   /// The per-connection frame loop; any non-OK return fails exactly
   /// this connection.
   Status ServeFrames(const Socket& socket);
+  /// Opens Options::journal_path, replays every recovered frame through
+  /// the collector, and rebuilds stream_hwm_. Runs in Start() before
+  /// the accept loop exists, so replay never races live ingest.
+  Status OpenJournalAndReplay();
   void RecordConnectionError(Status status);
   /// Joins finished connection threads (called under mu_).
   void ReapFinishedLocked();
@@ -150,6 +192,18 @@ class IngestServer {
   std::atomic<size_t> connections_failed_{0};
   std::atomic<size_t> frames_ingested_{0};
   std::atomic<size_t> accept_backoffs_{0};
+  std::atomic<size_t> frames_journaled_{0};
+  std::atomic<size_t> frames_replayed_{0};
+  std::atomic<size_t> duplicate_frames_dropped_{0};
+
+  /// Guards journal_ appends and stream_hwm_ across connection threads.
+  /// Held only around the append / map lookups — never across the
+  /// blocking collector push, so backpressure on one connection cannot
+  /// stall another stream's dedup check.
+  std::mutex journal_mu_;
+  std::optional<io::FrameJournal> journal_;
+  /// Per-stream highest contiguously ingested sequence (the ack value).
+  std::unordered_map<uint64_t, uint64_t> stream_hwm_;
 
   mutable std::mutex error_mu_;
   Status first_connection_error_;

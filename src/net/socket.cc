@@ -41,6 +41,10 @@ void Socket::ShutdownBoth() const {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
+void Socket::ShutdownWrite() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
 StatusOr<Socket> TcpListen(const ListenOptions& options) {
   addrinfo hints{};
   hints.ai_family = AF_INET;

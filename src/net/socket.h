@@ -44,6 +44,11 @@ class Socket {
   /// destructs) afterwards.
   void ShutdownBoth() const;
 
+  /// shutdown(SHUT_WR): sends FIN but keeps the read side open — how a
+  /// client (or proxy) says "no more frames" while still draining the
+  /// acks the server owes it.
+  void ShutdownWrite() const;
+
  private:
   int fd_ = -1;
 };
