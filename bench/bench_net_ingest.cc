@@ -7,14 +7,22 @@
 // throughput within 2× of in-memory (the socket hop must not dominate a
 // pipeline whose cost is reconstruction), journaled ingest with batched
 // fsync within 2× of raw loopback (durability must not either), and
-// every leg bit-identical to BatchReleaseEngine::ReleaseAllFull.
+// every leg bit-identical to BatchReleaseEngine::ReleaseAllFull. A
+// fourth leg holds 10k simultaneous connections against the epoll
+// reactor (gate: target held AND merged output bit-identical).
 //
-//   ./build/bench_net_ingest [--json PATH] [--users N]
+//   ./build/bench_net_ingest [--json PATH] [--users N] [--churn-conns C]
 //
 // The timed section covers frame delivery (push or socket) through
 // Finish(): decode + validate + reconstruct on the worker pool + merge.
 
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +44,7 @@
 #include "core/shard_plan.h"
 #include "core/streaming_collector.h"
 #include "io/wire.h"
+#include "net/framing.h"
 #include "net/ingest_server.h"
 #include "net/report_client.h"
 #include "test_support.h"
@@ -66,7 +75,7 @@ struct LegResult {
   bool identical = false;
 };
 
-int Run(size_t num_users, const std::string& json_path) {
+int Run(size_t num_users, size_t churn_conns, const std::string& json_path) {
   constexpr int kN = 2;
   constexpr double kEpsilon = 5.0;
   constexpr size_t kTrajectoryLen = 5;
@@ -313,6 +322,221 @@ int Run(size_t num_users, const std::string& json_path) {
     return result;
   };
 
+  // --- Leg 4: connection churn — the million-device shape, scaled. ---
+  // The reactor claim under test: concurrency costs fds and buffers,
+  // not threads. Hold `target_conns` simultaneous device connections
+  // on ONE server, then stream every report through them one frame per
+  // user, round-robin — so each held connection actually carries work —
+  // and bit-compare the merged output. Thread-per-connection dies here
+  // (10k stacks); the reactor must not.
+  //
+  // The client ends live in a forked dialer child: each held connection
+  // costs one fd in the server process and one in the child, so a 20k
+  // RLIMIT_NOFILE (which CAP_SYS_RESOURCE-less containers cannot raise)
+  // still fits 10k simultaneous connections per side. The fork happens
+  // before the collector spawns its worker threads; the child touches
+  // nothing but the pre-encoded frames and its pipes, and leaves via
+  // _exit.
+  struct ChurnResult {
+    double seconds = 0.0;
+    size_t target = 0;      // what was asked for
+    size_t required = 0;    // target after the (announced) rlimit cap
+    size_t concurrent = 0;  // simultaneously-open connections achieved
+    bool identical = false;
+  };
+  auto run_churn = [&](size_t target_conns) -> StatusOr<ChurnResult> {
+    target_conns = std::max<size_t>(1, target_conns);
+    // One report per frame: every connection transports real work.
+    io::WireEncodeOptions encode;
+    encode.include_user_range = true;
+    std::vector<std::string> frames(reports.size());
+    for (size_t i = 0; i < reports.size(); ++i) {
+      auto frame = io::EncodeReportBatch(
+          std::span<const io::WireReport>(reports.data() + i, 1), encode);
+      if (!frame.ok()) return frame.status();
+      frames[i] = std::move(*frame);
+    }
+
+    // Raise RLIMIT_NOFILE as far as the environment allows, then cap
+    // the target to what fits — loudly, never silently.
+    struct rlimit lim {};
+    getrlimit(RLIMIT_NOFILE, &lim);
+    const rlim_t wanted = static_cast<rlim_t>(target_conns + 2048);
+    if (lim.rlim_cur < wanted) {
+      struct rlimit raised = lim;
+      raised.rlim_cur = wanted;
+      raised.rlim_max = std::max(lim.rlim_max, wanted);
+      if (setrlimit(RLIMIT_NOFILE, &raised) != 0) {
+        raised = lim;
+        raised.rlim_cur = lim.rlim_max;  // soft -> hard always allowed
+        (void)setrlimit(RLIMIT_NOFILE, &raised);
+      }
+      getrlimit(RLIMIT_NOFILE, &lim);
+    }
+    const size_t capacity =
+        lim.rlim_cur > 1024 ? static_cast<size_t>(lim.rlim_cur) - 1024 : 0;
+    ChurnResult result;
+    result.target = target_conns;
+    const size_t conns = std::min(target_conns, capacity);
+    result.required = conns;
+    if (conns < target_conns) {
+      std::printf(
+          "churn leg: RLIMIT_NOFILE %llu caps concurrent connections at "
+          "%zu (target %zu)\n",
+          static_cast<unsigned long long>(lim.rlim_cur), conns,
+          target_conns);
+    }
+
+    constexpr size_t kDialChunk = 256;  // < server backlog, see below
+    auto read_full = [](int fd, void* buf, size_t len) -> bool {
+      char* p = static_cast<char*>(buf);
+      while (len > 0) {
+        ssize_t n = ::read(fd, p, len);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return false;
+        p += n;
+        len -= static_cast<size_t>(n);
+      }
+      return true;
+    };
+    auto write_full = [](int fd, const void* buf, size_t len) -> bool {
+      const char* p = static_cast<const char*>(buf);
+      while (len > 0) {
+        ssize_t n = ::write(fd, p, len);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return false;
+        p += n;
+        len -= static_cast<size_t>(n);
+      }
+      return true;
+    };
+
+    int to_child[2];
+    int to_parent[2];
+    if (::pipe(to_child) != 0 || ::pipe(to_parent) != 0) {
+      return Status::Internal("pipe: " + std::string(std::strerror(errno)));
+    }
+    const pid_t child = ::fork();
+    if (child < 0) {
+      return Status::Internal("fork: " + std::string(std::strerror(errno)));
+    }
+    if (child == 0) {
+      // --- Dialer child. Protocol, one byte per step:
+      //   parent -> child: u16 port, then 'g' per dial chunk, then 's'
+      //   child -> parent: 'k' after each chunk dialed, 'd' when closed
+      ::close(to_child[1]);
+      ::close(to_parent[0]);
+      uint16_t port = 0;
+      if (!read_full(to_child[0], &port, sizeof(port))) _exit(2);
+      std::vector<net::Socket> held;
+      held.reserve(conns);
+      while (held.size() < conns) {
+        const size_t chunk = std::min(kDialChunk, conns - held.size());
+        for (size_t i = 0; i < chunk; ++i) {
+          auto conn = net::TcpConnect("127.0.0.1", port);
+          if (!conn.ok()) _exit(3);
+          held.push_back(std::move(*conn));
+        }
+        char token = 'k';
+        if (!write_full(to_parent[1], &token, 1)) _exit(2);
+        if (!read_full(to_child[0], &token, 1) || token != 'g') _exit(2);
+      }
+      char token = 0;
+      if (!read_full(to_child[0], &token, 1) || token != 's') _exit(2);
+      for (size_t i = 0; i < frames.size(); ++i) {
+        if (!net::WriteFrameToSocket(held[i % held.size()], frames[i])
+                 .ok()) {
+          _exit(4);
+        }
+      }
+      for (net::Socket& conn : held) conn.Close();
+      token = 'd';
+      if (!write_full(to_parent[1], &token, 1)) _exit(2);
+      _exit(0);
+    }
+    ::close(to_child[0]);
+    ::close(to_parent[1]);
+    auto fail = [&](const std::string& what) -> Status {
+      ::close(to_child[1]);
+      ::close(to_parent[0]);
+      ::kill(child, SIGKILL);
+      int wstatus = 0;
+      ::waitpid(child, &wstatus, 0);
+      return Status::Internal("churn leg: " + what);
+    };
+
+    mech->domain().ClearCache();
+    std::vector<std::vector<core::UserRelease>> outputs(1);
+    Stopwatch watch;
+    {
+      core::StreamingCollector collector(
+          &*mech, kSeed,
+          [&outputs](core::UserRelease release) {
+            outputs[0].push_back(std::move(release));
+          },
+          collector_config);
+      net::IngestServer::Options options;
+      options.expected_range = std::pair<uint64_t, uint64_t>(0, num_users);
+      options.backlog = 1024;
+      auto server = net::IngestServer::Start(&collector, options);
+      if (!server.ok()) return server.status();
+
+      const uint16_t port = (*server)->port();
+      if (!write_full(to_child[1], &port, sizeof(port))) {
+        return fail("child died before the ramp");
+      }
+      // Ramp: ack each dialed chunk only once the server has adopted
+      // it, so the listen backlog never overflows into SYN retries.
+      size_t dialed = 0;
+      while (dialed < conns) {
+        char token = 0;
+        if (!read_full(to_parent[0], &token, 1) || token != 'k') {
+          return fail("dialer exited mid-ramp");
+        }
+        dialed += std::min(kDialChunk, conns - dialed);
+        while ((*server)->stats().connections_accepted < dialed) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        token = 'g';
+        if (!write_full(to_child[1], &token, 1)) {
+          return fail("dialer exited mid-ramp");
+        }
+      }
+      // The claim being gated: all of them open AT ONCE, all adopted.
+      const auto ramp_stats = (*server)->stats();
+      result.concurrent =
+          ramp_stats.connections_accepted - ramp_stats.connections_closed;
+
+      char token = 's';
+      if (!write_full(to_child[1], &token, 1)) {
+        return fail("dialer exited before sending");
+      }
+      if (!read_full(to_parent[0], &token, 1) || token != 'd') {
+        return fail("dialer exited while sending");
+      }
+      while ((*server)->stats().connections_closed <
+             (*server)->stats().connections_accepted) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      (*server)->Shutdown();
+      TRAJLDP_RETURN_NOT_OK((*server)->first_connection_error());
+      TRAJLDP_RETURN_NOT_OK(collector.Finish());
+    }
+    ::close(to_child[1]);
+    ::close(to_parent[0]);
+    int wstatus = 0;
+    ::waitpid(child, &wstatus, 0);
+    if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+      return Status::Internal("churn dialer child failed, status " +
+                              std::to_string(wstatus));
+    }
+    auto merged = core::MergeShardReleases(std::move(outputs), num_users);
+    result.seconds = watch.ElapsedSeconds();
+    if (!merged.ok()) return merged.status();
+    result.identical = Identical(*merged, reference);
+    return result;
+  };
+
   auto inmem = run_inmem();
   if (!inmem.ok()) {
     std::cerr << "in-memory leg: " << inmem.status() << "\n";
@@ -344,6 +568,11 @@ int Run(size_t num_users, const std::string& json_path) {
               << journaled_everyrec.status() << "\n";
     return 1;
   }
+  auto churn = run_churn(churn_conns);
+  if (!churn.ok()) {
+    std::cerr << "churn leg: " << churn.status() << "\n";
+    return 1;
+  }
 
   const double ratio = inmem->users_per_sec / loopback->users_per_sec;
   const bool within_2x = ratio <= 2.0;
@@ -353,6 +582,11 @@ int Run(size_t num_users, const std::string& json_path) {
   const bool bit_identical =
       inmem->identical && loopback->identical && loopback2->identical &&
       journaled->identical && journaled_everyrec->identical;
+  // The churn gate: the reactor must actually have held the requested
+  // connection count open at once (modulo a loudly-announced rlimit
+  // cap) AND the work carried over those connections must merge
+  // bit-identically.
+  const bool churn_held = churn->concurrent >= churn->required;
   std::printf("in-memory ingest : %8.0f users/s (%.3f s)%s\n",
               inmem->users_per_sec, inmem->seconds,
               inmem->identical ? "" : "  MISMATCH");
@@ -368,6 +602,10 @@ int Run(size_t num_users, const std::string& json_path) {
   std::printf("journaled (per-record fsync): %8.0f users/s (%.3f s)%s\n",
               journaled_everyrec->users_per_sec, journaled_everyrec->seconds,
               journaled_everyrec->identical ? "" : "  MISMATCH");
+  std::printf("churn (%zu conns held): %zu concurrent (%.3f s)%s%s\n",
+              churn->required, churn->concurrent, churn->seconds,
+              churn_held ? "" : "  UNDER TARGET",
+              churn->identical ? "" : "  MISMATCH");
   std::printf("in-memory / loopback ratio: %.2fx (gate <= 2x): %s\n", ratio,
               within_2x ? "PASS" : "FAIL");
   std::printf("loopback / journaled ratio: %.2fx (gate <= 2x): %s\n",
@@ -408,13 +646,19 @@ int Run(size_t num_users, const std::string& json_path) {
         << ",\n"
         << "  \"journaled_within_2x\": "
         << (journaled_within_2x ? "true" : "false") << ",\n"
+        << "  \"churn_target_connections\": " << churn->target << ",\n"
+        << "  \"churn_concurrent_connections\": " << churn->concurrent
+        << ",\n"
+        << "  \"churn_seconds\": " << churn->seconds << ",\n"
+        << "  \"churn_bit_identical\": "
+        << (churn->identical ? "true" : "false") << ",\n"
         << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
         << "\n}\n";
     std::cout << "wrote " << json_path << "\n";
   }
 
-  if (!bit_identical) return 2;
-  return within_2x && journaled_within_2x ? 0 : 3;
+  if (!bit_identical || !churn->identical) return 2;
+  return within_2x && journaled_within_2x && churn_held ? 0 : 3;
 }
 
 }  // namespace
@@ -426,16 +670,23 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("TRAJLDP_BENCH_NET_USERS")) {
     num_users = static_cast<size_t>(std::atoll(env));
   }
+  size_t churn_conns = 10000;
+  if (const char* env = std::getenv("TRAJLDP_BENCH_NET_CHURN_CONNS")) {
+    churn_conns = static_cast<size_t>(std::atoll(env));
+  }
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
       num_users = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--churn-conns") == 0 && i + 1 < argc) {
+      churn_conns = static_cast<size_t>(std::atoll(argv[++i]));
     } else {
-      std::cerr << "usage: " << argv[0] << " [--json PATH] [--users N]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--json PATH] [--users N] [--churn-conns C]\n";
       return 1;
     }
   }
-  return trajldp::Run(num_users, json_path);
+  return trajldp::Run(num_users, churn_conns, json_path);
 }

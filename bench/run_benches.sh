@@ -23,7 +23,10 @@
 #                      in-memory vs loopback (gate: within 2×), raw
 #                      loopback vs journaled exactly-once ingest with
 #                      batched fsync (gate: within 2×, fsync-per-record
-#                      reported), and the bit-identical check.
+#                      reported), a 10k-simultaneous-connection churn
+#                      leg against the epoll reactor (gate: target held
+#                      AND merged output bit-identical), and the
+#                      bit-identical check.
 #   BENCH_micro.json — google-benchmark JSON for the hot kernels
 #                      (haversine, Gumbel, EM select, path sampler).
 #
@@ -37,6 +40,8 @@
 #   TRAJLDP_BENCH_E2E_USERS    e2e-bench user count (default: 5000)
 #   TRAJLDP_BENCH_STREAM_USERS stream-bench user count (default: 5000)
 #   TRAJLDP_BENCH_NET_USERS    net-bench user count (default: 5000)
+#   TRAJLDP_BENCH_NET_CHURN_CONNS churn-leg connection target (default:
+#                              10000)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -93,6 +98,8 @@ required = {
         "journaled_within_2x",
         "journaled_users_per_sec",
         "loopback_over_journaled",
+        "churn_concurrent_connections",
+        "churn_bit_identical",
     ],
     "BENCH_micro.json": ["benchmarks"],
 }

@@ -24,6 +24,10 @@
 // memory — only the public city model, the seed, and the wire bytes —
 // release exactly what one in-process engine would, bit for bit.
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -129,24 +133,25 @@ void PutU64(std::string& out, uint64_t v) {
   }
 }
 
+void EncodeRelease(std::string& blob, const core::UserRelease& user) {
+  PutU64(blob, user.user_id);
+  PutU32(blob, static_cast<uint32_t>(user.release.regions.size()));
+  for (region::RegionId r : user.release.regions) PutU32(blob, r);
+  PutU32(blob, static_cast<uint32_t>(user.release.trajectory.size()));
+  for (const model::TrajectoryPoint& p : user.release.trajectory.points()) {
+    PutU32(blob, p.poi);
+    PutU32(blob, static_cast<uint32_t>(p.t));
+  }
+  PutU64(blob, user.release.poi_attempts);
+  blob.push_back(user.release.smoothed ? 1 : 0);
+}
+
 Status WriteReleases(const std::string& path,
                      const std::vector<core::UserRelease>& releases) {
   std::string blob;
   PutU32(blob, kReleaseMagic);
   PutU64(blob, releases.size());
-  for (const core::UserRelease& user : releases) {
-    PutU64(blob, user.user_id);
-    PutU32(blob, static_cast<uint32_t>(user.release.regions.size()));
-    for (region::RegionId r : user.release.regions) PutU32(blob, r);
-    PutU32(blob, static_cast<uint32_t>(user.release.trajectory.size()));
-    for (const model::TrajectoryPoint& p :
-         user.release.trajectory.points()) {
-      PutU32(blob, p.poi);
-      PutU32(blob, static_cast<uint32_t>(p.t));
-    }
-    PutU64(blob, user.release.poi_attempts);
-    blob.push_back(user.release.smoothed ? 1 : 0);
-  }
+  for (const core::UserRelease& user : releases) EncodeRelease(blob, user);
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) return Status::NotFound("cannot open " + path);
   file.write(blob.data(), static_cast<std::streamsize>(blob.size()));
@@ -188,6 +193,32 @@ class BlobReader {
   size_t pos_ = 0;
 };
 
+Status DecodeRelease(BlobReader& reader, core::UserRelease* user) {
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&user->user_id));
+  uint32_t regions = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&regions));
+  user->release.regions.resize(regions);
+  for (auto& r : user->release.regions) {
+    TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&r));
+  }
+  uint32_t points = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&points));
+  for (uint32_t p = 0; p < points; ++p) {
+    uint32_t poi = 0;
+    uint32_t t = 0;
+    TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&poi));
+    TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&t));
+    user->release.trajectory.Append(poi, static_cast<model::Timestep>(t));
+  }
+  uint64_t attempts = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&attempts));
+  user->release.poi_attempts = static_cast<size_t>(attempts);
+  unsigned char smoothed = 0;
+  TRAJLDP_RETURN_NOT_OK(reader.Read(&smoothed, 1));
+  user->release.smoothed = smoothed != 0;
+  return Status::Ok();
+}
+
 StatusOr<std::vector<core::UserRelease>> ReadReleases(
     const std::string& path) {
   std::ifstream file(path, std::ios::binary);
@@ -207,29 +238,7 @@ StatusOr<std::vector<core::UserRelease>> ReadReleases(
   releases.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     core::UserRelease user;
-    TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&user.user_id));
-    uint32_t regions = 0;
-    TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&regions));
-    user.release.regions.resize(regions);
-    for (auto& r : user.release.regions) {
-      TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&r));
-    }
-    uint32_t points = 0;
-    TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&points));
-    for (uint32_t p = 0; p < points; ++p) {
-      uint32_t poi = 0;
-      uint32_t t = 0;
-      TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&poi));
-      TRAJLDP_RETURN_NOT_OK(reader.ReadU32(&t));
-      user.release.trajectory.Append(poi,
-                                     static_cast<model::Timestep>(t));
-    }
-    uint64_t attempts = 0;
-    TRAJLDP_RETURN_NOT_OK(reader.ReadU64(&attempts));
-    user.release.poi_attempts = static_cast<size_t>(attempts);
-    unsigned char smoothed = 0;
-    TRAJLDP_RETURN_NOT_OK(reader.Read(&smoothed, 1));
-    user.release.smoothed = smoothed != 0;
+    TRAJLDP_RETURN_NOT_OK(DecodeRelease(reader, &user));
     releases.push_back(std::move(user));
   }
   if (!reader.exhausted()) {
@@ -237,6 +246,119 @@ StatusOr<std::vector<core::UserRelease>> ReadReleases(
   }
   return releases;
 }
+
+// ---------------------------- incremental release log (compaction mode)
+
+// Journal compaction may drop a frame's journal record ONLY once its
+// releases are durable somewhere else — and the in-memory `releases`
+// vector is not somewhere else. Under --compact-bytes the serve role
+// therefore persists every release to `out + ".partial"` (one CRC'd,
+// fsynced record per release) BEFORE the frame's completion is allowed
+// to advance the released watermark, and a restart preloads the log:
+// journal replay covers frames whose releases never landed, this log
+// covers frames whose journal records compaction already dropped.
+// Torn tails (a crash mid-append) are truncated on load, exactly like
+// the frame journal's own recovery.
+class PartialReleaseLog {
+ public:
+  // "TRLP" (TrajLdp Release Partial) as little-endian bytes.
+  static constexpr uint32_t kMagic = 0x504C5254u;
+
+  ~PartialReleaseLog() { Close(); }
+
+  /// Loads the valid prefix of `path` into `out` (creating the file if
+  /// absent), truncates any torn tail, and opens for appending.
+  Status Open(const std::string& path, std::vector<core::UserRelease>* out) {
+    path_ = path;
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+      return Status::NotFound("cannot open release log " + path + ": " +
+                              std::strerror(errno));
+    }
+    std::string blob;
+    {
+      std::ifstream file(path, std::ios::binary);
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      blob = buffer.str();
+    }
+    // Longest-valid-prefix scan: u32 magic | u32 len | payload | u32 CRC.
+    size_t valid = 0;
+    while (blob.size() - valid >= 12) {
+      BlobReader header(blob.substr(valid, 8));
+      uint32_t magic = 0;
+      uint32_t len = 0;
+      (void)header.ReadU32(&magic);
+      (void)header.ReadU32(&len);
+      if (magic != kMagic || blob.size() - valid - 12 < len) break;
+      const std::string_view payload(blob.data() + valid + 8, len);
+      BlobReader crc_reader(blob.substr(valid + 8 + len, 4));
+      uint32_t crc = 0;
+      (void)crc_reader.ReadU32(&crc);
+      if (crc != io::Crc32(payload)) break;
+      core::UserRelease user;
+      BlobReader payload_reader{std::string(payload)};
+      if (!DecodeRelease(payload_reader, &user).ok() ||
+          !payload_reader.exhausted()) {
+        break;
+      }
+      out->push_back(std::move(user));
+      valid += 12 + len;
+    }
+    if (valid < blob.size()) {
+      if (::ftruncate(fd_, static_cast<off_t>(valid)) != 0) {
+        return Status::Internal("cannot truncate torn release log tail: " +
+                                std::string(std::strerror(errno)));
+      }
+    }
+    if (::lseek(fd_, static_cast<off_t>(valid), SEEK_SET) < 0) {
+      return Status::Internal("cannot seek release log: " +
+                              std::string(std::strerror(errno)));
+    }
+    return Status::Ok();
+  }
+
+  /// Appends one release record and fsyncs it — the release is durable
+  /// when this returns, which is what licenses the watermark advance.
+  Status Append(const core::UserRelease& release) {
+    std::string payload;
+    EncodeRelease(payload, release);
+    std::string record;
+    PutU32(record, kMagic);
+    PutU32(record, static_cast<uint32_t>(payload.size()));
+    record += payload;
+    PutU32(record, io::Crc32(payload));
+    size_t written = 0;
+    while (written < record.size()) {
+      const ssize_t n =
+          ::write(fd_, record.data() + written, record.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal("release log write: " +
+                                std::string(std::strerror(errno)));
+      }
+      written += static_cast<size_t>(n);
+    }
+    if (::fsync(fd_) != 0) {
+      return Status::Internal("release log fsync: " +
+                              std::string(std::strerror(errno)));
+    }
+    return Status::Ok();
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
 
 // ------------------------------------------------------------ arg junk
 
@@ -262,6 +384,10 @@ struct Args {
   uint64_t kill_after_bytes = 0;
   bool ack = false;
   size_t window = 8;
+  // serve: > 0 turns on journal compaction at this size threshold, with
+  // releases persisted incrementally to out+".partial" so a compacted
+  // record is always recoverable from the release log instead.
+  uint64_t compact_bytes = 0;
 };
 
 std::vector<std::string> SplitCommas(const std::string& csv) {
@@ -279,7 +405,8 @@ int Usage(const char* argv0) {
       << " serve  --shard S --num-shards K --users N --seed SEED\n"
          "            [--port P] [--port-file F] --out FILE\n"
          "            [--expect-clients C] [--timeout-sec T]\n"
-         "            [--journal FILE [--kill-after-bytes B]]\n"
+         "            [--journal FILE [--kill-after-bytes B]\n"
+         "             [--compact-bytes B]]\n"
       << "  " << argv0
       << " send   --num-shards K --users N --seed SEED --ports p0,p1,...\n"
          "            [--batch-size B] [--ack 1 [--window W]]\n"
@@ -320,6 +447,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->journal = value;
     } else if (flag == "--kill-after-bytes") {
       args->kill_after_bytes = std::stoull(value);
+    } else if (flag == "--compact-bytes") {
+      args->compact_bytes = std::stoull(value);
     } else if (flag == "--ack") {
       args->ack = value != "0";
     } else if (flag == "--window") {
@@ -344,15 +473,45 @@ int RunServe(const Args& args) {
   if (!world.ok()) return Fail(world.status());
   const auto plan = PlanFor(args.num_shards, world->users.size());
 
+  const bool compacting = args.compact_bytes > 0 && !args.journal.empty();
   std::vector<core::UserRelease> releases;
+  net::ReleaseWatermarks watermarks;
+  PartialReleaseLog partial;
+  Status partial_error;  // first release-log failure, checked at the end
+
   core::StreamingCollector::Config collector_config;
   // Journaled (exactly-once) shards run the per-user-id dedup backstop:
   // a replayed frame and a client's post-restart resend may carry the
   // same user, and whichever copy wins releases identically.
   collector_config.dedup_user_ids = !args.journal.empty();
+  if (compacting) {
+    // Restart path: releases persisted by a previous (possibly killed)
+    // run come back from the log; their users preseed the dedup set so
+    // journal replay cannot re-release them, and their frames' journal
+    // records are exactly what compaction was licensed to drop.
+    if (auto s = partial.Open(args.out + ".partial", &releases); !s.ok()) {
+      return Fail(s);
+    }
+    for (const core::UserRelease& r : releases) {
+      collector_config.pre_released_user_ids.push_back(r.user_id);
+    }
+    collector_config.on_frame_processed = [&watermarks](uint64_t stream,
+                                                        uint64_t seq) {
+      watermarks.Note(stream, seq);
+    };
+    std::cout << "shard " << args.shard << " release log: preloaded "
+              << releases.size() << " release(s)\n";
+  }
   core::StreamingCollector collector(
       world->mechanism.get(), args.seed,
-      [&releases](core::UserRelease release) {
+      [&](core::UserRelease release) {
+        if (compacting && partial_error.ok()) {
+          // Durable-before-watermark: the fsynced log append happens
+          // inside the sink, which WorkerLoop runs before the frame's
+          // on_frame_processed callback — so a watermark never covers
+          // a release that is not yet on disk.
+          partial_error = partial.Append(release);
+        }
         releases.push_back(std::move(release));
       },
       collector_config);
@@ -366,6 +525,12 @@ int RunServe(const Args& args) {
     // has absorbed this many bytes, leaving a torn tail for the restart
     // to recover. 0 (the default) disarms.
     options.journal_options.fault_kill_after_bytes = args.kill_after_bytes;
+  }
+  if (compacting) {
+    options.journal_compact_threshold_bytes = args.compact_bytes;
+    options.compact_watermarks = [&watermarks] {
+      return watermarks.Snapshot();
+    };
   }
   auto server = net::IngestServer::Start(&collector, options);
   if (!server.ok()) return Fail(server.status());
@@ -421,18 +586,27 @@ int RunServe(const Args& args) {
               << ": connection error (client retried?): " << error << "\n";
   }
   if (auto status = collector.Finish(); !status.ok()) return Fail(status);
+  if (!partial_error.ok()) return Fail(partial_error);
 
   if (auto status = WriteReleases(args.out, releases); !status.ok()) {
     return Fail(status);
   }
   const auto stats = (*server)->stats();
+  if (compacting) {
+    // The full release file is written; the incremental log has served
+    // its purpose (and must not leak into the next run's preload).
+    partial.Close();
+    std::error_code ec;
+    std::filesystem::remove(partial.path(), ec);
+  }
   std::cout << "shard " << args.shard << " released " << releases.size()
             << " users -> " << args.out;
   if (!args.journal.empty()) {
     std::cout << " (journaled " << stats.frames_journaled << ", replayed "
               << stats.frames_replayed << ", dup frames dropped "
               << stats.duplicate_frames_dropped << ", dup reports dropped "
-              << stats.duplicate_reports_dropped << ")";
+              << stats.duplicate_reports_dropped << ", compactions "
+              << stats.journal_compactions << ")";
   }
   std::cout << "\n";
   return 0;

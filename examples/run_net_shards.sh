@@ -16,6 +16,15 @@
 #          journal, the client resends its unacked suffix, the dedup
 #          layers drop the overlap — and the merged output must STILL be
 #          bit-identical to the in-process engine.
+#   crash-compact
+#          crash, but every shard also runs journal compaction at a
+#          deliberately tiny threshold (so compactions fire repeatedly
+#          mid-stream) with releases persisted incrementally to
+#          out+".partial". Shard 0's SIGKILL lands AFTER compactions
+#          have already dropped acked records from its journal, so the
+#          restart must rebuild from journal replay + preloaded partial
+#          releases combined — the recovery path compaction makes
+#          possible. Output must still be bit-identical.
 #
 # Either mode runs the sender under a watchdog: if any serve process
 # dies while reports are still streaming (other than shard 0's one
@@ -30,10 +39,12 @@ k="${1:-2}"
 users="${2:-80}"
 seed="${3:-42}"
 mode="${4:-plain}"
-if [[ "$mode" != plain && "$mode" != crash ]]; then
-  echo "error: MODE must be 'plain' or 'crash', got '$mode'" >&2
+if [[ "$mode" != plain && "$mode" != crash && "$mode" != crash-compact ]]; then
+  echo "error: MODE must be 'plain', 'crash', or 'crash-compact', got '$mode'" >&2
   exit 1
 fi
+# Tiny threshold so compaction fires several times even in a small run.
+compact_bytes=1500
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
@@ -73,10 +84,17 @@ launch_shard() {
 echo "=== launching $k collector process(es) [mode: $mode] ==="
 for ((s = 0; s < k; s++)); do
   extra=(--port 0 --port-file "$work/port.$s")
-  if [[ "$mode" == crash ]]; then
+  if [[ "$mode" != plain ]]; then
     extra+=(--journal "$work/journal.$s")
-    # Shard 0 dies by SIGKILL mid-append, early in its stream.
-    [[ $s -eq 0 ]] && extra+=(--kill-after-bytes 1000)
+    if [[ "$mode" == crash-compact ]]; then
+      extra+=(--compact-bytes "$compact_bytes")
+      # Kill later than plain crash mode so compaction has demonstrably
+      # run (and dropped acked records) before the SIGKILL lands.
+      [[ $s -eq 0 ]] && extra+=(--kill-after-bytes 4000)
+    else
+      # Shard 0 dies by SIGKILL mid-append, early in its stream.
+      [[ $s -eq 0 ]] && extra+=(--kill-after-bytes 1000)
+    fi
   fi
   launch_shard "$s" "${extra[@]}"
 done
@@ -107,7 +125,7 @@ echo "shard ports: $ports"
 echo "=== streaming device reports ==="
 send_args=(send --num-shards "$k" --users "$users" --seed "$seed"
   --ports "$ports")
-if [[ "$mode" == crash ]]; then
+if [[ "$mode" != plain ]]; then
   # Small sequenced batches so shard 0's stream spans many frames, with
   # the kill landing between acks.
   send_args+=(--ack 1 --batch-size 4)
@@ -116,7 +134,7 @@ fi
 send_pid=$!
 
 declare -a reaped
-if [[ "$mode" == crash ]]; then
+if [[ "$mode" != plain ]]; then
   echo "=== waiting for the journal fault hook to SIGKILL shard 0 ==="
   set +e
   wait "${pids[0]}"
@@ -127,8 +145,11 @@ if [[ "$mode" == crash ]]; then
     dump_log 0
     exit 1
   fi
+  restart_extra=()
+  [[ "$mode" == crash-compact ]] && restart_extra=(--compact-bytes "$compact_bytes")
   echo "shard 0 killed mid-append (exit 137); restarting on port $(cat "$work/port.0") with its journal"
-  launch_shard 0 --port "$(cat "$work/port.0")" --journal "$work/journal.0"
+  launch_shard 0 --port "$(cat "$work/port.0")" --journal "$work/journal.0" \
+    "${restart_extra[@]}"
 fi
 
 # Watchdog: while the sender streams, a serve process exiting non-zero

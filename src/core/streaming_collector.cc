@@ -38,8 +38,11 @@ StreamingCollector::StreamingCollector(const NGramMechanism* mechanism,
       seed_(seed),
       sink_(std::move(sink)),
       dedup_user_ids_(config.dedup_user_ids),
+      on_frame_processed_(std::move(config.on_frame_processed)),
       queue_(config.queue_capacity),
       pool_(config.num_threads) {
+  seen_users_.insert(config.pre_released_user_ids.begin(),
+                     config.pre_released_user_ids.end());
   workspaces_.resize(pool_.size());
   for (size_t worker = 0; worker < pool_.size(); ++worker) {
     pool_.Submit([this, worker] { WorkerLoop(worker); });
@@ -53,18 +56,19 @@ Status StreamingCollector::Push(io::ReportBatch batch) {
     return Status::FailedPrecondition("Push after Finish on a collector");
   }
   TRAJLDP_RETURN_NOT_OK(FirstError());
-  if (!queue_.Push(Item(std::move(batch)))) {
+  if (!queue_.Push(Item{std::move(batch), 0, 0})) {
     return Status::FailedPrecondition("Push after Finish on a collector");
   }
   return Status::Ok();
 }
 
-Status StreamingCollector::PushEncoded(std::string frame) {
+Status StreamingCollector::PushEncoded(std::string frame, uint64_t stream_id,
+                                       uint64_t seq) {
   if (finished_) {
     return Status::FailedPrecondition("Push after Finish on a collector");
   }
   TRAJLDP_RETURN_NOT_OK(FirstError());
-  if (!queue_.Push(Item(std::move(frame)))) {
+  if (!queue_.Push(Item{std::move(frame), stream_id, seq})) {
     return Status::FailedPrecondition("Push after Finish on a collector");
   }
   return Status::Ok();
@@ -72,22 +76,23 @@ Status StreamingCollector::PushEncoded(std::string frame) {
 
 Status StreamingCollector::PushEncodedFor(std::string& frame,
                                           std::chrono::milliseconds timeout,
-                                          bool* accepted) {
+                                          bool* accepted, uint64_t stream_id,
+                                          uint64_t seq) {
   *accepted = false;
   if (finished_) {
     return Status::FailedPrecondition("Push after Finish on a collector");
   }
   TRAJLDP_RETURN_NOT_OK(FirstError());
-  Item item(std::move(frame));
+  Item item{std::move(frame), stream_id, seq};
   switch (queue_.TryPushFor(item, timeout)) {
     case QueuePushResult::kOk:
       *accepted = true;
       return Status::Ok();
     case QueuePushResult::kTimeout:
-      frame = std::move(std::get<std::string>(item));  // caller retries it
+      frame = std::move(std::get<std::string>(item.payload));  // retried
       return Status::Ok();
     case QueuePushResult::kClosed:
-      frame = std::move(std::get<std::string>(item));
+      frame = std::move(std::get<std::string>(item.payload));
       return Status::FailedPrecondition("Push after Finish on a collector");
   }
   return Status::Internal("unreachable TryPushFor result");
@@ -118,23 +123,30 @@ void StreamingCollector::WorkerLoop(size_t worker) {
     // After an error, keep draining so blocked producers unblock, but do
     // no further work.
     if (has_error_.load(std::memory_order_relaxed)) continue;
-    if (std::holds_alternative<std::string>(*item)) {
-      auto batch = io::DecodeReportBatch(std::get<std::string>(*item));
+    bool handled = false;
+    if (std::holds_alternative<std::string>(item->payload)) {
+      auto batch = io::DecodeReportBatch(std::get<std::string>(item->payload));
       if (!batch.ok()) {
         LatchError(batch.status());
         continue;
       }
-      ProcessBatch(*batch, ws);
+      handled = ProcessBatch(*batch, ws);
     } else {
-      ProcessBatch(std::get<io::ReportBatch>(*item), ws);
+      handled = ProcessBatch(std::get<io::ReportBatch>(item->payload), ws);
+    }
+    // Durability feedback fires only for a FULLY handled tagged frame:
+    // a frame cut short by an error latch must not advance anyone's
+    // released watermark (compaction would drop its journal record).
+    if (handled && item->seq > 0 && on_frame_processed_) {
+      on_frame_processed_(item->stream_id, item->seq);
     }
   }
 }
 
-void StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
+bool StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
                                       PipelineWorkspace& ws) {
   for (const io::WireReport& report : batch) {
-    if (has_error_.load(std::memory_order_relaxed)) return;
+    if (has_error_.load(std::memory_order_relaxed)) return false;
     if (dedup_user_ids_) {
       // Claim the user id BEFORE any work: whichever copy of a report —
       // replayed from the journal or re-uploaded by a reconnecting
@@ -153,7 +165,7 @@ void StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
       LatchError(Status(valid.code(),
                         "user " + std::to_string(report.user_id) + ": " +
                             std::string(valid.message())));
-      return;
+      return false;
     }
     // The whole point of the wire format: the collector stream depends
     // only on (seed, global user id), never on which shard, batch, or
@@ -169,7 +181,7 @@ void StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
       LatchError(Status(status.code(),
                         "user " + std::to_string(report.user_id) + ": " +
                             std::string(status.message())));
-      return;
+      return false;
     }
     {
       std::lock_guard<std::mutex> lock(sink_mu_);
@@ -177,6 +189,7 @@ void StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
     }
     reports_released_.fetch_add(1, std::memory_order_relaxed);
   }
+  return true;
 }
 
 void StreamingCollector::LatchError(Status status) {

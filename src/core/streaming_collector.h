@@ -113,6 +113,21 @@ class StreamingCollector {
     /// duplicate user id is a data bug and should latch an error
     /// downstream (duplicate releases fail the shard merge).
     bool dedup_user_ids = false;
+    /// Called on a worker thread after a sequenced frame (pushed with a
+    /// stream_id/seq tag, seq >= 1) has been FULLY handled: decoded and
+    /// every report either released through the sink or deduped. This
+    /// is the durability feedback edge for journal compaction — a
+    /// caller that persists releases inside its sink may treat a
+    /// callback for (stream, seq) as "this frame is durable downstream"
+    /// and advance the stream's released watermark. Calls may arrive
+    /// out of order across frames (workers race) and are never made for
+    /// a frame whose processing latched an error.
+    std::function<void(uint64_t stream_id, uint64_t seq)> on_frame_processed;
+    /// User ids already durable downstream from a previous run,
+    /// preseeded into the dedup set so a replay whose releases survived
+    /// (e.g. restart after journal compaction with persisted partial
+    /// releases) cannot double-release them. Requires dedup_user_ids.
+    std::vector<uint64_t> pre_released_user_ids;
   };
 
   /// Receives each finished release. Calls are serialised (one at a
@@ -138,8 +153,11 @@ class StreamingCollector {
   Status Push(io::ReportBatch batch);
 
   /// Enqueues one wire-format frame; decoding happens on a worker
-  /// thread, so ingest threads never pay the parse cost.
-  Status PushEncoded(std::string frame);
+  /// thread, so ingest threads never pay the parse cost. A non-zero
+  /// (stream_id, seq) tag marks the frame for Config::on_frame_processed
+  /// feedback; the default tag (seq 0) means "untracked".
+  Status PushEncoded(std::string frame, uint64_t stream_id = 0,
+                     uint64_t seq = 0);
 
   /// Timed PushEncoded for transports that must stay responsive while
   /// the queue exerts backpressure (e.g. a server connection thread that
@@ -147,9 +165,11 @@ class StreamingCollector {
   /// consumed and `*accepted` is true; on a full queue it returns Ok
   /// with `*accepted` false and `frame` intact, so the caller retries
   /// the same frame without copying. Errors (latched worker error,
-  /// Finish already called) fail fast as Push does.
+  /// Finish already called) fail fast as Push does. Tag semantics as in
+  /// PushEncoded.
   Status PushEncodedFor(std::string& frame, std::chrono::milliseconds timeout,
-                        bool* accepted);
+                        bool* accepted, uint64_t stream_id = 0,
+                        uint64_t seq = 0);
 
   /// Pulls frames from `source` until it reports a clean end, pushing
   /// each through the ingest queue (so backpressure applies to the pull
@@ -178,11 +198,19 @@ class StreamingCollector {
   size_t queue_high_water() const { return queue_.high_water_mark(); }
 
  private:
-  /// A queue item: a decoded batch or a still-encoded wire frame.
-  using Item = std::variant<io::ReportBatch, std::string>;
+  /// A queue item: a decoded batch or a still-encoded wire frame, plus
+  /// the wire identity tag (seq 0 = untracked) that drives the
+  /// on_frame_processed feedback.
+  struct Item {
+    std::variant<io::ReportBatch, std::string> payload;
+    uint64_t stream_id = 0;
+    uint64_t seq = 0;
+  };
 
   void WorkerLoop(size_t worker);
-  void ProcessBatch(const io::ReportBatch& batch, PipelineWorkspace& ws);
+  /// Returns true when every report in the batch was handled (released
+  /// or deduped) — the precondition for on_frame_processed feedback.
+  bool ProcessBatch(const io::ReportBatch& batch, PipelineWorkspace& ws);
   void LatchError(Status status);
   Status FirstError() const;
 
@@ -190,6 +218,7 @@ class StreamingCollector {
   const uint64_t seed_;
   const Sink sink_;
   const bool dedup_user_ids_;
+  const std::function<void(uint64_t, uint64_t)> on_frame_processed_;
 
   // Destruction order matters: workers reference the queue, workspaces,
   // and counters, so the pool (joined in its destructor) is declared

@@ -132,18 +132,51 @@ Status ScanOne(int fd, uint64_t offset, uint64_t file_size, bool* complete,
   return Status::Ok();
 }
 
+/// Serialises one record (header + payload + CRC). The single encoding
+/// site, shared by Append and Compact, so compacted records are
+/// byte-identical to appended ones.
+std::string EncodeRecord(uint64_t stream_id, uint64_t seq,
+                         std::string_view payload) {
+  std::string record;
+  record.reserve(kRecordHeaderBytes + payload.size() + kRecordTrailerBytes);
+  PutU32(record, kJournalMagic);
+  PutU32(record, static_cast<uint32_t>(payload.size()));
+  PutU64(record, stream_id);
+  PutU64(record, seq);
+  record += payload;
+  PutU32(record, Crc32(std::string_view(record).substr(8)));
+  return record;
+}
+
+/// fsyncs the directory containing `path` so a just-renamed file's
+/// directory entry is durable — the second half of the rewrite-and-
+/// rename protocol.
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.empty() ? "/" : dir.c_str(),
+                         O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return Errno("open journal directory " + dir);
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) return Errno("fsync journal directory " + dir);
+  return Status::Ok();
+}
+
 }  // namespace
 
 FrameJournal::~FrameJournal() { (void)Close(); }
 
 FrameJournal::FrameJournal(FrameJournal&& other) noexcept
-    : fd_(other.fd_),
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
       options_(other.options_),
       recovery_(other.recovery_),
       records_(other.records_),
       valid_bytes_(other.valid_bytes_),
       appended_bytes_(other.appended_bytes_),
       unsynced_bytes_(other.unsynced_bytes_),
+      compactions_(other.compactions_),
       last_sync_(other.last_sync_) {
   other.fd_ = -1;
 }
@@ -151,6 +184,7 @@ FrameJournal::FrameJournal(FrameJournal&& other) noexcept
 FrameJournal& FrameJournal::operator=(FrameJournal&& other) noexcept {
   if (this != &other) {
     (void)Close();
+    path_ = std::move(other.path_);
     fd_ = other.fd_;
     options_ = other.options_;
     recovery_ = other.recovery_;
@@ -158,6 +192,7 @@ FrameJournal& FrameJournal::operator=(FrameJournal&& other) noexcept {
     valid_bytes_ = other.valid_bytes_;
     appended_bytes_ = other.appended_bytes_;
     unsynced_bytes_ = other.unsynced_bytes_;
+    compactions_ = other.compactions_;
     last_sync_ = other.last_sync_;
     other.fd_ = -1;
   }
@@ -172,6 +207,7 @@ StatusOr<FrameJournal> FrameJournal::Open(const std::string& path,
                             std::strerror(errno));
   }
   FrameJournal journal;
+  journal.path_ = path;
   journal.fd_ = fd;
   journal.options_ = options;
   journal.last_sync_ = std::chrono::steady_clock::now();
@@ -234,14 +270,7 @@ Status FrameJournal::Append(uint64_t stream_id, uint64_t seq,
         "journal record payload of " + std::to_string(frame.size()) +
         " bytes exceeds the frame limit");
   }
-  std::string record;
-  record.reserve(kRecordHeaderBytes + frame.size() + kRecordTrailerBytes);
-  PutU32(record, kJournalMagic);
-  PutU32(record, static_cast<uint32_t>(frame.size()));
-  PutU64(record, stream_id);
-  PutU64(record, seq);
-  record += frame;
-  PutU32(record, Crc32(std::string_view(record).substr(8)));
+  const std::string record = EncodeRecord(stream_id, seq, frame);
 
   // Fault-injection hook: tear this record at the byte limit, make the
   // torn bytes durable, and die the way a power loss would.
@@ -287,6 +316,114 @@ Status FrameJournal::Sync() {
   unsynced_bytes_ = 0;
   last_sync_ = std::chrono::steady_clock::now();
   return Status::Ok();
+}
+
+StatusOr<FrameJournal::CompactionInfo> FrameJournal::Compact(
+    const std::unordered_map<uint64_t, uint64_t>& min_released_hwm) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  if (path_.empty()) {
+    return Status::FailedPrecondition("journal has no path to rewrite");
+  }
+
+  const std::string tmp_path = path_ + ".compact";
+  const int tmp_fd =
+      ::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_RDWR | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) {
+    return Errno("cannot create compaction file " + tmp_path);
+  }
+  // From here every failure path must close (and best-effort unlink)
+  // tmp_fd; the original journal is untouched until the rename.
+  auto fail = [&](Status s) -> StatusOr<CompactionInfo> {
+    ::close(tmp_fd);
+    ::unlink(tmp_path.c_str());
+    return s;
+  };
+
+  CompactionInfo info;
+  info.bytes_before = valid_bytes_;
+  size_t new_records = 0;
+
+  // Markers first: each stream's released watermark survives as an
+  // empty-payload record even when all of its data records are dropped,
+  // so restart-time hwm rebuild sees no false sequence gap.
+  for (const auto& [stream_id, watermark] : min_released_hwm) {
+    if (watermark == 0) continue;
+    const std::string marker = EncodeRecord(stream_id, watermark, {});
+    if (Status s = WriteFully(tmp_fd, marker.data(), marker.size());
+        !s.ok()) {
+      return fail(s);
+    }
+    ++info.markers_written;
+    ++new_records;
+    info.bytes_after += marker.size();
+  }
+
+  // Live suffix: unsequenced records (seq == 0) and unknown streams are
+  // always kept — no watermark vouches for them being durable anywhere
+  // else. Sequenced records are kept when above their stream's floor.
+  uint64_t offset = 0;
+  while (offset < valid_bytes_) {
+    bool complete = false;
+    ScanRecord record;
+    if (Status s = ScanOne(fd_, offset, valid_bytes_, &complete, &record);
+        !s.ok()) {
+      return fail(s);
+    }
+    if (!complete) {
+      return fail(Status::Internal(
+          "journal record inside the valid extent failed to parse "
+          "during compaction (concurrent modification?)"));
+    }
+    offset = record.next_offset;
+    bool keep = record.seq == 0;
+    if (!keep) {
+      const auto it = min_released_hwm.find(record.stream_id);
+      keep = it == min_released_hwm.end() || record.seq > it->second;
+    }
+    if (!keep) {
+      ++info.records_dropped;
+      continue;
+    }
+    const std::string encoded =
+        EncodeRecord(record.stream_id, record.seq, record.payload);
+    if (Status s = WriteFully(tmp_fd, encoded.data(), encoded.size());
+        !s.ok()) {
+      return fail(s);
+    }
+    ++info.records_kept;
+    ++new_records;
+    info.bytes_after += encoded.size();
+  }
+
+  // Rewrite-and-rename: data durable BEFORE the name flips, directory
+  // durable after. A crash leaves either journal intact, never a blend.
+  if (::fsync(tmp_fd) != 0) return fail(Errno("fsync compaction file"));
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    return fail(Errno("rename compaction file over journal"));
+  }
+  if (Status s = SyncParentDir(path_); !s.ok()) {
+    ::close(tmp_fd);
+    return s;
+  }
+
+  // The old fd still references the unlinked pre-compaction inode; swap
+  // to the new file and position at its end for subsequent appends.
+  if (::lseek(tmp_fd, 0, SEEK_END) < 0) {
+    ::close(tmp_fd);
+    return Errno("journal lseek after compaction failed");
+  }
+  ::close(fd_);
+  fd_ = tmp_fd;
+  records_ = new_records;
+  valid_bytes_ = info.bytes_after;
+  unsynced_bytes_ = 0;  // the new file was fsynced in full
+  last_sync_ = std::chrono::steady_clock::now();
+  ++compactions_;
+  // appended_bytes_ deliberately untouched: the fault-injection meter
+  // counts Append() traffic from this process, not rewrites.
+  return info;
 }
 
 Status FrameJournal::Replay(

@@ -7,6 +7,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "common/status_or.h"
 
@@ -94,6 +95,40 @@ class FrameJournal {
   /// Forces everything appended so far to disk (fsync).
   Status Sync();
 
+  /// What one Compact() call did.
+  struct CompactionInfo {
+    size_t records_kept = 0;
+    size_t records_dropped = 0;
+    size_t markers_written = 0;
+    uint64_t bytes_before = 0;
+    uint64_t bytes_after = 0;
+  };
+
+  /// Rewrites the journal keeping only the live suffix: records whose
+  /// seq exceeds their stream's entry in `min_released_hwm`, plus every
+  /// unsequenced record (seq == 0) and every record of a stream the map
+  /// does not name. A dropped record must already be DURABLE DOWNSTREAM
+  /// — the journal is the only recovery source for acked frames (clients
+  /// never resend them), so callers may only pass watermarks for data
+  /// that has been released and persisted past the collector.
+  ///
+  /// For each stream with a watermark > 0 a MARKER record (empty
+  /// payload, seq = watermark) is written first, so a restart that
+  /// replays the compacted journal rebuilds the same high-water mark
+  /// even when every data record of the stream was dropped — without it
+  /// the stream's next frame would misread as a sequence gap. Replay
+  /// consumers recognise markers by their empty payload and must treat
+  /// them as hwm-only (nothing to push).
+  ///
+  /// Crash-safe by construction: the live suffix is written to
+  /// `path + ".compact"`, fsynced, and renamed over the journal (then
+  /// the directory is fsynced). A crash at any point leaves either the
+  /// old complete journal or the new complete journal — never a mix.
+  /// The fault-injection byte meter (fault_kill_after_bytes) counts
+  /// Append() bytes only and is NOT advanced by compaction.
+  StatusOr<CompactionInfo> Compact(
+      const std::unordered_map<uint64_t, uint64_t>& min_released_hwm);
+
   /// Replays every durable record in append order through `fn`. Reads
   /// only the valid prefix found at Open() plus records appended since.
   /// Stops at (and returns) the first non-ok Status from `fn`.
@@ -110,8 +145,16 @@ class FrameJournal {
   size_t records() const { return records_; }
   /// Bytes of complete records (the replayable extent).
   uint64_t valid_bytes() const { return valid_bytes_; }
+  /// Bytes appended but not yet fsynced — 0 right after any sync. The
+  /// idle-tail flush (IngestServer) watches this to decide whether a
+  /// deadline-armed fsync is still owed.
+  uint64_t unsynced_bytes() const { return unsynced_bytes_; }
+  /// Completed Compact() calls on this handle.
+  size_t compactions() const { return compactions_; }
+  const std::string& path() const { return path_; }
 
  private:
+  std::string path_;
   int fd_ = -1;
   Options options_;
   RecoveryInfo recovery_;
@@ -119,6 +162,7 @@ class FrameJournal {
   uint64_t valid_bytes_ = 0;       // end of last complete record
   uint64_t appended_bytes_ = 0;    // by this process (fault-hook meter)
   uint64_t unsynced_bytes_ = 0;
+  size_t compactions_ = 0;
   std::chrono::steady_clock::time_point last_sync_{};
 };
 

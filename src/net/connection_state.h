@@ -1,0 +1,89 @@
+#ifndef TRAJLDP_NET_CONNECTION_STATE_H_
+#define TRAJLDP_NET_CONNECTION_STATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status_or.h"
+#include "net/socket.h"
+
+namespace trajldp::net {
+
+/// \brief One connection's half of the reactor: a non-blocking
+/// frame-reassembly state machine on the read side and a buffered,
+/// EPOLLOUT-drainable ack pipe on the write side.
+///
+/// The blocking server read a frame with two RecvExact calls; a reactor
+/// cannot block, so this class is that same protocol re-cut along
+/// readiness boundaries. PumpRead() consumes whatever bytes the kernel
+/// has — possibly none, possibly a frame boundary mid-header — and
+/// reports one of three things: a complete frame is ready, the socket
+/// would block (wait for the next EPOLLIN), or the peer closed cleanly.
+/// The assembly rules are byte-for-byte those of io::ReadRawFrame: the
+/// first kWireHeaderBytes are validated by io::PeekFrameHeader before
+/// any buffer is sized from the declared length (a hostile length
+/// prefix is rejected at 16 bytes), a FIN exactly between frames is a
+/// clean end, and a FIN anywhere else is a truncation error.
+///
+/// Deliberately mechanism-free: no CRC, sequence, journal, or collector
+/// knowledge here — the server's frame pipeline runs on the assembled
+/// bytes. One instance is owned by exactly one reactor thread; nothing
+/// in this class is thread-safe.
+class ConnectionState {
+ public:
+  enum class ReadEvent {
+    kFrameReady,   ///< frame() holds one complete frame
+    kWouldBlock,   ///< out of bytes; wait for EPOLLIN
+    kPeerClosed,   ///< clean FIN on a frame boundary
+  };
+
+  /// Takes ownership of a non-blocking socket.
+  explicit ConnectionState(Socket socket) : socket_(std::move(socket)) {}
+
+  int fd() const { return socket_.fd(); }
+  Socket& socket() { return socket_; }
+
+  /// Advances the reassembly machine as far as the kernel's bytes
+  /// allow. Never reads past the current frame's end, so the "one frame
+  /// per connection in memory" backpressure bound of the threaded
+  /// server still holds: a paused connection buffers at most one frame
+  /// here plus whatever the kernel already accepted.
+  ///
+  /// After kFrameReady the machine stays parked on the completed frame:
+  /// call TakeFrame() to consume it before pumping again.
+  StatusOr<ReadEvent> PumpRead();
+
+  /// Moves out the completed frame and re-arms the machine for the next
+  /// header. Only valid after PumpRead() returned kFrameReady.
+  std::string TakeFrame();
+
+  /// Queues bytes (an encoded ack frame) for writing; call PumpWrite()
+  /// to start draining them.
+  void QueueWrite(std::string_view bytes);
+
+  /// Writes queued bytes until drained or the socket would block.
+  /// Returns true when the outbound buffer is empty — the caller's cue
+  /// to drop EPOLLOUT interest; false means "enable EPOLLOUT and call
+  /// again on the next writable event".
+  StatusOr<bool> PumpWrite();
+
+  bool wants_write() const { return out_pos_ < out_.size(); }
+
+ private:
+  enum class ReadState { kHeader, kBody, kFrameReady };
+
+  Socket socket_;
+
+  ReadState read_state_ = ReadState::kHeader;
+  std::string frame_;      // assembly buffer; holds the frame when ready
+  size_t filled_ = 0;      // bytes of frame_ received so far
+  size_t frame_bytes_ = 0; // total frame size once the header validated
+
+  std::string out_;        // pending outbound bytes (acks)
+  size_t out_pos_ = 0;     // drained prefix of out_
+};
+
+}  // namespace trajldp::net
+
+#endif  // TRAJLDP_NET_CONNECTION_STATE_H_

@@ -4,58 +4,122 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/event_fds.h"
 #include "common/status_or.h"
 #include "core/streaming_collector.h"
 #include "io/journal.h"
+#include "net/connection_state.h"
+#include "net/reactor.h"
 #include "net/socket.h"
 
 namespace trajldp::net {
 
-/// \brief The socket front-end of a collector shard: accepts concurrent
-/// device connections, pulls TLWB frames off each, and feeds them —
-/// still encoded — into a core::StreamingCollector.
+/// \brief Tracks, per stream, the highest sequence number through which
+/// EVERY frame has been made durable downstream — the "released
+/// watermark" that licenses journal compaction.
+///
+/// The collector's Config::on_frame_processed callback reports frames
+/// in completion order, which is NOT stream order (workers race), but
+/// compaction may only drop a journal record when everything at or
+/// below it is durable. This class turns the racy completion feed into
+/// the contiguous floor compaction needs: Note(stream, seq) parks
+/// out-of-order completions and advances the floor only across an
+/// unbroken run. Thread-safe; designed to be wired directly as
+/// `on_frame_processed` and read by IngestServer's compact_watermarks.
+class ReleaseWatermarks {
+ public:
+  /// Records that (stream_id, seq) is durable downstream.
+  void Note(uint64_t stream_id, uint64_t seq);
+
+  /// The current contiguous floor per stream — safe watermarks for
+  /// io::FrameJournal::Compact.
+  std::unordered_map<uint64_t, uint64_t> Snapshot() const;
+
+ private:
+  struct StreamState {
+    uint64_t floor = 0;           // all seq <= floor are durable
+    std::set<uint64_t> pending;   // completions above a gap
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, StreamState> streams_;
+};
+
+/// \brief The socket front-end of a collector shard: an epoll readiness
+/// reactor that accepts concurrent device connections, reassembles TLWB
+/// frames off each, and feeds them — still encoded — into a
+/// core::StreamingCollector.
+///
+/// ### Event-driven, not thread-per-connection
+///
+/// Connections are distributed round-robin across N reactor threads
+/// (Options::reactor_threads), each running one epoll loop. A
+/// connection lives on exactly one reactor and all of its state
+/// (ConnectionState reassembly buffers, held frame, pending acks) is
+/// touched only from that loop — so a million idle devices cost a
+/// million fds and reassembly buffers, not a million stacks. The only
+/// cross-thread state is the journal + sequence map (one mutex, held
+/// for appends and lookups only) and the stats counters.
 ///
 /// ### Backpressure, end to end
 ///
-/// A connection thread holds at most ONE frame. When the collector's
-/// bounded queue is full (reconstruction is the slow stage), the timed
-/// push bounces, the thread retries the same frame, and — crucially —
-/// stops reading its socket. The kernel receive buffer fills, TCP
-/// advertises a zero window, and the devices' send() calls block. Slow
-/// reconstruction therefore propagates to the network as flow control:
-/// memory in flight is bounded by queue capacity + one frame per
-/// connection + the kernel's socket buffers, no matter how fast clients
-/// push. There is no unbounded buffer anywhere on the path.
+/// A connection holds at most ONE assembled frame. When the collector's
+/// bounded queue is full (reconstruction is the slow stage), the
+/// zero-timeout push bounces and the reactor PAUSES the connection:
+/// EPOLLIN interest is dropped, the held frame is parked, and a
+/// per-reactor retry timer re-attempts the push every push_retry. The
+/// kernel receive buffer fills, TCP advertises a zero window, and the
+/// devices' send() calls block. Slow reconstruction therefore
+/// propagates to the network as flow control, exactly as in the
+/// thread-per-connection design — memory in flight stays bounded by
+/// queue capacity + one frame per connection + kernel socket buffers.
 ///
 /// ### Per-connection error isolation
 ///
 /// A malformed or hostile connection — garbage where a header should
 /// be, an over-limit declared length, a truncating disconnect, a CRC
 /// mismatch (verify_crc), a batch claiming users outside this shard
-/// (expected_range) — fails THAT connection with a clean Status,
-/// recorded in stats()/first_connection_error(). Other connections and
-/// the collector itself are untouched; the server keeps accepting.
-/// With verify_crc off, a corrupt payload instead surfaces through the
-/// collector's own error latch (StreamingCollector's documented
-/// policy), where it poisons the stream, not the process.
+/// (expected_range), a sequence gap — fails THAT connection with a
+/// clean Status, recorded in stats()/first_connection_error(). Other
+/// connections and the collector itself are untouched; the server keeps
+/// accepting. Fd exhaustion at accept time (EMFILE & co.) deregisters
+/// the listener and re-arms it after a backoff interval, so pressure
+/// never becomes a hot spin or a permanently deaf server.
+///
+/// ### Exactly-once ordering (unchanged from the threaded design)
+///
+/// Per connection, each frame runs: CRC check → duplicate drop (seq at
+/// or below the stream high-water mark → drop + re-ack hwm) → gap check
+/// → shard-range check → journal append (BEFORE anything downstream) →
+/// collector push → hwm advance → ack. Acks ride the reactor's write
+/// path (EPOLLOUT when the socket's buffer is full). Replay at Start()
+/// still runs to completion before the listener exists.
+///
+/// ### Journal maintenance
+///
+/// Two maintenance duties the append path alone cannot discharge run on
+/// the reactor: an idle-tail flush timer (SyncPolicy::kTimed) fsyncs
+/// the journal within sync_interval of the last append even when no
+/// further append arrives, and size-triggered compaction
+/// (journal_compact_threshold_bytes + compact_watermarks) rewrites the
+/// journal down to its live suffix — see docs/DURABILITY.md §Compaction.
 ///
 /// ### Shutdown protocol
 ///
-/// Shutdown() (also run by the destructor) stops the accept loop, wakes
-/// every connection blocked in recv or in a backpressure retry, joins
-/// all threads, and returns. It does NOT Finish() the collector — the
-/// owner decides when the stream ends, typically: wait for the expected
-/// reports_released() count, Shutdown() the server, then Finish() the
-/// collector and check its Status.
+/// Shutdown() (also run by the destructor) stops the reactors, closes
+/// every connection, and returns. It does NOT Finish() the collector —
+/// the owner decides when the stream ends, typically: wait for the
+/// expected reports_released() count, Shutdown() the server, then
+/// Finish() the collector and check its Status.
 class IngestServer {
  public:
   struct Options {
@@ -64,7 +128,9 @@ class IngestServer {
     /// 0 → ephemeral; the bound port is available from port().
     uint16_t port = 0;
     int backlog = 64;
-    /// Verify each frame's payload CRC on the connection thread before
+    /// Reactor (epoll loop) threads; 0 → one per hardware thread.
+    size_t reactor_threads = 0;
+    /// Verify each frame's payload CRC on the reactor thread before
     /// the frame reaches the shared collector. Costs one CRC pass per
     /// frame at ingest; buys per-connection corruption isolation.
     bool verify_crc = true;
@@ -75,9 +141,10 @@ class IngestServer {
     /// without the field skip the check (it is an optimisation, not an
     /// authentication boundary).
     std::optional<std::pair<uint64_t, uint64_t>> expected_range;
-    /// How long a backpressured connection waits per push attempt
-    /// before re-checking for shutdown. Latency ceiling on Shutdown(),
-    /// not a throughput knob.
+    /// Backpressure retry cadence: how often a reactor re-attempts the
+    /// collector push for its paused connections, and the listener
+    /// re-arm delay after fd-exhaustion backoff. Latency ceiling on
+    /// those recoveries, not a throughput knob.
     std::chrono::milliseconds push_retry{50};
     /// Non-empty → exactly-once mode: every validated data frame is
     /// appended to this io::FrameJournal BEFORE it is acked, and Start()
@@ -97,20 +164,32 @@ class IngestServer {
     /// sequence are never acked, so legacy raw clients are unaffected.
     /// Off only for tests that need a deliberately mute server.
     bool send_acks = true;
+    /// > 0 → compact the journal whenever its valid extent grows past
+    /// this many bytes beyond the last compaction. Requires
+    /// compact_watermarks; ignored without journal_path.
+    uint64_t journal_compact_threshold_bytes = 0;
+    /// Supplies the per-stream released watermarks (typically
+    /// ReleaseWatermarks::Snapshot) that bound what compaction may
+    /// drop. A record is only dropped when its seq is at or below its
+    /// stream's watermark — the caller asserts everything through the
+    /// watermark is DURABLE DOWNSTREAM (released AND persisted), since
+    /// the journal is the only recovery source for acked frames.
+    std::function<std::unordered_map<uint64_t, uint64_t>()>
+        compact_watermarks;
   };
 
   /// Monotonic counters, readable at any time.
   struct Stats {
     size_t connections_accepted = 0;
-    /// Connections whose serving thread has exited, cleanly or not —
-    /// every frame such a connection carried is at least in the
-    /// collector's queue, so `connections_closed == expected clients`
-    /// followed by Finish() is the harness's drain barrier.
+    /// Connections fully torn down, cleanly or not — every frame such a
+    /// connection carried is at least in the collector's queue, so
+    /// `connections_closed == expected clients` followed by Finish() is
+    /// the harness's drain barrier.
     size_t connections_closed = 0;
     size_t connections_failed = 0;
     size_t frames_ingested = 0;
-    /// Transient accept() failures (fd/memory pressure) the loop backed
-    /// off from and recovered — informational, never fatal.
+    /// Transient accept() failures (fd/memory pressure) the listener
+    /// backed off from and recovered — informational, never fatal.
     size_t accept_backoffs = 0;
     /// Exactly-once counter trio (docs/DURABILITY.md §Observability).
     size_t frames_journaled = 0;  ///< appended this run (excl. recovered)
@@ -130,9 +209,15 @@ class IngestServer {
     /// reconstruction throughput, not the network.
     size_t queue_depth = 0;
     size_t queue_high_water = 0;
+    /// Journal bytes appended but not yet fsynced (0 without a journal,
+    /// and 0 within sync_interval of the last append under kTimed —
+    /// the idle-tail flush guarantee).
+    uint64_t journal_unsynced_bytes = 0;
+    /// Completed journal compactions this run.
+    size_t journal_compactions = 0;
   };
 
-  /// Binds host:port, starts the accept loop, returns a running server.
+  /// Binds host:port, starts the reactors, returns a running server.
   /// `collector` must outlive the server and must not be Finish()ed
   /// while the server is running.
   static StatusOr<std::unique_ptr<IngestServer>> Start(
@@ -148,7 +233,7 @@ class IngestServer {
   uint16_t port() const { return port_; }
 
   /// Graceful stop; idempotent; safe from any thread except a sink or
-  /// worker callback of the fed collector.
+  /// worker callback of the fed collector, and except a reactor thread.
   void Shutdown();
 
   Stats stats() const;
@@ -162,29 +247,75 @@ class IngestServer {
   IngestServer(core::StreamingCollector* collector, Options options,
                Socket listener, uint16_t port);
 
-  struct Connection {
-    Socket socket;
-    std::thread thread;
-    std::atomic<bool> done{false};
+  /// One connection, owned by exactly one reactor. Everything here is
+  /// loop-thread-only (or post-join in Shutdown).
+  struct Conn {
+    explicit Conn(Socket socket) : state(std::move(socket)) {}
+    ConnectionState state;
+    size_t reactor = 0;
+    /// Backpressure: EPOLLIN interest dropped, one frame parked.
+    bool paused = false;
+    std::string held_frame;
+    uint64_t held_stream = 0;
+    uint64_t held_seq = 0;
+    /// The held frame was journaled before the push bounced; the retry
+    /// must never append it again.
+    bool held_journaled = false;
+    /// Clean FIN seen; the conn lingers only to flush pending acks.
+    bool read_done = false;
   };
 
-  void AcceptLoop();
-  void ServeConnection(Connection* connection);
-  /// The per-connection frame loop; any non-OK return fails exactly
-  /// this connection.
-  Status ServeFrames(const Socket& socket);
+  /// Per-reactor state. The loop thread owns everything but `reactor`'s
+  /// control surface; Shutdown touches the rest only after the join.
+  struct ReactorState {
+    Reactor reactor;
+    TimerFd retry_timer;
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;
+    std::vector<int> blocked;  // fds paused on backpressure
+    bool retry_armed = false;
+  };
+
+  Status StartReactors();
   /// Opens Options::journal_path, replays every recovered frame through
   /// the collector, and rebuilds stream_hwm_. Runs in Start() before
-  /// the accept loop exists, so replay never races live ingest.
+  /// the reactors exist, so replay never races live ingest. Marker
+  /// records (empty payload, written by compaction) rebuild hwm only.
   Status OpenJournalAndReplay();
+
+  // --- reactor-thread handlers -------------------------------------
+  void OnAccept();
+  void OnAcceptBackoffTimer();
+  void AdoptConn(size_t reactor_index, Socket socket);
+  void OnConnEvent(size_t reactor_index, int fd, uint32_t events);
+  void OnRetryTimer(size_t reactor_index);
+  void OnFlushTimer();
+
+  /// The exactly-once frame pipeline: CRC → dup → gap → range →
+  /// journal → push → hwm → ack. Pauses the connection instead of
+  /// blocking when the collector queue is full.
+  Status HandleFrame(ReactorState& rs, Conn* conn, std::string frame);
+  /// Zero-timeout push + post-push bookkeeping (hwm, ack); pauses the
+  /// conn when the queue is full.
+  Status TryPushAndAck(ReactorState& rs, Conn* conn, std::string frame,
+                       uint64_t stream_id, uint64_t seq,
+                       bool already_journaled);
+  Status QueueAck(ReactorState& rs, Conn* conn, uint64_t ack_seq);
+  /// Appends under journal_mu_, then runs the size-triggered compaction
+  /// and arms the idle-tail flush as needed.
+  Status JournalAppend(uint64_t stream_id, uint64_t seq,
+                       std::string_view frame);
+
+  void FailConn(ReactorState& rs, Conn* conn, Status status);
+  void CloseConn(ReactorState& rs, Conn* conn);
+  uint32_t InterestOf(const Conn& conn) const;
+
   void RecordConnectionError(Status status);
-  /// Joins finished connection threads (called under mu_).
-  void ReapFinishedLocked();
 
   core::StreamingCollector* const collector_;
   const Options options_;
   Socket listener_;
   const uint16_t port_;
+  const size_t num_reactors_;
 
   std::atomic<bool> stopping_{false};
   std::atomic<size_t> connections_accepted_{0};
@@ -196,23 +327,36 @@ class IngestServer {
   std::atomic<size_t> frames_replayed_{0};
   std::atomic<size_t> duplicate_frames_dropped_{0};
 
-  /// Guards journal_ appends and stream_hwm_ across connection threads.
-  /// Held only around the append / map lookups — never across the
-  /// blocking collector push, so backpressure on one connection cannot
-  /// stall another stream's dedup check.
-  std::mutex journal_mu_;
+  /// Guards journal_, stream_hwm_, flush_armed_, compact_next_trigger_
+  /// across reactor threads. Held around appends / map lookups /
+  /// maintenance — never across a collector push.
+  mutable std::mutex journal_mu_;
   std::optional<io::FrameJournal> journal_;
   /// Per-stream highest contiguously ingested sequence (the ack value).
   std::unordered_map<uint64_t, uint64_t> stream_hwm_;
+  /// Idle-tail flush (kTimed): true while flush_timer_ has a pending
+  /// deadline covering the current unsynced tail.
+  bool flush_armed_ = false;
+  /// Next valid_bytes() level that triggers a compaction (thrash guard:
+  /// re-based after every run).
+  uint64_t compact_next_trigger_ = 0;
 
   mutable std::mutex error_mu_;
   Status first_connection_error_;
 
-  std::mutex mu_;  // guards connections_ and shutdown_ran_
-  std::vector<std::unique_ptr<Connection>> connections_;
+  std::mutex shutdown_mu_;
   bool shutdown_ran_ = false;
 
-  std::thread accept_thread_;
+  /// Round-robin target for the next accepted connection (accept runs
+  /// only on reactor 0, so plain, not atomic… but atomic is free and
+  /// keeps TSan quiet if accept ever moves).
+  std::atomic<size_t> next_reactor_{0};
+
+  /// Reactor 0 extras: listener backoff + journal idle-tail flush.
+  TimerFd accept_backoff_timer_;
+  TimerFd flush_timer_;
+
+  std::vector<std::unique_ptr<ReactorState>> reactors_;
 };
 
 }  // namespace trajldp::net

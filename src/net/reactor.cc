@@ -1,0 +1,128 @@
+#include "net/reactor.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace trajldp::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Reactor::~Reactor() {
+  Stop();
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+}
+
+Status Reactor::Start(std::string name) {
+  (void)name;
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  if (Status s = wakeup_.Open(); !s.ok()) return s;
+  // The wakeup handler only drains the doorbell; posted closures run
+  // after the dispatch round (see Loop) so a closure that registers a
+  // reused fd number can never receive this round's stale events.
+  if (Status s = Add(wakeup_.fd(), EPOLLIN,
+                     [this](uint32_t) { wakeup_.Drain(); });
+      !s.ok()) {
+    return s;
+  }
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+Status Reactor::Add(int fd, uint32_t events, Handler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(ADD)");
+  }
+  handlers_[fd] = std::move(handler);
+  return Status::Ok();
+}
+
+Status Reactor::Mod(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(MOD)");
+  }
+  return Status::Ok();
+}
+
+void Reactor::Del(int fd) {
+  // ENOENT (never added, or already deleted) is fine: teardown paths
+  // may Del unconditionally.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void Reactor::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  wakeup_.Signal();
+}
+
+void Reactor::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  wakeup_.Signal();
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void Reactor::RunPosted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void Reactor::Loop() {
+  std::vector<epoll_event> events(64);
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; nothing sane left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;  // deleted earlier this round
+      // Copy before invoking: a handler may Del its own fd (erasing the
+      // map entry, and with it the std::function we'd be executing).
+      Handler handler = it->second;
+      handler(events[i].events);
+    }
+    RunPosted();
+    if (n == static_cast<int>(events.size())) {
+      events.resize(events.size() * 2);
+    }
+  }
+  // Closures posted concurrently with Stop() would otherwise vanish
+  // while their poster believes them delivered; run one final drain.
+  RunPosted();
+}
+
+}  // namespace trajldp::net

@@ -1,0 +1,98 @@
+#ifndef TRAJLDP_NET_REACTOR_H_
+#define TRAJLDP_NET_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_fds.h"
+#include "common/status_or.h"
+
+namespace trajldp::net {
+
+/// \brief One epoll readiness loop on one thread — the scheduling core
+/// of the event-driven ingest server (docs/NETWORK.md).
+///
+/// A reactor owns an epoll instance, a wakeup eventfd, and the thread
+/// that waits on them. Everything registered with the reactor is
+/// dispatched on that thread, one event at a time, so per-fd handler
+/// state needs no locking: a connection belongs to exactly one reactor
+/// and is only ever touched from its loop. Cross-thread interaction
+/// happens through exactly two doors, both safe from any thread:
+///
+///  * Post(fn)  — enqueue a closure; the loop wakes and runs it. This is
+///                how an accepted connection is handed to its owning
+///                reactor, and how Stop() reaches the loop.
+///  * Stop()    — ask the loop to exit after the current dispatch round.
+///
+/// Handlers are registered per fd with the interest mask they want
+/// (EPOLLIN/EPOLLOUT, level-triggered). The reactor never owns or
+/// closes fds — lifetime stays with the handler's owner, which must
+/// Del() the fd before closing it.
+class Reactor {
+ public:
+  /// Called on the reactor thread with the ready epoll event mask
+  /// (EPOLLIN / EPOLLOUT / EPOLLHUP / EPOLLERR bits).
+  using Handler = std::function<void(uint32_t events)>;
+
+  Reactor() = default;
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Creates the epoll instance + wakeup fd and starts the loop thread.
+  Status Start(std::string name = "reactor");
+
+  /// Registers `fd` with interest `events`; `handler` runs on the loop
+  /// thread whenever the fd is ready. Loop-thread-only once the loop is
+  /// running (use Post to get there), except during Start()-to-first-
+  /// event setup which is safe because the loop has nothing else yet.
+  Status Add(int fd, uint32_t events, Handler handler);
+
+  /// Changes the interest mask for a registered fd. Loop-thread-only.
+  Status Mod(int fd, uint32_t events);
+
+  /// Unregisters an fd. Safe to call for fds that were never added (a
+  /// no-op), so teardown paths need no bookkeeping. Loop-thread-only.
+  void Del(int fd);
+
+  /// Enqueues `fn` to run on the loop thread. Safe from any thread.
+  /// Closures posted after Stop() may never run.
+  void Post(std::function<void()> fn);
+
+  /// Signals the loop to exit and joins the thread. Safe from any
+  /// thread except the loop itself; idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// True when the calling thread is this reactor's loop thread.
+  bool InLoopThread() const {
+    return std::this_thread::get_id() == thread_.get_id();
+  }
+
+ private:
+  void Loop();
+  void RunPosted();
+
+  int epoll_fd_ = -1;
+  WakeupFd wakeup_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  // Handlers keyed by fd. Only the loop thread touches this map (Add
+  // before the loop starts is the one setup-time exception).
+  std::unordered_map<int, Handler> handlers_;
+};
+
+}  // namespace trajldp::net
+
+#endif  // TRAJLDP_NET_REACTOR_H_

@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -109,6 +110,37 @@ StatusOr<Socket> Accept(const Socket& listener) {
     // another thread — the accept loop's normal exit.
     return Status::FailedPrecondition(Errno("accept"));
   }
+}
+
+StatusOr<Socket> AcceptNonBlocking(const Socket& listener,
+                                   bool* would_block) {
+  *would_block = false;
+  for (;;) {
+    const int fd =
+        ::accept4(listener.fd(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return Socket();
+    }
+    if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+      continue;
+    }
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      return Status::ResourceExhausted(Errno("accept"));
+    }
+    return Status::FailedPrecondition(Errno("accept"));
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::Internal(Errno("fcntl(F_GETFL)"));
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::Internal(Errno("fcntl(F_SETFL, O_NONBLOCK)"));
+  }
+  return Status::Ok();
 }
 
 StatusOr<Socket> TcpConnect(const std::string& host, uint16_t port) {

@@ -80,6 +80,18 @@ StatusOr<uint16_t> LocalPort(const Socket& listener);
 /// blocked — a self-pipe wakeup would be needed there).
 StatusOr<Socket> Accept(const Socket& listener);
 
+/// Non-blocking accept for readiness loops: returns a connection when
+/// one is queued, or sets `*would_block` (and returns an invalid
+/// Socket) when the backlog is empty. Errno classification matches
+/// Accept: transient per-connection aborts are retried inline,
+/// fd/memory pressure is ResourceExhausted (the reactor backs off and
+/// re-arms instead of spinning hot), anything else FailedPrecondition.
+/// The accepted socket is created non-blocking (accept4).
+StatusOr<Socket> AcceptNonBlocking(const Socket& listener, bool* would_block);
+
+/// Puts `fd` in non-blocking mode (O_NONBLOCK via fcntl).
+Status SetNonBlocking(int fd);
+
 /// Connects to host:port (numeric addresses or names, via getaddrinfo).
 StatusOr<Socket> TcpConnect(const std::string& host, uint16_t port);
 

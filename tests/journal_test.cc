@@ -216,6 +216,116 @@ TEST(JournalTest, SyncPoliciesAllPersist) {
   }
 }
 
+// ---------- compaction ----------
+
+TEST(JournalCompactTest, DropsThroughWatermarkWritesMarkerKeepsLiveSuffix) {
+  const std::string path = TempPath("journal_compact_basic.log");
+  fs::remove(path);
+  auto journal = FrameJournal::Open(path, {});
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  // Stream 1: seqs 1..4; stream 2: seq 1. Watermark stream 1 at 3.
+  for (uint64_t seq = 1; seq <= 4; ++seq) {
+    ASSERT_TRUE(
+        journal->Append(1, seq, "s1-frame-" + std::to_string(seq)).ok());
+  }
+  ASSERT_TRUE(journal->Append(2, 1, "s2-frame-1").ok());
+
+  auto info = journal->Compact({{1, 3}});
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->records_dropped, 3u);  // stream 1 seqs 1..3
+  EXPECT_EQ(info->records_kept, 2u);     // stream 1 seq 4, stream 2 seq 1
+  EXPECT_EQ(info->markers_written, 1u);
+  EXPECT_GT(info->bytes_before, info->bytes_after);
+  EXPECT_EQ(journal->compactions(), 1u);
+  EXPECT_EQ(journal->valid_bytes(), info->bytes_after);
+
+  // Replay order: markers first (empty payload, seq = watermark), then
+  // the kept records in their original append order.
+  const auto replayed = ReplayAll(*journal);
+  ExpectSameRecords(replayed,
+                    {{1, 3, ""}, {1, 4, "s1-frame-4"}, {2, 1, "s2-frame-1"}});
+}
+
+TEST(JournalCompactTest, KeepsUnsequencedRecordsAndUnnamedStreams) {
+  const std::string path = TempPath("journal_compact_keep.log");
+  fs::remove(path);
+  auto journal = FrameJournal::Open(path, {});
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  ASSERT_TRUE(journal->Append(1, 1, "s1-acked").ok());
+  ASSERT_TRUE(journal->Append(0, 0, "raw-unsequenced").ok());
+  ASSERT_TRUE(journal->Append(7, 2, "s7-no-watermark").ok());
+
+  auto info = journal->Compact({{1, 1}});
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->records_dropped, 1u);
+  // seq == 0 (never acked, replay feeds it back raw) and streams absent
+  // from the watermark map must survive verbatim.
+  ExpectSameRecords(ReplayAll(*journal),
+                    {{1, 1, ""}, {0, 0, "raw-unsequenced"},
+                     {7, 2, "s7-no-watermark"}});
+}
+
+TEST(JournalCompactTest, SurvivesReopenAndAcceptsAppends) {
+  const std::string path = TempPath("journal_compact_reopen.log");
+  fs::remove(path);
+  {
+    auto journal = FrameJournal::Open(path, {});
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    for (uint64_t seq = 1; seq <= 3; ++seq) {
+      ASSERT_TRUE(journal->Append(5, seq, "frame-" + std::to_string(seq)).ok());
+    }
+    ASSERT_TRUE(journal->Compact({{5, 2}}).ok());
+    // The compacted journal is a normal journal: appends keep working.
+    ASSERT_TRUE(journal->Append(5, 4, "frame-4").ok());
+    ASSERT_TRUE(journal->Close().ok());
+  }
+  // The rename was durable: a fresh Open sees marker + live suffix +
+  // post-compaction appends, with no torn tail.
+  auto reopened = FrameJournal::Open(path, {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->recovery_info().truncated_bytes, 0u);
+  ExpectSameRecords(ReplayAll(*reopened),
+                    {{5, 2, ""}, {5, 3, "frame-3"}, {5, 4, "frame-4"}});
+}
+
+TEST(JournalCompactTest, LeavesNoTempFileAndSkipsZeroWatermarks) {
+  const std::string path = TempPath("journal_compact_tmp.log");
+  fs::remove(path);
+  auto journal = FrameJournal::Open(path, {});
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  ASSERT_TRUE(journal->Append(1, 1, "only-frame").ok());
+
+  auto info = journal->Compact({{1, 0}, {9, 0}});
+  ASSERT_TRUE(info.ok()) << info.status();
+  // A zero watermark licenses nothing: no marker, nothing dropped.
+  EXPECT_EQ(info->markers_written, 0u);
+  EXPECT_EQ(info->records_dropped, 0u);
+  ExpectSameRecords(ReplayAll(*journal), {{1, 1, "only-frame"}});
+  EXPECT_FALSE(fs::exists(path + ".compact"));
+}
+
+TEST(JournalCompactTest, DoesNotAdvanceTheFaultByteMeter) {
+  // The crash harness arms fault_kill_after_bytes to die mid-APPEND;
+  // compaction rewriting the whole file must not count against that
+  // meter, or a compacting server would die at an uncontrolled point.
+  const std::string path = TempPath("journal_compact_fault.log");
+  fs::remove(path);
+  FrameJournal::Options options;
+  options.fault_kill_after_bytes = 1u << 20;  // far beyond these appends
+  auto journal = FrameJournal::Open(path, options);
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  for (uint64_t seq = 1; seq <= 8; ++seq) {
+    ASSERT_TRUE(journal->Append(1, seq, std::string(100, 'x')).ok());
+  }
+  // Each compaction rewrites ~the full extent; ten of them would blow
+  // well past the meter if rewrite bytes counted as appends.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(journal->Compact({}).ok());  // nothing dropped, full rewrite
+  }
+  ASSERT_TRUE(journal->Append(1, 9, "still-alive").ok());
+  EXPECT_EQ(journal->records(), 9u);
+}
+
 TEST(JournalTest, OversizedLengthFieldTreatedAsCorruption) {
   const std::string path = TempPath("journal_hostile_len.log");
   const auto records = ThreeRecords();

@@ -1,0 +1,606 @@
+// The reactor ingest suite: unit tests for the epoll building blocks
+// (ConnectionState reassembly, Reactor loop, ReleaseWatermarks) and the
+// system-level properties the reactor redesign must preserve —
+// connection churn at scale, sequenced and raw-v1 clients mixed on one
+// multi-reactor server with bit-identical merged output, and fd
+// exhaustion at accept time degrading to backoff instead of a hot spin
+// or a permanently deaf listener.
+
+#include <gtest/gtest.h>
+
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/event_fds.h"
+#include "common/rng.h"
+#include "core/batch_release_engine.h"
+#include "core/mechanism.h"
+#include "core/shard_plan.h"
+#include "core/streaming_collector.h"
+#include "io/wire.h"
+#include "net/connection_state.h"
+#include "net/ingest_server.h"
+#include "net/reactor.h"
+#include "net/report_client.h"
+#include "net/socket.h"
+#include "test_world.h"
+
+namespace trajldp::net {
+namespace {
+
+using core::FullRelease;
+using core::StreamingCollector;
+using core::UserRelease;
+using trajldp::testing::MakeGridWorld;
+
+bool WaitFor(const std::function<bool()>& condition,
+             std::chrono::seconds timeout = std::chrono::seconds(60)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!condition()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+// ---------- ConnectionState: the per-connection reassembly machine ----
+
+/// A non-blocking AF_UNIX socketpair: `state` wraps one end, the test
+/// drives the other. Exactly the situation a reactor puts the machine
+/// in — reads return short counts and EAGAIN at the kernel's whim.
+struct StatePair {
+  StatePair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    EXPECT_TRUE(SetNonBlocking(fds[0]).ok());
+    EXPECT_TRUE(SetNonBlocking(fds[1]).ok());
+    state = std::make_unique<ConnectionState>(Socket(fds[0]));
+    driver = Socket(fds[1]);
+  }
+  void Feed(std::string_view bytes) {
+    ASSERT_EQ(::send(driver.fd(), bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  std::unique_ptr<ConnectionState> state;
+  Socket driver;
+};
+
+std::string OneFrame() {
+  auto frame = io::EncodeReportBatch(io::ReportBatch{});
+  EXPECT_TRUE(frame.ok()) << frame.status();
+  return *frame;
+}
+
+TEST(ConnectionStateTest, ReassemblesAFrameFedOneByteAtATime) {
+  StatePair pair;
+  const std::string frame = OneFrame();
+  // Nothing buffered yet: the machine reports would-block, not EOF.
+  auto idle = pair.state->PumpRead();
+  ASSERT_TRUE(idle.ok()) << idle.status();
+  EXPECT_EQ(*idle, ConnectionState::ReadEvent::kWouldBlock);
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    pair.Feed(std::string_view(frame.data() + i, 1));
+    auto event = pair.state->PumpRead();
+    ASSERT_TRUE(event.ok()) << "byte " << i << ": " << event.status();
+    ASSERT_EQ(*event, ConnectionState::ReadEvent::kWouldBlock) << "byte " << i;
+  }
+  pair.Feed(std::string_view(frame.data() + frame.size() - 1, 1));
+  auto event = pair.state->PumpRead();
+  ASSERT_TRUE(event.ok()) << event.status();
+  ASSERT_EQ(*event, ConnectionState::ReadEvent::kFrameReady);
+  EXPECT_EQ(pair.state->TakeFrame(), frame);
+  // The machine reset: a second identical frame reassembles the same way.
+  pair.Feed(frame);
+  event = pair.state->PumpRead();
+  ASSERT_TRUE(event.ok());
+  ASSERT_EQ(*event, ConnectionState::ReadEvent::kFrameReady);
+  EXPECT_EQ(pair.state->TakeFrame(), frame);
+}
+
+TEST(ConnectionStateTest, BackToBackFramesInOneBufferBothSurface) {
+  StatePair pair;
+  const std::string frame = OneFrame();
+  pair.Feed(frame + frame);
+  for (int i = 0; i < 2; ++i) {
+    auto event = pair.state->PumpRead();
+    ASSERT_TRUE(event.ok()) << event.status();
+    ASSERT_EQ(*event, ConnectionState::ReadEvent::kFrameReady) << i;
+    EXPECT_EQ(pair.state->TakeFrame(), frame) << i;
+  }
+}
+
+TEST(ConnectionStateTest, HostileHeaderRejectedWithoutSizingABuffer) {
+  StatePair pair;
+  pair.Feed(std::string(16, 'Z'));  // garbage where "TLWB" should be
+  auto event = pair.state->PumpRead();
+  ASSERT_FALSE(event.ok());
+  EXPECT_NE(event.status().message().find("magic"), std::string::npos)
+      << event.status();
+}
+
+TEST(ConnectionStateTest, OversizedDeclaredLengthRejectedAtTheHeader) {
+  StatePair pair;
+  std::string header = OneFrame().substr(0, 16);
+  // Declare a ~4 GiB payload: the limit gate must fire from the header
+  // alone, before any buffer is sized to the hostile length.
+  for (int i = 12; i < 16; ++i) header[i] = static_cast<char>(0xFF);
+  pair.Feed(header);
+  auto event = pair.state->PumpRead();
+  ASSERT_FALSE(event.ok());
+  EXPECT_NE(event.status().message().find("frame limit"), std::string::npos)
+      << event.status();
+}
+
+TEST(ConnectionStateTest, PeerVanishingMidFrameIsTruncationNotEof) {
+  StatePair pair;
+  const std::string frame = OneFrame();
+  pair.Feed(frame.substr(0, frame.size() - 3));
+  while (true) {
+    auto event = pair.state->PumpRead();
+    ASSERT_TRUE(event.ok()) << event.status();
+    if (*event == ConnectionState::ReadEvent::kWouldBlock) break;
+  }
+  pair.driver.Close();
+  auto event = pair.state->PumpRead();
+  ASSERT_FALSE(event.ok());
+  EXPECT_NE(event.status().message().find("truncated"), std::string::npos)
+      << event.status();
+}
+
+TEST(ConnectionStateTest, CleanFinOnAFrameBoundaryIsPeerClosed) {
+  StatePair pair;
+  const std::string frame = OneFrame();
+  pair.Feed(frame);
+  pair.driver.Close();
+  auto event = pair.state->PumpRead();
+  ASSERT_TRUE(event.ok());
+  ASSERT_EQ(*event, ConnectionState::ReadEvent::kFrameReady);
+  (void)pair.state->TakeFrame();
+  event = pair.state->PumpRead();
+  ASSERT_TRUE(event.ok()) << event.status();
+  EXPECT_EQ(*event, ConnectionState::ReadEvent::kPeerClosed);
+}
+
+TEST(ConnectionStateTest, QueuedWritesDrainAndReportCompletion) {
+  StatePair pair;
+  EXPECT_FALSE(pair.state->wants_write());
+  pair.state->QueueWrite("ack-bytes");
+  EXPECT_TRUE(pair.state->wants_write());
+  auto drained = pair.state->PumpWrite();
+  ASSERT_TRUE(drained.ok()) << drained.status();
+  EXPECT_TRUE(*drained);
+  EXPECT_FALSE(pair.state->wants_write());
+  char buffer[16] = {};
+  ASSERT_EQ(::recv(pair.driver.fd(), buffer, sizeof(buffer), 0), 9);
+  EXPECT_EQ(std::string_view(buffer, 9), "ack-bytes");
+}
+
+TEST(ConnectionStateTest, FullSocketBufferLeavesWritePending) {
+  StatePair pair;
+  // Queue far more than the socketpair buffers: PumpWrite must stop at
+  // EAGAIN with the remainder pending, then finish once the peer drains.
+  const std::string big(1u << 22, 'w');
+  pair.state->QueueWrite(big);
+  auto drained = pair.state->PumpWrite();
+  ASSERT_TRUE(drained.ok()) << drained.status();
+  EXPECT_FALSE(*drained);
+  EXPECT_TRUE(pair.state->wants_write());
+  size_t received = 0;
+  std::vector<char> buffer(1u << 16);
+  while (received < big.size()) {
+    const ssize_t n =
+        ::recv(pair.driver.fd(), buffer.data(), buffer.size(), 0);
+    if (n > 0) {
+      received += static_cast<size_t>(n);
+      continue;
+    }
+    ASSERT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK) << strerror(errno);
+    auto more = pair.state->PumpWrite();
+    ASSERT_TRUE(more.ok()) << more.status();
+    if (*more) {
+      // Drained from the writer's side; pull the tail out of the socket.
+      continue;
+    }
+  }
+  EXPECT_EQ(received, big.size());
+}
+
+// ---------- Reactor: the epoll loop itself ----------
+
+TEST(ReactorTest, DispatchesReadinessAndPostedClosures) {
+  Reactor reactor;
+  ASSERT_TRUE(reactor.Start("test-loop").ok());
+  WakeupFd ready;
+  ASSERT_TRUE(ready.Open().ok());
+  std::atomic<int> fired{0};
+  std::atomic<bool> posted{false};
+  reactor.Post([&] {
+    ASSERT_TRUE(reactor
+                    .Add(ready.fd(), EPOLLIN,
+                         [&](uint32_t) {
+                           ready.Drain();
+                           fired.fetch_add(1);
+                         })
+                    .ok());
+    posted.store(true);
+  });
+  ASSERT_TRUE(WaitFor([&] { return posted.load(); }));
+  ready.Signal();
+  ASSERT_TRUE(WaitFor([&] { return fired.load() >= 1; }));
+  // Del from the loop thread; further signals must not dispatch.
+  std::atomic<bool> deleted{false};
+  reactor.Post([&] {
+    reactor.Del(ready.fd());
+    deleted.store(true);
+  });
+  ASSERT_TRUE(WaitFor([&] { return deleted.load(); }));
+  const int count = fired.load();
+  ready.Signal();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(fired.load(), count);
+  reactor.Stop();
+}
+
+TEST(ReactorTest, HandlerMayDeleteItsOwnFd) {
+  Reactor reactor;
+  ASSERT_TRUE(reactor.Start("self-del").ok());
+  WakeupFd ready;
+  ASSERT_TRUE(ready.Open().ok());
+  std::atomic<int> fired{0};
+  std::atomic<bool> registered{false};
+  reactor.Post([&] {
+    ASSERT_TRUE(reactor
+                    .Add(ready.fd(), EPOLLIN,
+                         [&](uint32_t) {
+                           ready.Drain();
+                           fired.fetch_add(1);
+                           // The hazard the loop must survive: the
+                           // handler erases itself mid-dispatch.
+                           reactor.Del(ready.fd());
+                         })
+                    .ok());
+    registered.store(true);
+  });
+  ASSERT_TRUE(WaitFor([&] { return registered.load(); }));
+  ready.Signal();
+  ASSERT_TRUE(WaitFor([&] { return fired.load() == 1; }));
+  ready.Signal();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(fired.load(), 1);
+  reactor.Stop();
+}
+
+TEST(ReactorTest, StopIsIdempotentAndJoins) {
+  Reactor reactor;
+  ASSERT_TRUE(reactor.Start().ok());
+  EXPECT_TRUE(reactor.running());
+  reactor.Stop();
+  EXPECT_FALSE(reactor.running());
+  reactor.Stop();  // second stop is a no-op, not a crash
+}
+
+// ---------- ReleaseWatermarks: racy completions -> contiguous floor ---
+
+TEST(ReleaseWatermarksTest, OutOfOrderCompletionsAdvanceOnlyTheFloor) {
+  ReleaseWatermarks marks;
+  EXPECT_TRUE(marks.Snapshot().empty());
+  marks.Note(1, 2);  // above the gap: parked, floor stays 0
+  EXPECT_TRUE(marks.Snapshot().empty());
+  marks.Note(1, 1);  // fills the gap: floor jumps across the parked run
+  auto snapshot = marks.Snapshot();
+  ASSERT_EQ(snapshot.count(1), 1u);
+  EXPECT_EQ(snapshot[1], 2u);
+  marks.Note(1, 5);
+  marks.Note(1, 4);
+  EXPECT_EQ(marks.Snapshot()[1], 2u);  // 3 still missing
+  marks.Note(1, 3);
+  EXPECT_EQ(marks.Snapshot()[1], 5u);
+  // Streams are independent.
+  marks.Note(9, 1);
+  snapshot = marks.Snapshot();
+  EXPECT_EQ(snapshot[1], 5u);
+  EXPECT_EQ(snapshot[9], 1u);
+}
+
+// ---------- system level: churn, mixed modes, fd exhaustion ----------
+
+class ReactorIngestFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trajldp::testing::GridWorldOptions options;
+    options.rows = 15;
+    options.cols = 15;
+    auto db = MakeGridWorld(options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<model::PoiDatabase>(std::move(*db));
+    time_ = *model::TimeDomain::Create(10);
+
+    core::NGramConfig config;
+    config.n = 2;
+    config.epsilon = 5.0;
+    config.decomposition.grid_size = 5;
+    config.decomposition.coarse_grids = {1};
+    config.decomposition.base_interval_minutes = 720;
+    config.decomposition.merge.kappa = 1;
+    config.reachability.speed_kmh = 30.0;
+    config.reachability.reference_gap_minutes = 60;
+    auto mech = core::NGramMechanism::Build(db_.get(), time_, config);
+    ASSERT_TRUE(mech.ok()) << mech.status();
+    mech_ = std::make_unique<core::NGramMechanism>(std::move(*mech));
+  }
+
+  std::vector<region::RegionTrajectory> MakeUsers(size_t count,
+                                                  uint64_t seed) const {
+    const auto num_regions =
+        static_cast<uint64_t>(mech_->decomposition().num_regions());
+    Rng rng(seed);
+    std::vector<region::RegionTrajectory> users(count);
+    for (auto& tau : users) {
+      const size_t len = 2 + static_cast<size_t>(rng.UniformUint64(4));
+      for (size_t i = 0; i < len; ++i) {
+        tau.push_back(
+            static_cast<region::RegionId>(rng.UniformUint64(num_regions)));
+      }
+    }
+    return users;
+  }
+
+  io::ReportBatch MakeReports(
+      const std::vector<region::RegionTrajectory>& users, uint64_t seed) {
+    core::BatchReleaseEngine engine(&mech_->perturber(),
+                                    core::BatchReleaseEngine::Config{2});
+    auto perturbed = engine.ReleaseAll(users, seed);
+    EXPECT_TRUE(perturbed.ok()) << perturbed.status();
+    return MakeWireReports(users, std::move(*perturbed), mech_->perturber());
+  }
+
+  std::vector<FullRelease> Reference(
+      const std::vector<region::RegionTrajectory>& users, uint64_t seed) {
+    core::BatchReleaseEngine engine(mech_.get(),
+                                    core::BatchReleaseEngine::Config{2});
+    auto reference = engine.ReleaseAllFull(users, seed);
+    EXPECT_TRUE(reference.ok()) << reference.status();
+    return std::move(*reference);
+  }
+
+  struct Shard {
+    std::vector<UserRelease> out;
+    std::unique_ptr<StreamingCollector> collector;
+    std::unique_ptr<IngestServer> server;
+  };
+
+  std::unique_ptr<Shard> StartShard(uint64_t seed,
+                                    IngestServer::Options options = {},
+                                    StreamingCollector::Config config = {}) {
+    auto shard = std::make_unique<Shard>();
+    Shard* raw = shard.get();
+    shard->collector = std::make_unique<StreamingCollector>(
+        mech_.get(), seed,
+        [raw](UserRelease release) { raw->out.push_back(std::move(release)); },
+        config);
+    auto server = IngestServer::Start(shard->collector.get(), options);
+    EXPECT_TRUE(server.ok()) << server.status();
+    if (!server.ok()) return nullptr;
+    shard->server = std::move(*server);
+    return shard;
+  }
+
+  void FinishAndVerify(Shard* shard,
+                       const std::vector<FullRelease>& reference) {
+    ASSERT_TRUE(WaitFor([&] {
+      return shard->collector->reports_released() == reference.size();
+    }));
+    shard->server->Shutdown();
+    ASSERT_TRUE(shard->collector->Finish().ok());
+    std::vector<std::vector<UserRelease>> outputs;
+    outputs.push_back(std::move(shard->out));
+    auto merged =
+        core::MergeShardReleases(std::move(outputs), reference.size());
+    ASSERT_TRUE(merged.ok()) << merged.status();
+    ASSERT_EQ(merged->size(), reference.size());
+    for (size_t i = 0; i < merged->size(); ++i) {
+      EXPECT_EQ((*merged)[i].regions, reference[i].regions) << "user " << i;
+      EXPECT_EQ((*merged)[i].trajectory, reference[i].trajectory)
+          << "user " << i;
+      EXPECT_EQ((*merged)[i].poi_attempts, reference[i].poi_attempts)
+          << "user " << i;
+      EXPECT_EQ((*merged)[i].smoothed, reference[i].smoothed) << "user " << i;
+    }
+  }
+
+  std::unique_ptr<model::PoiDatabase> db_;
+  model::TimeDomain time_;
+  std::unique_ptr<core::NGramMechanism> mech_;
+};
+
+TEST_F(ReactorIngestFixture, MixedSequencedAndRawClientsOnMultiReactorServer) {
+  // The equivalence property the rewrite must keep: one server, several
+  // reactor threads, sequenced streams and legacy raw-v1 clients
+  // interleaved — and the merged output is still bit-identical to the
+  // in-process engine. Thirds: raw, sequenced, sequenced-with-reconnects.
+  const uint64_t seed = 20260808;
+  const auto users = MakeUsers(36, 21);
+  const auto reference = Reference(users, seed);
+  const auto reports = MakeReports(users, seed);
+
+  IngestServer::Options options;
+  options.reactor_threads = 3;
+  auto shard = StartShard(seed, options);
+  ASSERT_NE(shard, nullptr);
+  const uint16_t port = shard->server->port();
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {  // raw v1: unsequenced frames, no acks
+    ReportClient client("127.0.0.1", port);
+    for (size_t i = 0; i < 12; i += 3) {
+      ASSERT_TRUE(client
+                      .SendBatch(std::span<const io::WireReport>(
+                          reports.data() + i, 3))
+                      .ok());
+    }
+    client.Close();
+  });
+  threads.emplace_back([&] {  // sequenced, one long-lived connection
+    ReportClient::Options copts;
+    copts.enable_sequencing = true;
+    copts.stream_id = 1;
+    ReportClient client("127.0.0.1", port, copts);
+    for (size_t i = 12; i < 24; i += 3) {
+      ASSERT_TRUE(client
+                      .SendBatch(std::span<const io::WireReport>(
+                          reports.data() + i, 3))
+                      .ok());
+    }
+    ASSERT_TRUE(client.Flush().ok());
+    client.Close();
+  });
+  threads.emplace_back([&] {  // sequenced churn: reconnect between frames
+    ReportClient::Options copts;
+    copts.enable_sequencing = true;
+    copts.stream_id = 2;
+    ReportClient client("127.0.0.1", port, copts);
+    for (size_t i = 24; i < 36; i += 3) {
+      ASSERT_TRUE(client
+                      .SendBatch(std::span<const io::WireReport>(
+                          reports.data() + i, 3))
+                      .ok());
+      ASSERT_TRUE(client.Flush().ok());
+      client.Close();  // next SendBatch redials
+    }
+  });
+  for (auto& thread : threads) thread.join();
+
+  FinishAndVerify(shard.get(), reference);
+  const auto stats = shard->server->stats();
+  // The churn thread redialled per frame: well more than 3 connections.
+  EXPECT_GE(stats.connections_accepted, 6u);
+  EXPECT_EQ(stats.connections_closed, stats.connections_accepted);
+  EXPECT_EQ(stats.connections_failed, 0u);
+}
+
+TEST_F(ReactorIngestFixture, ShortLivedConnectionChurnLosesNothing) {
+  // Many short-lived connections, one frame each, several at a time —
+  // the accept/adopt/close path under churn. Every report must land
+  // exactly once.
+  const uint64_t seed = 31;
+  const auto users = MakeUsers(48, 23);
+  const auto reference = Reference(users, seed);
+  const auto reports = MakeReports(users, seed);
+
+  IngestServer::Options options;
+  options.reactor_threads = 2;
+  auto shard = StartShard(seed, options);
+  ASSERT_NE(shard, nullptr);
+  const uint16_t port = shard->server->port();
+
+  constexpr size_t kThreads = 4;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t * 12; i < (t + 1) * 12; ++i) {
+        ReportClient client("127.0.0.1", port);  // fresh connection per report
+        ASSERT_TRUE(client
+                        .SendBatch(std::span<const io::WireReport>(
+                            reports.data() + i, 1))
+                        .ok());
+        client.Close();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  FinishAndVerify(shard.get(), reference);
+  const auto stats = shard->server->stats();
+  EXPECT_GE(stats.connections_accepted, 48u);
+  EXPECT_EQ(stats.connections_closed, stats.connections_accepted);
+  EXPECT_EQ(stats.connections_failed, 0u);
+  EXPECT_TRUE(shard->server->first_connection_error().ok())
+      << shard->server->first_connection_error();
+}
+
+/// Restores RLIMIT_NOFILE no matter how the test exits.
+struct RlimitGuard {
+  RlimitGuard() { getrlimit(RLIMIT_NOFILE, &saved); }
+  ~RlimitGuard() { setrlimit(RLIMIT_NOFILE, &saved); }
+  struct rlimit saved {};
+};
+
+int HighestOpenFd() {
+  int highest = -1;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    highest = std::max(highest, std::stoi(entry.path().filename().string()));
+  }
+  return highest;
+}
+
+TEST_F(ReactorIngestFixture, FdExhaustionBacksOffAndRecovers) {
+  const uint64_t seed = 37;
+  const auto users = MakeUsers(4, 29);
+  const auto reference = Reference(users, seed);
+  const auto reports = MakeReports(users, seed);
+
+  IngestServer::Options options;
+  options.reactor_threads = 1;
+  options.push_retry = std::chrono::milliseconds(5);  // fast re-arm
+  auto shard = StartShard(seed, options);
+  ASSERT_NE(shard, nullptr);
+  const uint16_t port = shard->server->port();
+
+  RlimitGuard guard;
+  // Leave a little headroom above today's fd usage, then burn through
+  // it with held-open client connections: each one costs a client fd
+  // AND an accepted server fd, so within a few dials accept4 hits
+  // EMFILE. The listener must deregister and back off — no hot spin —
+  // and the counter must show it.
+  struct rlimit tight = guard.saved;
+  tight.rlim_cur = static_cast<rlim_t>(HighestOpenFd() + 8);
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  std::vector<Socket> held;
+  bool backed_off = false;
+  for (int attempt = 0; attempt < 64 && !backed_off; ++attempt) {
+    auto conn = TcpConnect("127.0.0.1", port);
+    if (conn.ok()) {
+      held.push_back(std::move(*conn));
+    } else if (!held.empty()) {
+      // Our own socket() hit the wall first; hand the accept side the
+      // next fd instead.
+      held.pop_back();
+    }
+    backed_off = WaitFor(
+        [&] { return shard->server->stats().accept_backoffs >= 1; },
+        std::chrono::seconds(1));
+  }
+  EXPECT_TRUE(backed_off) << "accept never hit fd exhaustion";
+
+  // Pressure off: limit restored, sacrificial connections closed. The
+  // re-armed listener must accept fresh connections and ingest normally.
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &guard.saved), 0);
+  held.clear();
+  ReportClient client("127.0.0.1", port);
+  ASSERT_TRUE(client.SendBatch(reports).ok());
+  client.Close();
+  ASSERT_TRUE(WaitFor([&] {
+    return shard->collector->reports_released() == users.size();
+  }));
+  EXPECT_GE(shard->server->stats().accept_backoffs, 1u);
+  FinishAndVerify(shard.get(), reference);
+}
+
+}  // namespace
+}  // namespace trajldp::net
