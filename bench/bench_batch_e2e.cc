@@ -24,16 +24,25 @@
 //  * guided engine output bit-identical to the sequential guided loop
 //    at every thread count;
 //  * end-to-end engine speedup vs the seed loop >= 4x;
-//  * POI-stage speedup, guided vs rejection (per-stage split), >= 2x.
+//  * POI-stage speedup, guided vs rejection (per-stage split), >= 2x;
+//  * threads × cache-mode sweep (ISSUE 8): every {1, 2, hw} × {shared,
+//    sharded, replica} engine run bit-identical to the sequential
+//    reference (throughput keys are informational on 1-CPU hosts).
 //
-//   ./build/bench_batch_e2e [--json PATH] [--users N]
+// Engine legs additionally record hardware counters (IPC, LLC misses
+// per n-gram) via bench/hw_counters.h; hosts without perf_event access
+// report hw_counters_available = false and the bench still passes.
+//
+//   ./build/bench_batch_e2e [--json PATH] [--users N] [--hw-probe]
 
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -41,6 +50,7 @@
 #include "common/thread_pool.h"
 #include "core/batch_release_engine.h"
 #include "core/mechanism.h"
+#include "hw_counters.h"
 #include "model/reachability.h"
 #include "region/region_index.h"
 #include "seed_replica.h"
@@ -192,30 +202,57 @@ int Run(size_t num_users, const std::string& json_path) {
   }
 
   // --- 3. Batched engine, 1 thread and all hardware threads. ---------
+  // One hardware-counter measurement per engine leg: counters open
+  // before the pool spawns (inherit covers the workers), baseline just
+  // before the batch.
+  struct HwStats {
+    bool available = false;
+    bool llc = false;
+    bench::HwSample sample;
+  };
   auto run_engine = [&](size_t threads, core::PoiPolicy policy,
-                        double& seconds)
+                        std::optional<core::NgramDomain::CacheMode> mode,
+                        double& seconds, HwStats* hw_out)
       -> StatusOr<std::vector<core::FullRelease>> {
     core::BatchReleaseEngine::Config engine_config;
     engine_config.num_threads = threads;
     engine_config.poi_policy = policy;
+    engine_config.cache_mode = mode;
+    bench::HwCounters hw;
     core::BatchReleaseEngine engine(&*mech, engine_config);
     mech->domain().ClearCache();
+    hw.Start();
     Stopwatch watch;
     auto result = engine.ReleaseAllFull(users, kSeed);
     seconds = watch.ElapsedSeconds();
+    if (hw_out != nullptr) {
+      hw_out->available = hw.available();
+      hw_out->llc = hw.llc_supported();
+      hw_out->sample = hw.Delta();
+    }
     return result;
+  };
+  // EM draws per user: L + n − 1 main + supplementary n-grams.
+  const double num_ngrams =
+      static_cast<double>(num_users) * (kTrajectoryLen + kN - 1);
+  const auto llc_per_ngram = [&](const HwStats& hw) {
+    return hw.available && hw.llc
+               ? static_cast<double>(hw.sample.llc_misses) / num_ngrams
+               : 0.0;
   };
 
   double engine1_seconds = 0.0;
-  auto engine1 = run_engine(1, core::PoiPolicy::kRejection, engine1_seconds);
+  HwStats engine1_hw;
+  auto engine1 = run_engine(1, core::PoiPolicy::kRejection, std::nullopt,
+                            engine1_seconds, &engine1_hw);
   if (!engine1.ok()) {
     std::cerr << "engine(1): " << engine1.status() << "\n";
     return 1;
   }
   const size_t hw_threads = ThreadPool::DefaultThreadCount();
   double engine_hw_seconds = 0.0;
-  auto engine_hw =
-      run_engine(hw_threads, core::PoiPolicy::kRejection, engine_hw_seconds);
+  auto engine_hw = run_engine(hw_threads, core::PoiPolicy::kRejection,
+                              std::nullopt, engine_hw_seconds, nullptr);
   if (!engine_hw.ok()) {
     std::cerr << "engine(" << hw_threads << "): " << engine_hw.status()
               << "\n";
@@ -245,19 +282,57 @@ int Run(size_t num_users, const std::string& json_path) {
   }
 
   double guided1_seconds = 0.0;
-  auto guided1 = run_engine(1, core::PoiPolicy::kGuided, guided1_seconds);
+  HwStats guided1_hw;
+  auto guided1 = run_engine(1, core::PoiPolicy::kGuided, std::nullopt,
+                            guided1_seconds, &guided1_hw);
   if (!guided1.ok()) {
     std::cerr << "guided engine(1): " << guided1.status() << "\n";
     return 1;
   }
   double guided_hw_seconds = 0.0;
-  auto guided_hw =
-      run_engine(hw_threads, core::PoiPolicy::kGuided, guided_hw_seconds);
+  auto guided_hw = run_engine(hw_threads, core::PoiPolicy::kGuided,
+                              std::nullopt, guided_hw_seconds, nullptr);
   if (!guided_hw.ok()) {
     std::cerr << "guided engine(" << hw_threads
               << "): " << guided_hw.status() << "\n";
     return 1;
   }
+
+  // --- 5. Threads × cache-mode contention sweep (ISSUE 8). -----------
+  // Every leg re-runs the rejection engine under an explicit cache mode
+  // and must land bit-identical to the sequential reference; throughput
+  // and counters quantify contention once a multi-core runner exists
+  // (informational on a 1-CPU host, where t2 just oversubscribes).
+  struct SweepLeg {
+    size_t threads;
+    const char* mode_name;
+    double seconds;
+    HwStats hw;
+  };
+  std::vector<size_t> sweep_threads = {1, 2};
+  if (hw_threads != 1 && hw_threads != 2) sweep_threads.push_back(hw_threads);
+  constexpr std::pair<const char*, core::NgramDomain::CacheMode> kSweepModes[] =
+      {{"shared", core::NgramDomain::CacheMode::kShared},
+       {"sharded", core::NgramDomain::CacheMode::kSharded},
+       {"replica", core::NgramDomain::CacheMode::kPerThread}};
+  std::vector<SweepLeg> sweep;
+  bool cache_sweep_identical = true;
+  for (size_t threads : sweep_threads) {
+    for (const auto& [mode_name, mode] : kSweepModes) {
+      SweepLeg leg{threads, mode_name, 0.0, {}};
+      auto result = run_engine(threads, core::PoiPolicy::kRejection, mode,
+                               leg.seconds, &leg.hw);
+      if (!result.ok()) {
+        std::cerr << "sweep engine(" << threads << ", " << mode_name
+                  << "): " << result.status() << "\n";
+        return 1;
+      }
+      if (!Identical(*result, sequential)) cache_sweep_identical = false;
+      sweep.push_back(leg);
+    }
+  }
+  // Leave the domain in its default mode for anyone embedding this TU.
+  mech->domain().set_cache_mode(core::NgramDomain::CacheMode::kSharded);
 
   const bool identical =
       Identical(*engine1, sequential) && Identical(*engine_hw, sequential);
@@ -314,6 +389,26 @@ int Run(size_t num_users, const std::string& json_path) {
             << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n"
             << "guided batched == guided sequential (bit-identical): "
             << (guided_identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+  if (engine1_hw.available) {
+    std::cout << "hw counters (engine@1t): ipc " << engine1_hw.sample.Ipc()
+              << ", llc misses/n-gram " << llc_per_ngram(engine1_hw)
+              << (engine1_hw.llc ? "" : " (llc counters unavailable)")
+              << "\n";
+  } else {
+    std::cout << "hw counters: unavailable\n";
+  }
+  for (const SweepLeg& leg : sweep) {
+    std::cout << "sweep t" << leg.threads << " " << leg.mode_name << ": "
+              << users_per_sec(leg.seconds) << " users/s";
+    if (leg.hw.available) {
+      std::cout << ", ipc " << leg.hw.sample.Ipc() << ", llc misses/n-gram "
+                << llc_per_ngram(leg.hw);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "cache-mode sweep bit-identical: "
+            << (cache_sweep_identical ? "yes" : "NO — DETERMINISM BUG")
+            << "\n";
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -373,6 +468,27 @@ int Run(size_t num_users, const std::string& json_path) {
         << "  \"speedup_vs_seed_loop\": " << speedup_vs_seed << ",\n"
         << "  \"speedup_1t_vs_seed_loop\": " << speedup_1t_vs_seed << ",\n"
         << "  \"thread_scaling\": " << scaling << ",\n"
+        << "  \"hw_counters_available\": "
+        << (engine1_hw.available ? "true" : "false") << ",\n"
+        << "  \"llc_counters_available\": "
+        << (engine1_hw.llc ? "true" : "false") << ",\n"
+        << "  \"engine_1t_ipc\": " << engine1_hw.sample.Ipc() << ",\n"
+        << "  \"engine_1t_llc_miss_per_ngram\": " << llc_per_ngram(engine1_hw)
+        << ",\n"
+        << "  \"guided_engine_1t_ipc\": " << guided1_hw.sample.Ipc() << ",\n"
+        << "  \"guided_engine_1t_llc_miss_per_ngram\": "
+        << llc_per_ngram(guided1_hw) << ",\n";
+    for (const SweepLeg& leg : sweep) {
+      const std::string prefix = "sweep_t" + std::to_string(leg.threads) +
+                                 "_" + leg.mode_name;
+      out << "  \"" << prefix
+          << "_users_per_sec\": " << users_per_sec(leg.seconds) << ",\n"
+          << "  \"" << prefix << "_ipc\": " << leg.hw.sample.Ipc() << ",\n"
+          << "  \"" << prefix << "_llc_miss_per_ngram\": "
+          << llc_per_ngram(leg.hw) << ",\n";
+    }
+    out << "  \"cache_sweep_bit_identical\": "
+        << (cache_sweep_identical ? "true" : "false") << ",\n"
         << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
         << "  \"guided_bit_identical\": "
         << (guided_identical ? "true" : "false") << "\n"
@@ -381,8 +497,32 @@ int Run(size_t num_users, const std::string& json_path) {
   }
 
   if (!identical || !guided_identical) return 2;
+  if (!cache_sweep_identical) return 5;
   if (speedup_vs_seed < 4.0) return 3;
   return poi_stage_speedup >= 2.0 ? 0 : 4;
+}
+
+// CI fallback smoke (--hw-probe): exercise the counter harness end to
+// end — open, start, measure a trivial region, read — and exit 0
+// whether or not the host grants counters. The step exists to catch the
+// harness CRASHING on a counter-less host, which would turn graceful
+// degradation into a regression; degraded is the expected CI outcome.
+int HwProbe() {
+  bench::HwCounters hw;
+  hw.Start();
+  double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink += static_cast<double>(i) * 1e-9;
+  const bench::HwSample s = hw.Delta();
+  if (hw.available()) {
+    std::cout << "hw counters available: cycles " << s.cycles
+              << ", instructions " << s.instructions << ", ipc " << s.Ipc()
+              << ", llc " << (hw.llc_supported() ? "yes" : "no")
+              << " (sink " << sink << ")\n";
+  } else {
+    std::cout << "hw counters unavailable: " << hw.unavailable_reason()
+              << " (sink " << sink << ")\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -400,8 +540,11 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
       num_users = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--hw-probe") == 0) {
+      return trajldp::HwProbe();
     } else {
-      std::cerr << "usage: " << argv[0] << " [--json PATH] [--users N]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--json PATH] [--users N] [--hw-probe]\n";
       return 1;
     }
   }

@@ -1,0 +1,140 @@
+#include "hw_counters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace trajldp::bench {
+
+#if defined(__linux__)
+
+namespace {
+
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+// Order matches HwSample / the Counter array: cycles, instructions,
+// LLC loads, LLC misses, branch misses.
+constexpr EventSpec kEvents[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16)},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+int OpenCounter(const EventSpec& spec) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  // Counters start enabled and are delta'd from a Start() baseline
+  // read: ioctl(PERF_EVENT_IOC_RESET/ENABLE) does not propagate to the
+  // threads inherit picks up, a baseline subtraction does.
+  attr.disabled = 0;
+  // Count worker threads spawned inside the measured region (the whole
+  // point for the engine benches). inherit forbids PERF_FORMAT_GROUP
+  // reads, which is why each event gets its own fd.
+  attr.inherit = 1;
+  attr.exclude_kernel = 1;  // works at perf_event_paranoid <= 2
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0));
+}
+
+}  // namespace
+
+HwCounters::HwCounters() {
+  for (int i = 0; i < kNumCounters; ++i) {
+    counters_[i].fd = OpenCounter(kEvents[i]);
+  }
+  // Core pair (cycles, instructions) decides availability; the LLC pair
+  // is best-effort on top (virtualised PMUs often expose only the core
+  // events).
+  available_ = counters_[0].fd >= 0 && counters_[1].fd >= 0;
+  llc_supported_ = counters_[2].fd >= 0 && counters_[3].fd >= 0;
+  if (!available_) {
+    reason_ = std::string("perf_event_open: ") + std::strerror(errno);
+    for (Counter& c : counters_) {
+      if (c.fd >= 0) close(c.fd);
+      c.fd = -1;
+    }
+  }
+}
+
+HwCounters::~HwCounters() {
+  for (Counter& c : counters_) {
+    if (c.fd >= 0) close(c.fd);
+  }
+}
+
+uint64_t HwCounters::ReadScaled(int idx) const {
+  const int fd = counters_[idx].fd;
+  if (fd < 0) return 0;
+  // value, time_enabled, time_running (the read_format above).
+  uint64_t buf[3] = {0, 0, 0};
+  if (read(fd, buf, sizeof(buf)) != static_cast<ssize_t>(sizeof(buf))) {
+    return 0;
+  }
+  if (buf[2] != 0 && buf[2] < buf[1]) {
+    // The PMU multiplexed this event: scale up by enabled/running, the
+    // standard perf estimate.
+    const double scaled = static_cast<double>(buf[0]) *
+                          (static_cast<double>(buf[1]) /
+                           static_cast<double>(buf[2]));
+    return static_cast<uint64_t>(scaled);
+  }
+  return buf[0];
+}
+
+void HwCounters::Start() {
+  if (!available_) return;
+  for (int i = 0; i < kNumCounters; ++i) {
+    counters_[i].base = ReadScaled(i);
+  }
+}
+
+HwSample HwCounters::Delta() const {
+  HwSample out;
+  if (!available_) return out;
+  uint64_t vals[kNumCounters];
+  for (int i = 0; i < kNumCounters; ++i) {
+    const uint64_t now = ReadScaled(i);
+    const uint64_t base = counters_[i].base;
+    vals[i] = now >= base ? now - base : 0;
+  }
+  out.cycles = vals[0];
+  out.instructions = vals[1];
+  out.llc_loads = vals[2];
+  out.llc_misses = vals[3];
+  out.branch_misses = vals[4];
+  return out;
+}
+
+#else  // !__linux__
+
+HwCounters::HwCounters() {
+  reason_ = "perf_event_open is Linux-only";
+}
+HwCounters::~HwCounters() = default;
+void HwCounters::Start() {}
+HwSample HwCounters::Delta() const { return HwSample{}; }
+uint64_t HwCounters::ReadScaled(int) const { return 0; }
+
+#endif
+
+}  // namespace trajldp::bench

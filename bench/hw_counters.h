@@ -1,0 +1,94 @@
+#ifndef TRAJLDP_BENCH_HW_COUNTERS_H_
+#define TRAJLDP_BENCH_HW_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace trajldp::bench {
+
+/// One snapshot of the hardware counters HwCounters watches. Values are
+/// multiplex-scaled (time_enabled / time_running) when the kernel had to
+/// rotate events, so they are estimates under heavy PMU sharing and
+/// exact otherwise.
+struct HwSample {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_loads = 0;
+  uint64_t llc_misses = 0;
+  uint64_t branch_misses = 0;
+
+  double Ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+  double LlcMissRate() const {
+    return llc_loads == 0 ? 0.0
+                          : static_cast<double>(llc_misses) /
+                                static_cast<double>(llc_loads);
+  }
+};
+
+/// \brief perf_event_open wrapper for explaining bench numbers: cycles,
+/// instructions, LLC loads/misses, branch misses for the calling process
+/// and (inherit=1) every thread it spawns after Start().
+///
+/// The harness degrades, never fails: on kernels or containers that
+/// forbid counters (perf_event_paranoid, seccomp, missing PMU — the
+/// normal case in CI) available() is false, unavailable_reason() says
+/// why, and Delta() returns zeros. Benches must treat that as "emit the
+/// keys as unavailable", not as an error — a bench that crashes without
+/// a PMU would make hardware counters a regression, not an explanation.
+///
+/// Counters are opened per-fd (no PERF_FORMAT_GROUP: grouped reads do
+/// not aggregate inherited child threads) and enabled at open; Start()
+/// takes a baseline read and Delta() subtracts it, which works for
+/// inherited events where ioctl(RESET) would not reach children. LLC
+/// events may be individually unsupported (common on VMs) — they then
+/// read 0 while cycles/instructions still measure; llc_supported()
+/// distinguishes "no misses" from "no counter".
+class HwCounters {
+ public:
+  /// Opens the counters for this process + future threads. Cheap enough
+  /// to construct per measured region.
+  HwCounters();
+  ~HwCounters();
+
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+
+  /// True when at least cycles and instructions opened.
+  bool available() const { return available_; }
+  /// Human-readable reason when available() is false ("perf_event_open:
+  /// Permission denied", …); empty when available.
+  const std::string& unavailable_reason() const { return reason_; }
+  /// True when the LLC load/miss pair opened (often absent under
+  /// virtualisation even when core counters work).
+  bool llc_supported() const { return llc_supported_; }
+
+  /// Marks the start of the measured region (baseline read of every
+  /// counter). Threads spawned after this point are counted too.
+  void Start();
+
+  /// Counter deltas since Start(), multiplex-scaled. All-zero when
+  /// unavailable.
+  HwSample Delta() const;
+
+ private:
+  struct Counter {
+    int fd = -1;
+    uint64_t base = 0;
+  };
+  static constexpr int kNumCounters = 5;
+
+  uint64_t ReadScaled(int idx) const;
+
+  Counter counters_[kNumCounters];
+  bool available_ = false;
+  bool llc_supported_ = false;
+  std::string reason_;
+};
+
+}  // namespace trajldp::bench
+
+#endif  // TRAJLDP_BENCH_HW_COUNTERS_H_

@@ -13,7 +13,11 @@
 #                      → optimal reconstruction → POI resampling):
 #                      users/s per path, Table-3-style stage split,
 #                      speedup vs the seed sequential loop, thread
-#                      scaling, and the bit-identical check.
+#                      scaling, the threads × cache-mode contention
+#                      sweep with its own bit-identity gate, hardware
+#                      counters (IPC, LLC miss/n-gram; zeros when the
+#                      host has no PMU — docs/PERF.md), and the
+#                      bit-identical check.
 #   BENCH_stream.json — streaming wire-format ingest through the
 #                      StreamingCollector: users/s across batch size ×
 #                      queue depth × shard count, the batch-engine
@@ -28,7 +32,9 @@
 #                      AND merged output bit-identical), and the
 #                      bit-identical check.
 #   BENCH_micro.json — google-benchmark JSON for the hot kernels
-#                      (haversine, Gumbel, EM select, path sampler).
+#                      (haversine, Gumbel, EM select, path sampler,
+#                      Viterbi DP), with hw_available/ipc/llc-miss
+#                      counters on the hottest ones.
 #
 # After the runs, every BENCH_*.json is checked for its gate keys; a
 # missing file or key FAILS the harness loudly instead of silently
@@ -89,6 +95,20 @@ required = {
         "guided_bit_identical",
         "poi_stage_speedup",
         "speedup_vs_seed_loop",
+        # ISSUE 8: cache-contention sweep + hardware-counter keys. The
+        # sweep's t1/t2 legs exist on every host (hw-thread legs are
+        # extra); counters may report unavailable but the keys must be
+        # emitted.
+        "cache_sweep_bit_identical",
+        "hw_counters_available",
+        "engine_1t_ipc",
+        "engine_1t_llc_miss_per_ngram",
+        "sweep_t1_shared_users_per_sec",
+        "sweep_t1_sharded_users_per_sec",
+        "sweep_t1_replica_users_per_sec",
+        "sweep_t2_shared_users_per_sec",
+        "sweep_t2_sharded_users_per_sec",
+        "sweep_t2_replica_users_per_sec",
     ],
     "BENCH_stream.json": ["bit_identical", "best_stream_users_per_sec"],
     "BENCH_net.json": [
@@ -115,6 +135,18 @@ for name, keys in required.items():
     for key in keys:
         if key not in bench:
             failures.append(f"{name}: gate key '{key}' missing")
+    if name == "BENCH_micro.json":
+        # ISSUE 8: the hot-kernel benches must carry their hardware-
+        # counter annotations (hw_available may be 0 — the keys must
+        # exist). google-benchmark puts custom counters on each entry.
+        annotated = [
+            b for b in bench.get("benchmarks", [])
+            if "hw_available" in b and "ipc" in b
+        ]
+        if not annotated:
+            failures.append(
+                f"{name}: no benchmark entry carries hw_available/ipc "
+                "counters")
 if failures:
     print("MISSING BENCH GATES:")
     for failure in failures:

@@ -1,0 +1,81 @@
+#ifndef TRAJLDP_COMMON_ALIGNED_ARENA_H_
+#define TRAJLDP_COMMON_ALIGNED_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace trajldp {
+
+/// \brief Grow-only bump allocator for cache-line-aligned DP scratch.
+///
+/// The blocked DP kernels want structure-of-arrays scratch: several flat
+/// arrays, each starting on its own cache line, so parallel rows never
+/// false-share, streaming loops start aligned, and one solve performs one
+/// capacity check instead of one per vector. A workspace owns one arena;
+/// each solve calls Reset(total_bytes) once, then Carve<T>(count) once
+/// per array, in a fixed order, sized with BytesFor<T>(count). The
+/// backing buffer grows to the high-water mark of its workspace and is
+/// then reused allocation-free — the same amortisation contract as the
+/// per-row vectors it replaces, minus their pointer indirection and
+/// scattered headers.
+///
+/// Carved pointers stay valid until the next Reset() (which may grow and
+/// therefore move the buffer) — never mid-solve, because a solve carves
+/// everything up front. Not thread-safe; one arena per worker thread,
+/// like every other workspace buffer.
+class AlignedArena {
+ public:
+  /// x86-64 / arm64 L1D line. Also the alignment every carve gets.
+  static constexpr size_t kAlign = 64;
+
+  /// Bytes Carve<T>(count) consumes: the payload rounded up to a whole
+  /// cache line, so the NEXT carve starts line-aligned too.
+  template <typename T>
+  static constexpr size_t BytesFor(size_t count) {
+    return (count * sizeof(T) + (kAlign - 1)) & ~(kAlign - 1);
+  }
+
+  /// Invalidates every prior carve and guarantees `bytes` of capacity
+  /// (grow-only; shrinking never releases memory — workspaces live for
+  /// one batch and want the high-water mark).
+  void Reset(size_t bytes) {
+    if (buf_.size() < bytes + kAlign) buf_.resize(bytes + kAlign);
+    const uintptr_t raw = reinterpret_cast<uintptr_t>(buf_.data());
+    base_ = reinterpret_cast<unsigned char*>((raw + (kAlign - 1)) &
+                                             ~uintptr_t{kAlign - 1});
+    capacity_ = bytes;
+    used_ = 0;
+  }
+
+  /// Hands out `count` T's starting on a fresh cache line. The content
+  /// is uninitialised — callers fill (or overwrite-before-read) exactly
+  /// as they did with resize()'d vectors. Must fit within the Reset()
+  /// capacity: over-carving is a workspace sizing bug, asserted in debug
+  /// builds.
+  template <typename T>
+  T* Carve(size_t count) {
+    static_assert(std::is_trivial_v<T>,
+                  "arena scratch must be trivially constructible/destructible");
+    static_assert(alignof(T) <= kAlign);
+    T* out = reinterpret_cast<T*>(base_ + used_);
+    used_ += BytesFor<T>(count);
+    assert(used_ <= capacity_ && "AlignedArena: carves exceed Reset() size");
+    return out;
+  }
+
+  size_t used() const { return used_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  std::vector<unsigned char> buf_;
+  unsigned char* base_ = nullptr;
+  size_t capacity_ = 0;
+  size_t used_ = 0;
+};
+
+}  // namespace trajldp
+
+#endif  // TRAJLDP_COMMON_ALIGNED_ARENA_H_

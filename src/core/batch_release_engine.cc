@@ -8,14 +8,22 @@ namespace trajldp::core {
 
 BatchReleaseEngine::BatchReleaseEngine(const NgramPerturber* perturber,
                                        Config config)
-    : perturber_(perturber), pool_(config.num_threads) {}
+    : perturber_(perturber), pool_(config.num_threads) {
+  if (config.cache_mode.has_value()) {
+    perturber_->domain().set_cache_mode(*config.cache_mode);
+  }
+}
 
 BatchReleaseEngine::BatchReleaseEngine(const NGramMechanism* mechanism,
                                        Config config)
     : perturber_(&mechanism->perturber()),
       pipeline_(mechanism->pipeline(config.poi_policy.value_or(
           mechanism->config().poi.policy))),
-      pool_(config.num_threads) {}
+      pool_(config.num_threads) {
+  if (config.cache_mode.has_value()) {
+    perturber_->domain().set_cache_mode(*config.cache_mode);
+  }
+}
 
 template <typename Out, typename PerUserFn>
 StatusOr<std::vector<Out>> BatchReleaseEngine::RunBatch(

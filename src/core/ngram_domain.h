@@ -1,6 +1,7 @@
 #ifndef TRAJLDP_CORE_NGRAM_DOMAIN_H_
 #define TRAJLDP_CORE_NGRAM_DOMAIN_H_
 
+#include <array>
 #include <atomic>
 #include <bit>
 #include <cstdint>
@@ -18,6 +19,86 @@
 #include "region/region_graph.h"
 
 namespace trajldp::core {
+
+/// Cache occupancy, hit, and eviction counters (diagnostics & tests).
+/// Read lock-free: every counter is maintained by per-stripe (or
+/// per-replica) atomics and summed on read.
+struct CacheStats {
+  size_t weight_rows = 0;
+  size_t suffix_rows = 0;
+  size_t weight_hits = 0;
+  size_t weight_misses = 0;
+  size_t suffix_hits = 0;
+  size_t suffix_misses = 0;
+  size_t weight_evictions = 0;
+  size_t suffix_evictions = 0;
+};
+
+namespace cache_internal {
+
+/// Cache key of one EM weight (or suffix) row: the true region and the
+/// bit pattern of the per-draw scale ε′ / (2Δd_w).
+struct RowKey {
+  uint32_t region;
+  uint64_t scale_bits;
+  bool operator==(const RowKey&) const = default;
+};
+struct RowKeyHash {
+  size_t operator()(const RowKey& key) const {
+    uint64_t h = key.scale_bits * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 29;
+    h += static_cast<uint64_t>(key.region) * 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+};
+using RowPtr = std::shared_ptr<const std::vector<double>>;
+
+}  // namespace cache_internal
+
+/// \brief A thread-private replica of the domain's row caches, used
+/// under NgramDomain::CacheMode::kPerThread.
+///
+/// One replica lives in each SamplerWorkspace (i.e. one per worker
+/// thread), so replica-mode lookups take no lock and touch no shared
+/// cache line — the cross-core invalidation traffic of a shared cache
+/// disappears entirely, at the cost of one row copy per thread that
+/// uses it. Rows are pure functions of (region, scale), so replicas
+/// never disagree and draws stay bit-identical to every other mode.
+///
+/// Replicas honour the domain's cache_capacity() (each replica holds up
+/// to capacity rows per cache — total memory is threads × capacity) and
+/// its ClearCache() generation (a cleared domain empties each replica at
+/// that replica's next draw). Counters are plain (single-owner) and
+/// surface through stats(); NgramDomain::cache_stats() deliberately does
+/// NOT include replica counters, since the domain cannot reach into
+/// other threads' workspaces.
+class ThreadCacheReplica {
+ public:
+  CacheStats stats() const {
+    CacheStats out = stats_;
+    out.weight_rows = weight_.size();
+    out.suffix_rows = suffix_.size();
+    return out;
+  }
+
+ private:
+  friend class NgramDomain;
+  struct Entry {
+    cache_internal::RowPtr row;
+    uint64_t last_used = 0;
+  };
+  using Map =
+      std::unordered_map<cache_internal::RowKey, Entry,
+                         cache_internal::RowKeyHash>;
+
+  Map weight_;
+  Map suffix_;
+  uint64_t tick_ = 0;
+  /// The domain clear generation this replica last synchronised with.
+  uint64_t clear_generation_ = 0;
+  CacheStats stats_;
+};
 
 /// \brief Reusable buffers for the path-EM sampler. One per thread.
 ///
@@ -40,6 +121,9 @@ struct SamplerWorkspace {
   /// so an LRU eviction on another thread can never free a row this
   /// thread's sampler is still reading.
   std::vector<std::shared_ptr<const std::vector<double>>> pins;
+  /// Thread-private row caches, created lazily by the first draw under
+  /// CacheMode::kPerThread (null and unused in every other mode).
+  std::unique_ptr<ThreadCacheReplica> replica;
 };
 
 /// Exact exponential-mechanism sampling of one walk from a directed graph
@@ -191,11 +275,33 @@ StatusOr<std::vector<uint32_t>> SamplePathEm(
 /// trajectory, or n-gram slot is being perturbed. Under a fixed collector
 /// policy (same ε, same n) a workload of millions of reports touches only
 /// |R| distinct rows, so the domain memoises rows — and the last-slot
-/// neighbour-sum rows the sampler needs — keyed by (region, scale). The
-/// caches are thread-safe (shared_mutex; rows are immutable once
-/// inserted) and shared by all threads of a BatchReleaseEngine. Cached
-/// and uncached sampling perform bit-identical arithmetic, so disabling
-/// the cache (set_cache_enabled(false)) changes nothing but speed.
+/// neighbour-sum rows the sampler needs — keyed by (region, scale).
+/// Cached and uncached sampling perform bit-identical arithmetic, so
+/// disabling the cache (set_cache_enabled(false)) changes nothing but
+/// speed.
+///
+/// ### Cache modes (contention at real thread counts)
+///
+/// How the cache is shared across threads is selectable (CacheMode), and
+/// — because every row is a pure function of (region, scale) — the mode
+/// changes contention and memory, never draws:
+///
+///  * kShared  — one stripe behind one shared_mutex, exactly the legacy
+///    layout: global exact-LRU under a capacity cap, simplest to reason
+///    about, but every core bounces the same lock and cache lines.
+///  * kSharded — the default: keys are hashed over kCacheStripes
+///    independent stripes, each with its own shared_mutex and maps.
+///    Threads touching different rows take different locks, so lock
+///    contention and cross-core invalidation fall by ~the stripe count.
+///    LRU is exact per stripe; a capacity cap is split evenly across
+///    stripes (occupancy bound: max(capacity, kCacheStripes) rows).
+///  * kPerThread — each SamplerWorkspace carries a private
+///    ThreadCacheReplica: no locks, no shared cache lines at all, at the
+///    cost of one row copy per thread (memory: threads × capacity rows).
+///    The mode for high worker counts where even sharded stripes show
+///    coherence traffic.
+///
+/// Every per-stripe counter is atomic, so cache_stats() is lock-free.
 ///
 /// ### LRU cap (per-user ε workloads)
 ///
@@ -210,17 +316,19 @@ StatusOr<std::vector<uint32_t>> SamplePathEm(
 /// memory and speed, never draws.
 class NgramDomain {
  public:
-  /// Cache occupancy, hit, and eviction counters (diagnostics & tests).
-  struct CacheStats {
-    size_t weight_rows = 0;
-    size_t suffix_rows = 0;
-    size_t weight_hits = 0;
-    size_t weight_misses = 0;
-    size_t suffix_hits = 0;
-    size_t suffix_misses = 0;
-    size_t weight_evictions = 0;
-    size_t suffix_evictions = 0;
+  using CacheStats = ::trajldp::core::CacheStats;
+
+  /// How the row caches are shared across threads (see class comment).
+  enum class CacheMode : uint8_t {
+    kShared = 0,
+    kSharded = 1,
+    kPerThread = 2,
   };
+
+  /// Stripe count of CacheMode::kSharded. A power of two; 16 stripes
+  /// keep the per-stripe collision probability low through the thread
+  /// counts a single NUMA node realistically runs.
+  static constexpr size_t kCacheStripes = 16;
 
   /// `graph` and `distance` must outlive this object and refer to the
   /// same decomposition.
@@ -259,58 +367,87 @@ class NgramDomain {
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
   bool cache_enabled() const { return cache_enabled_; }
 
+  /// Selects how the caches are shared across threads (default:
+  /// kSharded). Draws are bit-identical in every mode; only contention,
+  /// memory, and stats attribution change. Switching modes drops every
+  /// cached row (stripes are cleared here, per-thread replicas clear at
+  /// their next draw) so stale stripes can never pin memory. Const
+  /// because the cache is transparent state, like ClearCache(); not
+  /// thread-safe against concurrent SampleInto calls — select the mode
+  /// before fanning work out (BatchReleaseEngine::Config and
+  /// StreamingCollector::Config do exactly that).
+  void set_cache_mode(CacheMode mode) const;
+  CacheMode cache_mode() const {
+    return cache_mode_.load(std::memory_order_relaxed);
+  }
+
   /// Caps each row cache at `max_rows` entries with LRU eviction
   /// (0, the default, = unbounded). Safe to call concurrently with
-  /// SampleInto: in-flight draws hold pins on any rows they borrowed.
-  void set_cache_capacity(size_t max_rows) {
-    std::unique_lock<std::shared_mutex> lock(cache_mu_);
-    cache_capacity_ = max_rows;
-    EvictOverCapacity(weight_cache_, weight_evictions_);
-    EvictOverCapacity(suffix_cache_, suffix_evictions_);
-  }
+  /// SampleInto: in-flight draws hold pins on any rows they borrowed, so
+  /// shrinking the cap mid-draw frees memory without invalidating a row
+  /// being read. Per mode: kShared enforces the cap exactly (global
+  /// LRU); kSharded splits it evenly across stripes (per-stripe exact
+  /// LRU, occupancy ≤ max(max_rows, kCacheStripes)); kPerThread caps
+  /// each thread's replica at max_rows (total memory threads × cap).
+  void set_cache_capacity(size_t max_rows);
   size_t cache_capacity() const {
-    std::shared_lock<std::shared_mutex> lock(cache_mu_);
-    return cache_capacity_;
+    return cache_capacity_.load(std::memory_order_relaxed);
   }
 
-  /// Drops every cached row (e.g. between benchmark repetitions). Not
-  /// thread-safe against concurrent SampleInto calls: samplers borrow
-  /// row pointers after releasing the cache lock, so clearing while a
-  /// draw is in flight would free memory still being read.
+  /// Drops every cached row (e.g. between benchmark repetitions).
+  /// Safe to call concurrently with SampleInto: samplers hold shared-
+  /// ownership pins on every row they borrowed for the duration of the
+  /// draw, so a concurrent clear frees no memory still being read — an
+  /// in-flight draw simply completes on the rows it pinned (bit-
+  /// identical, rows being pure functions of (region, scale)), and later
+  /// draws recompute. Per-thread replicas observe the clear at their
+  /// next draw via a generation counter.
   void ClearCache() const;
 
+  /// Aggregated counters over every stripe. Lock-free (per-stripe
+  /// atomics). Under kPerThread the stripes are idle — per-replica
+  /// counters live in each SamplerWorkspace (ThreadCacheReplica::stats)
+  /// and are NOT included here.
   CacheStats cache_stats() const;
 
   const region::RegionGraph& graph() const { return *graph_; }
   const region::RegionDistance& distance() const { return *distance_; }
 
  private:
-  struct RowKey {
-    uint32_t region;
-    uint64_t scale_bits;
-    bool operator==(const RowKey&) const = default;
-  };
-  struct RowKeyHash {
-    size_t operator()(const RowKey& key) const {
-      uint64_t h = key.scale_bits * 0x9E3779B97F4A7C15ULL;
-      h ^= h >> 29;
-      h += static_cast<uint64_t>(key.region) * 0xBF58476D1CE4E5B9ULL;
-      h ^= h >> 32;
-      return static_cast<size_t>(h);
-    }
-  };
+  using RowKey = cache_internal::RowKey;
+  using RowKeyHash = cache_internal::RowKeyHash;
+  using RowPtr = cache_internal::RowPtr;
+
   /// A cached row plus its LRU clock. Rows are shared_ptr-owned so
   /// borrowers pin them across evictions; unique_ptr entries keep the
   /// atomic clock address-stable across rehashes.
   struct CacheEntry {
-    std::shared_ptr<const std::vector<double>> row;
+    RowPtr row;
     /// Tick of the last lookup, written under the shared lock (atomic,
     /// relaxed: an approximate order is all LRU needs).
     std::atomic<uint64_t> last_used{0};
   };
   using RowCache =
       std::unordered_map<RowKey, std::unique_ptr<CacheEntry>, RowKeyHash>;
-  using RowPtr = std::shared_ptr<const std::vector<double>>;
+
+  /// One lock-domain of the sharded cache: its own mutex, both row maps,
+  /// and every counter the maps feed — all atomics, so stats reads never
+  /// take the lock. Cache-line-aligned so stripe counters on adjacent
+  /// stripes never share a line (the whole point of sharding is killing
+  /// cross-core invalidation traffic).
+  struct alignas(64) Stripe {
+    mutable std::shared_mutex mu;
+    RowCache weight_cache;
+    RowCache suffix_cache;
+    std::atomic<size_t> weight_rows{0};
+    std::atomic<size_t> suffix_rows{0};
+    std::atomic<size_t> weight_hits{0};
+    std::atomic<size_t> weight_misses{0};
+    std::atomic<size_t> suffix_hits{0};
+    std::atomic<size_t> suffix_misses{0};
+    std::atomic<size_t> weight_evictions{0};
+    std::atomic<size_t> suffix_evictions{0};
+  };
 
   /// exp(−scale·d(r, ·)) over the cached float distance row.
   void ComputeWeightRow(region::RegionId r, double scale,
@@ -319,41 +456,52 @@ class NgramDomain {
   void ComputeSuffixRow(const std::vector<double>& weight_row,
                         std::vector<double>& out) const;
 
-  /// Double-checked cache protocol shared by both row caches: shared-lock
-  /// lookup, compute outside any lock on miss, try_emplace under the
-  /// unique lock (a racing thread's identical row wins ties), then LRU
-  /// eviction down to cache_capacity_.
-  template <typename ComputeFn>
-  RowPtr LookupOrCompute(RowCache& cache, const RowKey& key,
-                         std::atomic<size_t>& hits,
-                         std::atomic<size_t>& misses,
-                         std::atomic<size_t>& evictions,
-                         ComputeFn&& compute) const;
+  /// The stripe a key lives in: stripe 0 under kShared (legacy single-
+  /// lock layout), hash-spread under kSharded.
+  Stripe& StripeFor(const RowKey& key) const;
+  /// The per-stripe LRU budget implied by cache_capacity() and the mode.
+  size_t StripeCapacity() const;
 
-  /// Drops least-recently-used entries until `cache` fits the capacity.
-  /// Caller holds the unique lock.
-  void EvictOverCapacity(RowCache& cache,
+  /// Double-checked cache protocol shared by both row caches of a
+  /// stripe: shared-lock lookup, compute outside any lock on miss,
+  /// try_emplace under the unique lock (a racing thread's identical row
+  /// wins ties), then LRU eviction down to the stripe budget.
+  template <typename ComputeFn>
+  RowPtr LookupOrCompute(Stripe& stripe, bool suffix_cache,
+                         const RowKey& key, ComputeFn&& compute) const;
+
+  /// Drops least-recently-used entries until `cache` fits `capacity`.
+  /// Caller holds the stripe's unique lock.
+  void EvictOverCapacity(RowCache& cache, size_t capacity,
+                         std::atomic<size_t>& rows,
                          std::atomic<size_t>& evictions) const;
 
   RowPtr CachedWeightRow(region::RegionId r, double scale) const;
   RowPtr CachedSuffixRow(region::RegionId r, double scale) const;
+
+  /// Replica-mode lookups (no locks; `rep` is owned by the calling
+  /// thread's workspace). SyncReplica applies a pending ClearCache / mode
+  /// switch generation before the draw borrows any row.
+  void SyncReplica(ThreadCacheReplica& rep) const;
+  RowPtr ReplicaWeightRow(ThreadCacheReplica& rep, region::RegionId r,
+                          double scale) const;
+  RowPtr ReplicaSuffixRow(ThreadCacheReplica& rep, region::RegionId r,
+                          double scale) const;
+  static void EvictReplicaOverCapacity(ThreadCacheReplica::Map& map,
+                                       size_t capacity, size_t& evictions);
 
   const region::RegionGraph* graph_;
   const region::RegionDistance* distance_;
   double sensitivity_override_;
 
   bool cache_enabled_ = true;
-  mutable std::shared_mutex cache_mu_;
-  mutable RowCache weight_cache_;
-  mutable RowCache suffix_cache_;
-  size_t cache_capacity_ = 0;  // 0 = unbounded; guarded by cache_mu_
+  mutable std::atomic<CacheMode> cache_mode_{CacheMode::kSharded};
+  mutable std::array<Stripe, kCacheStripes> stripes_;
+  mutable std::atomic<size_t> cache_capacity_{0};  // 0 = unbounded
   mutable std::atomic<uint64_t> lru_tick_{0};
-  mutable std::atomic<size_t> weight_hits_{0};
-  mutable std::atomic<size_t> weight_misses_{0};
-  mutable std::atomic<size_t> suffix_hits_{0};
-  mutable std::atomic<size_t> suffix_misses_{0};
-  mutable std::atomic<size_t> weight_evictions_{0};
-  mutable std::atomic<size_t> suffix_evictions_{0};
+  /// Bumped by ClearCache()/set_cache_mode(); per-thread replicas clear
+  /// themselves when they observe a new generation.
+  mutable std::atomic<uint64_t> clear_generation_{0};
 };
 
 }  // namespace trajldp::core

@@ -34,6 +34,11 @@ class NgramPerturber {
 
   const Config& config() const { return config_; }
 
+  /// The domain this perturber draws from (e.g. to select a cache mode
+  /// or read cache stats on the engine path, which only holds the
+  /// perturber).
+  const NgramDomain& domain() const { return *domain_; }
+
   /// Number of EM invocations for a trajectory of length `len`:
   /// L + n − 1 (with n clamped to L).
   size_t NumPerturbations(size_t len) const;

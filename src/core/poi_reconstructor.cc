@@ -68,45 +68,78 @@ bool PoiReconstructor::IsFeasible(const std::vector<PoiId>& pois,
 bool PoiReconstructor::BuildGuidedDp(const std::vector<Slot>& slots,
                                      Workspace& ws) const {
   const size_t num_slots = slots.size();
-  const size_t num_t =
-      static_cast<size_t>(decomp_->time().num_timesteps());
-  ws.counts.assign(num_slots * num_t, 0.0);
-  ws.suffix.assign(num_slots * (num_t + 1), 0.0);
 
-  // Backward over positions: counts[i][t] = number of strictly
-  // increasing completions (t_i = t, t_{i+1} > t, …) with every t_j in
-  // its slot interval. Each level is normalised by its maximum so the
-  // doubles never overflow for long trajectories; scaling a whole level
-  // by a constant leaves the within-level sampling ratios — the only
-  // thing the sampler reads — exact.
+  // Windowed SoA layout: level i stores only its [first, last] interval
+  // (width w_i), as a counts block plus a suffix block of w_i + 1, each
+  // starting on its own cache line. The old dense [levels × |T|] tables
+  // were ~97% structural zeros on real worlds (a region spans one time
+  // stripe); trimming them shrinks the DP from O(levels·|T|) to
+  // O(Σ w_i) touched memory. Values stay bit-identical: every trimmed
+  // cell held +0.0, and x + 0.0 == x exactly for the non-negative
+  // doubles these tables hold, so the windowed suffix sums equal the
+  // dense ones bit for bit.
+  size_t bytes = 0;
+  for (const Slot& slot : slots) {
+    // An empty time window admits no assignment at all (the dense DP
+    // reached the same verdict through a zero level_max).
+    if (slot.last < slot.first) return false;
+    const size_t w = static_cast<size_t>(slot.last - slot.first) + 1;
+    bytes += AlignedArena::BytesFor<double>(w) +
+             AlignedArena::BytesFor<double>(w + 1);
+  }
+  ws.dp_arena.Reset(bytes);
+  ws.level_counts.resize(num_slots);
+  ws.level_suffix.resize(num_slots);
+  for (size_t i = 0; i < num_slots; ++i) {
+    const size_t w = static_cast<size_t>(slots[i].last - slots[i].first) + 1;
+    ws.level_counts[i] = ws.dp_arena.Carve<double>(w);
+    ws.level_suffix[i] = ws.dp_arena.Carve<double>(w + 1);
+  }
+
+  // Backward over positions: counts[i][j] = number of strictly
+  // increasing completions (t_i = first_i + j, t_{i+1} > t_i, …) with
+  // every t_j in its slot interval. Each level is normalised by its
+  // maximum so the doubles never overflow for long trajectories;
+  // scaling a whole level by a constant leaves the within-level
+  // sampling ratios — the only thing the sampler reads — exact.
   for (size_t ri = 0; ri < num_slots; ++ri) {
     const size_t i = num_slots - 1 - ri;
     const Slot& slot = slots[i];
-    double* counts = ws.counts.data() + i * num_t;
-    double* suffix = ws.suffix.data() + i * (num_t + 1);
-    const double* next_suffix =
-        i + 1 < num_slots ? ws.suffix.data() + (i + 1) * (num_t + 1)
-                          : nullptr;
+    const size_t w = static_cast<size_t>(slot.last - slot.first) + 1;
+    double* counts = ws.level_counts[i];
+    double* suffix = ws.level_suffix[i];
     double level_max = 0.0;
-    for (Timestep t = slot.first; t <= slot.last; ++t) {
-      const double completions =
-          next_suffix == nullptr
-              ? 1.0
-              : next_suffix[static_cast<size_t>(t) + 1];
-      counts[static_cast<size_t>(t)] = completions;
-      level_max = std::max(level_max, completions);
+    if (i + 1 == num_slots) {
+      // Last position: every in-window timestep completes trivially.
+      for (size_t j = 0; j < w; ++j) counts[j] = 1.0;
+      level_max = 1.0;
+    } else {
+      const Slot& next = slots[i + 1];
+      const double* next_suffix = ws.level_suffix[i + 1];
+      for (size_t j = 0; j < w; ++j) {
+        // Completions for t = first + j are the next level's suffix at
+        // u = t + 1, clamped to its window: below it the whole window
+        // remains (its full suffix), above it nothing does.
+        const Timestep u = slot.first + static_cast<Timestep>(j) + 1;
+        const double completions =
+            u <= next.first
+                ? next_suffix[0]
+                : (u > next.last
+                       ? 0.0
+                       : next_suffix[static_cast<size_t>(u - next.first)]);
+        counts[j] = completions;
+        level_max = std::max(level_max, completions);
+      }
     }
     // No timestep at this position admits any completion: the region
     // sequence has no strictly increasing time assignment at all.
     if (level_max == 0.0) return false;
     if (level_max > 1e200) {
-      for (Timestep t = slot.first; t <= slot.last; ++t) {
-        counts[static_cast<size_t>(t)] /= level_max;
-      }
+      for (size_t j = 0; j < w; ++j) counts[j] /= level_max;
     }
-    suffix[num_t] = 0.0;
-    for (size_t t = num_t; t-- > 0;) {
-      suffix[t] = suffix[t + 1] + counts[t];
+    suffix[w] = 0.0;
+    for (size_t j = w; j-- > 0;) {
+      suffix[j] = suffix[j + 1] + counts[j];
     }
   }
   return true;
@@ -117,26 +150,29 @@ bool PoiReconstructor::SampleGuided(const std::vector<Slot>& slots,
                                     std::vector<PoiId>* pois,
                                     std::vector<Timestep>* times) const {
   const model::TimeDomain& time = decomp_->time();
-  const size_t num_t = static_cast<size_t>(time.num_timesteps());
   pois->resize(slots.size());
   times->resize(slots.size());
   Timestep prev_t = -1;
   for (size_t i = 0; i < slots.size(); ++i) {
     const Slot& slot = slots[i];
-    const double* counts = ws.counts.data() + i * num_t;
-    const double* suffix = ws.suffix.data() + i * (num_t + 1);
+    const double* counts = ws.level_counts[i];
+    const double* suffix = ws.level_suffix[i];
     const Timestep lo =
         std::max<Timestep>(slot.first, prev_t + 1);
+    // lo past the window means no in-window timestep is left (the dense
+    // DP read a 0.0 suffix there and rejected the same way).
+    if (lo > slot.last) return false;
     // The DP conditioned earlier picks on completions existing, so the
     // remaining mass is positive whenever the prefix was sampled from it.
-    const double total = suffix[static_cast<size_t>(lo)];
+    const double total = suffix[static_cast<size_t>(lo - slot.first)];
     if (total <= 0.0) return false;
     double r = rng.UniformDouble() * total;
     // Weighted pick of t ∝ counts[t] over [lo, slot.last]; the last
-    // positive-count timestep absorbs floating-point remainder.
+    // positive-count timestep absorbs floating-point remainder. One
+    // contiguous streamed block — the window IS the iteration range.
     Timestep pick = -1;
     for (Timestep t = lo; t <= slot.last; ++t) {
-      const double c = counts[static_cast<size_t>(t)];
+      const double c = counts[static_cast<size_t>(t - slot.first)];
       if (c <= 0.0) continue;
       pick = t;
       if (r < c) break;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/aligned_arena.h"
 #include "common/rng.h"
 #include "common/status_or.h"
 #include "core/reachability.h"
@@ -78,11 +79,18 @@ class PoiReconstructor {
     std::vector<model::PoiId> pois;
     std::vector<model::Timestep> times;
     std::vector<Slot> slots;
-    /// Guided DP: counts[i·|T| + t] = number of strictly-increasing time
-    /// completions from position i at timestep t (per-level normalised).
-    std::vector<double> counts;
-    /// Guided DP: suffix[i·(|T|+1) + t] = Σ_{t' ≥ t} counts[i][t'].
-    std::vector<double> suffix;
+    /// Guided DP scratch: one cache-line-aligned block pair per level,
+    /// windowed to that level's [first, last] timestep interval instead
+    /// of the full |T| grid (levels are sparse in practice — a region
+    /// covers one time stripe). level_counts[i][j] = number of strictly-
+    /// increasing completions with t_i = slots[i].first + j (per-level
+    /// normalised); level_suffix[i][j] = Σ_{j' ≥ j} level_counts[i][j'],
+    /// one extra trailing 0 entry. Values are bit-identical to the old
+    /// dense [levels × |T|] tables (the trimmed cells only ever added
+    /// +0.0); only the footprint and stride change — see BuildGuidedDp.
+    AlignedArena dp_arena;
+    std::vector<double*> level_counts;
+    std::vector<double*> level_suffix;
   };
 
   struct Config {

@@ -73,6 +73,13 @@ class ReconstructionProblem {
     return node_error_[i * candidates_.size() + c];
   }
 
+  /// Row i of the node-error table: NodeErrorRow(i)[c] == NodeError(i, c),
+  /// contiguous over all candidates. The blocked DP kernels stream this
+  /// row instead of paying an index multiply per element.
+  const double* NodeErrorRow(size_t i) const {
+    return node_error_.data() + i * candidates_.size();
+  }
+
   /// e(i, w) for the bigram w = (candidate[c1], candidate[c2]) at
   /// position i (0-based; covers positions i and i+1).
   double BigramError(size_t i, size_t c1, size_t c2) const {

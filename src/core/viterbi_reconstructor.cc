@@ -1,7 +1,9 @@
 #include "core/viterbi_reconstructor.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 namespace trajldp::core {
@@ -28,70 +30,94 @@ Status ViterbiReconstructor::ReconstructInto(
 
   if (len == 1) {
     // Single point: pick the candidate with the smallest region error.
+    const double* err = problem.NodeErrorRow(0);
     size_t best = 0;
     for (size_t c = 1; c < num_cand; ++c) {
-      if (problem.NodeError(0, c) < problem.NodeError(0, best)) best = c;
+      if (err[c] < err[best]) best = c;
     }
     out.assign(1, candidates[best]);
     return Status::Ok();
   }
 
-  // Map region id → candidate index for adjacency-driven transitions.
+  // SoA scratch, one line-aligned arena carve per array. in_adj is sized
+  // by the candidates' total out-degree — a cheap upper bound on the
+  // candidate-restricted edge count that avoids a third adjacency pass.
   const size_t num_regions = problem.graph().num_regions();
-  w->cand_index.assign(num_regions, -1);
-  std::vector<int32_t>& cand_index = w->cand_index;
+  size_t max_edges = 0;
+  for (size_t u = 0; u < num_cand; ++u) {
+    max_edges += problem.graph().Neighbors(candidates[u]).size();
+  }
+  w->arena.Reset(AlignedArena::BytesFor<int32_t>(num_regions) +
+                 2 * AlignedArena::BytesFor<double>(num_cand) +
+                 AlignedArena::BytesFor<int32_t>(len * num_cand) +
+                 AlignedArena::BytesFor<uint32_t>(num_cand + 1) +
+                 AlignedArena::BytesFor<uint32_t>(num_cand) +
+                 AlignedArena::BytesFor<int32_t>(max_edges));
+  // cand_index[region] = candidate index, or −1 when not a candidate.
+  int32_t* cand_index = w->arena.Carve<int32_t>(num_regions);
+  // dp[c] / next[c]: cheapest feasible prefix cost ending at candidate c.
+  double* dp = w->arena.Carve<double>(num_cand);
+  double* next = w->arena.Carve<double>(num_cand);
+  // Flattened [traj_len][candidates] back-pointers. No fill: every entry
+  // the backtrack can read (rows 1..len−1) is written unconditionally in
+  // the layer loop below.
+  int32_t* parent = w->arena.Carve<int32_t>(len * num_cand);
+  uint32_t* in_offsets = w->arena.Carve<uint32_t>(num_cand + 1);
+  uint32_t* in_cursor = w->arena.Carve<uint32_t>(num_cand);
+  int32_t* in_adj = w->arena.Carve<int32_t>(max_edges);
+
+  // Map region id → candidate index for adjacency-driven transitions.
+  std::fill_n(cand_index, num_regions, int32_t{-1});
   for (size_t c = 0; c < num_cand; ++c) {
     cand_index[candidates[c]] = static_cast<int32_t>(c);
   }
 
-  // Candidate-restricted in-adjacency, built once and reused by every
-  // layer: two counting/fill passes over the candidates' out-edges. The
-  // u-ascending fill order is what makes the pull relaxation below pick
-  // the same (lowest-index) parent the push formulation would.
-  w->in_offsets.assign(num_cand + 1, 0);
+  // Candidate-restricted in-adjacency in CSR form, built once and reused
+  // by every layer: in_adj slice c lists the candidate indices u with a
+  // feasible bigram candidates[u] → candidates[c], ascending — two
+  // counting/fill passes over the candidates' out-edges. The u-ascending
+  // fill order is what makes the pull relaxation below pick the same
+  // (lowest-index) parent the push formulation would.
+  std::fill_n(in_offsets, num_cand + 1, uint32_t{0});
   for (size_t u = 0; u < num_cand; ++u) {
     for (RegionId nb : problem.graph().Neighbors(candidates[u])) {
       const int32_t c = cand_index[nb];
-      if (c >= 0) ++w->in_offsets[static_cast<size_t>(c) + 1];
+      if (c >= 0) ++in_offsets[static_cast<size_t>(c) + 1];
     }
   }
   for (size_t c = 0; c < num_cand; ++c) {
-    w->in_offsets[c + 1] += w->in_offsets[c];
+    in_offsets[c + 1] += in_offsets[c];
   }
-  w->in_cursor.assign(w->in_offsets.begin(), w->in_offsets.end() - 1);
-  w->in_adj.resize(w->in_offsets[num_cand]);
+  std::copy_n(in_offsets, num_cand, in_cursor);
   for (size_t u = 0; u < num_cand; ++u) {
     for (RegionId nb : problem.graph().Neighbors(candidates[u])) {
       const int32_t c = cand_index[nb];
       if (c >= 0) {
-        w->in_adj[w->in_cursor[static_cast<size_t>(c)]++] =
-            static_cast<int32_t>(u);
+        in_adj[in_cursor[static_cast<size_t>(c)]++] = static_cast<int32_t>(u);
       }
     }
   }
 
   // dp[c] = cheapest cost of a feasible prefix ending at candidate c,
   // where each position i contributes Multiplicity(i) · NodeError(i, c).
-  std::vector<double>& dp = w->dp;
-  std::vector<double>& next = w->next;
-  dp.resize(num_cand);
-  next.resize(num_cand);
-  // No fill: every parent entry the backtrack can read (rows 1..len−1)
-  // is written unconditionally in the layer loop below.
-  w->parent.resize(len * num_cand);
-  int32_t* parent = w->parent.data();
-  for (size_t c = 0; c < num_cand; ++c) {
-    dp[c] = problem.Multiplicity(0) * problem.NodeError(0, c);
+  {
+    const double mult = problem.Multiplicity(0);
+    const double* err = problem.NodeErrorRow(0);
+    for (size_t c = 0; c < num_cand; ++c) {
+      dp[c] = mult * err[c];
+    }
   }
 
-  const size_t* in_offsets = w->in_offsets.data();
-  const int32_t* in_adj = w->in_adj.data();
   for (size_t i = 1; i < len; ++i) {
     int32_t* parent_row = parent + i * num_cand;
+    const double mult = problem.Multiplicity(i);
+    const double* err = problem.NodeErrorRow(i);
     // Pull relaxation over exactly the feasible bigrams (the W²
     // constraint): the node cost is a per-target constant, so the best
     // predecessor is simply argmin dp over the in-neighbours — one
-    // compare per edge instead of a multiply-add per edge.
+    // compare per edge instead of a multiply-add per edge. The CSR walk
+    // streams in_adj contiguously; dp gathers are the only scattered
+    // reads, and dp is one dense line-aligned row.
     for (size_t c = 0; c < num_cand; ++c) {
       double best = kInf;
       int32_t arg = -1;
@@ -106,11 +132,11 @@ Status ViterbiReconstructor::ReconstructInto(
         next[c] = kInf;
         parent_row[c] = -1;
       } else {
-        next[c] = best + problem.Multiplicity(i) * problem.NodeError(i, c);
+        next[c] = best + mult * err[c];
         parent_row[c] = arg;
       }
     }
-    dp.swap(next);
+    std::swap(dp, next);
   }
 
   size_t best = num_cand;

@@ -4,30 +4,22 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned_arena.h"
 #include "core/reconstruction.h"
 
 namespace trajldp::core {
 
-/// \brief Per-thread scratch of ViterbiReconstructor: the DP cost rows,
-/// the flattened parent table, the region→candidate index map, and the
-/// candidate-restricted in-adjacency (CSR). All buffers grow to the
-/// largest (traj_len, candidates, regions) seen and are then reused
+/// \brief Per-thread scratch of ViterbiReconstructor, laid out as
+/// structure-of-arrays in one cache-line-aligned arena: the DP cost
+/// rows, the flattened parent table, the region→candidate index map,
+/// and the candidate-restricted in-adjacency (CSR, 32-bit offsets). One
+/// arena Reset per solve replaces seven per-vector capacity checks, and
+/// every array starts on its own cache line so dp/next streaming and
+/// the CSR walk never false-share. The arena grows to the largest
+/// (traj_len, candidates, regions, edges) seen and is then reused
 /// allocation-free.
 struct ViterbiWorkspace : Reconstructor::Workspace {
-  /// cand_index[region] = candidate index, or −1 when not a candidate.
-  std::vector<int32_t> cand_index;
-  /// dp[c] / next[c]: cheapest feasible prefix cost ending at candidate c.
-  std::vector<double> dp;
-  std::vector<double> next;
-  /// Flattened [traj_len][candidates] back-pointers.
-  std::vector<int32_t> parent;
-  /// Candidate-restricted in-adjacency in CSR form: in_adj slice c lists
-  /// the candidate indices u with a feasible bigram candidates[u] →
-  /// candidates[c], ascending. Built once per problem and shared by all
-  /// L − 1 layers, instead of filtering the region graph per layer.
-  std::vector<size_t> in_offsets;
-  std::vector<size_t> in_cursor;
-  std::vector<int32_t> in_adj;
+  AlignedArena arena;
 };
 
 /// \brief Exact dynamic-programming solver for the §5.5 reconstruction.

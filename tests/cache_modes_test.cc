@@ -1,0 +1,429 @@
+// Cache-mode coverage for NgramDomain (ISSUE 8): the sharded and
+// per-thread-replica cache layouts must change contention and memory
+// only — every mode draws bit-identically to an uncached domain — and
+// capacity shrinks / ClearCache() must stay safe while worker threads
+// are mid-draw (rows are shared_ptr-pinned for the duration of a draw).
+//
+// CacheModesTest.* and CacheStressTest.* run in the TSan CI job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/batch_release_engine.h"
+#include "core/ngram_domain.h"
+#include "core/ngram_perturber.h"
+#include "region/region_distance.h"
+#include "region/region_graph.h"
+#include "test_world.h"
+
+namespace trajldp::core {
+namespace {
+
+using trajldp::testing::MakeGridWorld;
+
+class CacheModesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = MakeGridWorld();
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<model::PoiDatabase>(std::move(*db));
+    time_ = *model::TimeDomain::Create(10);
+
+    region::DecompositionConfig config;
+    config.grid_size = 2;
+    config.coarse_grids = {1};
+    config.base_interval_minutes = 360;
+    config.merge.kappa = 1;
+    auto decomp = region::StcDecomposition::Build(db_.get(), time_, config);
+    ASSERT_TRUE(decomp.ok());
+    decomp_ = std::make_unique<region::StcDecomposition>(std::move(*decomp));
+
+    distance_ = std::make_unique<region::RegionDistance>(decomp_.get());
+    model::ReachabilityConfig reach;
+    reach.speed_kmh = 8.0;
+    reach.reference_gap_minutes = 60;
+    graph_ = std::make_unique<region::RegionGraph>(
+        region::RegionGraph::Build(*decomp_, reach));
+  }
+
+  // A mixed workload: several n-gram lengths over distinct regions, each
+  // drawn at several ε′ so both row caches see hits, misses, and (when
+  // capped) evictions.
+  std::vector<std::vector<region::RegionId>> MakeInputs() const {
+    const region::RegionId r0 = *decomp_->Lookup(0, 54);
+    const region::RegionId r1 = *decomp_->Lookup(1, 60);
+    const region::RegionId r2 = *decomp_->Lookup(2, 66);
+    return {{r0}, {r0, r1}, {r1, r0}, {r0, r1, r2}, {r2, r1}};
+  }
+
+  // The draw sequence of `domain` over the fixed workload with a fresh
+  // Rng(seed) and a persistent workspace — the unit being compared
+  // across cache modes.
+  std::vector<std::vector<region::RegionId>> DrawSequence(
+      const NgramDomain& domain, uint64_t seed, int rounds,
+      SamplerWorkspace& ws) const {
+    const auto inputs = MakeInputs();
+    Rng rng(seed);
+    std::vector<std::vector<region::RegionId>> draws;
+    std::vector<region::RegionId> out;
+    for (int round = 0; round < rounds; ++round) {
+      for (const double epsilon : {0.3, 1.0, 4.0}) {
+        for (const auto& input : inputs) {
+          const Status status = domain.SampleInto(
+              std::span<const region::RegionId>(input), epsilon, rng, ws,
+              out);
+          EXPECT_TRUE(status.ok()) << status;
+          draws.push_back(out);
+        }
+      }
+    }
+    return draws;
+  }
+
+  std::unique_ptr<model::PoiDatabase> db_;
+  model::TimeDomain time_;
+  std::unique_ptr<region::StcDecomposition> decomp_;
+  std::unique_ptr<region::RegionDistance> distance_;
+  std::unique_ptr<region::RegionGraph> graph_;
+};
+
+constexpr NgramDomain::CacheMode kAllModes[] = {
+    NgramDomain::CacheMode::kShared,
+    NgramDomain::CacheMode::kSharded,
+    NgramDomain::CacheMode::kPerThread,
+};
+
+const char* ModeName(NgramDomain::CacheMode mode) {
+  switch (mode) {
+    case NgramDomain::CacheMode::kShared:
+      return "kShared";
+    case NgramDomain::CacheMode::kSharded:
+      return "kSharded";
+    case NgramDomain::CacheMode::kPerThread:
+      return "kPerThread";
+  }
+  return "?";
+}
+
+// The tentpole contract: every cache arrangement performs the exact
+// same arithmetic, so each mode's draw sequence equals the uncached
+// domain's — including with a capacity cap forcing evictions mid-run.
+TEST_F(CacheModesTest, EveryModeDrawsIdenticalToUncached) {
+  NgramDomain uncached(graph_.get(), distance_.get());
+  uncached.set_cache_enabled(false);
+  SamplerWorkspace uncached_ws;
+  const auto expected = DrawSequence(uncached, 1234, /*rounds=*/3,
+                                     uncached_ws);
+
+  for (const NgramDomain::CacheMode mode : kAllModes) {
+    for (const size_t capacity : {size_t{0}, size_t{4}}) {
+      NgramDomain domain(graph_.get(), distance_.get());
+      domain.set_cache_mode(mode);
+      domain.set_cache_capacity(capacity);
+      SamplerWorkspace ws;
+      const auto draws = DrawSequence(domain, 1234, /*rounds=*/3, ws);
+      EXPECT_EQ(draws, expected)
+          << ModeName(mode) << " capacity " << capacity;
+    }
+  }
+}
+
+// kSharded splits the LRU budget across stripes, so the documented
+// occupancy bound is max(capacity, kCacheStripes) — looser than
+// kShared's exact cap but still a bound, and evictions must fire.
+TEST_F(CacheModesTest, ShardedCapacityBoundsOccupancy) {
+  NgramDomain domain(graph_.get(), distance_.get());
+  domain.set_cache_mode(NgramDomain::CacheMode::kSharded);
+  constexpr size_t kCapacity = 6;
+  domain.set_cache_capacity(kCapacity);
+  const size_t bound = std::max(kCapacity, NgramDomain::kCacheStripes);
+
+  const region::RegionId r0 = *decomp_->Lookup(0, 54);
+  const region::RegionId r1 = *decomp_->Lookup(1, 60);
+  Rng rng(2026);
+  for (int user = 0; user < 60; ++user) {
+    const double epsilon = 0.2 + 0.1 * user;  // a new key pair per user
+    ASSERT_TRUE(domain.Sample({r0, r1}, epsilon, rng).ok()) << user;
+    const auto stats = domain.cache_stats();
+    EXPECT_LE(stats.weight_rows, bound) << "user " << user;
+    EXPECT_LE(stats.suffix_rows, bound) << "user " << user;
+  }
+  EXPECT_GT(domain.cache_stats().weight_evictions, 0u);
+}
+
+// Under kPerThread the domain's stripes stay empty — all rows and
+// counters live in the workspace's replica, whose stats() reports them.
+TEST_F(CacheModesTest, ReplicaHoldsTheRowsAndTheStats) {
+  NgramDomain domain(graph_.get(), distance_.get());
+  domain.set_cache_mode(NgramDomain::CacheMode::kPerThread);
+  SamplerWorkspace ws;
+  (void)DrawSequence(domain, 7, /*rounds=*/2, ws);
+
+  const auto stripe_stats = domain.cache_stats();
+  EXPECT_EQ(stripe_stats.weight_rows, 0u);
+  EXPECT_EQ(stripe_stats.weight_hits, 0u);
+  EXPECT_EQ(stripe_stats.weight_misses, 0u);
+
+  ASSERT_NE(ws.replica, nullptr);
+  const auto replica_stats = ws.replica->stats();
+  EXPECT_GT(replica_stats.weight_rows, 0u);
+  EXPECT_GT(replica_stats.weight_hits, 0u);
+  EXPECT_GT(replica_stats.weight_misses, 0u);
+  EXPECT_GT(replica_stats.suffix_rows, 0u);
+}
+
+// Each replica honours the domain capacity independently: rows stay
+// bounded and evictions are counted per replica.
+TEST_F(CacheModesTest, ReplicaHonoursCapacity) {
+  NgramDomain domain(graph_.get(), distance_.get());
+  domain.set_cache_mode(NgramDomain::CacheMode::kPerThread);
+  constexpr size_t kCapacity = 3;
+  domain.set_cache_capacity(kCapacity);
+
+  const region::RegionId r0 = *decomp_->Lookup(0, 54);
+  SamplerWorkspace ws;
+  Rng rng(5);
+  std::vector<region::RegionId> out;
+  const std::vector<region::RegionId> input = {r0};
+  for (int user = 0; user < 20; ++user) {
+    const double epsilon = 0.5 + 0.25 * user;
+    ASSERT_TRUE(domain
+                    .SampleInto(std::span<const region::RegionId>(input),
+                                epsilon, rng, ws, out)
+                    .ok());
+    ASSERT_NE(ws.replica, nullptr);
+    EXPECT_LE(ws.replica->stats().weight_rows, kCapacity) << user;
+  }
+  EXPECT_GT(ws.replica->stats().weight_evictions, 0u);
+}
+
+// Switching modes drops every cached row (stale stripes must not pin
+// memory) and keeps drawing correctly afterwards.
+TEST_F(CacheModesTest, SwitchingModesDropsCachedRows) {
+  NgramDomain domain(graph_.get(), distance_.get());
+  domain.set_cache_mode(NgramDomain::CacheMode::kSharded);
+  const region::RegionId r0 = *decomp_->Lookup(0, 54);
+  Rng rng(9);
+  ASSERT_TRUE(domain.Sample({r0}, 1.0, rng).ok());
+  ASSERT_GT(domain.cache_stats().weight_rows, 0u);
+
+  domain.set_cache_mode(NgramDomain::CacheMode::kShared);
+  EXPECT_EQ(domain.cache_stats().weight_rows, 0u);
+  EXPECT_EQ(domain.cache_stats().suffix_rows, 0u);
+  EXPECT_EQ(domain.cache_mode(), NgramDomain::CacheMode::kShared);
+
+  // A no-op switch must NOT clear (mode already active).
+  ASSERT_TRUE(domain.Sample({r0}, 1.0, rng).ok());
+  const auto before = domain.cache_stats();
+  ASSERT_GT(before.weight_rows, 0u);
+  domain.set_cache_mode(NgramDomain::CacheMode::kShared);
+  EXPECT_EQ(domain.cache_stats().weight_rows, before.weight_rows);
+}
+
+// ClearCache() reaches per-thread replicas through the generation
+// counter: the replica empties at its next draw, then repopulates, and
+// the draws themselves never change.
+TEST_F(CacheModesTest, ClearCacheReachesReplicasAtNextDraw) {
+  NgramDomain domain(graph_.get(), distance_.get());
+  domain.set_cache_mode(NgramDomain::CacheMode::kPerThread);
+  const region::RegionId r0 = *decomp_->Lookup(0, 54);
+  const std::vector<region::RegionId> input = {r0};
+
+  SamplerWorkspace ws;
+  Rng rng(13);
+  std::vector<region::RegionId> out;
+  ASSERT_TRUE(domain
+                  .SampleInto(std::span<const region::RegionId>(input), 1.0,
+                              rng, ws, out)
+                  .ok());
+  ASSERT_NE(ws.replica, nullptr);
+  const auto before = ws.replica->stats();
+  ASSERT_GT(before.weight_rows, 0u);
+
+  domain.ClearCache();
+  // The clear is lazy: nothing changes until the next draw syncs.
+  EXPECT_EQ(ws.replica->stats().weight_rows, before.weight_rows);
+
+  ASSERT_TRUE(domain
+                  .SampleInto(std::span<const region::RegionId>(input), 1.0,
+                              rng, ws, out)
+                  .ok());
+  // The draw re-missed into a freshly cleared replica.
+  EXPECT_EQ(ws.replica->stats().weight_misses, before.weight_misses + 1);
+}
+
+// BatchReleaseEngine::Config.cache_mode reaches the domain.
+TEST_F(CacheModesTest, EngineConfigSelectsCacheMode) {
+  NgramDomain domain(graph_.get(), distance_.get());
+  ASSERT_EQ(domain.cache_mode(), NgramDomain::CacheMode::kSharded);
+  NgramPerturber perturber(&domain, NgramPerturber::Config{2, 5.0});
+
+  BatchReleaseEngine::Config config;
+  config.num_threads = 2;
+  config.cache_mode = NgramDomain::CacheMode::kPerThread;
+  BatchReleaseEngine engine(&perturber, config);
+  EXPECT_EQ(domain.cache_mode(), NgramDomain::CacheMode::kPerThread);
+
+  // Unset leaves the domain's current mode alone.
+  BatchReleaseEngine untouched(&perturber, BatchReleaseEngine::Config{2});
+  EXPECT_EQ(domain.cache_mode(), NgramDomain::CacheMode::kPerThread);
+}
+
+// ---------- Concurrent shrink / clear stress ----------
+
+// Satellites 2 & 6 of ISSUE 8: capacity shrinks and ClearCache() racing
+// live draws. Workers hold shared_ptr pins on borrowed rows, so churn
+// frees memory without ever invalidating a row mid-read — and because
+// every worker owns its Rng stream, the draw sequences must equal a
+// quiet single-threaded replay no matter how the churn interleaves.
+class CacheStressTest : public CacheModesTest {};
+
+TEST_F(CacheStressTest, CapacityChurnAndClearNeverChangeDraws) {
+  constexpr size_t kWorkers = 4;
+  constexpr int kRounds = 30;
+  const Rng root(20260808);
+
+  // Quiet reference: each worker's stream replayed on an undisturbed
+  // domain.
+  std::vector<std::vector<std::vector<region::RegionId>>> expected(
+      kWorkers);
+  {
+    NgramDomain reference(graph_.get(), distance_.get());
+    for (size_t w = 0; w < kWorkers; ++w) {
+      SamplerWorkspace ws;
+      Rng rng = root.Substream(w);
+      const auto inputs = MakeInputs();
+      std::vector<region::RegionId> out;
+      for (int round = 0; round < kRounds; ++round) {
+        for (const auto& input : inputs) {
+          ASSERT_TRUE(reference
+                          .SampleInto(
+                              std::span<const region::RegionId>(input),
+                              0.5 + 0.01 * round, rng, ws, out)
+                          .ok());
+          expected[w].push_back(out);
+        }
+      }
+    }
+  }
+
+  for (const NgramDomain::CacheMode mode : kAllModes) {
+    NgramDomain domain(graph_.get(), distance_.get());
+    domain.set_cache_mode(mode);
+    std::vector<std::vector<std::vector<region::RegionId>>> got(kWorkers);
+    std::atomic<bool> done{false};
+
+    std::vector<std::thread> workers;
+    for (size_t w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&, w] {
+        SamplerWorkspace ws;
+        Rng rng = root.Substream(w);
+        const auto inputs = MakeInputs();
+        std::vector<region::RegionId> out;
+        for (int round = 0; round < kRounds; ++round) {
+          for (const auto& input : inputs) {
+            const Status status = domain.SampleInto(
+                std::span<const region::RegionId>(input),
+                0.5 + 0.01 * round, rng, ws, out);
+            ASSERT_TRUE(status.ok()) << status;
+            got[w].push_back(out);
+          }
+        }
+      });
+    }
+
+    // Churn thread: shrink, grow, and clear while the draws run.
+    std::thread churn([&] {
+      size_t step = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        switch (step++ % 4) {
+          case 0:
+            domain.set_cache_capacity(1);
+            break;
+          case 1:
+            domain.ClearCache();
+            break;
+          case 2:
+            domain.set_cache_capacity(8);
+            break;
+          default:
+            domain.set_cache_capacity(0);
+            break;
+        }
+        std::this_thread::yield();
+      }
+    });
+
+    for (auto& worker : workers) worker.join();
+    done.store(true, std::memory_order_relaxed);
+    churn.join();
+
+    for (size_t w = 0; w < kWorkers; ++w) {
+      EXPECT_EQ(got[w], expected[w])
+          << ModeName(mode) << " worker " << w;
+    }
+  }
+}
+
+// The NgramDomain::ClearCache() doc promises clears are safe against
+// concurrent SampleInto. Hammer exactly that pair — one thread clearing
+// in a tight loop, one thread drawing — in the stripe-backed modes
+// (replica clears are lazy and covered above).
+TEST_F(CacheStressTest, ClearWhileSamplingIsSafeAndBitIdentical) {
+  const auto inputs = MakeInputs();
+  constexpr int kDraws = 400;
+
+  // Quiet reference.
+  std::vector<std::vector<region::RegionId>> expected;
+  {
+    NgramDomain reference(graph_.get(), distance_.get());
+    SamplerWorkspace ws;
+    Rng rng(31337);
+    std::vector<region::RegionId> out;
+    for (int i = 0; i < kDraws; ++i) {
+      const auto& input = inputs[i % inputs.size()];
+      ASSERT_TRUE(reference
+                      .SampleInto(std::span<const region::RegionId>(input),
+                                  1.0, rng, ws, out)
+                      .ok());
+      expected.push_back(out);
+    }
+  }
+
+  for (const NgramDomain::CacheMode mode :
+       {NgramDomain::CacheMode::kShared, NgramDomain::CacheMode::kSharded}) {
+    NgramDomain domain(graph_.get(), distance_.get());
+    domain.set_cache_mode(mode);
+    std::atomic<bool> done{false};
+    std::thread clearer([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        domain.ClearCache();
+        std::this_thread::yield();
+      }
+    });
+
+    std::vector<std::vector<region::RegionId>> got;
+    SamplerWorkspace ws;
+    Rng rng(31337);
+    std::vector<region::RegionId> out;
+    for (int i = 0; i < kDraws; ++i) {
+      const auto& input = inputs[i % inputs.size()];
+      ASSERT_TRUE(domain
+                      .SampleInto(std::span<const region::RegionId>(input),
+                                  1.0, rng, ws, out)
+                      .ok());
+      got.push_back(out);
+    }
+    done.store(true, std::memory_order_relaxed);
+    clearer.join();
+
+    EXPECT_EQ(got, expected) << ModeName(mode);
+  }
+}
+
+}  // namespace
+}  // namespace trajldp::core

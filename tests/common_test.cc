@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/aligned_arena.h"
 #include "common/bounded_queue.h"
 #include "common/math_util.h"
 #include "common/rng.h"
@@ -453,6 +454,66 @@ TEST(BoundedQueueTest, ManyProducersOneConsumerDeliverEverything) {
   closer.join();
   EXPECT_EQ(received.size(),
             static_cast<size_t>(kProducers * kPerProducer));
+}
+
+// ---------- AlignedArena ----------
+
+TEST(AlignedArenaTest, BytesForRoundsUpToWholeCacheLines) {
+  EXPECT_EQ(AlignedArena::BytesFor<double>(0), 0u);
+  EXPECT_EQ(AlignedArena::BytesFor<double>(1), AlignedArena::kAlign);
+  EXPECT_EQ(AlignedArena::BytesFor<double>(8), AlignedArena::kAlign);
+  EXPECT_EQ(AlignedArena::BytesFor<double>(9), 2 * AlignedArena::kAlign);
+  EXPECT_EQ(AlignedArena::BytesFor<int32_t>(16), AlignedArena::kAlign);
+  EXPECT_EQ(AlignedArena::BytesFor<int32_t>(17), 2 * AlignedArena::kAlign);
+}
+
+TEST(AlignedArenaTest, EveryCarveStartsOnItsOwnCacheLine) {
+  AlignedArena arena;
+  arena.Reset(AlignedArena::BytesFor<double>(3) +
+              AlignedArena::BytesFor<int32_t>(5) +
+              AlignedArena::BytesFor<double>(100));
+  double* a = arena.Carve<double>(3);
+  int32_t* b = arena.Carve<int32_t>(5);
+  double* c = arena.Carve<double>(100);
+  for (void* p : {static_cast<void*>(a), static_cast<void*>(b),
+                  static_cast<void*>(c)}) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % AlignedArena::kAlign, 0u);
+  }
+  // Carves are laid out back to back in rounded units and are disjoint.
+  EXPECT_EQ(reinterpret_cast<unsigned char*>(b),
+            reinterpret_cast<unsigned char*>(a) +
+                AlignedArena::BytesFor<double>(3));
+  EXPECT_EQ(reinterpret_cast<unsigned char*>(c),
+            reinterpret_cast<unsigned char*>(b) +
+                AlignedArena::BytesFor<int32_t>(5));
+  EXPECT_EQ(arena.used(), arena.capacity());
+}
+
+TEST(AlignedArenaTest, CarvedMemoryIsWritableAcrossTheWholeSpan) {
+  AlignedArena arena;
+  arena.Reset(AlignedArena::BytesFor<double>(1000));
+  double* data = arena.Carve<double>(1000);
+  for (size_t i = 0; i < 1000; ++i) data[i] = static_cast<double>(i);
+  for (size_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(data[i], static_cast<double>(i));
+  }
+}
+
+TEST(AlignedArenaTest, ResetReusesStorageGrowOnly) {
+  AlignedArena arena;
+  arena.Reset(AlignedArena::BytesFor<double>(64));
+  (void)arena.Carve<double>(64);
+  EXPECT_EQ(arena.used(), AlignedArena::BytesFor<double>(64));
+
+  // A smaller Reset keeps the high-water buffer but re-arms the bump
+  // pointer; the carve is aligned and usable again.
+  arena.Reset(AlignedArena::BytesFor<double>(8));
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.capacity(), AlignedArena::BytesFor<double>(8));
+  double* again = arena.Carve<double>(8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(again) % AlignedArena::kAlign, 0u);
+  again[7] = 1.5;
+  EXPECT_EQ(again[7], 1.5);
 }
 
 }  // namespace
