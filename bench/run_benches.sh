@@ -22,6 +22,12 @@
 #                      StreamingCollector: users/s across batch size ×
 #                      queue depth × shard count, the batch-engine
 #                      baseline, and the sharded bit-identical check.
+#   BENCH_analytics.json — streaming aggregate analytics (hotspots, PRQ
+#                      sketch, windowed top-k) folded at the collector
+#                      sink: the K ∈ {1, 2, 4} merged-shard-equals-
+#                      batch-eval gate, the sub-2× peak-RSS gate vs
+#                      ingest-only, aggregate footprint, and users/s
+#                      with and without analytics.
 #   BENCH_net.json   — the same frames over loopback TCP through
 #                      net::ReportClient → net::IngestServer: users/s
 #                      in-memory vs loopback (gate: within 2×), raw
@@ -45,6 +51,8 @@
 #   TRAJLDP_BENCH_USERS        batch-bench user count (default: 10000)
 #   TRAJLDP_BENCH_E2E_USERS    e2e-bench user count (default: 5000)
 #   TRAJLDP_BENCH_STREAM_USERS stream-bench user count (default: 5000)
+#   TRAJLDP_BENCH_ANALYTICS_USERS analytics-bench user count (default:
+#                              5000)
 #   TRAJLDP_BENCH_NET_USERS    net-bench user count (default: 5000)
 #   TRAJLDP_BENCH_NET_CHURN_CONNS churn-leg connection target (default:
 #                              10000)
@@ -59,7 +67,8 @@ if [[ ! -d "$build_dir" ]]; then
   cmake -B "$build_dir" -S "$repo_root"
 fi
 cmake --build "$build_dir" --target bench_batch_release bench_batch_e2e \
-  bench_stream_ingest bench_net_ingest bench_micro_kernels
+  bench_stream_ingest bench_stream_analytics bench_net_ingest \
+  bench_micro_kernels
 
 echo "=== bench_batch_release ==="
 "$build_dir/bench_batch_release" --json "$out_dir/BENCH_batch.json"
@@ -69,6 +78,9 @@ echo "=== bench_batch_e2e ==="
 
 echo "=== bench_stream_ingest ==="
 "$build_dir/bench_stream_ingest" --json "$out_dir/BENCH_stream.json"
+
+echo "=== bench_stream_analytics ==="
+"$build_dir/bench_stream_analytics" --json "$out_dir/BENCH_analytics.json"
 
 echo "=== bench_net_ingest ==="
 "$build_dir/bench_net_ingest" --json "$out_dir/BENCH_net.json"
@@ -111,6 +123,14 @@ required = {
         "sweep_t2_replica_users_per_sec",
     ],
     "BENCH_stream.json": ["bit_identical", "best_stream_users_per_sec"],
+    # ISSUE 9: streaming analytics must carry the sharded-equals-batch
+    # gate and the peak-memory reading the CI gate reads.
+    "BENCH_analytics.json": [
+        "analytics_equal_to_batch_eval",
+        "analytics_peak_bytes",
+        "analytics_peak_ratio",
+        "peak_reset_supported",
+    ],
     "BENCH_net.json": [
         "bit_identical",
         "loopback_within_2x",
@@ -155,4 +175,4 @@ if failures:
 print("all bench artifacts carry their gate keys")
 EOF
 
-echo "wrote $out_dir/BENCH_batch.json, $out_dir/BENCH_e2e.json, $out_dir/BENCH_stream.json, $out_dir/BENCH_net.json, and $out_dir/BENCH_micro.json"
+echo "wrote $out_dir/BENCH_batch.json, $out_dir/BENCH_e2e.json, $out_dir/BENCH_stream.json, $out_dir/BENCH_analytics.json, $out_dir/BENCH_net.json, and $out_dir/BENCH_micro.json"

@@ -1,0 +1,335 @@
+// Live streaming analytics over the TCP ingest path — the demo for
+// docs/ANALYTICS.md. K collector shards (default 2) each run behind a
+// net::IngestServer on a loopback port; every shard's collector fans
+// its sink out to BOTH an analytics::StreamAnalytics bundle (hotspots +
+// PRQ curve + windowed top-k, folded as each UserRelease arrives) and a
+// materializing sink (the full releases, kept only so this demo can
+// recompute the batch reference). A device fleet streams perturbed
+// reports over real sockets; after the drain the K bundles are Merged
+// and finalized, and the results are checked — exactly, not
+// approximately — against eval::FindHotspots / eval::PrqCurve /
+// WindowedTopK over the merged materialized releases.
+//
+// The point: a deployment that only ever wants the aggregates never has
+// to hold a single user trajectory. The bundle is bounded by
+// entities × bins, the answers are the batch answers, and sharding is
+// invisible in the output.
+//
+//   ./build/live_analytics [--users N] [--shards K] [--seed S]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analytics/stream_analytics.h"
+#include "common/status_or.h"
+#include "core/batch_release_engine.h"
+#include "core/mechanism.h"
+#include "core/shard_plan.h"
+#include "core/streaming_collector.h"
+#include "eval/dataset.h"
+#include "eval/hotspots.h"
+#include "eval/range_queries.h"
+#include "io/wire.h"
+#include "net/ingest_server.h"
+#include "net/report_client.h"
+
+using namespace trajldp;
+
+namespace {
+
+struct Args {
+  size_t users = 200;
+  size_t shards = 2;
+  uint64_t seed = 42;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--users") {
+      args->users = std::stoul(value);
+    } else if (flag == "--shards") {
+      args->shards = std::stoul(value);
+    } else if (flag == "--seed") {
+      args->seed = std::stoull(value);
+    } else {
+      return false;
+    }
+  }
+  return args->users > 0 && args->shards > 0;
+}
+
+int Fail(const Status& status) {
+  std::cerr << status << "\n";
+  return 1;
+}
+
+// Same world as net_shard_harness: the deterministic taxi/Foursquare
+// generator, so (users, seed) fully determines both the city model and
+// every DP noise stream. The dataset's REAL trajectories double as the
+// PRQ pairing side — exactly what a deployment's trusted evaluation
+// job would hold.
+struct World {
+  std::unique_ptr<eval::Dataset> dataset;
+  std::unique_ptr<core::NGramMechanism> mechanism;
+  std::vector<region::RegionTrajectory> users;
+};
+
+StatusOr<World> BuildWorld(size_t num_users, uint64_t seed) {
+  World world;
+  eval::DatasetOptions options;
+  options.num_pois = 400;
+  options.num_trajectories = num_users;
+  options.seed = seed;
+  TRAJLDP_ASSIGN_OR_RETURN(auto dataset,
+                           eval::MakeTaxiFoursquareDataset(options));
+  world.dataset = std::make_unique<eval::Dataset>(std::move(dataset));
+
+  core::NGramConfig config;
+  config.epsilon = 5.0;
+  config.reachability = world.dataset->reachability;
+  config.quality_sensitivity = 1.0;
+  TRAJLDP_ASSIGN_OR_RETURN(
+      auto mech, core::NGramMechanism::Build(&world.dataset->db,
+                                             world.dataset->time, config));
+  world.mechanism = std::make_unique<core::NGramMechanism>(std::move(mech));
+
+  for (const auto& trajectory : world.dataset->trajectories) {
+    TRAJLDP_ASSIGN_OR_RETURN(
+        auto tau,
+        world.mechanism->decomposition().ToRegionTrajectory(trajectory));
+    world.users.push_back(std::move(tau));
+  }
+  if (world.users.size() != num_users) {
+    return Status::Internal("dataset produced " +
+                            std::to_string(world.users.size()) +
+                            " users, expected " + std::to_string(num_users));
+  }
+  return world;
+}
+
+void PrintHotspots(const std::vector<eval::Hotspot>& hotspots, size_t max) {
+  for (size_t i = 0; i < std::min(max, hotspots.size()); ++i) {
+    const eval::Hotspot& h = hotspots[i];
+    std::cout << "  cell " << h.entity << "  [" << h.start_minute << ", "
+              << h.end_minute << ") min  peak " << h.peak_count
+              << " unique visitors\n";
+  }
+  if (hotspots.size() > max) {
+    std::cout << "  ... and " << hotspots.size() - max << " more\n";
+  }
+}
+
+int Run(const Args& args) {
+  auto world = BuildWorld(args.users, args.seed);
+  if (!world.ok()) return Fail(world.status());
+  const model::PoiDatabase& db = world->dataset->db;
+  const model::TimeDomain& time = world->dataset->time;
+
+  // What every shard maintains live: 4×4 grid-cell hotspots, the
+  // spatial PRQ curve, and the busiest POIs per 2-hour window.
+  analytics::StreamAnalyticsConfig bundle_config;
+  bundle_config.hotspots.emplace();
+  bundle_config.hotspots->entity = eval::HotspotSpec::Entity::kSpatialGrid;
+  bundle_config.hotspots->grid_size = 4;
+  bundle_config.hotspots->eta =
+      std::max<int>(2, static_cast<int>(args.users / 40));
+  bundle_config.prq.push_back(
+      {eval::PrqDimension::kSpace, {0.25, 0.5, 1.0, 2.0, 4.0}});
+  bundle_config.top_k.emplace();
+  bundle_config.top_k->window_minutes = 120;
+  bundle_config.top_k->k = 5;
+  const auto& real_trajectories = world->dataset->trajectories;
+  bundle_config.real_lookup =
+      [&real_trajectories](uint64_t id) -> const model::Trajectory* {
+    return id < real_trajectories.size() ? &real_trajectories[id] : nullptr;
+  };
+
+  // Device side: perturb (the only ε-budgeted step), frame, and route
+  // by the kRange shard plan — each batch's wire user-range proves its
+  // shard membership to the receiving server.
+  core::ShardPlan plan;
+  plan.num_shards = args.shards;
+  plan.strategy = core::ShardPlan::Strategy::kRange;
+  plan.num_users = world->users.size();
+  io::ReportBatch reports;
+  {
+    core::BatchReleaseEngine device(&world->mechanism->perturber());
+    auto perturbed = device.ReleaseAll(world->users, args.seed);
+    if (!perturbed.ok()) return Fail(perturbed.status());
+    reports = core::MakeWireReports(world->users, std::move(*perturbed),
+                                    world->mechanism->perturber());
+  }
+  auto sharded = core::PartitionByShard(plan, std::move(reports));
+
+  // Collector side: one shard = one bundle + one materializing sink
+  // behind one TCP server. The collector serializes sink calls, so the
+  // bundle needs no locking even with multiple reconstruction threads.
+  struct Shard {
+    std::optional<analytics::StreamAnalytics> bundle;
+    std::vector<core::UserRelease> releases;
+    std::unique_ptr<core::StreamingCollector> collector;
+    std::unique_ptr<net::IngestServer> server;
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
+  for (size_t s = 0; s < args.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    auto bundle = analytics::StreamAnalytics::Create(&db, time, bundle_config);
+    if (!bundle.ok()) return Fail(bundle.status());
+    shard->bundle.emplace(std::move(*bundle));
+
+    core::StreamingCollector::Config collector_config;
+    collector_config.num_threads = 2;
+    analytics::StreamAnalytics& bundle_ref = *shard->bundle;
+    auto& releases = shard->releases;
+    shard->collector = std::make_unique<core::StreamingCollector>(
+        world->mechanism.get(), args.seed,
+        core::StreamingCollector::FanOutSink(
+            {[&bundle_ref](core::UserRelease release) {
+               bundle_ref.Consume(release);
+             },
+             [&releases](core::UserRelease release) {
+               releases.push_back(std::move(release));
+             }}),
+        collector_config);
+
+    net::IngestServer::Options options;
+    options.expected_range = plan.RangeOf(s);
+    auto server = net::IngestServer::Start(shard->collector.get(), options);
+    if (!server.ok()) return Fail(server.status());
+    shard->server = std::move(*server);
+    std::cout << "shard " << s << "/" << args.shards << " serving users ["
+              << options.expected_range->first << ", "
+              << options.expected_range->second << ") on port "
+              << shard->server->port() << "\n";
+    shards.push_back(std::move(shard));
+  }
+
+  // Stream the fleet's reports over the sockets.
+  for (size_t s = 0; s < args.shards; ++s) {
+    net::ReportClient client("127.0.0.1", shards[s]->server->port());
+    constexpr size_t kBatch = 16;
+    for (size_t begin = 0; begin < sharded[s].size(); begin += kBatch) {
+      const size_t end = std::min(begin + kBatch, sharded[s].size());
+      auto status = client.SendBatch(std::span<const io::WireReport>(
+          sharded[s].data() + begin, end - begin));
+      if (!status.ok()) return Fail(status);
+    }
+    client.Close();
+  }
+
+  // Drain: every report released, then shut the servers down and flush
+  // the collectors. The bundles are complete the moment Finish returns.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  for (;;) {
+    size_t released = 0;
+    for (const auto& shard : shards) {
+      released += shard->collector->reports_released();
+    }
+    if (released == world->users.size()) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::cerr << "timed out draining the shards\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& shard : shards) {
+    shard->server->Shutdown();
+    if (auto status = shard->collector->Finish(); !status.ok()) {
+      return Fail(status);
+    }
+    if (!shard->bundle->status().ok()) return Fail(shard->bundle->status());
+  }
+
+  // Merge the K shard bundles — pure counter addition, no user data.
+  analytics::StreamAnalytics& merged_bundle = *shards[0]->bundle;
+  for (size_t s = 1; s < shards.size(); ++s) {
+    if (auto status = merged_bundle.Merge(*shards[s]->bundle); !status.ok()) {
+      return Fail(status);
+    }
+  }
+
+  std::cout << "\n--- live aggregates (" << merged_bundle.releases_consumed()
+            << " users, " << args.shards << " shard bundles merged, "
+            << merged_bundle.ApproxMemoryBytes() / 1024 << " KiB held) ---\n";
+  const auto live_hotspots = merged_bundle.hotspots()->Finalize();
+  std::cout << "hotspots (grid 4x4, eta " << bundle_config.hotspots->eta
+            << "): " << live_hotspots.size() << "\n";
+  PrintHotspots(live_hotspots, 5);
+  auto live_curve = merged_bundle.prq()[0].Curve();
+  if (!live_curve.ok()) return Fail(live_curve.status());
+  std::cout << "PRQ (space): ";
+  for (size_t j = 0; j < live_curve->size(); ++j) {
+    std::cout << (j ? "  " : "") << "PR(" << bundle_config.prq[0].deltas[j]
+              << "km)=" << (*live_curve)[j] << "%";
+  }
+  std::cout << "\n";
+  const auto live_topk = merged_bundle.top_k()->Finalize();
+  for (size_t w = 0; w < live_topk.size(); ++w) {
+    if (live_topk[w].empty()) continue;
+    std::cout << "busiest POIs [" << w * 2 << ":00, " << (w + 1) * 2
+              << ":00):";
+    for (const auto& entry : live_topk[w]) {
+      std::cout << "  #" << entry.entity << " (" << entry.unique_visitors
+                << ")";
+    }
+    std::cout << "\n";
+  }
+
+  // Batch reference over the merged materialized releases — the
+  // acceptance check: streaming finalize must EQUAL batch eval.
+  std::vector<std::vector<core::UserRelease>> outputs;
+  for (auto& shard : shards) outputs.push_back(std::move(shard->releases));
+  auto merged =
+      core::MergeShardReleases(std::move(outputs), world->users.size());
+  if (!merged.ok()) return Fail(merged.status());
+  model::TrajectorySet released_set, real_set;
+  for (size_t u = 0; u < world->users.size(); ++u) {
+    released_set.push_back((*merged)[u].trajectory);
+    real_set.push_back(real_trajectories[u]);
+  }
+  auto batch_hotspots =
+      eval::FindHotspots(db, time, released_set, *bundle_config.hotspots);
+  if (!batch_hotspots.ok()) return Fail(batch_hotspots.status());
+  auto batch_curve =
+      eval::PrqCurve(db, time, real_set, released_set,
+                     bundle_config.prq[0].dimension,
+                     bundle_config.prq[0].deltas);
+  if (!batch_curve.ok()) return Fail(batch_curve.status());
+  auto batch_topk = analytics::WindowedTopK::Create(&db, time,
+                                                    *bundle_config.top_k);
+  if (!batch_topk.ok()) return Fail(batch_topk.status());
+  for (const auto& trajectory : released_set) batch_topk->Add(trajectory);
+
+  const bool hotspots_equal = live_hotspots == *batch_hotspots;
+  const bool prq_equal = *live_curve == *batch_curve;  // exact, by design
+  const bool topk_equal = live_topk == batch_topk->Finalize();
+  std::cout << "\nstreaming vs batch eval: hotspots "
+            << (hotspots_equal ? "equal" : "MISMATCH") << ", prq "
+            << (prq_equal ? "equal" : "MISMATCH") << ", topk "
+            << (topk_equal ? "equal" : "MISMATCH") << "\n";
+  return (hotspots_equal && prq_equal && topk_equal) ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::cerr << "usage: " << argv[0]
+              << " [--users N] [--shards K] [--seed S]\n";
+    return 1;
+  }
+  return Run(args);
+}

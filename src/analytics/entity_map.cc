@@ -1,0 +1,34 @@
+#include "analytics/entity_map.h"
+
+#include <algorithm>
+
+#include "geo/bounding_box.h"
+
+namespace trajldp::analytics {
+
+EntityMap::EntityMap(const model::PoiDatabase* db, const EntitySpec& spec)
+    : db_(db), spec_(spec) {
+  if (spec_.kind == EntitySpec::Kind::kSpatialGrid) {
+    geo::BoundingBox extent = db_->extent();
+    extent.ExpandByKm(0.05);
+    grid_.emplace(extent, spec_.grid_size, spec_.grid_size);
+  }
+}
+
+uint64_t EntityMap::EntityOf(model::PoiId poi) const {
+  switch (spec_.kind) {
+    case EntitySpec::Kind::kPoi:
+      return poi;
+    case EntitySpec::Kind::kSpatialGrid:
+      return grid_->CellOf(db_->poi(poi).location);
+    case EntitySpec::Kind::kCategoryLevel: {
+      const hierarchy::CategoryId leaf = db_->poi(poi).category;
+      return db_->categories().AncestorAtLevel(
+          leaf,
+          std::min(spec_.category_level, db_->categories().level(leaf)));
+    }
+  }
+  return 0;
+}
+
+}  // namespace trajldp::analytics

@@ -1,0 +1,54 @@
+#ifndef TRAJLDP_ANALYTICS_ENTITY_MAP_H_
+#define TRAJLDP_ANALYTICS_ENTITY_MAP_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "geo/grid.h"
+#include "model/poi.h"
+#include "model/poi_database.h"
+
+namespace trajldp::analytics {
+
+/// \brief What a streaming aggregate counts visitors OF: the §6.3.2
+/// entity granularities — individual POIs, cells of a g×g spatial grid
+/// over the city extent, or category-hierarchy nodes at a fixed level.
+///
+/// This is the analytics-side home of the entity notion eval::HotspotSpec
+/// configures; eval::FindHotspots and the streaming accumulators share
+/// one mapping so their finalized outputs can be compared key-for-key.
+struct EntitySpec {
+  enum class Kind { kPoi, kSpatialGrid, kCategoryLevel };
+  Kind kind = Kind::kPoi;
+  /// Grid resolution for Kind::kSpatialGrid (paper: 4×4 and 2×2).
+  uint32_t grid_size = 4;
+  /// Hierarchy level for Kind::kCategoryLevel (paper: 1, 2, 3).
+  int category_level = 3;
+
+  bool operator==(const EntitySpec&) const = default;
+};
+
+/// \brief The pure POI → entity-key function behind every visit counter.
+///
+/// For kSpatialGrid the grid is built over the database extent expanded
+/// by 0.05 km — byte-for-byte the construction eval::FindHotspots has
+/// always used, so entity keys agree between the batch and streaming
+/// paths. `db` must outlive the map.
+class EntityMap {
+ public:
+  EntityMap(const model::PoiDatabase* db, const EntitySpec& spec);
+
+  uint64_t EntityOf(model::PoiId poi) const;
+
+  const EntitySpec& spec() const { return spec_; }
+  const model::PoiDatabase& db() const { return *db_; }
+
+ private:
+  const model::PoiDatabase* db_;
+  EntitySpec spec_;
+  std::optional<geo::UniformGrid> grid_;
+};
+
+}  // namespace trajldp::analytics
+
+#endif  // TRAJLDP_ANALYTICS_ENTITY_MAP_H_

@@ -1,0 +1,84 @@
+#include "analytics/hotspot_accumulator.h"
+
+#include <algorithm>
+
+namespace trajldp::analytics {
+namespace {
+
+EntitySpec ToEntitySpec(const eval::HotspotSpec& spec) {
+  EntitySpec out;
+  switch (spec.entity) {
+    case eval::HotspotSpec::Entity::kPoi:
+      out.kind = EntitySpec::Kind::kPoi;
+      break;
+    case eval::HotspotSpec::Entity::kSpatialGrid:
+      out.kind = EntitySpec::Kind::kSpatialGrid;
+      break;
+    case eval::HotspotSpec::Entity::kCategoryLevel:
+      out.kind = EntitySpec::Kind::kCategoryLevel;
+      break;
+  }
+  out.grid_size = spec.grid_size;
+  out.category_level = spec.category_level;
+  return out;
+}
+
+}  // namespace
+
+StatusOr<HotspotAccumulator> HotspotAccumulator::Create(
+    const model::PoiDatabase* db, const model::TimeDomain& time,
+    const eval::HotspotSpec& spec) {
+  if (spec.bin_minutes <= 0 ||
+      model::kMinutesPerDay % spec.bin_minutes != 0) {
+    return Status::InvalidArgument("bin_minutes must divide 1440");
+  }
+  if (spec.eta <= 0) {
+    return Status::InvalidArgument("eta must be positive");
+  }
+  return HotspotAccumulator(db, time, spec);
+}
+
+HotspotAccumulator::HotspotAccumulator(const model::PoiDatabase* db,
+                                       const model::TimeDomain& time,
+                                       const eval::HotspotSpec& spec)
+    : spec_(spec), counts_(db, time, ToEntitySpec(spec), spec.bin_minutes) {}
+
+void HotspotAccumulator::Add(const model::Trajectory& trajectory) {
+  counts_.AddUser(trajectory);
+}
+
+Status HotspotAccumulator::Merge(const HotspotAccumulator& other) {
+  if (!(spec_ == other.spec_)) {
+    return Status::InvalidArgument(
+        "cannot merge hotspot accumulators with different specs");
+  }
+  return counts_.Merge(other.counts_);
+}
+
+std::vector<eval::Hotspot> HotspotAccumulator::Finalize() const {
+  const int num_bins = counts_.num_bins();
+  std::vector<eval::Hotspot> out;
+  for (const uint64_t entity : counts_.SortedEntities()) {
+    const std::vector<uint32_t>& bins = *counts_.BinsOf(entity);
+    int run_start = -1;
+    int peak = 0;
+    for (int b = 0; b <= num_bins; ++b) {
+      const int count =
+          b < num_bins ? static_cast<int>(bins[static_cast<size_t>(b)]) : 0;
+      if (count >= spec_.eta) {
+        if (run_start < 0) {
+          run_start = b;
+          peak = 0;
+        }
+        peak = std::max(peak, count);
+      } else if (run_start >= 0) {
+        out.push_back(eval::Hotspot{entity, run_start * spec_.bin_minutes,
+                                    b * spec_.bin_minutes, peak});
+        run_start = -1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace trajldp::analytics

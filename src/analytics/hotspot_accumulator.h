@@ -1,0 +1,64 @@
+#ifndef TRAJLDP_ANALYTICS_HOTSPOT_ACCUMULATOR_H_
+#define TRAJLDP_ANALYTICS_HOTSPOT_ACCUMULATOR_H_
+
+#include <vector>
+
+#include "analytics/visit_counts.h"
+#include "common/status_or.h"
+#include "eval/hotspots.h"
+#include "model/poi_database.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+
+namespace trajldp::analytics {
+
+/// \brief Incremental, mergeable hotspot detection (§6.3.2) over the
+/// release stream: fold each released trajectory as it is emitted,
+/// merge K shard accumulators, and Finalize() into EXACTLY the
+/// std::vector<eval::Hotspot> that eval::FindHotspots produces over the
+/// materialized set — eval::FindHotspots is itself implemented as
+/// "fold everything, then finalize" on this type, so there is one
+/// hotspot implementation, not two that can drift.
+///
+/// Memory: O(active entities × bins) integer counters (see
+/// UniqueVisitCounts), independent of the user count; contrast the
+/// batch evaluator's per-user materialized TrajectorySet.
+class HotspotAccumulator {
+ public:
+  /// Validates `spec` (bin_minutes divides 1440, η > 0) — the same
+  /// checks FindHotspots has always made. `db` must outlive the
+  /// accumulator.
+  static StatusOr<HotspotAccumulator> Create(const model::PoiDatabase* db,
+                                             const model::TimeDomain& time,
+                                             const eval::HotspotSpec& spec);
+
+  /// Folds one user's (released) trajectory; each call is one distinct
+  /// user — repeat visits within a bin count once, exactly as the batch
+  /// evaluator dedups by user id.
+  void Add(const model::Trajectory& trajectory);
+
+  /// Combines a shard accumulator over a disjoint user population.
+  Status Merge(const HotspotAccumulator& other);
+
+  /// Maximal runs of bins with unique-visitor count ≥ η, ascending
+  /// entity order — byte-identical to FindHotspots over the same users
+  /// in any fold/merge order. A run still hot in the last bin closes at
+  /// end_minute == 1440.
+  std::vector<eval::Hotspot> Finalize() const;
+
+  const eval::HotspotSpec& spec() const { return spec_; }
+  size_t users_added() const { return counts_.users_added(); }
+  size_t ApproxMemoryBytes() const { return counts_.ApproxMemoryBytes(); }
+
+ private:
+  HotspotAccumulator(const model::PoiDatabase* db,
+                     const model::TimeDomain& time,
+                     const eval::HotspotSpec& spec);
+
+  eval::HotspotSpec spec_;
+  UniqueVisitCounts counts_;
+};
+
+}  // namespace trajldp::analytics
+
+#endif  // TRAJLDP_ANALYTICS_HOTSPOT_ACCUMULATOR_H_

@@ -1,0 +1,95 @@
+#include "analytics/prq_sketch.h"
+
+#include <cmath>
+#include <utility>
+
+namespace trajldp::analytics {
+
+PrqSketch::PrqSketch(const model::PoiDatabase* db,
+                     const model::TimeDomain& time,
+                     eval::PrqDimension dimension,
+                     std::vector<double> deltas)
+    : dist_(db, time),
+      time_(time),
+      dimension_(dimension),
+      deltas_(std::move(deltas)) {}
+
+Status PrqSketch::AddPair(const model::Trajectory& real,
+                          const model::Trajectory& released) {
+  if (real.size() != released.size()) {
+    return Status::InvalidArgument("pair differs in length");
+  }
+  if (real.empty()) {
+    // 0 within / 0 points would finalize as NaN; reject loudly instead.
+    return Status::InvalidArgument("pair is empty");
+  }
+  auto& sums = within_by_len_[static_cast<uint32_t>(real.size())];
+  if (sums.empty()) sums.resize(deltas_.size());
+  for (size_t i = 0; i < real.size(); ++i) {
+    double d = 0.0;
+    switch (dimension_) {
+      case eval::PrqDimension::kSpace:
+        d = dist_.SpatialKm(real.point(i).poi, released.point(i).poi);
+        break;
+      case eval::PrqDimension::kTime:
+        // δ for time is given in minutes.
+        d = std::abs(
+            static_cast<double>(time_.TimestepToMinute(real.point(i).t) -
+                                time_.TimestepToMinute(released.point(i).t)));
+        break;
+      case eval::PrqDimension::kCategory:
+        d = dist_.Category(real.point(i).poi, released.point(i).poi);
+        break;
+    }
+    for (size_t j = 0; j < deltas_.size(); ++j) {
+      if (d <= deltas_[j]) ++sums[j];
+    }
+  }
+  ++users_added_;
+  return Status::Ok();
+}
+
+Status PrqSketch::Merge(const PrqSketch& other) {
+  if (dimension_ != other.dimension_ || deltas_ != other.deltas_ ||
+      time_.granularity_minutes() != other.time_.granularity_minutes()) {
+    return Status::InvalidArgument(
+        "cannot merge PRQ sketches with different dimensions or delta "
+        "grids");
+  }
+  for (const auto& [len, sums] : other.within_by_len_) {
+    auto& mine = within_by_len_[len];
+    if (mine.empty()) mine.resize(deltas_.size());
+    for (size_t j = 0; j < sums.size(); ++j) mine[j] += sums[j];
+  }
+  users_added_ += other.users_added_;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> PrqSketch::Curve() const {
+  if (users_added_ == 0) {
+    return Status::InvalidArgument("no trajectory pairs folded");
+  }
+  std::vector<double> out(deltas_.size(), 0.0);
+  // Buckets iterate in ascending length order (std::map), so the
+  // division/summation order is a fixed function of the folded DATA,
+  // never of arrival or merge order.
+  for (const auto& [len, sums] : within_by_len_) {
+    for (size_t j = 0; j < sums.size(); ++j) {
+      out[j] += static_cast<double>(sums[j]) / static_cast<double>(len);
+    }
+  }
+  for (double& percent : out) {
+    percent = 100.0 * percent / static_cast<double>(users_added_);
+  }
+  return out;
+}
+
+size_t PrqSketch::ApproxMemoryBytes() const {
+  const size_t per_bucket = sizeof(uint32_t) + 4 * sizeof(void*) +
+                            deltas_.size() * sizeof(uint64_t) +
+                            sizeof(std::vector<uint64_t>);
+  return within_by_len_.size() * per_bucket +
+         deltas_.capacity() * sizeof(double);
+}
+
+}  // namespace trajldp::analytics

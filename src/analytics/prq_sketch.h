@@ -1,0 +1,77 @@
+#ifndef TRAJLDP_ANALYTICS_PRQ_SKETCH_H_
+#define TRAJLDP_ANALYTICS_PRQ_SKETCH_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status_or.h"
+#include "eval/range_queries.h"
+#include "model/poi_database.h"
+#include "model/semantic_distance.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+
+namespace trajldp::analytics {
+
+/// \brief Incremental, mergeable preservation-range-query evaluation
+/// (§6.3.1, eq. 17): per-dimension within-δ counters over a fixed δ
+/// grid, folded one (real, released) trajectory pair at a time.
+/// eval::PrqCurve is implemented as "fold everything, then finalize" on
+/// this type, so the streaming and batch paths share one PRQ
+/// implementation.
+///
+/// ### Why merged finalize equals the batch curve EXACTLY
+///
+/// A PRQ percentage is mean_k(within_k / len_k) — a sum of rationals.
+/// Naively accumulating doubles would make the result depend on user
+/// arrival order (float addition is not associative), so a K-shard
+/// merge could differ from the batch evaluator in the last bits. The
+/// sketch instead keeps EXACT integer sums of within-counts bucketed by
+/// trajectory length — there are at most |T| distinct lengths — and
+/// only divides at Curve() time, iterating buckets in ascending length
+/// order. Integer sums commute, so any fold order and any shard
+/// partition produce the same buckets, hence bitwise-identical curves.
+///
+/// Memory: O(|deltas| × distinct lengths) integers plus one
+/// SemanticDistance — independent of the user count.
+class PrqSketch {
+ public:
+  /// δ units per dimension follow PreservationRangeQuery: km for space,
+  /// minutes for time, Figure 5 units for category. `db` must outlive
+  /// the sketch.
+  PrqSketch(const model::PoiDatabase* db, const model::TimeDomain& time,
+            eval::PrqDimension dimension, std::vector<double> deltas);
+
+  /// Folds one user pair. Fails on length mismatch, and on an EMPTY
+  /// pair — the guard that keeps one zero-length trajectory from
+  /// poisoning the whole percentage with 0.0/0.0 = NaN.
+  Status AddPair(const model::Trajectory& real,
+                 const model::Trajectory& released);
+
+  /// Combines a shard sketch over a disjoint user population. Fails
+  /// when the dimension or δ grid differs.
+  Status Merge(const PrqSketch& other);
+
+  /// PR_χ at each δ, in percent. Fails when no pair was folded.
+  StatusOr<std::vector<double>> Curve() const;
+
+  eval::PrqDimension dimension() const { return dimension_; }
+  const std::vector<double>& deltas() const { return deltas_; }
+  size_t users_added() const { return users_added_; }
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  model::SemanticDistance dist_;
+  model::TimeDomain time_;
+  eval::PrqDimension dimension_;
+  std::vector<double> deltas_;
+  size_t users_added_ = 0;
+  /// length → per-δ Σ within-counts over users of that length. Exact
+  /// integer accumulation (see class comment).
+  std::map<uint32_t, std::vector<uint64_t>> within_by_len_;
+};
+
+}  // namespace trajldp::analytics
+
+#endif  // TRAJLDP_ANALYTICS_PRQ_SKETCH_H_

@@ -1,0 +1,93 @@
+#include "analytics/stream_analytics.h"
+
+#include <string>
+#include <utility>
+
+namespace trajldp::analytics {
+
+StatusOr<StreamAnalytics> StreamAnalytics::Create(
+    const model::PoiDatabase* db, const model::TimeDomain& time,
+    StreamAnalyticsConfig config) {
+  if (!config.hotspots && config.prq.empty() && !config.top_k) {
+    return Status::InvalidArgument(
+        "stream analytics config enables no aggregate");
+  }
+  if (!config.prq.empty() && !config.real_lookup) {
+    return Status::InvalidArgument(
+        "PRQ curves need a real_lookup to pair released trajectories "
+        "with real ones");
+  }
+  StreamAnalytics out;
+  if (config.hotspots) {
+    TRAJLDP_ASSIGN_OR_RETURN(
+        auto acc, HotspotAccumulator::Create(db, time, *config.hotspots));
+    out.hotspots_.emplace(std::move(acc));
+  }
+  for (const PrqConfig& prq : config.prq) {
+    if (prq.deltas.empty()) {
+      return Status::InvalidArgument("PRQ delta grid is empty");
+    }
+    out.prq_.emplace_back(db, time, prq.dimension, prq.deltas);
+  }
+  if (config.top_k) {
+    TRAJLDP_ASSIGN_OR_RETURN(auto topk,
+                             WindowedTopK::Create(db, time, *config.top_k));
+    out.top_k_.emplace(std::move(topk));
+  }
+  out.config_ = std::move(config);
+  return out;
+}
+
+void StreamAnalytics::Consume(const core::UserRelease& release) {
+  ++releases_consumed_;
+  if (hotspots_) hotspots_->Add(release.release.trajectory);
+  if (top_k_) top_k_->Add(release.release.trajectory);
+  if (!prq_.empty()) {
+    const model::Trajectory* real = config_.real_lookup(release.user_id);
+    if (real == nullptr) {
+      if (status_.ok()) {
+        status_ = Status::InvalidArgument(
+            "no real trajectory for user " + std::to_string(release.user_id));
+      }
+      return;
+    }
+    for (PrqSketch& sketch : prq_) {
+      Status added = sketch.AddPair(*real, release.release.trajectory);
+      if (!added.ok() && status_.ok()) status_ = std::move(added);
+    }
+  }
+}
+
+Status StreamAnalytics::Merge(const StreamAnalytics& other) {
+  if (static_cast<bool>(hotspots_) != static_cast<bool>(other.hotspots_) ||
+      prq_.size() != other.prq_.size() ||
+      static_cast<bool>(top_k_) != static_cast<bool>(other.top_k_)) {
+    return Status::InvalidArgument(
+        "cannot merge differently configured analytics bundles");
+  }
+  if (hotspots_) {
+    Status merged = hotspots_->Merge(*other.hotspots_);
+    if (!merged.ok()) return merged;
+  }
+  for (size_t i = 0; i < prq_.size(); ++i) {
+    Status merged = prq_[i].Merge(other.prq_[i]);
+    if (!merged.ok()) return merged;
+  }
+  if (top_k_) {
+    Status merged = top_k_->Merge(*other.top_k_);
+    if (!merged.ok()) return merged;
+  }
+  releases_consumed_ += other.releases_consumed_;
+  if (status_.ok() && !other.status_.ok()) status_ = other.status_;
+  return Status::Ok();
+}
+
+size_t StreamAnalytics::ApproxMemoryBytes() const {
+  size_t total = 0;
+  if (hotspots_) total += hotspots_->ApproxMemoryBytes();
+  for (const PrqSketch& sketch : prq_) total += sketch.ApproxMemoryBytes();
+  if (top_k_) total += top_k_->ApproxMemoryBytes();
+  return total;
+}
+
+}  // namespace trajldp::analytics

@@ -1,0 +1,99 @@
+#ifndef TRAJLDP_ANALYTICS_STREAM_ANALYTICS_H_
+#define TRAJLDP_ANALYTICS_STREAM_ANALYTICS_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "analytics/hotspot_accumulator.h"
+#include "analytics/prq_sketch.h"
+#include "analytics/windowed_topk.h"
+#include "common/status_or.h"
+#include "core/collector_pipeline.h"
+#include "eval/hotspots.h"
+#include "eval/range_queries.h"
+#include "model/poi_database.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+
+namespace trajldp::analytics {
+
+/// One PRQ curve to maintain incrementally: a dimension and its δ grid.
+struct PrqConfig {
+  eval::PrqDimension dimension = eval::PrqDimension::kSpace;
+  std::vector<double> deltas;
+};
+
+/// Which aggregates a StreamAnalytics bundle maintains. Every component
+/// is optional; an empty config is rejected.
+struct StreamAnalyticsConfig {
+  std::optional<eval::HotspotSpec> hotspots;
+  std::vector<PrqConfig> prq;
+  std::optional<TopKSpec> top_k;
+  /// Required iff `prq` is non-empty: maps a global user id to that
+  /// user's REAL trajectory (PRQ compares released against real). The
+  /// pointee must stay valid for the duration of the AddPair call;
+  /// returning nullptr marks the user unknown and latches an error.
+  std::function<const model::Trajectory*(uint64_t)> real_lookup;
+};
+
+/// \brief The sink-side analytics bundle: every configured aggregate
+/// folded once per arriving UserRelease, with a first-error latch in
+/// the style of StreamingCollector itself.
+///
+/// Attach to a collector with
+///   options.sink = [&a](core::UserRelease r) { a.Consume(r); };
+/// (the collector serializes sink calls, so Consume needs no internal
+/// locking), run K shards each with its own bundle, then Merge the
+/// K bundles and finalize — the results equal the batch eval functions
+/// over the merged materialized releases, exactly.
+class StreamAnalytics {
+ public:
+  /// Validates the config: at least one component, specs valid,
+  /// real_lookup present when PRQ curves are configured, δ grids
+  /// non-empty. `db` must outlive the bundle.
+  static StatusOr<StreamAnalytics> Create(const model::PoiDatabase* db,
+                                          const model::TimeDomain& time,
+                                          StreamAnalyticsConfig config);
+
+  /// Folds one release into every configured aggregate. Signature
+  /// matches StreamingCollector::Sink so a lambda can forward directly.
+  /// After any component fails (e.g. PRQ real-trajectory lookup miss),
+  /// further releases still feed the components that work; the FIRST
+  /// error stays latched in status().
+  void Consume(const core::UserRelease& release);
+
+  /// OK until a Consume step failed; then the first failure.
+  const Status& status() const { return status_; }
+
+  /// Combines a shard bundle over a disjoint user population. The other
+  /// bundle must be configured identically; a latched shard error
+  /// propagates into this bundle's latch.
+  Status Merge(const StreamAnalytics& other);
+
+  size_t releases_consumed() const { return releases_consumed_; }
+
+  /// Configured components, nullptr/empty when absent from the config.
+  const HotspotAccumulator* hotspots() const {
+    return hotspots_ ? &*hotspots_ : nullptr;
+  }
+  const std::vector<PrqSketch>& prq() const { return prq_; }
+  const WindowedTopK* top_k() const { return top_k_ ? &*top_k_ : nullptr; }
+
+  /// Sum of component footprints — what the bench's memory gate reads.
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  StreamAnalytics() = default;
+
+  StreamAnalyticsConfig config_;
+  Status status_ = Status::Ok();
+  size_t releases_consumed_ = 0;
+  std::optional<HotspotAccumulator> hotspots_;
+  std::vector<PrqSketch> prq_;
+  std::optional<WindowedTopK> top_k_;
+};
+
+}  // namespace trajldp::analytics
+
+#endif  // TRAJLDP_ANALYTICS_STREAM_ANALYTICS_H_

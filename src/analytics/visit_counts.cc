@@ -1,0 +1,76 @@
+#include "analytics/visit_counts.h"
+
+#include <algorithm>
+
+namespace trajldp::analytics {
+
+UniqueVisitCounts::UniqueVisitCounts(const model::PoiDatabase* db,
+                                     const model::TimeDomain& time,
+                                     const EntitySpec& spec, int bin_minutes)
+    : map_(db, spec),
+      time_(time),
+      bin_minutes_(bin_minutes),
+      num_bins_(model::kMinutesPerDay / bin_minutes) {}
+
+void UniqueVisitCounts::AddUser(const model::Trajectory& trajectory) {
+  scratch_.clear();
+  for (const model::TrajectoryPoint& pt : trajectory.points()) {
+    int bin = time_.TimestepToMinute(pt.t) / bin_minutes_;
+    // Out-of-domain timesteps clamp to the boundary bin instead of
+    // indexing out of bounds (released trajectories are validated, but
+    // the fold accepts arbitrary trajectories).
+    bin = std::clamp(bin, 0, num_bins_ - 1);
+    scratch_.emplace_back(map_.EntityOf(pt.poi), bin);
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
+  for (const auto& [entity, bin] : scratch_) {
+    auto& bins = counts_[entity];
+    if (bins.empty()) bins.resize(static_cast<size_t>(num_bins_));
+    ++bins[static_cast<size_t>(bin)];
+  }
+  ++users_added_;
+}
+
+Status UniqueVisitCounts::Merge(const UniqueVisitCounts& other) {
+  if (!(map_.spec() == other.map_.spec()) ||
+      bin_minutes_ != other.bin_minutes_ ||
+      time_.granularity_minutes() != other.time_.granularity_minutes()) {
+    return Status::InvalidArgument(
+        "cannot merge visit counts with different entity specs or binning");
+  }
+  for (const auto& [entity, bins] : other.counts_) {
+    auto& mine = counts_[entity];
+    if (mine.empty()) mine.resize(static_cast<size_t>(num_bins_));
+    for (size_t b = 0; b < bins.size(); ++b) mine[b] += bins[b];
+  }
+  users_added_ += other.users_added_;
+  return Status::Ok();
+}
+
+std::vector<uint64_t> UniqueVisitCounts::SortedEntities() const {
+  std::vector<uint64_t> entities;
+  entities.reserve(counts_.size());
+  for (const auto& [entity, bins] : counts_) entities.push_back(entity);
+  std::sort(entities.begin(), entities.end());
+  return entities;
+}
+
+const std::vector<uint32_t>* UniqueVisitCounts::BinsOf(
+    uint64_t entity) const {
+  const auto it = counts_.find(entity);
+  return it == counts_.end() ? nullptr : &it->second;
+}
+
+size_t UniqueVisitCounts::ApproxMemoryBytes() const {
+  // Hash node ≈ key + pointer chain + bucket share; counters are the
+  // dominant term for any realistic bin count.
+  const size_t per_entry =
+      sizeof(uint64_t) + sizeof(std::vector<uint32_t>) + 3 * sizeof(void*) +
+      static_cast<size_t>(num_bins_) * sizeof(uint32_t);
+  return counts_.size() * per_entry +
+         scratch_.capacity() * sizeof(scratch_[0]);
+}
+
+}  // namespace trajldp::analytics

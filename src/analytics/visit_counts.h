@@ -1,0 +1,84 @@
+#ifndef TRAJLDP_ANALYTICS_VISIT_COUNTS_H_
+#define TRAJLDP_ANALYTICS_VISIT_COUNTS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analytics/entity_map.h"
+#include "common/status.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+
+namespace trajldp::analytics {
+
+/// \brief The shared counting core of the streaming analytics layer:
+/// unique visitors per (entity, time bin), folded one user at a time.
+///
+/// ### Why this is exact with bounded memory
+///
+/// The release stream delivers each user's COMPLETE trajectory in one
+/// UserRelease, so "unique visitors" needs no cross-user state: one
+/// AddUser call dedups its own (entity, bin) pairs (a sort+unique over
+/// at most L points) and bumps an integer counter per pair. Memory is
+/// O(active entities × bins) counters plus an O(L) scratch — independent
+/// of how many users the stream carries — where a batch evaluator holds
+/// a user-id set per cell.
+///
+/// Counters are integers, so folding is commutative and associative:
+/// any arrival order, any partition of the users across K shard
+/// collectors, merged in any order, yields the SAME table — which is
+/// what lets merged streaming aggregates finalize exactly equal to the
+/// batch eval functions re-expressed over these folds.
+///
+/// Not internally synchronized: a StreamingCollector serializes sink
+/// calls, and each shard owns its own table until Merge.
+class UniqueVisitCounts {
+ public:
+  /// `bin_minutes` must be positive and divide 1440 (the owner
+  /// validates); `db` must outlive this table.
+  UniqueVisitCounts(const model::PoiDatabase* db,
+                    const model::TimeDomain& time, const EntitySpec& spec,
+                    int bin_minutes);
+
+  /// Folds one user's trajectory; every call is one distinct user (the
+  /// caller's dedup — e.g. StreamingCollector user-id dedup — is the
+  /// uniqueness boundary across calls).
+  void AddUser(const model::Trajectory& trajectory);
+
+  /// Adds another table over a DISJOINT user population (a shard
+  /// partition). Fails when the entity spec or binning differs.
+  Status Merge(const UniqueVisitCounts& other);
+
+  int bin_minutes() const { return bin_minutes_; }
+  int num_bins() const { return num_bins_; }
+  size_t users_added() const { return users_added_; }
+  const EntitySpec& entity_spec() const { return map_.spec(); }
+
+  /// Entity keys in ascending order — the deterministic finalize order
+  /// (matches the std::map iteration the batch evaluator used).
+  std::vector<uint64_t> SortedEntities() const;
+
+  /// Per-bin unique-visitor counts of `entity`, or nullptr when the
+  /// entity was never visited. Size num_bins().
+  const std::vector<uint32_t>* BinsOf(uint64_t entity) const;
+
+  /// Approximate heap footprint of the table (counters + hash overhead),
+  /// the component-level accounting the memory gate reads.
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  EntityMap map_;
+  model::TimeDomain time_;
+  int bin_minutes_;
+  int num_bins_;
+  size_t users_added_ = 0;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> counts_;
+  /// Per-AddUser (entity, bin) scratch, kept to avoid reallocation.
+  std::vector<std::pair<uint64_t, int>> scratch_;
+};
+
+}  // namespace trajldp::analytics
+
+#endif  // TRAJLDP_ANALYTICS_VISIT_COUNTS_H_

@@ -1,0 +1,67 @@
+#include "analytics/windowed_topk.h"
+
+#include <algorithm>
+
+namespace trajldp::analytics {
+
+StatusOr<WindowedTopK> WindowedTopK::Create(const model::PoiDatabase* db,
+                                            const model::TimeDomain& time,
+                                            const TopKSpec& spec) {
+  if (spec.window_minutes <= 0 ||
+      model::kMinutesPerDay % spec.window_minutes != 0) {
+    return Status::InvalidArgument("window_minutes must divide 1440");
+  }
+  if (spec.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  return WindowedTopK(db, time, spec);
+}
+
+WindowedTopK::WindowedTopK(const model::PoiDatabase* db,
+                           const model::TimeDomain& time,
+                           const TopKSpec& spec)
+    : spec_(spec), counts_(db, time, spec.entity, spec.window_minutes) {}
+
+void WindowedTopK::Add(const model::Trajectory& trajectory) {
+  counts_.AddUser(trajectory);
+}
+
+Status WindowedTopK::Merge(const WindowedTopK& other) {
+  if (!(spec_ == other.spec_)) {
+    return Status::InvalidArgument(
+        "cannot merge top-k aggregates with different specs");
+  }
+  return counts_.Merge(other.counts_);
+}
+
+std::vector<std::vector<WindowTopEntry>> WindowedTopK::Finalize() const {
+  const int num_windows = counts_.num_bins();
+  const std::vector<uint64_t> entities = counts_.SortedEntities();
+  std::vector<std::vector<WindowTopEntry>> out(
+      static_cast<size_t>(num_windows));
+  std::vector<WindowTopEntry> window;
+  for (int w = 0; w < num_windows; ++w) {
+    window.clear();
+    for (const uint64_t entity : entities) {
+      const uint32_t count =
+          (*counts_.BinsOf(entity))[static_cast<size_t>(w)];
+      if (count > 0) window.push_back(WindowTopEntry{entity, count});
+    }
+    const size_t keep = std::min(spec_.k, window.size());
+    // (count desc, entity asc): ascending-entity input + stable sort on
+    // the count alone would also work, but an explicit comparator keeps
+    // the tie rule self-evident.
+    std::partial_sort(window.begin(), window.begin() + keep, window.end(),
+                      [](const WindowTopEntry& a, const WindowTopEntry& b) {
+                        if (a.unique_visitors != b.unique_visitors) {
+                          return a.unique_visitors > b.unique_visitors;
+                        }
+                        return a.entity < b.entity;
+                      });
+    window.resize(keep);
+    out[static_cast<size_t>(w)] = window;
+  }
+  return out;
+}
+
+}  // namespace trajldp::analytics

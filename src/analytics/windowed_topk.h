@@ -1,0 +1,80 @@
+#ifndef TRAJLDP_ANALYTICS_WINDOWED_TOPK_H_
+#define TRAJLDP_ANALYTICS_WINDOWED_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/visit_counts.h"
+#include "common/status_or.h"
+#include "model/poi_database.h"
+#include "model/time_domain.h"
+#include "model/trajectory.h"
+
+namespace trajldp::analytics {
+
+/// Configuration of a windowed top-k query: which entities to rank
+/// (POIs, grid cells, category nodes), the window width, and k.
+struct TopKSpec {
+  EntitySpec entity;
+  /// Window width; must be positive and divide 1440.
+  int window_minutes = 60;
+  /// Entities reported per window.
+  size_t k = 10;
+
+  bool operator==(const TopKSpec&) const = default;
+};
+
+/// One ranked entry: an entity and its unique-visitor count within the
+/// window.
+struct WindowTopEntry {
+  uint64_t entity = 0;
+  uint32_t unique_visitors = 0;
+
+  bool operator==(const WindowTopEntry&) const = default;
+};
+
+/// \brief Incremental, mergeable per-time-window top-k entities by
+/// unique visitor count — the "which places are busiest right now"
+/// query a live shard answers without materializing any user.
+///
+/// Counting shares UniqueVisitCounts with HotspotAccumulator, so the
+/// same fold/merge exactness argument applies: integer counters make
+/// the final ranking a pure function of the folded user set, not of
+/// arrival order or shard partition. Ranking ties break
+/// deterministically: higher count first, then smaller entity key.
+class WindowedTopK {
+ public:
+  /// Validates the spec (window divides 1440, k > 0). `db` must outlive
+  /// the aggregate.
+  static StatusOr<WindowedTopK> Create(const model::PoiDatabase* db,
+                                       const model::TimeDomain& time,
+                                       const TopKSpec& spec);
+
+  /// Folds one user's (released) trajectory; one call per distinct
+  /// user. A user revisiting an entity within a window counts once.
+  void Add(const model::Trajectory& trajectory);
+
+  /// Combines a shard aggregate over a disjoint user population.
+  Status Merge(const WindowedTopK& other);
+
+  /// One ranking per window (1440 / window_minutes of them, index w
+  /// covering minutes [w·width, (w+1)·width)): up to k entries sorted
+  /// by (count desc, entity asc). Windows nobody visited are empty.
+  std::vector<std::vector<WindowTopEntry>> Finalize() const;
+
+  const TopKSpec& spec() const { return spec_; }
+  int num_windows() const { return counts_.num_bins(); }
+  size_t users_added() const { return counts_.users_added(); }
+  size_t ApproxMemoryBytes() const { return counts_.ApproxMemoryBytes(); }
+
+ private:
+  WindowedTopK(const model::PoiDatabase* db, const model::TimeDomain& time,
+               const TopKSpec& spec);
+
+  TopKSpec spec_;
+  UniqueVisitCounts counts_;
+};
+
+}  // namespace trajldp::analytics
+
+#endif  // TRAJLDP_ANALYTICS_WINDOWED_TOPK_H_

@@ -1,6 +1,7 @@
 #include "core/streaming_collector.h"
 
 #include <istream>
+#include <memory>
 #include <utility>
 
 namespace trajldp::core {
@@ -24,6 +25,24 @@ io::ReportBatch MakeWireReports(
     reports[i].ngrams = std::move(perturbed[i]);
   }
   return reports;
+}
+
+StreamingCollector::Sink StreamingCollector::FanOutSink(
+    std::vector<Sink> sinks) {
+  std::vector<Sink> targets;
+  targets.reserve(sinks.size());
+  for (Sink& sink : sinks) {
+    if (sink) targets.push_back(std::move(sink));
+  }
+  // shared_ptr because std::function requires a copyable callable.
+  auto shared = std::make_shared<std::vector<Sink>>(std::move(targets));
+  return [shared](UserRelease release) {
+    if (shared->empty()) return;
+    for (size_t i = 0; i + 1 < shared->size(); ++i) {
+      (*shared)[i](release);
+    }
+    shared->back()(std::move(release));
+  };
 }
 
 StreamingCollector::StreamingCollector(const NGramMechanism* mechanism,
@@ -162,9 +181,20 @@ bool StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
         continue;
       }
     }
+    // On any failure below, give the dedup claim back: this worker won
+    // the insert above (a preseeded or already-claimed id never gets
+    // here), so erasing is safe — and without it a client fixing and
+    // re-uploading the failed user's report would be dropped as a
+    // duplicate even though nothing was ever released for the user.
+    auto unclaim = [&] {
+      if (!dedup_user_ids_) return;
+      std::lock_guard<std::mutex> lock(seen_mu_);
+      seen_users_.erase(report.user_id);
+    };
     Status valid =
         pipeline_.ValidateReport(report.trajectory_len, report.ngrams);
     if (!valid.ok()) {
+      unclaim();
       LatchError(Status(valid.code(),
                         "user " + std::to_string(report.user_id) + ": " +
                             std::string(valid.message())));
@@ -181,6 +211,7 @@ bool StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
         report.trajectory_len, report.ngrams, collector_rng, ws,
         out.release);
     if (!status.ok()) {
+      unclaim();
       LatchError(Status(status.code(),
                         "user " + std::to_string(report.user_id) + ": " +
                             std::string(status.message())));
@@ -193,6 +224,11 @@ bool StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
     reports_released_.fetch_add(1, std::memory_order_relaxed);
   }
   return true;
+}
+
+size_t StreamingCollector::dedup_users_claimed() const {
+  std::lock_guard<std::mutex> lock(seen_mu_);
+  return seen_users_.size();
 }
 
 void StreamingCollector::LatchError(Status status) {

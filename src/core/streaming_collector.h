@@ -142,6 +142,15 @@ class StreamingCollector {
   /// time) but arrive in nondeterministic order and on worker threads.
   using Sink = std::function<void(UserRelease)>;
 
+  /// Composes several sinks into one that forwards every release to each
+  /// in order — how live analytics consumers ride along with a primary
+  /// sink (materialisation, persistence) on the same collector without
+  /// the collector growing a consumer registry. The release is copied to
+  /// all sinks but the last, which receives the original by move. Null
+  /// sinks are skipped; the collector's sink serialisation covers every
+  /// fan-out target, so targets need no locking of their own.
+  static Sink FanOutSink(std::vector<Sink> sinks);
+
   /// `mechanism` must outlive this collector. `seed` must match the
   /// batch engine's seed for bit-identical output.
   StreamingCollector(const NGramMechanism* mechanism, uint64_t seed,
@@ -200,6 +209,11 @@ class StreamingCollector {
   size_t duplicates_dropped() const {
     return duplicates_dropped_.load(std::memory_order_relaxed);
   }
+  /// User ids currently claimed in the dedup set (preseeded + won by a
+  /// worker). A report that fails validation or reconstruction gives its
+  /// claim back, so a corrected re-upload of that user is not dropped as
+  /// a duplicate; this accessor makes the rollback observable.
+  size_t dedup_users_claimed() const;
   /// Current ingest-queue depth and its all-time high-water mark — the
   /// backpressure observability pair surfaced by net::IngestServer::Stats.
   size_t queue_depth() const { return queue_.size(); }
@@ -233,7 +247,7 @@ class StreamingCollector {
   // last and destroyed first.
   BoundedQueue<Item> queue_;
   std::vector<PipelineWorkspace> workspaces_;
-  std::mutex seen_mu_;
+  mutable std::mutex seen_mu_;
   std::unordered_set<uint64_t> seen_users_;
   std::atomic<size_t> reports_released_{0};
   std::atomic<size_t> duplicates_dropped_{0};

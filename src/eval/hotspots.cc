@@ -1,87 +1,21 @@
 #include "eval/hotspots.h"
 
-#include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
-#include <optional>
-#include <set>
 
-#include "geo/grid.h"
+#include "analytics/hotspot_accumulator.h"
 
 namespace trajldp::eval {
 
 StatusOr<std::vector<Hotspot>> FindHotspots(
     const model::PoiDatabase& db, const model::TimeDomain& time,
     const model::TrajectorySet& trajectories, const HotspotSpec& spec) {
-  if (spec.bin_minutes <= 0 ||
-      model::kMinutesPerDay % spec.bin_minutes != 0) {
-    return Status::InvalidArgument("bin_minutes must divide 1440");
+  TRAJLDP_ASSIGN_OR_RETURN(
+      auto acc, analytics::HotspotAccumulator::Create(&db, time, spec));
+  for (const model::Trajectory& trajectory : trajectories) {
+    acc.Add(trajectory);
   }
-  if (spec.eta <= 0) {
-    return Status::InvalidArgument("eta must be positive");
-  }
-  const int num_bins = model::kMinutesPerDay / spec.bin_minutes;
-
-  // Optional grid for spatial entities.
-  std::optional<geo::UniformGrid> grid;
-  if (spec.entity == HotspotSpec::Entity::kSpatialGrid) {
-    geo::BoundingBox extent = db.extent();
-    extent.ExpandByKm(0.05);
-    grid.emplace(extent, spec.grid_size, spec.grid_size);
-  }
-
-  auto entity_of = [&](model::PoiId poi) -> uint64_t {
-    switch (spec.entity) {
-      case HotspotSpec::Entity::kPoi:
-        return poi;
-      case HotspotSpec::Entity::kSpatialGrid:
-        return grid->CellOf(db.poi(poi).location);
-      case HotspotSpec::Entity::kCategoryLevel: {
-        const hierarchy::CategoryId node = db.categories().AncestorAtLevel(
-            db.poi(poi).category,
-            std::min(spec.category_level,
-                     db.categories().level(db.poi(poi).category)));
-        return node;
-      }
-    }
-    return 0;
-  };
-
-  // Unique visitors per (entity, bin): user ids deduplicated via sets.
-  std::map<uint64_t, std::vector<std::set<size_t>>> visitors;
-  for (size_t user = 0; user < trajectories.size(); ++user) {
-    for (const model::TrajectoryPoint& pt : trajectories[user].points()) {
-      const uint64_t entity = entity_of(pt.poi);
-      const int bin = time.TimestepToMinute(pt.t) / spec.bin_minutes;
-      auto& bins = visitors[entity];
-      if (bins.empty()) bins.resize(num_bins);
-      bins[bin].insert(user);
-    }
-  }
-
-  // Hotspots: maximal runs of bins with unique count >= eta.
-  std::vector<Hotspot> out;
-  for (const auto& [entity, bins] : visitors) {
-    int run_start = -1;
-    int peak = 0;
-    for (int b = 0; b <= num_bins; ++b) {
-      const int count =
-          b < num_bins ? static_cast<int>(bins[b].size()) : 0;
-      if (count >= spec.eta) {
-        if (run_start < 0) {
-          run_start = b;
-          peak = 0;
-        }
-        peak = std::max(peak, count);
-      } else if (run_start >= 0) {
-        out.push_back(Hotspot{entity, run_start * spec.bin_minutes,
-                              b * spec.bin_minutes, peak});
-        run_start = -1;
-      }
-    }
-  }
-  return out;
+  return acc.Finalize();
 }
 
 HotspotComparison CompareHotspots(const std::vector<Hotspot>& real,
@@ -97,7 +31,20 @@ HotspotComparison CompareHotspots(const std::vector<Hotspot>& real,
       const double d =
           std::abs(h.start_minute - hat.start_minute) / 60.0 +
           std::abs(h.end_minute - hat.end_minute) / 60.0;
-      if (d < best_dist) {
+      // Equal-AHD candidates tie-break on smaller count error, then on
+      // the earlier interval, so the match (and hence ACD) is a function
+      // of the hotspot SETS rather than of `real`'s iteration order.
+      const bool better =
+          best == nullptr || d < best_dist ||
+          (d == best_dist &&
+           (std::abs(h.peak_count - hat.peak_count) <
+                std::abs(best->peak_count - hat.peak_count) ||
+            (std::abs(h.peak_count - hat.peak_count) ==
+                 std::abs(best->peak_count - hat.peak_count) &&
+             (h.start_minute < best->start_minute ||
+              (h.start_minute == best->start_minute &&
+               h.end_minute < best->end_minute)))));
+      if (better) {
         best_dist = d;
         best = &h;
       }

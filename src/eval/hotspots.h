@@ -28,6 +28,8 @@ struct HotspotSpec {
   int bin_minutes = 60;
   /// Unique-visitor threshold η.
   int eta = 20;
+
+  bool operator==(const HotspotSpec&) const = default;
 };
 
 /// A detected hotspot h = {t_s, t_e, entity, c} (§6.3.2).
@@ -39,11 +41,15 @@ struct Hotspot {
   int end_minute = 0;
   /// c: the maximum unique-visitor count reached in the interval.
   int peak_count = 0;
+
+  bool operator==(const Hotspot&) const = default;
 };
 
 /// Finds all hotspots of `trajectories` under `spec`. Each trajectory is
 /// one user; a user visiting an entity several times within a bin counts
-/// once.
+/// once. Implemented as "fold every user, then finalize" on
+/// analytics::HotspotAccumulator — the streaming path and this batch
+/// path share one hotspot implementation.
 StatusOr<std::vector<Hotspot>> FindHotspots(
     const model::PoiDatabase& db, const model::TimeDomain& time,
     const model::TrajectorySet& trajectories, const HotspotSpec& spec);

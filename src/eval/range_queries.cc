@@ -1,52 +1,52 @@
 #include "eval/range_queries.h"
 
-#include <cmath>
 #include <string>
+#include <vector>
 
-#include "model/semantic_distance.h"
+#include "analytics/prq_sketch.h"
 
 namespace trajldp::eval {
+namespace {
+
+/// Shared fold for both entry points: pair-level validation with the
+/// batch API's per-pair error context, then everything folds into the
+/// sketch the streaming path uses — one PRQ implementation, not two.
+StatusOr<std::vector<double>> FoldCurve(const model::PoiDatabase& db,
+                                        const model::TimeDomain& time,
+                                        const model::TrajectorySet& real,
+                                        const model::TrajectorySet& perturbed,
+                                        PrqDimension dimension,
+                                        const std::vector<double>& deltas) {
+  if (real.size() != perturbed.size() || real.empty()) {
+    return Status::InvalidArgument("sets must be non-empty and paired");
+  }
+  analytics::PrqSketch sketch(&db, time, dimension, deltas);
+  for (size_t k = 0; k < real.size(); ++k) {
+    if (real[k].size() != perturbed[k].size()) {
+      return Status::InvalidArgument("trajectory pair " + std::to_string(k) +
+                                     " differs in length");
+    }
+    if (real[k].empty()) {
+      // A zero-length pair used to contribute 0/0 and poison the whole
+      // percentage with NaN; reject it loudly instead.
+      return Status::InvalidArgument("trajectory pair " + std::to_string(k) +
+                                     " is empty");
+    }
+    TRAJLDP_RETURN_NOT_OK(sketch.AddPair(real[k], perturbed[k]));
+  }
+  return sketch.Curve();
+}
+
+}  // namespace
 
 StatusOr<double> PreservationRangeQuery(const model::PoiDatabase& db,
                                         const model::TimeDomain& time,
                                         const model::TrajectorySet& real,
                                         const model::TrajectorySet& perturbed,
                                         PrqDimension dimension, double delta) {
-  if (real.size() != perturbed.size() || real.empty()) {
-    return Status::InvalidArgument("sets must be non-empty and paired");
-  }
-  const model::SemanticDistance dist(&db, time);
-
-  double total = 0.0;
-  for (size_t k = 0; k < real.size(); ++k) {
-    const model::Trajectory& a = real[k];
-    const model::Trajectory& b = perturbed[k];
-    if (a.size() != b.size()) {
-      return Status::InvalidArgument("trajectory pair " + std::to_string(k) +
-                                     " differs in length");
-    }
-    size_t within = 0;
-    for (size_t i = 0; i < a.size(); ++i) {
-      double d = 0.0;
-      switch (dimension) {
-        case PrqDimension::kSpace:
-          d = dist.SpatialKm(a.point(i).poi, b.point(i).poi);
-          break;
-        case PrqDimension::kTime:
-          // δ for time is given in minutes.
-          d = std::abs(
-              static_cast<double>(time.TimestepToMinute(a.point(i).t) -
-                                  time.TimestepToMinute(b.point(i).t)));
-          break;
-        case PrqDimension::kCategory:
-          d = dist.Category(a.point(i).poi, b.point(i).poi);
-          break;
-      }
-      if (d <= delta) ++within;
-    }
-    total += static_cast<double>(within) / static_cast<double>(a.size());
-  }
-  return 100.0 * total / static_cast<double>(real.size());
+  TRAJLDP_ASSIGN_OR_RETURN(
+      auto curve, FoldCurve(db, time, real, perturbed, dimension, {delta}));
+  return curve[0];
 }
 
 StatusOr<std::vector<double>> PrqCurve(const model::PoiDatabase& db,
@@ -55,15 +55,7 @@ StatusOr<std::vector<double>> PrqCurve(const model::PoiDatabase& db,
                                        const model::TrajectorySet& perturbed,
                                        PrqDimension dimension,
                                        const std::vector<double>& deltas) {
-  std::vector<double> out;
-  out.reserve(deltas.size());
-  for (double delta : deltas) {
-    auto pr =
-        PreservationRangeQuery(db, time, real, perturbed, dimension, delta);
-    if (!pr.ok()) return pr.status();
-    out.push_back(*pr);
-  }
-  return out;
+  return FoldCurve(db, time, real, perturbed, dimension, deltas);
 }
 
 }  // namespace trajldp::eval

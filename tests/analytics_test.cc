@@ -1,0 +1,540 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "analytics/hotspot_accumulator.h"
+#include "analytics/prq_sketch.h"
+#include "analytics/stream_analytics.h"
+#include "analytics/windowed_topk.h"
+#include "common/rng.h"
+#include "core/batch_release_engine.h"
+#include "core/mechanism.h"
+#include "core/shard_plan.h"
+#include "core/streaming_collector.h"
+#include "eval/hotspots.h"
+#include "eval/range_queries.h"
+#include "io/wire.h"
+#include "test_world.h"
+
+namespace trajldp::analytics {
+namespace {
+
+using trajldp::testing::MakeGridWorld;
+using trajldp::testing::MakeTrajectory;
+
+class AnalyticsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = MakeGridWorld();
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<model::PoiDatabase>(std::move(*db));
+    time_ = *model::TimeDomain::Create(10);
+  }
+
+  // A deterministic random trajectory set: `count` users with 1–4
+  // points each over the 16-POI lattice.
+  model::TrajectorySet RandomSet(size_t count, uint64_t seed) const {
+    Rng rng(seed);
+    model::TrajectorySet set;
+    for (size_t u = 0; u < count; ++u) {
+      model::Trajectory traj;
+      const size_t len = 1 + static_cast<size_t>(rng.UniformUint64(4));
+      for (size_t i = 0; i < len; ++i) {
+        traj.Append(static_cast<model::PoiId>(rng.UniformUint64(db_->size())),
+                    static_cast<model::Timestep>(
+                        rng.UniformUint64(time_.num_timesteps())));
+      }
+      set.push_back(std::move(traj));
+    }
+    return set;
+  }
+
+  // Folds `set` through K accumulators (users partitioned round-robin),
+  // merges them into the first, and returns its finalized hotspots.
+  std::vector<eval::Hotspot> ShardedHotspots(const model::TrajectorySet& set,
+                                             const eval::HotspotSpec& spec,
+                                             size_t num_shards) {
+    std::vector<HotspotAccumulator> shards;
+    for (size_t s = 0; s < num_shards; ++s) {
+      auto acc = HotspotAccumulator::Create(db_.get(), time_, spec);
+      EXPECT_TRUE(acc.ok()) << acc.status();
+      shards.push_back(std::move(*acc));
+    }
+    for (size_t u = 0; u < set.size(); ++u) {
+      shards[u % num_shards].Add(set[u]);
+    }
+    for (size_t s = 1; s < num_shards; ++s) {
+      EXPECT_TRUE(shards[0].Merge(shards[s]).ok());
+    }
+    return shards[0].Finalize();
+  }
+
+  std::unique_ptr<model::PoiDatabase> db_;
+  model::TimeDomain time_;
+};
+
+// ---------- HotspotAccumulator ----------
+
+// The tentpole's equality gate in miniature: for randomized worlds and
+// K ∈ {1, 2, 4} shard partitions, merged accumulators finalize EXACTLY
+// what batch FindHotspots computes over the same users.
+TEST_F(AnalyticsFixture, ShardedFoldEqualsBatchFindHotspotsOnRandomWorlds) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    const auto set = RandomSet(60, seed);
+    eval::HotspotSpec spec;
+    spec.eta = 3;
+    for (auto entity : {eval::HotspotSpec::Entity::kPoi,
+                        eval::HotspotSpec::Entity::kSpatialGrid,
+                        eval::HotspotSpec::Entity::kCategoryLevel}) {
+      spec.entity = entity;
+      auto batch = eval::FindHotspots(*db_, time_, set, spec);
+      ASSERT_TRUE(batch.ok()) << batch.status();
+      for (size_t shards : {1u, 2u, 4u}) {
+        EXPECT_EQ(ShardedHotspots(set, spec, shards), *batch)
+            << "seed " << seed << " shards " << shards;
+      }
+    }
+  }
+}
+
+// Edge case: a run that is still hot in the last bin of the day must
+// close at end_minute == 1440, not be dropped.
+TEST_F(AnalyticsFixture, RunReachingEndOfDayClosesAt1440) {
+  model::TrajectorySet set;
+  for (int u = 0; u < 5; ++u) {
+    // Minute 1430 — the last timestep of the 10-minute domain.
+    set.push_back(MakeTrajectory({{0, 143}}));
+  }
+  eval::HotspotSpec spec;
+  spec.eta = 5;
+  auto acc = HotspotAccumulator::Create(db_.get(), time_, spec);
+  ASSERT_TRUE(acc.ok());
+  for (const auto& traj : set) acc->Add(traj);
+  const auto hotspots = acc->Finalize();
+  ASSERT_EQ(hotspots.size(), 1u);
+  EXPECT_EQ(hotspots[0].start_minute, 1380);
+  EXPECT_EQ(hotspots[0].end_minute, 1440);
+  EXPECT_EQ(hotspots[0].peak_count, 5);
+  // And the batch path agrees on the same edge.
+  auto batch = eval::FindHotspots(*db_, time_, set, spec);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(*batch, hotspots);
+}
+
+// Edge case: one whole-day bin collapses every timestep — including the
+// last one — into bin 0.
+TEST_F(AnalyticsFixture, WholeDayBinCollectsFirstAndLastTimestep)
+{
+  model::TrajectorySet set;
+  for (int u = 0; u < 4; ++u) {
+    set.push_back(MakeTrajectory({{0, 0}, {0, 143}}));
+  }
+  eval::HotspotSpec spec;
+  spec.bin_minutes = model::kMinutesPerDay;
+  spec.eta = 4;
+  auto batch = eval::FindHotspots(*db_, time_, set, spec);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_EQ((*batch)[0].start_minute, 0);
+  EXPECT_EQ((*batch)[0].end_minute, 1440);
+  // Both visits land in the single bin, so each user counts once.
+  EXPECT_EQ((*batch)[0].peak_count, 4);
+  EXPECT_EQ(ShardedHotspots(set, spec, 2), *batch);
+}
+
+// Edge case: bins much coarser than the time granularity (12 h bins over
+// 10 min steps) — visits 500 minutes apart share a bin; visits across
+// noon do not.
+TEST_F(AnalyticsFixture, CoarseBinsGroupAcrossManyTimesteps) {
+  model::TrajectorySet set;
+  for (int u = 0; u < 3; ++u) {
+    // Minutes 0 and 500 → bin 0; minute 1000 → bin 1.
+    set.push_back(MakeTrajectory({{0, 0}, {0, 50}, {0, 100}}));
+  }
+  eval::HotspotSpec spec;
+  spec.bin_minutes = 720;
+  spec.eta = 3;
+  auto batch = eval::FindHotspots(*db_, time_, set, spec);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);  // both bins hot → one merged run
+  EXPECT_EQ((*batch)[0].start_minute, 0);
+  EXPECT_EQ((*batch)[0].end_minute, 1440);
+  EXPECT_EQ((*batch)[0].peak_count, 3);
+  EXPECT_EQ(ShardedHotspots(set, spec, 4), *batch);
+}
+
+TEST_F(AnalyticsFixture, MergeRejectsMismatchedSpecs) {
+  eval::HotspotSpec a;
+  eval::HotspotSpec b;
+  b.bin_minutes = 720;
+  auto acc_a = HotspotAccumulator::Create(db_.get(), time_, a);
+  auto acc_b = HotspotAccumulator::Create(db_.get(), time_, b);
+  ASSERT_TRUE(acc_a.ok());
+  ASSERT_TRUE(acc_b.ok());
+  EXPECT_FALSE(acc_a->Merge(*acc_b).ok());
+}
+
+TEST_F(AnalyticsFixture, CreateValidatesSpec) {
+  eval::HotspotSpec spec;
+  spec.bin_minutes = 7;
+  EXPECT_FALSE(HotspotAccumulator::Create(db_.get(), time_, spec).ok());
+  spec = eval::HotspotSpec();
+  spec.eta = 0;
+  EXPECT_FALSE(HotspotAccumulator::Create(db_.get(), time_, spec).ok());
+}
+
+TEST_F(AnalyticsFixture, MemoryIsBoundedByEntitiesNotUsers) {
+  eval::HotspotSpec spec;
+  auto acc = HotspotAccumulator::Create(db_.get(), time_, spec);
+  ASSERT_TRUE(acc.ok());
+  const auto one_traj = MakeTrajectory({{0, 10}, {1, 20}});
+  acc->Add(one_traj);
+  const size_t after_one = acc->ApproxMemoryBytes();
+  for (int u = 0; u < 10000; ++u) acc->Add(one_traj);
+  // 10000 more users over the same entities: the table must not grow.
+  EXPECT_EQ(acc->ApproxMemoryBytes(), after_one);
+  EXPECT_EQ(acc->users_added(), 10001u);
+}
+
+// ---------- PrqSketch ----------
+
+TEST_F(AnalyticsFixture, ShardedSketchEqualsBatchPrqCurve) {
+  const std::vector<double> deltas = {0.0, 0.5, 1.0, 2.0, 4.0, 1e9};
+  for (uint64_t seed : {2u, 9u}) {
+    // Paired sets with MIXED lengths so the length-bucketed accumulation
+    // is actually exercised.
+    Rng rng(seed);
+    model::TrajectorySet real, released;
+    for (int k = 0; k < 30; ++k) {
+      model::Trajectory a, b;
+      const size_t len = 1 + static_cast<size_t>(rng.UniformUint64(5));
+      for (size_t i = 0; i < len; ++i) {
+        const auto t = static_cast<model::Timestep>(
+            rng.UniformUint64(time_.num_timesteps()));
+        a.Append(static_cast<model::PoiId>(rng.UniformUint64(db_->size())),
+                 t);
+        b.Append(static_cast<model::PoiId>(rng.UniformUint64(db_->size())),
+                 t);
+      }
+      real.push_back(std::move(a));
+      released.push_back(std::move(b));
+    }
+    for (auto dim : {eval::PrqDimension::kSpace, eval::PrqDimension::kTime,
+                     eval::PrqDimension::kCategory}) {
+      auto batch = eval::PrqCurve(*db_, time_, real, released, dim, deltas);
+      ASSERT_TRUE(batch.ok()) << batch.status();
+      for (size_t num_shards : {1u, 2u, 4u}) {
+        std::vector<PrqSketch> shards;
+        for (size_t s = 0; s < num_shards; ++s) {
+          shards.emplace_back(db_.get(), time_, dim, deltas);
+        }
+        for (size_t k = 0; k < real.size(); ++k) {
+          ASSERT_TRUE(
+              shards[k % num_shards].AddPair(real[k], released[k]).ok());
+        }
+        for (size_t s = 1; s < num_shards; ++s) {
+          ASSERT_TRUE(shards[0].Merge(shards[s]).ok());
+        }
+        auto curve = shards[0].Curve();
+        ASSERT_TRUE(curve.ok()) << curve.status();
+        ASSERT_EQ(curve->size(), batch->size());
+        for (size_t j = 0; j < curve->size(); ++j) {
+          // Bitwise equality, not approximate: the whole point of the
+          // integer length-bucketed accumulation.
+          EXPECT_DOUBLE_EQ((*curve)[j], (*batch)[j])
+              << "seed " << seed << " shards " << num_shards << " j " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(AnalyticsFixture, SketchRejectsBadPairsAndEmptyFinalize) {
+  PrqSketch sketch(db_.get(), time_, eval::PrqDimension::kSpace, {1.0});
+  EXPECT_FALSE(sketch.Curve().ok());  // nothing folded
+  EXPECT_FALSE(
+      sketch.AddPair(MakeTrajectory({{0, 1}}), MakeTrajectory({})).ok());
+  EXPECT_FALSE(sketch.AddPair(MakeTrajectory({}), MakeTrajectory({})).ok());
+  EXPECT_EQ(sketch.users_added(), 0u);
+}
+
+TEST_F(AnalyticsFixture, SketchRejectsMismatchedMerge) {
+  PrqSketch space(db_.get(), time_, eval::PrqDimension::kSpace, {1.0});
+  PrqSketch time_dim(db_.get(), time_, eval::PrqDimension::kTime, {1.0});
+  PrqSketch other_grid(db_.get(), time_, eval::PrqDimension::kSpace, {2.0});
+  EXPECT_FALSE(space.Merge(time_dim).ok());
+  EXPECT_FALSE(space.Merge(other_grid).ok());
+}
+
+// ---------- WindowedTopK ----------
+
+TEST_F(AnalyticsFixture, TopKRanksByCountThenEntity) {
+  TopKSpec spec;
+  spec.window_minutes = 720;
+  spec.k = 2;
+  auto topk = WindowedTopK::Create(db_.get(), time_, spec);
+  ASSERT_TRUE(topk.ok()) << topk.status();
+  // Morning window: POI 3 gets 3 visitors, POIs 1 and 2 get 2 each (the
+  // tie breaks toward the smaller id), POI 0 gets 1 and must be cut by
+  // k = 2. Afternoon window: nobody.
+  for (int u = 0; u < 3; ++u) topk->Add(MakeTrajectory({{3, 10}}));
+  for (int u = 0; u < 2; ++u) topk->Add(MakeTrajectory({{2, 10}}));
+  for (int u = 0; u < 2; ++u) topk->Add(MakeTrajectory({{1, 10}}));
+  topk->Add(MakeTrajectory({{0, 10}}));
+  const auto windows = topk->Finalize();
+  ASSERT_EQ(windows.size(), 2u);
+  ASSERT_EQ(windows[0].size(), 2u);
+  EXPECT_EQ(windows[0][0], (WindowTopEntry{3, 3}));
+  EXPECT_EQ(windows[0][1], (WindowTopEntry{1, 2}));
+  EXPECT_TRUE(windows[1].empty());
+}
+
+TEST_F(AnalyticsFixture, TopKShardMergeEqualsSingleFold) {
+  TopKSpec spec;
+  spec.window_minutes = 360;
+  spec.k = 5;
+  const auto set = RandomSet(50, 31);
+  auto single = WindowedTopK::Create(db_.get(), time_, spec);
+  ASSERT_TRUE(single.ok());
+  for (const auto& traj : set) single->Add(traj);
+
+  auto a = WindowedTopK::Create(db_.get(), time_, spec);
+  auto b = WindowedTopK::Create(db_.get(), time_, spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t u = 0; u < set.size(); ++u) {
+    (u % 2 ? *a : *b).Add(set[u]);
+  }
+  ASSERT_TRUE(a->Merge(*b).ok());
+  EXPECT_EQ(a->Finalize(), single->Finalize());
+  EXPECT_EQ(a->users_added(), set.size());
+}
+
+TEST_F(AnalyticsFixture, TopKCreateValidates) {
+  TopKSpec spec;
+  spec.window_minutes = 7;
+  EXPECT_FALSE(WindowedTopK::Create(db_.get(), time_, spec).ok());
+  spec = TopKSpec();
+  spec.k = 0;
+  EXPECT_FALSE(WindowedTopK::Create(db_.get(), time_, spec).ok());
+}
+
+// ---------- StreamAnalytics ----------
+
+TEST_F(AnalyticsFixture, StreamAnalyticsCreateValidatesConfig) {
+  StreamAnalyticsConfig empty;
+  EXPECT_FALSE(StreamAnalytics::Create(db_.get(), time_, empty).ok());
+
+  StreamAnalyticsConfig no_lookup;
+  no_lookup.prq.push_back({eval::PrqDimension::kSpace, {1.0}});
+  EXPECT_FALSE(StreamAnalytics::Create(db_.get(), time_, no_lookup).ok());
+
+  StreamAnalyticsConfig empty_grid;
+  empty_grid.prq.push_back({eval::PrqDimension::kSpace, {}});
+  empty_grid.real_lookup = [](uint64_t) { return nullptr; };
+  EXPECT_FALSE(StreamAnalytics::Create(db_.get(), time_, empty_grid).ok());
+
+  StreamAnalyticsConfig bad_spec;
+  bad_spec.hotspots.emplace();
+  bad_spec.hotspots->eta = 0;
+  EXPECT_FALSE(StreamAnalytics::Create(db_.get(), time_, bad_spec).ok());
+}
+
+TEST_F(AnalyticsFixture, StreamAnalyticsLatchesLookupMissButKeepsCounting) {
+  StreamAnalyticsConfig config;
+  config.hotspots.emplace();
+  config.hotspots->eta = 1;
+  config.prq.push_back({eval::PrqDimension::kSpace, {1.0}});
+  const model::Trajectory real = MakeTrajectory({{0, 10}});
+  config.real_lookup = [&real](uint64_t id) {
+    return id == 0 ? &real : nullptr;
+  };
+  auto bundle = StreamAnalytics::Create(db_.get(), time_, config);
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+
+  core::UserRelease ok_release;
+  ok_release.user_id = 0;
+  ok_release.release.trajectory = MakeTrajectory({{0, 10}});
+  bundle->Consume(ok_release);
+  EXPECT_TRUE(bundle->status().ok());
+
+  core::UserRelease unknown;
+  unknown.user_id = 99;
+  unknown.release.trajectory = MakeTrajectory({{1, 20}});
+  bundle->Consume(unknown);
+  EXPECT_FALSE(bundle->status().ok());
+  // Hotspot counting kept going for the unknown user; only PRQ skipped.
+  EXPECT_EQ(bundle->releases_consumed(), 2u);
+  EXPECT_EQ(bundle->hotspots()->users_added(), 2u);
+  EXPECT_EQ(bundle->prq()[0].users_added(), 1u);
+}
+
+// ---------- Live fan-out over a real StreamingCollector ----------
+
+// The tentpole end-to-end, sized for the TSan suite: K sharded
+// collectors each fan out to (materialize sink, analytics bundle) on
+// racing workers; merged bundles finalize EXACTLY the batch eval of the
+// merged materialized releases.
+class StreamingAnalyticsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trajldp::testing::GridWorldOptions options;
+    options.rows = 15;
+    options.cols = 15;
+    auto db = MakeGridWorld(options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::make_unique<model::PoiDatabase>(std::move(*db));
+    time_ = *model::TimeDomain::Create(10);
+
+    core::NGramConfig config;
+    config.n = 2;
+    config.epsilon = 5.0;
+    config.decomposition.grid_size = 5;
+    config.decomposition.coarse_grids = {1};
+    config.decomposition.base_interval_minutes = 720;
+    config.decomposition.merge.kappa = 1;
+    config.reachability.speed_kmh = 30.0;
+    config.reachability.reference_gap_minutes = 60;
+    auto mech = core::NGramMechanism::Build(db_.get(), time_, config);
+    ASSERT_TRUE(mech.ok()) << mech.status();
+    mech_ = std::make_unique<core::NGramMechanism>(std::move(*mech));
+  }
+
+  std::unique_ptr<model::PoiDatabase> db_;
+  model::TimeDomain time_;
+  std::unique_ptr<core::NGramMechanism> mech_;
+};
+
+TEST_F(StreamingAnalyticsFixture, ShardedLiveAnalyticsEqualBatchEval) {
+  const uint64_t seed = 20260808;
+  const size_t num_users = 30;
+
+  // Device side: random region trajectories → wire reports.
+  const auto num_regions =
+      static_cast<uint64_t>(mech_->decomposition().num_regions());
+  Rng rng(5);
+  std::vector<region::RegionTrajectory> users(num_users);
+  for (auto& tau : users) {
+    const size_t len = 2 + static_cast<size_t>(rng.UniformUint64(4));
+    for (size_t i = 0; i < len; ++i) {
+      tau.push_back(
+          static_cast<region::RegionId>(rng.UniformUint64(num_regions)));
+    }
+  }
+  core::BatchReleaseEngine device(&mech_->perturber(),
+                                  core::BatchReleaseEngine::Config{2});
+  auto perturbed = device.ReleaseAll(users, seed);
+  ASSERT_TRUE(perturbed.ok()) << perturbed.status();
+  const auto reports =
+      core::MakeWireReports(users, std::move(*perturbed), mech_->perturber());
+
+  // Synthetic "real" POI trajectories, one per user, same lengths as
+  // the released ones — what PRQ pairs against.
+  std::map<uint64_t, model::Trajectory> real_by_user;
+  for (size_t u = 0; u < num_users; ++u) {
+    model::Trajectory traj;
+    for (size_t i = 0; i < users[u].size(); ++i) {
+      traj.Append(static_cast<model::PoiId>((u * 7 + i * 3) % db_->size()),
+                  static_cast<model::Timestep>((u + i * 11) %
+                                               time_.num_timesteps()));
+    }
+    real_by_user.emplace(u, std::move(traj));
+  }
+
+  StreamAnalyticsConfig config;
+  config.hotspots.emplace();
+  config.hotspots->eta = 2;
+  config.prq.push_back(
+      {eval::PrqDimension::kSpace, {0.0, 1.0, 4.0, 16.0, 1e9}});
+  config.top_k.emplace();
+  config.top_k->k = 5;
+  config.real_lookup = [&real_by_user](uint64_t id) {
+    auto it = real_by_user.find(id);
+    return it == real_by_user.end() ? nullptr : &it->second;
+  };
+
+  for (const size_t num_shards : {1u, 2u, 4u}) {
+    const core::ShardPlan plan{num_shards};
+    auto sharded = core::PartitionByShard(plan, io::ReportBatch(reports));
+    std::vector<std::vector<core::UserRelease>> outputs(sharded.size());
+    std::vector<StreamAnalytics> bundles;
+    for (size_t s = 0; s < sharded.size(); ++s) {
+      auto bundle = StreamAnalytics::Create(db_.get(), time_, config);
+      ASSERT_TRUE(bundle.ok()) << bundle.status();
+      bundles.push_back(std::move(*bundle));
+    }
+    for (size_t s = 0; s < sharded.size(); ++s) {
+      core::StreamingCollector::Config cc;
+      cc.num_threads = 4;
+      cc.queue_capacity = 2;
+      StreamAnalytics& bundle = bundles[s];
+      auto& out = outputs[s];
+      core::StreamingCollector collector(
+          mech_.get(), seed,
+          core::StreamingCollector::FanOutSink(
+              {[&bundle](core::UserRelease release) {
+                 bundle.Consume(release);
+               },
+               [&out](core::UserRelease release) {
+                 out.push_back(std::move(release));
+               }}),
+          cc);
+      for (size_t begin = 0; begin < sharded[s].size(); begin += 3) {
+        const size_t end = std::min(begin + 3, sharded[s].size());
+        ASSERT_TRUE(collector
+                        .Push(io::ReportBatch(sharded[s].begin() + begin,
+                                              sharded[s].begin() + end))
+                        .ok());
+      }
+      ASSERT_TRUE(collector.Finish().ok());
+      ASSERT_TRUE(bundle.status().ok()) << bundle.status();
+    }
+
+    // Merge shard bundles into bundles[0].
+    for (size_t s = 1; s < bundles.size(); ++s) {
+      ASSERT_TRUE(bundles[0].Merge(bundles[s]).ok());
+    }
+    EXPECT_EQ(bundles[0].releases_consumed(), num_users);
+
+    // Batch reference over the merged materialized releases.
+    auto merged = core::MergeShardReleases(std::move(outputs), num_users);
+    ASSERT_TRUE(merged.ok()) << merged.status();
+    model::TrajectorySet released_set, real_set;
+    for (size_t u = 0; u < num_users; ++u) {
+      released_set.push_back((*merged)[u].trajectory);
+      real_set.push_back(real_by_user.at(u));
+    }
+    auto batch_hotspots =
+        eval::FindHotspots(*db_, time_, released_set, *config.hotspots);
+    ASSERT_TRUE(batch_hotspots.ok()) << batch_hotspots.status();
+    EXPECT_EQ(bundles[0].hotspots()->Finalize(), *batch_hotspots)
+        << "shards " << num_shards;
+
+    auto batch_curve =
+        eval::PrqCurve(*db_, time_, real_set, released_set,
+                       config.prq[0].dimension, config.prq[0].deltas);
+    ASSERT_TRUE(batch_curve.ok()) << batch_curve.status();
+    auto stream_curve = bundles[0].prq()[0].Curve();
+    ASSERT_TRUE(stream_curve.ok()) << stream_curve.status();
+    ASSERT_EQ(stream_curve->size(), batch_curve->size());
+    for (size_t j = 0; j < stream_curve->size(); ++j) {
+      EXPECT_DOUBLE_EQ((*stream_curve)[j], (*batch_curve)[j])
+          << "shards " << num_shards << " j " << j;
+    }
+
+    // Top-k over the same releases, computed independently.
+    auto reference_topk =
+        WindowedTopK::Create(db_.get(), time_, *config.top_k);
+    ASSERT_TRUE(reference_topk.ok());
+    for (const auto& traj : released_set) reference_topk->Add(traj);
+    EXPECT_EQ(bundles[0].top_k()->Finalize(), reference_topk->Finalize())
+        << "shards " << num_shards;
+  }
+}
+
+}  // namespace
+}  // namespace trajldp::analytics

@@ -110,6 +110,26 @@ TEST_F(EvalFixture, PrqTimeUsesMinutes) {
   EXPECT_DOUBLE_EQ(*above, 100.0);
 }
 
+TEST_F(EvalFixture, PrqRejectsEmptyPairInsteadOfNaN) {
+  // Regression: a zero-length pair used to contribute 0/0 = NaN and
+  // poison the whole percentage. It must be a clean error instead.
+  const model::TrajectorySet real = {MakeTrajectory({{0, 10}}),
+                                     MakeTrajectory({})};
+  const model::TrajectorySet perturbed = {MakeTrajectory({{0, 10}}),
+                                          MakeTrajectory({})};
+  auto pr = PreservationRangeQuery(*db_, time_, real, perturbed,
+                                   PrqDimension::kSpace, 1.0);
+  ASSERT_FALSE(pr.ok());
+  EXPECT_EQ(pr.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(pr.status().message().find("trajectory pair 1"),
+            std::string::npos);
+  EXPECT_NE(pr.status().message().find("empty"), std::string::npos);
+  // The curve wrapper surfaces the same guard.
+  EXPECT_FALSE(PrqCurve(*db_, time_, real, perturbed, PrqDimension::kSpace,
+                        {0.5, 1.0})
+                   .ok());
+}
+
 TEST_F(EvalFixture, PrqCurveIsMonotone) {
   Rng rng(3);
   model::TrajectorySet real, perturbed;
@@ -250,6 +270,32 @@ TEST_F(EvalFixture, CompareHotspotsPicksNearestAndExcludesOrphans) {
   EXPECT_EQ(cmp.excluded, 1u);  // entity 7 has no real hotspot
   EXPECT_NEAR(cmp.ahd_hours, 1.0, 1e-9);
   EXPECT_NEAR(cmp.acd, 5.0, 1e-9);
+}
+
+TEST_F(EvalFixture, CompareHotspotsBreaksAhdTiesDeterministically) {
+  // Two real hotspots both 2 h from the perturbed one. The match must
+  // pick the smaller count error (|22−25| = 3 beats |30−25| = 5)
+  // regardless of the order the real list happens to be in.
+  const Hotspot far_count{0, 540, 600, 30};
+  const Hotspot near_count{0, 660, 720, 22};
+  const std::vector<Hotspot> perturbed = {{0, 600, 660, 25}};
+  for (const auto& real : std::vector<std::vector<Hotspot>>{
+           {far_count, near_count}, {near_count, far_count}}) {
+    const auto cmp = CompareHotspots(real, perturbed);
+    EXPECT_EQ(cmp.matched, 1u);
+    EXPECT_NEAR(cmp.ahd_hours, 2.0, 1e-9);
+    EXPECT_NEAR(cmp.acd, 3.0, 1e-9);
+  }
+  // Full tie (same distance AND count error): the earlier interval wins,
+  // again order-independently.
+  const Hotspot early{0, 540, 600, 25};
+  const Hotspot late{0, 660, 720, 25};
+  for (const auto& real : std::vector<std::vector<Hotspot>>{
+           {early, late}, {late, early}}) {
+    const auto cmp = CompareHotspots(real, perturbed);
+    EXPECT_EQ(cmp.matched, 1u);
+    EXPECT_NEAR(cmp.acd, 0.0, 1e-9);
+  }
 }
 
 // ---------- Experiment driver ----------

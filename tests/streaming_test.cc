@@ -518,6 +518,86 @@ TEST_F(StreamingFixture, InconsistentNgramSpanRejected) {
   EXPECT_FALSE(collector.Finish().ok());
 }
 
+// Regression: dedup claimed a user id BEFORE validation, so a report
+// that failed validation or reconstruction left its id poisoned in the
+// dedup set — a corrected re-upload of that user would be silently
+// dropped as a duplicate. The claim must be given back on failure.
+TEST_F(StreamingFixture, DedupClaimRolledBackWhenReportFails) {
+  io::WireReport bad;
+  bad.user_id = 7;
+  bad.trajectory_len = 2;
+  bad.epsilon_prime = 1.0;
+  bad.ngrams.push_back(core::PerturbedNgram{
+      1, 2, {0, static_cast<region::RegionId>(1u << 30)}});
+
+  StreamingCollector::Config config;
+  config.dedup_user_ids = true;
+  config.pre_released_user_ids = {100};  // survives the rollback
+  StreamingCollector collector(mech_.get(), 1, [](UserRelease) { FAIL(); },
+                               config);
+  ASSERT_TRUE(collector.Push(io::ReportBatch{bad}).ok());
+  auto status = collector.Finish();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  // Only the preseeded id remains claimed; user 7's claim was returned.
+  EXPECT_EQ(collector.dedup_users_claimed(), 1u);
+  EXPECT_EQ(collector.duplicates_dropped(), 0u);
+}
+
+// And the happy path still claims: released users stay in the set, and
+// true duplicates are dropped against it.
+TEST_F(StreamingFixture, DedupKeepsClaimsOfReleasedUsers) {
+  const uint64_t seed = 29;
+  const auto users = MakeUsers(6, 27);
+  const auto reports = MakeReports(users, seed);
+  StreamingCollector::Config config;
+  config.dedup_user_ids = true;
+  std::mutex mu;
+  std::vector<UserRelease> out;
+  StreamingCollector collector(
+      mech_.get(), seed,
+      [&](UserRelease release) {
+        std::lock_guard<std::mutex> lock(mu);
+        out.push_back(std::move(release));
+      },
+      config);
+  ASSERT_TRUE(collector.Push(reports).ok());
+  ASSERT_TRUE(collector.Push(reports).ok());  // full replay: all dupes
+  ASSERT_TRUE(collector.Finish().ok());
+  EXPECT_EQ(out.size(), users.size());
+  EXPECT_EQ(collector.dedup_users_claimed(), users.size());
+  EXPECT_EQ(collector.duplicates_dropped(), users.size());
+}
+
+// FanOutSink: every target sees every release, in registration order,
+// under the collector's sink serialisation.
+TEST_F(StreamingFixture, FanOutSinkForwardsToEveryTarget) {
+  const uint64_t seed = 31;
+  const auto users = MakeUsers(8, 33);
+  const auto reports = MakeReports(users, seed);
+  std::vector<UserRelease> first, second;
+  size_t order_violations = 0;
+  StreamingCollector collector(
+      mech_.get(), seed,
+      StreamingCollector::FanOutSink(
+          {[&](UserRelease release) { first.push_back(std::move(release)); },
+           StreamingCollector::Sink(),  // null sinks are skipped
+           [&](UserRelease release) {
+             // The copy target already ran for this release.
+             if (first.size() != second.size() + 1) ++order_violations;
+             second.push_back(std::move(release));
+           }}));
+  ASSERT_TRUE(collector.Push(reports).ok());
+  ASSERT_TRUE(collector.Finish().ok());
+  ASSERT_EQ(first.size(), users.size());
+  ASSERT_EQ(second.size(), users.size());
+  EXPECT_EQ(order_violations, 0u);
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].user_id, second[i].user_id);
+    EXPECT_EQ(first[i].release.trajectory, second[i].release.trajectory);
+  }
+}
+
 TEST_F(StreamingFixture, PushAfterFinishFails) {
   StreamingCollector collector(mech_.get(), 1, [](UserRelease) {});
   ASSERT_TRUE(collector.Finish().ok());
