@@ -18,6 +18,7 @@
 
 #include <signal.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -47,6 +48,8 @@
 #include "net/framing.h"
 #include "net/ingest_server.h"
 #include "net/report_client.h"
+#include "net/socket.h"
+#include "obs/admin_server.h"
 #include "test_support.h"
 
 namespace trajldp {
@@ -178,12 +181,17 @@ int Run(size_t num_users, size_t churn_conns, const std::string& json_path) {
   };
 
   // --- Leg 1: in-memory PushEncoded (the BENCH_stream shape). --------
-  auto run_inmem = [&]() -> StatusOr<LegResult> {
+  // `stage_timing` toggles the per-frame/per-report latency histogram
+  // clock reads (counters stay on either way) — the two settings are
+  // the telemetered/untelemetered pair behind metrics_overhead_ratio.
+  auto run_inmem = [&](bool stage_timing) -> StatusOr<LegResult> {
     auto frames = encode_frames(reports);
     if (!frames.ok()) return frames.status();
     mech->domain().ClearCache();
     std::vector<std::vector<core::UserRelease>> outputs(1);
     LegResult result;
+    auto timed_config = collector_config;
+    timed_config.enable_stage_timing = stage_timing;
     Stopwatch watch;
     {
       core::StreamingCollector collector(
@@ -191,7 +199,7 @@ int Run(size_t num_users, size_t churn_conns, const std::string& json_path) {
           [&outputs](core::UserRelease release) {
             outputs[0].push_back(std::move(release));
           },
-          collector_config);
+          timed_config);
       for (std::string& frame : *frames) {
         TRAJLDP_RETURN_NOT_OK(collector.PushEncoded(std::move(frame)));
       }
@@ -343,6 +351,24 @@ int Run(size_t num_users, size_t churn_conns, const std::string& json_path) {
     size_t required = 0;    // target after the (announced) rlimit cap
     size_t concurrent = 0;  // simultaneously-open connections achieved
     bool identical = false;
+    /// GET /metrics answered 200 with the core ingest series, non-zero,
+    /// WHILE the held connections streamed their frames.
+    bool scrape_ok = false;
+  };
+  auto http_get = [](uint16_t port, const std::string& path) -> std::string {
+    auto socket = net::TcpConnect("127.0.0.1", port);
+    if (!socket.ok()) return "";
+    const std::string request =
+        "GET " + path + " HTTP/1.1\r\nHost: bench\r\n\r\n";
+    if (!net::SendAll(*socket, request).ok()) return "";
+    std::string response;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(socket->fd(), buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      response.append(buf, static_cast<size_t>(n));
+    }
+    return response;
   };
   auto run_churn = [&](size_t target_conns) -> StatusOr<ChurnResult> {
     target_conns = std::max<size_t>(1, target_conns);
@@ -480,6 +506,12 @@ int Run(size_t num_users, size_t churn_conns, const std::string& json_path) {
       options.backlog = 1024;
       auto server = net::IngestServer::Start(&collector, options);
       if (!server.ok()) return server.status();
+      // The scrape-under-load probe: an admin endpoint on the ingest
+      // registry, hit while every held connection streams frames. Shut
+      // down BEFORE the ingest server dies — its collection hook must
+      // not run against a destroyed server.
+      auto admin = obs::AdminServer::Start((*server)->metrics());
+      if (!admin.ok()) return fail("admin endpoint failed to start");
 
       const uint16_t port = (*server)->port();
       if (!write_full(to_child[1], &port, sizeof(port))) {
@@ -511,6 +543,26 @@ int Run(size_t num_users, size_t churn_conns, const std::string& json_path) {
       if (!write_full(to_child[1], &token, 1)) {
         return fail("dialer exited before sending");
       }
+      // Scrape while the dialer streams: the endpoint must answer with
+      // valid exposition text carrying non-zero core series even with
+      // every connection live and the reactors busy.
+      {
+        const std::string scrape = http_get((*admin)->port(), "/metrics");
+        bool accepted_positive = false;
+        // Newline-anchored: the bare name also appears in # HELP/# TYPE.
+        const std::string needle =
+            "\ntrajldp_ingest_connections_accepted_total ";
+        if (const size_t pos = scrape.find(needle);
+            pos != std::string::npos) {
+          accepted_positive =
+              std::atof(scrape.c_str() + pos + needle.size()) > 0.0;
+        }
+        result.scrape_ok =
+            scrape.find("HTTP/1.1 200 OK") != std::string::npos &&
+            scrape.find("# TYPE trajldp_ingest_frames_total counter") !=
+                std::string::npos &&
+            accepted_positive;
+      }
       if (!read_full(to_parent[0], &token, 1) || token != 'd') {
         return fail("dialer exited while sending");
       }
@@ -518,6 +570,7 @@ int Run(size_t num_users, size_t churn_conns, const std::string& json_path) {
              (*server)->stats().connections_accepted) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
+      (*admin)->Shutdown();
       (*server)->Shutdown();
       TRAJLDP_RETURN_NOT_OK((*server)->first_connection_error());
       TRAJLDP_RETURN_NOT_OK(collector.Finish());
@@ -537,11 +590,36 @@ int Run(size_t num_users, size_t churn_conns, const std::string& json_path) {
     return result;
   };
 
-  auto inmem = run_inmem();
-  if (!inmem.ok()) {
-    std::cerr << "in-memory leg: " << inmem.status() << "\n";
-    return 1;
+  // Telemetry overhead: alternate untelemetered (stage timing off) and
+  // telemetered in-memory runs, best of 3 each. Alternating cancels
+  // slow drift (cache warmth, cpu frequency); best-of damps scheduler
+  // noise. The telemetered best doubles as the in-memory leg below.
+  LegResult inmem_untimed;
+  LegResult inmem;
+  bool inmem_identical = true;
+  for (int round = 0; round < 3; ++round) {
+    auto untimed = run_inmem(/*stage_timing=*/false);
+    if (!untimed.ok()) {
+      std::cerr << "in-memory (untelemetered) leg: " << untimed.status()
+                << "\n";
+      return 1;
+    }
+    auto timed = run_inmem(/*stage_timing=*/true);
+    if (!timed.ok()) {
+      std::cerr << "in-memory leg: " << timed.status() << "\n";
+      return 1;
+    }
+    inmem_identical = inmem_identical && untimed->identical &&
+                      timed->identical;
+    if (untimed->users_per_sec > inmem_untimed.users_per_sec) {
+      inmem_untimed = *untimed;
+    }
+    if (timed->users_per_sec > inmem.users_per_sec) inmem = *timed;
   }
+  inmem.identical = inmem_identical;
+  const double metrics_overhead_ratio =
+      inmem_untimed.users_per_sec / inmem.users_per_sec;
+  const bool metrics_within = metrics_overhead_ratio <= 1.05;
   auto loopback = run_loopback(1);
   if (!loopback.ok()) {
     std::cerr << "loopback leg: " << loopback.status() << "\n";
@@ -574,13 +652,13 @@ int Run(size_t num_users, size_t churn_conns, const std::string& json_path) {
     return 1;
   }
 
-  const double ratio = inmem->users_per_sec / loopback->users_per_sec;
+  const double ratio = inmem.users_per_sec / loopback->users_per_sec;
   const bool within_2x = ratio <= 2.0;
   const double journaled_ratio =
       loopback->users_per_sec / journaled->users_per_sec;
   const bool journaled_within_2x = journaled_ratio <= 2.0;
   const bool bit_identical =
-      inmem->identical && loopback->identical && loopback2->identical &&
+      inmem.identical && loopback->identical && loopback2->identical &&
       journaled->identical && journaled_everyrec->identical;
   // The churn gate: the reactor must actually have held the requested
   // connection count open at once (modulo a loudly-announced rlimit
@@ -588,8 +666,10 @@ int Run(size_t num_users, size_t churn_conns, const std::string& json_path) {
   // bit-identically.
   const bool churn_held = churn->concurrent >= churn->required;
   std::printf("in-memory ingest : %8.0f users/s (%.3f s)%s\n",
-              inmem->users_per_sec, inmem->seconds,
-              inmem->identical ? "" : "  MISMATCH");
+              inmem.users_per_sec, inmem.seconds,
+              inmem.identical ? "" : "  MISMATCH");
+  std::printf("in-memory, stage timing off: %8.0f users/s (%.3f s)\n",
+              inmem_untimed.users_per_sec, inmem_untimed.seconds);
   std::printf("loopback ingest  : %8.0f users/s (%.3f s)%s\n",
               loopback->users_per_sec, loopback->seconds,
               loopback->identical ? "" : "  MISMATCH");
@@ -610,6 +690,10 @@ int Run(size_t num_users, size_t churn_conns, const std::string& json_path) {
               within_2x ? "PASS" : "FAIL");
   std::printf("loopback / journaled ratio: %.2fx (gate <= 2x): %s\n",
               journaled_ratio, journaled_within_2x ? "PASS" : "FAIL");
+  std::printf("telemetry overhead ratio: %.3fx (gate <= 1.05x): %s\n",
+              metrics_overhead_ratio, metrics_within ? "PASS" : "FAIL");
+  std::printf("/metrics scrape under churn load: %s\n",
+              churn->scrape_ok ? "PASS" : "FAIL");
   std::cout << "all legs bit-identical to batch engine: "
             << (bit_identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
 
@@ -628,8 +712,16 @@ int Run(size_t num_users, size_t churn_conns, const std::string& json_path) {
         << "  \"trajectory_len\": " << kTrajectoryLen << ",\n"
         << "  \"batch_size\": " << kBatchSize << ",\n"
         << "  \"hw_threads\": " << hw_threads << ",\n"
-        << "  \"inmem_seconds\": " << inmem->seconds << ",\n"
-        << "  \"inmem_users_per_sec\": " << inmem->users_per_sec << ",\n"
+        << "  \"inmem_seconds\": " << inmem.seconds << ",\n"
+        << "  \"inmem_users_per_sec\": " << inmem.users_per_sec << ",\n"
+        << "  \"inmem_untelemetered_users_per_sec\": "
+        << inmem_untimed.users_per_sec << ",\n"
+        << "  \"metrics_overhead_ratio\": " << metrics_overhead_ratio
+        << ",\n"
+        << "  \"metrics_within_1_05x\": "
+        << (metrics_within ? "true" : "false") << ",\n"
+        << "  \"churn_metrics_scrape_ok\": "
+        << (churn->scrape_ok ? "true" : "false") << ",\n"
         << "  \"loopback_seconds\": " << loopback->seconds << ",\n"
         << "  \"loopback_users_per_sec\": " << loopback->users_per_sec
         << ",\n"
@@ -658,7 +750,10 @@ int Run(size_t num_users, size_t churn_conns, const std::string& json_path) {
   }
 
   if (!bit_identical || !churn->identical) return 2;
-  return within_2x && journaled_within_2x && churn_held ? 0 : 3;
+  return within_2x && journaled_within_2x && churn_held && metrics_within &&
+                 churn->scrape_ok
+             ? 0
+             : 3;
 }
 
 }  // namespace

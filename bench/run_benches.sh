@@ -140,6 +140,12 @@ required = {
         "loopback_over_journaled",
         "churn_concurrent_connections",
         "churn_bit_identical",
+        # ISSUE 10: always-on telemetry must prove it is close to free
+        # (ratio gate ≤ 1.05×) and that /metrics answered under the
+        # churn leg's connection load.
+        "metrics_overhead_ratio",
+        "metrics_within_1_05x",
+        "churn_metrics_scrape_ok",
     ],
     "BENCH_micro.json": ["benchmarks"],
 }

@@ -21,8 +21,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -41,6 +43,8 @@
 #include "io/wire.h"
 #include "net/ingest_server.h"
 #include "net/report_client.h"
+#include "obs/metrics.h"
+#include "obs/snapshot_writer.h"
 
 using namespace trajldp;
 
@@ -177,10 +181,17 @@ int Run(const Args& args) {
   // bundle needs no locking even with multiple reconstruction threads.
   struct Shard {
     std::optional<analytics::StreamAnalytics> bundle;
+    /// Serializes the sink's Consume against the snapshot writer's
+    /// mid-ingest Finalize/ExportMetrics (both read the same bundle).
+    std::mutex bundle_mu;
     std::vector<core::UserRelease> releases;
     std::unique_ptr<core::StreamingCollector> collector;
     std::unique_ptr<net::IngestServer> server;
   };
+  // One registry for the whole demo: every shard's collector and server
+  // registers its series here under a shard label, and the snapshot
+  // writer below renders them all in one scrape-shaped file.
+  obs::Registry registry;
   std::vector<std::unique_ptr<Shard>> shards;
   for (size_t s = 0; s < args.shards; ++s) {
     auto shard = std::make_unique<Shard>();
@@ -190,12 +201,16 @@ int Run(const Args& args) {
 
     core::StreamingCollector::Config collector_config;
     collector_config.num_threads = 2;
+    collector_config.metrics = &registry;
+    collector_config.metric_labels = {{"shard", std::to_string(s)}};
     analytics::StreamAnalytics& bundle_ref = *shard->bundle;
+    std::mutex& bundle_mu = shard->bundle_mu;
     auto& releases = shard->releases;
     shard->collector = std::make_unique<core::StreamingCollector>(
         world->mechanism.get(), args.seed,
         core::StreamingCollector::FanOutSink(
-            {[&bundle_ref](core::UserRelease release) {
+            {[&bundle_ref, &bundle_mu](core::UserRelease release) {
+               std::lock_guard<std::mutex> lock(bundle_mu);
                bundle_ref.Consume(release);
              },
              [&releases](core::UserRelease release) {
@@ -204,6 +219,8 @@ int Run(const Args& args) {
         collector_config);
 
     net::IngestServer::Options options;
+    options.metrics = &registry;
+    options.metric_labels = {{"shard", std::to_string(s)}};
     options.expected_range = plan.RangeOf(s);
     auto server = net::IngestServer::Start(shard->collector.get(), options);
     if (!server.ok()) return Fail(server.status());
@@ -214,6 +231,34 @@ int Run(const Args& args) {
               << shard->server->port() << "\n";
     shards.push_back(std::move(shard));
   }
+
+  // Live progress comes from the telemetry pipeline, not ad-hoc prints:
+  // a PeriodicSnapshotWriter renders the shared registry to a file
+  // every 50 ms. Its preamble finalizes every bundle MID-INGEST — safe
+  // because Finalize is read-only and the preamble holds the same lock
+  // the sink's Consume takes — and pushes the trajldp_analytics_*
+  // gauges so the snapshot carries aggregate state, not just counters.
+  const std::string metrics_path =
+      (std::filesystem::temp_directory_path() / "live_analytics_metrics.prom")
+          .string();
+  obs::PeriodicSnapshotWriter::Options writer_options;
+  writer_options.interval = std::chrono::milliseconds(50);
+  writer_options.path = metrics_path;
+  writer_options.preamble = [&shards, &registry] {
+    std::string line = "# live:";
+    for (size_t s = 0; s < shards.size(); ++s) {
+      Shard& shard = *shards[s];
+      std::lock_guard<std::mutex> lock(shard.bundle_mu);
+      shard.bundle->ExportMetrics(&registry,
+                                  {{"shard", std::to_string(s)}});
+      line += " shard" + std::to_string(s) + "=" +
+              std::to_string(shard.bundle->releases_consumed()) + " users/" +
+              std::to_string(shard.bundle->hotspots()->Finalize().size()) +
+              " hotspots";
+    }
+    return line;
+  };
+  obs::PeriodicSnapshotWriter writer(&registry, writer_options);
 
   // Stream the fleet's reports over the sockets.
   for (size_t s = 0; s < args.shards; ++s) {
@@ -251,6 +296,16 @@ int Run(const Args& args) {
     }
     if (!shard->bundle->status().ok()) return Fail(shard->bundle->status());
   }
+  // Stop BEFORE merging: Merge mutates shard 0's bundle, and Stop's
+  // final render leaves the file reflecting end-of-stream state. The
+  // final write guarantees at least one snapshot even on a tiny run.
+  writer.Stop();
+  if (writer.snapshots_written() == 0) {
+    std::cerr << "snapshot writer produced no snapshots\n";
+    return 1;
+  }
+  std::cout << "telemetry: " << writer.snapshots_written()
+            << " metric snapshots -> " << metrics_path << "\n";
 
   // Merge the K shard bundles — pure counter addition, no user data.
   analytics::StreamAnalytics& merged_bundle = *shards[0]->bundle;

@@ -50,6 +50,7 @@
 #include "io/wire.h"
 #include "net/ingest_server.h"
 #include "net/report_client.h"
+#include "obs/admin_server.h"
 
 using namespace trajldp;
 
@@ -388,6 +389,14 @@ struct Args {
   // releases persisted incrementally to out+".partial" so a compacted
   // record is always recoverable from the release log instead.
   uint64_t compact_bytes = 0;
+  // serve: publish an obs::AdminServer (/metrics, /statusz) on an
+  // ephemeral loopback port, written to this file via atomic rename —
+  // the driver scrapes it to validate the shard's telemetry.
+  std::string admin_port_file;
+  // serve: after the release file is written, keep the admin endpoint
+  // alive until this file exists (or ~30s pass) so the driver can
+  // scrape final counters before the process exits.
+  std::string admin_hold_file;
 };
 
 std::vector<std::string> SplitCommas(const std::string& csv) {
@@ -407,6 +416,7 @@ int Usage(const char* argv0) {
          "            [--expect-clients C] [--timeout-sec T]\n"
          "            [--journal FILE [--kill-after-bytes B]\n"
          "             [--compact-bytes B]]\n"
+         "            [--admin-port-file F [--admin-hold-file F]]\n"
       << "  " << argv0
       << " send   --num-shards K --users N --seed SEED --ports p0,p1,...\n"
          "            [--batch-size B] [--ack 1 [--window W]]\n"
@@ -449,6 +459,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->kill_after_bytes = std::stoull(value);
     } else if (flag == "--compact-bytes") {
       args->compact_bytes = std::stoull(value);
+    } else if (flag == "--admin-port-file") {
+      args->admin_port_file = value;
+    } else if (flag == "--admin-hold-file") {
+      args->admin_hold_file = value;
     } else if (flag == "--ack") {
       args->ack = value != "0";
     } else if (flag == "--window") {
@@ -464,6 +478,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 int Fail(const Status& status) {
   std::cerr << status << "\n";
   return 1;
+}
+
+// Write-then-rename so a reader never sees a half-written port.
+void PublishPort(const std::string& path, uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::ofstream file(tmp, std::ios::trunc);
+  file << port << "\n";
+  file.close();
+  std::filesystem::rename(tmp, path);
 }
 
 // ---------------------------------------------------------------- roles
@@ -534,6 +557,19 @@ int RunServe(const Args& args) {
   }
   auto server = net::IngestServer::Start(&collector, options);
   if (!server.ok()) return Fail(server.status());
+
+  // Telemetry endpoint. Declared after `server` so the scraper is torn
+  // down before the hook-owning server on every exit path.
+  std::unique_ptr<obs::AdminServer> admin;
+  if (!args.admin_port_file.empty()) {
+    auto started = obs::AdminServer::Start((*server)->metrics());
+    if (!started.ok()) return Fail(started.status());
+    admin = std::move(*started);
+    PublishPort(args.admin_port_file, admin->port());
+    std::cout << "shard " << args.shard << " admin endpoint on port "
+              << admin->port() << "\n";
+  }
+
   std::cout << "shard " << args.shard << "/" << args.num_shards
             << " serving users [" << options.expected_range->first << ", "
             << options.expected_range->second << ") on port "
@@ -545,12 +581,7 @@ int RunServe(const Args& args) {
   }
 
   if (!args.port_file.empty()) {
-    // Write-then-rename so the driver never reads a half-written port.
-    const std::string tmp = args.port_file + ".tmp";
-    std::ofstream file(tmp, std::ios::trunc);
-    file << (*server)->port() << "\n";
-    file.close();
-    std::filesystem::rename(tmp, args.port_file);
+    PublishPort(args.port_file, (*server)->port());
   }
 
   // Drain barrier: every expected client has connected and closed
@@ -609,6 +640,19 @@ int RunServe(const Args& args) {
               << stats.journal_compactions << ")";
   }
   std::cout << "\n";
+
+  if (admin != nullptr && !args.admin_hold_file.empty()) {
+    // Everything is drained and written; the registry (owned by the
+    // collector, still in scope) now holds the shard's final counters.
+    // Keep the admin endpoint alive until the driver signals it has
+    // scraped, bounded so an absent driver cannot wedge the shard.
+    const auto hold_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!std::filesystem::exists(args.admin_hold_file) &&
+           std::chrono::steady_clock::now() < hold_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
   return 0;
 }
 

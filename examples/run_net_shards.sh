@@ -84,7 +84,14 @@ launch_shard() {
 echo "=== launching $k collector process(es) [mode: $mode] ==="
 for ((s = 0; s < k; s++)); do
   extra=(--port 0 --port-file "$work/port.$s")
-  if [[ "$mode" != plain ]]; then
+  if [[ "$mode" == plain ]]; then
+    # Telemetry leg: each shard publishes a /metrics admin endpoint and
+    # stays alive after draining until we touch its hold file, so the
+    # scrape below sees final counters. Crash modes skip this — shard 0
+    # is SIGKILLed and its admin port would dangle.
+    extra+=(--admin-port-file "$work/admin-port.$s"
+      --admin-hold-file "$work/admin-hold.$s")
+  else
     extra+=(--journal "$work/journal.$s")
     if [[ "$mode" == crash-compact ]]; then
       extra+=(--compact-bytes "$compact_bytes")
@@ -185,6 +192,67 @@ if [[ $send_status -ne 0 ]]; then
   exit "$send_status"
 fi
 sed 's/^/  send | /' "$work/send.log"
+
+if [[ "$mode" == plain ]]; then
+  echo "=== scraping /metrics on every shard ==="
+  for ((s = 0; s < k; s++)); do
+    for _ in $(seq 1 600); do
+      [[ -s "$work/admin-port.$s" ]] && break
+      sleep 0.05
+    done
+    [[ -s "$work/admin-port.$s" ]] || {
+      echo "error: shard $s never published an admin port" >&2
+      dump_log "$s"
+      exit 1
+    }
+    admin_port="$(cat "$work/admin-port.$s")"
+    # Fail on a missing or zero core series: a registry that renders but
+    # counts nothing means the pipeline silently stopped reporting.
+    python3 - "$admin_port" "$s" <<'PY' || { dump_log "$s"; exit 1; }
+import sys, time, urllib.request
+
+port, shard = sys.argv[1], sys.argv[2]
+required = [
+    "trajldp_ingest_frames_total",
+    "trajldp_ingest_connections_accepted_total",
+    "trajldp_collector_reports_released_total",
+]
+
+def scrape():
+    body = urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/metrics", timeout=10).read().decode()
+    series = {}
+    for line in body.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, _, value = line.rpartition(" ")
+        series[name.split("{")[0]] = float(value)
+    return series
+
+# The shard cannot exit before the hold file appears, but its worker
+# may still be draining — poll until every core series is positive.
+deadline = time.monotonic() + 30
+while True:
+    series = scrape()
+    missing = [n for n in required if n not in series]
+    if missing:
+        sys.exit(f"shard {shard}: /metrics is missing {missing[0]}")
+    stale = [n for n in required if series[n] <= 0]
+    if not stale:
+        break
+    if time.monotonic() >= deadline:
+        sys.exit(f"shard {shard}: {stale[0]} is still "
+                 f"{series[stale[0]]}, expected > 0")
+    time.sleep(0.1)
+print(f"shard {shard}: /metrics OK "
+      f"(frames={series['trajldp_ingest_frames_total']:.0f}, "
+      f"released={series['trajldp_collector_reports_released_total']:.0f})")
+PY
+    # Release the shard: it holds its admin endpoint (and process) open
+    # until this file appears.
+    touch "$work/admin-hold.$s"
+  done
+fi
 
 echo "=== waiting for shard processes to drain and exit ==="
 status=0

@@ -82,6 +82,22 @@ Status StreamAnalytics::Merge(const StreamAnalytics& other) {
   return Status::Ok();
 }
 
+void StreamAnalytics::ExportMetrics(obs::Registry* registry,
+                                    const obs::Labels& labels) const {
+  registry
+      ->GetGauge("trajldp_analytics_releases_consumed",
+                 "Releases folded into this analytics bundle", labels)
+      ->Set(static_cast<double>(releases_consumed_));
+  registry
+      ->GetGauge("trajldp_analytics_memory_bytes",
+                 "Approximate bundle memory footprint", labels)
+      ->Set(static_cast<double>(ApproxMemoryBytes()));
+  registry
+      ->GetGauge("trajldp_analytics_error_latched",
+                 "1 when a Consume step has latched an error", labels)
+      ->Set(status_.ok() ? 0.0 : 1.0);
+}
+
 size_t StreamAnalytics::ApproxMemoryBytes() const {
   size_t total = 0;
   if (hotspots_) total += hotspots_->ApproxMemoryBytes();

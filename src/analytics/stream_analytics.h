@@ -15,6 +15,7 @@
 #include "model/poi_database.h"
 #include "model/time_domain.h"
 #include "model/trajectory.h"
+#include "obs/metrics.h"
 
 namespace trajldp::analytics {
 
@@ -82,6 +83,15 @@ class StreamAnalytics {
 
   /// Sum of component footprints — what the bench's memory gate reads.
   size_t ApproxMemoryBytes() const;
+
+  /// Push-style export: sets trajldp_analytics_* gauges (releases
+  /// consumed, approx memory bytes, error latch) in `registry` under
+  /// `labels`. Call whenever a fresh reading should be visible — e.g.
+  /// from a PeriodicSnapshotWriter preamble or after a Merge. Unlike a
+  /// collection hook, a push never races the consuming thread: the
+  /// caller serializes Export against Consume the same way it already
+  /// serializes Merge.
+  void ExportMetrics(obs::Registry* registry, const obs::Labels& labels) const;
 
  private:
   StreamAnalytics() = default;

@@ -63,6 +63,8 @@ StreamingCollector::StreamingCollector(const NGramMechanism* mechanism,
   if (config.cache_mode.has_value()) {
     mechanism->domain().set_cache_mode(*config.cache_mode);
   }
+  domain_ = &mechanism->domain();
+  RegisterMetrics(config);
   seen_users_.insert(config.pre_released_user_ids.begin(),
                      config.pre_released_user_ids.end());
   workspaces_.resize(pool_.size());
@@ -71,14 +73,103 @@ StreamingCollector::StreamingCollector(const NGramMechanism* mechanism,
   }
 }
 
-StreamingCollector::~StreamingCollector() { (void)Finish(); }
+void StreamingCollector::RegisterMetrics(const Config& config) {
+  if (config.metrics != nullptr) {
+    registry_ = config.metrics;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  const obs::Labels& labels = config.metric_labels;
+  released_ctr_ = registry_->GetCounter(
+      "trajldp_collector_reports_released_total",
+      "Reports fully processed and released through the sink.", labels);
+  duplicates_ctr_ = registry_->GetCounter(
+      "trajldp_collector_duplicate_reports_total",
+      "Reports dropped by user-id dedup (exactly-once backstop).", labels);
+  frames_ctr_ = registry_->GetCounter(
+      "trajldp_collector_frames_total",
+      "Report batches (frames) consumed off the ingest queue.", labels);
+  if (config.enable_stage_timing) {
+    queue_wait_seconds_ = registry_->GetHistogram(
+        "trajldp_collector_queue_wait_seconds",
+        "Time a frame waits in the bounded ingest queue before a worker "
+        "pops it.",
+        obs::DefaultLatencyBounds(), labels);
+    decode_seconds_ = registry_->GetHistogram(
+        "trajldp_collector_decode_seconds",
+        "Wire-frame decode time on a worker.", obs::DefaultLatencyBounds(),
+        labels);
+    validate_seconds_ = registry_->GetHistogram(
+        "trajldp_collector_validate_seconds",
+        "Per-report n-gram validation time.", obs::DefaultLatencyBounds(),
+        labels);
+    reconstruct_seconds_ = registry_->GetHistogram(
+        "trajldp_collector_reconstruct_seconds",
+        "Per-report reconstruction time (Viterbi decode + POI resampling).",
+        obs::DefaultLatencyBounds(), labels);
+  }
+  // Pull-style gauges, refreshed by the registry's snapshot hook so the
+  // hot path never touches them.
+  obs::Gauge* queue_depth_g = registry_->GetGauge(
+      "trajldp_collector_queue_depth",
+      "Frames currently buffered in the ingest queue.", labels);
+  obs::Gauge* queue_high_g = registry_->GetGauge(
+      "trajldp_collector_queue_high_water",
+      "All-time ingest-queue high-water mark.", labels);
+  obs::Gauge* dedup_g = registry_->GetGauge(
+      "trajldp_collector_dedup_users_claimed",
+      "User ids currently claimed in the dedup set.", labels);
+  obs::Gauge* cache_g[8] = {
+      registry_->GetGauge("trajldp_domain_cache_weight_rows",
+                          "EM weight rows resident in the domain cache.",
+                          labels),
+      registry_->GetGauge("trajldp_domain_cache_suffix_rows",
+                          "Suffix rows resident in the domain cache.", labels),
+      registry_->GetGauge("trajldp_domain_cache_weight_hits",
+                          "Weight-row cache hits.", labels),
+      registry_->GetGauge("trajldp_domain_cache_weight_misses",
+                          "Weight-row cache misses.", labels),
+      registry_->GetGauge("trajldp_domain_cache_suffix_hits",
+                          "Suffix-row cache hits.", labels),
+      registry_->GetGauge("trajldp_domain_cache_suffix_misses",
+                          "Suffix-row cache misses.", labels),
+      registry_->GetGauge("trajldp_domain_cache_weight_evictions",
+                          "Weight-row cache evictions.", labels),
+      registry_->GetGauge("trajldp_domain_cache_suffix_evictions",
+                          "Suffix-row cache evictions.", labels),
+  };
+  hook_id_ = registry_->AddHook([this, queue_depth_g, queue_high_g, dedup_g,
+                                 cache_g] {
+    queue_depth_g->Set(static_cast<double>(queue_depth()));
+    queue_high_g->Set(static_cast<double>(queue_high_water()));
+    dedup_g->Set(static_cast<double>(dedup_users_claimed()));
+    const CacheStats stats = domain_->cache_stats();
+    cache_g[0]->Set(static_cast<double>(stats.weight_rows));
+    cache_g[1]->Set(static_cast<double>(stats.suffix_rows));
+    cache_g[2]->Set(static_cast<double>(stats.weight_hits));
+    cache_g[3]->Set(static_cast<double>(stats.weight_misses));
+    cache_g[4]->Set(static_cast<double>(stats.suffix_hits));
+    cache_g[5]->Set(static_cast<double>(stats.suffix_misses));
+    cache_g[6]->Set(static_cast<double>(stats.weight_evictions));
+    cache_g[7]->Set(static_cast<double>(stats.suffix_evictions));
+  });
+}
+
+StreamingCollector::~StreamingCollector() {
+  (void)Finish();
+  // After this no snapshot can reach the hook; scrapers of an external
+  // registry must already be stopped (see Config::metrics).
+  if (hook_id_ != 0) registry_->RemoveHook(hook_id_);
+}
 
 Status StreamingCollector::Push(io::ReportBatch batch) {
   if (finished_) {
     return Status::FailedPrecondition("Push after Finish on a collector");
   }
   TRAJLDP_RETURN_NOT_OK(FirstError());
-  if (!queue_.Push(Item{std::move(batch), 0, 0})) {
+  if (!queue_.Push(
+          Item{std::move(batch), 0, 0, std::chrono::steady_clock::now()})) {
     return Status::FailedPrecondition("Push after Finish on a collector");
   }
   return Status::Ok();
@@ -90,7 +181,8 @@ Status StreamingCollector::PushEncoded(std::string frame, uint64_t stream_id,
     return Status::FailedPrecondition("Push after Finish on a collector");
   }
   TRAJLDP_RETURN_NOT_OK(FirstError());
-  if (!queue_.Push(Item{std::move(frame), stream_id, seq})) {
+  if (!queue_.Push(Item{std::move(frame), stream_id, seq,
+                        std::chrono::steady_clock::now()})) {
     return Status::FailedPrecondition("Push after Finish on a collector");
   }
   return Status::Ok();
@@ -105,7 +197,8 @@ Status StreamingCollector::PushEncodedFor(std::string& frame,
     return Status::FailedPrecondition("Push after Finish on a collector");
   }
   TRAJLDP_RETURN_NOT_OK(FirstError());
-  Item item{std::move(frame), stream_id, seq};
+  Item item{std::move(frame), stream_id, seq,
+            std::chrono::steady_clock::now()};
   switch (queue_.TryPushFor(item, timeout)) {
     case QueuePushResult::kOk:
       *accepted = true;
@@ -142,12 +235,28 @@ Status StreamingCollector::Finish() {
 void StreamingCollector::WorkerLoop(size_t worker) {
   PipelineWorkspace& ws = workspaces_[worker];
   while (auto item = queue_.Pop()) {
+    if (queue_wait_seconds_ != nullptr) {
+      queue_wait_seconds_->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        item->enqueued)
+              .count());
+    }
     // After an error, keep draining so blocked producers unblock, but do
     // no further work.
     if (has_error_.load(std::memory_order_relaxed)) continue;
+    frames_ctr_->Add(1);
     bool handled = false;
     if (std::holds_alternative<std::string>(item->payload)) {
+      const auto decode_start = decode_seconds_ != nullptr
+                                    ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
       auto batch = io::DecodeReportBatch(std::get<std::string>(item->payload));
+      if (decode_seconds_ != nullptr) {
+        decode_seconds_->Observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          decode_start)
+                .count());
+      }
       if (!batch.ok()) {
         LatchError(batch.status());
         continue;
@@ -177,7 +286,7 @@ bool StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
       // pure function of (seed, user_id, report bytes).
       std::lock_guard<std::mutex> lock(seen_mu_);
       if (!seen_users_.insert(report.user_id).second) {
-        duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+        duplicates_ctr_->Add(1);
         continue;
       }
     }
@@ -191,8 +300,17 @@ bool StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
       std::lock_guard<std::mutex> lock(seen_mu_);
       seen_users_.erase(report.user_id);
     };
+    const auto validate_start = validate_seconds_ != nullptr
+                                    ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
     Status valid =
         pipeline_.ValidateReport(report.trajectory_len, report.ngrams);
+    if (validate_seconds_ != nullptr) {
+      validate_seconds_->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        validate_start)
+              .count());
+    }
     if (!valid.ok()) {
       unclaim();
       LatchError(Status(valid.code(),
@@ -207,9 +325,18 @@ bool StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
         CollectorPipeline::UserRng(seed_, report.user_id));
     UserRelease out;
     out.user_id = report.user_id;
+    const auto reconstruct_start =
+        reconstruct_seconds_ != nullptr ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point{};
     Status status = pipeline_.ReconstructReportInto(
         report.trajectory_len, report.ngrams, collector_rng, ws,
         out.release);
+    if (reconstruct_seconds_ != nullptr) {
+      reconstruct_seconds_->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        reconstruct_start)
+              .count());
+    }
     if (!status.ok()) {
       unclaim();
       LatchError(Status(status.code(),
@@ -221,7 +348,7 @@ bool StreamingCollector::ProcessBatch(const io::ReportBatch& batch,
       std::lock_guard<std::mutex> lock(sink_mu_);
       sink_(std::move(out));
     }
-    reports_released_.fetch_add(1, std::memory_order_relaxed);
+    released_ctr_->Add(1);
   }
   return true;
 }

@@ -20,6 +20,7 @@
 #include "core/collector_pipeline.h"
 #include "core/mechanism.h"
 #include "io/wire.h"
+#include "obs/metrics.h"
 
 namespace trajldp::core {
 
@@ -136,6 +137,22 @@ class StreamingCollector {
     /// (e.g. restart after journal compaction with persisted partial
     /// releases) cannot double-release them. Requires dedup_user_ids.
     std::vector<uint64_t> pre_released_user_ids;
+    /// Telemetry registry (docs/OBSERVABILITY.md). When set, the
+    /// collector registers its counters, stage histograms, and
+    /// queue/dedup/domain-cache gauges there under `metric_labels`
+    /// (e.g. {{"shard", "0"}}); it must outlive the collector AND any
+    /// concurrent scraper must stop before the collector is destroyed
+    /// (snapshot hooks read collector state). When null the collector
+    /// owns a private registry, so the instruments — and the accessors
+    /// they back — always exist.
+    obs::Registry* metrics = nullptr;
+    obs::Labels metric_labels;
+    /// Stage-timing spans: queue-wait, decode, per-report validate and
+    /// reconstruct histograms. On by default — the
+    /// `metrics_overhead_ratio` gate in BENCH_net.json holds the
+    /// telemetered hot path within 1.05x of this switched off. Off
+    /// removes the clock reads; the (cheaper) counters stay on.
+    bool enable_stage_timing = true;
   };
 
   /// Receives each finished release. Calls are serialised (one at a
@@ -201,13 +218,15 @@ class StreamingCollector {
   Status Finish();
 
   size_t num_threads() const { return pool_.size(); }
-  /// Reports fully processed and emitted so far.
+  /// Reports fully processed and emitted so far. Thin adapter over the
+  /// registry counter (trajldp_collector_reports_released_total).
   size_t reports_released() const {
-    return reports_released_.load(std::memory_order_relaxed);
+    return static_cast<size_t>(released_ctr_->Value());
   }
-  /// Reports skipped by user-id dedup (Config::dedup_user_ids).
+  /// Reports skipped by user-id dedup (Config::dedup_user_ids). Adapter
+  /// over trajldp_collector_duplicate_reports_total.
   size_t duplicates_dropped() const {
-    return duplicates_dropped_.load(std::memory_order_relaxed);
+    return static_cast<size_t>(duplicates_ctr_->Value());
   }
   /// User ids currently claimed in the dedup set (preseeded + won by a
   /// worker). A report that fails validation or reconstruction gives its
@@ -218,6 +237,9 @@ class StreamingCollector {
   /// backpressure observability pair surfaced by net::IngestServer::Stats.
   size_t queue_depth() const { return queue_.size(); }
   size_t queue_high_water() const { return queue_.high_water_mark(); }
+  /// The registry this collector's instruments live on (the configured
+  /// one, or the private fallback).
+  obs::Registry* metrics() const { return registry_; }
 
  private:
   /// A queue item: a decoded batch or a still-encoded wire frame, plus
@@ -227,8 +249,11 @@ class StreamingCollector {
     std::variant<io::ReportBatch, std::string> payload;
     uint64_t stream_id = 0;
     uint64_t seq = 0;
+    /// Stamped at enqueue; the queue-wait histogram measures Pop - this.
+    std::chrono::steady_clock::time_point enqueued{};
   };
 
+  void RegisterMetrics(const Config& config);
   void WorkerLoop(size_t worker);
   /// Returns true when every report in the batch was handled (released
   /// or deduped) — the precondition for on_frame_processed feedback.
@@ -242,6 +267,21 @@ class StreamingCollector {
   const bool dedup_user_ids_;
   const std::function<void(uint64_t, uint64_t)> on_frame_processed_;
 
+  // Telemetry: the registry outlives the workers (owned or external);
+  // instruments are stable pointers into it. Histogram pointers are
+  // null when Config::enable_stage_timing is off.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  const NgramDomain* domain_ = nullptr;  // cache-stat gauges (hook)
+  obs::Counter* released_ctr_ = nullptr;
+  obs::Counter* duplicates_ctr_ = nullptr;
+  obs::Counter* frames_ctr_ = nullptr;
+  obs::Histogram* queue_wait_seconds_ = nullptr;
+  obs::Histogram* decode_seconds_ = nullptr;
+  obs::Histogram* validate_seconds_ = nullptr;
+  obs::Histogram* reconstruct_seconds_ = nullptr;
+  std::size_t hook_id_ = 0;
+
   // Destruction order matters: workers reference the queue, workspaces,
   // and counters, so the pool (joined in its destructor) is declared
   // last and destroyed first.
@@ -249,8 +289,6 @@ class StreamingCollector {
   std::vector<PipelineWorkspace> workspaces_;
   mutable std::mutex seen_mu_;
   std::unordered_set<uint64_t> seen_users_;
-  std::atomic<size_t> reports_released_{0};
-  std::atomic<size_t> duplicates_dropped_{0};
   std::atomic<bool> has_error_{false};
   mutable std::mutex error_mu_;
   Status first_error_;

@@ -177,6 +177,7 @@ FrameJournal::FrameJournal(FrameJournal&& other) noexcept
       appended_bytes_(other.appended_bytes_),
       unsynced_bytes_(other.unsynced_bytes_),
       compactions_(other.compactions_),
+      syncs_(other.syncs_),
       last_sync_(other.last_sync_) {
   other.fd_ = -1;
 }
@@ -193,6 +194,7 @@ FrameJournal& FrameJournal::operator=(FrameJournal&& other) noexcept {
     appended_bytes_ = other.appended_bytes_;
     unsynced_bytes_ = other.unsynced_bytes_;
     compactions_ = other.compactions_;
+    syncs_ = other.syncs_;
     last_sync_ = other.last_sync_;
     other.fd_ = -1;
   }
@@ -314,6 +316,7 @@ Status FrameJournal::Sync() {
   }
   if (::fsync(fd_) != 0) return Errno("journal fsync failed");
   unsynced_bytes_ = 0;
+  ++syncs_;
   last_sync_ = std::chrono::steady_clock::now();
   return Status::Ok();
 }
@@ -419,6 +422,7 @@ StatusOr<FrameJournal::CompactionInfo> FrameJournal::Compact(
   records_ = new_records;
   valid_bytes_ = info.bytes_after;
   unsynced_bytes_ = 0;  // the new file was fsynced in full
+  ++syncs_;
   last_sync_ = std::chrono::steady_clock::now();
   ++compactions_;
   // appended_bytes_ deliberately untouched: the fault-injection meter

@@ -151,6 +151,10 @@ class FrameJournal {
   uint64_t unsynced_bytes() const { return unsynced_bytes_; }
   /// Completed Compact() calls on this handle.
   size_t compactions() const { return compactions_; }
+  /// fsyncs issued by this handle (policy-driven, explicit Sync(),
+  /// Close(), and compaction rewrites). The telemetry layer exports
+  /// this as `trajldp_journal_fsyncs` without io depending on obs.
+  size_t syncs() const { return syncs_; }
   const std::string& path() const { return path_; }
 
  private:
@@ -163,6 +167,7 @@ class FrameJournal {
   uint64_t appended_bytes_ = 0;    // by this process (fault-hook meter)
   uint64_t unsynced_bytes_ = 0;
   size_t compactions_ = 0;
+  size_t syncs_ = 0;
   std::chrono::steady_clock::time_point last_sync_{};
 };
 

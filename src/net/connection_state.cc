@@ -57,6 +57,7 @@ StatusOr<ConnectionState::ReadEvent> ConnectionState::PumpRead() {
                        frame_bytes_ - io::kWireHeaderBytes);
     }
     filled_ += static_cast<size_t>(n);
+    bytes_read_ += static_cast<uint64_t>(n);
     if (filled_ < target) continue;
     if (read_state_ == ReadState::kHeader) {
       // Validate before trusting the declared length: a hostile header
@@ -102,6 +103,7 @@ StatusOr<bool> ConnectionState::PumpWrite() {
       return Errno("send");
     }
     out_pos_ += static_cast<size_t>(n);
+    bytes_written_ += static_cast<uint64_t>(n);
   }
   out_.clear();
   out_pos_ = 0;

@@ -70,6 +70,12 @@ class ConnectionState {
 
   bool wants_write() const { return out_pos_ < out_.size(); }
 
+  /// Lifetime byte totals for this connection (frames in, acks out).
+  /// Plain counters — the class is single-reactor-threaded; the owner
+  /// folds them into its registry (IngestServer does so at close).
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
  private:
   enum class ReadState { kHeader, kBody, kFrameReady };
 
@@ -82,6 +88,9 @@ class ConnectionState {
 
   std::string out_;        // pending outbound bytes (acks)
   size_t out_pos_ = 0;     // drained prefix of out_
+
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
 };
 
 }  // namespace trajldp::net

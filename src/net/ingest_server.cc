@@ -81,9 +81,88 @@ IngestServer::IngestServer(core::StreamingCollector* collector,
       num_reactors_(options_.reactor_threads > 0
                         ? options_.reactor_threads
                         : std::max<size_t>(
-                              1, std::thread::hardware_concurrency())) {}
+                              1, std::thread::hardware_concurrency())) {
+  RegisterMetrics();
+}
 
-IngestServer::~IngestServer() { Shutdown(); }
+IngestServer::~IngestServer() {
+  Shutdown();
+  if (hook_id_ != 0) registry_->RemoveHook(hook_id_);
+}
+
+void IngestServer::RegisterMetrics() {
+  registry_ = options_.metrics != nullptr ? options_.metrics
+                                          : collector_->metrics();
+  const obs::Labels& labels = options_.metric_labels;
+  connections_accepted_ = registry_->GetCounter(
+      "trajldp_ingest_connections_accepted_total",
+      "Connections accepted by the ingest listener", labels);
+  connections_closed_ = registry_->GetCounter(
+      "trajldp_ingest_connections_closed_total",
+      "Connections fully torn down, cleanly or not", labels);
+  connections_failed_ = registry_->GetCounter(
+      "trajldp_ingest_connections_failed_total",
+      "Connections failed with an error on a live server", labels);
+  frames_ingested_ = registry_->GetCounter(
+      "trajldp_ingest_frames_total",
+      "Frames accepted into the collector queue", labels);
+  accept_backoffs_ = registry_->GetCounter(
+      "trajldp_ingest_accept_backoffs_total",
+      "Transient accept failures the listener backed off from", labels);
+  duplicate_frames_dropped_ = registry_->GetCounter(
+      "trajldp_ingest_duplicate_frames_total",
+      "Sequenced frames dropped at or below the stream high-water mark",
+      labels);
+  bytes_read_ = registry_->GetCounter(
+      "trajldp_ingest_bytes_read_total",
+      "Wire bytes received across all ingest connections", labels);
+  bytes_written_ = registry_->GetCounter(
+      "trajldp_ingest_bytes_written_total",
+      "Wire bytes (acks) sent across all ingest connections", labels);
+  frames_journaled_ = registry_->GetCounter(
+      "trajldp_journal_frames_appended_total",
+      "Frames appended to the journal this run (excl. recovered)", labels);
+  frames_replayed_ = registry_->GetCounter(
+      "trajldp_journal_frames_replayed_total",
+      "Recovered frames re-pushed through the collector at Start", labels);
+  if (options_.enable_stage_timing) {
+    journal_append_seconds_ = registry_->GetHistogram(
+        "trajldp_journal_append_seconds",
+        "Latency of one journal append (excl. compaction)",
+        obs::DefaultLatencyBounds(), labels);
+    journal_sync_seconds_ = registry_->GetHistogram(
+        "trajldp_journal_sync_seconds",
+        "Latency of an idle-tail journal fsync", obs::DefaultLatencyBounds(),
+        labels);
+  }
+  // Journal state is mutex-guarded, not atomic, so it is exported by a
+  // scrape-time hook instead of a continuously-updated gauge. The hook
+  // runs on the scraping thread and takes journal_mu_ — never while a
+  // reactor holds it across anything slow (appends only).
+  obs::Gauge* unsynced = registry_->GetGauge(
+      "trajldp_journal_unsynced_bytes",
+      "Journal bytes appended but not yet fsynced", labels);
+  obs::Gauge* valid = registry_->GetGauge(
+      "trajldp_journal_valid_bytes",
+      "Validated journal extent recovery would trust", labels);
+  obs::Gauge* records = registry_->GetGauge(
+      "trajldp_journal_records", "Records in the journal's valid extent",
+      labels);
+  obs::Gauge* compactions = registry_->GetGauge(
+      "trajldp_journal_compactions", "Completed journal compactions", labels);
+  obs::Gauge* fsyncs = registry_->GetGauge(
+      "trajldp_journal_fsyncs", "Journal fsyncs issued", labels);
+  hook_id_ = registry_->AddHook(
+      [this, unsynced, valid, records, compactions, fsyncs] {
+        std::lock_guard<std::mutex> lock(journal_mu_);
+        if (!journal_.has_value()) return;
+        unsynced->Set(static_cast<double>(journal_->unsynced_bytes()));
+        valid->Set(static_cast<double>(journal_->valid_bytes()));
+        records->Set(static_cast<double>(journal_->records()));
+        compactions->Set(static_cast<double>(journal_->compactions()));
+        fsyncs->Set(static_cast<double>(journal_->syncs()));
+      });
+}
 
 Status IngestServer::OpenJournalAndReplay() {
   auto journal =
@@ -109,7 +188,7 @@ Status IngestServer::OpenJournalAndReplay() {
         ++replayed;
         return collector_->PushEncoded(std::string(frame), stream_id, seq);
       });
-  frames_replayed_.store(replayed, std::memory_order_relaxed);
+  frames_replayed_->Add(replayed);
   return status;
 }
 
@@ -120,10 +199,21 @@ Status IngestServer::StartReactors() {
       options_.journal_options.sync == io::FrameJournal::SyncPolicy::kTimed) {
     TRAJLDP_RETURN_NOT_OK(flush_timer_.Open());
   }
+  // Loop telemetry is shared across every reactor of this server: one
+  // wakeup/event series for the shard, striped internally so N loops
+  // never contend on a cache line.
+  Reactor::LoopMetrics loop_metrics;
+  loop_metrics.wakeups = registry_->GetCounter(
+      "trajldp_reactor_wakeups_total", "epoll_wait returns across reactors",
+      options_.metric_labels);
+  loop_metrics.events = registry_->GetCounter(
+      "trajldp_reactor_events_dispatched_total",
+      "epoll events dispatched across reactors", options_.metric_labels);
   reactors_.reserve(num_reactors_);
   for (size_t i = 0; i < num_reactors_; ++i) {
     auto rs = std::make_unique<ReactorState>();
     TRAJLDP_RETURN_NOT_OK(rs->retry_timer.Open());
+    rs->reactor.set_loop_metrics(loop_metrics);
     reactors_.push_back(std::move(rs));
   }
   for (size_t i = 0; i < num_reactors_; ++i) {
@@ -164,7 +254,9 @@ void IngestServer::Shutdown() {
       // A connection cut off BY shutdown is the protocol working, not a
       // device misbehaving: closed, never failed.
       conn->state.socket().ShutdownBoth();
-      connections_closed_.fetch_add(1, std::memory_order_relaxed);
+      bytes_read_->Add(conn->state.bytes_read());
+      bytes_written_->Add(conn->state.bytes_written());
+      connections_closed_->Add(1);
     }
     rs->conns.clear();
   }
@@ -177,17 +269,15 @@ void IngestServer::Shutdown() {
 IngestServer::Stats IngestServer::stats() const {
   Stats stats;
   stats.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
-  stats.connections_closed =
-      connections_closed_.load(std::memory_order_relaxed);
-  stats.connections_failed =
-      connections_failed_.load(std::memory_order_relaxed);
-  stats.frames_ingested = frames_ingested_.load(std::memory_order_relaxed);
-  stats.accept_backoffs = accept_backoffs_.load(std::memory_order_relaxed);
-  stats.frames_journaled = frames_journaled_.load(std::memory_order_relaxed);
-  stats.frames_replayed = frames_replayed_.load(std::memory_order_relaxed);
+      static_cast<size_t>(connections_accepted_->Value());
+  stats.connections_closed = static_cast<size_t>(connections_closed_->Value());
+  stats.connections_failed = static_cast<size_t>(connections_failed_->Value());
+  stats.frames_ingested = static_cast<size_t>(frames_ingested_->Value());
+  stats.accept_backoffs = static_cast<size_t>(accept_backoffs_->Value());
+  stats.frames_journaled = static_cast<size_t>(frames_journaled_->Value());
+  stats.frames_replayed = static_cast<size_t>(frames_replayed_->Value());
   stats.duplicate_frames_dropped =
-      duplicate_frames_dropped_.load(std::memory_order_relaxed);
+      static_cast<size_t>(duplicate_frames_dropped_->Value());
   stats.duplicate_reports_dropped = collector_->duplicates_dropped();
   stats.queue_depth = collector_->queue_depth();
   stats.queue_high_water = collector_->queue_high_water();
@@ -227,7 +317,7 @@ void IngestServer::OnAccept() {
         // cannot hot-spin a level-triggered loop, and re-arm after a
         // backoff. Counted, NOT latched into first_connection_error —
         // harnesses treat that channel as fatal, and nothing failed.
-        accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
+        accept_backoffs_->Add(1);
         reactors_[0]->reactor.Del(listener_.fd());
         (void)accept_backoff_timer_.ArmOnce(options_.push_retry);
         return;
@@ -239,7 +329,7 @@ void IngestServer::OnAccept() {
       return;
     }
     if (would_block) return;
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_->Add(1);
     const size_t target =
         next_reactor_.fetch_add(1, std::memory_order_relaxed) % num_reactors_;
     if (target == 0) {
@@ -268,7 +358,7 @@ void IngestServer::OnAcceptBackoffTimer() {
 void IngestServer::AdoptConn(size_t reactor_index, Socket socket) {
   ReactorState& rs = *reactors_[reactor_index];
   if (stopping_.load(std::memory_order_relaxed)) {
-    connections_closed_.fetch_add(1, std::memory_order_relaxed);
+    connections_closed_->Add(1);
     return;  // late arrival during shutdown: drop (socket closes)
   }
   const int fd = socket.fd();
@@ -357,7 +447,7 @@ void IngestServer::FailConn(ReactorState& rs, Conn* conn, Status status) {
   // A connection cut off BY shutdown is the protocol working, not a
   // device misbehaving; only failures on a live server are recorded.
   if (!stopping_.load(std::memory_order_relaxed)) {
-    connections_failed_.fetch_add(1, std::memory_order_relaxed);
+    connections_failed_->Add(1);
     RecordConnectionError(std::move(status));
   }
   CloseConn(rs, conn);
@@ -371,7 +461,9 @@ void IngestServer::CloseConn(ReactorState& rs, Conn* conn) {
   // Notify the peer NOW (it sees RST/EOF on its next send instead of
   // writing into a buffer nobody reads).
   conn->state.socket().ShutdownBoth();
-  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_->Add(conn->state.bytes_read());
+  bytes_written_->Add(conn->state.bytes_written());
+  connections_closed_->Add(1);
   rs.conns.erase(fd);  // destroys conn, closes the fd
 }
 
@@ -401,7 +493,7 @@ Status IngestServer::HandleFrame(ReactorState& rs, Conn* conn,
       hwm = it == stream_hwm_.end() ? 0 : it->second;
     }
     if (seq <= hwm) {
-      duplicate_frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      duplicate_frames_dropped_->Add(1);
       if (options_.send_acks) return QueueAck(rs, conn, hwm);
       return Status::Ok();
     }
@@ -447,8 +539,18 @@ Status IngestServer::HandleFrame(ReactorState& rs, Conn* conn,
 Status IngestServer::JournalAppend(uint64_t stream_id, uint64_t seq,
                                    std::string_view frame) {
   std::lock_guard<std::mutex> lock(journal_mu_);
+  std::chrono::steady_clock::time_point append_start{};
+  if (journal_append_seconds_ != nullptr) {
+    append_start = std::chrono::steady_clock::now();
+  }
   TRAJLDP_RETURN_NOT_OK(journal_->Append(stream_id, seq, frame));
-  frames_journaled_.fetch_add(1, std::memory_order_relaxed);
+  if (journal_append_seconds_ != nullptr) {
+    journal_append_seconds_->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      append_start)
+            .count());
+  }
+  frames_journaled_->Add(1);
 
   // Idle-tail flush: kTimed checks its deadline only AT an append, so a
   // burst followed by silence would leave its tail unsynced forever.
@@ -501,7 +603,7 @@ Status IngestServer::TryPushAndAck(ReactorState& rs, Conn* conn,
     }
     return Status::Ok();
   }
-  frames_ingested_.fetch_add(1, std::memory_order_relaxed);
+  frames_ingested_->Add(1);
 
   // Durable (journaled) and queued: advance the stream's high-water
   // mark and ack it. Ack AFTER the hwm update so a duplicate arriving
@@ -567,7 +669,18 @@ void IngestServer::OnFlushTimer() {
   std::lock_guard<std::mutex> lock(journal_mu_);
   flush_armed_ = false;
   if (journal_.has_value() && journal_->unsynced_bytes() > 0) {
-    if (Status s = journal_->Sync(); !s.ok()) {
+    std::chrono::steady_clock::time_point sync_start{};
+    if (journal_sync_seconds_ != nullptr) {
+      sync_start = std::chrono::steady_clock::now();
+    }
+    Status s = journal_->Sync();
+    if (s.ok() && journal_sync_seconds_ != nullptr) {
+      journal_sync_seconds_->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        sync_start)
+              .count());
+    }
+    if (!s.ok()) {
       // No connection owns a background sync; surface it on the same
       // channel tests and operators already watch.
       RecordConnectionError(std::move(s));

@@ -21,6 +21,7 @@
 #include "net/connection_state.h"
 #include "net/reactor.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 
 namespace trajldp::net {
 
@@ -176,6 +177,22 @@ class IngestServer {
     /// the journal is the only recovery source for acked frames.
     std::function<std::unordered_map<uint64_t, uint64_t>()>
         compact_watermarks;
+    /// Metrics registry every trajldp_ingest_* / trajldp_journal_* /
+    /// trajldp_reactor_* series registers into. Null → the server uses
+    /// the fed collector's registry, so one scrape covers the whole
+    /// shard pipeline. An external registry must outlive the server,
+    /// and any concurrent scraper (obs::AdminServer) must be shut down
+    /// BEFORE the server is destroyed — the server removes its
+    /// collection hook in its destructor.
+    obs::Registry* metrics = nullptr;
+    /// Labels stamped on every series this server registers (e.g.
+    /// {{"shard", "3"}}). Use distinct labels when several servers
+    /// share one registry, or their counters alias.
+    obs::Labels metric_labels;
+    /// Record journal append/sync latency histograms. Counters and
+    /// gauges stay on regardless — only the per-operation clock reads
+    /// are gated, mirroring StreamingCollector::Config.
+    bool enable_stage_timing = true;
   };
 
   /// Monotonic counters, readable at any time.
@@ -236,7 +253,15 @@ class IngestServer {
   /// worker callback of the fed collector, and except a reactor thread.
   void Shutdown();
 
+  /// Adapter over the registry-backed counters (plus collector and
+  /// journal state) — the pre-telemetry Stats shape, unchanged, so
+  /// existing harnesses and tests keep reading one struct.
   Stats stats() const;
+
+  /// The registry this server's series live in (Options::metrics, or
+  /// the collector's when that was null). Hand it to obs::AdminServer
+  /// to serve /metrics, or snapshot it directly.
+  obs::Registry* metrics() const { return registry_; }
 
   /// The first connection failure, Ok when every connection so far
   /// ended cleanly. Connection errors never take the server down; this
@@ -275,6 +300,9 @@ class IngestServer {
     bool retry_armed = false;
   };
 
+  /// Registers every counter/histogram and the journal-state collection
+  /// hook. Runs in the constructor, before any reactor thread exists.
+  void RegisterMetrics();
   Status StartReactors();
   /// Opens Options::journal_path, replays every recovered frame through
   /// the collector, and rebuilds stream_hwm_. Runs in Start() before
@@ -318,14 +346,31 @@ class IngestServer {
   const size_t num_reactors_;
 
   std::atomic<bool> stopping_{false};
-  std::atomic<size_t> connections_accepted_{0};
-  std::atomic<size_t> connections_closed_{0};
-  std::atomic<size_t> connections_failed_{0};
-  std::atomic<size_t> frames_ingested_{0};
-  std::atomic<size_t> accept_backoffs_{0};
-  std::atomic<size_t> frames_journaled_{0};
-  std::atomic<size_t> frames_replayed_{0};
-  std::atomic<size_t> duplicate_frames_dropped_{0};
+
+  /// Registry-backed counters (striped atomics inside obs::Counter —
+  /// the direct replacements for the former std::atomic<size_t> stats
+  /// fields). Registered once in RegisterMetrics; pointers are stable
+  /// for the registry's lifetime.
+  obs::Registry* registry_ = nullptr;
+  obs::Counter* connections_accepted_ = nullptr;
+  obs::Counter* connections_closed_ = nullptr;
+  obs::Counter* connections_failed_ = nullptr;
+  obs::Counter* frames_ingested_ = nullptr;
+  obs::Counter* accept_backoffs_ = nullptr;
+  obs::Counter* frames_journaled_ = nullptr;
+  obs::Counter* frames_replayed_ = nullptr;
+  obs::Counter* duplicate_frames_dropped_ = nullptr;
+  /// Lifetime wire bytes, folded in from each ConnectionState's plain
+  /// counters when its connection closes (cheaper than a counter op
+  /// per recv/send on the hot path).
+  obs::Counter* bytes_read_ = nullptr;
+  obs::Counter* bytes_written_ = nullptr;
+  /// Null when Options::enable_stage_timing is false.
+  obs::Histogram* journal_append_seconds_ = nullptr;
+  obs::Histogram* journal_sync_seconds_ = nullptr;
+  /// Journal-state gauges are exported by a collection hook (reads
+  /// journal_ under journal_mu_ at scrape time); removed in ~IngestServer.
+  std::size_t hook_id_ = 0;
 
   /// Guards journal_, stream_hwm_, flush_armed_, compact_next_trigger_
   /// across reactor threads. Held around appends / map lookups /

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace trajldp::net {
 
 namespace {
@@ -105,6 +107,10 @@ void Reactor::Loop() {
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // epoll itself failed; nothing sane left to do
+    }
+    if (metrics_.wakeups != nullptr) metrics_.wakeups->Add(1);
+    if (metrics_.events != nullptr && n > 0) {
+      metrics_.events->Add(static_cast<uint64_t>(n));
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;

@@ -12,6 +12,10 @@
 #include "common/event_fds.h"
 #include "common/status_or.h"
 
+namespace trajldp::obs {
+class Counter;
+}  // namespace trajldp::obs
+
 namespace trajldp::net {
 
 /// \brief One epoll readiness loop on one thread — the scheduling core
@@ -70,6 +74,16 @@ class Reactor {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// Optional loop telemetry (docs/OBSERVABILITY.md). `wakeups` counts
+  /// epoll_wait returns, `events` counts handler dispatches; both may
+  /// be shared across reactors (obs::Counter is striped). Set before
+  /// Start(); null pointers disable the instrument.
+  struct LoopMetrics {
+    obs::Counter* wakeups = nullptr;
+    obs::Counter* events = nullptr;
+  };
+  void set_loop_metrics(LoopMetrics metrics) { metrics_ = metrics; }
+
   /// True when the calling thread is this reactor's loop thread.
   bool InLoopThread() const {
     return std::this_thread::get_id() == thread_.get_id();
@@ -80,6 +94,7 @@ class Reactor {
   void RunPosted();
 
   int epoll_fd_ = -1;
+  LoopMetrics metrics_;
   WakeupFd wakeup_;
   std::thread thread_;
   std::atomic<bool> running_{false};

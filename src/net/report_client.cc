@@ -15,7 +15,41 @@ ReportClient::ReportClient(std::string host, uint16_t port, Options options)
     : host_(std::move(host)),
       port_(port),
       options_(options),
-      backoff_rng_(options.backoff_seed) {}
+      backoff_rng_(options.backoff_seed) {
+  if (options_.metrics != nullptr) RegisterMetrics();
+}
+
+void ReportClient::RegisterMetrics() {
+  obs::Registry* r = options_.metrics;
+  const obs::Labels& labels = options_.metric_labels;
+  frames_sent_ctr_ = r->GetCounter("trajldp_client_frames_sent_total",
+                                   "Frames transmitted (first sends)", labels);
+  reconnects_ctr_ = r->GetCounter(
+      "trajldp_client_reconnects_total",
+      "Connections established beyond each client's first", labels);
+  frames_resent_ctr_ = r->GetCounter(
+      "trajldp_client_frames_resent_total",
+      "Frames retransmitted after a reconnect (wire duplicates)", labels);
+  acks_ctr_ = r->GetCounter("trajldp_client_acks_total",
+                            "Ack frames received", labels);
+  backoff_sleeps_ctr_ = r->GetCounter("trajldp_client_backoff_sleeps_total",
+                                      "Retry backoff sleeps taken", labels);
+  backoff_sleep_ms_ctr_ = r->GetCounter(
+      "trajldp_client_backoff_sleep_ms_total",
+      "Milliseconds spent sleeping in retry backoff", labels);
+  connect_failures_ctr_ = r->GetCounter(
+      "trajldp_client_connect_failures_total",
+      "TcpConnect attempts that failed", labels);
+}
+
+void ReportClient::CountBackoffSleep(std::chrono::milliseconds sleep) {
+  ++backoff_sleeps_;
+  backoff_sleep_total_ms_ += static_cast<uint64_t>(sleep.count());
+  if (backoff_sleeps_ctr_ != nullptr) backoff_sleeps_ctr_->Add(1);
+  if (backoff_sleep_ms_ctr_ != nullptr) {
+    backoff_sleep_ms_ctr_->Add(static_cast<uint64_t>(sleep.count()));
+  }
+}
 
 std::chrono::milliseconds ReportClient::DecorrelatedBackoff(
     std::chrono::milliseconds previous, std::chrono::milliseconds base,
@@ -38,10 +72,17 @@ Status ReportClient::EnsureConnected() {
     transmitted_ = 0;
   }
   auto connected = TcpConnect(host_, port_);
-  if (!connected.ok()) return connected.status();
+  if (!connected.ok()) {
+    ++connect_failures_;
+    if (connect_failures_ctr_ != nullptr) connect_failures_ctr_->Add(1);
+    return connected.status();
+  }
   socket_ = std::move(*connected);
   transmitted_ = 0;  // a fresh connection has seen none of the window
-  if (ever_connected_) ++reconnects_;
+  if (ever_connected_) {
+    ++reconnects_;
+    if (reconnects_ctr_ != nullptr) reconnects_ctr_->Add(1);
+  }
   ever_connected_ = true;
   return Status::Ok();
 }
@@ -70,6 +111,7 @@ Status ReportClient::SendFrame(std::string_view frame) {
     if (attempt > 0) {
       sleep = DecorrelatedBackoff(sleep, options_.initial_backoff,
                                   options_.max_backoff, backoff_rng_);
+      CountBackoffSleep(sleep);
       std::this_thread::sleep_for(sleep);
     }
     last = EnsureConnected();
@@ -77,6 +119,7 @@ Status ReportClient::SendFrame(std::string_view frame) {
     last = WriteFrameToSocket(socket_, frame);
     if (last.ok()) {
       ++frames_sent_;
+      if (frames_sent_ctr_ != nullptr) frames_sent_ctr_->Add(1);
       return Status::Ok();
     }
     socket_.Close();  // stale connection; the next attempt redials
@@ -102,6 +145,7 @@ Status ReportClient::Pump(size_t target) {
     if (attempt > 0) {
       sleep = DecorrelatedBackoff(sleep, options_.initial_backoff,
                                   options_.max_backoff, backoff_rng_);
+      CountBackoffSleep(sleep);
       std::this_thread::sleep_for(sleep);
     }
     last = PumpOnce(target);
@@ -131,9 +175,11 @@ Status ReportClient::PumpOnce(size_t target) {
     TRAJLDP_RETURN_NOT_OK(WriteFrameToSocket(socket_, f.frame));
     if (f.transmitted_once) {
       ++frames_resent_;
+      if (frames_resent_ctr_ != nullptr) frames_resent_ctr_->Add(1);
     } else {
       f.transmitted_once = true;
       ++frames_sent_;
+      if (frames_sent_ctr_ != nullptr) frames_sent_ctr_->Add(1);
     }
     ++transmitted_;
   }
@@ -144,6 +190,7 @@ Status ReportClient::PumpOnce(size_t target) {
     uint64_t ack = 0;
     TRAJLDP_RETURN_NOT_OK(ReadAckFromSocket(socket_, &ack));
     ++acks_received_;
+    if (acks_ctr_ != nullptr) acks_ctr_->Add(1);
     if (ack > last_ack_) last_ack_ = ack;
     while (!window_.empty() && window_.front().seq <= last_ack_) {
       window_.pop_front();

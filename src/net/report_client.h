@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "io/wire.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 
 namespace trajldp::net {
 
@@ -72,6 +73,15 @@ class ReportClient {
     /// Max unacked frames in flight before SendBatch blocks draining
     /// acks. Bounds client memory; Flush() drains to zero regardless.
     size_t window = 32;
+    /// When set, every retry-path event (reconnects, resends, backoff
+    /// sleeps, connect failures, frames, acks) is mirrored into
+    /// trajldp_client_* counters in this registry as it happens, so a
+    /// fleet of clients sharing one registry aggregates for free. The
+    /// registry must outlive the client. The plain accessors below stay
+    /// the per-client source of truth either way.
+    obs::Registry* metrics = nullptr;
+    /// Labels on the mirrored series (e.g. {{"device", "17"}}).
+    obs::Labels metric_labels;
   };
 
   /// Connects lazily on the first send.
@@ -121,6 +131,15 @@ class ReportClient {
   size_t acks_received() const { return acks_received_; }
   /// Highest sequence the server has confirmed durable (0 = none yet).
   uint64_t last_ack() const { return last_ack_; }
+  /// Backoff sleeps actually taken (attempt > 0 across SendFrame/Pump)
+  /// and their summed duration — how much wall clock this client spent
+  /// waiting out a flaky or restarting server.
+  size_t backoff_sleeps() const { return backoff_sleeps_; }
+  uint64_t backoff_sleep_total_ms() const { return backoff_sleep_total_ms_; }
+  /// TcpConnect attempts that failed (refused/unreachable). Distinct
+  /// from reconnects(), which counts connections that SUCCEEDED beyond
+  /// the first.
+  size_t connect_failures() const { return connect_failures_; }
 
  private:
   struct InFlight {
@@ -135,6 +154,10 @@ class ReportClient {
   Status PumpOnce(size_t target);
   /// PumpOnce under the retry/backoff loop.
   Status Pump(size_t target);
+  /// Registers the trajldp_client_* mirror series (Options::metrics).
+  void RegisterMetrics();
+  /// Records one taken backoff sleep in the plain + mirrored counters.
+  void CountBackoffSleep(std::chrono::milliseconds sleep);
 
   const std::string host_;
   const uint16_t port_;
@@ -144,6 +167,18 @@ class ReportClient {
   bool ever_connected_ = false;
   size_t frames_sent_ = 0;
   size_t reconnects_ = 0;
+  size_t backoff_sleeps_ = 0;
+  uint64_t backoff_sleep_total_ms_ = 0;
+  size_t connect_failures_ = 0;
+
+  // Registry mirror (all null without Options::metrics).
+  obs::Counter* frames_sent_ctr_ = nullptr;
+  obs::Counter* reconnects_ctr_ = nullptr;
+  obs::Counter* frames_resent_ctr_ = nullptr;
+  obs::Counter* acks_ctr_ = nullptr;
+  obs::Counter* backoff_sleeps_ctr_ = nullptr;
+  obs::Counter* backoff_sleep_ms_ctr_ = nullptr;
+  obs::Counter* connect_failures_ctr_ = nullptr;
 
   // Sequenced-mode state.
   std::deque<InFlight> window_;

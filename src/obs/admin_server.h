@@ -1,0 +1,81 @@
+#ifndef TRAJLDP_OBS_ADMIN_SERVER_H_
+#define TRAJLDP_OBS_ADMIN_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status_or.h"
+#include "net/reactor.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace trajldp::obs {
+
+/// \brief Scrape endpoint: a minimal HTTP/1.1 listener on its own
+/// `net::Reactor` loop serving `GET /metrics` (Prometheus text 0.0.4)
+/// and `GET /statusz` (JSON snapshot) for one `Registry`.
+///
+/// Deliberately tiny: requests are expected from a scraper, not the
+/// internet — one read buffer per connection (8 KiB cap), no
+/// keep-alive (`Connection: close`), 400/404/405 on anything that is
+/// not a well-formed GET of a known path. Snapshots run on the admin
+/// loop thread; registry hooks must therefore be safe to call off the
+/// ingest threads (they are: they read atomics or take their own
+/// locks).
+class AdminServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0: ephemeral, read back with port()
+    int backlog = 16;
+  };
+
+  /// Binds, starts the loop, and begins accepting. `registry` must
+  /// outlive the server.
+  static StatusOr<std::unique_ptr<AdminServer>> Start(
+      const Registry* registry, Options options);
+  static StatusOr<std::unique_ptr<AdminServer>> Start(
+      const Registry* registry);
+
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Stops the loop and closes every connection. Idempotent.
+  void Shutdown();
+
+ private:
+  struct Conn {
+    net::Socket socket;
+    std::string in;
+    std::string out;
+    size_t out_pos = 0;
+    bool responded = false;
+  };
+
+  AdminServer() = default;
+
+  void OnAccept();
+  void OnConnEvent(int fd, uint32_t events);
+  void RespondTo(Conn& conn);
+  /// Sends what it can; deregisters and destroys the conn when the
+  /// response is fully written (or the peer vanished).
+  void PumpWrite(int fd, Conn& conn);
+  void CloseConn(int fd);
+
+  const Registry* registry_ = nullptr;
+  net::Reactor reactor_;
+  net::Socket listener_;
+  uint16_t port_ = 0;
+  bool shutdown_ = false;
+  // Loop-thread-only (Shutdown joins the loop before touching it).
+  std::map<int, std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace trajldp::obs
+
+#endif  // TRAJLDP_OBS_ADMIN_SERVER_H_

@@ -1,0 +1,215 @@
+#include "obs/exposition.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+
+namespace trajldp::obs {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+/// HELP text escaping: backslash and newline (quotes are legal there).
+std::string EscapeHelp(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Renders `{k="v",...}` with an extra trailing label (used for `le`),
+/// or nothing when there are no labels at all.
+std::string RenderLabels(const Labels& labels, const std::string& extra_key,
+                         const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& label : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += label.key;
+    out += "=\"";
+    out += EscapeLabelValue(label.value);
+    out += "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out.push_back(',');
+    out += extra_key;
+    out += "=\"";
+    out += EscapeLabelValue(extra_value);
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string JsonEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& label : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"";
+    out += JsonEscape(label.key);
+    out += "\":\"";
+    out += JsonEscape(label.value);
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatMetricValue(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+std::string RenderPrometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  const std::string* previous_name = nullptr;
+  for (const auto& m : snapshot.metrics) {
+    // HELP/TYPE once per metric name; the snapshot is sorted, so all
+    // series of one name are adjacent.
+    if (previous_name == nullptr || *previous_name != m.name) {
+      out += "# HELP " + m.name + " " + EscapeHelp(m.help) + "\n";
+      out += "# TYPE " + m.name + " " + TypeName(m.type) + "\n";
+    }
+    previous_name = &m.name;
+    switch (m.type) {
+      case MetricType::kCounter:
+      case MetricType::kGauge:
+        out += m.name + RenderLabels(m.labels, "", "") + " " +
+               FormatMetricValue(m.value) + "\n";
+        break;
+      case MetricType::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < m.bounds.size(); ++b) {
+          cumulative += b < m.buckets.size() ? m.buckets[b] : 0;
+          out += m.name + "_bucket" +
+                 RenderLabels(m.labels, "le", FormatMetricValue(m.bounds[b])) +
+                 " " + FormatMetricValue(static_cast<double>(cumulative)) +
+                 "\n";
+        }
+        out += m.name + "_bucket" + RenderLabels(m.labels, "le", "+Inf") +
+               " " + FormatMetricValue(static_cast<double>(m.count)) + "\n";
+        out += m.name + "_sum" + RenderLabels(m.labels, "", "") + " " +
+               FormatMetricValue(m.sum) + "\n";
+        out += m.name + "_count" + RenderLabels(m.labels, "", "") + " " +
+               FormatMetricValue(static_cast<double>(m.count)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const RegistrySnapshot& snapshot) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& m : snapshot.metrics) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(m.name) + "\",\"type\":\"" +
+           TypeName(m.type) + "\",\"labels\":" + JsonLabels(m.labels);
+    if (m.type == MetricType::kHistogram) {
+      out += ",\"bounds\":[";
+      for (std::size_t b = 0; b < m.bounds.size(); ++b) {
+        if (b > 0) out.push_back(',');
+        out += FormatMetricValue(m.bounds[b]);
+      }
+      out += "],\"buckets\":[";
+      for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+        if (b > 0) out.push_back(',');
+        out += FormatMetricValue(static_cast<double>(m.buckets[b]));
+      }
+      out += "],\"sum\":" + FormatMetricValue(m.sum) +
+             ",\"count\":" + FormatMetricValue(static_cast<double>(m.count));
+    } else {
+      out += ",\"value\":" + FormatMetricValue(m.value);
+    }
+    out.push_back('}');
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace trajldp::obs

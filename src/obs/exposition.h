@@ -1,0 +1,36 @@
+#ifndef TRAJLDP_OBS_EXPOSITION_H_
+#define TRAJLDP_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace trajldp::obs {
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` once per metric name, one
+/// sample line per series, histogram series as cumulative
+/// `_bucket{le="..."}` ending at `+Inf` plus `_sum` and `_count`.
+/// The snapshot is rendered in its sorted order, so equal snapshots
+/// render byte-identically — the determinism the K-shard merge test
+/// leans on.
+std::string RenderPrometheus(const RegistrySnapshot& snapshot);
+
+/// Renders a snapshot as a JSON array for `/statusz`: objects with
+/// name/type/labels and value (scalar) or bounds/buckets/sum/count
+/// (histogram).
+std::string RenderJson(const RegistrySnapshot& snapshot);
+
+/// Prometheus label-value escaping: backslash, double quote, and
+/// newline. Exposed for the byte-exact exposition tests.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Sample-value formatting: integral values (counters, bucket counts)
+/// render without a decimal point; everything else as shortest-ish
+/// decimal via %.10g. Deterministic for a given double.
+std::string FormatMetricValue(double value);
+
+}  // namespace trajldp::obs
+
+#endif  // TRAJLDP_OBS_EXPOSITION_H_

@@ -1,0 +1,299 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace trajldp::obs {
+
+namespace internal {
+
+std::size_t ThreadStripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Canonical registry key: name + labels sorted by key, with
+/// unprintable separators so no legal name/label can collide.
+std::string SeriesKey(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& label : labels) {
+    key.push_back('\x01');
+    key += label.key;
+    key.push_back('\x02');
+    key += label.value;
+  }
+  return key;
+}
+
+Labels Canonicalize(Labels labels) {
+  std::stable_sort(labels.begin(), labels.end(),
+                   [](const Label& a, const Label& b) { return a.key < b.key; });
+  return labels;
+}
+
+/// Blackhole instruments handed out on type/bounds conflicts: writes
+/// land somewhere harmless and are never exported.
+Counter* NilCounter() {
+  static Counter nil;
+  return &nil;
+}
+
+Gauge* NilGauge() {
+  static Gauge nil;
+  return &nil;
+}
+
+Histogram* NilHistogram() {
+  static Histogram nil({1.0});
+  return &nil;
+}
+
+}  // namespace
+
+std::vector<double> DefaultLatencyBounds() {
+  return {1e-6, 5e-6, 25e-6, 1e-4, 5e-4, 2.5e-3, 1e-2, 5e-2, 0.25, 1.0, 5.0};
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultLatencyBounds();
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  stride_ = bounds_.size() + 1;
+  // Constructed at full size once; std::atomic elements are
+  // value-initialized in place and the vector never reallocates.
+  cells_ = std::vector<std::atomic<std::uint64_t>>(internal::kStripes * stride_);
+}
+
+void Histogram::Observe(double value) {
+  // Prometheus `le`: first bound >= value, else the +Inf overflow cell.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  const std::size_t stripe = internal::ThreadStripe();
+  cells_[stripe * stride_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAddDouble(sums_[stripe].v, value);
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> counts(stride_, 0);
+  for (std::size_t stripe = 0; stripe < internal::kStripes; ++stripe) {
+    for (std::size_t b = 0; b < stride_; ++b) {
+      counts[b] += cells_[stripe * stride_ + b].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+std::uint64_t Histogram::Count() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& stripe : sums_) {
+    total += stripe.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Counter* Registry::GetCounter(const std::string& name, const std::string& help,
+                              Labels labels) {
+  labels = Canonicalize(std::move(labels));
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& entry = *entries_[it->second];
+    return entry.type == MetricType::kCounter ? entry.counter.get()
+                                              : NilCounter();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->type = MetricType::kCounter;
+  entry->name = name;
+  entry->help = help;
+  entry->labels = std::move(labels);
+  entry->counter = std::make_unique<Counter>();
+  Counter* out = entry->counter.get();
+  index_[key] = entries_.size();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help,
+                          Labels labels) {
+  labels = Canonicalize(std::move(labels));
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& entry = *entries_[it->second];
+    return entry.type == MetricType::kGauge ? entry.gauge.get() : NilGauge();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->type = MetricType::kGauge;
+  entry->name = name;
+  entry->help = help;
+  entry->labels = std::move(labels);
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge* out = entry->gauge.get();
+  index_[key] = entries_.size();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help,
+                                  std::vector<double> bounds, Labels labels) {
+  labels = Canonicalize(std::move(labels));
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& entry = *entries_[it->second];
+    if (entry.type != MetricType::kHistogram) return NilHistogram();
+    // Same series re-requested with different buckets: the first
+    // registration wins only when bounds agree.
+    Histogram probe(std::move(bounds));
+    return probe.bounds() == entry.histogram->bounds()
+               ? entry.histogram.get()
+               : NilHistogram();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->type = MetricType::kHistogram;
+  entry->name = name;
+  entry->help = help;
+  entry->labels = std::move(labels);
+  entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* out = entry->histogram.get();
+  index_[key] = entries_.size();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+std::size_t Registry::AddHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t id = next_hook_id_++;
+  hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Registry::RemoveHook(std::size_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_.erase(std::remove_if(hooks_.begin(), hooks_.end(),
+                              [id](const auto& h) { return h.first == id; }),
+               hooks_.end());
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  // Hooks run OUTSIDE the lock: they typically Set() gauges they
+  // obtained from this registry, and may even register new series.
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hooks.reserve(hooks_.size());
+    for (const auto& [id, fn] : hooks_) hooks.push_back(fn);
+  }
+  for (const auto& hook : hooks) hook();
+
+  RegistrySnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.metrics.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSnapshot m;
+    m.type = entry->type;
+    m.name = entry->name;
+    m.help = entry->help;
+    m.labels = entry->labels;
+    switch (entry->type) {
+      case MetricType::kCounter:
+        m.value = static_cast<double>(entry->counter->Value());
+        break;
+      case MetricType::kGauge:
+        m.value = entry->gauge->Value();
+        break;
+      case MetricType::kHistogram:
+        m.bounds = entry->histogram->bounds();
+        m.buckets = entry->histogram->BucketCounts();
+        m.sum = entry->histogram->Sum();
+        m.count = 0;
+        for (const std::uint64_t c : m.buckets) m.count += c;
+        break;
+    }
+    snapshot.metrics.push_back(std::move(m));
+  }
+  snapshot.Sort();
+  return snapshot;
+}
+
+std::size_t Registry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+Status RegistrySnapshot::MergeFrom(const RegistrySnapshot& other) {
+  for (const auto& theirs : other.metrics) {
+    MetricSnapshot* mine = nullptr;
+    for (auto& m : metrics) {
+      if (m.name == theirs.name && m.labels == theirs.labels) {
+        mine = &m;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      metrics.push_back(theirs);
+      continue;
+    }
+    if (mine->type != theirs.type) {
+      return Status::InvalidArgument("metric '" + theirs.name +
+                                     "' has conflicting types across shards");
+    }
+    switch (mine->type) {
+      case MetricType::kCounter:
+      case MetricType::kGauge:
+        mine->value += theirs.value;
+        break;
+      case MetricType::kHistogram:
+        if (mine->bounds != theirs.bounds) {
+          return Status::InvalidArgument(
+              "histogram '" + theirs.name +
+              "' has conflicting bucket bounds across shards");
+        }
+        for (std::size_t b = 0; b < mine->buckets.size(); ++b) {
+          mine->buckets[b] += theirs.buckets[b];
+        }
+        mine->sum += theirs.sum;
+        mine->count += theirs.count;
+        break;
+    }
+  }
+  Sort();
+  return Status::Ok();
+}
+
+void RegistrySnapshot::Sort() {
+  std::sort(metrics.begin(), metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+}
+
+const MetricSnapshot* RegistrySnapshot::Find(std::string_view name,
+                                             const Labels& labels) const {
+  const Labels canonical = Canonicalize(labels);
+  for (const auto& m : metrics) {
+    if (m.name == name && m.labels == canonical) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace trajldp::obs

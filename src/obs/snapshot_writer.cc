@@ -1,0 +1,65 @@
+#include "obs/snapshot_writer.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/exposition.h"
+
+namespace trajldp::obs {
+
+PeriodicSnapshotWriter::PeriodicSnapshotWriter(const Registry* registry,
+                                               Options options)
+    : registry_(registry), options_(std::move(options)) {
+  thread_ = std::thread([this] { Run(); });
+}
+
+PeriodicSnapshotWriter::~PeriodicSnapshotWriter() { Stop(); }
+
+void PeriodicSnapshotWriter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  WriteOnce();  // end-of-run state, written with the thread quiesced
+}
+
+void PeriodicSnapshotWriter::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, options_.interval, [this] { return stop_; })) {
+      return;  // final write happens on the stopping thread
+    }
+    lock.unlock();
+    WriteOnce();
+    lock.lock();
+  }
+}
+
+void PeriodicSnapshotWriter::WriteOnce() {
+  std::string body;
+  if (options_.preamble) {
+    body = options_.preamble();
+    if (!body.empty() && body.back() != '\n') body.push_back('\n');
+  }
+  body += RenderPrometheus(registry_->Snapshot());
+
+  if (!options_.path.empty()) {
+    const std::string tmp = options_.path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+      if (!out) return;
+      out << body;
+      if (!out.flush()) return;
+    }
+    if (std::rename(tmp.c_str(), options_.path.c_str()) != 0) return;
+  }
+  if (options_.stream != nullptr) {
+    *options_.stream << body << std::flush;
+  }
+  snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace trajldp::obs

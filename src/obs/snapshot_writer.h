@@ -1,0 +1,66 @@
+#ifndef TRAJLDP_OBS_SNAPSHOT_WRITER_H_
+#define TRAJLDP_OBS_SNAPSHOT_WRITER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "common/status_or.h"
+#include "obs/metrics.h"
+
+namespace trajldp::obs {
+
+/// \brief Headless-bench companion to the admin endpoint: a background
+/// thread that renders the registry to Prometheus text on a fixed
+/// interval — to a file (written tmp-then-rename, so readers never see
+/// a torn snapshot) and/or an ostream.
+///
+/// An optional `preamble` callback runs before each render and its
+/// return value is prepended verbatim; emit `# `-prefixed lines to
+/// stay Prometheus-parseable. This is the mid-ingest aggregate hook:
+/// `examples/live_analytics.cpp` finalizes its analytics bundles under
+/// their own lock inside the preamble while frames are still flowing.
+class PeriodicSnapshotWriter {
+ public:
+  struct Options {
+    std::chrono::milliseconds interval{1000};
+    std::string path;                       // empty: no file output
+    std::ostream* stream = nullptr;         // optional additional sink
+    std::function<std::string()> preamble;  // optional, run per snapshot
+  };
+
+  /// Starts the writer thread. `registry` must outlive this object.
+  PeriodicSnapshotWriter(const Registry* registry, Options options);
+  ~PeriodicSnapshotWriter();
+  PeriodicSnapshotWriter(const PeriodicSnapshotWriter&) = delete;
+  PeriodicSnapshotWriter& operator=(const PeriodicSnapshotWriter&) = delete;
+
+  /// Stops the thread and writes one final snapshot so the file always
+  /// reflects end-of-run state. Idempotent.
+  void Stop();
+
+  std::size_t snapshots_written() const {
+    return snapshots_written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+  void WriteOnce();
+
+  const Registry* registry_;
+  Options options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<std::size_t> snapshots_written_{0};
+  std::thread thread_;
+};
+
+}  // namespace trajldp::obs
+
+#endif  // TRAJLDP_OBS_SNAPSHOT_WRITER_H_

@@ -500,6 +500,41 @@ TEST_F(NetFixture, ClientGivesUpCleanlyWhenNobodyListens) {
   EXPECT_EQ(client.frames_sent(), 0u);
 }
 
+TEST_F(NetFixture, ClientCountsBackoffSleepsAndConnectFailures) {
+  uint16_t dead_port = 0;
+  {
+    auto listener = TcpListen(ListenOptions{});
+    ASSERT_TRUE(listener.ok());
+    dead_port = *LocalPort(*listener);
+  }
+  obs::Registry registry;
+  ReportClient::Options options;
+  options.max_attempts = 3;
+  options.initial_backoff = std::chrono::milliseconds(1);
+  options.max_backoff = std::chrono::milliseconds(5);
+  options.metrics = &registry;
+  options.metric_labels = {{"device", "t"}};
+  ReportClient client("127.0.0.1", dead_port, options);
+  ASSERT_FALSE(
+      client.SendFrame(*io::EncodeReportBatch(io::ReportBatch{})).ok());
+  // Every attempt dialed a dead port; every attempt past the first
+  // slept a backoff draw first.
+  EXPECT_EQ(client.connect_failures(), 3u);
+  EXPECT_EQ(client.backoff_sleeps(), 2u);
+  EXPECT_GE(client.backoff_sleep_total_ms(),
+            client.backoff_sleeps() *
+                static_cast<uint64_t>(options.initial_backoff.count()));
+  // The registry mirror saw the same events as they happened.
+  const obs::Labels labels = {{"device", "t"}};
+  auto snapshot = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(
+      snapshot.Find("trajldp_client_connect_failures_total", labels)->value,
+      3.0);
+  EXPECT_DOUBLE_EQ(
+      snapshot.Find("trajldp_client_backoff_sleeps_total", labels)->value,
+      2.0);
+}
+
 TEST_F(NetFixture, ClientReconnectsAcrossServerRestart) {
   const uint64_t seed = 31;
   const auto users = MakeUsers(2, 33);
